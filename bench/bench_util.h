@@ -1,0 +1,58 @@
+// Shared configuration builders for the reproduction benches (E1..E9).
+// Conventions: T = 1000 ticks, closed loop = the paper's "heavy load",
+// open loop Poisson arrivals = "light load" (§5).
+#pragma once
+
+#include <iostream>
+#include <string>
+
+#include "harness/experiment.h"
+#include "harness/table.h"
+
+namespace dqme::bench {
+
+inline constexpr Time kT = 1000;  // the paper's mean message delay
+
+inline harness::ExperimentConfig heavy(mutex::Algo algo, int n,
+                                       const std::string& quorum = "grid",
+                                       uint64_t seed = 1) {
+  harness::ExperimentConfig cfg;
+  cfg.algo = algo;
+  cfg.n = n;
+  cfg.quorum = quorum;
+  cfg.mean_delay = kT;
+  cfg.workload.mode = harness::Workload::Config::Mode::kClosed;
+  cfg.workload.cs_duration = 100;  // E = T/10
+  cfg.warmup = 200'000;
+  cfg.measure = 2'000'000;
+  cfg.seed = seed;
+  return cfg;
+}
+
+// `relative_load` = offered aggregate demand as a fraction of the SLOWEST
+// baseline's saturation throughput, 1/(2T+E) (Maekawa's cycle). Using the
+// slower denominator keeps every algorithm in a stable queueing regime
+// across a 0..1 sweep, so cross-algorithm waiting/delay comparisons are
+// apples-to-apples. 0.05 = the paper's light load.
+inline harness::ExperimentConfig open_load(mutex::Algo algo, int n,
+                                           double relative_load,
+                                           const std::string& quorum = "grid",
+                                           uint64_t seed = 1) {
+  harness::ExperimentConfig cfg = heavy(algo, n, quorum, seed);
+  cfg.workload.mode = harness::Workload::Config::Mode::kOpen;
+  const double capacity =
+      1.0 / static_cast<double>(2 * kT + cfg.workload.cs_duration);
+  cfg.workload.arrival_rate = relative_load * capacity / n;
+  cfg.measure = 4'000'000;
+  return cfg;
+}
+
+// Prints the standard integrity line every bench ends with: the run is
+// only meaningful if Theorems 1-3 held.
+inline void print_integrity(const harness::ExperimentResult& r) {
+  std::cout << "  [integrity] violations=" << r.summary.violations
+            << " drained_clean=" << (r.drained_clean ? "yes" : "NO")
+            << " completed=" << r.summary.completed << "\n";
+}
+
+}  // namespace dqme::bench

@@ -1,0 +1,65 @@
+// E2 — §5.1/§5.2: messages per CS execution, from light load (3(K-1)) to
+// saturation (5(K-1)..6(K-1)), with the per-type breakdown, across N.
+#include <iostream>
+
+#include "bench_util.h"
+
+int main() {
+  using namespace dqme;
+  using bench::heavy;
+  using bench::open_load;
+  using harness::Table;
+
+  std::cout << "E2 — messages per CS vs load (proposed algorithm, grid "
+               "quorums, T=1000)\n\n";
+
+  bool ok = true;
+  for (int n : {9, 25, 49}) {
+    auto probe = harness::run_experiment(open_load(
+        mutex::Algo::kCaoSinghal, n, 0.02));
+    const double k1 = probe.mean_quorum_size - 1;
+    std::cout << "N=" << n << "  K=" << probe.mean_quorum_size
+              << "  paper bands: light 3(K-1)=" << 3 * k1
+              << ", heavy 5(K-1)=" << 5 * k1 << " .. 6(K-1)=" << 6 * k1
+              << "\n";
+    Table t({"load", "msgs/CS (wire)", "ctrl msgs/CS", "of band 3(K-1)",
+             "completed"});
+    for (double load : {0.02, 0.2, 0.5, 0.8}) {
+      auto r = harness::run_experiment(
+          open_load(mutex::Algo::kCaoSinghal, n, load));
+      ok = ok && r.summary.violations == 0 && r.drained_clean;
+      t.add_row({Table::num(load, 2),
+                 Table::num(r.summary.wire_msgs_per_cs, 2),
+                 Table::num(r.summary.ctrl_msgs_per_cs, 2),
+                 Table::num(r.summary.wire_msgs_per_cs / (3 * k1), 2) + "x",
+                 Table::integer(r.summary.completed)});
+    }
+    auto sat = harness::run_experiment(heavy(mutex::Algo::kCaoSinghal, n));
+    ok = ok && sat.summary.violations == 0 && sat.drained_clean;
+    t.add_row({"saturated", Table::num(sat.summary.wire_msgs_per_cs, 2),
+               Table::num(sat.summary.ctrl_msgs_per_cs, 2),
+               Table::num(sat.summary.wire_msgs_per_cs / (3 * k1), 2) + "x",
+               Table::integer(sat.summary.completed)});
+    t.print(std::cout);
+
+    // Per-type breakdown at saturation — the §5.2 accounting.
+    Table bt({"type", "per CS", "paper (heavy)"});
+    auto per = [&](net::MsgType ty) {
+      return Table::num(
+          sat.summary.per_type_per_cs[static_cast<size_t>(ty)], 2);
+    };
+    bt.add_row({"request", per(net::MsgType::kRequest), "K-1"});
+    bt.add_row({"reply", per(net::MsgType::kReply), "K-1"});
+    bt.add_row({"release", per(net::MsgType::kRelease), "K-1"});
+    bt.add_row({"transfer", per(net::MsgType::kTransfer),
+                "K-1 (mostly piggybacked)"});
+    bt.add_row({"inquire", per(net::MsgType::kInquire), "piggybacked"});
+    bt.add_row({"fail", per(net::MsgType::kFail), "<= K-1"});
+    bt.add_row({"yield", per(net::MsgType::kYield), "<= K-1"});
+    bt.print(std::cout);
+    std::cout << "\n";
+  }
+  std::cout << "[integrity] all runs safe and drained: " << (ok ? "yes" : "NO")
+            << "\n";
+  return ok ? 0 : 1;
+}

@@ -1,0 +1,100 @@
+// E6 — §5.3/§6: quorum size K per construction as N grows. The paper's
+// claims: grid/FPP ~ sqrt(N); tree log N best case; HQC N^0.63 (the OCR
+// prints N^0.43 — DESIGN.md D5; we report measured sizes and the fitted
+// exponent); grid-set ~ (m+1)/2 * grid(G); RST ~ (G+1)/2 * grid(m);
+// majority (N+1)/2.
+#include <cmath>
+#include <iostream>
+
+#include "bench_util.h"
+#include "common/rng.h"
+#include "quorum/factory.h"
+#include "quorum/tree.h"
+
+int main() {
+  using namespace dqme;
+  using harness::Table;
+
+  std::cout << "E6 — quorum sizes by construction\n\n";
+
+  struct Series {
+    const char* kind;
+    std::vector<int> ns;
+    const char* paper;
+  };
+  const Series series[] = {
+      {"grid", {9, 25, 49, 100, 400, 2500, 10000}, "~2*sqrt(N)-1"},
+      {"fpp", {7, 13, 31, 57, 133, 307}, "q+1 ~ sqrt(N)"},
+      {"tree", {7, 15, 31, 63, 127, 255, 1023}, "log2(N+1) best case"},
+      {"hqc", {9, 27, 81, 243, 729, 6561}, "N^0.63 (OCR: N^0.43)"},
+      {"majority", {9, 25, 101, 1001}, "floor(N/2)+1"},
+      {"gridset", {16, 36, 100, 400, 2500}, "(m/2+1)*grid(G)"},
+      {"rst", {16, 36, 100, 400, 2500}, "(G/2+1)*grid(m)"},
+  };
+
+  for (const Series& s : series) {
+    Table t({"N", "mean K", "max K", "K/sqrt(N)", "K/log2(N)"});
+    double sum_log_k = 0, sum_log_n = 0, sum_log_kn = 0, sum_log_n2 = 0;
+    int cnt = 0;
+    for (int n : s.ns) {
+      auto qs = quorum::make_quorum_system(s.kind, n);
+      const double k = qs->mean_quorum_size();
+      t.add_row({Table::integer(static_cast<uint64_t>(n)), Table::num(k, 2),
+                 Table::integer(static_cast<uint64_t>(qs->max_quorum_size())),
+                 Table::num(k / std::sqrt(static_cast<double>(n)), 2),
+                 Table::num(k / std::log2(static_cast<double>(n)), 2)});
+      // Least-squares fit of log K = a log N + b.
+      const double ln = std::log(static_cast<double>(n));
+      const double lk = std::log(k);
+      sum_log_n += ln;
+      sum_log_k += lk;
+      sum_log_kn += ln * lk;
+      sum_log_n2 += ln * ln;
+      ++cnt;
+    }
+    const double exponent =
+        (cnt * sum_log_kn - sum_log_n * sum_log_k) /
+        (cnt * sum_log_n2 - sum_log_n * sum_log_n);
+    std::cout << s.kind << "  (paper: " << s.paper
+              << "; fitted K ~ N^" << Table::num(exponent, 2) << ")\n";
+    t.print(std::cout);
+    std::cout << "\n";
+  }
+
+  std::cout << "Expected shape: grid/FPP exponent ~0.5, tree ~log "
+               "(exponent -> 0), HQC ~0.63, majority ~1.0, grid-set/RST "
+               "between 0.5 and 1.\n\n";
+
+  // §6: the tree quorum's graceful degradation — log N paths when all is
+  // well, growing toward majority-sized substituted sets as sites fail
+  // (the paper quotes the degraded worst case; we measure the whole curve).
+  std::cout << "Tree quorum size under failures (N=127, best case "
+            << "log2(128)=7; mean/max over 2000 random failure sets)\n";
+  {
+    quorum::TreeQuorum tree(127);
+    Rng rng(41);
+    Table t({"failed sites", "available", "mean K", "max K"});
+    for (int dead : {0, 5, 15, 30, 50, 63}) {
+      int avail = 0, maxk = 0;
+      double sumk = 0;
+      const int trials = 2000;
+      for (int trial = 0; trial < trials; ++trial) {
+        std::vector<bool> alive(127, true);
+        for (int v : rng.sample_without_replacement(127, dead))
+          alive[static_cast<size_t>(v)] = false;
+        auto q = tree.quorum_for_alive(
+            static_cast<SiteId>(rng.uniform_int(0, 126)), alive);
+        if (!q) continue;
+        ++avail;
+        sumk += static_cast<double>(q->size());
+        maxk = std::max(maxk, static_cast<int>(q->size()));
+      }
+      t.add_row({Table::integer(static_cast<uint64_t>(dead)),
+                 Table::num(100.0 * avail / trials, 1) + "%",
+                 avail ? Table::num(sumk / avail, 2) : "-",
+                 avail ? Table::integer(static_cast<uint64_t>(maxk)) : "-"});
+    }
+    t.print(std::cout);
+  }
+  return 0;
+}

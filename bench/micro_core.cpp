@@ -1,0 +1,93 @@
+// Micro-benchmarks (google-benchmark) for the substrates: event queue,
+// network send/deliver, quorum construction, and a whole protocol step.
+// These bound the simulator's own cost so experiment runtimes are
+// attributable to protocol behaviour, not harness overhead.
+#include <benchmark/benchmark.h>
+
+#include "core/cao_singhal.h"
+#include "harness/experiment.h"
+#include "quorum/factory.h"
+
+namespace {
+
+using namespace dqme;
+
+void BM_SimulatorScheduleRun(benchmark::State& state) {
+  const int events = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    sim::Simulator sim;
+    uint64_t sum = 0;
+    for (int i = 0; i < events; ++i)
+      sim.schedule_at((i * 7919) % 100000, [&sum] { ++sum; });
+    sim.run();
+    benchmark::DoNotOptimize(sum);
+  }
+  state.SetItemsProcessed(state.iterations() * events);
+}
+BENCHMARK(BM_SimulatorScheduleRun)->Arg(1000)->Arg(100000);
+
+void BM_NetworkSendDeliver(benchmark::State& state) {
+  struct Sink final : net::NetSite {
+    uint64_t n = 0;
+    void on_message(const net::Message&) override { ++n; }
+  };
+  for (auto _ : state) {
+    sim::Simulator sim;
+    net::Network net(sim, 2, std::make_unique<net::ConstantDelay>(10), 1);
+    Sink sink;
+    net.attach(0, &sink);
+    net.attach(1, &sink);
+    for (SeqNum i = 0; i < 1000; ++i)
+      net.send(0, 1, net::make_request(ReqId{i + 1, 0}));
+    sim.run();
+    benchmark::DoNotOptimize(sink.n);
+  }
+  state.SetItemsProcessed(state.iterations() * 1000);
+}
+BENCHMARK(BM_NetworkSendDeliver);
+
+void BM_QuorumConstruction(benchmark::State& state, const char* kind,
+                           int n) {
+  for (auto _ : state) {
+    auto qs = quorum::make_quorum_system(kind, n);
+    double k = 0;
+    for (SiteId i = 0; i < qs->num_sites(); ++i)
+      k += static_cast<double>(qs->quorum_for(i).size());
+    benchmark::DoNotOptimize(k);
+  }
+}
+BENCHMARK_CAPTURE(BM_QuorumConstruction, grid_2500, "grid", 2500);
+BENCHMARK_CAPTURE(BM_QuorumConstruction, fpp_307, "fpp", 307);
+BENCHMARK_CAPTURE(BM_QuorumConstruction, tree_1023, "tree", 1023);
+BENCHMARK_CAPTURE(BM_QuorumConstruction, hqc_729, "hqc", 729);
+
+void BM_TreeQuorumUnderFailures(benchmark::State& state) {
+  auto qs = quorum::make_quorum_system("tree", 1023);
+  Rng rng(3);
+  std::vector<bool> alive(1023);
+  for (size_t i = 0; i < alive.size(); ++i) alive[i] = rng.bernoulli(0.9);
+  for (auto _ : state) {
+    auto q = qs->quorum_for_alive(static_cast<SiteId>(rng.uniform_int(0, 1022)),
+                                  alive);
+    benchmark::DoNotOptimize(q);
+  }
+}
+BENCHMARK(BM_TreeQuorumUnderFailures);
+
+// One complete saturated simulation second — the unit of all E-benches.
+void BM_EndToEndSimulatedSecond(benchmark::State& state) {
+  for (auto _ : state) {
+    harness::ExperimentConfig cfg;
+    cfg.algo = mutex::Algo::kCaoSinghal;
+    cfg.n = 25;
+    cfg.warmup = 0;
+    cfg.measure = 1'000'000;  // 1000 x T
+    auto r = harness::run_experiment(cfg);
+    benchmark::DoNotOptimize(r.summary.completed);
+  }
+}
+BENCHMARK(BM_EndToEndSimulatedSecond)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,118 @@
+// X1 (extension, §7) — replica control built on the delay-optimal mutex:
+// operation latency and correctness of the replicated store across quorum
+// constructions, plus behaviour across a crash. Not a paper table: §7 only
+// *claims* the idea extends to replicated data management; this bench
+// demonstrates it quantitatively.
+#include <iostream>
+
+#include "bench_util.h"
+#include "core/failure_detector.h"
+#include "quorum/factory.h"
+#include "replica/replicated_store.h"
+
+namespace {
+
+using namespace dqme;
+
+struct RunStats {
+  double mean_write_latency = 0;  // ticks
+  double mean_read_latency = 0;
+  uint64_t writes = 0;
+  uint64_t reads = 0;
+  bool exact = false;  // counter total equals acknowledged increments
+};
+
+RunStats run(const std::string& quorum_kind, int n, bool crash_one) {
+  sim::Simulator sim;
+  net::Network net(sim, n, std::make_unique<net::UniformDelay>(500, 1500),
+                   17);
+  auto quorums = quorum::make_quorum_system(quorum_kind, n);
+  core::FailureDetector detector(net, 2500, 500, 3);
+  core::CaoSinghalSite::Options opt;
+  opt.fault_tolerant = true;
+  std::vector<std::unique_ptr<replica::ReplicaNode>> nodes;
+  for (SiteId i = 0; i < n; ++i) {
+    nodes.push_back(
+        std::make_unique<replica::ReplicaNode>(i, net, *quorums, opt));
+    net.attach(i, nodes.back().get());
+    detector.attach(i, nodes.back().get());
+  }
+
+  RunStats st;
+  double write_lat = 0, read_lat = 0;
+  int64_t acknowledged = 0;
+  const int rounds = 5;
+  for (int round = 0; round < rounds; ++round) {
+    for (SiteId i = 0; i < n; ++i) {
+      const Time start = sim.now();
+      nodes[static_cast<size_t>(i)]->update(
+          0, [](int64_t v) { return v + 1; },
+          [&, start](int64_t version) {
+            if (version > 0) {
+              ++acknowledged;
+              write_lat += static_cast<double>(sim.now() - start);
+            }
+          });
+    }
+  }
+  SiteId victim = static_cast<SiteId>(n / 2);
+  if (crash_one) sim.schedule_at(4000, [&] { detector.crash(victim); });
+  sim.run();
+
+  // Reads from every live node.
+  int64_t observed = -1;
+  bool consistent = true;
+  for (SiteId i = 0; i < n; ++i) {
+    if (crash_one && i == victim) continue;
+    const Time start = sim.now();
+    nodes[static_cast<size_t>(i)]->read(0, [&, start](replica::Versioned v) {
+      read_lat += static_cast<double>(sim.now() - start);
+      ++st.reads;
+      if (observed < 0) observed = v.value;
+      consistent = consistent && v.value == observed;
+    });
+    sim.run();
+  }
+  st.writes = static_cast<uint64_t>(acknowledged);
+  st.mean_write_latency = acknowledged ? write_lat / acknowledged : 0;
+  st.mean_read_latency = st.reads ? read_lat / st.reads : 0;
+  st.exact = consistent && observed == acknowledged;
+  return st;
+}
+
+}  // namespace
+
+int main() {
+  using harness::Table;
+  std::cout << "X1 — §7 replica control on the delay-optimal mutex "
+               "(atomic counter, T~1000, jittered)\n\n";
+  Table t({"quorum", "N", "crash", "writes", "write lat/T (queued)", "read lat/T",
+           "exact count"});
+  bool ok = true;
+  struct Cfg {
+    const char* kind;
+    int n;
+    bool crash;
+  };
+  for (const Cfg& c : {Cfg{"grid", 16, false}, Cfg{"tree", 15, false},
+                       Cfg{"majority", 15, false}, Cfg{"tree", 15, true},
+                       Cfg{"rst:4", 16, true}}) {
+    RunStats s = run(c.kind, c.n, c.crash);
+    ok = ok && s.exact;
+    t.add_row({c.kind, Table::integer(static_cast<uint64_t>(c.n)),
+               c.crash ? "yes" : "no", Table::integer(s.writes),
+               Table::num(s.mean_write_latency / 1000.0, 2),
+               Table::num(s.mean_read_latency / 1000.0, 2),
+               s.exact ? "yes" : "NO"});
+  }
+  t.print(std::cout);
+  std::cout << "\nExpected shape: every run counts exactly (no lost "
+               "updates); reads cost ~2T (one quorum round trip). Write "
+               "latency is dominated by queueing: all N*5 increments are "
+               "posted at once and serialize through the global CS, so the "
+               "mean wait is ~half the batch times the CS cycle. Crashes "
+               "change none of that.\n"
+            << "[integrity] all counts exact: " << (ok ? "yes" : "NO")
+            << "\n";
+  return ok ? 0 : 1;
+}

@@ -1,0 +1,66 @@
+// Fault-tolerance example (§6): a 15-site system on Agrawal-El Abbadi tree
+// quorums keeps granting the critical section while sites crash one after
+// another — including the tree root, which sits in every quorum.
+//
+// Prints a timeline of crashes, recoveries, and progress, and ends with
+// the safety/liveness verdict.
+#include <iostream>
+
+#include "harness/experiment.h"
+#include "harness/table.h"
+
+int main() {
+  using namespace dqme;
+
+  harness::ExperimentConfig cfg;
+  cfg.algo = mutex::Algo::kCaoSinghal;
+  cfg.n = 15;
+  cfg.quorum = "tree";  // log N quorums, path substitution under failures
+  cfg.options.fault_tolerant = true;
+  cfg.mean_delay = 1000;
+  cfg.workload.mode = harness::Workload::Config::Mode::kClosed;
+  cfg.workload.cs_duration = 200;
+  cfg.warmup = 100'000;
+  cfg.measure = 2'000'000;
+  cfg.detection_latency = 3000;  // 3T to detect a crash
+  cfg.detection_jitter = 1000;   // sites learn at different times
+  cfg.seed = 7;
+
+  // Crash schedule: a leaf, then an internal node, then the root itself.
+  cfg.crashes.push_back({400'000, 12});
+  cfg.crashes.push_back({900'000, 2});
+  cfg.crashes.push_back({1'400'000, 0});
+
+  std::cout << "Fault tolerance demo — delay-optimal mutual exclusion on "
+               "tree quorums (N=15)\n\n"
+            << "Crash schedule: site 12 (leaf) at t=0.4M, site 2 (internal) "
+               "at t=0.9M,\n                site 0 (root — member of EVERY "
+               "quorum) at t=1.4M\n"
+            << "Failure detection: 3T latency, 1T jitter (sites act on "
+               "inconsistent views)\n\n";
+
+  const harness::ExperimentResult r = harness::run_experiment(cfg);
+
+  harness::Table t({"metric", "value"});
+  t.add_row({"CS executions completed",
+             harness::Table::integer(r.summary.completed)});
+  t.add_row({"quorum reconstructions (§6 recoveries)",
+             harness::Table::integer(r.protocol_stats.recoveries)});
+  t.add_row({"demands written off at crashed sites",
+             harness::Table::integer(r.demands_aborted)});
+  t.add_row({"mutual exclusion violations",
+             harness::Table::integer(r.summary.violations)});
+  t.add_row({"all surviving demands completed",
+             r.drained_clean ? "yes" : "NO"});
+  t.add_row({"stale messages discarded (expected during recovery)",
+             harness::Table::integer(r.stale_drops)});
+  t.print(std::cout);
+
+  std::cout << "\nWhat happened: when a quorum member dies, requesters "
+               "release every claim their in-flight request held, rebuild "
+               "a quorum from live sites via the tree substitution rule "
+               "(dead node -> paths through both children), and re-request; "
+               "arbiters scrub the dead site's entries from their queues "
+               "and hand the permission onward (§6 cases 1-3).\n";
+  return r.summary.violations == 0 && r.drained_clean ? 0 : 1;
+}

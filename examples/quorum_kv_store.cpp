@@ -1,0 +1,88 @@
+// Replicated key-value store (§7 extension): atomic counters over quorum
+// replica control with the delay-optimal mutex serializing writers.
+//
+// 15 bank branches (sites) concurrently post deposits to shared accounts
+// while one branch crashes mid-day. Quorum intersection keeps reads
+// consistent; the CS-serialized read-modify-write keeps balances exact; the
+// §6 recovery layer keeps everything moving after the crash.
+#include <iostream>
+
+#include "core/failure_detector.h"
+#include "harness/table.h"
+#include "quorum/factory.h"
+#include "replica/replicated_store.h"
+
+int main() {
+  using namespace dqme;
+  const int n = 15;
+  const int64_t kAccounts = 4;
+  const int deposits_per_branch = 6;
+
+  sim::Simulator sim;
+  net::Network net(sim, n, std::make_unique<net::UniformDelay>(500, 1500),
+                   99);
+  auto quorums = quorum::make_quorum_system("tree", n);
+  core::FailureDetector detector(net, 2500, 800, 7);
+
+  core::CaoSinghalSite::Options opt;
+  opt.fault_tolerant = true;
+  std::vector<std::unique_ptr<replica::ReplicaNode>> branches;
+  for (SiteId i = 0; i < n; ++i) {
+    branches.push_back(
+        std::make_unique<replica::ReplicaNode>(i, net, *quorums, opt));
+    net.attach(i, branches.back().get());
+    detector.attach(i, branches.back().get());
+  }
+
+  // Every branch posts `deposits_per_branch` deposits of 100, spread over
+  // the accounts, as atomic read-modify-writes.
+  int completed = 0;
+  int failed = 0;
+  for (SiteId b = 0; b < n; ++b) {
+    for (int d = 0; d < deposits_per_branch; ++d) {
+      const int64_t account = (b + d) % kAccounts;
+      branches[static_cast<size_t>(b)]->update(
+          account, [](int64_t balance) { return balance + 100; },
+          [&](int64_t version) { version > 0 ? ++completed : ++failed; });
+    }
+  }
+  // Branch 6 crashes while the day's traffic is in flight.
+  sim.schedule_at(5000, [&] { detector.crash(6); });
+  sim.run();
+
+  // Audit from a different branch: balances must sum to the deposits that
+  // were acknowledged (the crashed branch's unacknowledged ones excluded).
+  int64_t total = 0;
+  int audited = 0;
+  for (int64_t account = 0; account < kAccounts; ++account) {
+    branches[11]->read(account, [&](replica::Versioned v) {
+      total += v.value;
+      ++audited;
+    });
+  }
+  sim.run();
+
+  std::cout << "Replicated bank over quorum replica control (§7)\n"
+            << "N=" << n << " branches on tree quorums, branch 6 crashes "
+            << "mid-run\n\n";
+  harness::Table t({"check", "result"});
+  const int total_posted = n * deposits_per_branch;
+  t.add_row({"deposits posted / acknowledged",
+             std::to_string(total_posted) + " / " + std::to_string(completed)});
+  t.add_row({"failed (no quorum)", std::to_string(failed)});
+  t.add_row({"unacknowledged (died with branch 6)",
+             std::to_string(total_posted - completed - failed)});
+  t.add_row({"accounts audited", std::to_string(audited)});
+  t.add_row({"audited total", std::to_string(total)});
+  t.add_row({"expected total (100 x acknowledged)",
+             std::to_string(100 * completed)});
+  const bool exact = total == 100 * completed &&
+                     audited == static_cast<int>(kAccounts);
+  t.add_row({"no lost or duplicated deposits", exact ? "yes" : "NO"});
+  t.print(std::cout);
+  std::cout << "\nWhy it works: deposits are read-modify-writes inside the "
+               "paper's critical section (total write order), committed to "
+               "a quorum; the audit reads a quorum, which intersects every "
+               "write quorum even across the crash (§2/§6).\n";
+  return exact ? 0 : 1;
+}

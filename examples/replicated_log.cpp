@@ -1,0 +1,131 @@
+// Replicated-data example — the application class the paper's introduction
+// motivates ("replicated data, atomic commitment, ...").
+//
+// N sites each hold a replica of an append-only log. A site may only
+// append while it holds the distributed mutual exclusion lock; inside the
+// CS it appends locally and broadcasts the entry, and the paper's safety
+// property (one site in the CS at a time) is what makes every replica see
+// the same totally-ordered log.
+//
+// The example drives random appends through CaoSinghalSite and then checks
+// that all replicas converged to identical logs with no lost or duplicated
+// entries — a mutual exclusion violation would show up as a divergence.
+#include <iostream>
+#include <map>
+
+#include "core/cao_singhal.h"
+#include "harness/table.h"
+#include "quorum/factory.h"
+
+namespace {
+
+using namespace dqme;
+
+struct LogEntry {
+  SiteId writer;
+  int value;
+  bool operator==(const LogEntry&) const = default;
+};
+
+// One replica node: the protocol site plus the application state.
+class ReplicaNode final : public net::NetSite {
+ public:
+  ReplicaNode(SiteId id, net::Network& net,
+              const quorum::QuorumSystem& quorums, int appends_to_do)
+      : id_(id), net_(net), mutex_(id, net, quorums),
+        appends_left_(appends_to_do) {
+    mutex_.on_enter = [this](SiteId) { in_cs(); };
+  }
+
+  void start() {
+    if (appends_left_ > 0) mutex_.request_cs();
+  }
+
+  // Application messages and protocol messages share the wire; entries are
+  // broadcast with the (otherwise protocol-only) kToken type tagged by seq.
+  void on_message(const net::Message& m) override {
+    if (m.type == net::MsgType::kToken) {
+      log_.push_back(LogEntry{m.src, static_cast<int>(m.seq)});
+      return;
+    }
+    mutex_.on_message(m);
+  }
+
+  const std::vector<LogEntry>& log() const { return log_; }
+  bool done() const { return appends_left_ == 0; }
+
+ private:
+  void in_cs() {
+    // Critically-sectioned append: local write + broadcast to replicas.
+    const int value = static_cast<int>(1000 * (id_ + 1) + appends_left_);
+    log_.push_back(LogEntry{id_, value});
+    net::Message entry;
+    entry.type = net::MsgType::kToken;
+    entry.seq = static_cast<SeqNum>(value);
+    for (SiteId j = 0; j < net_.size(); ++j)
+      if (j != id_) net_.send(id_, j, entry);
+    // Hold the CS long enough for the broadcast to outrace any later
+    // writer's broadcast on FIFO channels: one max delay.
+    net_.simulator().schedule_after(1100, [this] {
+      mutex_.release_cs();
+      if (--appends_left_ > 0) mutex_.request_cs();
+    });
+  }
+
+  SiteId id_;
+  net::Network& net_;
+  core::CaoSinghalSite mutex_;
+  int appends_left_;
+  std::vector<LogEntry> log_;
+};
+
+}  // namespace
+
+int main() {
+  using namespace dqme;
+  const int n = 9;
+  const int appends_per_site = 5;
+
+  sim::Simulator sim;
+  net::Network net(sim, n, std::make_unique<net::UniformDelay>(500, 1000),
+                   2024);
+  auto quorums = quorum::make_quorum_system("grid", n);
+
+  std::vector<std::unique_ptr<ReplicaNode>> nodes;
+  for (SiteId i = 0; i < n; ++i) {
+    nodes.push_back(
+        std::make_unique<ReplicaNode>(i, net, *quorums, appends_per_site));
+    net.attach(i, nodes.back().get());
+  }
+  for (auto& node : nodes) node->start();
+  sim.run();
+
+  // Verify convergence: every replica's log must be identical.
+  bool all_done = true;
+  for (auto& node : nodes) all_done = all_done && node->done();
+  const auto& reference = nodes[0]->log();
+  bool converged = reference.size() ==
+                   static_cast<size_t>(n * appends_per_site);
+  for (auto& node : nodes)
+    converged = converged && node->log() == reference;
+
+  std::map<SiteId, int> per_writer;
+  for (const LogEntry& e : reference) ++per_writer[e.writer];
+
+  std::cout << "Replicated log over delay-optimal quorum mutual exclusion\n"
+            << "N=" << n << " replicas, " << appends_per_site
+            << " appends each, jittered delays\n\n";
+  harness::Table t({"check", "result"});
+  t.add_row({"all appends completed", all_done ? "yes" : "NO"});
+  t.add_row({"log length", std::to_string(reference.size())});
+  t.add_row({"all replicas identical", converged ? "yes" : "NO"});
+  t.add_row({"writers balanced",
+             per_writer.size() == static_cast<size_t>(n) ? "yes" : "NO"});
+  t.print(std::cout);
+  std::cout << "\nFirst entries: ";
+  for (size_t i = 0; i < 6 && i < reference.size(); ++i)
+    std::cout << "(" << reference[i].writer << "," << reference[i].value
+              << ") ";
+  std::cout << "...\n";
+  return all_done && converged ? 0 : 1;
+}

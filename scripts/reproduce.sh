@@ -1,0 +1,10 @@
+#!/bin/sh
+# Full reproduction: build, run every test suite, run every experiment
+# bench, and leave the transcripts at the repository root.
+set -e
+cd "$(dirname "$0")/.."
+cmake -B build -G Ninja
+cmake --build build
+ctest --test-dir build 2>&1 | tee test_output.txt
+for b in build/bench/*; do "$b"; done 2>&1 | tee bench_output.txt
+echo "Done: see test_output.txt and bench_output.txt"

@@ -1,0 +1,27 @@
+#include "common/logging.h"
+
+#include <cstdio>
+
+namespace dqme {
+
+namespace {
+LogLevel g_level = LogLevel::kOff;
+}  // namespace
+
+LogLevel log_level() { return g_level; }
+void set_log_level(LogLevel level) { g_level = level; }
+
+namespace detail {
+void log_line(LogLevel level, const std::string& line) {
+  const char* tag = "?";
+  switch (level) {
+    case LogLevel::kInfo:  tag = "I"; break;
+    case LogLevel::kDebug: tag = "D"; break;
+    case LogLevel::kTrace: tag = "T"; break;
+    case LogLevel::kOff:   return;
+  }
+  std::fprintf(stderr, "[%s] %s\n", tag, line.c_str());
+}
+}  // namespace detail
+
+}  // namespace dqme

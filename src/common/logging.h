@@ -1,0 +1,30 @@
+// Minimal leveled logging. Off by default; protocol traces are enabled in
+// targeted tests via set_log_level, keeping bulk simulation runs silent.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace dqme {
+
+enum class LogLevel { kOff = 0, kInfo = 1, kDebug = 2, kTrace = 3 };
+
+LogLevel log_level();
+void set_log_level(LogLevel level);
+
+namespace detail {
+void log_line(LogLevel level, const std::string& line);
+}
+
+}  // namespace dqme
+
+// Usage: DQME_LOG(kTrace, "site " << id << " got reply from " << j);
+#define DQME_LOG(level, expr)                                      \
+  do {                                                             \
+    if (::dqme::LogLevel::level <= ::dqme::log_level()) {          \
+      std::ostringstream dqme_log_os_;                             \
+      dqme_log_os_ << expr;                                        \
+      ::dqme::detail::log_line(::dqme::LogLevel::level,            \
+                               dqme_log_os_.str());                \
+    }                                                              \
+  } while (0)

@@ -1,0 +1,20 @@
+#include "common/rng.h"
+
+#include <numeric>
+
+namespace dqme {
+
+std::vector<int> Rng::sample_without_replacement(int n, int k) {
+  DQME_CHECK(0 <= k && k <= n);
+  std::vector<int> pool(static_cast<size_t>(n));
+  std::iota(pool.begin(), pool.end(), 0);
+  // Partial Fisher-Yates: after i swaps the first i entries are the sample.
+  for (int i = 0; i < k; ++i) {
+    int j = static_cast<int>(uniform_int(i, n - 1));
+    std::swap(pool[static_cast<size_t>(i)], pool[static_cast<size_t>(j)]);
+  }
+  pool.resize(static_cast<size_t>(k));
+  return pool;
+}
+
+}  // namespace dqme

@@ -1,0 +1,69 @@
+// Seeded random number generation for deterministic simulations.
+//
+// Every stochastic component takes an explicit Rng (or a seed) so that a
+// simulation run is a pure function of its configuration. Tests and benches
+// report seeds; re-running with the same seed reproduces the trace exactly.
+#pragma once
+
+#include <cstdint>
+#include <random>
+#include <vector>
+
+#include "common/check.h"
+#include "common/types.h"
+
+namespace dqme {
+
+class Rng {
+ public:
+  explicit Rng(uint64_t seed = 1) : engine_(seed) {}
+
+  // Derives an independent child stream (e.g. one per site) so adding a
+  // consumer does not perturb the draws seen by the others.
+  Rng fork() { return Rng(engine_() ^ 0x9e3779b97f4a7c15ull); }
+
+  uint64_t next_u64() { return engine_(); }
+
+  // Uniform integer in [lo, hi] inclusive.
+  int64_t uniform_int(int64_t lo, int64_t hi) {
+    DQME_CHECK(lo <= hi);
+    return std::uniform_int_distribution<int64_t>(lo, hi)(engine_);
+  }
+
+  // Uniform real in [lo, hi).
+  double uniform_real(double lo, double hi) {
+    return std::uniform_real_distribution<double>(lo, hi)(engine_);
+  }
+
+  bool bernoulli(double p) { return std::bernoulli_distribution(p)(engine_); }
+
+  // Exponential variate with the given mean (not rate).
+  double exponential(double mean) {
+    DQME_CHECK(mean > 0);
+    return std::exponential_distribution<double>(1.0 / mean)(engine_);
+  }
+
+  // Exponential variate rounded to ticks, at least 1 tick.
+  Time exponential_time(Time mean) {
+    double v = exponential(static_cast<double>(mean));
+    Time t = static_cast<Time>(v + 0.5);
+    return t < 1 ? 1 : t;
+  }
+
+  // Fisher-Yates shuffle.
+  template <typename T>
+  void shuffle(std::vector<T>& v) {
+    for (size_t i = v.size(); i > 1; --i) {
+      size_t j = static_cast<size_t>(uniform_int(0, static_cast<int64_t>(i) - 1));
+      std::swap(v[i - 1], v[j]);
+    }
+  }
+
+  // Samples k distinct elements from [0, n) without replacement.
+  std::vector<int> sample_without_replacement(int n, int k);
+
+ private:
+  std::mt19937_64 engine_;
+};
+
+}  // namespace dqme

@@ -1,0 +1,39 @@
+// Lamport timestamps and request identities (paper §3.1).
+//
+// Every critical-section request carries a timestamp (sequence number, site
+// number). Priority order: smaller sequence number wins; ties broken by
+// smaller site number. ReqId(kMaxSeq, kMaxSeq-site) plays the paper's
+// "(max, max)" role: it compares lower-priority than any real request.
+#pragma once
+
+#include <compare>
+#include <ostream>
+
+#include "common/types.h"
+
+namespace dqme {
+
+struct ReqId {
+  SeqNum seq = kMaxSeq;
+  SiteId site = kNoSite;
+
+  // Higher priority == smaller in this ordering (priority queues and the
+  // paper's "<" comparisons both read naturally).
+  friend constexpr auto operator<=>(const ReqId& a, const ReqId& b) {
+    if (auto c = a.seq <=> b.seq; c != 0) return c;
+    return a.site <=> b.site;
+  }
+  friend constexpr bool operator==(const ReqId&, const ReqId&) = default;
+
+  constexpr bool valid() const { return site != kNoSite && seq != kMaxSeq; }
+
+  friend std::ostream& operator<<(std::ostream& os, const ReqId& r) {
+    if (!r.valid()) return os << "(max,max)";
+    return os << '(' << r.seq << ',' << r.site << ')';
+  }
+};
+
+// The paper's lock value "(max,max)": lower priority than every request.
+inline constexpr ReqId kNoRequest{};
+
+}  // namespace dqme

@@ -1,0 +1,23 @@
+// Basic identifier and time types shared by every dqme module.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+namespace dqme {
+
+// Identifies a site (a process and the machine it runs on, paper §2).
+// Sites are numbered 0..N-1. kNoSite marks "no site" / sentinel slots.
+using SiteId = int32_t;
+inline constexpr SiteId kNoSite = -1;
+
+// Lamport sequence numbers. 64 bits so they never wrap in a simulation.
+using SeqNum = uint64_t;
+inline constexpr SeqNum kMaxSeq = std::numeric_limits<SeqNum>::max();
+
+// Simulated time in integer ticks. Experiments use kTick = 1us, with the
+// mean one-way message delay T typically set to 1ms = 1000 ticks.
+using Time = int64_t;
+inline constexpr Time kMaxTime = std::numeric_limits<Time>::max();
+
+}  // namespace dqme

@@ -1,0 +1,434 @@
+#include "core/cao_singhal.h"
+
+#include <algorithm>
+
+namespace dqme::core {
+
+using net::Message;
+using net::MsgType;
+
+CaoSinghalSite::CaoSinghalSite(SiteId id, net::Network& net,
+                               const quorum::QuorumSystem& quorums,
+                               Options options)
+    : MutexSite(id, net),
+      opt_(options),
+      quorums_(quorums),
+      alive_(static_cast<size_t>(net.size()), true) {
+  DQME_CHECK(quorums.num_sites() == net.size());
+}
+
+void CaoSinghalSite::send_to(SiteId dst, std::vector<Message> msgs) {
+  DQME_CHECK(!msgs.empty());
+  if (opt_.piggyback) {
+    net().send_bundle(id(), dst, std::move(msgs));
+  } else {
+    for (Message& m : msgs) net().send(id(), dst, std::move(m));
+  }
+}
+
+// ------------------------------------------------------------- requesting
+
+void CaoSinghalSite::do_request() {
+  DQME_CHECK_MSG(!stalled_, "site " << id() << " is stalled (no quorum)");
+  if (opt_.fault_tolerant) {
+    auto q = quorums_.quorum_for_alive(id(), alive_);
+    if (!q) {
+      stalled_ = true;
+      abort_request();
+      return;
+    }
+    req_set_ = *q;
+  } else if (req_set_.empty()) {
+    req_set_ = quorums_.quorum_for(id());
+  }
+  begin_request();
+}
+
+// A.1: reset per-request state and ask every arbiter in req_set.
+void CaoSinghalSite::begin_request() {
+  my_req_ = ReqId{tick(), id()};
+  failed_ = false;
+  tran_stack_.clear();
+  inq_queue_.clear();
+  voted_.clear();
+  for (SiteId j : req_set_) {
+    voted_[j] = false;
+    net().send(id(), j, net::make_request(my_req_));
+  }
+}
+
+// Step B: enter once every arbiter's permission is held.
+void CaoSinghalSite::try_enter() {
+  if (!requesting()) return;
+  for (const auto& [arbiter, has] : voted_)
+    if (!has) return;
+  // Deferred inquires die here: the release at exit answers them (D2).
+  inq_queue_.clear();
+  enter_cs();
+}
+
+// A.6: a reply — direct from the arbiter, or forwarded by a proxy.
+void CaoSinghalSite::handle_reply(const Message& m) {
+  if (!requesting() || m.req != my_req_) {
+    note_stale_drop(MsgType::kReply);
+    return;
+  }
+  auto it = voted_.find(m.arbiter);
+  DQME_CHECK_MSG(it != voted_.end(),
+                 "reply for arbiter " << m.arbiter << " not in req_set of "
+                                      << id());
+  if (it->second) {  // duplicate grant would be a protocol error upstream
+    note_stale_drop(MsgType::kReply);
+    return;
+  }
+  it->second = true;
+  // "first check if there is any inquire that came from the same sender as
+  // that of the reply. If so, process this inquire."
+  auto q = std::find(inq_queue_.begin(), inq_queue_.end(), m.arbiter);
+  if (q != inq_queue_.end()) {
+    inq_queue_.erase(q);
+    process_inquire(m.arbiter);
+  }
+  try_enter();
+}
+
+// A.3 entry point.
+void CaoSinghalSite::handle_inquire(const Message& m) {
+  if (m.req != my_req_ || idle()) {
+    // Also covers "inquire arrives after we sent release": ignore (§3).
+    note_stale_drop(MsgType::kInquire);
+    return;
+  }
+  if (in_cs()) {
+    // D2: never yield from inside the CS; the release at exit answers it.
+    note_stale_drop(MsgType::kInquire);
+    return;
+  }
+  process_inquire(m.src);
+}
+
+// A.3 body, also re-run when the matching reply or a fail arrives.
+void CaoSinghalSite::process_inquire(SiteId arbiter) {
+  DQME_CHECK(requesting());
+  auto it = voted_.find(arbiter);
+  DQME_CHECK_MSG(it != voted_.end(),
+                 "inquire from non-arbiter " << arbiter << " at " << id());
+  if (it->second && failed_) {
+    // Give the permission back and cancel any forwarding duty we accepted
+    // on this arbiter's behalf.
+    it->second = false;
+    ++stats_.yields_sent;
+    std::erase_if(tran_stack_, [&](const TranEntry& e) {
+      return e.arbiter == arbiter;
+    });
+    net().send(id(), arbiter, net::make_yield(arbiter, my_req_));
+    return;
+  }
+  // Not resolvable yet: either the reply has not arrived (proxy channels —
+  // the case FIFO alone cannot order), or we are still hopeful (failed_ ==
+  // 0) and will answer when a fail arrives or at release.
+  if (std::find(inq_queue_.begin(), inq_queue_.end(), arbiter) ==
+      inq_queue_.end()) {
+    inq_queue_.push_back(arbiter);
+    ++stats_.inquires_deferred;
+  }
+}
+
+// A.7.
+void CaoSinghalSite::handle_fail(const Message& m) {
+  if (!requesting() || m.req != my_req_) {
+    note_stale_drop(MsgType::kFail);
+    return;
+  }
+  failed_ = true;
+  drain_inquire_queue();
+}
+
+void CaoSinghalSite::drain_inquire_queue() {
+  auto pending = std::move(inq_queue_);
+  inq_queue_.clear();
+  for (SiteId arbiter : pending) process_inquire(arbiter);
+}
+
+// A.5.
+void CaoSinghalSite::handle_transfer(const Message& m) {
+  if (idle() || m.req != my_req_) {
+    note_stale_drop(MsgType::kTransfer);
+    return;
+  }
+  auto it = voted_.find(m.arbiter);
+  DQME_CHECK(it != voted_.end());
+  if (!it->second) {
+    // Outdated (we yielded this permission) or early (the forwarded reply
+    // has not reached us). Both are discarded per A.5; in the early case
+    // the arbiter recovers through the release(i, max) path.
+    ++stats_.transfers_ignored;
+    return;
+  }
+  tran_stack_.push_back(TranEntry{m.target, m.arbiter});
+  ++stats_.transfers_accepted;
+}
+
+// Step C: exit protocol — forward replies as proxy, then notify arbiters.
+void CaoSinghalSite::do_release() {
+  const ReqId done = my_req_;
+  // C.1: honour the newest transfer per arbiter (stack order), discarding
+  // superseded ones from the same sender.
+  std::map<SiteId, ReqId> forwarded;  // arbiter -> request forwarded to
+  for (auto it = tran_stack_.rbegin(); it != tran_stack_.rend(); ++it)
+    forwarded.emplace(it->arbiter, it->target);
+  tran_stack_.clear();
+
+  // Group everything exit-bound by destination so replies forwarded on
+  // behalf of several arbiters to the same next entrant ride together.
+  std::map<SiteId, std::vector<Message>> out;
+  for (const auto& [arbiter, target] : forwarded) {
+    out[target.site].push_back(net::make_reply(arbiter, target));
+    ++stats_.replies_forwarded;
+  }
+  // C.2: release(i, j) tells the arbiter a reply went to S_j on its behalf;
+  // release(i, max) tells it nothing was forwarded.
+  for (SiteId j : req_set_) {
+    auto f = forwarded.find(j);
+    const ReqId fwd = f == forwarded.end() ? ReqId{} : f->second;
+    out[j].push_back(net::make_release(done, fwd));
+  }
+  for (auto& [dst, msgs] : out) send_to(dst, std::move(msgs));
+
+  my_req_ = ReqId{};
+  voted_.clear();
+  inq_queue_.clear();
+}
+
+// --------------------------------------------------------------- arbiter
+
+// A.2. The printed pseudocode garbles the fail rule; §5.2's per-case
+// message accounting (every contended case ships a fail) pins it down:
+// exactly one request per tenure is the arbiter's *favourite* — it beats
+// the lock holder and every waiter, and an inquire is outstanding for it.
+// Every other contended arrival is told it failed; a displaced favourite
+// (case 4) is told so the moment it is displaced. Without those fails a
+// holder can defer an inquire forever and the 2-cycle of §4's Theorem 2
+// proof deadlocks (see tests/cao_singhal_protocol_test.cpp).
+void CaoSinghalSite::handle_request(const Message& m) {
+  const ReqId r = m.req;
+  // A site issues requests one at a time, so an older queued request from
+  // the same site has been abandoned (§6 recovery) — supersede it.
+  std::erase_if(req_queue_, [&](const ReqId& q) { return q.site == r.site; });
+
+  if (!lock_.valid()) {
+    DQME_CHECK_MSG(req_queue_.empty(),
+                   "arbiter " << id() << " free but queue non-empty");
+    lock_ = r;
+    inquired_this_tenure_ = false;
+    ++case_stats_.grant_free;
+    ++stats_.replies_direct;
+    net().send(id(), r.site, net::make_reply(id(), r));
+    return;
+  }
+
+  const bool have_head = !req_queue_.empty();
+  const ReqId head = have_head ? *req_queue_.begin() : ReqId{};
+
+  if (r < lock_ && (!have_head || r < head)) {
+    // Cases 1 (queue empty), 5 (r < lock < head), 4 (r < head < lock):
+    // r is the new favourite. Ask the holder to yield (once per tenure)
+    // and re-point the proxy at r.
+    if (!have_head) {
+      ++case_stats_.c1_empty_higher;
+    } else if (head < lock_) {
+      // Case 4: the old favourite is displaced and learns it failed.
+      ++case_stats_.c4_displace_head;
+      net().send(id(), head.site, net::make_fail(id(), head));
+    } else {
+      ++case_stats_.c5_beats_lock;
+    }
+    std::vector<Message> bundle;
+    if (!inquired_this_tenure_) {
+      inquired_this_tenure_ = true;
+      bundle.push_back(net::make_inquire(id(), lock_));
+    }
+    if (opt_.proxy_transfer)
+      bundle.push_back(net::make_transfer(r, id(), lock_));
+    if (!bundle.empty()) send_to(lock_.site, std::move(bundle));
+  } else if (!have_head || r < head) {
+    // Cases 2 (queue empty) and 6 (lock < r < head): r is the best waiter
+    // but the holder outranks it. r fails — so it will yield elsewhere if
+    // inquired — yet the holder will still hand over to it directly at
+    // exit, which is where the delay-T handoff comes from.
+    if (!have_head)
+      ++case_stats_.c2_empty_lower;
+    else
+      ++case_stats_.c6_between;
+    net().send(id(), r.site, net::make_fail(id(), r));
+    if (opt_.proxy_transfer)
+      net().send(id(), lock_.site, net::make_transfer(r, id(), lock_));
+  } else {
+    // Case 3: r is not even the best waiter.
+    ++case_stats_.c3_fail_newcomer;
+    net().send(id(), r.site, net::make_fail(id(), r));
+  }
+  req_queue_.insert(r);
+}
+
+// Shared by A.4, release(i, max), and §6 unlock paths.
+void CaoSinghalSite::grant_next_from_queue() {
+  inquired_this_tenure_ = false;
+  if (req_queue_.empty()) {
+    lock_ = ReqId{};
+    return;
+  }
+  const ReqId head = *req_queue_.begin();
+  req_queue_.erase(req_queue_.begin());
+  lock_ = head;
+  std::vector<Message> bundle;
+  bundle.push_back(net::make_reply(id(), head));
+  ++stats_.replies_direct;
+  if (opt_.proxy_transfer && !req_queue_.empty())
+    bundle.push_back(net::make_transfer(*req_queue_.begin(), id(), head));
+  send_to(head.site, std::move(bundle));
+}
+
+void CaoSinghalSite::send_proxy_update() {
+  if (!lock_.valid() || req_queue_.empty()) return;
+  const ReqId head = *req_queue_.begin();
+  std::vector<Message> bundle;
+  // D6: a stale forward can install a lock holder that the queue head
+  // already outranks, with the in-flight superseding transfer lost. Restore
+  // the invariant that such a holder has an inquire outstanding, or the
+  // head could wait forever behind a blocked holder.
+  if (head < lock_ && !inquired_this_tenure_) {
+    inquired_this_tenure_ = true;
+    bundle.push_back(net::make_inquire(id(), lock_));
+  }
+  if (opt_.proxy_transfer)
+    bundle.push_back(net::make_transfer(head, id(), lock_));
+  if (!bundle.empty()) send_to(lock_.site, std::move(bundle));
+}
+
+// A.4.
+void CaoSinghalSite::handle_yield(const Message& m) {
+  if (!lock_.valid() || lock_ != m.req) {
+    note_stale_drop(MsgType::kYield);
+    return;
+  }
+  req_queue_.insert(lock_);  // the yielder still wants the CS
+  grant_next_from_queue();
+}
+
+// C at the arbiter (prose in §3.2; formal fragment in §6 case 3).
+void CaoSinghalSite::handle_release(const Message& m) {
+  if (!lock_.valid() || lock_ != m.req) {
+    // Not from our lock holder. A §6 recovery release for a queued (never
+    // granted) request scrubs the queue; anything else is stale.
+    auto it = req_queue_.find(m.req);
+    if (it == req_queue_.end()) {
+      note_stale_drop(MsgType::kRelease);
+      return;
+    }
+    const bool was_head = it == req_queue_.begin();
+    req_queue_.erase(it);
+    if (was_head) send_proxy_update();  // re-point the proxy
+    return;
+  }
+  if (m.target.valid()) {
+    // The holder forwarded our reply to m.target on our behalf.
+    auto it = req_queue_.find(m.target);
+    if (it != req_queue_.end()) {
+      req_queue_.erase(it);
+      lock_ = m.target;
+      inquired_this_tenure_ = false;
+      send_proxy_update();
+      return;
+    }
+    // The forwarded-to request is gone (crashed site scrubbed by §6, or it
+    // abandoned the request). The forwarded reply will be dropped as stale
+    // at its receiver; grant the next waiter ourselves.
+  }
+  grant_next_from_queue();
+}
+
+// ------------------------------------------------------ §6 fault tolerance
+
+void CaoSinghalSite::handle_failure_notice(const Message& m) {
+  if (!opt_.fault_tolerant) return;
+  const SiteId f = m.arbiter;
+  DQME_CHECK(0 <= f && f < net().size());
+  if (!alive_[static_cast<size_t>(f)]) return;  // duplicate notice
+  alive_[static_cast<size_t>(f)] = false;
+
+  // Arbiter side. Case 1: drop f's queued request, re-pointing the proxy
+  // if it was the favourite. Case 3: if f held our permission, grant on.
+  auto it = std::find_if(req_queue_.begin(), req_queue_.end(),
+                         [&](const ReqId& q) { return q.site == f; });
+  if (it != req_queue_.end()) {
+    const bool was_head = it == req_queue_.begin();
+    req_queue_.erase(it);
+    if (was_head && lock_.valid()) send_proxy_update();
+  }
+  if (lock_.valid() && lock_.site == f) grant_next_from_queue();
+
+  // Requester side. Case 2: forwarding duties toward f are void.
+  std::erase_if(tran_stack_,
+                [&](const TranEntry& e) { return e.target.site == f; });
+
+  // If f arbitrates for us, the current attempt cannot complete: release
+  // every claim this request holds and start over on a reconstructed
+  // quorum (the paper's "releases all the resources it has gotten, and
+  // executes the quorum construction algorithm to select another quorum").
+  if (requesting() &&
+      std::find(req_set_.begin(), req_set_.end(), f) != req_set_.end()) {
+    ++stats_.recoveries;
+    for (SiteId j : req_set_) {
+      if (j == f || !alive_[static_cast<size_t>(j)]) continue;
+      net().send(id(), j, net::make_release(my_req_, ReqId{}));
+    }
+    voted_.clear();
+    inq_queue_.clear();
+    tran_stack_.clear();
+    auto q = quorums_.quorum_for_alive(id(), alive_);
+    if (!q) {
+      stalled_ = true;
+      my_req_ = ReqId{};
+      abort_request();
+      return;
+    }
+    req_set_ = *q;
+    begin_request();
+  }
+}
+
+// ------------------------------------------------------------- dispatcher
+
+void CaoSinghalSite::on_message(const Message& m) {
+  observe(m.req.seq);
+  switch (m.type) {
+    case MsgType::kRequest:       handle_request(m);        break;
+    case MsgType::kReply:         handle_reply(m);          break;
+    case MsgType::kRelease:       handle_release(m);        break;
+    case MsgType::kInquire:       handle_inquire(m);        break;
+    case MsgType::kFail:          handle_fail(m);           break;
+    case MsgType::kYield:         handle_yield(m);          break;
+    case MsgType::kTransfer:      handle_transfer(m);       break;
+    case MsgType::kFailureNotice: handle_failure_notice(m); break;
+    default:
+      DQME_CHECK_MSG(false, "cao-singhal: unexpected " << m);
+  }
+}
+
+void CaoSinghalSite::debug_dump(std::ostream& os) const {
+  os << "site " << id() << " state="
+     << (idle() ? "idle" : requesting() ? "requesting" : "in_cs")
+     << " my_req=" << my_req_ << " failed=" << failed_;
+  os << " voted={";
+  for (const auto& [a, v] : voted_) os << a << ':' << v << ' ';
+  os << "} inq_q={";
+  for (SiteId a : inq_queue_) os << a << ' ';
+  os << "} tran_stack={";
+  for (const auto& e : tran_stack_) os << e.target << "@" << e.arbiter << ' ';
+  os << "} | arbiter lock=" << lock_ << " queue={";
+  for (const auto& r : req_queue_) os << r << ' ';
+  os << "} inquired=" << inquired_this_tenure_ << '\n';
+}
+
+}  // namespace dqme::core

@@ -1,0 +1,151 @@
+// The paper's contribution (§3): delay-optimal quorum-based mutual
+// exclusion.
+//
+// Where Maekawa's exiting site releases its arbiters (one hop) which then
+// reply to the next entrant (second hop — 2T), here each arbiter that sees
+// a waiting request sends the current permission holder a `transfer`. The
+// holder, on exiting the CS, forwards the arbiter's `reply` DIRECTLY to the
+// next entrant (one hop — T) and tells the arbiter what it did through a
+// parameterized `release(i, j | max)`.
+//
+// Message vocabulary and data structures follow §3.1 exactly:
+//   lock        — the request currently holding this arbiter's permission
+//   req_queue   — waiting requests, priority-ordered (Lamport timestamps)
+//   replied[]   — per-arbiter "I hold its permission" flags (voted_ here)
+//   failed      — set by a fail received or a yield sent
+//   inq_queue   — inquires that arrived before the matching reply (replies
+//                 may come through a proxy channel, so FIFO alone cannot
+//                 order them — the situation §3 calls out)
+//   tran_stack  — transfer obligations; only the latest per arbiter is
+//                 honoured at exit ("deletes the following entries ... from
+//                 the same sender")
+//
+// Reconstruction deviations from the (OCR-garbled) pseudocode are D1-D7 in
+// DESIGN.md. The §6 fault-tolerance layer is enabled with
+// AlgoOptions::fault_tolerant and a failure-adaptive quorum construction.
+#pragma once
+
+#include <map>
+#include <set>
+
+#include "mutex/factory.h"
+#include "mutex/mutex_site.h"
+#include "quorum/quorum_system.h"
+
+namespace dqme::core {
+
+struct CaoSinghalOptions {
+  bool proxy_transfer = true;   // false: E9 ablation — behaves Maekawa-like
+  bool piggyback = true;        // false: E9 ablation — bundles sent singly
+  bool fault_tolerant = false;  // §6 recovery layer
+};
+
+class CaoSinghalSite final : public mutex::MutexSite {
+ public:
+  using Options = CaoSinghalOptions;
+
+  // Arbiter-side classification of §5.2's heavy-load cases, for E8.
+  struct CaseStats {
+    uint64_t grant_free = 0;  // lock was (max,max): immediate reply
+    uint64_t c1_empty_higher = 0;    // queue empty, r beats lock
+    uint64_t c2_empty_lower = 0;     // queue empty, lock beats r
+    uint64_t c3_fail_newcomer = 0;   // r worse than head
+    uint64_t c4_displace_head = 0;   // r < head < lock
+    uint64_t c5_beats_lock = 0;      // r < lock < head
+    uint64_t c6_between = 0;         // lock < r < head
+    uint64_t total() const {
+      return grant_free + c1_empty_higher + c2_empty_lower +
+             c3_fail_newcomer + c4_displace_head + c5_beats_lock + c6_between;
+    }
+  };
+
+  struct ProtocolStats {
+    uint64_t yields_sent = 0;
+    uint64_t inquires_deferred = 0;  // inquire queued awaiting its reply
+    uint64_t transfers_accepted = 0; // pushed onto tran_stack
+    uint64_t transfers_ignored = 0;  // outdated transfer discarded (A.5)
+    uint64_t replies_forwarded = 0;  // replies sent on behalf of arbiters
+    uint64_t replies_direct = 0;     // replies sent as ourselves (arbiter)
+    uint64_t recoveries = 0;         // §6 quorum reconstructions
+  };
+
+  CaoSinghalSite(SiteId id, net::Network& net,
+                 const quorum::QuorumSystem& quorums,
+                 Options options = Options());
+
+  void on_message(const net::Message& m) override;
+
+  const std::vector<SiteId>& req_set() const { return req_set_; }
+  const CaseStats& case_stats() const { return case_stats_; }
+  const ProtocolStats& protocol_stats() const { return stats_; }
+  bool stalled() const { return stalled_; }
+  bool failed_flag() const { return failed_; }
+
+  // One-line state dump for debugging and tests.
+  void debug_dump(std::ostream& os) const;
+
+ private:
+  void do_request() override;
+  void do_release() override;
+  void begin_request();
+
+  // --- Requester-side handlers (A.3, A.5, A.6, A.7) ---
+  void handle_reply(const net::Message& m);
+  void handle_inquire(const net::Message& m);
+  void handle_fail(const net::Message& m);
+  void handle_transfer(const net::Message& m);
+  void process_inquire(SiteId arbiter);  // the body of A.3
+  void drain_inquire_queue();            // A.6/A.7 re-processing
+  void try_enter();                      // step B
+
+  // --- Arbiter-side handlers (A.2, A.4, C at the arbiter) ---
+  void handle_request(const net::Message& m);
+  void handle_yield(const net::Message& m);
+  void handle_release(const net::Message& m);
+  // Grants the queue head (reply piggybacked with a transfer for the next
+  // head, per A.4 / §6 case 3); clears the lock if the queue is empty.
+  void grant_next_from_queue();
+  // Re-points the proxy at the new queue head after the head changed, and
+  // (D6) restores the "head outranks lock => inquire outstanding" liveness
+  // invariant if a stale forward broke it.
+  void send_proxy_update();
+
+  // --- §6 fault tolerance ---
+  void handle_failure_notice(const net::Message& m);
+
+  // Sends `msgs` to `dst` as one wire message (or singly when the
+  // piggybacking ablation is on).
+  void send_to(SiteId dst, std::vector<net::Message> msgs);
+
+  Options opt_;
+  const quorum::QuorumSystem& quorums_;
+
+  // Requester state (per current request).
+  ReqId my_req_;
+  std::vector<SiteId> req_set_;
+  std::map<SiteId, bool> voted_;  // arbiter -> replied[arbiter]
+  bool failed_ = false;
+  std::vector<SiteId> inq_queue_;
+  struct TranEntry {
+    ReqId target;
+    SiteId arbiter;
+  };
+  std::vector<TranEntry> tran_stack_;  // back() is the top of the stack
+
+  // Arbiter state.
+  ReqId lock_;
+  std::set<ReqId> req_queue_;
+  // Whether an inquire was sent to the current lock holder during this
+  // tenure. One suffices: the holder's answer (yield or release) always
+  // serves the *best* waiter at that moment.
+  bool inquired_this_tenure_ = false;
+
+  // Fault tolerance.
+  std::vector<bool> alive_;
+  bool stalled_ = false;
+
+  CaseStats case_stats_;
+  ProtocolStats stats_;
+};
+
+}  // namespace dqme::core

@@ -1,0 +1,30 @@
+#include "core/failure_detector.h"
+
+#include "net/message.h"
+
+namespace dqme::core {
+
+void FailureDetector::attach(SiteId id, net::NetSite* site) {
+  DQME_CHECK(0 <= id && id < net_.size());
+  DQME_CHECK(site != nullptr);
+  sites_[static_cast<size_t>(id)] = site;
+}
+
+void FailureDetector::crash(SiteId victim) {
+  DQME_CHECK(0 <= victim && victim < net_.size());
+  DQME_CHECK_MSG(net_.alive(victim), "site " << victim << " already crashed");
+  net_.crash(victim);
+  for (SiteId s = 0; s < net_.size(); ++s) {
+    if (s == victim || !net_.alive(s)) continue;
+    net::NetSite* receiver = sites_[static_cast<size_t>(s)];
+    if (receiver == nullptr) continue;
+    const Time when =
+        latency_ + (jitter_ > 0 ? rng_.uniform_int(0, jitter_) : 0);
+    net_.simulator().schedule_after(when, [receiver, victim, this, s] {
+      // The receiver itself may have crashed in the meantime.
+      if (net_.alive(s)) receiver->on_message(net::make_failure_notice(victim));
+    });
+  }
+}
+
+}  // namespace dqme::core

@@ -1,0 +1,48 @@
+// Simulated failure detection for the §6 fault-tolerance layer.
+//
+// The paper assumes "when a site finds out that a site S_i has failed, it
+// broadcasts a failure(i) message". We model the end result: a perfect
+// (eventually-accurate, no false positives) detector that delivers a
+// failure notice to every live site some detection latency after the crash
+// — with per-site jitter, so sites act on inconsistent views for a while,
+// which is exactly the window the recovery protocol must survive.
+//
+// Notices are injected directly into the protocol sites rather than sent as
+// wire messages; detection cost is not part of the paper's message-count
+// model (E7 measures progress and recovery behaviour, not message counts).
+#pragma once
+
+#include <vector>
+
+#include "common/rng.h"
+#include "net/network.h"
+
+namespace dqme::core {
+
+class FailureDetector {
+ public:
+  // `jitter` spreads per-site notice delivery uniformly over
+  // [latency, latency + jitter].
+  FailureDetector(net::Network& net, Time latency, Time jitter, uint64_t seed)
+      : net_(net), latency_(latency), jitter_(jitter), rng_(seed) {
+    DQME_CHECK(latency >= 0 && jitter >= 0);
+  }
+
+  // Registers the receiver for notices addressed to site `id` (normally the
+  // protocol site itself).
+  void attach(SiteId id, net::NetSite* site);
+
+  // Crashes `victim` now: the network drops its traffic immediately and
+  // every other live site learns about it after the detection latency.
+  void crash(SiteId victim);
+
+ private:
+  net::Network& net_;
+  Time latency_;
+  Time jitter_;
+  Rng rng_;
+  std::vector<net::NetSite*> sites_{
+      std::vector<net::NetSite*>(static_cast<size_t>(net_.size()), nullptr)};
+};
+
+}  // namespace dqme::core

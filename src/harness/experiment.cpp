@@ -1,0 +1,157 @@
+#include "harness/experiment.h"
+
+#include <cmath>
+
+#include "harness/permission_auditor.h"
+#include "quorum/factory.h"
+
+namespace dqme::harness {
+
+namespace {
+
+std::unique_ptr<net::DelayModel> make_delay(const ExperimentConfig& cfg) {
+  const Time t = cfg.mean_delay;
+  switch (cfg.delay_kind) {
+    case ExperimentConfig::DelayKind::kConstant:
+      return std::make_unique<net::ConstantDelay>(t);
+    case ExperimentConfig::DelayKind::kUniform:
+      return std::make_unique<net::UniformDelay>(t / 2, t + t / 2);
+    case ExperimentConfig::DelayKind::kExponential:
+      return std::make_unique<net::ShiftedExponentialDelay>(
+          std::max<Time>(1, t / 10), t, 10 * t);
+    case ExperimentConfig::DelayKind::kClustered: {
+      std::vector<int> cluster_of(static_cast<size_t>(cfg.n));
+      for (int s = 0; s < cfg.n; ++s)
+        cluster_of[static_cast<size_t>(s)] = s % std::max(1, cfg.clusters);
+      return std::make_unique<net::ClusteredDelay>(
+          std::move(cluster_of), std::max<Time>(1, t / 5), t);
+    }
+  }
+  DQME_CHECK(false);
+  return nullptr;
+}
+
+}  // namespace
+
+ExperimentResult run_experiment(const ExperimentConfig& cfg) {
+  sim::Simulator sim;
+  net::Network network(sim, cfg.n, make_delay(cfg), cfg.seed * 7919 + 13);
+
+  std::unique_ptr<PermissionAuditor> auditor;
+  if (cfg.audit_permissions) {
+    DQME_CHECK_MSG(cfg.crashes.empty(),
+                   "the permission auditor is not crash-aware");
+    DQME_CHECK_MSG(mutex::algo_uses_quorum(cfg.algo),
+                   "permission auditing is for quorum algorithms");
+    auditor = std::make_unique<PermissionAuditor>(network);
+  }
+
+  std::unique_ptr<quorum::QuorumSystem> quorums;
+  if (mutex::algo_uses_quorum(cfg.algo))
+    quorums = quorum::make_quorum_system(cfg.quorum, cfg.n);
+
+  std::vector<std::unique_ptr<mutex::MutexSite>> sites;
+  std::vector<mutex::MutexSite*> raw;
+  sites.reserve(static_cast<size_t>(cfg.n));
+  for (SiteId id = 0; id < cfg.n; ++id) {
+    sites.push_back(
+        mutex::make_site(cfg.algo, id, network, quorums.get(), cfg.options));
+    network.attach(id, sites.back().get());
+    raw.push_back(sites.back().get());
+  }
+
+  Metrics metrics(network);
+  Workload::Config wl = cfg.workload;
+  wl.seed = cfg.seed * 104729 + 7;
+  Workload workload(sim, raw, wl, &metrics);
+
+  core::FailureDetector detector(network, cfg.detection_latency,
+                                 cfg.detection_jitter, cfg.seed * 31 + 5);
+  for (SiteId id = 0; id < cfg.n; ++id) detector.attach(id, raw[static_cast<size_t>(id)]);
+  for (const auto& crash : cfg.crashes) {
+    DQME_CHECK(0 <= crash.victim && crash.victim < cfg.n);
+    sim.schedule_at(crash.at, [&detector, &workload, victim = crash.victim] {
+      workload.halt_site(victim);
+      detector.crash(victim);
+    });
+  }
+
+  workload.start();
+  sim.run_until(cfg.warmup);
+  metrics.reset(sim.now());
+  sim.run_until(cfg.warmup + cfg.measure);
+
+  ExperimentResult res;
+  res.summary = metrics.summarize(sim.now());
+
+  // Drain: stop new demand, let in-flight requests finish, verify nothing
+  // is stuck. A protocol deadlock would leave outstanding demands (and,
+  // almost always, a non-empty request with an empty event queue).
+  workload.drain();
+  const Time drain_deadline =
+      sim.now() + 1000 * cfg.mean_delay + 100 * cfg.workload.cs_duration;
+  sim.run_until(drain_deadline);
+  res.drained_clean = workload.demands_outstanding() == 0;
+
+  res.demands_issued = workload.demands_issued();
+  res.demands_completed = workload.demands_completed();
+  res.demands_aborted = workload.demands_aborted();
+  if (quorums) res.mean_quorum_size = quorums->mean_quorum_size();
+  for (const auto& s : sites) {
+    res.stale_drops += s->stale_drops();
+    if (const auto* cs = dynamic_cast<const core::CaoSinghalSite*>(s.get())) {
+      const auto& c = cs->case_stats();
+      res.case_stats.grant_free += c.grant_free;
+      res.case_stats.c1_empty_higher += c.c1_empty_higher;
+      res.case_stats.c2_empty_lower += c.c2_empty_lower;
+      res.case_stats.c3_fail_newcomer += c.c3_fail_newcomer;
+      res.case_stats.c4_displace_head += c.c4_displace_head;
+      res.case_stats.c5_beats_lock += c.c5_beats_lock;
+      res.case_stats.c6_between += c.c6_between;
+      const auto& p = cs->protocol_stats();
+      res.protocol_stats.yields_sent += p.yields_sent;
+      res.protocol_stats.inquires_deferred += p.inquires_deferred;
+      res.protocol_stats.transfers_accepted += p.transfers_accepted;
+      res.protocol_stats.transfers_ignored += p.transfers_ignored;
+      res.protocol_stats.replies_forwarded += p.replies_forwarded;
+      res.protocol_stats.replies_direct += p.replies_direct;
+      res.protocol_stats.recoveries += p.recoveries;
+    }
+  }
+  res.sync_delay_in_t = res.summary.sync_delay_contended /
+                        static_cast<double>(cfg.mean_delay);
+  if (auditor) {
+    res.permission_violations = auditor->violations();
+    res.permission_grants_audited = auditor->grants_audited();
+  }
+  return res;
+}
+
+Replicated replicate(const ExperimentConfig& cfg, int replications,
+                     const std::function<double(const ExperimentResult&)>&
+                         metric) {
+  DQME_CHECK(replications >= 1);
+  std::vector<double> xs;
+  xs.reserve(static_cast<size_t>(replications));
+  for (int r = 0; r < replications; ++r) {
+    ExperimentConfig c = cfg;
+    c.seed = cfg.seed + static_cast<uint64_t>(r);
+    ExperimentResult res = run_experiment(c);
+    DQME_CHECK_MSG(res.summary.violations == 0,
+                   "mutual exclusion violated at seed " << c.seed);
+    DQME_CHECK_MSG(res.drained_clean,
+                   "requests left outstanding at seed " << c.seed);
+    xs.push_back(metric(res));
+  }
+  Replicated out;
+  for (double v : xs) out.mean += v;
+  out.mean /= static_cast<double>(xs.size());
+  if (xs.size() > 1) {
+    double ss = 0;
+    for (double v : xs) ss += (v - out.mean) * (v - out.mean);
+    out.sd = std::sqrt(ss / static_cast<double>(xs.size() - 1));
+  }
+  return out;
+}
+
+}  // namespace dqme::harness

@@ -1,0 +1,90 @@
+// One-call experiment runner: builds simulator + network + quorum system +
+// protocol sites + workload, runs warmup and a measurement window, then
+// drains and checks liveness (every issued demand completed — Theorems 2/3
+// checked empirically on every run).
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "core/cao_singhal.h"
+#include "core/failure_detector.h"
+#include "harness/metrics.h"
+#include "harness/workload.h"
+#include "mutex/factory.h"
+#include "quorum/quorum_system.h"
+
+namespace dqme::harness {
+
+struct ExperimentConfig {
+  mutex::Algo algo = mutex::Algo::kCaoSinghal;
+  int n = 25;
+  std::string quorum = "grid";
+
+  // kClustered: sites split into `clusters` groups; intra-cluster delay is
+  // mean_delay/5, cross-cluster is mean_delay (two-tier LAN/WAN).
+  enum class DelayKind { kConstant, kUniform, kExponential, kClustered };
+  DelayKind delay_kind = DelayKind::kConstant;
+  Time mean_delay = 1000;  // the paper's T, in ticks
+  int clusters = 4;        // for kClustered
+
+  Workload::Config workload;
+
+  Time warmup = 200'000;
+  Time measure = 2'000'000;
+  uint64_t seed = 1;
+
+  mutex::AlgoOptions options;
+
+  // Fault injection (§6 / E7): sites crashed at given instants. Detection
+  // notices reach every live site detection_latency (+ jitter) later.
+  struct Crash {
+    Time at;
+    SiteId victim;
+  };
+  std::vector<Crash> crashes;
+  Time detection_latency = 2000;
+  Time detection_jitter = 500;
+
+  // Attach the independent per-arbiter permission auditor (quorum
+  // algorithms, crash-free runs only — the auditor is not crash-aware).
+  bool audit_permissions = false;
+};
+
+struct ExperimentResult {
+  Summary summary;
+  double mean_quorum_size = 1;  // the paper's K (1 for non-quorum algos)
+  // Liveness: after draining, did every issued demand complete (or get
+  // written off by a crash)?
+  bool drained_clean = false;
+  uint64_t demands_issued = 0;
+  uint64_t demands_completed = 0;
+  uint64_t demands_aborted = 0;
+  uint64_t stale_drops = 0;  // across all sites
+  core::CaoSinghalSite::CaseStats case_stats;          // Cao-Singhal only
+  core::CaoSinghalSite::ProtocolStats protocol_stats;  // Cao-Singhal only
+
+  // Convenience: synchronization delay in units of T.
+  double sync_delay_in_t = 0;
+
+  // Permission-auditor results (when ExperimentConfig::audit_permissions).
+  uint64_t permission_violations = 0;
+  uint64_t permission_grants_audited = 0;
+};
+
+ExperimentResult run_experiment(const ExperimentConfig& cfg);
+
+// Mean and sample standard deviation of a metric across replications.
+struct Replicated {
+  double mean = 0;
+  double sd = 0;
+};
+
+// Runs `cfg` under `replications` different seeds (cfg.seed, cfg.seed+1,
+// ...) and aggregates `metric` over the runs. Every run is still checked:
+// a safety violation or unclean drain in ANY replication throws.
+Replicated replicate(const ExperimentConfig& cfg, int replications,
+                     const std::function<double(const ExperimentResult&)>&
+                         metric);
+
+}  // namespace dqme::harness

@@ -1,0 +1,132 @@
+#include "harness/metrics.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace dqme::harness {
+
+void Metrics::reset(Time now) {
+  base_ = net_.stats();
+  window_start_ = now;
+  // CS intervals already underway belong to the previous window.
+  for (auto& [site, entry] : open_) entry.counted = false;
+  // Occupancy and violation state deliberately survive the reset (safety is
+  // checked over the whole run); the aggregates start over.
+  have_exit_ = false;
+  completed_ = 0;
+  gap_sum_ = contended_gap_sum_ = 0;
+  gap_count_ = contended_gap_count_ = 0;
+  waiting_sum_ = waiting_max_ = queueing_sum_ = response_sum_ = 0;
+  per_site_completed_.assign(static_cast<size_t>(net_.size()), 0);
+  waiting_samples_.clear();
+}
+
+void Metrics::on_enter(SiteId site, Time now, Time demanded, Time requested) {
+  DQME_CHECK(demanded <= requested && requested <= now);
+  if (inside_ > 0) ++violations_;  // Theorem 1 would be broken
+  ++inside_;
+
+  if (have_exit_ && inside_ == 1 && now >= window_start_) {
+    const Time gap = now - last_exit_;
+    if (gap >= 0) {
+      gap_sum_ += static_cast<double>(gap);
+      ++gap_count_;
+      if (requested <= last_exit_) {
+        contended_gap_sum_ += static_cast<double>(gap);
+        ++contended_gap_count_;
+      }
+    }
+  }
+  open_.push_back({site, OpenEntry{demanded, requested, now,
+                                   now >= window_start_}});
+}
+
+void Metrics::on_exit(SiteId site, Time now) {
+  auto it = std::find_if(open_.begin(), open_.end(),
+                         [&](const auto& e) { return e.first == site; });
+  DQME_CHECK_MSG(it != open_.end(), "exit without enter at site " << site);
+  const OpenEntry e = it->second;
+  open_.erase(it);
+  --inside_;
+  have_exit_ = true;
+  last_exit_ = now;
+
+  if (!e.counted) return;  // entered during warmup
+  ++completed_;
+  ++per_site_completed_[static_cast<size_t>(site)];
+  const double wait = static_cast<double>(e.entered - e.requested);
+  waiting_sum_ += wait;
+  waiting_max_ = std::max(waiting_max_, wait);
+  if (waiting_samples_.size() < 100'000) waiting_samples_.push_back(wait);
+  queueing_sum_ += static_cast<double>(e.entered - e.demanded);
+  response_sum_ += static_cast<double>(now - e.demanded);
+}
+
+void Metrics::on_crash(SiteId site) {
+  auto it = std::find_if(open_.begin(), open_.end(),
+                         [&](const auto& e) { return e.first == site; });
+  if (it == open_.end()) return;
+  open_.erase(it);
+  --inside_;
+  // The CS ended abnormally; do not measure a synchronization gap off it.
+  have_exit_ = false;
+}
+
+Summary Metrics::summarize(Time now) const {
+  Summary s;
+  s.window = now - window_start_;
+  s.completed = completed_;
+  s.violations = violations_;
+  if (completed_ > 0) {
+    const auto& cur = net_.stats();
+    const double n = static_cast<double>(completed_);
+    s.wire_msgs_per_cs =
+        static_cast<double>(cur.wire_messages - base_.wire_messages) / n;
+    s.ctrl_msgs_per_cs =
+        static_cast<double>(cur.control_messages - base_.control_messages) /
+        n;
+    for (int t = 0; t < net::kNumMsgTypes; ++t)
+      s.per_type_per_cs[static_cast<size_t>(t)] =
+          static_cast<double>(cur.by_type[static_cast<size_t>(t)] -
+                              base_.by_type[static_cast<size_t>(t)]) /
+          n;
+    s.waiting_mean = waiting_sum_ / n;
+    s.waiting_max = waiting_max_;
+    s.queueing_mean = queueing_sum_ / n;
+    s.response_mean = response_sum_ / n;
+  }
+  if (gap_count_ > 0)
+    s.sync_delay_mean = gap_sum_ / static_cast<double>(gap_count_);
+  if (contended_gap_count_ > 0)
+    s.sync_delay_contended =
+        contended_gap_sum_ / static_cast<double>(contended_gap_count_);
+  s.contended_gaps = contended_gap_count_;
+  if (s.window > 0)
+    s.throughput = static_cast<double>(completed_) /
+                   static_cast<double>(s.window);
+  if (!waiting_samples_.empty()) {
+    std::vector<double> sorted = waiting_samples_;
+    std::sort(sorted.begin(), sorted.end());
+    auto pct = [&](double p) {
+      const size_t idx = static_cast<size_t>(
+          p * static_cast<double>(sorted.size() - 1) + 0.5);
+      return sorted[idx];
+    };
+    s.waiting_p50 = pct(0.50);
+    s.waiting_p95 = pct(0.95);
+    s.waiting_p99 = pct(0.99);
+  }
+  if (completed_ > 0) {
+    double sum = 0, sum_sq = 0;
+    for (uint64_t c : per_site_completed_) {
+      sum += static_cast<double>(c);
+      sum_sq += static_cast<double>(c) * static_cast<double>(c);
+    }
+    s.fairness_jain =
+        sum * sum / (static_cast<double>(per_site_completed_.size()) * sum_sq);
+  }
+  return s;
+}
+
+}  // namespace dqme::harness

@@ -1,0 +1,105 @@
+// Measurement layer for reproduction experiments.
+//
+// Tracks, over a measurement window:
+//   * CS completions, waiting / response times,
+//   * the paper's two headline metrics — wire messages per CS execution and
+//     synchronization delay (time from one site's CS exit to the next
+//     site's CS entry, reported in ticks; divide by T for the paper's
+//     units),
+//   * mutual exclusion violations (Theorem 1 checked at runtime: any
+//     overlapping CS intervals are counted, never silently tolerated).
+//
+// "Contended" synchronization delay counts only gaps where the entering
+// site had already requested before the previous exit — at light load raw
+// gaps are inter-arrival time, which §5.1 calls meaningless.
+#pragma once
+
+#include <array>
+
+#include "net/network.h"
+
+namespace dqme::harness {
+
+struct Summary {
+  Time window = 0;
+  uint64_t completed = 0;
+  uint64_t violations = 0;
+
+  double wire_msgs_per_cs = 0;
+  double ctrl_msgs_per_cs = 0;
+  std::array<double, net::kNumMsgTypes> per_type_per_cs{};
+
+  double sync_delay_mean = 0;       // all gaps
+  double sync_delay_contended = 0;  // gaps with a waiting next entrant
+  uint64_t contended_gaps = 0;
+
+  double waiting_mean = 0;   // request issued -> CS entered
+  double waiting_max = 0;
+  double waiting_p50 = 0;    // percentiles over up to 100k samples
+  double waiting_p95 = 0;
+  double waiting_p99 = 0;
+  double queueing_mean = 0;  // demand arrival -> CS entered (open loop)
+  double response_mean = 0;  // demand arrival -> CS exited
+
+  // CS executions per tick; multiply by T for the per-T throughput the
+  // paper's "doubled rate" claim is about.
+  double throughput = 0;
+
+  // Jain's fairness index over per-site completions in the window:
+  // (sum x)^2 / (n * sum x^2); 1.0 = perfectly even service. Meaningful
+  // when every site generates equal demand (closed loop) — Theorem 3 made
+  // quantitative.
+  double fairness_jain = 0;
+};
+
+class Metrics {
+ public:
+  explicit Metrics(net::Network& net) : net_(net) { reset(0); }
+
+  // Starts a fresh measurement window (discards warmup data).
+  void reset(Time now);
+
+  // `demanded` is when the application wanted the CS; `requested` when
+  // request_cs() was issued (they differ under open-loop local queueing).
+  void on_enter(SiteId site, Time now, Time demanded, Time requested);
+  void on_exit(SiteId site, Time now);
+  // The site crashed; if it was inside the CS its interval is discarded
+  // (a crashed holder never exits, and the next entry is not a violation).
+  void on_crash(SiteId site);
+
+  Summary summarize(Time now) const;
+
+  uint64_t violations() const { return violations_; }
+  int currently_inside() const { return inside_; }
+
+ private:
+  struct OpenEntry {
+    Time demanded, requested, entered;
+    bool counted;  // entered inside the window
+  };
+
+  net::Network& net_;
+  net::NetworkStats base_;
+  Time window_start_ = 0;
+
+  int inside_ = 0;
+  uint64_t violations_ = 0;
+  std::vector<std::pair<SiteId, OpenEntry>> open_;  // sites now in CS
+
+  bool have_exit_ = false;
+  Time last_exit_ = 0;
+
+  uint64_t completed_ = 0;
+  double gap_sum_ = 0;
+  uint64_t gap_count_ = 0;
+  double contended_gap_sum_ = 0;
+  uint64_t contended_gap_count_ = 0;
+  double waiting_sum_ = 0;
+  double waiting_max_ = 0;
+  double queueing_sum_ = 0;
+  double response_sum_ = 0;
+  std::vector<uint64_t> per_site_completed_;
+  std::vector<double> waiting_samples_;  // capped; percentile estimation
+};
+
+}  // namespace dqme::harness

@@ -1,0 +1,77 @@
+#include "harness/permission_auditor.h"
+
+#include <sstream>
+
+namespace dqme::harness {
+
+using net::Message;
+using net::MsgType;
+
+PermissionAuditor::PermissionAuditor(net::Network& net) {
+  auto previous = std::move(net.on_deliver);
+  net.on_deliver = [this, previous = std::move(previous)](const Message& m) {
+    observe(m);
+    if (previous) previous(m);
+  };
+}
+
+void PermissionAuditor::flag(const Message& m, const std::string& why) {
+  ++violations_;
+  if (reports_.size() < 16) {
+    std::ostringstream os;
+    os << why << " at delivery of " << m;
+    reports_.push_back(os.str());
+  }
+}
+
+void PermissionAuditor::observe(const Message& m) {
+  switch (m.type) {
+    case MsgType::kReply: {
+      // Grant of arbiter m.arbiter's permission to the requester m.req.
+      ArbiterView& a = arbiters_[m.arbiter];
+      ++grants_audited_;
+      const SiteId grantee = m.req.site;
+      if (m.src == m.arbiter) {
+        // Direct grant: the permission must be free.
+        if (a.holder != kNoSite && a.holder != grantee)
+          flag(m, "direct grant while permission held by site " +
+                      std::to_string(a.holder));
+        a.holder = grantee;
+      } else {
+        // Forwarded grant: only the current holder may forward — unless
+        // the matching release(holder, grantee) reached the arbiter first
+        // and already moved our view of the permission.
+        if (a.holder == m.src) {
+          a.holder = grantee;
+        } else if (a.holder == grantee) {
+          // release overtook the forwarded reply; already accounted.
+        } else {
+          flag(m, "forwarded grant from non-holder (holder is site " +
+                      std::to_string(a.holder) + ")");
+        }
+      }
+      break;
+    }
+    case MsgType::kYield: {
+      // The yielder returns m.arbiter's permission.
+      ArbiterView& a = arbiters_[m.arbiter];
+      if (a.holder == m.req.site) a.holder = kNoSite;
+      // else: stale yield, which the protocol drops — ignore.
+      break;
+    }
+    case MsgType::kRelease: {
+      // Releaser m.req.site tells arbiter m.dst what became of its
+      // permission: moved to m.target's site, or returned (max).
+      ArbiterView& a = arbiters_[m.dst];
+      if (a.holder == m.req.site)
+        a.holder = m.target.valid() ? m.target.site : kNoSite;
+      // else: stale release (already superseded) — the protocol ignores
+      // it, and so do we.
+      break;
+    }
+    default:
+      break;  // requests/fails/inquires/transfers don't move permissions
+  }
+}
+
+}  // namespace dqme::harness

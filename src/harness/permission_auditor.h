@@ -1,0 +1,55 @@
+// Independent safety auditor for quorum-permission protocols.
+//
+// The Metrics layer checks the END property (one site in the CS at a
+// time). This auditor checks the MECHANISM: for every arbiter j, at most
+// one request holds j's permission at any instant, reconstructed purely
+// from the delivered-message trace:
+//
+//   * a reply(arb=j) delivered to X grants j's permission to X — directly
+//     (src == j, legal only while j's permission is free) or forwarded
+//     (src == previous holder, legal only from that holder);
+//   * a yield(X) or release(X, max) delivered at j returns it;
+//   * a release(X, target) delivered at j records the forward (the grant
+//     itself is audited at the forwarded reply's delivery).
+//
+// A protocol bug that double-grants a permission is caught here even on
+// runs where quorum intersection happens to mask it from the CS-level
+// check. Not crash-aware: audit runs without fault injection.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "net/network.h"
+
+namespace dqme::harness {
+
+class PermissionAuditor {
+ public:
+  // Attaches to the network's delivery hook (chaining any existing hook).
+  explicit PermissionAuditor(net::Network& net);
+
+  uint64_t violations() const { return violations_; }
+  // First few violation descriptions, for diagnostics.
+  const std::vector<std::string>& reports() const { return reports_; }
+
+  // Grants audited (direct + forwarded) — proves the auditor saw traffic.
+  uint64_t grants_audited() const { return grants_audited_; }
+
+ private:
+  void observe(const net::Message& m);
+  void flag(const net::Message& m, const std::string& why);
+
+  struct ArbiterView {
+    // Site currently holding this arbiter's permission, kNoSite if free.
+    SiteId holder = kNoSite;
+  };
+
+  std::map<SiteId, ArbiterView> arbiters_;
+  uint64_t violations_ = 0;
+  uint64_t grants_audited_ = 0;
+  std::vector<std::string> reports_;
+};
+
+}  // namespace dqme::harness

@@ -1,0 +1,59 @@
+#include "harness/table.h"
+
+#include <algorithm>
+#include <iomanip>
+#include <sstream>
+
+#include "common/check.h"
+
+namespace dqme::harness {
+
+Table::Table(std::vector<std::string> headers)
+    : headers_(std::move(headers)) {
+  DQME_CHECK(!headers_.empty());
+}
+
+void Table::add_row(std::vector<std::string> cells) {
+  DQME_CHECK_MSG(cells.size() == headers_.size(),
+                 "row has " << cells.size() << " cells, expected "
+                            << headers_.size());
+  rows_.push_back(std::move(cells));
+}
+
+void Table::print(std::ostream& os) const {
+  std::vector<size_t> width(headers_.size());
+  for (size_t c = 0; c < headers_.size(); ++c) width[c] = headers_[c].size();
+  for (const auto& row : rows_)
+    for (size_t c = 0; c < row.size(); ++c)
+      width[c] = std::max(width[c], row[c].size());
+
+  auto line = [&](const std::vector<std::string>& cells) {
+    for (size_t c = 0; c < cells.size(); ++c)
+      os << (c == 0 ? "| " : " | ") << std::setw(static_cast<int>(width[c]))
+         << std::left << cells[c];
+    os << " |\n";
+  };
+  auto rule = [&] {
+    for (size_t c = 0; c < width.size(); ++c) {
+      os << (c == 0 ? "+-" : "-+-");
+      os << std::string(width[c], '-');
+    }
+    os << "-+\n";
+  };
+
+  rule();
+  line(headers_);
+  rule();
+  for (const auto& row : rows_) line(row);
+  rule();
+}
+
+std::string Table::num(double v, int precision) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(precision) << v;
+  return os.str();
+}
+
+std::string Table::integer(uint64_t v) { return std::to_string(v); }
+
+}  // namespace dqme::harness

@@ -1,0 +1,27 @@
+// Fixed-width ASCII tables for benches and examples — the reproduction
+// binaries print rows shaped like the paper's Table 1.
+#pragma once
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace dqme::harness {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  void add_row(std::vector<std::string> cells);
+  void print(std::ostream& os) const;
+
+  // Formatting helpers for cells.
+  static std::string num(double v, int precision = 2);
+  static std::string integer(uint64_t v);
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace dqme::harness

@@ -1,0 +1,150 @@
+#include "harness/workload.h"
+
+namespace dqme::harness {
+
+Workload::Workload(sim::Simulator& sim, std::vector<mutex::MutexSite*> sites,
+                   Config config, Metrics* metrics)
+    : sim_(sim), cfg_(config), rng_(config.seed), metrics_(metrics) {
+  DQME_CHECK(!sites.empty());
+  sites_.resize(sites.size());
+  for (size_t i = 0; i < sites.size(); ++i) {
+    SiteState& st = sites_[i];
+    st.site = sites[i];
+    DQME_CHECK(st.site->id() == static_cast<SiteId>(i));
+    st.site->on_enter = [this](SiteId id) { entered(id); };
+    st.site->on_abort = [this](SiteId id) { aborted(id); };
+  }
+}
+
+Time Workload::sample_cs_duration() {
+  if (cfg_.cs_duration <= 0) return 0;
+  return cfg_.exponential_cs ? rng_.exponential_time(cfg_.cs_duration)
+                             : cfg_.cs_duration;
+}
+
+void Workload::start() {
+  for (size_t i = 0; i < sites_.size(); ++i) {
+    const SiteId id = static_cast<SiteId>(i);
+    if (cfg_.mode == Config::Mode::kClosed) {
+      const Time stagger = rng_.uniform_int(0, 100);
+      sim_.schedule_after(stagger, [this, id] {
+        if (!draining_ && !sites_[static_cast<size_t>(id)].halted)
+          issue(id, sim_.now());
+      });
+    } else {
+      arrival(id);
+    }
+  }
+}
+
+void Workload::drain() { draining_ = true; }
+
+void Workload::halt_site(SiteId id) {
+  SiteState& st = sites_[static_cast<size_t>(id)];
+  if (st.halted) return;
+  st.halted = true;
+  if (metrics_ != nullptr && st.site->in_cs()) metrics_->on_crash(id);
+  // The in-flight demand and the backlog will never complete; write them
+  // off so liveness accounting stays exact.
+  if (st.busy) {
+    ++demands_aborted_;
+    st.busy = false;
+  }
+  demands_aborted_ += st.backlog.size();
+  st.backlog.clear();
+}
+
+void Workload::arrival(SiteId id) {
+  SiteState& st = sites_[static_cast<size_t>(id)];
+  if (st.halted || draining_) return;
+  double rate = cfg_.arrival_rate;
+  if (!cfg_.site_weights.empty()) {
+    DQME_CHECK(cfg_.site_weights.size() == sites_.size());
+    rate *= cfg_.site_weights[static_cast<size_t>(id)];
+    if (rate <= 0) return;  // weight 0: this site never demands the CS
+  }
+  const Time gap = rng_.exponential_time(static_cast<Time>(1.0 / rate));
+  sim_.schedule_after(gap, [this, id] {
+    SiteState& s = sites_[static_cast<size_t>(id)];
+    if (s.halted || draining_) return;
+    if (s.busy)
+      s.backlog.push_back(sim_.now());
+    else
+      issue(id, sim_.now());
+    arrival(id);
+  });
+}
+
+void Workload::issue(SiteId id, Time demanded) {
+  SiteState& st = sites_[static_cast<size_t>(id)];
+  DQME_CHECK(!st.busy);
+  st.busy = true;
+  st.demanded = demanded;
+  st.requested = sim_.now();
+  ++demands_issued_;
+  st.site->request_cs();
+}
+
+void Workload::entered(SiteId id) {
+  SiteState& st = sites_[static_cast<size_t>(id)];
+  if (metrics_ != nullptr)
+    metrics_->on_enter(id, sim_.now(), st.demanded, st.requested);
+  const Time hold = sample_cs_duration();
+  sim_.schedule_after(hold, [this, id] {
+    SiteState& s = sites_[static_cast<size_t>(id)];
+    if (s.halted) return;  // crashed while in CS: the release never happens
+    if (metrics_ != nullptr) metrics_->on_exit(id, sim_.now());
+    s.site->release_cs();
+    exited(id);
+  });
+}
+
+void Workload::exited(SiteId id) {
+  SiteState& st = sites_[static_cast<size_t>(id)];
+  st.busy = false;
+  ++demands_completed_;
+  ++st.completed;
+  next_demand(id);
+}
+
+void Workload::aborted(SiteId id) {
+  SiteState& st = sites_[static_cast<size_t>(id)];
+  DQME_CHECK(st.busy);
+  st.busy = false;
+  ++demands_aborted_;
+  // A stalled site (no quorum available) gets no further demand.
+  st.halted = true;
+  demands_aborted_ += st.backlog.size();
+  st.backlog.clear();
+}
+
+void Workload::next_demand(SiteId id) {
+  SiteState& st = sites_[static_cast<size_t>(id)];
+  if (st.halted) return;
+  if (cfg_.mode == Config::Mode::kClosed) {
+    if (draining_) return;
+    if (cfg_.max_cs_per_site > 0 && st.completed >= cfg_.max_cs_per_site)
+      return;
+    if (cfg_.think_time > 0) {
+      sim_.schedule_after(cfg_.think_time, [this, id] {
+        SiteState& s = sites_[static_cast<size_t>(id)];
+        if (!draining_ && !s.halted && !s.busy) issue(id, sim_.now());
+      });
+    } else {
+      // Re-request from a fresh event, not from inside release_cs().
+      sim_.schedule_after(0, [this, id] {
+        SiteState& s = sites_[static_cast<size_t>(id)];
+        if (!draining_ && !s.halted && !s.busy) issue(id, sim_.now());
+      });
+    }
+  } else if (!st.backlog.empty()) {
+    const Time demanded = st.backlog.front();
+    st.backlog.pop_front();
+    sim_.schedule_after(0, [this, id, demanded] {
+      SiteState& s = sites_[static_cast<size_t>(id)];
+      if (!s.halted && !s.busy) issue(id, demanded);
+    });
+  }
+}
+
+}  // namespace dqme::harness

@@ -1,0 +1,94 @@
+// Drives protocol sites with synthetic CS demand (paper §5's two regimes).
+//
+//   * Closed loop ("heavy load"): every site wants the CS again as soon as
+//     it leaves it (plus optional think time). With think_time = 0 this is
+//     §5.2's saturation: "a site that is waiting ... has enough time to
+//     obtain all reply messages except the reply from the site in the CS".
+//   * Open loop ("light load" and the λ sweeps): per-site Poisson arrivals
+//     with the given rate; demands queue locally because "a site executes
+//     its CS requests sequentially one by one" (§2).
+//
+// The workload is also the bookkeeper: it stamps demand/request/enter/exit
+// times into Metrics and knows how many demands are still in flight, which
+// is what the deadlock/starvation checks (Theorems 2/3) assert on.
+#pragma once
+
+#include <deque>
+
+#include "common/rng.h"
+#include "harness/metrics.h"
+#include "mutex/mutex_site.h"
+
+namespace dqme::harness {
+
+class Workload {
+ public:
+  struct Config {
+    enum class Mode { kClosed, kOpen };
+    Mode mode = Mode::kClosed;
+    Time cs_duration = 10;       // E
+    bool exponential_cs = false; // E ~ Exp(cs_duration) instead of constant
+    Time think_time = 0;         // closed loop: pause between CSs
+    double arrival_rate = 1e-4;  // open loop: demands per tick per site
+    // Optional per-site demand multipliers (open loop). Empty = uniform.
+    // E.g. {8,1,1,...} makes site 0 a hotspot with 8x the demand.
+    std::vector<double> site_weights;
+    uint64_t seed = 7;
+    // Closed loop: cap on CS executions per site (0 = unlimited). Used by
+    // tests that want bounded runs.
+    uint64_t max_cs_per_site = 0;
+  };
+
+  Workload(sim::Simulator& sim, std::vector<mutex::MutexSite*> sites,
+           Config config, Metrics* metrics);
+
+  // Begins issuing demand. Closed-loop start times are staggered uniformly
+  // over one mean message delay to avoid lock-step artifacts.
+  void start();
+
+  // Stops creating demand; already-issued demands run to completion.
+  void drain();
+
+  // Stops driving a site (crash experiments). Its in-flight demand is
+  // written off.
+  void halt_site(SiteId id);
+
+  uint64_t demands_issued() const { return demands_issued_; }
+  uint64_t demands_completed() const { return demands_completed_; }
+  uint64_t demands_aborted() const { return demands_aborted_; }
+  // Demands issued but neither completed nor written off.
+  uint64_t demands_outstanding() const {
+    return demands_issued_ - demands_completed_ - demands_aborted_;
+  }
+
+ private:
+  struct SiteState {
+    mutex::MutexSite* site = nullptr;
+    bool halted = false;
+    bool busy = false;           // a demand is requesting or in CS
+    Time demanded = 0;           // current demand's arrival time
+    Time requested = 0;
+    std::deque<Time> backlog;    // open loop: queued demand arrival times
+    uint64_t completed = 0;
+  };
+
+  void arrival(SiteId id);           // open loop Poisson process
+  void issue(SiteId id, Time demanded);
+  void entered(SiteId id);
+  void exited(SiteId id);
+  void aborted(SiteId id);
+  void next_demand(SiteId id);       // after a completion
+  Time sample_cs_duration();
+
+  sim::Simulator& sim_;
+  Config cfg_;
+  Rng rng_;
+  Metrics* metrics_;
+  std::vector<SiteState> sites_;
+  bool draining_ = false;
+  uint64_t demands_issued_ = 0;
+  uint64_t demands_completed_ = 0;
+  uint64_t demands_aborted_ = 0;
+};
+
+}  // namespace dqme::harness

@@ -1,0 +1,78 @@
+#include "mutex/factory.h"
+
+#include "core/cao_singhal.h"
+#include "mutex/lamport.h"
+#include "mutex/maekawa.h"
+#include "mutex/raymond.h"
+#include "mutex/ricart_agrawala.h"
+#include "mutex/roucairol_carvalho.h"
+#include "mutex/suzuki_kasami.h"
+
+namespace dqme::mutex {
+
+std::string_view to_string(Algo a) {
+  switch (a) {
+    case Algo::kLamport:           return "lamport";
+    case Algo::kRicartAgrawala:    return "ricart-agrawala";
+    case Algo::kRoucairolCarvalho: return "roucairol-carvalho";
+    case Algo::kMaekawa:           return "maekawa";
+    case Algo::kRaymond:           return "raymond";
+    case Algo::kSuzukiKasami:      return "suzuki-kasami";
+    case Algo::kCaoSinghal:        return "cao-singhal";
+    case Algo::kCaoSinghalNoProxy: return "cao-singhal-noproxy";
+  }
+  return "unknown";
+}
+
+Algo algo_from_string(const std::string& name) {
+  for (Algo a : all_algos())
+    if (to_string(a) == name) return a;
+  DQME_CHECK_MSG(false, "unknown algorithm: " << name);
+  return Algo::kCaoSinghal;  // unreachable
+}
+
+std::vector<Algo> all_algos() {
+  return {Algo::kLamport,           Algo::kRicartAgrawala,
+          Algo::kRoucairolCarvalho, Algo::kMaekawa,
+          Algo::kRaymond,           Algo::kSuzukiKasami,
+          Algo::kCaoSinghal,        Algo::kCaoSinghalNoProxy};
+}
+
+bool algo_uses_quorum(Algo a) {
+  return a == Algo::kMaekawa || a == Algo::kCaoSinghal ||
+         a == Algo::kCaoSinghalNoProxy;
+}
+
+std::unique_ptr<MutexSite> make_site(Algo algo, SiteId id, net::Network& net,
+                                     const quorum::QuorumSystem* quorums,
+                                     const AlgoOptions& options) {
+  if (algo_uses_quorum(algo))
+    DQME_CHECK_MSG(quorums != nullptr,
+                   to_string(algo) << " needs a quorum system");
+  switch (algo) {
+    case Algo::kLamport:
+      return std::make_unique<LamportSite>(id, net);
+    case Algo::kRicartAgrawala:
+      return std::make_unique<RicartAgrawalaSite>(id, net);
+    case Algo::kRoucairolCarvalho:
+      return std::make_unique<RoucairolCarvalhoSite>(id, net);
+    case Algo::kMaekawa:
+      return std::make_unique<MaekawaSite>(id, net, *quorums);
+    case Algo::kRaymond:
+      return std::make_unique<RaymondSite>(id, net);
+    case Algo::kSuzukiKasami:
+      return std::make_unique<SuzukiKasamiSite>(id, net);
+    case Algo::kCaoSinghal:
+    case Algo::kCaoSinghalNoProxy: {
+      core::CaoSinghalSite::Options o;
+      o.proxy_transfer = algo == Algo::kCaoSinghal;
+      o.piggyback = options.piggyback;
+      o.fault_tolerant = options.fault_tolerant;
+      return std::make_unique<core::CaoSinghalSite>(id, net, *quorums, o);
+    }
+  }
+  DQME_CHECK(false);
+  return nullptr;  // unreachable
+}
+
+}  // namespace dqme::mutex

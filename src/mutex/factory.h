@@ -1,0 +1,43 @@
+// Construction of protocol sites by algorithm name, used by the harness,
+// benches, and examples.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "mutex/mutex_site.h"
+#include "quorum/quorum_system.h"
+
+namespace dqme::mutex {
+
+enum class Algo {
+  kLamport,
+  kRicartAgrawala,
+  kRoucairolCarvalho,
+  kMaekawa,
+  kRaymond,
+  kSuzukiKasami,
+  kCaoSinghal,         // the paper's algorithm (src/core)
+  kCaoSinghalNoProxy,  // E9 ablation: transfer/proxy path disabled -> 2T
+};
+
+// Per-site protocol options (E9 ablations).
+struct AlgoOptions {
+  bool piggyback = true;       // piggyback inquire+transfer / reply+transfer
+  bool fault_tolerant = false; // enable the §6 recovery layer (Cao-Singhal)
+  Time failure_probe_interval = 0;  // reserved
+};
+
+std::string_view to_string(Algo a);
+Algo algo_from_string(const std::string& name);
+std::vector<Algo> all_algos();
+bool algo_uses_quorum(Algo a);
+
+// Creates one protocol endpoint. `quorums` may be null for the non-quorum
+// baselines and must outlive the site otherwise.
+std::unique_ptr<MutexSite> make_site(Algo algo, SiteId id, net::Network& net,
+                                     const quorum::QuorumSystem* quorums,
+                                     const AlgoOptions& options = {});
+
+}  // namespace dqme::mutex

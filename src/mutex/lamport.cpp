@@ -1,0 +1,67 @@
+#include "mutex/lamport.h"
+
+namespace dqme::mutex {
+
+using net::Message;
+using net::MsgType;
+
+LamportSite::LamportSite(SiteId id, net::Network& net)
+    : MutexSite(id, net),
+      replied_(static_cast<size_t>(net.size()), false) {}
+
+void LamportSite::do_request() {
+  my_req_ = ReqId{tick(), id()};
+  queue_.insert(my_req_);
+  std::fill(replied_.begin(), replied_.end(), false);
+  replies_needed_ = net().size() - 1;
+  for (SiteId j = 0; j < net().size(); ++j)
+    if (j != id()) net().send(id(), j, net::make_request(my_req_));
+  try_enter();  // N == 1 degenerates to local mutual exclusion
+}
+
+void LamportSite::do_release() {
+  queue_.erase(my_req_);
+  for (SiteId j = 0; j < net().size(); ++j)
+    if (j != id()) net().send(id(), j, net::make_release(my_req_, ReqId{}));
+  my_req_ = ReqId{};
+}
+
+void LamportSite::on_message(const Message& m) {
+  observe(m.req.seq);
+  switch (m.type) {
+    case MsgType::kRequest: {
+      queue_.insert(m.req);
+      Message reply = net::make_reply(id(), m.req);
+      reply.seq = tick();  // carries a clock value above the request's
+      net().send(id(), m.src, reply);
+      break;
+    }
+    case MsgType::kReply: {
+      if (!requesting() || m.req != my_req_) {
+        note_stale_drop();
+        break;
+      }
+      observe(m.seq);
+      if (!replied_[static_cast<size_t>(m.src)]) {
+        replied_[static_cast<size_t>(m.src)] = true;
+        --replies_needed_;
+      }
+      try_enter();
+      break;
+    }
+    case MsgType::kRelease: {
+      queue_.erase(m.req);
+      try_enter();
+      break;
+    }
+    default:
+      DQME_CHECK_MSG(false, "lamport: unexpected " << m);
+  }
+}
+
+void LamportSite::try_enter() {
+  if (!requesting() || replies_needed_ > 0) return;
+  if (!queue_.empty() && *queue_.begin() == my_req_) enter_cs();
+}
+
+}  // namespace dqme::mutex

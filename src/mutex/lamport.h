@@ -1,0 +1,32 @@
+// Lamport's timestamp-ordered mutual exclusion [6] (paper §1).
+//
+// Every site keeps a replica of the global request queue. To enter, a site
+// broadcasts request, waits for a reply from everyone (proof their clock
+// passed its timestamp), and enters when its request heads its local queue.
+// Exactly 3(N-1) messages per CS; synchronization delay T.
+#pragma once
+
+#include <set>
+
+#include "mutex/mutex_site.h"
+
+namespace dqme::mutex {
+
+class LamportSite final : public MutexSite {
+ public:
+  LamportSite(SiteId id, net::Network& net);
+
+  void on_message(const net::Message& m) override;
+
+ private:
+  void do_request() override;
+  void do_release() override;
+  void try_enter();
+
+  ReqId my_req_;
+  std::set<ReqId> queue_;        // replicated request queue (priority order)
+  std::vector<bool> replied_;    // reply received from each other site
+  int replies_needed_ = 0;
+};
+
+}  // namespace dqme::mutex

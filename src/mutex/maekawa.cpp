@@ -1,0 +1,173 @@
+#include "mutex/maekawa.h"
+
+#include <algorithm>
+
+namespace dqme::mutex {
+
+using net::Message;
+using net::MsgType;
+
+MaekawaSite::MaekawaSite(SiteId id, net::Network& net,
+                         const quorum::QuorumSystem& quorums)
+    : MutexSite(id, net), req_set_(quorums.quorum_for(id)) {
+  DQME_CHECK(!req_set_.empty());
+}
+
+void MaekawaSite::do_request() {
+  my_req_ = ReqId{tick(), id()};
+  failed_ = false;
+  pending_inquires_.clear();
+  voted_.clear();
+  for (SiteId j : req_set_) {
+    voted_[j] = false;
+    net().send(id(), j, net::make_request(my_req_));
+  }
+}
+
+void MaekawaSite::do_release() {
+  const ReqId done = my_req_;
+  my_req_ = ReqId{};
+  pending_inquires_.clear();
+  for (SiteId j : req_set_) net().send(id(), j, net::make_release(done, ReqId{}));
+}
+
+void MaekawaSite::on_message(const Message& m) {
+  observe(m.req.seq);
+  switch (m.type) {
+    case MsgType::kRequest: handle_request(m); break;
+    case MsgType::kReply:   handle_reply(m);   break;
+    case MsgType::kFail:    handle_fail(m);    break;
+    case MsgType::kInquire: handle_inquire(m); break;
+    case MsgType::kYield:   handle_yield(m);   break;
+    case MsgType::kRelease: handle_release(m); break;
+    case MsgType::kFailureNotice: break;  // baseline is not fault-tolerant
+    default:
+      DQME_CHECK_MSG(false, "maekawa: unexpected " << m);
+  }
+}
+
+// ---------------------------------------------------------------- requester
+
+void MaekawaSite::handle_reply(const Message& m) {
+  if (!requesting() || m.req != my_req_) {
+    note_stale_drop();
+    return;
+  }
+  voted_[m.src] = true;
+  try_enter();
+}
+
+void MaekawaSite::handle_fail(const Message& m) {
+  if (!requesting() || m.req != my_req_) {
+    note_stale_drop();
+    return;
+  }
+  failed_ = true;
+  // Any inquire we sat on can now be answered: we know we are blocked.
+  auto pending = std::move(pending_inquires_);
+  pending_inquires_.clear();
+  for (SiteId arbiter : pending) answer_inquire(arbiter);
+}
+
+void MaekawaSite::handle_inquire(const Message& m) {
+  if (!requesting() || m.req != my_req_) {
+    note_stale_drop();  // e.g. we already exited; release supersedes it
+    return;
+  }
+  answer_inquire(m.src);
+}
+
+void MaekawaSite::answer_inquire(SiteId arbiter) {
+  DQME_CHECK(requesting());
+  auto it = voted_.find(arbiter);
+  DQME_CHECK_MSG(it != voted_.end(), "inquire from non-arbiter " << arbiter);
+  if (!it->second) {
+    // Channels are FIFO and replies come only from the arbiter itself in
+    // Maekawa, so an inquire can't precede its reply — but it CAN arrive
+    // after we yielded this very lock; nothing to yield then.
+    note_stale_drop();
+    return;
+  }
+  if (failed_) {
+    it->second = false;
+    net().send(id(), arbiter, net::make_yield(arbiter, my_req_));
+  } else {
+    // Still hopeful: defer. If we enter the CS the release answers it; if a
+    // fail arrives the handler above yields.
+    pending_inquires_.push_back(arbiter);
+  }
+}
+
+void MaekawaSite::try_enter() {
+  if (!requesting()) return;
+  for (const auto& [arbiter, has] : voted_)
+    if (!has) return;
+  pending_inquires_.clear();  // answered implicitly by release at exit
+  enter_cs();
+}
+
+// ----------------------------------------------------------------- arbiter
+
+void MaekawaSite::grant(const ReqId& r) {
+  lock_ = r;
+  inquire_outstanding_ = false;
+  net().send(id(), r.site, net::make_reply(id(), r));
+}
+
+void MaekawaSite::grant_next_from_queue() {
+  if (req_queue_.empty()) {
+    lock_ = ReqId{};
+    inquire_outstanding_ = false;
+    return;
+  }
+  ReqId head = *req_queue_.begin();
+  req_queue_.erase(req_queue_.begin());
+  grant(head);
+}
+
+void MaekawaSite::handle_request(const Message& m) {
+  const ReqId r = m.req;
+  if (!lock_.valid()) {
+    DQME_CHECK(req_queue_.empty());
+    grant(r);
+    return;
+  }
+  // Exactly one *favourite* per tenure: a request that outranks the lock
+  // holder and every waiter, with an inquire outstanding for it. Everyone
+  // else is told it failed — including a favourite the moment it is
+  // displaced (without that fail the displaced site can defer another
+  // arbiter's inquire forever and deadlock; this is the classic correction
+  // to Maekawa's original algorithm).
+  const bool have_head = !req_queue_.empty();
+  const ReqId head = have_head ? *req_queue_.begin() : ReqId{};
+  if (r < lock_ && (!have_head || r < head)) {
+    if (have_head && head < lock_)
+      net().send(id(), head.site, net::make_fail(id(), head));
+    if (!inquire_outstanding_) {
+      inquire_outstanding_ = true;
+      net().send(id(), lock_.site, net::make_inquire(id(), lock_));
+    }
+  } else {
+    net().send(id(), r.site, net::make_fail(id(), r));
+  }
+  req_queue_.insert(r);
+}
+
+void MaekawaSite::handle_yield(const Message& m) {
+  if (!lock_.valid() || lock_ != m.req) {
+    note_stale_drop();
+    return;
+  }
+  req_queue_.insert(lock_);  // the yielder still wants the CS
+  grant_next_from_queue();
+}
+
+void MaekawaSite::handle_release(const Message& m) {
+  if (!lock_.valid() || lock_ != m.req) {
+    note_stale_drop();
+    return;
+  }
+  grant_next_from_queue();
+}
+
+}  // namespace dqme::mutex

@@ -1,0 +1,57 @@
+// Maekawa's quorum-based mutual exclusion [8] (paper §1) — the head-to-head
+// baseline. Each site locks only its quorum; deadlocks among crossing
+// quorums are resolved with inquire/fail/yield. 3(K-1) messages per CS at
+// light load, up to 5(K-1) at heavy load, and synchronization delay 2T: an
+// exiting site must release its arbiters, which then reply to the next
+// requester — two serial message hops.
+#pragma once
+
+#include <map>
+#include <set>
+
+#include "mutex/mutex_site.h"
+#include "quorum/quorum_system.h"
+
+namespace dqme::mutex {
+
+class MaekawaSite final : public MutexSite {
+ public:
+  MaekawaSite(SiteId id, net::Network& net,
+              const quorum::QuorumSystem& quorums);
+
+  void on_message(const net::Message& m) override;
+
+  const std::vector<SiteId>& req_set() const { return req_set_; }
+
+ private:
+  void do_request() override;
+  void do_release() override;
+
+  // Requester side.
+  void handle_reply(const net::Message& m);
+  void handle_fail(const net::Message& m);
+  void handle_inquire(const net::Message& m);
+  void answer_inquire(SiteId arbiter);
+  void try_enter();
+
+  // Arbiter side.
+  void handle_request(const net::Message& m);
+  void handle_yield(const net::Message& m);
+  void handle_release(const net::Message& m);
+  void grant(const ReqId& r);
+  void grant_next_from_queue();
+
+  // --- Requester state (current request) ---
+  ReqId my_req_;
+  std::vector<SiteId> req_set_;
+  std::map<SiteId, bool> voted_;     // arbiter -> has its lock
+  bool failed_ = false;
+  std::vector<SiteId> pending_inquires_;  // deferred until fail/entry known
+
+  // --- Arbiter state ---
+  ReqId lock_;                 // request currently holding this arbiter
+  std::set<ReqId> req_queue_;  // waiting requests, priority-ordered
+  bool inquire_outstanding_ = false;
+};
+
+}  // namespace dqme::mutex

@@ -1,0 +1,4 @@
+// MutexSite is header-only; this TU anchors its vtable.
+#include "mutex/mutex_site.h"
+
+namespace dqme::mutex {}

@@ -1,0 +1,119 @@
+// Base class for all mutual exclusion protocol sites.
+//
+// A MutexSite is one protocol endpoint: it owns the requester-side state of
+// its own CS requests and (for permission-based protocols) the arbiter-side
+// state for requests it votes on. The harness drives the public API:
+//
+//     site.request_cs();            // precondition: idle
+//     ... on_enter(id) fires ...    // site is now in the CS
+//     site.release_cs();            // precondition: in CS
+//
+// request_cs/release_cs/on_message must only be called from simulator
+// events; protocols are single-threaded within the simulation.
+#pragma once
+
+#include <array>
+#include <functional>
+
+#include "common/check.h"
+#include "common/timestamp.h"
+#include "common/types.h"
+#include "net/network.h"
+
+namespace dqme::mutex {
+
+class MutexSite : public net::NetSite {
+ public:
+  enum class State { kIdle, kRequesting, kInCS };
+
+  MutexSite(SiteId id, net::Network& net) : id_(id), net_(net) {
+    DQME_CHECK(0 <= id && id < net.size());
+  }
+
+  SiteId id() const { return id_; }
+  State state() const { return state_; }
+  bool idle() const { return state_ == State::kIdle; }
+  bool requesting() const { return state_ == State::kRequesting; }
+  bool in_cs() const { return state_ == State::kInCS; }
+
+  // Begins acquiring the CS. May fire on_enter synchronously (e.g. a token
+  // holder with no contention).
+  void request_cs() {
+    DQME_CHECK_MSG(idle(), "site " << id_ << " already has a request");
+    state_ = State::kRequesting;
+    do_request();
+  }
+
+  // Leaves the CS and hands permissions onward per the protocol.
+  void release_cs() {
+    DQME_CHECK_MSG(in_cs(), "site " << id_ << " is not in the CS");
+    state_ = State::kIdle;
+    do_release();
+  }
+
+  // Invoked at the instant the site enters the CS.
+  std::function<void(SiteId)> on_enter;
+
+  // Invoked if the site abandons its current request because no quorum can
+  // be formed (§6: the site "becomes inaccessible"). Only the fault-
+  // tolerant configuration ever fires this.
+  std::function<void(SiteId)> on_abort;
+
+  uint64_t cs_entries() const { return cs_entries_; }
+  // Messages dropped as stale/outdated (DESIGN.md D1). Diagnosable, not an
+  // error: the protocol prescribes ignoring them — e.g. a transfer or
+  // inquire that crosses the holder's release on the wire.
+  uint64_t stale_drops() const { return stale_drops_; }
+  uint64_t stale_drops(net::MsgType t) const {
+    return stale_by_type_[static_cast<size_t>(t)];
+  }
+
+ protected:
+  net::Network& net() { return net_; }
+  sim::Simulator& sim() { return net_.simulator(); }
+
+  // Subclasses call this when all permissions are assembled.
+  void enter_cs() {
+    DQME_CHECK_MSG(requesting(),
+                   "site " << id_ << " entering CS while not requesting");
+    state_ = State::kInCS;
+    ++cs_entries_;
+    if (on_enter) on_enter(id_);
+  }
+
+  void note_stale_drop() { ++stale_drops_; }
+  void note_stale_drop(net::MsgType t) {
+    ++stale_drops_;
+    ++stale_by_type_[static_cast<size_t>(t)];
+  }
+
+  // Abandons the in-flight request (fault-tolerance layer only).
+  void abort_request() {
+    DQME_CHECK(requesting());
+    state_ = State::kIdle;
+    if (on_abort) on_abort(id_);
+  }
+
+  // Lamport clock shared by timestamped protocols.
+  SeqNum tick() { return ++clock_; }
+  void observe(SeqNum seen) {
+    // kMaxSeq is the "(max,max)" sentinel carried by messages that do not
+    // pertain to a real request (e.g. deferred replies) — never a clock.
+    if (seen != kMaxSeq && seen > clock_) clock_ = seen;
+  }
+  SeqNum clock() const { return clock_; }
+
+  virtual void do_request() = 0;
+  virtual void do_release() = 0;
+
+ private:
+  SiteId id_;
+  net::Network& net_;
+  State state_ = State::kIdle;
+  uint64_t cs_entries_ = 0;
+  uint64_t stale_drops_ = 0;
+  std::array<uint64_t, net::kNumMsgTypes> stale_by_type_{};
+  SeqNum clock_ = 0;
+};
+
+}  // namespace dqme::mutex

@@ -1,0 +1,73 @@
+#include "mutex/raymond.h"
+
+#include <algorithm>
+
+namespace dqme::mutex {
+
+using net::Message;
+using net::MsgType;
+
+RaymondSite::RaymondSite(SiteId id, net::Network& net)
+    : MutexSite(id, net),
+      parent_(id == 0 ? kNoSite : (id - 1) / 2),
+      holder_(id == 0 ? id : parent_) {}
+
+void RaymondSite::do_request() {
+  request_q_.push_back(id());
+  assign_privilege();
+  make_request();
+}
+
+void RaymondSite::do_release() {
+  assign_privilege();
+  make_request();
+}
+
+// Passes the privilege to the head of the queue if we hold an idle token.
+void RaymondSite::assign_privilege() {
+  if (holder_ != id() || in_cs() || request_q_.empty()) return;
+  SiteId next = request_q_.front();
+  request_q_.pop_front();
+  asked_ = false;
+  if (next == id()) {
+    enter_cs();
+    return;
+  }
+  holder_ = next;
+  Message token;
+  token.type = MsgType::kToken;
+  net().send(id(), next, token);
+}
+
+// Asks the current holder direction for the token if we still need it.
+void RaymondSite::make_request() {
+  if (holder_ == id() || request_q_.empty() || asked_) return;
+  asked_ = true;
+  Message req;
+  req.type = MsgType::kTokenReq;
+  net().send(id(), holder_, req);
+}
+
+void RaymondSite::on_message(const Message& m) {
+  switch (m.type) {
+    case MsgType::kTokenReq: {
+      // A neighbour wants the token through us; remember it once.
+      if (std::find(request_q_.begin(), request_q_.end(), m.src) ==
+          request_q_.end())
+        request_q_.push_back(m.src);
+      assign_privilege();
+      make_request();
+      break;
+    }
+    case MsgType::kToken: {
+      holder_ = id();
+      assign_privilege();
+      make_request();
+      break;
+    }
+    default:
+      DQME_CHECK_MSG(false, "raymond: unexpected " << m);
+  }
+}
+
+}  // namespace dqme::mutex

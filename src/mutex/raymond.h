@@ -1,0 +1,40 @@
+// Raymond's tree-based token algorithm [12] (paper §1, Table 1).
+//
+// Sites form a static (logical) tree; the token lives at one site and every
+// other site's `holder_` points toward it. Requests travel up the holder
+// chain (O(log N) messages on a balanced tree) and the token flows back.
+// Average message cost O(log N) but the delay is also O(log N) hops — the
+// "long delay" class of algorithms the paper contrasts itself against.
+#pragma once
+
+#include <deque>
+
+#include "mutex/mutex_site.h"
+
+namespace dqme::mutex {
+
+class RaymondSite final : public MutexSite {
+ public:
+  // The tree is a complete binary tree over site ids (parent(i) = (i-1)/2);
+  // site 0 starts with the token.
+  RaymondSite(SiteId id, net::Network& net);
+
+  void on_message(const net::Message& m) override;
+
+  bool holds_token() const { return holder_ == id(); }
+
+ private:
+  void do_request() override;
+  void do_release() override;
+
+  // Raymond's two core procedures.
+  void assign_privilege();
+  void make_request();
+
+  SiteId parent_;
+  SiteId holder_;               // neighbour in the token's direction, or self
+  bool asked_ = false;          // sent a request toward holder already
+  std::deque<SiteId> request_q_;  // neighbours (or self) waiting for token
+};
+
+}  // namespace dqme::mutex

@@ -1,0 +1,55 @@
+#include "mutex/ricart_agrawala.h"
+
+namespace dqme::mutex {
+
+using net::Message;
+using net::MsgType;
+
+RicartAgrawalaSite::RicartAgrawalaSite(SiteId id, net::Network& net)
+    : MutexSite(id, net) {}
+
+void RicartAgrawalaSite::do_request() {
+  my_req_ = ReqId{tick(), id()};
+  pending_replies_ = net().size() - 1;
+  for (SiteId j = 0; j < net().size(); ++j)
+    if (j != id()) net().send(id(), j, net::make_request(my_req_));
+  if (pending_replies_ == 0) enter_cs();  // N == 1
+}
+
+void RicartAgrawalaSite::do_release() {
+  my_req_ = ReqId{};
+  for (SiteId j : deferred_) net().send(id(), j, net::make_reply(id(), ReqId{}));
+  deferred_.clear();
+}
+
+void RicartAgrawalaSite::on_message(const Message& m) {
+  observe(m.req.seq);
+  switch (m.type) {
+    case MsgType::kRequest: {
+      // Grant unless we are in the CS, or we are requesting with higher
+      // priority than the incoming request.
+      const bool we_win =
+          in_cs() || (requesting() && my_req_ < m.req);
+      if (we_win)
+        deferred_.push_back(m.src);
+      else
+        net().send(id(), m.src, net::make_reply(id(), m.req));
+      break;
+    }
+    case MsgType::kReply: {
+      if (!requesting()) {
+        note_stale_drop();
+        break;
+      }
+      // A reply can be a direct answer (req == my_req_) or a deferred one
+      // sent at the replier's exit (req invalid). Both are grants: a site
+      // only ever has one outstanding request, so no staleness is possible.
+      if (--pending_replies_ == 0) enter_cs();
+      break;
+    }
+    default:
+      DQME_CHECK_MSG(false, "ricart-agrawala: unexpected " << m);
+  }
+}
+
+}  // namespace dqme::mutex

@@ -1,0 +1,25 @@
+// Ricart-Agrawala mutual exclusion [13] (paper §1): Lamport's algorithm
+// with release merged into deferred replies — 2(N-1) messages per CS,
+// synchronization delay T.
+#pragma once
+
+#include "mutex/mutex_site.h"
+
+namespace dqme::mutex {
+
+class RicartAgrawalaSite final : public MutexSite {
+ public:
+  RicartAgrawalaSite(SiteId id, net::Network& net);
+
+  void on_message(const net::Message& m) override;
+
+ private:
+  void do_request() override;
+  void do_release() override;
+
+  ReqId my_req_;
+  int pending_replies_ = 0;
+  std::vector<SiteId> deferred_;  // requesters we owe a reply at exit
+};
+
+}  // namespace dqme::mutex

@@ -1,0 +1,39 @@
+// Carvalho-Roucairol dynamic-authorization mutual exclusion — the
+// "dynamic algorithm" of the paper's §1 survey: between 0 and 2(N-1)
+// messages per CS (averaging ~N-1 at light load), synchronization delay T.
+//
+// Ricart-Agrawala with memory: each pair of sites shares one
+// *authorization token*; a site that received your reply keeps your
+// standing permission until YOU next request. A site enters the CS when it
+// holds the token of every peer, so repeated requests by the same site
+// cost zero messages, and the worst case (a request having to collect and
+// defend every token) costs a request + reply per peer.
+#pragma once
+
+#include "mutex/mutex_site.h"
+
+namespace dqme::mutex {
+
+class RoucairolCarvalhoSite final : public MutexSite {
+ public:
+  RoucairolCarvalhoSite(SiteId id, net::Network& net);
+
+  void on_message(const net::Message& m) override;
+
+  // Whether this site currently holds peer `j`'s authorization.
+  bool holds_authorization(SiteId j) const {
+    return has_auth_[static_cast<size_t>(j)];
+  }
+
+ private:
+  void do_request() override;
+  void do_release() override;
+  void pass_token(SiteId to);
+
+  ReqId my_req_;
+  std::vector<bool> has_auth_;  // pairwise token: exactly one side holds it
+  std::vector<bool> deferred_;  // owed a reply at exit
+  int missing_ = 0;             // tokens still needed for the current request
+};
+
+}  // namespace dqme::mutex

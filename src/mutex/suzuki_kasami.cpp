@@ -1,0 +1,87 @@
+#include "mutex/suzuki_kasami.h"
+
+#include <algorithm>
+
+namespace dqme::mutex {
+
+using net::Message;
+using net::MsgType;
+
+SuzukiKasamiSite::SuzukiKasamiSite(SiteId id, net::Network& net)
+    : MutexSite(id, net), rn_(static_cast<size_t>(net.size()), 0) {
+  if (id == 0) {
+    token_ = std::make_shared<net::TokenPayload>();
+    token_->ln.assign(static_cast<size_t>(net.size()), 0);
+  }
+}
+
+void SuzukiKasamiSite::do_request() {
+  SeqNum sn = ++rn_[static_cast<size_t>(id())];
+  if (token_) {
+    enter_cs();
+    return;
+  }
+  Message req;
+  req.type = MsgType::kTokenReq;
+  req.req = ReqId{sn, id()};
+  req.seq = sn;
+  for (SiteId j = 0; j < net().size(); ++j)
+    if (j != id()) net().send(id(), j, req);
+}
+
+void SuzukiKasamiSite::do_release() {
+  DQME_CHECK(token_ != nullptr);
+  token_->ln[static_cast<size_t>(id())] = rn_[static_cast<size_t>(id())];
+  // Append every site with an outstanding (unserved) request.
+  for (SiteId j = 0; j < net().size(); ++j) {
+    if (j == id()) continue;
+    if (rn_[static_cast<size_t>(j)] == token_->ln[static_cast<size_t>(j)] + 1 &&
+        std::find(token_->queue.begin(), token_->queue.end(), j) ==
+            token_->queue.end())
+      token_->queue.push_back(j);
+  }
+  pass_token_if_due();
+}
+
+void SuzukiKasamiSite::pass_token_if_due() {
+  if (!token_ || in_cs() || token_->queue.empty()) return;
+  SiteId next = token_->queue.front();
+  token_->queue.pop_front();
+  Message tok;
+  tok.type = MsgType::kToken;
+  tok.token = std::move(token_);
+  token_ = nullptr;
+  net().send(id(), next, tok);
+}
+
+void SuzukiKasamiSite::on_message(const Message& m) {
+  switch (m.type) {
+    case MsgType::kTokenReq: {
+      auto j = static_cast<size_t>(m.src);
+      rn_[j] = std::max(rn_[j], m.seq);
+      // An idle token holder serves the request immediately.
+      if (token_ && idle() &&
+          rn_[j] == token_->ln[j] + 1) {
+        Message tok;
+        tok.type = MsgType::kToken;
+        tok.token = std::move(token_);
+        token_ = nullptr;
+        net().send(id(), m.src, tok);
+      }
+      break;
+    }
+    case MsgType::kToken: {
+      DQME_CHECK(m.token != nullptr);
+      DQME_CHECK(token_ == nullptr);
+      token_ = m.token;
+      DQME_CHECK_MSG(requesting(),
+                     "suzuki-kasami: token sent to a non-requesting site");
+      enter_cs();
+      break;
+    }
+    default:
+      DQME_CHECK_MSG(false, "suzuki-kasami: unexpected " << m);
+  }
+}
+
+}  // namespace dqme::mutex

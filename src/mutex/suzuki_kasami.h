@@ -1,0 +1,31 @@
+// Suzuki-Kasami broadcast token algorithm (paper §1's token-based class).
+//
+// A requester broadcasts its request number; the token carries, per site,
+// the number of its last served request plus a FIFO queue of waiting sites.
+// 0 messages when the requester already holds the token, otherwise N: N-1
+// request broadcasts plus one token transfer. Synchronization delay T.
+#pragma once
+
+#include "mutex/mutex_site.h"
+
+namespace dqme::mutex {
+
+class SuzukiKasamiSite final : public MutexSite {
+ public:
+  // Site 0 starts with the token.
+  SuzukiKasamiSite(SiteId id, net::Network& net);
+
+  void on_message(const net::Message& m) override;
+
+  bool holds_token() const { return token_ != nullptr; }
+
+ private:
+  void do_request() override;
+  void do_release() override;
+  void pass_token_if_due();
+
+  std::vector<SeqNum> rn_;  // highest request number seen per site
+  std::shared_ptr<net::TokenPayload> token_;  // non-null iff we hold it
+};
+
+}  // namespace dqme::mutex

@@ -1,0 +1,98 @@
+// Message propagation delay models (paper §2: "unpredictable, but it has an
+// upper bound"). The mean one-way delay is the paper's T; synchronization
+// delays are reported in multiples of it.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "common/check.h"
+#include "common/rng.h"
+#include "common/types.h"
+
+namespace dqme::net {
+
+class DelayModel {
+ public:
+  virtual ~DelayModel() = default;
+  // One-way propagation delay for a message src -> dst, in ticks (>= 1).
+  virtual Time sample(Rng& rng, SiteId src, SiteId dst) = 0;
+  // The mean delay T this model was configured with.
+  virtual Time mean() const = 0;
+};
+
+// Every message takes exactly T. The cleanest setting for measuring the
+// paper's "delay = T vs 2T" claims.
+class ConstantDelay final : public DelayModel {
+ public:
+  explicit ConstantDelay(Time t) : t_(t) { DQME_CHECK(t >= 1); }
+  Time sample(Rng&, SiteId, SiteId) override { return t_; }
+  Time mean() const override { return t_; }
+
+ private:
+  Time t_;
+};
+
+// Uniform in [lo, hi] — bounded jitter around T = (lo+hi)/2.
+class UniformDelay final : public DelayModel {
+ public:
+  UniformDelay(Time lo, Time hi) : lo_(lo), hi_(hi) {
+    DQME_CHECK(1 <= lo && lo <= hi);
+  }
+  Time sample(Rng& rng, SiteId, SiteId) override {
+    return rng.uniform_int(lo_, hi_);
+  }
+  Time mean() const override { return (lo_ + hi_) / 2; }
+
+ private:
+  Time lo_, hi_;
+};
+
+// min + Exp(mean - min), truncated at `cap` to honour the paper's
+// bounded-delay assumption. mean() reports the (approximate) overall mean.
+class ShiftedExponentialDelay final : public DelayModel {
+ public:
+  ShiftedExponentialDelay(Time min, Time mean, Time cap)
+      : min_(min), mean_(mean), cap_(cap) {
+    DQME_CHECK(1 <= min && min < mean && mean < cap);
+  }
+  Time sample(Rng& rng, SiteId, SiteId) override {
+    Time d = min_ + rng.exponential_time(mean_ - min_);
+    return d > cap_ ? cap_ : d;
+  }
+  Time mean() const override { return mean_; }
+
+ private:
+  Time min_, mean_, cap_;
+};
+
+// Two-tier topology: sites grouped into clusters; intra-cluster messages
+// are fast (LAN), cross-cluster slow (WAN). Both tiers get +/-25% uniform
+// jitter. Exercises the per-(src,dst) delay interface; the paper's model
+// only requires bounded delays, not uniform ones.
+class ClusteredDelay final : public DelayModel {
+ public:
+  // cluster_of[s] = cluster index of site s.
+  ClusteredDelay(std::vector<int> cluster_of, Time intra, Time inter)
+      : cluster_of_(std::move(cluster_of)), intra_(intra), inter_(inter) {
+    DQME_CHECK(1 <= intra && intra <= inter);
+    DQME_CHECK(!cluster_of_.empty());
+  }
+
+  Time sample(Rng& rng, SiteId src, SiteId dst) override {
+    const Time base = cluster_of_[static_cast<size_t>(src)] ==
+                              cluster_of_[static_cast<size_t>(dst)]
+                          ? intra_
+                          : inter_;
+    const Time jitter = base / 4;
+    return jitter > 0 ? rng.uniform_int(base - jitter, base + jitter) : base;
+  }
+  // A loose summary figure; per-pair means differ by design.
+  Time mean() const override { return (intra_ + inter_) / 2; }
+
+ private:
+  std::vector<int> cluster_of_;
+  Time intra_, inter_;
+};
+
+}  // namespace dqme::net

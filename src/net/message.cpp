@@ -1,0 +1,95 @@
+#include "net/message.h"
+
+namespace dqme::net {
+
+std::string_view to_string(MsgType t) {
+  switch (t) {
+    case MsgType::kRequest:       return "request";
+    case MsgType::kReply:         return "reply";
+    case MsgType::kRelease:       return "release";
+    case MsgType::kInquire:       return "inquire";
+    case MsgType::kFail:          return "fail";
+    case MsgType::kYield:         return "yield";
+    case MsgType::kTransfer:      return "transfer";
+    case MsgType::kTokenReq:      return "token_req";
+    case MsgType::kToken:         return "token";
+    case MsgType::kFailureNotice: return "failure";
+    case MsgType::kRead:          return "read";
+    case MsgType::kReadReply:     return "read_reply";
+    case MsgType::kWrite:         return "write";
+    case MsgType::kWriteAck:      return "write_ack";
+  }
+  return "unknown";
+}
+
+std::ostream& operator<<(std::ostream& os, const Message& m) {
+  os << to_string(m.type) << '[' << m.src << "->" << m.dst << " req=" << m.req;
+  if (m.arbiter != kNoSite) os << " arb=" << m.arbiter;
+  if (m.target.valid()) os << " tgt=" << m.target;
+  return os << ']';
+}
+
+Message make_request(ReqId req) {
+  Message m;
+  m.type = MsgType::kRequest;
+  m.req = req;
+  return m;
+}
+
+Message make_reply(SiteId arbiter, ReqId granted_req) {
+  Message m;
+  m.type = MsgType::kReply;
+  m.arbiter = arbiter;
+  m.req = granted_req;
+  return m;
+}
+
+Message make_release(ReqId releaser_req, ReqId forwarded_to) {
+  Message m;
+  m.type = MsgType::kRelease;
+  m.req = releaser_req;
+  m.target = forwarded_to;
+  return m;
+}
+
+Message make_inquire(SiteId arbiter, ReqId inquired_req) {
+  Message m;
+  m.type = MsgType::kInquire;
+  m.arbiter = arbiter;
+  m.req = inquired_req;
+  return m;
+}
+
+Message make_fail(SiteId arbiter, ReqId failed_req) {
+  Message m;
+  m.type = MsgType::kFail;
+  m.arbiter = arbiter;
+  m.req = failed_req;
+  return m;
+}
+
+Message make_yield(SiteId arbiter, ReqId yielder_req) {
+  Message m;
+  m.type = MsgType::kYield;
+  m.arbiter = arbiter;
+  m.req = yielder_req;
+  return m;
+}
+
+Message make_transfer(ReqId target_req, SiteId arbiter, ReqId holder_req) {
+  Message m;
+  m.type = MsgType::kTransfer;
+  m.target = target_req;
+  m.arbiter = arbiter;
+  m.req = holder_req;
+  return m;
+}
+
+Message make_failure_notice(SiteId failed_site) {
+  Message m;
+  m.type = MsgType::kFailureNotice;
+  m.arbiter = failed_site;
+  return m;
+}
+
+}  // namespace dqme::net

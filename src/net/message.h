@@ -1,0 +1,106 @@
+// Control messages exchanged by the mutual exclusion protocols.
+//
+// One tagged struct covers every protocol in the repo (paper §3.1 plus the
+// baselines). Fields are reused across types; the table below documents
+// which fields are meaningful for which type. Unused fields stay at their
+// defaults and are ignored by receivers.
+//
+//   type       | fields used
+//   -----------+-------------------------------------------------------------
+//   kRequest   | req (the requesting site's timestamp)
+//   kReply     | arbiter (whose permission is granted), req (request granted)
+//   kRelease   | req (releaser's request), target (request the releaser
+//              |   forwarded this arbiter's reply to; !valid() == "max",
+//              |   i.e. nothing was forwarded — paper's release(i,max))
+//   kInquire   | arbiter, req (request being inquired)
+//   kFail      | arbiter, req (request that failed)
+//   kYield     | arbiter (whose permission is returned), req (yielder's req)
+//   kTransfer  | arbiter, target (request to forward to), req (holder's
+//              |   request — validity guard, DESIGN.md D1/D3)
+//   kTokenReq  | req.site (requester), seq (request number) — token algos
+//   kToken     | token payload (Suzuki-Kasami) / no fields (Raymond)
+//   kFailureNotice | arbiter (= the site that failed) — §6 failure(i)
+//   kRead      | kv.key, seq (op id) — replica layer (§7 extension)
+//   kReadReply | kv (key/value/version), seq (op id)
+//   kWrite     | kv (key/value/version), seq (op id)
+//   kWriteAck  | kv.key, kv.version, seq (op id)
+//
+// Stale-message hardening (DESIGN.md D1): control messages carry the ReqId
+// of the request they pertain to, so receivers drop messages about finished
+// or superseded requests instead of relying solely on channel FIFO order.
+#pragma once
+
+#include <deque>
+#include <memory>
+#include <ostream>
+#include <string_view>
+#include <vector>
+
+#include "common/timestamp.h"
+#include "common/types.h"
+
+namespace dqme::net {
+
+enum class MsgType : uint8_t {
+  kRequest,
+  kReply,
+  kRelease,
+  kInquire,
+  kFail,
+  kYield,
+  kTransfer,
+  kTokenReq,
+  kToken,
+  kFailureNotice,
+  // Replica-control layer (§7 extension).
+  kRead,
+  kReadReply,
+  kWrite,
+  kWriteAck,
+};
+
+inline constexpr int kNumMsgTypes = 14;
+
+std::string_view to_string(MsgType t);
+
+// Token state shipped by token-based baselines (Suzuki-Kasami). Exactly one
+// site holds the token at a time; ownership moves with the message.
+struct TokenPayload {
+  std::vector<SeqNum> ln;    // LN[j]: seq number of j's last served request
+  std::deque<SiteId> queue;  // sites waiting for the token
+};
+
+// Replicated-data fields (§7 extension layer).
+struct KvFields {
+  int64_t key = 0;
+  int64_t value = 0;
+  int64_t version = 0;
+};
+
+struct Message {
+  MsgType type = MsgType::kRequest;
+  SiteId src = kNoSite;  // filled by Network::send
+  SiteId dst = kNoSite;  // filled by Network::send
+  ReqId req;             // request this message pertains to (see table)
+  SiteId arbiter = kNoSite;
+  ReqId target;
+  SeqNum seq = 0;
+  KvFields kv;
+  std::shared_ptr<TokenPayload> token;
+
+  friend std::ostream& operator<<(std::ostream& os, const Message& m);
+};
+
+// Constructors for the Cao-Singhal / Maekawa message vocabulary. They keep
+// protocol code close to the paper's notation: e.g. `transfer(k, j)` in the
+// paper is `make_transfer(target_req, arbiter, holder_req)` here.
+Message make_request(ReqId req);
+Message make_reply(SiteId arbiter, ReqId granted_req);
+Message make_release(ReqId releaser_req, ReqId forwarded_to);
+Message make_inquire(SiteId arbiter, ReqId inquired_req);
+Message make_fail(SiteId arbiter, ReqId failed_req);
+Message make_yield(SiteId arbiter, ReqId yielder_req);
+Message make_transfer(ReqId target_req, SiteId arbiter, ReqId holder_req);
+Message make_failure_notice(SiteId failed_site);
+
+}  // namespace dqme::net

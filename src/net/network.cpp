@@ -1,0 +1,99 @@
+#include "net/network.h"
+
+#include <utility>
+
+namespace dqme::net {
+
+Network::Network(sim::Simulator& sim, int n, std::unique_ptr<DelayModel> delay,
+                 uint64_t seed)
+    : sim_(sim),
+      delay_(std::move(delay)),
+      rng_(seed),
+      sites_(static_cast<size_t>(n), nullptr),
+      alive_(static_cast<size_t>(n), true),
+      last_delivery_(static_cast<size_t>(n) * static_cast<size_t>(n), 0) {
+  DQME_CHECK(n > 0);
+  DQME_CHECK(delay_ != nullptr);
+}
+
+void Network::attach(SiteId id, NetSite* site) {
+  DQME_CHECK(0 <= id && id < size());
+  DQME_CHECK(site != nullptr);
+  sites_[static_cast<size_t>(id)] = site;
+}
+
+void Network::send(SiteId src, SiteId dst, Message m) {
+  std::vector<Message> bundle;
+  bundle.push_back(std::move(m));
+  send_bundle(src, dst, std::move(bundle));
+}
+
+void Network::send_bundle(SiteId src, SiteId dst, std::vector<Message> bundle) {
+  DQME_CHECK(0 <= src && src < size());
+  DQME_CHECK(0 <= dst && dst < size());
+  DQME_CHECK(!bundle.empty());
+  for (Message& m : bundle) {
+    m.src = src;
+    m.dst = dst;
+  }
+
+  if (!alive_[static_cast<size_t>(src)]) return;  // crashed sites are silent
+
+  if (src == dst) {
+    // Local short-circuit: delivered as a fresh event (never inline, so a
+    // site's handler is never re-entered), with no wire cost.
+    stats_.local_deliveries += bundle.size();
+    sim_.schedule_after(0, [this, bundle = std::move(bundle)]() {
+      for (const Message& m : bundle) deliver(m);
+    });
+    return;
+  }
+
+  stats_.wire_messages += 1;
+  stats_.control_messages += bundle.size();
+  for (const Message& m : bundle)
+    stats_.by_type[static_cast<size_t>(m.type)] += 1;
+
+  const size_t chan = static_cast<size_t>(src) * static_cast<size_t>(size()) +
+                      static_cast<size_t>(dst);
+  Time at = sim_.now() + delay_->sample(rng_, src, dst);
+  // FIFO floor: never deliver before anything previously sent on the
+  // channel. Equal instants are fine — the simulator breaks ties in
+  // scheduling order, which equals sending order.
+  if (at < last_delivery_[chan]) at = last_delivery_[chan];
+  last_delivery_[chan] = at;
+
+  sim_.schedule_at(at, [this, bundle = std::move(bundle)]() {
+    for (const Message& m : bundle) deliver(m);
+  });
+}
+
+void Network::deliver(const Message& m) {
+  if (!alive_[static_cast<size_t>(m.dst)] ||
+      !alive_[static_cast<size_t>(m.src)]) {
+    // Fail-silent crash semantics: a message from/to a crashed site
+    // evaporates. (Messages a site sent *before* crashing are still
+    // delivered in reality; we drop those too, which is the conservative
+    // choice for the §6 recovery protocol — it must not depend on them.)
+    stats_.dropped_at_crashed += 1;
+    return;
+  }
+  if (on_deliver) on_deliver(m);
+  NetSite* site = sites_[static_cast<size_t>(m.dst)];
+  DQME_CHECK_MSG(site != nullptr, "no receiver attached for site " << m.dst);
+  site->on_message(m);
+}
+
+void Network::crash(SiteId id) {
+  DQME_CHECK(0 <= id && id < size());
+  alive_[static_cast<size_t>(id)] = false;
+}
+
+int Network::alive_count() const {
+  int n = 0;
+  for (bool a : alive_)
+    if (a) ++n;
+  return n;
+}
+
+}  // namespace dqme::net

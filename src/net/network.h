@@ -1,0 +1,94 @@
+// Simulated fully-connected message-passing network (paper §2).
+//
+// Guarantees, matching the paper's system model:
+//   * reliable delivery between live sites,
+//   * per-(src,dst) FIFO: messages are delivered in the order sent,
+//   * unpredictable but bounded delay, drawn from a DelayModel.
+//
+// Accounting, matching the paper's cost model (§5): a *bundle* of control
+// messages sent together (piggybacked) occupies one wire message — "a
+// control message piggybacked with another message is counted as one
+// message". Messages a site addresses to itself are delivered immediately
+// and are not counted: the paper's complexity figures (e.g. 3(K-1)) exclude
+// the requester's own quorum slot.
+//
+// Fault injection (§6): crash(site) makes a site fail silently — everything
+// addressed to it (or sent by it) from that instant on is dropped.
+#pragma once
+
+#include <array>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "common/rng.h"
+#include "net/delay_model.h"
+#include "net/message.h"
+#include "sim/simulator.h"
+
+namespace dqme::net {
+
+// Anything that can receive messages from the network.
+class NetSite {
+ public:
+  virtual ~NetSite() = default;
+  virtual void on_message(const Message& m) = 0;
+};
+
+struct NetworkStats {
+  uint64_t wire_messages = 0;     // bundles put on the wire (paper's count)
+  uint64_t control_messages = 0;  // control messages incl. piggybacked ones
+  std::array<uint64_t, kNumMsgTypes> by_type{};
+  uint64_t dropped_at_crashed = 0;  // deliveries suppressed by a crash
+  uint64_t local_deliveries = 0;    // src == dst short-circuits (uncounted)
+
+  uint64_t count(MsgType t) const {
+    return by_type[static_cast<size_t>(t)];
+  }
+};
+
+class Network {
+ public:
+  Network(sim::Simulator& sim, int n, std::unique_ptr<DelayModel> delay,
+          uint64_t seed);
+
+  int size() const { return static_cast<int>(sites_.size()); }
+  sim::Simulator& simulator() { return sim_; }
+  Time mean_delay() const { return delay_->mean(); }
+
+  // Registers the receiver for site `id`. Must happen before any delivery
+  // to `id`; re-attaching replaces the receiver (used by wrappers).
+  void attach(SiteId id, NetSite* site);
+
+  // Sends one control message as one wire message.
+  void send(SiteId src, SiteId dst, Message m);
+
+  // Sends several control messages piggybacked as one wire message. They
+  // are delivered back-to-back, in order, at the same instant.
+  void send_bundle(SiteId src, SiteId dst, std::vector<Message> bundle);
+
+  // Crashes a site: fail-silent from now on. Messages already in flight
+  // toward it are dropped on arrival.
+  void crash(SiteId id);
+  bool alive(SiteId id) const { return alive_[static_cast<size_t>(id)]; }
+  int alive_count() const;
+
+  const NetworkStats& stats() const { return stats_; }
+
+  // Trace hook: invoked for every control message at delivery time, before
+  // the receiving site sees it. Used by tests and the metrics layer.
+  std::function<void(const Message&)> on_deliver;
+
+ private:
+  void deliver(const Message& m);
+
+  sim::Simulator& sim_;
+  std::unique_ptr<DelayModel> delay_;
+  Rng rng_;
+  std::vector<NetSite*> sites_;
+  std::vector<bool> alive_;
+  std::vector<Time> last_delivery_;  // FIFO floor per (src,dst)
+  NetworkStats stats_;
+};
+
+}  // namespace dqme::net

@@ -1,0 +1,42 @@
+#include "net/trace.h"
+
+#include <iomanip>
+
+namespace dqme::net {
+
+TraceRecorder::TraceRecorder(Network& net, size_t capacity)
+    : sim_(net.simulator()), capacity_(capacity) {
+  DQME_CHECK(capacity > 0);
+  auto previous = std::move(net.on_deliver);
+  net.on_deliver = [this, previous = std::move(previous)](const Message& m) {
+    if (events_.size() == capacity_) {
+      events_.pop_front();
+      ++dropped_;
+    }
+    events_.push_back(TraceEvent{sim_.now(), m});
+    if (previous) previous(m);
+  };
+}
+
+std::deque<TraceEvent> TraceRecorder::filter(
+    const std::function<bool(const TraceEvent&)>& pred) const {
+  std::deque<TraceEvent> out;
+  for (const TraceEvent& e : events_)
+    if (pred(e)) out.push_back(e);
+  return out;
+}
+
+void TraceRecorder::print(std::ostream& os) const {
+  if (dropped_ > 0)
+    os << "... (" << dropped_ << " earlier events dropped)\n";
+  for (const TraceEvent& e : events_)
+    os << std::setw(10) << e.at << "  " << e.msg << '\n';
+}
+
+size_t TraceRecorder::count(MsgType t) const {
+  size_t n = 0;
+  for (const TraceEvent& e : events_) n += e.msg.type == t ? 1 : 0;
+  return n;
+}
+
+}  // namespace dqme::net

@@ -1,0 +1,50 @@
+// Message trace capture.
+//
+// A TraceRecorder hooks Network::on_deliver and keeps a bounded record of
+// every control message with its delivery time. Protocol tests replay or
+// grep traces; tools/dqme_trace prints them as a timeline. Recording is
+// opt-in and zero-cost when not attached.
+#pragma once
+
+#include <deque>
+#include <functional>
+#include <ostream>
+#include <string>
+
+#include "net/network.h"
+
+namespace dqme::net {
+
+struct TraceEvent {
+  Time at = 0;
+  Message msg;
+};
+
+class TraceRecorder {
+ public:
+  // Attaches to `net`, chaining any hook already installed. `capacity`
+  // bounds memory: older events are dropped first.
+  TraceRecorder(Network& net, size_t capacity = 100'000);
+
+  const std::deque<TraceEvent>& events() const { return events_; }
+  size_t dropped() const { return dropped_; }
+  void clear() { events_.clear(); }
+
+  // Events matching a predicate (e.g. one message type, one site).
+  std::deque<TraceEvent> filter(
+      const std::function<bool(const TraceEvent&)>& pred) const;
+
+  // Human-readable timeline: "     1234  transfer[3->0 ...]".
+  void print(std::ostream& os) const;
+
+  // Counts events of one type (convenience for assertions).
+  size_t count(MsgType t) const;
+
+ private:
+  sim::Simulator& sim_;
+  size_t capacity_;
+  size_t dropped_ = 0;
+  std::deque<TraceEvent> events_;
+};
+
+}  // namespace dqme::net

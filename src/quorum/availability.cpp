@@ -1,0 +1,43 @@
+#include "quorum/availability.h"
+
+#include <cmath>
+
+#include "common/check.h"
+
+namespace dqme::quorum {
+
+double exact_availability(const QuorumSystem& qs, double site_up_prob) {
+  const int n = qs.num_sites();
+  DQME_CHECK_MSG(n <= 24, "exact availability is exponential in N; N=" << n);
+  DQME_CHECK(0.0 <= site_up_prob && site_up_prob <= 1.0);
+  const double q = site_up_prob;
+  double total = 0.0;
+  std::vector<bool> alive(static_cast<size_t>(n));
+  for (uint32_t mask = 0; mask < (1u << n); ++mask) {
+    int up = 0;
+    for (int s = 0; s < n; ++s) {
+      bool a = (mask >> s) & 1u;
+      alive[static_cast<size_t>(s)] = a;
+      up += a ? 1 : 0;
+    }
+    if (!qs.available(alive)) continue;
+    total += std::pow(q, up) * std::pow(1.0 - q, n - up);
+  }
+  return total;
+}
+
+double mc_availability(const QuorumSystem& qs, double site_up_prob,
+                       int samples, Rng& rng) {
+  DQME_CHECK(samples > 0);
+  const int n = qs.num_sites();
+  std::vector<bool> alive(static_cast<size_t>(n));
+  int ok = 0;
+  for (int it = 0; it < samples; ++it) {
+    for (int s = 0; s < n; ++s)
+      alive[static_cast<size_t>(s)] = rng.bernoulli(site_up_prob);
+    if (qs.available(alive)) ++ok;
+  }
+  return static_cast<double>(ok) / samples;
+}
+
+}  // namespace dqme::quorum

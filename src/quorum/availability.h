@@ -1,0 +1,19 @@
+// Availability analysis for quorum systems (paper §6, experiment E7):
+// the probability that a quorum can still be formed when each site is
+// independently up with probability 1 - p.
+#pragma once
+
+#include "common/rng.h"
+#include "quorum/quorum_system.h"
+
+namespace dqme::quorum {
+
+// Exact availability by enumerating all 2^N failure patterns. Only for
+// small N (guarded at N <= 24).
+double exact_availability(const QuorumSystem& qs, double site_up_prob);
+
+// Monte-Carlo availability estimate over `samples` iid failure patterns.
+double mc_availability(const QuorumSystem& qs, double site_up_prob,
+                       int samples, Rng& rng);
+
+}  // namespace dqme::quorum

@@ -1,0 +1,75 @@
+#include "quorum/coterie.h"
+
+#include <algorithm>
+#include <sstream>
+
+namespace dqme::quorum {
+
+bool is_valid_quorum(const Quorum& q, int n) {
+  if (q.empty()) return false;
+  for (size_t i = 0; i < q.size(); ++i) {
+    if (q[i] < 0 || q[i] >= n) return false;
+    if (i > 0 && q[i] <= q[i - 1]) return false;
+  }
+  return true;
+}
+
+bool intersects(const Quorum& a, const Quorum& b) {
+  size_t i = 0, j = 0;
+  while (i < a.size() && j < b.size()) {
+    if (a[i] == b[j]) return true;
+    if (a[i] < b[j]) ++i; else ++j;
+  }
+  return false;
+}
+
+bool is_subset(const Quorum& a, const Quorum& b) {
+  return std::includes(b.begin(), b.end(), a.begin(), a.end());
+}
+
+void normalize(Quorum& q) {
+  std::sort(q.begin(), q.end());
+  q.erase(std::unique(q.begin(), q.end()), q.end());
+}
+
+ValidationReport validate_coterie(const Coterie& c, int n) {
+  ValidationReport r;
+  for (size_t i = 0; i < c.size(); ++i) {
+    if (!is_valid_quorum(c[i], n)) {
+      r.well_formed = false;
+      std::ostringstream os;
+      os << "quorum " << i << " is malformed";
+      r.detail = os.str();
+      return r;
+    }
+  }
+  for (size_t i = 0; i < c.size() && (r.intersection || r.minimality); ++i) {
+    for (size_t j = i + 1; j < c.size(); ++j) {
+      if (r.intersection && !intersects(c[i], c[j])) {
+        r.intersection = false;
+        std::ostringstream os;
+        os << "quorums " << i << " and " << j << " are disjoint";
+        r.detail = os.str();
+      }
+      if (r.minimality &&
+          (is_subset(c[i], c[j]) || is_subset(c[j], c[i]))) {
+        r.minimality = false;
+        if (r.detail.empty()) {
+          std::ostringstream os;
+          os << "quorums " << i << " and " << j << " are nested";
+          r.detail = os.str();
+        }
+      }
+    }
+  }
+  return r;
+}
+
+Coterie dedup(Coterie c) {
+  for (Quorum& q : c) normalize(q);
+  std::sort(c.begin(), c.end());
+  c.erase(std::unique(c.begin(), c.end()), c.end());
+  return c;
+}
+
+}  // namespace dqme::quorum

@@ -1,0 +1,48 @@
+// Coterie primitives (paper §2).
+//
+// A quorum is a sorted set of distinct sites; a coterie is a set of quorums
+// satisfying the Intersection property (any two quorums share a site) and
+// the Minimality property (no quorum contains another). Intersection is
+// what makes quorum-based mutual exclusion safe; minimality is an
+// efficiency concern only (paper §2).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+
+namespace dqme::quorum {
+
+using Quorum = std::vector<SiteId>;  // sorted, unique
+using Coterie = std::vector<Quorum>;
+
+// True if `q` is sorted, duplicate-free, and within [0, n).
+bool is_valid_quorum(const Quorum& q, int n);
+
+// True if the sorted sets `a` and `b` share at least one site.
+bool intersects(const Quorum& a, const Quorum& b);
+
+// True if sorted set `a` is a subset of sorted set `b`.
+bool is_subset(const Quorum& a, const Quorum& b);
+
+// Sorts and deduplicates in place — constructions use this to normalize.
+void normalize(Quorum& q);
+
+struct ValidationReport {
+  bool well_formed = true;    // each quorum valid and non-empty
+  bool intersection = true;   // pairwise intersection holds
+  bool minimality = true;     // no quorum contains another
+  std::string detail;         // first violation, for diagnostics
+
+  bool ok() const { return well_formed && intersection; }
+  bool strictly_ok() const { return ok() && minimality; }
+};
+
+// Checks the coterie conditions of paper §2 over all pairs.
+ValidationReport validate_coterie(const Coterie& c, int n);
+
+// Removes duplicate quorums (after normalization).
+Coterie dedup(Coterie c);
+
+}  // namespace dqme::quorum

@@ -1,0 +1,64 @@
+#include "quorum/factory.h"
+
+#include <cmath>
+
+#include "common/check.h"
+#include "quorum/fpp.h"
+#include "quorum/grid.h"
+#include "quorum/gridset.h"
+#include "quorum/hqc.h"
+#include "quorum/majority.h"
+#include "quorum/rst.h"
+#include "quorum/tree.h"
+#include "quorum/trivial.h"
+
+namespace dqme::quorum {
+
+namespace {
+
+// Parses "name" or "name:param"; returns param or `fallback`.
+int parse_param(const std::string& kind, int fallback) {
+  auto pos = kind.find(':');
+  if (pos == std::string::npos) return fallback;
+  return std::stoi(kind.substr(pos + 1));
+}
+
+std::string base_name(const std::string& kind) {
+  return kind.substr(0, kind.find(':'));
+}
+
+// Default group size ~ sqrt(N), the balance point for two-level schemes.
+int default_group(int n) {
+  int g = static_cast<int>(std::round(std::sqrt(static_cast<double>(n))));
+  while (g > 1 && n % g != 0) --g;
+  return g < 1 ? 1 : g;
+}
+
+}  // namespace
+
+std::unique_ptr<QuorumSystem> make_quorum_system(const std::string& kind,
+                                                 int n) {
+  const std::string name = base_name(kind);
+  if (name == "grid") return std::make_unique<GridQuorum>(n);
+  if (name == "fpp") return std::make_unique<FppQuorum>(n);
+  if (name == "tree") return std::make_unique<TreeQuorum>(n);
+  if (name == "majority") return std::make_unique<MajorityQuorum>(n);
+  if (name == "hqc") return std::make_unique<HqcQuorum>(n);
+  if (name == "gridset")
+    return std::make_unique<GridSetQuorum>(n, parse_param(kind,
+                                                          default_group(n)));
+  if (name == "rst")
+    return std::make_unique<RstQuorum>(n, parse_param(kind,
+                                                      default_group(n)));
+  if (name == "singleton") return std::make_unique<SingletonQuorum>(n);
+  if (name == "all") return std::make_unique<AllQuorum>(n);
+  DQME_CHECK_MSG(false, "unknown quorum kind: " << kind);
+  return nullptr;  // unreachable
+}
+
+std::vector<std::string> known_quorum_kinds() {
+  return {"grid",    "fpp", "tree",      "majority", "hqc",
+          "gridset", "rst", "singleton", "all"};
+}
+
+}  // namespace dqme::quorum

@@ -1,0 +1,22 @@
+// String-keyed construction of quorum systems, used by the experiment
+// harness and examples: "grid", "fpp", "tree", "majority", "hqc",
+// "gridset:G", "rst:G", "singleton", "all".
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "quorum/quorum_system.h"
+
+namespace dqme::quorum {
+
+// Throws CheckError if the kind is unknown or N is incompatible with the
+// construction (e.g. "tree" with N != 2^k - 1).
+std::unique_ptr<QuorumSystem> make_quorum_system(const std::string& kind,
+                                                 int n);
+
+// The kinds make_quorum_system accepts (with default parameters).
+std::vector<std::string> known_quorum_kinds();
+
+}  // namespace dqme::quorum

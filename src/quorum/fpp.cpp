@@ -1,0 +1,69 @@
+#include "quorum/fpp.h"
+
+#include <array>
+#include <sstream>
+
+#include "common/check.h"
+#include "quorum/galois.h"
+
+namespace dqme::quorum {
+
+namespace {
+
+// Homogeneous coordinates over GF(q), normalized so the first non-zero
+// coordinate is 1. Exactly q^2 + q + 1 of these exist.
+using Triple = std::array<int, 3>;
+
+std::vector<Triple> projective_points(int q) {
+  std::vector<Triple> pts;
+  pts.reserve(static_cast<size_t>(q) * q + q + 1);
+  // (1, y, z), (0, 1, z), (0, 0, 1) — already normalized.
+  for (int y = 0; y < q; ++y)
+    for (int z = 0; z < q; ++z) pts.push_back({1, y, z});
+  for (int z = 0; z < q; ++z) pts.push_back({0, 1, z});
+  pts.push_back({0, 0, 1});
+  return pts;
+}
+
+}  // namespace
+
+int fpp_order_for(int n) {
+  for (int q = 2; q * q + q + 1 <= n; ++q)
+    if (q * q + q + 1 == n && is_supported_field_order(q)) return q;
+  return -1;
+}
+
+FppQuorum::FppQuorum(int n) : n_(n), q_(fpp_order_for(n)) {
+  DQME_CHECK_MSG(q_ > 0,
+                 "N=" << n << " is not q^2+q+1 for a supported prime power "
+                         "q; use grid quorums for general N");
+  const GaloisField gf(q_);
+  const std::vector<Triple> pts = projective_points(q_);
+  DQME_CHECK(static_cast<int>(pts.size()) == n_);
+  lines_.resize(static_cast<size_t>(n_));
+  // Line i = all points orthogonal to triple i (self-dual numbering).
+  for (int i = 0; i < n_; ++i) {
+    Quorum& line = lines_[static_cast<size_t>(i)];
+    for (int p = 0; p < n_; ++p) {
+      const Triple& a = pts[static_cast<size_t>(i)];
+      const Triple& b = pts[static_cast<size_t>(p)];
+      const int dot = gf.add(gf.mul(a[0], b[0]),
+                             gf.add(gf.mul(a[1], b[1]), gf.mul(a[2], b[2])));
+      if (dot == 0) line.push_back(p);
+    }
+    DQME_CHECK(static_cast<int>(line.size()) == q_ + 1);
+  }
+}
+
+std::string FppQuorum::name() const {
+  std::ostringstream os;
+  os << "fpp(q=" << q_ << ")";
+  return os.str();
+}
+
+Quorum FppQuorum::quorum_for(SiteId id) const {
+  DQME_CHECK(0 <= id && id < n_);
+  return lines_[static_cast<size_t>(id)];
+}
+
+}  // namespace dqme::quorum

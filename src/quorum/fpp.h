@@ -1,0 +1,38 @@
+// Finite-projective-plane quorums (Maekawa's original construction).
+//
+// For a prime power q, the projective plane PG(2,q) has N = q^2 + q + 1
+// points and equally many lines; every line carries q + 1 points and any
+// two lines meet in exactly one point. Identifying sites with both points
+// and lines gives quorums of size q + 1 ~ sqrt(N) with pairwise
+// intersection exactly one — the optimal symmetric construction Maekawa's
+// paper is built on.
+//
+// Supported N: any prime q, plus the prime powers 4/8/9/16/25/27 via
+// GF(p^k) arithmetic (quorum/galois.h) — N in {7, 13, 21, 31, 57, 73, 91,
+// 133, 183, 273, 307, 651, 757, ...}. The grid covers general N.
+#pragma once
+
+#include "quorum/quorum_system.h"
+
+namespace dqme::quorum {
+
+// Returns q if n == q^2+q+1 for a supported prime power q, else -1.
+int fpp_order_for(int n);
+
+class FppQuorum final : public QuorumSystem {
+ public:
+  explicit FppQuorum(int n);  // requires fpp_order_for(n) > 0
+
+  int num_sites() const override { return n_; }
+  std::string name() const override;
+  Quorum quorum_for(SiteId id) const override;
+
+  int order() const { return q_; }
+
+ private:
+  int n_;
+  int q_;
+  std::vector<Quorum> lines_;  // lines_[i] = sorted points on line i
+};
+
+}  // namespace dqme::quorum

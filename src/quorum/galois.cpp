@@ -1,0 +1,120 @@
+#include "quorum/galois.h"
+
+namespace dqme::quorum {
+
+namespace {
+
+bool is_prime(int q) {
+  if (q < 2) return false;
+  for (int d = 2; d * d <= q; ++d)
+    if (q % d == 0) return false;
+  return true;
+}
+
+// (p, k, irreducible polynomial of degree k with coefficients base p,
+// including the leading 1). x^2+x+1 over GF(2) encodes as 1*4 + 1*2 + 1.
+struct PrimePower {
+  int q, p, k, poly;
+};
+
+constexpr PrimePower kPrimePowers[] = {
+    {4, 2, 2, 0b111},        // x^2 + x + 1
+    {8, 2, 3, 0b1011},       // x^3 + x + 1
+    {9, 3, 2, 9 + 0 + 1},    // x^2 + 1          (digits base 3: 1,0,1)
+    {16, 2, 4, 0b10011},     // x^4 + x + 1
+    {25, 5, 2, 25 + 0 + 2},  // x^2 + 2          (digits base 5: 1,0,2)
+    {27, 3, 3, 27 + 0 + 2 * 3 + 1},  // x^3 + 2x + 1 (base 3: 1,0,2,1)
+};
+
+const PrimePower* find_prime_power(int q) {
+  for (const PrimePower& pp : kPrimePowers)
+    if (pp.q == q) return &pp;
+  return nullptr;
+}
+
+// Polynomial coefficient vectors base p, least-significant first.
+std::vector<int> digits(int value, int p, int len) {
+  std::vector<int> d(static_cast<size_t>(len), 0);
+  for (int i = 0; i < len && value > 0; ++i) {
+    d[static_cast<size_t>(i)] = value % p;
+    value /= p;
+  }
+  return d;
+}
+
+int undigits(const std::vector<int>& d, int p) {
+  int v = 0;
+  for (size_t i = d.size(); i > 0; --i) v = v * p + d[i - 1];
+  return v;
+}
+
+// (a * b) mod poly over GF(p), schoolbook — fields here are tiny.
+int poly_mul_mod(int a, int b, const PrimePower& pp) {
+  std::vector<int> da = digits(a, pp.p, pp.k);
+  std::vector<int> db = digits(b, pp.p, pp.k);
+  std::vector<int> prod(static_cast<size_t>(2 * pp.k - 1), 0);
+  for (int i = 0; i < pp.k; ++i)
+    for (int j = 0; j < pp.k; ++j)
+      prod[static_cast<size_t>(i + j)] =
+          (prod[static_cast<size_t>(i + j)] +
+           da[static_cast<size_t>(i)] * db[static_cast<size_t>(j)]) %
+          pp.p;
+  // Reduce modulo the monic irreducible polynomial.
+  std::vector<int> mod = digits(pp.poly, pp.p, pp.k + 1);
+  for (int deg = 2 * pp.k - 2; deg >= pp.k; --deg) {
+    const int coeff = prod[static_cast<size_t>(deg)];
+    if (coeff == 0) continue;
+    for (int i = 0; i <= pp.k; ++i) {
+      int& slot = prod[static_cast<size_t>(deg - pp.k + i)];
+      slot = ((slot - coeff * mod[static_cast<size_t>(i)]) % pp.p + pp.p) %
+             pp.p;
+    }
+  }
+  prod.resize(static_cast<size_t>(pp.k));
+  return undigits(prod, pp.p);
+}
+
+int poly_add(int a, int b, const PrimePower& pp) {
+  std::vector<int> da = digits(a, pp.p, pp.k);
+  std::vector<int> db = digits(b, pp.p, pp.k);
+  for (int i = 0; i < pp.k; ++i)
+    da[static_cast<size_t>(i)] =
+        (da[static_cast<size_t>(i)] + db[static_cast<size_t>(i)]) % pp.p;
+  return undigits(da, pp.p);
+}
+
+}  // namespace
+
+bool is_supported_field_order(int q) {
+  return is_prime(q) || find_prime_power(q) != nullptr;
+}
+
+GaloisField::GaloisField(int q) : q_(q) {
+  DQME_CHECK_MSG(is_supported_field_order(q),
+                 "GF(" << q << ") not supported (primes, and prime powers "
+                       << "4/8/9/16/25/27)");
+  const size_t qq = static_cast<size_t>(q) * static_cast<size_t>(q);
+  add_.resize(qq);
+  mul_.resize(qq);
+  neg_.resize(static_cast<size_t>(q));
+  inv_.assign(static_cast<size_t>(q), 0);
+
+  const PrimePower* pp = find_prime_power(q);
+  for (int a = 0; a < q; ++a) {
+    for (int b = 0; b < q; ++b) {
+      add_[idx(a, b)] = pp ? poly_add(a, b, *pp) : (a + b) % q;
+      mul_[idx(a, b)] = pp ? poly_mul_mod(a, b, *pp) : (a * b) % q;
+    }
+  }
+  for (int a = 0; a < q; ++a) {
+    for (int b = 0; b < q; ++b) {
+      if (add_[idx(a, b)] == 0) neg_[static_cast<size_t>(a)] = b;
+      if (a != 0 && mul_[idx(a, b)] == 1) inv_[static_cast<size_t>(a)] = b;
+    }
+    DQME_CHECK_MSG(a == 0 || mul_[idx(a, inv_[static_cast<size_t>(a)])] == 1,
+                   "GF(" << q << "): no inverse for " << a
+                         << " — polynomial not irreducible?");
+  }
+}
+
+}  // namespace dqme::quorum

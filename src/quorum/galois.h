@@ -1,0 +1,47 @@
+// Small finite fields GF(q) for the projective-plane quorum construction.
+//
+// Supports every prime q (arithmetic mod q) and the prime powers up to 32
+// (polynomial arithmetic over GF(p) modulo a fixed irreducible polynomial:
+// 4, 8, 9, 16, 25, 27). Elements are integers 0..q-1, encoding polynomial
+// coefficients base p. Operation tables are precomputed at construction —
+// the fields are tiny and the quorum builder hits them O(N^2) times.
+#pragma once
+
+#include <vector>
+
+#include "common/check.h"
+
+namespace dqme::quorum {
+
+// True if q = p^k for prime p with a field implementation available here.
+bool is_supported_field_order(int q);
+
+class GaloisField {
+ public:
+  explicit GaloisField(int q);  // requires is_supported_field_order(q)
+
+  int order() const { return q_; }
+  int add(int a, int b) const { return add_[idx(a, b)]; }
+  int mul(int a, int b) const { return mul_[idx(a, b)]; }
+  int neg(int a) const { return neg_[static_cast<size_t>(a)]; }
+  // Multiplicative inverse; a != 0.
+  int inv(int a) const {
+    DQME_CHECK(a != 0);
+    return inv_[static_cast<size_t>(a)];
+  }
+
+ private:
+  size_t idx(int a, int b) const {
+    DQME_CHECK(0 <= a && a < q_ && 0 <= b && b < q_);
+    return static_cast<size_t>(a) * static_cast<size_t>(q_) +
+           static_cast<size_t>(b);
+  }
+
+  int q_;
+  std::vector<int> add_;
+  std::vector<int> mul_;
+  std::vector<int> neg_;
+  std::vector<int> inv_;
+};
+
+}  // namespace dqme::quorum

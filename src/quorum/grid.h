@@ -1,0 +1,49 @@
+// Maekawa-style grid quorums.
+//
+// Sites fill a rows x cols grid (cols = ceil(sqrt(N)), row-major, the last
+// row possibly partial). Site i's quorum is its full row plus a
+// *transversal* — one cell in every other row, preferring i's own column
+// and substituting another cell of that row where the column has a hole or
+// (under failures) a crash. Any two such quorums intersect: each contains a
+// complete row, and the other's transversal hits that row. Size is
+// rows + cols - 1 ~ 2*sqrt(N): the classic O(sqrt(N)) construction behind
+// the paper's K = sqrt(N).
+#pragma once
+
+#include "quorum/quorum_system.h"
+
+namespace dqme::quorum {
+
+class GridQuorum final : public QuorumSystem {
+ public:
+  explicit GridQuorum(int n);
+
+  int num_sites() const override { return n_; }
+  std::string name() const override;
+  Quorum quorum_for(SiteId id) const override;
+  std::optional<Quorum> quorum_for_alive(
+      SiteId id, const std::vector<bool>& alive) const override;
+  bool available(const std::vector<bool>& alive) const override;
+
+  int rows() const { return rows_; }
+  int cols() const { return cols_; }
+  // Kept for callers that size buffers off the classic square grid.
+  int side() const { return cols_; }
+
+ private:
+  bool exists(int row, int col) const { return row * cols_ + col < n_; }
+  SiteId site_at(int row, int col) const {
+    return static_cast<SiteId>(row * cols_ + col);
+  }
+  // Builds "full row `r` + transversal preferring column `c`", restricted
+  // to live sites when `alive` is given. Nullopt if the row is not fully
+  // live or some row has no live cell.
+  std::optional<Quorum> cross(int r, int c,
+                              const std::vector<bool>* alive) const;
+
+  int n_;
+  int cols_;
+  int rows_;
+};
+
+}  // namespace dqme::quorum

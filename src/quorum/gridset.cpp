@@ -1,0 +1,82 @@
+#include "quorum/gridset.h"
+
+#include <sstream>
+
+#include "common/check.h"
+
+namespace dqme::quorum {
+
+GridSetQuorum::GridSetQuorum(int n, int group_size)
+    : n_(n), g_(group_size), m_(n / group_size), inner_(group_size) {
+  DQME_CHECK_MSG(group_size >= 1 && n % group_size == 0,
+                 "grid-set needs group_size | N (N=" << n << ", G="
+                                                     << group_size << ")");
+}
+
+std::string GridSetQuorum::name() const {
+  std::ostringstream os;
+  os << "gridset(G=" << g_ << ")";
+  return os.str();
+}
+
+std::optional<Quorum> GridSetQuorum::group_cross(
+    int grp, int anchor, const std::vector<bool>* alive) const {
+  // Map the inner grid's member indices (0..G-1) onto the group's sites.
+  const SiteId base = static_cast<SiteId>(grp * g_);
+  std::vector<bool> member_alive(static_cast<size_t>(g_), true);
+  if (alive != nullptr)
+    for (int k = 0; k < g_; ++k)
+      member_alive[static_cast<size_t>(k)] =
+          (*alive)[static_cast<size_t>(base + k)];
+  auto cross = inner_.quorum_for_alive(anchor, member_alive);
+  if (!cross) return std::nullopt;
+  Quorum q;
+  q.reserve(cross->size());
+  for (SiteId member : *cross) q.push_back(base + member);
+  return q;
+}
+
+Quorum GridSetQuorum::quorum_for(SiteId id) const {
+  DQME_CHECK(0 <= id && id < n_);
+  Quorum q;
+  const int own_grp = id / g_;
+  const int need = m_ / 2 + 1;  // majority of groups
+  for (int k = 0; k < need; ++k) {
+    const int grp = (own_grp + k) % m_;
+    auto cross = group_cross(grp, id % g_, nullptr);
+    DQME_CHECK(cross.has_value());
+    q.insert(q.end(), cross->begin(), cross->end());
+  }
+  normalize(q);
+  return q;
+}
+
+std::optional<Quorum> GridSetQuorum::quorum_for_alive(
+    SiteId id, const std::vector<bool>& alive) const {
+  DQME_CHECK(0 <= id && id < n_);
+  DQME_CHECK(static_cast<int>(alive.size()) == n_);
+  Quorum q;
+  const int own_grp = id / g_;
+  const int need = m_ / 2 + 1;
+  int got = 0;
+  for (int k = 0; k < m_ && got < need; ++k) {
+    const int grp = (own_grp + k) % m_;
+    if (auto cross = group_cross(grp, id % g_, &alive)) {
+      q.insert(q.end(), cross->begin(), cross->end());
+      ++got;
+    }
+  }
+  if (got < need) return std::nullopt;
+  normalize(q);
+  return q;
+}
+
+bool GridSetQuorum::available(const std::vector<bool>& alive) const {
+  const int need = m_ / 2 + 1;
+  int got = 0;
+  for (int grp = 0; grp < m_ && got < need; ++grp)
+    if (group_cross(grp, 0, &alive)) ++got;
+  return got >= need;
+}
+
+}  // namespace dqme::quorum

@@ -1,0 +1,43 @@
+// Grid-set quorums [2] (paper §6).
+//
+// Two levels: a *majority* of groups at the upper level (for resiliency),
+// and a Maekawa-style *grid* quorum inside each selected group (for low
+// message cost). N sites are split into N/G groups of size G. Two quorums
+// always share a group (majorities intersect) and, inside that group, their
+// grid crosses intersect. Tolerates any site failure pattern that leaves a
+// majority of groups with a live grid cross — no recovery scheme needed for
+// a single site failure.
+#pragma once
+
+#include "quorum/grid.h"
+#include "quorum/quorum_system.h"
+
+namespace dqme::quorum {
+
+class GridSetQuorum final : public QuorumSystem {
+ public:
+  GridSetQuorum(int n, int group_size);  // requires group_size | n
+
+  int num_sites() const override { return n_; }
+  std::string name() const override;
+  Quorum quorum_for(SiteId id) const override;
+  std::optional<Quorum> quorum_for_alive(
+      SiteId id, const std::vector<bool>& alive) const override;
+  bool available(const std::vector<bool>& alive) const override;
+
+  int groups() const { return m_; }
+  int group_size() const { return g_; }
+
+ private:
+  // Grid cross inside group `grp`, anchored at member `anchor`, restricted
+  // to alive sites; nullopt if the group has no live cross.
+  std::optional<Quorum> group_cross(int grp, int anchor,
+                                    const std::vector<bool>* alive) const;
+
+  int n_;
+  int g_;  // group size G
+  int m_;  // number of groups N/G
+  GridQuorum inner_;  // grid geometry over one group (indices 0..G-1)
+};
+
+}  // namespace dqme::quorum

@@ -1,0 +1,75 @@
+#include "quorum/hqc.h"
+
+#include <array>
+#include <sstream>
+
+#include "common/check.h"
+
+namespace dqme::quorum {
+
+HqcQuorum::HqcQuorum(int n) : n_(n) {
+  d_ = 0;
+  int m = 1;
+  while (m < n) {
+    m *= 3;
+    ++d_;
+  }
+  DQME_CHECK_MSG(m == n, "HQC requires N = 3^d, got N=" << n);
+}
+
+std::string HqcQuorum::name() const {
+  std::ostringstream os;
+  os << "hqc(3^" << d_ << ")";
+  return os.str();
+}
+
+bool HqcQuorum::build(int lo, int len, SiteId steer,
+                      const std::vector<bool>& alive, Quorum& out) const {
+  if (len == 1) {
+    if (!alive[static_cast<size_t>(lo)]) return false;
+    out.push_back(lo);
+    return true;
+  }
+  const int cl = len / 3;
+  // Rotate the preference order by one ternary digit of `steer` per level,
+  // so different sites prefer different 2-of-3 majorities.
+  const int rot = steer % 3;
+  std::array<int, 3> order = {rot, (rot + 1) % 3, (rot + 2) % 3};
+  int got = 0;
+  const size_t mark = out.size();
+  for (int idx : order) {
+    if (got == 2) break;
+    const size_t sub_mark = out.size();
+    if (build(lo + idx * cl, cl, steer / 3, alive, out))
+      ++got;
+    else
+      out.resize(sub_mark);
+  }
+  if (got == 2) return true;
+  out.resize(mark);
+  return false;
+}
+
+Quorum HqcQuorum::quorum_for(SiteId id) const {
+  std::vector<bool> all(static_cast<size_t>(n_), true);
+  auto q = quorum_for_alive(id, all);
+  DQME_CHECK(q.has_value());
+  return *q;
+}
+
+std::optional<Quorum> HqcQuorum::quorum_for_alive(
+    SiteId id, const std::vector<bool>& alive) const {
+  DQME_CHECK(0 <= id && id < n_);
+  DQME_CHECK(static_cast<int>(alive.size()) == n_);
+  Quorum out;
+  if (!build(0, n_, id, alive, out)) return std::nullopt;
+  normalize(out);
+  return out;
+}
+
+bool HqcQuorum::available(const std::vector<bool>& alive) const {
+  Quorum out;
+  return build(0, n_, 0, alive, out);
+}
+
+}  // namespace dqme::quorum

@@ -1,0 +1,38 @@
+// Hierarchical quorum consensus (HQC) [4] (paper §6).
+//
+// Sites are the leaves of a complete ternary tree; a quorum is formed by
+// recursively taking a majority (2 of 3) of subtrees at every level and all
+// the way down to leaves. For N = 3^d the quorum size is 2^d = N^(log3 2)
+// ~ N^0.63. (The paper's OCR prints N^0.43; see DESIGN.md D5 — E6 reports
+// the measured size.)
+#pragma once
+
+#include "quorum/quorum_system.h"
+
+namespace dqme::quorum {
+
+class HqcQuorum final : public QuorumSystem {
+ public:
+  explicit HqcQuorum(int n);  // requires n = 3^d
+
+  int num_sites() const override { return n_; }
+  std::string name() const override;
+  Quorum quorum_for(SiteId id) const override;
+  std::optional<Quorum> quorum_for_alive(
+      SiteId id, const std::vector<bool>& alive) const override;
+  bool available(const std::vector<bool>& alive) const override;
+
+  int levels() const { return d_; }
+
+ private:
+  // Builds a quorum over leaves [lo, lo+len) into `out`; returns false if
+  // no 2-of-3 majority can be completed. `steer` rotates which two children
+  // are preferred, spreading load across sites.
+  bool build(int lo, int len, SiteId steer, const std::vector<bool>& alive,
+             Quorum& out) const;
+
+  int n_;
+  int d_;
+};
+
+}  // namespace dqme::quorum

@@ -1,0 +1,43 @@
+#include "quorum/majority.h"
+
+#include "common/check.h"
+
+namespace dqme::quorum {
+
+MajorityQuorum::MajorityQuorum(int n) : n_(n), m_(n / 2 + 1) {
+  DQME_CHECK(n >= 1);
+}
+
+Quorum MajorityQuorum::quorum_for(SiteId id) const {
+  DQME_CHECK(0 <= id && id < n_);
+  // A window of m_ consecutive sites starting at the caller, so load is
+  // spread evenly instead of always hammering sites 0..m-1.
+  Quorum q;
+  q.reserve(static_cast<size_t>(m_));
+  for (int k = 0; k < m_; ++k) q.push_back((id + k) % n_);
+  normalize(q);
+  return q;
+}
+
+std::optional<Quorum> MajorityQuorum::quorum_for_alive(
+    SiteId id, const std::vector<bool>& alive) const {
+  DQME_CHECK(0 <= id && id < n_);
+  Quorum q;
+  q.reserve(static_cast<size_t>(m_));
+  // Any m_ live sites form a majority; walk from the caller for locality.
+  for (int k = 0; k < n_ && static_cast<int>(q.size()) < m_; ++k) {
+    SiteId s = (id + k) % n_;
+    if (alive[static_cast<size_t>(s)]) q.push_back(s);
+  }
+  if (static_cast<int>(q.size()) < m_) return std::nullopt;
+  normalize(q);
+  return q;
+}
+
+bool MajorityQuorum::available(const std::vector<bool>& alive) const {
+  int up = 0;
+  for (bool a : alive) up += a ? 1 : 0;
+  return up >= m_;
+}
+
+}  // namespace dqme::quorum

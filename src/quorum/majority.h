@@ -1,0 +1,28 @@
+// Majority voting quorums [18] (paper §6): any floor(N/2)+1 sites.
+// Maximally resilient (available while any majority survives) but Theta(N)
+// sized — the high-message-cost end of the trade-off the paper discusses.
+#pragma once
+
+#include "quorum/quorum_system.h"
+
+namespace dqme::quorum {
+
+class MajorityQuorum final : public QuorumSystem {
+ public:
+  explicit MajorityQuorum(int n);
+
+  int num_sites() const override { return n_; }
+  std::string name() const override { return "majority"; }
+  Quorum quorum_for(SiteId id) const override;
+  std::optional<Quorum> quorum_for_alive(
+      SiteId id, const std::vector<bool>& alive) const override;
+  bool available(const std::vector<bool>& alive) const override;
+
+  int majority_size() const { return m_; }
+
+ private:
+  int n_;
+  int m_;  // floor(n/2) + 1
+};
+
+}  // namespace dqme::quorum

@@ -1,0 +1,61 @@
+#include "quorum/quorum_system.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace dqme::quorum {
+
+namespace {
+bool all_alive(const Quorum& q, const std::vector<bool>& alive) {
+  return std::all_of(q.begin(), q.end(), [&](SiteId s) {
+    return alive[static_cast<size_t>(s)];
+  });
+}
+}  // namespace
+
+std::optional<Quorum> QuorumSystem::quorum_for_alive(
+    SiteId id, const std::vector<bool>& alive) const {
+  DQME_CHECK(static_cast<int>(alive.size()) == num_sites());
+  // Default strategy: fall back on the base quorums of other sites. This is
+  // safe for any construction (all candidates come from one coterie) but
+  // weaker than construction-specific substitution — tree/majority/grid-set
+  // override it.
+  Quorum own = quorum_for(id);
+  if (all_alive(own, alive)) return own;
+  for (SiteId s = 0; s < num_sites(); ++s) {
+    if (s == id) continue;
+    Quorum q = quorum_for(s);
+    if (all_alive(q, alive)) return q;
+  }
+  return std::nullopt;
+}
+
+bool QuorumSystem::available(const std::vector<bool>& alive) const {
+  for (SiteId s = 0; s < num_sites(); ++s)
+    if (all_alive(quorum_for(s), alive)) return true;
+  return false;
+}
+
+Coterie QuorumSystem::base_coterie() const {
+  Coterie c;
+  c.reserve(static_cast<size_t>(num_sites()));
+  for (SiteId s = 0; s < num_sites(); ++s) c.push_back(quorum_for(s));
+  return dedup(std::move(c));
+}
+
+double QuorumSystem::mean_quorum_size() const {
+  double total = 0;
+  for (SiteId s = 0; s < num_sites(); ++s)
+    total += static_cast<double>(quorum_for(s).size());
+  return total / num_sites();
+}
+
+int QuorumSystem::max_quorum_size() const {
+  size_t m = 0;
+  for (SiteId s = 0; s < num_sites(); ++s)
+    m = std::max(m, quorum_for(s).size());
+  return static_cast<int>(m);
+}
+
+}  // namespace dqme::quorum

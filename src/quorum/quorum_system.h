@@ -1,0 +1,51 @@
+// Quorum-construction interface.
+//
+// The paper's algorithm (and Maekawa's) is parameterized by the quorum
+// construction: "Our scheme is independent of the quorum being used" (§1).
+// A QuorumSystem maps each site to its req_set and — for the §6 fault-
+// tolerance layer — can re-form quorums around failed sites when the
+// construction supports it (tree, majority, grid-set, RST).
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+#include "quorum/coterie.h"
+
+namespace dqme::quorum {
+
+class QuorumSystem {
+ public:
+  virtual ~QuorumSystem() = default;
+
+  virtual int num_sites() const = 0;
+  virtual std::string name() const = 0;
+
+  // The req_set site `id` uses when all sites are up. Sorted and non-empty.
+  virtual Quorum quorum_for(SiteId id) const = 0;
+
+  // A quorum for `id` drawn only from sites with alive[s] == true, or
+  // nullopt if the construction cannot form one under this failure pattern.
+  // Safety requirement (tested): any two quorums this method can return,
+  // under any two alive views, intersect.
+  virtual std::optional<Quorum> quorum_for_alive(
+      SiteId id, const std::vector<bool>& alive) const;
+
+  // Whether some quorum can be formed from the alive set. Drives the
+  // availability analysis of E7.
+  virtual bool available(const std::vector<bool>& alive) const;
+
+  // The distinct quorums sites use when all are up (for validation; this is
+  // the coterie in use, not the set of all quorums the construction could
+  // ever produce).
+  Coterie base_coterie() const;
+
+  // Mean / max base quorum size (the paper's K).
+  double mean_quorum_size() const;
+  int max_quorum_size() const;
+};
+
+}  // namespace dqme::quorum

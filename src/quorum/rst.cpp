@@ -1,0 +1,78 @@
+#include "quorum/rst.h"
+
+#include <sstream>
+
+#include "common/check.h"
+
+namespace dqme::quorum {
+
+RstQuorum::RstQuorum(int n, int group_size)
+    : n_(n), g_(group_size), m_(n / group_size), group_grid_(n / group_size) {
+  DQME_CHECK_MSG(group_size >= 1 && n % group_size == 0,
+                 "RST needs group_size | N (N=" << n << ", G=" << group_size
+                                                << ")");
+}
+
+std::string RstQuorum::name() const {
+  std::ostringstream os;
+  os << "rst(G=" << g_ << ")";
+  return os.str();
+}
+
+std::optional<Quorum> RstQuorum::group_majority(
+    int grp, const std::vector<bool>* alive) const {
+  const int need = g_ / 2 + 1;
+  const SiteId base = static_cast<SiteId>(grp * g_);
+  Quorum q;
+  q.reserve(static_cast<size_t>(need));
+  for (int k = 0; k < g_ && static_cast<int>(q.size()) < need; ++k) {
+    SiteId s = base + k;
+    if (alive == nullptr || (*alive)[static_cast<size_t>(s)]) q.push_back(s);
+  }
+  if (static_cast<int>(q.size()) < need) return std::nullopt;
+  return q;
+}
+
+Quorum RstQuorum::quorum_for(SiteId id) const {
+  DQME_CHECK(0 <= id && id < n_);
+  Quorum q;
+  for (SiteId grp : group_grid_.quorum_for(id / g_)) {
+    auto maj = group_majority(grp, nullptr);
+    DQME_CHECK(maj.has_value());
+    q.insert(q.end(), maj->begin(), maj->end());
+  }
+  normalize(q);
+  return q;
+}
+
+std::optional<Quorum> RstQuorum::quorum_for_alive(
+    SiteId id, const std::vector<bool>& alive) const {
+  DQME_CHECK(0 <= id && id < n_);
+  DQME_CHECK(static_cast<int>(alive.size()) == n_);
+  // A group is usable iff a majority of its members are live; then pick a
+  // grid cross among usable groups.
+  std::vector<bool> group_ok(static_cast<size_t>(m_));
+  for (int grp = 0; grp < m_; ++grp)
+    group_ok[static_cast<size_t>(grp)] =
+        group_majority(grp, &alive).has_value();
+  auto cross = group_grid_.quorum_for_alive(id / g_, group_ok);
+  if (!cross) return std::nullopt;
+  Quorum q;
+  for (SiteId grp : *cross) {
+    auto maj = group_majority(grp, &alive);
+    DQME_CHECK(maj.has_value());
+    q.insert(q.end(), maj->begin(), maj->end());
+  }
+  normalize(q);
+  return q;
+}
+
+bool RstQuorum::available(const std::vector<bool>& alive) const {
+  std::vector<bool> group_ok(static_cast<size_t>(m_));
+  for (int grp = 0; grp < m_; ++grp)
+    group_ok[static_cast<size_t>(grp)] =
+        group_majority(grp, &alive).has_value();
+  return group_grid_.available(group_ok);
+}
+
+}  // namespace dqme::quorum

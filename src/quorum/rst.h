@@ -1,0 +1,38 @@
+// Rangarajan-Setia-Tripathi quorums [11] (paper §6) — the dual of grid-set:
+// a Maekawa-style grid over the *groups* at the upper level and a *majority*
+// inside each selected group. Quorum size ~ (G+1)/2 * 2*sqrt(N/G). A single
+// site failure is masked by the in-group majority without any recovery.
+#pragma once
+
+#include "quorum/grid.h"
+#include "quorum/quorum_system.h"
+
+namespace dqme::quorum {
+
+class RstQuorum final : public QuorumSystem {
+ public:
+  RstQuorum(int n, int group_size);  // requires group_size | n
+
+  int num_sites() const override { return n_; }
+  std::string name() const override;
+  Quorum quorum_for(SiteId id) const override;
+  std::optional<Quorum> quorum_for_alive(
+      SiteId id, const std::vector<bool>& alive) const override;
+  bool available(const std::vector<bool>& alive) const override;
+
+  int groups() const { return m_; }
+  int group_size() const { return g_; }
+
+ private:
+  // Majority of group `grp`'s members (preferring low ids, or live sites
+  // when `alive` is given); nullopt if fewer than a majority are live.
+  std::optional<Quorum> group_majority(int grp,
+                                       const std::vector<bool>* alive) const;
+
+  int n_;
+  int g_;
+  int m_;
+  GridQuorum group_grid_;  // grid geometry over group indices 0..m-1
+};
+
+}  // namespace dqme::quorum

@@ -1,0 +1,74 @@
+#include "quorum/tree.h"
+
+#include <sstream>
+
+#include "common/check.h"
+
+namespace dqme::quorum {
+
+TreeQuorum::TreeQuorum(int n) : n_(n) {
+  DQME_CHECK_MSG(n >= 1 && ((n + 1) & n) == 0,
+                 "tree quorums require N = 2^k - 1, got N=" << n);
+  depth_ = 0;
+  for (int m = n; m > 0; m >>= 1) ++depth_;
+}
+
+std::string TreeQuorum::name() const {
+  std::ostringstream os;
+  os << "tree(depth=" << depth_ << ")";
+  return os.str();
+}
+
+bool TreeQuorum::build(int v, int level, SiteId steer,
+                       const std::vector<bool>& alive, Quorum& out) const {
+  const int left = 2 * v + 1;
+  const int right = 2 * v + 2;
+  const bool leaf = left >= n_;
+  if (alive[static_cast<size_t>(v)]) {
+    out.push_back(v);
+    if (leaf) return true;
+    const size_t mark = out.size();
+    const int first = ((steer >> level) & 1) ? right : left;
+    const int second = first == left ? right : left;
+    if (build(first, level + 1, steer, alive, out)) return true;
+    out.resize(mark);
+    if (build(second, level + 1, steer, alive, out)) return true;
+    // Both child paths failed; the subtree cannot complete a path. Undo.
+    out.resize(mark);
+    out.pop_back();
+    return false;
+  }
+  // Substitution rule: a dead node is replaced by a complete path from each
+  // of its children. A dead leaf cannot be substituted.
+  if (leaf) return false;
+  const size_t mark = out.size();
+  if (build(left, level + 1, steer, alive, out) &&
+      build(right, level + 1, steer, alive, out))
+    return true;
+  out.resize(mark);
+  return false;
+}
+
+Quorum TreeQuorum::quorum_for(SiteId id) const {
+  std::vector<bool> all(static_cast<size_t>(n_), true);
+  auto q = quorum_for_alive(id, all);
+  DQME_CHECK(q.has_value());
+  return *q;
+}
+
+std::optional<Quorum> TreeQuorum::quorum_for_alive(
+    SiteId id, const std::vector<bool>& alive) const {
+  DQME_CHECK(0 <= id && id < n_);
+  DQME_CHECK(static_cast<int>(alive.size()) == n_);
+  Quorum out;
+  if (!build(/*v=*/0, /*level=*/0, id, alive, out)) return std::nullopt;
+  normalize(out);
+  return out;
+}
+
+bool TreeQuorum::available(const std::vector<bool>& alive) const {
+  Quorum out;
+  return build(0, 0, /*steer=*/0, alive, out);
+}
+
+}  // namespace dqme::quorum

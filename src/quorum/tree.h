@@ -1,0 +1,39 @@
+// Agrawal-El Abbadi tree quorums [1] (paper §6).
+//
+// Sites form a complete binary tree (heap layout; N = 2^k - 1). A quorum is
+// any root-to-leaf path — size log2(N+1) — and when a site on the path is
+// down it is substituted by two paths, one from each of its children,
+// degrading gracefully toward (N+1)/2 sites under heavy failure. Any two
+// quorums produced this way intersect, under any two failure views, which
+// is what makes the §6 recovery protocol safe.
+#pragma once
+
+#include "quorum/quorum_system.h"
+
+namespace dqme::quorum {
+
+class TreeQuorum final : public QuorumSystem {
+ public:
+  explicit TreeQuorum(int n);  // requires n = 2^k - 1
+
+  int num_sites() const override { return n_; }
+  std::string name() const override;
+  Quorum quorum_for(SiteId id) const override;
+  std::optional<Quorum> quorum_for_alive(
+      SiteId id, const std::vector<bool>& alive) const override;
+  bool available(const std::vector<bool>& alive) const override;
+
+  int depth() const { return depth_; }
+
+ private:
+  // Builds a quorum for the subtree rooted at `v`, preferring the child
+  // selected by `steer`'s bits (one bit per level, for load spreading).
+  // Returns false if the subtree cannot contribute.
+  bool build(int v, int level, SiteId steer, const std::vector<bool>& alive,
+             Quorum& out) const;
+
+  int n_;
+  int depth_;  // number of levels; root is level 0
+};
+
+}  // namespace dqme::quorum

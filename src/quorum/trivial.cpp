@@ -1,0 +1,35 @@
+#include "quorum/trivial.h"
+
+#include <numeric>
+
+#include "common/check.h"
+
+namespace dqme::quorum {
+
+SingletonQuorum::SingletonQuorum(int n) : n_(n) { DQME_CHECK(n >= 1); }
+
+Quorum SingletonQuorum::quorum_for(SiteId id) const {
+  DQME_CHECK(0 <= id && id < n_);
+  return {0};
+}
+
+bool SingletonQuorum::available(const std::vector<bool>& alive) const {
+  return alive[0];
+}
+
+AllQuorum::AllQuorum(int n) : n_(n) { DQME_CHECK(n >= 1); }
+
+Quorum AllQuorum::quorum_for(SiteId id) const {
+  DQME_CHECK(0 <= id && id < n_);
+  Quorum q(static_cast<size_t>(n_));
+  std::iota(q.begin(), q.end(), 0);
+  return q;
+}
+
+bool AllQuorum::available(const std::vector<bool>& alive) const {
+  for (bool a : alive)
+    if (!a) return false;
+  return true;
+}
+
+}  // namespace dqme::quorum

@@ -1,0 +1,37 @@
+// Degenerate quorum systems, useful as baselines and in tests:
+//   * SingletonQuorum — every quorum is {0}: a central coordinator.
+//   * AllQuorum — every quorum is all N sites: unanimous consent, the
+//     quorum-system view of Lamport/Ricart-Agrawala style permission sets.
+#pragma once
+
+#include "quorum/quorum_system.h"
+
+namespace dqme::quorum {
+
+class SingletonQuorum final : public QuorumSystem {
+ public:
+  explicit SingletonQuorum(int n);
+
+  int num_sites() const override { return n_; }
+  std::string name() const override { return "singleton"; }
+  Quorum quorum_for(SiteId id) const override;
+  bool available(const std::vector<bool>& alive) const override;
+
+ private:
+  int n_;
+};
+
+class AllQuorum final : public QuorumSystem {
+ public:
+  explicit AllQuorum(int n);
+
+  int num_sites() const override { return n_; }
+  std::string name() const override { return "all"; }
+  Quorum quorum_for(SiteId id) const override;
+  bool available(const std::vector<bool>& alive) const override;
+
+ private:
+  int n_;
+};
+
+}  // namespace dqme::quorum

@@ -1,0 +1,231 @@
+#include "replica/replicated_store.h"
+
+#include <algorithm>
+
+namespace dqme::replica {
+
+using net::Message;
+using net::MsgType;
+
+ReplicaNode::ReplicaNode(SiteId id, net::Network& net,
+                         const quorum::QuorumSystem& quorums,
+                         core::CaoSinghalSite::Options mutex_options)
+    : id_(id),
+      net_(net),
+      quorums_(quorums),
+      mutex_(id, net, quorums, mutex_options),
+      fault_tolerant_(mutex_options.fault_tolerant),
+      alive_(static_cast<size_t>(net.size()), true) {
+  mutex_.on_enter = [this](SiteId) {
+    DQME_CHECK(phase_ == Phase::kAcquiring);
+    begin_read_phase();
+  };
+  mutex_.on_abort = [this](SiteId) {
+    // No quorum can be formed: fail the op (version -1) and stop.
+    DQME_CHECK(!queue_.empty());
+    Op op = std::move(queue_.front());
+    queue_.pop_front();
+    phase_ = Phase::kIdle;
+    if (op.is_write && op.write_done) op.write_done(-1);
+    if (!op.is_write && op.read_done) op.read_done(Versioned{0, -1});
+  };
+}
+
+std::optional<Versioned> ReplicaNode::local_get(int64_t key) const {
+  auto it = store_.find(key);
+  if (it == store_.end()) return std::nullopt;
+  return it->second;
+}
+
+void ReplicaNode::write(int64_t key, int64_t value, WriteCallback done) {
+  Op op;
+  op.is_write = true;
+  op.key = key;
+  op.value = value;
+  op.write_done = std::move(done);
+  queue_.push_back(std::move(op));
+  if (phase_ == Phase::kIdle) start_next_op();
+}
+
+void ReplicaNode::update(int64_t key, Updater fn, WriteCallback done) {
+  DQME_CHECK(fn != nullptr);
+  Op op;
+  op.is_write = true;
+  op.key = key;
+  op.updater = std::move(fn);
+  op.write_done = std::move(done);
+  queue_.push_back(std::move(op));
+  if (phase_ == Phase::kIdle) start_next_op();
+}
+
+void ReplicaNode::read(int64_t key, ReadCallback done) {
+  Op op;
+  op.key = key;
+  op.read_done = std::move(done);
+  queue_.push_back(std::move(op));
+  if (phase_ == Phase::kIdle) start_next_op();
+}
+
+void ReplicaNode::start_next_op() {
+  DQME_CHECK(phase_ == Phase::kIdle);
+  if (queue_.empty()) return;
+  if (queue_.front().is_write) {
+    // Writers serialize through the paper's mutual exclusion algorithm.
+    phase_ = Phase::kAcquiring;
+    mutex_.request_cs();
+  } else {
+    begin_read_phase();
+  }
+}
+
+void ReplicaNode::begin_read_phase() {
+  const Op& op = queue_.front();
+  auto q = fault_tolerant_ ? quorums_.quorum_for_alive(id_, alive_)
+                           : std::optional<quorum::Quorum>(
+                                 quorums_.quorum_for(id_));
+  if (!q) {
+    // Mirror the §6 "inaccessible" outcome for data quorums.
+    if (mutex_.in_cs()) mutex_.release_cs();
+    Op failed = std::move(queue_.front());
+    queue_.pop_front();
+    phase_ = Phase::kIdle;
+    if (failed.is_write && failed.write_done) failed.write_done(-1);
+    if (!failed.is_write && failed.read_done)
+      failed.read_done(Versioned{0, -1});
+    start_next_op();
+    return;
+  }
+  phase_ = Phase::kReading;
+  op_quorum_ = *q;
+  op_replies_.clear();
+  op_best_ = Versioned{};
+  ++op_id_;
+  for (SiteId s : op_quorum_) {
+    Message m;
+    m.type = MsgType::kRead;
+    m.seq = op_id_;
+    m.kv.key = op.key;
+    net_.send(id_, s, m);
+  }
+}
+
+void ReplicaNode::serve_read(const Message& m) {
+  Message reply;
+  reply.type = MsgType::kReadReply;
+  reply.seq = m.seq;
+  reply.kv.key = m.kv.key;
+  if (auto v = local_get(m.kv.key)) {
+    reply.kv.value = v->value;
+    reply.kv.version = v->version;
+  }
+  net_.send(id_, m.src, reply);
+}
+
+void ReplicaNode::serve_write(const Message& m) {
+  Versioned& slot = store_[m.kv.key];
+  // Last-writer-wins on version; equal versions denote idempotent
+  // retransmits of the same CS-serialized write.
+  if (m.kv.version > slot.version)
+    slot = Versioned{m.kv.value, m.kv.version};
+  Message ack;
+  ack.type = MsgType::kWriteAck;
+  ack.seq = m.seq;
+  ack.kv.key = m.kv.key;
+  ack.kv.version = m.kv.version;
+  net_.send(id_, m.src, ack);
+}
+
+void ReplicaNode::on_read_reply(const Message& m) {
+  if (phase_ != Phase::kReading || m.seq != op_id_) {
+    ++stats_.stale_replies;
+    return;
+  }
+  op_replies_.emplace(m.src, Versioned{m.kv.value, m.kv.version});
+  if (m.kv.version > op_best_.version)
+    op_best_ = Versioned{m.kv.value, m.kv.version};
+  if (op_replies_.size() < op_quorum_.size()) return;
+
+  Op& op = queue_.front();
+  if (!op.is_write) {
+    finish_op();
+    return;
+  }
+  // WRITE phase: install value with the next version at the quorum.
+  if (op.updater) op.value = op.updater(op_best_.version > 0 ? op_best_.value : 0);
+  phase_ = Phase::kWriting;
+  op_replies_.clear();
+  ++op_id_;
+  for (SiteId s : op_quorum_) {
+    Message m2;
+    m2.type = MsgType::kWrite;
+    m2.seq = op_id_;
+    m2.kv.key = op.key;
+    m2.kv.value = op.value;
+    m2.kv.version = op_best_.version + 1;
+    net_.send(id_, s, m2);
+  }
+}
+
+void ReplicaNode::on_write_ack(const Message& m) {
+  if (phase_ != Phase::kWriting || m.seq != op_id_) {
+    ++stats_.stale_replies;
+    return;
+  }
+  op_replies_.emplace(m.src, Versioned{});
+  if (op_replies_.size() < op_quorum_.size()) return;
+  finish_op();
+}
+
+void ReplicaNode::finish_op() {
+  Op op = std::move(queue_.front());
+  queue_.pop_front();
+  phase_ = Phase::kIdle;
+  if (op.is_write) {
+    DQME_CHECK(mutex_.in_cs());
+    mutex_.release_cs();
+    ++stats_.writes_completed;
+    const int64_t committed = op_best_.version + 1;
+    if (op.write_done) op.write_done(committed);
+  } else {
+    ++stats_.reads_completed;
+    if (op.read_done) op.read_done(op_best_);
+  }
+  start_next_op();
+}
+
+void ReplicaNode::handle_crash(SiteId victim) {
+  if (!alive_[static_cast<size_t>(victim)]) return;
+  alive_[static_cast<size_t>(victim)] = false;
+  if (!fault_tolerant_) return;
+  // Restart an in-flight quorum phase if it was waiting on the victim.
+  const bool awaiting =
+      (phase_ == Phase::kReading || phase_ == Phase::kWriting) &&
+      std::find(op_quorum_.begin(), op_quorum_.end(), victim) !=
+          op_quorum_.end() &&
+      !op_replies_.contains(victim);
+  if (awaiting) {
+    ++stats_.op_restarts;
+    // Re-run from the READ phase: versions may have moved and the quorum
+    // must be re-formed from live sites. Idempotent for writes (the
+    // version comparison in serve_write absorbs retransmits).
+    begin_read_phase();
+  }
+}
+
+void ReplicaNode::on_message(const Message& m) {
+  switch (m.type) {
+    case MsgType::kRead:      serve_read(m);     return;
+    case MsgType::kWrite:     serve_write(m);    return;
+    case MsgType::kReadReply: on_read_reply(m);  return;
+    case MsgType::kWriteAck:  on_write_ack(m);   return;
+    case MsgType::kFailureNotice:
+      handle_crash(m.arbiter);
+      mutex_.on_message(m);  // the mutex layer scrubs its own state
+      return;
+    default:
+      mutex_.on_message(m);
+      return;
+  }
+}
+
+}  // namespace dqme::replica

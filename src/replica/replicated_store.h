@@ -1,0 +1,121 @@
+// Quorum-based replica control on top of the delay-optimal mutual
+// exclusion algorithm — the paper's §7 extension: "the proposed idea can
+// be used in replicated data management, as long as the quorum being used
+// supports replica control."
+//
+// Every site holds a full replica of a keyed, versioned store. Protocols
+// (Gifford-style, with the mutex serializing writers):
+//
+//   write(k, v): acquire the distributed CS  (writers are totally ordered)
+//                -> READ phase: collect versions of k from a quorum
+//                -> WRITE phase: install (v, max_version+1) at a quorum
+//                -> release the CS, complete.
+//   read(k):     collect (value, version) of k from a quorum, return the
+//                highest-versioned copy. No CS needed: any quorum
+//                intersects every write quorum (paper §2), so a read that
+//                does not race a write returns the latest committed value
+//                (regular-register semantics).
+//
+// With AlgoOptions::fault_tolerant and a failure-adaptive construction
+// (tree/majority/grid-set/RST), in-flight operations re-form their quorum
+// when a member crashes — same views-intersect argument as §6.
+#pragma once
+
+#include <deque>
+#include <functional>
+#include <map>
+#include <optional>
+
+#include "core/cao_singhal.h"
+#include "quorum/quorum_system.h"
+
+namespace dqme::replica {
+
+// One committed copy of a key.
+struct Versioned {
+  int64_t value = 0;
+  int64_t version = 0;  // 0 = never written
+
+  friend bool operator==(const Versioned&, const Versioned&) = default;
+};
+
+struct StoreStats {
+  uint64_t writes_completed = 0;
+  uint64_t reads_completed = 0;
+  uint64_t op_restarts = 0;  // quorum re-formed after a member crashed
+  uint64_t stale_replies = 0;
+};
+
+class ReplicaNode final : public net::NetSite {
+ public:
+  using WriteCallback = std::function<void(int64_t version)>;
+  using ReadCallback = std::function<void(Versioned)>;
+
+  ReplicaNode(SiteId id, net::Network& net,
+              const quorum::QuorumSystem& quorums,
+              core::CaoSinghalSite::Options mutex_options = {});
+
+  SiteId id() const { return id_; }
+
+  // Asynchronous API. Operations issued while another is in flight queue
+  // locally and run in order. Callbacks fire from simulator events.
+  void write(int64_t key, int64_t value, WriteCallback done);
+  void read(int64_t key, ReadCallback done);
+
+  // Atomic read-modify-write: `fn` maps the latest committed value (0 if
+  // unwritten) to the new value, evaluated inside the CS between the read
+  // and write phases — so concurrent updates never lose increments.
+  using Updater = std::function<int64_t(int64_t)>;
+  void update(int64_t key, Updater fn, WriteCallback done);
+
+  // Direct access to this replica's local copy (tests, debugging).
+  std::optional<Versioned> local_get(int64_t key) const;
+
+  const StoreStats& stats() const { return stats_; }
+  bool stalled() const { return mutex_.stalled(); }
+
+  void on_message(const net::Message& m) override;
+
+ private:
+  enum class Phase { kIdle, kAcquiring, kReading, kWriting };
+  struct Op {
+    bool is_write = false;
+    int64_t key = 0;
+    int64_t value = 0;
+    Updater updater;  // non-null: value is computed from the read phase
+    WriteCallback write_done;
+    ReadCallback read_done;
+  };
+
+  // Server side: answer quorum-phase messages against the local store.
+  void serve_read(const net::Message& m);
+  void serve_write(const net::Message& m);
+
+  // Client side: the currently executing operation's state machine.
+  void start_next_op();
+  void begin_read_phase();
+  void on_read_reply(const net::Message& m);
+  void on_write_ack(const net::Message& m);
+  void finish_op();
+  void handle_crash(SiteId victim);
+
+  SiteId id_;
+  net::Network& net_;
+  const quorum::QuorumSystem& quorums_;
+  core::CaoSinghalSite mutex_;
+  bool fault_tolerant_;
+
+  std::map<int64_t, Versioned> store_;
+  std::vector<bool> alive_;
+
+  std::deque<Op> queue_;
+  Phase phase_ = Phase::kIdle;
+  SeqNum op_id_ = 0;             // tags quorum-phase messages
+  std::vector<SiteId> op_quorum_;
+  std::map<SiteId, Versioned> op_replies_;
+  Versioned op_best_;            // highest version seen in the read phase
+
+  StoreStats stats_;
+};
+
+}  // namespace dqme::replica

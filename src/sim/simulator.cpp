@@ -1,0 +1,56 @@
+#include "sim/simulator.h"
+
+#include <utility>
+
+namespace dqme::sim {
+
+Simulator::EventId Simulator::schedule_at(Time when, Callback fn) {
+  DQME_CHECK_MSG(when >= now_, "event scheduled in the past: " << when
+                               << " < now " << now_);
+  DQME_CHECK(fn != nullptr);
+  EventId id = next_id_++;
+  heap_.push(Entry{when, id});
+  callbacks_.emplace(id, std::move(fn));
+  return id;
+}
+
+bool Simulator::cancel(EventId id) { return callbacks_.erase(id) > 0; }
+
+void Simulator::skim() {
+  while (!heap_.empty() && !callbacks_.contains(heap_.top().id)) heap_.pop();
+}
+
+bool Simulator::step() {
+  skim();
+  if (heap_.empty()) return false;
+  Entry e = heap_.top();
+  heap_.pop();
+  auto it = callbacks_.find(e.id);
+  Callback fn = std::move(it->second);
+  callbacks_.erase(it);
+  now_ = e.when;
+  ++executed_;
+  fn();
+  return true;
+}
+
+uint64_t Simulator::run() {
+  uint64_t n = 0;
+  while (!stopped_ && step()) ++n;
+  return n;
+}
+
+uint64_t Simulator::run_until(Time until) {
+  DQME_CHECK(until >= now_);
+  uint64_t n = 0;
+  while (!stopped_) {
+    skim();
+    if (heap_.empty() || heap_.top().when > until) break;
+    step();
+    ++n;
+  }
+  if (!stopped_ && now_ < until) now_ = until;
+  return n;
+}
+
+}  // namespace dqme::sim

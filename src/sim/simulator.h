@@ -1,0 +1,87 @@
+// Deterministic discrete-event simulator.
+//
+// A Simulator owns a virtual clock and a priority queue of events. Events
+// scheduled for the same instant fire in scheduling order (a monotonically
+// increasing tie-break id), so a run is a pure function of its inputs — the
+// property every reproduction experiment in this repo relies on.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_map>
+
+#include "common/check.h"
+#include "common/types.h"
+
+namespace dqme::sim {
+
+class Simulator {
+ public:
+  using Callback = std::function<void()>;
+  using EventId = uint64_t;
+
+  Simulator() = default;
+  Simulator(const Simulator&) = delete;
+  Simulator& operator=(const Simulator&) = delete;
+
+  Time now() const { return now_; }
+
+  // Schedules `fn` to run at absolute virtual time `when` (>= now).
+  EventId schedule_at(Time when, Callback fn);
+
+  // Schedules `fn` to run `delay` ticks from now (delay >= 0).
+  EventId schedule_after(Time delay, Callback fn) {
+    DQME_CHECK(delay >= 0);
+    return schedule_at(now_ + delay, std::move(fn));
+  }
+
+  // Cancels a pending event. Returns false if it already fired or was
+  // already cancelled. O(1): the heap entry is tombstoned, not removed.
+  bool cancel(EventId id);
+
+  // Runs until the queue drains or stop() is called.
+  // Returns the number of events executed.
+  uint64_t run();
+
+  // Runs events with time <= `until`; the clock then reads `until` unless
+  // stop() fired earlier. Returns the number of events executed.
+  uint64_t run_until(Time until);
+
+  // Executes exactly one event if any is pending. Returns true if one ran.
+  bool step();
+
+  // Makes run()/run_until() return after the current event completes.
+  void stop() { stopped_ = true; }
+  bool stopped() const { return stopped_; }
+  void clear_stop() { stopped_ = false; }
+
+  // Number of live (non-cancelled) pending events.
+  size_t pending() const { return callbacks_.size(); }
+  bool idle() const { return pending() == 0; }
+
+  uint64_t events_executed() const { return executed_; }
+
+ private:
+  struct Entry {
+    Time when;
+    EventId id;
+    // Min-heap on (when, id): std::priority_queue is a max-heap, so invert.
+    bool operator<(const Entry& other) const {
+      if (when != other.when) return when > other.when;
+      return id > other.id;
+    }
+  };
+
+  // Drops tombstoned (cancelled) entries off the heap top.
+  void skim();
+
+  Time now_ = 0;
+  EventId next_id_ = 1;
+  bool stopped_ = false;
+  uint64_t executed_ = 0;
+  std::priority_queue<Entry> heap_;
+  std::unordered_map<EventId, Callback> callbacks_;
+};
+
+}  // namespace dqme::sim

@@ -1,0 +1,260 @@
+// Behavioural tests for the paper's algorithm: §5's message-count bands,
+// the delay-T claim, quorum independence (§1/§3.1: "does not depend on any
+// particular quorum construction"), and randomized safety/liveness sweeps.
+#include <gtest/gtest.h>
+
+#include "quorum/factory.h"
+#include "test_util.h"
+
+namespace dqme {
+namespace {
+
+using harness::ExperimentConfig;
+using harness::ExperimentResult;
+using mutex::Algo;
+using testing::heavy_cfg;
+using testing::light_cfg;
+using testing::run_checked;
+
+// §5.1: an uncontended CS costs exactly (K-1) request + (K-1) reply +
+// (K-1) release = 3(K-1) wire messages.
+TEST(CaoSinghal, UncontendedCsCostsExactly3KMinus1) {
+  ExperimentConfig cfg = light_cfg(Algo::kCaoSinghal, 25, 31);
+  // Make contention essentially impossible: one demand per site per 1000T.
+  cfg.workload.arrival_rate = 1.0 / (1000.0 * 1000.0);
+  cfg.measure = 20'000'000;
+  ExperimentResult r = run_checked(cfg);
+  ASSERT_GT(r.summary.completed, 10u);
+  EXPECT_NEAR(r.summary.wire_msgs_per_cs, 3.0 * (r.mean_quorum_size - 1),
+              0.8);
+}
+
+// §5.2: heavy load costs 5(K-1) or 6(K-1); with piggybacking (inquire
+// rides with transfer, reply with transfer) wire messages stay in the
+// 3(K-1)..6(K-1) band.
+TEST(CaoSinghal, HeavyLoadCostsWithin3To6KMinus1) {
+  ExperimentResult r = run_checked(heavy_cfg(Algo::kCaoSinghal, 25, 32));
+  const double k1 = r.mean_quorum_size - 1;
+  EXPECT_GE(r.summary.wire_msgs_per_cs, 3.0 * k1 - 1);
+  EXPECT_LE(r.summary.wire_msgs_per_cs, 6.0 * k1 + 1);
+}
+
+// The headline claim: synchronization delay ~T under heavy load because
+// the exiting site forwards replies directly.
+TEST(CaoSinghal, SynchronizationDelayApproachesT) {
+  ExperimentResult r = run_checked(heavy_cfg(Algo::kCaoSinghal, 25, 33));
+  EXPECT_LT(r.sync_delay_in_t, 1.35);
+  EXPECT_GE(r.sync_delay_in_t, 0.95);  // T is a hard lower bound (§5.2)
+}
+
+// The proxy machinery must actually carry the load at saturation.
+TEST(CaoSinghal, RepliesAreForwardedByProxiesUnderContention) {
+  ExperimentResult r = run_checked(heavy_cfg(Algo::kCaoSinghal, 25, 34));
+  EXPECT_GT(r.protocol_stats.transfers_accepted, 0u);
+  EXPECT_GT(r.protocol_stats.replies_forwarded, 0u);
+  // At saturation most handoffs should go through the fast path.
+  EXPECT_GT(r.protocol_stats.replies_forwarded,
+            r.protocol_stats.replies_direct / 4);
+}
+
+// Arbiter case accounting (E8 machinery): every request an arbiter sees is
+// classified into exactly one §5.2 case.
+TEST(CaoSinghal, EveryArbiterRequestFallsIntoOneCase) {
+  ExperimentResult r = run_checked(heavy_cfg(Algo::kCaoSinghal, 25, 35));
+  EXPECT_GT(r.case_stats.total(), 0u);
+  // Under saturation the contended cases dominate and fails must occur.
+  EXPECT_GT(r.case_stats.c3_fail_newcomer + r.case_stats.c2_empty_lower +
+                r.case_stats.c6_between,
+            0u);
+}
+
+// Starvation freedom in practice: no request waits pathologically long
+// compared to the round-robin ideal (N * (E + T) per turn).
+TEST(CaoSinghal, WaitingTimesAreBounded) {
+  ExperimentConfig cfg = heavy_cfg(Algo::kCaoSinghal, 25, 36);
+  cfg.measure = 1'000'000;
+  ExperimentResult r = run_checked(cfg);
+  const double turn = 25.0 * (static_cast<double>(cfg.workload.cs_duration) +
+                              static_cast<double>(cfg.mean_delay));
+  EXPECT_LT(r.summary.waiting_max, 4.0 * turn);
+}
+
+// Exponential CS times and jittered delays must not break anything.
+TEST(CaoSinghal, RobustToStochasticDurationsAndDelays) {
+  ExperimentConfig cfg = heavy_cfg(Algo::kCaoSinghal, 25, 37);
+  cfg.workload.exponential_cs = true;
+  cfg.delay_kind = ExperimentConfig::DelayKind::kExponential;
+  ExperimentResult r = run_checked(cfg);
+  EXPECT_GT(r.summary.completed, 0u);
+}
+
+TEST(CaoSinghal, UniformDelayJitterStillDelayOptimalShape) {
+  ExperimentConfig cs = heavy_cfg(Algo::kCaoSinghal, 25, 38);
+  cs.delay_kind = ExperimentConfig::DelayKind::kUniform;
+  ExperimentConfig mk = heavy_cfg(Algo::kMaekawa, 25, 38);
+  mk.delay_kind = ExperimentConfig::DelayKind::kUniform;
+  ExperimentResult a = run_checked(cs);
+  ExperimentResult b = run_checked(mk);
+  EXPECT_LT(a.summary.sync_delay_contended,
+            0.8 * b.summary.sync_delay_contended);
+}
+
+// ---- Quorum independence (§1): sweep constructions under both loads ----
+
+struct QuorumParam {
+  const char* kind;
+  int n;
+};
+
+std::string quorum_param_name(
+    const ::testing::TestParamInfo<QuorumParam>& info) {
+  std::string s = info.param.kind;
+  for (char& c : s)
+    if (c == ':') c = '_';
+  return s + "_n" + std::to_string(info.param.n);
+}
+
+class CaoSinghalOnQuorums : public ::testing::TestWithParam<QuorumParam> {};
+
+TEST_P(CaoSinghalOnQuorums, SafeAndLiveHeavy) {
+  auto p = GetParam();
+  ExperimentResult r =
+      run_checked(heavy_cfg(Algo::kCaoSinghal, p.n, 40, p.kind));
+  EXPECT_GT(r.summary.completed, 0u);
+}
+
+TEST_P(CaoSinghalOnQuorums, SafeAndLiveLight) {
+  auto p = GetParam();
+  ExperimentResult r =
+      run_checked(light_cfg(Algo::kCaoSinghal, p.n, 41, p.kind));
+  EXPECT_GT(r.summary.completed, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Quorums, CaoSinghalOnQuorums,
+    ::testing::Values(QuorumParam{"grid", 25}, QuorumParam{"grid", 23},
+                      QuorumParam{"fpp", 13}, QuorumParam{"fpp", 31},
+                      QuorumParam{"tree", 15}, QuorumParam{"majority", 11},
+                      QuorumParam{"hqc", 9}, QuorumParam{"hqc", 27},
+                      QuorumParam{"gridset:4", 16}, QuorumParam{"rst:4", 16},
+                      QuorumParam{"singleton", 8}, QuorumParam{"all", 6}),
+    quorum_param_name);
+
+// ---- Randomized seed sweep: the empirical Theorems 1-3 ----
+
+class CaoSinghalSeedSweep : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(CaoSinghalSeedSweep, HeavyLoadSafetyAndLiveness) {
+  ExperimentConfig cfg = heavy_cfg(Algo::kCaoSinghal, 16, GetParam());
+  cfg.workload.exponential_cs = (GetParam() % 2) == 0;
+  cfg.delay_kind = (GetParam() % 3) == 0
+                       ? ExperimentConfig::DelayKind::kExponential
+                       : ExperimentConfig::DelayKind::kConstant;
+  run_checked(cfg);
+}
+
+TEST_P(CaoSinghalSeedSweep, ModerateLoadSafetyAndLiveness) {
+  ExperimentConfig cfg = light_cfg(Algo::kCaoSinghal, 16, GetParam());
+  // ~45% utilization: aggregate demand 16/(40T) vs capacity ~1/(T+E).
+  // (Above saturation the open-loop backlog grows without bound and the
+  // run can never drain — that is queueing theory, not a protocol flaw.)
+  cfg.workload.arrival_rate = 1.0 / (40.0 * 1000.0);
+  cfg.delay_kind = ExperimentConfig::DelayKind::kUniform;
+  run_checked(cfg);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CaoSinghalSeedSweep,
+                         ::testing::Range<uint64_t>(100, 120));
+
+// ---- K scaling: messages grow as sqrt(N), not N ----
+
+TEST(CaoSinghal, MessageCountScalesWithRootN) {
+  ExperimentResult small = run_checked(heavy_cfg(Algo::kCaoSinghal, 9, 42));
+  ExperimentResult big = run_checked(heavy_cfg(Algo::kCaoSinghal, 49, 42));
+  // N grew ~5.4x; K-1 grew (13-1)/(5-1) ~ 3x; messages should track K.
+  const double growth =
+      big.summary.wire_msgs_per_cs / small.summary.wire_msgs_per_cs;
+  EXPECT_LT(growth, 4.0);
+  EXPECT_GT(growth, 1.8);
+}
+
+// §5.1: "The response time in light load is 2T + E" — request round trip
+// plus the CS itself, with no queueing.
+TEST(CaoSinghal, LightLoadResponseTimeIs2TPlusE) {
+  ExperimentConfig cfg = light_cfg(Algo::kCaoSinghal, 25, 43);
+  cfg.workload.arrival_rate = 1.0 / (1000.0 * 1000.0);  // negligible load
+  cfg.measure = 20'000'000;
+  ExperimentResult r = run_checked(cfg);
+  const double expect = 2.0 * static_cast<double>(cfg.mean_delay) +
+                        static_cast<double>(cfg.workload.cs_duration);
+  EXPECT_NEAR(r.summary.response_mean, expect, 0.05 * expect);
+}
+
+// Theorem 3 made quantitative: under symmetric closed-loop demand, service
+// is near-perfectly even (Jain index ~ 1).
+TEST(CaoSinghal, ServiceIsFairUnderSymmetricDemand) {
+  ExperimentConfig cfg = heavy_cfg(Algo::kCaoSinghal, 25, 44);
+  cfg.measure = 2'000'000;
+  ExperimentResult r = run_checked(cfg);
+  EXPECT_GT(r.summary.fairness_jain, 0.97);
+}
+
+// Hotspot workload: one site generating 10x demand must not starve the
+// others, and vice versa.
+TEST(CaoSinghal, HotspotSiteDoesNotStarveOthers) {
+  ExperimentConfig cfg = light_cfg(Algo::kCaoSinghal, 16, 45);
+  cfg.workload.arrival_rate = 1.0 / (60.0 * 1000.0);
+  cfg.workload.site_weights.assign(16, 1.0);
+  cfg.workload.site_weights[0] = 10.0;
+  cfg.measure = 4'000'000;
+  ExperimentResult r = run_checked(cfg);
+  EXPECT_GT(r.summary.completed, 0u);
+}
+
+// Sites with zero demand are pure arbiters; the protocol must be fine with
+// requesters never being quorum peers of each other via those sites.
+TEST(CaoSinghal, PureArbiterSitesNeverRequesting) {
+  ExperimentConfig cfg = light_cfg(Algo::kCaoSinghal, 9, 46);
+  cfg.workload.arrival_rate = 1.0 / (20.0 * 1000.0);
+  cfg.workload.site_weights = {1, 0, 1, 0, 1, 0, 1, 0, 1};
+  cfg.measure = 2'000'000;
+  ExperimentResult r = run_checked(cfg);
+  EXPECT_GT(r.summary.completed, 0u);
+}
+
+// Exact light-load cost law per construction: 3 messages per quorum member
+// other than self (self-permissions are local, §5's (K-1) convention).
+// Constructions whose quorums may not contain the requester (fpp, tree)
+// pay for every member.
+TEST(CaoSinghal, LightLoadCostLawAcrossConstructions) {
+  struct Case {
+    const char* kind;
+    int n;
+  };
+  for (const Case c : {Case{"grid", 25}, Case{"fpp", 13}, Case{"tree", 15},
+                       Case{"majority", 9}, Case{"hqc", 9}}) {
+    // One site, one request, zero contention: count exactly.
+    sim::Simulator sim;
+    net::Network net(sim, c.n, std::make_unique<net::ConstantDelay>(1000), 1);
+    auto quorums = quorum::make_quorum_system(c.kind, c.n);
+    std::vector<std::unique_ptr<core::CaoSinghalSite>> sites;
+    for (SiteId i = 0; i < c.n; ++i) {
+      sites.push_back(
+          std::make_unique<core::CaoSinghalSite>(i, net, *quorums));
+      net.attach(i, sites.back().get());
+    }
+    const SiteId requester = static_cast<SiteId>(c.n / 2);
+    sites[static_cast<size_t>(requester)]->request_cs();
+    sim.run();
+    ASSERT_TRUE(sites[static_cast<size_t>(requester)]->in_cs()) << c.kind;
+    sites[static_cast<size_t>(requester)]->release_cs();
+    sim.run();
+    const auto q = quorums->quorum_for(requester);
+    const size_t remote =
+        q.size() - (std::binary_search(q.begin(), q.end(), requester) ? 1 : 0);
+    EXPECT_EQ(net.stats().wire_messages, 3 * remote) << c.kind;
+  }
+}
+
+}  // namespace
+}  // namespace dqme

@@ -1,0 +1,151 @@
+// Unit tests for common/: request identities, priority order, RNG.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "common/check.h"
+#include "common/rng.h"
+#include "common/timestamp.h"
+
+namespace dqme {
+namespace {
+
+TEST(ReqId, DefaultIsInvalidSentinel) {
+  ReqId r;
+  EXPECT_FALSE(r.valid());
+  EXPECT_EQ(r, kNoRequest);
+}
+
+TEST(ReqId, SmallerSequenceNumberWins) {
+  ReqId a{1, 5}, b{2, 0};
+  EXPECT_LT(a, b);  // priority rule 1 (§3.1)
+}
+
+TEST(ReqId, TiesBrokenBySmallerSiteNumber) {
+  ReqId a{7, 2}, b{7, 3};
+  EXPECT_LT(a, b);  // priority rule 2 (§3.1)
+}
+
+TEST(ReqId, SentinelComparesBelowEveryRealRequest) {
+  // "(max,max)" must have lower priority than any request (paper §3.1).
+  ReqId real{std::numeric_limits<SeqNum>::max() - 1, 1'000'000};
+  EXPECT_LT(real, kNoRequest);
+}
+
+TEST(ReqId, EqualityIsFieldwise) {
+  EXPECT_EQ((ReqId{3, 4}), (ReqId{3, 4}));
+  EXPECT_NE((ReqId{3, 4}), (ReqId{3, 5}));
+  EXPECT_NE((ReqId{3, 4}), (ReqId{4, 4}));
+}
+
+TEST(ReqId, OrderingIsTotalOnSample) {
+  std::vector<ReqId> sample;
+  for (SeqNum s = 1; s <= 5; ++s)
+    for (SiteId i = 0; i < 5; ++i) sample.push_back({s, i});
+  std::set<ReqId> ordered(sample.begin(), sample.end());
+  EXPECT_EQ(ordered.size(), sample.size());
+  EXPECT_EQ(*ordered.begin(), (ReqId{1, 0}));  // highest priority overall
+}
+
+TEST(Check, ThrowsWithDiagnosticMessage) {
+  try {
+    DQME_CHECK_MSG(1 == 2, "math broke at " << 42);
+    FAIL() << "should have thrown";
+  } catch (const CheckError& e) {
+    EXPECT_NE(std::string(e.what()).find("math broke at 42"),
+              std::string::npos);
+  }
+}
+
+TEST(Rng, DeterministicForEqualSeeds) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) same += a.next_u64() == b.next_u64();
+  EXPECT_LT(same, 4);
+}
+
+TEST(Rng, ForkIsDeterministicAcrossReplays) {
+  Rng parent(9);
+  Rng child = parent.fork();
+  Rng parent2(9);
+  Rng child2 = parent2.fork();
+  (void)parent.next_u64();  // consuming the parent must not affect child
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(child.next_u64(), child2.next_u64());
+}
+
+TEST(Rng, UniformIntCoversInclusiveRange) {
+  Rng rng(5);
+  std::set<int64_t> seen;
+  for (int i = 0; i < 1000; ++i) {
+    int64_t v = rng.uniform_int(3, 7);
+    ASSERT_GE(v, 3);
+    ASSERT_LE(v, 7);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 5u);
+}
+
+TEST(Rng, UniformIntRejectsEmptyRange) {
+  Rng rng(5);
+  EXPECT_THROW(rng.uniform_int(8, 7), CheckError);
+}
+
+TEST(Rng, ExponentialHasRequestedMean) {
+  Rng rng(11);
+  double sum = 0;
+  const int kDraws = 20000;
+  for (int i = 0; i < kDraws; ++i) sum += rng.exponential(250.0);
+  EXPECT_NEAR(sum / kDraws, 250.0, 10.0);
+}
+
+TEST(Rng, ExponentialTimeIsAtLeastOneTick) {
+  Rng rng(13);
+  for (int i = 0; i < 1000; ++i) EXPECT_GE(rng.exponential_time(2), 1);
+}
+
+TEST(Rng, BernoulliMatchesProbability) {
+  Rng rng(17);
+  int hits = 0;
+  const int kDraws = 20000;
+  for (int i = 0; i < kDraws; ++i) hits += rng.bernoulli(0.3);
+  EXPECT_NEAR(static_cast<double>(hits) / kDraws, 0.3, 0.02);
+}
+
+TEST(Rng, SampleWithoutReplacementIsDistinctAndInRange) {
+  Rng rng(19);
+  for (int trial = 0; trial < 50; ++trial) {
+    auto s = rng.sample_without_replacement(20, 7);
+    ASSERT_EQ(s.size(), 7u);
+    std::set<int> uniq(s.begin(), s.end());
+    EXPECT_EQ(uniq.size(), 7u);
+    for (int v : s) {
+      EXPECT_GE(v, 0);
+      EXPECT_LT(v, 20);
+    }
+  }
+}
+
+TEST(Rng, SampleWholePopulationIsPermutation) {
+  Rng rng(23);
+  auto s = rng.sample_without_replacement(10, 10);
+  std::sort(s.begin(), s.end());
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(s[static_cast<size_t>(i)], i);
+}
+
+TEST(Rng, ShufflePreservesElements) {
+  Rng rng(29);
+  std::vector<int> v{1, 2, 3, 4, 5, 6};
+  auto sorted = v;
+  rng.shuffle(v);
+  std::sort(v.begin(), v.end());
+  EXPECT_EQ(v, sorted);
+}
+
+}  // namespace
+}  // namespace dqme

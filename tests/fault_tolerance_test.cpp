@@ -1,0 +1,343 @@
+// §6 fault tolerance: failure detection, arbiter state scrubbing, quorum
+// reconstruction, and end-to-end progress across crashes — with the
+// mutual-exclusion invariant checked throughout.
+#include <gtest/gtest.h>
+
+#include "core/cao_singhal.h"
+#include "core/failure_detector.h"
+#include "quorum/factory.h"
+#include "test_util.h"
+
+namespace dqme {
+namespace {
+
+using harness::ExperimentConfig;
+using harness::ExperimentResult;
+using mutex::Algo;
+using testing::run_checked;
+
+ExperimentConfig ft_cfg(const std::string& quorum, int n, uint64_t seed) {
+  ExperimentConfig cfg = testing::heavy_cfg(Algo::kCaoSinghal, n, seed,
+                                            quorum);
+  cfg.options.fault_tolerant = true;
+  cfg.measure = 1'000'000;
+  return cfg;
+}
+
+// ------------------------------------------------------ failure detector
+
+struct NoticeSink final : public net::NetSite {
+  void on_message(const net::Message& m) override {
+    ASSERT_EQ(m.type, net::MsgType::kFailureNotice);
+    notices.push_back(m.arbiter);
+  }
+  std::vector<SiteId> notices;
+};
+
+TEST(FailureDetector, NotifiesEveryLiveSiteWithinLatencyPlusJitter) {
+  sim::Simulator sim;
+  net::Network net(sim, 5, std::make_unique<net::ConstantDelay>(100), 1);
+  core::FailureDetector fd(net, 2000, 500, 9);
+  std::vector<NoticeSink> sinks(5);
+  for (SiteId i = 0; i < 5; ++i) {
+    net.attach(i, &sinks[static_cast<size_t>(i)]);
+    fd.attach(i, &sinks[static_cast<size_t>(i)]);
+  }
+  fd.crash(3);
+  EXPECT_FALSE(net.alive(3));
+  sim.run_until(1999);
+  for (SiteId i = 0; i < 5; ++i) EXPECT_TRUE(sinks[static_cast<size_t>(i)].notices.empty());
+  sim.run_until(2500);
+  for (SiteId i = 0; i < 5; ++i) {
+    if (i == 3) {
+      EXPECT_TRUE(sinks[3].notices.empty());  // the dead don't hear
+    } else {
+      ASSERT_EQ(sinks[static_cast<size_t>(i)].notices.size(), 1u) << i;
+      EXPECT_EQ(sinks[static_cast<size_t>(i)].notices[0], 3);
+    }
+  }
+}
+
+TEST(FailureDetector, CrashedSitesGetNoLaterNotices) {
+  sim::Simulator sim;
+  net::Network net(sim, 3, std::make_unique<net::ConstantDelay>(100), 1);
+  core::FailureDetector fd(net, 100, 0, 9);
+  std::vector<NoticeSink> sinks(3);
+  for (SiteId i = 0; i < 3; ++i) fd.attach(i, &sinks[static_cast<size_t>(i)]);
+  fd.crash(0);
+  sim.run_until(50);
+  fd.crash(1);  // crashes before 0's notice reaches it
+  sim.run();
+  EXPECT_TRUE(sinks[1].notices.empty());
+  ASSERT_EQ(sinks[2].notices.size(), 2u);
+}
+
+TEST(FailureDetector, RejectsDoubleCrash) {
+  sim::Simulator sim;
+  net::Network net(sim, 2, std::make_unique<net::ConstantDelay>(100), 1);
+  core::FailureDetector fd(net, 100, 0, 9);
+  fd.crash(0);
+  EXPECT_THROW(fd.crash(0), CheckError);
+}
+
+// ------------------------------------------------- end-to-end crash runs
+
+// Tree quorums (§6: needs the recovery scheme): crash a mid-tree site
+// while everyone hammers the CS. Progress must continue and every
+// non-crashed demand must complete.
+TEST(FaultTolerance, TreeQuorumSurvivesInternalNodeCrash) {
+  ExperimentConfig cfg = ft_cfg("tree", 15, 50);
+  cfg.crashes.push_back({cfg.warmup + 100'000, /*victim=*/1});
+  ExperimentResult r = run_checked(cfg);
+  EXPECT_EQ(r.summary.violations, 0u);
+  EXPECT_GT(r.protocol_stats.recoveries, 0u);
+  EXPECT_GT(r.summary.completed, 0u);
+}
+
+// Crash the root — it sits in EVERY tree quorum, so every in-flight
+// request must reconstruct (§6's worst case for the tree construction).
+TEST(FaultTolerance, TreeQuorumSurvivesRootCrash) {
+  ExperimentConfig cfg = ft_cfg("tree", 15, 51);
+  cfg.crashes.push_back({cfg.warmup + 100'000, /*victim=*/0});
+  ExperimentResult r = run_checked(cfg);
+  EXPECT_GT(r.protocol_stats.recoveries, 0u);
+  EXPECT_GT(r.summary.completed, 0u);
+}
+
+// Majority quorums mask failures without reconfiguration (§6: "the former
+// can tolerate the failure without any recovery scheme") — but our layer
+// still reconstructs in-flight requests that used the dead site.
+TEST(FaultTolerance, MajorityQuorumSurvivesMinorityCrashes) {
+  ExperimentConfig cfg = ft_cfg("majority", 9, 52);
+  cfg.crashes.push_back({cfg.warmup + 50'000, 2});
+  cfg.crashes.push_back({cfg.warmup + 250'000, 5});
+  cfg.crashes.push_back({cfg.warmup + 450'000, 7});
+  ExperimentResult r = run_checked(cfg);
+  EXPECT_EQ(r.summary.violations, 0u);
+  EXPECT_GT(r.summary.completed, 0u);
+}
+
+// Crashing a majority leaves the survivors without any quorum: they must
+// stall (abort their demands), not hang or violate safety.
+TEST(FaultTolerance, SurvivorsStallWhenNoQuorumExists) {
+  ExperimentConfig cfg = ft_cfg("majority", 5, 53);
+  for (SiteId v = 0; v < 3; ++v)
+    cfg.crashes.push_back({cfg.warmup + 100'000 + 5'000 * v, v});
+  ExperimentResult r = harness::run_experiment(cfg);
+  EXPECT_EQ(r.summary.violations, 0u);
+  EXPECT_TRUE(r.drained_clean);  // aborted demands are written off cleanly
+  EXPECT_GT(r.demands_aborted, 0u);
+}
+
+// The victim crashes while *inside* the CS: its arbiters' locks must be
+// scrubbed by the failure notices and the system must move on.
+TEST(FaultTolerance, CrashInsideCriticalSectionReleasesTheSystem) {
+  ExperimentConfig cfg = ft_cfg("rst:4", 16, 54);
+  // Long CS so the crash instant almost surely hits someone mid-CS.
+  cfg.workload.cs_duration = 5000;
+  cfg.crashes.push_back({cfg.warmup + 123'456, 3});
+  ExperimentResult r = run_checked(cfg);
+  EXPECT_EQ(r.summary.violations, 0u);
+  EXPECT_GT(r.summary.completed, 0u);
+}
+
+// Grid-set masks one failure with no reconfiguration at all.
+TEST(FaultTolerance, GridSetMasksSingleCrash) {
+  ExperimentConfig cfg = ft_cfg("gridset:4", 16, 55);
+  cfg.crashes.push_back({cfg.warmup + 200'000, 9});
+  ExperimentResult r = run_checked(cfg);
+  EXPECT_EQ(r.summary.violations, 0u);
+  EXPECT_GT(r.summary.completed, 0u);
+}
+
+// WITHOUT the fault-tolerance layer a crash wedges the in-flight requests
+// that depended on the dead arbiter — demonstrating what §6 adds.
+TEST(FaultTolerance, NonFaultTolerantModeWedgesOnCrash) {
+  ExperimentConfig cfg = ft_cfg("tree", 15, 56);
+  cfg.options.fault_tolerant = false;
+  cfg.crashes.push_back({cfg.warmup + 100'000, 0});  // root: in every quorum
+  ExperimentResult r = harness::run_experiment(cfg);
+  EXPECT_EQ(r.summary.violations, 0u);  // safety holds regardless
+  EXPECT_FALSE(r.drained_clean);        // liveness does not
+}
+
+// Randomized crash sweeps: safety + clean accounting across seeds, victims
+// and quorum systems.
+struct CrashSweepParam {
+  const char* quorum;
+  int n;
+  SiteId victim;
+  uint64_t seed;
+};
+
+std::string crash_name(const ::testing::TestParamInfo<CrashSweepParam>& i) {
+  std::string s = i.param.quorum;
+  for (char& c : s)
+    if (c == ':') c = '_';
+  return s + "_n" + std::to_string(i.param.n) + "_v" +
+         std::to_string(i.param.victim) + "_s" + std::to_string(i.param.seed);
+}
+
+class CrashSweep : public ::testing::TestWithParam<CrashSweepParam> {};
+
+TEST_P(CrashSweep, SafeAndAccountedAfterCrash) {
+  const auto p = GetParam();
+  ExperimentConfig cfg = ft_cfg(p.quorum, p.n, p.seed);
+  cfg.crashes.push_back(
+      {cfg.warmup + 50'000 + 1000 * static_cast<Time>(p.seed), p.victim});
+  ExperimentResult r = harness::run_experiment(cfg);
+  EXPECT_EQ(r.summary.violations, 0u);
+  EXPECT_TRUE(r.drained_clean)
+      << "outstanding demands after crash of " << p.victim;
+  EXPECT_GT(r.summary.completed, 0u);
+}
+
+std::vector<CrashSweepParam> crash_params() {
+  std::vector<CrashSweepParam> out;
+  for (uint64_t seed : {60ull, 61ull, 62ull}) {
+    for (SiteId v : {0, 3, 7}) out.push_back({"tree", 15, v, seed});
+    for (SiteId v : {1, 8}) out.push_back({"majority", 9, v, seed});
+    for (SiteId v : {0, 10}) out.push_back({"rst:4", 16, v, seed});
+  }
+  return out;
+}
+
+INSTANTIATE_TEST_SUITE_P(Crashes, CrashSweep,
+                         ::testing::ValuesIn(crash_params()), crash_name);
+
+// Two overlapping crashes with in-flight recovery from the first.
+TEST(FaultTolerance, BackToBackCrashesDuringRecovery) {
+  ExperimentConfig cfg = ft_cfg("tree", 15, 57);
+  cfg.crashes.push_back({cfg.warmup + 100'000, 1});
+  cfg.crashes.push_back({cfg.warmup + 101'000, 2});  // during detection of 1
+  ExperimentResult r = run_checked(cfg);
+  EXPECT_EQ(r.summary.violations, 0u);
+  EXPECT_GT(r.summary.completed, 0u);
+}
+
+// ---- §6 arbiter scrub cases at message level ----
+// Craft a deterministic state at one arbiter, deliver a failure notice,
+// and check each printed case of the recovery protocol.
+
+struct ScrubRig {
+  ScrubRig()
+      : net(sim, 9, std::make_unique<net::ConstantDelay>(1000), 4),
+        quorums(quorum::make_quorum_system("grid", 9)) {
+    core::CaoSinghalSite::Options opt;
+    opt.fault_tolerant = true;
+    for (SiteId i = 0; i < 9; ++i) {
+      sites.push_back(
+          std::make_unique<core::CaoSinghalSite>(i, net, *quorums, opt));
+      net.attach(i, sites.back().get());
+      sites.back()->on_enter = [this](SiteId id) { entries.push_back(id); };
+    }
+  }
+  core::CaoSinghalSite& site(SiteId i) {
+    return *sites[static_cast<size_t>(i)];
+  }
+  void notice(SiteId to, SiteId failed) {
+    net.crash(failed);
+    site(to).on_message(net::make_failure_notice(failed));
+  }
+
+  sim::Simulator sim;
+  net::Network net;
+  std::unique_ptr<quorum::QuorumSystem> quorums;
+  std::vector<std::unique_ptr<core::CaoSinghalSite>> sites;
+  std::vector<SiteId> entries;
+};
+
+// Case 3 of §6: the failed site held the arbiter's permission — the
+// arbiter must hand it onward to the queue head.
+TEST(FaultToleranceProtocol, ArbiterUnlocksWhenHolderDies) {
+  ScrubRig rig;
+  // Site 0 enters CS (holds arbiter 1 among others); site 1 queues behind.
+  rig.site(0).request_cs();
+  rig.sim.run();
+  ASSERT_EQ(rig.entries.size(), 1u);
+  rig.site(1).request_cs();
+  rig.sim.run();
+  ASSERT_EQ(rig.entries.size(), 1u);  // blocked behind site 0
+  // Site 0 "dies" inside the CS: every live site learns.
+  rig.net.crash(0);
+  for (SiteId s = 1; s < 9; ++s)
+    rig.site(s).on_message(net::make_failure_notice(0));
+  rig.sim.run();
+  // The arbiters scrubbed the dead holder and granted site 1.
+  ASSERT_EQ(rig.entries.size(), 2u);
+  EXPECT_EQ(rig.entries[1], 1);
+}
+
+// Case 1 of §6: the failed site's request was queued — it must be removed
+// so the permission never routes to it.
+TEST(FaultToleranceProtocol, QueuedRequestOfDeadSiteIsScrubbed) {
+  ScrubRig rig;
+  rig.site(0).request_cs();
+  rig.sim.run();
+  rig.site(1).request_cs();  // queues behind 0 at the shared arbiters
+  rig.sim.run();
+  // Site 1 dies while queued; notices reach everyone.
+  rig.net.crash(1);
+  for (SiteId s = 0; s < 9; ++s)
+    if (s != 1) rig.site(s).on_message(net::make_failure_notice(1));
+  rig.sim.run();
+  // Site 0 can exit and the system stays consistent; a later requester is
+  // served directly, not the dead site.
+  rig.site(0).release_cs();
+  rig.sim.run();
+  rig.site(2).request_cs();
+  rig.sim.run();
+  ASSERT_EQ(rig.entries.size(), 2u);
+  EXPECT_EQ(rig.entries[1], 2);
+}
+
+// Requester-side recovery: a waiting site whose quorum member dies
+// re-forms its quorum and still gets in.
+TEST(FaultToleranceProtocol, WaitingRequesterReformsQuorum) {
+  ScrubRig rig;
+  rig.site(0).request_cs();
+  rig.sim.run();
+  ASSERT_TRUE(rig.site(0).in_cs());
+  rig.site(4).request_cs();  // waits (shared arbiters with 0)
+  rig.sim.run();
+  // One of 4's quorum members dies while 4 waits.
+  const SiteId victim = rig.site(4).req_set()[0] != 4
+                            ? rig.site(4).req_set()[0]
+                            : rig.site(4).req_set()[1];
+  ASSERT_NE(victim, 0);  // keep the CS holder alive for this scenario
+  rig.net.crash(victim);
+  for (SiteId s = 0; s < 9; ++s)
+    if (s != victim) rig.site(s).on_message(net::make_failure_notice(victim));
+  rig.sim.run();
+  EXPECT_GT(rig.site(4).protocol_stats().recoveries, 0u);
+  rig.site(0).release_cs();
+  rig.sim.run();
+  ASSERT_EQ(rig.entries.size(), 2u);
+  EXPECT_EQ(rig.entries[1], 4);
+}
+
+// A stalled site must refuse further requests loudly.
+TEST(FaultToleranceProtocol, StalledSiteRejectsNewRequests) {
+  sim::Simulator sim;
+  net::Network net(sim, 3, std::make_unique<net::ConstantDelay>(100), 2);
+  auto quorums = quorum::make_quorum_system("majority", 3);
+  core::CaoSinghalSite::Options opt;
+  opt.fault_tolerant = true;
+  core::CaoSinghalSite site(2, net, *quorums, opt);
+  net.attach(2, &site);
+  bool aborted = false;
+  site.on_abort = [&](SiteId) { aborted = true; };
+  // Kill a majority before the site ever requests.
+  net.crash(0);
+  net.crash(1);
+  site.on_message(net::make_failure_notice(0));
+  site.on_message(net::make_failure_notice(1));
+  site.request_cs();
+  sim.run();
+  EXPECT_TRUE(aborted);
+  EXPECT_TRUE(site.stalled());
+  EXPECT_THROW(site.request_cs(), CheckError);
+}
+
+}  // namespace
+}  // namespace dqme

@@ -1,0 +1,105 @@
+// Cross-algorithm integration sweeps: every protocol must satisfy the three
+// theorems under light and heavy load, across sizes and seeds, and the
+// relative performance claims of §5 must hold between algorithms.
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+
+namespace dqme {
+namespace {
+
+using harness::ExperimentConfig;
+using harness::ExperimentResult;
+using mutex::Algo;
+using testing::heavy_cfg;
+using testing::light_cfg;
+using testing::run_checked;
+
+struct SweepParam {
+  Algo algo;
+  int n;
+  uint64_t seed;
+};
+
+std::string param_name(const ::testing::TestParamInfo<SweepParam>& info) {
+  std::string algo(mutex::to_string(info.param.algo));
+  for (char& c : algo)
+    if (c == '-') c = '_';
+  return algo + "_n" + std::to_string(info.param.n) + "_s" +
+         std::to_string(info.param.seed);
+}
+
+class AllAlgosSweep : public ::testing::TestWithParam<SweepParam> {};
+
+TEST_P(AllAlgosSweep, SafeAndLiveUnderHeavyLoad) {
+  const SweepParam p = GetParam();
+  ExperimentResult r = run_checked(heavy_cfg(p.algo, p.n, p.seed));
+  EXPECT_GT(r.summary.completed, 0u);
+}
+
+TEST_P(AllAlgosSweep, SafeAndLiveUnderLightLoad) {
+  const SweepParam p = GetParam();
+  ExperimentResult r = run_checked(light_cfg(p.algo, p.n, p.seed));
+  EXPECT_GT(r.summary.completed, 0u);
+}
+
+std::vector<SweepParam> sweep_params() {
+  std::vector<SweepParam> out;
+  for (Algo a : mutex::all_algos())
+    for (int n : {4, 9, 25})
+      for (uint64_t seed : {1ull, 2ull, 3ull}) out.push_back({a, n, seed});
+  return out;
+}
+
+INSTANTIATE_TEST_SUITE_P(Protocols, AllAlgosSweep,
+                         ::testing::ValuesIn(sweep_params()), param_name);
+
+// §5.2: the proposed algorithm's synchronization delay is ~T where
+// Maekawa's is ~2T, with everything else equal.
+TEST(CrossAlgorithm, ProposedHalvesSyncDelayVsMaekawa) {
+  ExperimentResult proposed =
+      run_checked(heavy_cfg(Algo::kCaoSinghal, 25, 11));
+  ExperimentResult maekawa = run_checked(heavy_cfg(Algo::kMaekawa, 25, 11));
+  EXPECT_LT(proposed.sync_delay_in_t, 1.4);
+  EXPECT_GT(maekawa.sync_delay_in_t, 1.6);
+  EXPECT_LT(proposed.sync_delay_in_t, 0.75 * maekawa.sync_delay_in_t);
+}
+
+// §5.2: "the rate of CS execution (i.e., throughput) is doubled".
+TEST(CrossAlgorithm, ProposedRoughlyDoublesThroughputVsMaekawa) {
+  ExperimentConfig pc = heavy_cfg(Algo::kCaoSinghal, 25, 12);
+  ExperimentConfig mc = heavy_cfg(Algo::kMaekawa, 25, 12);
+  pc.workload.cs_duration = mc.workload.cs_duration = 10;  // E << T
+  ExperimentResult proposed = run_checked(pc);
+  ExperimentResult maekawa = run_checked(mc);
+  const double ratio =
+      proposed.summary.throughput / maekawa.summary.throughput;
+  EXPECT_GT(ratio, 1.5);
+  EXPECT_LT(ratio, 2.6);
+}
+
+// §5.3 Table 1: message complexity ranking at light load —
+// Lamport 3(N-1) > Ricart-Agrawala 2(N-1) > quorum-based 3(K-1).
+TEST(CrossAlgorithm, LightLoadMessageComplexityRanking) {
+  const int n = 25;
+  ExperimentResult lam = run_checked(light_cfg(Algo::kLamport, n, 5));
+  ExperimentResult ra = run_checked(light_cfg(Algo::kRicartAgrawala, n, 5));
+  ExperimentResult cs = run_checked(light_cfg(Algo::kCaoSinghal, n, 5));
+  EXPECT_NEAR(lam.summary.wire_msgs_per_cs, 3.0 * (n - 1), 0.5);
+  EXPECT_NEAR(ra.summary.wire_msgs_per_cs, 2.0 * (n - 1), 0.5);
+  // K = 9 for a 5x5 grid: 3(K-1) = 24 when contention is rare.
+  EXPECT_LT(cs.summary.wire_msgs_per_cs, 30.0);
+  EXPECT_LT(cs.summary.wire_msgs_per_cs, ra.summary.wire_msgs_per_cs);
+}
+
+// Determinism: identical configuration => identical results.
+TEST(CrossAlgorithm, RunsAreDeterministic) {
+  ExperimentResult a = run_checked(heavy_cfg(Algo::kCaoSinghal, 9, 77));
+  ExperimentResult b = run_checked(heavy_cfg(Algo::kCaoSinghal, 9, 77));
+  EXPECT_EQ(a.summary.completed, b.summary.completed);
+  EXPECT_EQ(a.summary.wire_msgs_per_cs, b.summary.wire_msgs_per_cs);
+  EXPECT_EQ(a.summary.sync_delay_contended, b.summary.sync_delay_contended);
+}
+
+}  // namespace
+}  // namespace dqme

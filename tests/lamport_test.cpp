@@ -1,0 +1,121 @@
+// Lamport's algorithm: exact message count (3(N-1)), queue-order entry,
+// priority semantics.
+#include <gtest/gtest.h>
+
+#include "mutex/lamport.h"
+#include "test_util.h"
+
+namespace dqme {
+namespace {
+
+struct LamportRig {
+  explicit LamportRig(int n, Time delay = 1000)
+      : net(sim, n, std::make_unique<net::ConstantDelay>(delay), 3) {
+    for (SiteId i = 0; i < n; ++i) {
+      sites.push_back(std::make_unique<mutex::LamportSite>(i, net));
+      net.attach(i, sites.back().get());
+      sites.back()->on_enter = [this](SiteId id) { entries.push_back(id); };
+    }
+  }
+  mutex::LamportSite& site(SiteId i) { return *sites[static_cast<size_t>(i)]; }
+
+  sim::Simulator sim;
+  net::Network net;
+  std::vector<std::unique_ptr<mutex::LamportSite>> sites;
+  std::vector<SiteId> entries;
+};
+
+TEST(Lamport, SingleSiteEntersImmediately) {
+  LamportRig rig(1);
+  rig.site(0).request_cs();
+  rig.sim.run();
+  EXPECT_EQ(rig.entries, (std::vector<SiteId>{0}));
+  EXPECT_EQ(rig.net.stats().wire_messages, 0u);
+}
+
+TEST(Lamport, UncontendedCsCostsExactly3NMinus1) {
+  LamportRig rig(5);
+  rig.site(2).request_cs();
+  rig.sim.run();
+  ASSERT_EQ(rig.entries.size(), 1u);
+  rig.site(2).release_cs();
+  rig.sim.run();
+  // (N-1) request + (N-1) reply + (N-1) release.
+  EXPECT_EQ(rig.net.stats().wire_messages, 3u * 4u);
+  EXPECT_EQ(rig.net.stats().count(net::MsgType::kRequest), 4u);
+  EXPECT_EQ(rig.net.stats().count(net::MsgType::kReply), 4u);
+  EXPECT_EQ(rig.net.stats().count(net::MsgType::kRelease), 4u);
+}
+
+TEST(Lamport, EntryRequiresAllReplies) {
+  LamportRig rig(3);
+  rig.site(0).request_cs();
+  EXPECT_TRUE(rig.entries.empty());
+  rig.sim.run_until(1999);
+  EXPECT_TRUE(rig.entries.empty());  // replies land at t=2000
+  rig.sim.run();
+  EXPECT_EQ(rig.entries.size(), 1u);
+}
+
+TEST(Lamport, ConcurrentRequestsServedInTimestampOrder) {
+  LamportRig rig(4);
+  // Same tick, so equal sequence numbers: site id breaks the tie.
+  rig.site(3).request_cs();
+  rig.site(1).request_cs();
+  rig.site(2).request_cs();
+  rig.sim.run();
+  ASSERT_EQ(rig.entries.size(), 1u);
+  EXPECT_EQ(rig.entries[0], 1);  // (1,1) < (1,2) < (1,3)
+  rig.site(1).release_cs();
+  rig.sim.run();
+  ASSERT_EQ(rig.entries.size(), 2u);
+  EXPECT_EQ(rig.entries[1], 2);
+  rig.site(2).release_cs();
+  rig.sim.run();
+  ASSERT_EQ(rig.entries.size(), 3u);
+  EXPECT_EQ(rig.entries[2], 3);
+}
+
+TEST(Lamport, LaterRequestHasLowerPriority) {
+  LamportRig rig(2);
+  rig.site(0).request_cs();
+  rig.sim.run();  // site 0 in CS
+  rig.site(1).request_cs();
+  rig.sim.run();
+  EXPECT_EQ(rig.entries.size(), 1u);  // site 1 must wait
+  rig.site(0).release_cs();
+  rig.sim.run();
+  ASSERT_EQ(rig.entries.size(), 2u);
+  EXPECT_EQ(rig.entries[1], 1);
+}
+
+TEST(Lamport, SiteCanReenterAfterRelease) {
+  LamportRig rig(3);
+  for (int round = 0; round < 3; ++round) {
+    rig.site(0).request_cs();
+    rig.sim.run();
+    rig.site(0).release_cs();
+    rig.sim.run();
+  }
+  EXPECT_EQ(rig.entries.size(), 3u);
+  EXPECT_EQ(rig.site(0).cs_entries(), 3u);
+}
+
+TEST(Lamport, RejectsProtocolMisuse) {
+  LamportRig rig(2);
+  EXPECT_THROW(rig.site(0).release_cs(), CheckError);  // not in CS
+  rig.site(0).request_cs();
+  EXPECT_THROW(rig.site(0).request_cs(), CheckError);  // double request
+}
+
+// The synchronization delay between consecutive CS users is one message
+// latency: the release travels directly to the waiting sites.
+TEST(Lamport, SynchronizationDelayIsT) {
+  harness::ExperimentConfig cfg =
+      testing::heavy_cfg(mutex::Algo::kLamport, 5, 21);
+  auto r = testing::run_checked(cfg);
+  EXPECT_NEAR(r.sync_delay_in_t, 1.0, 0.15);
+}
+
+}  // namespace
+}  // namespace dqme

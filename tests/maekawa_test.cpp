@@ -1,0 +1,165 @@
+// Maekawa's algorithm (the baseline the paper improves on): 3(K-1) light /
+// ~5(K-1) heavy messages, 2T synchronization delay, inquire/fail/yield
+// deadlock resolution.
+#include <gtest/gtest.h>
+
+#include "mutex/maekawa.h"
+#include "quorum/factory.h"
+#include "test_util.h"
+
+namespace dqme {
+namespace {
+
+struct MaekawaRig {
+  explicit MaekawaRig(int n, Time delay = 1000)
+      : net(sim, n, std::make_unique<net::ConstantDelay>(delay), 3),
+        quorums(quorum::make_quorum_system("grid", n)) {
+    for (SiteId i = 0; i < n; ++i) {
+      sites.push_back(std::make_unique<mutex::MaekawaSite>(i, net, *quorums));
+      net.attach(i, sites.back().get());
+      sites.back()->on_enter = [this](SiteId id) { entries.push_back(id); };
+    }
+  }
+  mutex::MaekawaSite& site(SiteId i) { return *sites[static_cast<size_t>(i)]; }
+
+  sim::Simulator sim;
+  net::Network net;
+  std::unique_ptr<quorum::QuorumSystem> quorums;
+  std::vector<std::unique_ptr<mutex::MaekawaSite>> sites;
+  std::vector<SiteId> entries;
+};
+
+TEST(Maekawa, UncontendedCsCostsExactly3KMinus1) {
+  MaekawaRig rig(9);  // K = 5, self handled locally
+  rig.site(4).request_cs();
+  rig.sim.run();
+  ASSERT_EQ(rig.entries.size(), 1u);
+  rig.site(4).release_cs();
+  rig.sim.run();
+  const size_t k_minus_1 = rig.quorums->quorum_for(4).size() - 1;
+  EXPECT_EQ(rig.net.stats().wire_messages, 3u * k_minus_1);
+}
+
+TEST(Maekawa, ArbiterLocksForExactlyOneRequestAtATime) {
+  MaekawaRig rig(9);
+  rig.site(0).request_cs();  // quorum {0,1,2,3,6}
+  rig.sim.run();
+  rig.site(1).request_cs();  // overlaps at sites 0,1
+  rig.sim.run();
+  EXPECT_EQ(rig.entries.size(), 1u);  // site 1 blocked on shared arbiters
+  rig.site(0).release_cs();
+  rig.sim.run();
+  ASSERT_EQ(rig.entries.size(), 2u);
+  EXPECT_EQ(rig.entries[1], 1);
+}
+
+// The defining cost of Maekawa: after a release the arbiter must relay the
+// grant, so the gap between consecutive CS users is 2 message delays.
+TEST(Maekawa, SynchronizationDelayIsTwoT) {
+  auto r = testing::run_checked(testing::heavy_cfg(mutex::Algo::kMaekawa,
+                                                   25, 17));
+  EXPECT_NEAR(r.sync_delay_in_t, 2.0, 0.35);
+}
+
+TEST(Maekawa, HeavyLoadCostsBetween3And5KMinus1) {
+  auto r = testing::run_checked(testing::heavy_cfg(mutex::Algo::kMaekawa,
+                                                   25, 18));
+  const double k1 = r.mean_quorum_size - 1;
+  EXPECT_GE(r.summary.wire_msgs_per_cs, 3.0 * k1 - 1);
+  EXPECT_LE(r.summary.wire_msgs_per_cs, 5.0 * k1 + 1);
+}
+
+// Deadlock resolution: force the inquire/yield path deterministically.
+// Site A (lower priority) grabs a shared arbiter first; site B (higher
+// priority, smaller id at the same tick) must preempt it via yield.
+TEST(Maekawa, HigherPriorityRequestPreemptsViaInquireYield) {
+  MaekawaRig rig(9);
+  // Let site 8 acquire only *some* of its arbiters... simplest reliable
+  // construction: 8 requests first in real time but at the same Lamport
+  // tick as 0, so 0's request has priority; 0's request reaches the shared
+  // arbiters after they already granted 8.
+  rig.site(8).request_cs();
+  rig.sim.run_until(1100);  // 8's grants are being collected
+  rig.site(0).request_cs();
+  rig.sim.run();
+  // 0 has seq 1 like 8 but smaller site id => higher priority. Whether the
+  // yield path or the release path resolves it, both must eventually run.
+  ASSERT_GE(rig.entries.size(), 1u);
+  if (rig.entries[0] == 8) {
+    rig.site(8).release_cs();
+    rig.sim.run();
+    ASSERT_EQ(rig.entries.size(), 2u);
+    EXPECT_EQ(rig.entries[1], 0);
+    rig.site(0).release_cs();
+  } else {
+    rig.site(0).release_cs();
+    rig.sim.run();
+    ASSERT_EQ(rig.entries.size(), 2u);
+    EXPECT_EQ(rig.entries[1], 8);
+    rig.site(8).release_cs();
+  }
+  rig.sim.run();
+  EXPECT_EQ(rig.entries.size(), 2u);
+}
+
+TEST(Maekawa, InquireYieldMessagesAppearUnderContention) {
+  auto r = testing::run_checked(testing::heavy_cfg(mutex::Algo::kMaekawa,
+                                                   25, 19));
+  // Under saturation the deadlock-avoidance machinery must be exercised.
+  EXPECT_GT(r.summary.per_type_per_cs[static_cast<size_t>(
+                net::MsgType::kFail)],
+            0.0);
+}
+
+TEST(Maekawa, WorksOnFppQuorums) {
+  auto cfg = testing::heavy_cfg(mutex::Algo::kMaekawa, 13, 20, "fpp");
+  auto r = testing::run_checked(cfg);
+  EXPECT_GT(r.summary.completed, 0u);
+  EXPECT_DOUBLE_EQ(r.mean_quorum_size, 4.0);  // q+1 for q=3
+}
+
+TEST(Maekawa, WorksOnTreeQuorums) {
+  auto r = testing::run_checked(
+      testing::heavy_cfg(mutex::Algo::kMaekawa, 15, 20, "tree"));
+  EXPECT_GT(r.summary.completed, 0u);
+}
+
+// Deterministic handoff timing: with a waiter parked, the gap from exit to
+// next entry is exactly release (T) + reply (T) = 2T — the cost the
+// proposed algorithm removes.
+TEST(Maekawa, HandoffIsExactlyTwoMessageDelays) {
+  MaekawaRig rig(9);
+  rig.site(0).request_cs();
+  rig.sim.run();
+  ASSERT_EQ(rig.entries.size(), 1u);
+  rig.site(1).request_cs();
+  rig.sim.run();
+  ASSERT_EQ(rig.entries.size(), 1u);  // parked behind site 0
+  const Time exit_at = rig.sim.now();
+  rig.site(0).release_cs();
+  rig.sim.run();
+  ASSERT_EQ(rig.entries.size(), 2u);
+  EXPECT_EQ(rig.entries[1], 1);
+  EXPECT_EQ(rig.sim.now() - exit_at, 2000);
+}
+
+// Stale messages after release are ignored (the paper's rule, which this
+// implementation enforces with request ids).
+TEST(Maekawa, StaleInquireAfterReleaseIsIgnored) {
+  MaekawaRig rig(9);
+  rig.site(0).request_cs();
+  rig.sim.run();
+  rig.site(0).release_cs();
+  rig.sim.run();
+  const SiteId arbiter = rig.site(0).req_set()[1];
+  net::Message stale = net::make_inquire(arbiter, ReqId{1, 0});
+  stale.src = arbiter;
+  stale.dst = 0;
+  rig.site(0).on_message(stale);
+  rig.sim.run();
+  EXPECT_TRUE(rig.site(0).idle());
+  EXPECT_GT(rig.site(0).stale_drops(), 0u);
+}
+
+}  // namespace
+}  // namespace dqme

@@ -1,0 +1,84 @@
+// Tests for the message trace recorder.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "net/trace.h"
+
+namespace dqme::net {
+namespace {
+
+struct Sink final : NetSite {
+  void on_message(const Message&) override {}
+};
+
+struct TraceRig {
+  TraceRig() : net(sim, 2, std::make_unique<ConstantDelay>(100), 1) {
+    net.attach(0, &sink);
+    net.attach(1, &sink);
+  }
+  sim::Simulator sim;
+  net::Network net;
+  Sink sink;
+};
+
+TEST(TraceRecorder, CapturesEveryControlMessageWithTimestamp) {
+  TraceRig rig;
+  TraceRecorder trace(rig.net);
+  rig.net.send(0, 1, make_request(ReqId{1, 0}));
+  rig.net.send(1, 0, make_reply(1, ReqId{1, 0}));
+  rig.sim.run();
+  ASSERT_EQ(trace.events().size(), 2u);
+  EXPECT_EQ(trace.events()[0].at, 100);
+  EXPECT_EQ(trace.events()[0].msg.type, MsgType::kRequest);
+  EXPECT_EQ(trace.events()[1].msg.type, MsgType::kReply);
+  EXPECT_EQ(trace.count(MsgType::kRequest), 1u);
+}
+
+TEST(TraceRecorder, ChainsAnExistingHook) {
+  TraceRig rig;
+  int prior_hook_calls = 0;
+  rig.net.on_deliver = [&](const Message&) { ++prior_hook_calls; };
+  TraceRecorder trace(rig.net);
+  rig.net.send(0, 1, make_request(ReqId{1, 0}));
+  rig.sim.run();
+  EXPECT_EQ(prior_hook_calls, 1);
+  EXPECT_EQ(trace.events().size(), 1u);
+}
+
+TEST(TraceRecorder, BoundedCapacityDropsOldest) {
+  TraceRig rig;
+  TraceRecorder trace(rig.net, /*capacity=*/3);
+  for (SeqNum s = 1; s <= 5; ++s)
+    rig.net.send(0, 1, make_request(ReqId{s, 0}));
+  rig.sim.run();
+  EXPECT_EQ(trace.events().size(), 3u);
+  EXPECT_EQ(trace.dropped(), 2u);
+  EXPECT_EQ(trace.events().front().msg.req.seq, 3u);  // oldest kept
+}
+
+TEST(TraceRecorder, FilterSelectsMatchingEvents) {
+  TraceRig rig;
+  TraceRecorder trace(rig.net);
+  rig.net.send(0, 1, make_request(ReqId{1, 0}));
+  rig.net.send(0, 1, make_fail(0, ReqId{1, 0}));
+  rig.net.send(0, 1, make_request(ReqId{2, 0}));
+  rig.sim.run();
+  auto requests = trace.filter([](const TraceEvent& e) {
+    return e.msg.type == MsgType::kRequest;
+  });
+  EXPECT_EQ(requests.size(), 2u);
+}
+
+TEST(TraceRecorder, PrintProducesOneLinePerEvent) {
+  TraceRig rig;
+  TraceRecorder trace(rig.net);
+  rig.net.send(0, 1, make_request(ReqId{1, 0}));
+  rig.sim.run();
+  std::ostringstream os;
+  trace.print(os);
+  EXPECT_NE(os.str().find("request[0->1"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace dqme::net

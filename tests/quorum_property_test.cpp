@@ -1,0 +1,141 @@
+// Property tests on the coterie invariants (paper §2), parameterized over
+// construction x N, plus the fault-tolerance safety property of §6: any two
+// quorums a construction can hand out — under any two failure views — must
+// intersect, or two sites with different views could both assemble
+// non-overlapping permission sets.
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "quorum/coterie.h"
+#include "quorum/factory.h"
+
+namespace dqme::quorum {
+namespace {
+
+struct QSParam {
+  const char* kind;
+  int n;
+  // Minimality (paper §2: useful, not necessary) holds for these
+  // constructions except where a partial grid row yields nested crosses.
+  bool minimal = true;
+};
+
+std::string qs_name(const ::testing::TestParamInfo<QSParam>& info) {
+  std::string s = info.param.kind;
+  for (char& c : s)
+    if (c == ':') c = '_';
+  return s + "_n" + std::to_string(info.param.n);
+}
+
+class QuorumSystemProperty : public ::testing::TestWithParam<QSParam> {
+ protected:
+  std::unique_ptr<QuorumSystem> qs_ =
+      make_quorum_system(GetParam().kind, GetParam().n);
+};
+
+TEST_P(QuorumSystemProperty, BaseCoterieSatisfiesIntersection) {
+  auto r = validate_coterie(qs_->base_coterie(), qs_->num_sites());
+  EXPECT_TRUE(r.ok()) << r.detail;
+}
+
+TEST_P(QuorumSystemProperty, BaseCoterieSatisfiesMinimality) {
+  if (!GetParam().minimal)
+    GTEST_SKIP() << "partial grid rows nest; minimality is optional (§2)";
+  auto r = validate_coterie(qs_->base_coterie(), qs_->num_sites());
+  EXPECT_TRUE(r.minimality) << r.detail;
+}
+
+TEST_P(QuorumSystemProperty, QuorumsAreWellFormed) {
+  for (SiteId i = 0; i < qs_->num_sites(); ++i)
+    EXPECT_TRUE(is_valid_quorum(qs_->quorum_for(i), qs_->num_sites()))
+        << "site " << i;
+}
+
+TEST_P(QuorumSystemProperty, AdaptiveQuorumsUseOnlyLiveSites) {
+  Rng rng(1000 + static_cast<uint64_t>(qs_->num_sites()));
+  const int n = qs_->num_sites();
+  for (int trial = 0; trial < 40; ++trial) {
+    std::vector<bool> alive(static_cast<size_t>(n));
+    for (int s = 0; s < n; ++s)
+      alive[static_cast<size_t>(s)] = rng.bernoulli(0.8);
+    for (SiteId i = 0; i < n; i += std::max(1, n / 5)) {
+      auto q = qs_->quorum_for_alive(i, alive);
+      if (!q) continue;
+      EXPECT_TRUE(is_valid_quorum(*q, n));
+      for (SiteId s : *q) EXPECT_TRUE(alive[static_cast<size_t>(s)]);
+    }
+  }
+}
+
+TEST_P(QuorumSystemProperty, AvailableIffSomeQuorumFormable) {
+  Rng rng(2000 + static_cast<uint64_t>(qs_->num_sites()));
+  const int n = qs_->num_sites();
+  for (int trial = 0; trial < 60; ++trial) {
+    std::vector<bool> alive(static_cast<size_t>(n));
+    for (int s = 0; s < n; ++s)
+      alive[static_cast<size_t>(s)] = rng.bernoulli(0.7);
+    bool any = false;
+    for (SiteId i = 0; i < n && !any; ++i)
+      any = qs_->quorum_for_alive(i, alive).has_value();
+    EXPECT_EQ(qs_->available(alive), any) << "trial " << trial;
+  }
+}
+
+// The §6 safety property: quorums formed under *different* failure views
+// still intersect pairwise. Sampled over random views including the
+// all-alive one.
+TEST_P(QuorumSystemProperty, CrossViewIntersection) {
+  Rng rng(3000 + static_cast<uint64_t>(qs_->num_sites()));
+  const int n = qs_->num_sites();
+  std::vector<Quorum> formed;
+  for (SiteId i = 0; i < n; ++i) formed.push_back(qs_->quorum_for(i));
+  for (int trial = 0; trial < 30; ++trial) {
+    std::vector<bool> alive(static_cast<size_t>(n));
+    for (int s = 0; s < n; ++s)
+      alive[static_cast<size_t>(s)] = rng.bernoulli(0.75);
+    for (SiteId i = 0; i < n; i += std::max(1, n / 4))
+      if (auto q = qs_->quorum_for_alive(i, alive)) formed.push_back(*q);
+  }
+  for (size_t a = 0; a < formed.size(); ++a)
+    for (size_t b = a + 1; b < formed.size(); ++b)
+      ASSERT_TRUE(intersects(formed[a], formed[b]))
+          << "quorum " << a << " vs " << b;
+}
+
+// Availability is monotone in the set of live sites: reviving a site never
+// destroys an existing quorum opportunity.
+TEST_P(QuorumSystemProperty, AvailabilityIsMonotone) {
+  Rng rng(4000 + static_cast<uint64_t>(qs_->num_sites()));
+  const int n = qs_->num_sites();
+  for (int trial = 0; trial < 40; ++trial) {
+    std::vector<bool> alive(static_cast<size_t>(n));
+    for (int s = 0; s < n; ++s)
+      alive[static_cast<size_t>(s)] = rng.bernoulli(0.6);
+    if (!qs_->available(alive)) continue;
+    // Revive one dead site; must stay available.
+    auto more = alive;
+    for (int s = 0; s < n; ++s)
+      if (!more[static_cast<size_t>(s)]) {
+        more[static_cast<size_t>(s)] = true;
+        break;
+      }
+    EXPECT_TRUE(qs_->available(more));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Constructions, QuorumSystemProperty,
+    ::testing::Values(QSParam{"grid", 9}, QSParam{"grid", 25},
+                      QSParam{"grid", 23, false}, QSParam{"grid", 49},
+                      QSParam{"fpp", 7}, QSParam{"fpp", 13},
+                      QSParam{"fpp", 31}, QSParam{"tree", 7},
+                      QSParam{"tree", 15}, QSParam{"tree", 31},
+                      QSParam{"majority", 9}, QSParam{"majority", 14},
+                      QSParam{"hqc", 9}, QSParam{"hqc", 27},
+                      QSParam{"gridset:4", 16}, QSParam{"gridset:5", 25, false},
+                      QSParam{"rst:4", 16}, QSParam{"rst:5", 25, false},
+                      QSParam{"singleton", 9}, QSParam{"all", 9}),
+    qs_name);
+
+}  // namespace
+}  // namespace dqme::quorum

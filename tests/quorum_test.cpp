@@ -1,0 +1,557 @@
+// Unit tests for coterie primitives and each quorum construction's
+// structural properties (sizes, shapes, §5.3's K values).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/check.h"
+#include "quorum/availability.h"
+#include "quorum/factory.h"
+#include "quorum/fpp.h"
+#include "quorum/galois.h"
+#include "quorum/grid.h"
+#include "quorum/gridset.h"
+#include "quorum/hqc.h"
+#include "quorum/majority.h"
+#include "quorum/rst.h"
+#include "quorum/tree.h"
+#include "quorum/trivial.h"
+
+namespace dqme::quorum {
+namespace {
+
+TEST(Coterie, IntersectsDetectsSharedSites) {
+  EXPECT_TRUE(intersects({1, 3, 5}, {2, 3, 4}));
+  EXPECT_FALSE(intersects({1, 3, 5}, {2, 4, 6}));
+  EXPECT_FALSE(intersects({}, {1}));
+}
+
+TEST(Coterie, SubsetDetection) {
+  EXPECT_TRUE(is_subset({2, 4}, {1, 2, 3, 4}));
+  EXPECT_FALSE(is_subset({2, 5}, {1, 2, 3, 4}));
+  EXPECT_TRUE(is_subset({}, {1}));
+}
+
+TEST(Coterie, NormalizeSortsAndDedups) {
+  Quorum q{5, 1, 3, 1, 5};
+  normalize(q);
+  EXPECT_EQ(q, (Quorum{1, 3, 5}));
+}
+
+TEST(Coterie, ValidateAcceptsPaperExample) {
+  // C = {{a,b},{b,c}} under U = {a,b,c} (paper §2).
+  auto r = validate_coterie({{0, 1}, {1, 2}}, 3);
+  EXPECT_TRUE(r.strictly_ok());
+}
+
+TEST(Coterie, ValidateRejectsDisjointQuorums) {
+  auto r = validate_coterie({{0, 1}, {2, 3}}, 4);
+  EXPECT_FALSE(r.intersection);
+  EXPECT_NE(r.detail.find("disjoint"), std::string::npos);
+}
+
+TEST(Coterie, ValidateRejectsNestedQuorums) {
+  auto r = validate_coterie({{0, 1}, {0, 1, 2}}, 3);
+  EXPECT_TRUE(r.intersection);
+  EXPECT_FALSE(r.minimality);
+}
+
+TEST(Coterie, ValidateRejectsMalformedQuorum) {
+  auto r = validate_coterie({{1, 0}}, 2);  // unsorted
+  EXPECT_FALSE(r.well_formed);
+}
+
+TEST(Coterie, DedupRemovesDuplicates) {
+  Coterie c = dedup({{2, 1}, {1, 2}, {3}});
+  EXPECT_EQ(c.size(), 2u);
+}
+
+// ---------------------------------------------------------------- grid
+
+TEST(Grid, PerfectSquareQuorumSizeIs2RootNMinus1) {
+  GridQuorum g(25);
+  for (SiteId i = 0; i < 25; ++i)
+    EXPECT_EQ(g.quorum_for(i).size(), 9u);  // 2*5 - 1
+}
+
+TEST(Grid, HandlesNonSquareN) {
+  for (int n : {2, 3, 5, 7, 10, 12, 23, 26, 40}) {
+    GridQuorum g(n);
+    auto r = validate_coterie(g.base_coterie(), n);
+    EXPECT_TRUE(r.ok()) << "n=" << n << ": " << r.detail;
+    for (SiteId i = 0; i < n; ++i) {
+      auto q = g.quorum_for(i);
+      EXPECT_TRUE(is_valid_quorum(q, n)) << "n=" << n << " i=" << i;
+      EXPECT_LE(q.size(), static_cast<size_t>(2 * g.side() - 1));
+    }
+  }
+}
+
+TEST(Grid, QuorumContainsSelf) {
+  GridQuorum g(25);
+  for (SiteId i = 0; i < 25; ++i) {
+    auto q = g.quorum_for(i);
+    EXPECT_TRUE(std::binary_search(q.begin(), q.end(), i));
+  }
+}
+
+TEST(Grid, SurvivesSingleFailureViaAlternateCross) {
+  GridQuorum g(25);
+  std::vector<bool> alive(25, true);
+  alive[12] = false;  // centre of the grid
+  for (SiteId i = 0; i < 25; ++i) {
+    auto q = g.quorum_for_alive(i, alive);
+    ASSERT_TRUE(q.has_value()) << i;
+    for (SiteId s : *q) EXPECT_TRUE(alive[static_cast<size_t>(s)]);
+  }
+}
+
+TEST(Grid, FullRowFailureKillsAvailability) {
+  GridQuorum g(25);
+  std::vector<bool> alive(25, true);
+  for (int c = 0; c < 5; ++c) alive[static_cast<size_t>(2 * 5 + c)] = false;
+  // No full column survives, hence no cross.
+  EXPECT_FALSE(g.available(alive));
+}
+
+// ----------------------------------------------------------------- fpp
+
+TEST(Fpp, RecognizesProjectivePlaneSizes) {
+  EXPECT_EQ(fpp_order_for(7), 2);
+  EXPECT_EQ(fpp_order_for(13), 3);
+  EXPECT_EQ(fpp_order_for(21), 4);    // prime power via GF(4)
+  EXPECT_EQ(fpp_order_for(31), 5);
+  EXPECT_EQ(fpp_order_for(57), 7);
+  EXPECT_EQ(fpp_order_for(73), 8);    // GF(8)
+  EXPECT_EQ(fpp_order_for(91), 9);    // GF(9)
+  EXPECT_EQ(fpp_order_for(133), 11);
+  EXPECT_EQ(fpp_order_for(273), 16);  // GF(16)
+  EXPECT_EQ(fpp_order_for(25), -1);   // not of the form q^2+q+1
+}
+
+TEST(Fpp, RejectsUnsupportedN) {
+  EXPECT_THROW(FppQuorum q(25), CheckError);
+}
+
+TEST(Fpp, QuorumSizeIsQPlus1) {
+  for (int n : {7, 13, 21, 31, 57, 73, 91, 273}) {
+    FppQuorum f(n);
+    for (SiteId i = 0; i < n; ++i)
+      EXPECT_EQ(f.quorum_for(i).size(),
+                static_cast<size_t>(f.order() + 1));
+  }
+}
+
+TEST(Fpp, AnyTwoLinesMeetInExactlyOnePoint) {
+  for (int n : {7, 13, 21, 31, 73, 91}) {
+    FppQuorum f(n);
+    for (SiteId a = 0; a < n; ++a) {
+      const auto qa = f.quorum_for(a);
+      for (SiteId b = a + 1; b < n; ++b) {
+        const auto qb = f.quorum_for(b);
+        Quorum inter;
+        std::set_intersection(qa.begin(), qa.end(), qb.begin(), qb.end(),
+                              std::back_inserter(inter));
+        EXPECT_EQ(inter.size(), 1u) << "n=" << n << " lines " << a << "," << b;
+      }
+    }
+  }
+}
+
+TEST(Fpp, EverySiteAppearsInExactlyQPlus1Quorums) {
+  // Self-duality: each point lies on q+1 lines — load is perfectly even.
+  FppQuorum f(13);
+  std::vector<int> appearances(13, 0);
+  for (SiteId i = 0; i < 13; ++i)
+    for (SiteId s : f.quorum_for(i)) ++appearances[static_cast<size_t>(s)];
+  for (int a : appearances) EXPECT_EQ(a, f.order() + 1);
+}
+
+
+// ------------------------------------------------------------- galois
+
+TEST(Galois, SupportedOrders) {
+  for (int q : {2, 3, 4, 5, 7, 8, 9, 11, 13, 16, 25, 27, 31})
+    EXPECT_TRUE(is_supported_field_order(q)) << q;
+  for (int q : {1, 6, 10, 12, 32, 49})
+    EXPECT_FALSE(is_supported_field_order(q)) << q;
+}
+
+TEST(Galois, FieldAxiomsHoldForEveryOrder) {
+  for (int q : {2, 3, 4, 5, 7, 8, 9, 16, 25, 27}) {
+    GaloisField f(q);
+    for (int a = 0; a < q; ++a) {
+      EXPECT_EQ(f.add(a, 0), a);
+      EXPECT_EQ(f.mul(a, 1), a);
+      EXPECT_EQ(f.mul(a, 0), 0);
+      EXPECT_EQ(f.add(a, f.neg(a)), 0);
+      if (a != 0) {
+        EXPECT_EQ(f.mul(a, f.inv(a)), 1) << "GF(" << q << ") " << a;
+      }
+      for (int b = 0; b < q; ++b) {
+        EXPECT_EQ(f.add(a, b), f.add(b, a));
+        EXPECT_EQ(f.mul(a, b), f.mul(b, a));
+        // No zero divisors.
+        if (a != 0 && b != 0) {
+          EXPECT_NE(f.mul(a, b), 0);
+        }
+        for (int c = 0; c < q && q <= 9; ++c) {
+          EXPECT_EQ(f.add(f.add(a, b), c), f.add(a, f.add(b, c)));
+          EXPECT_EQ(f.mul(f.mul(a, b), c), f.mul(a, f.mul(b, c)));
+          EXPECT_EQ(f.mul(a, f.add(b, c)), f.add(f.mul(a, b), f.mul(a, c)));
+        }
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------- tree
+
+TEST(Tree, RequiresPowerOfTwoMinusOne) {
+  EXPECT_THROW(TreeQuorum t(6), CheckError);
+  EXPECT_NO_THROW(TreeQuorum t(7));
+  EXPECT_NO_THROW(TreeQuorum t(15));
+}
+
+TEST(Tree, AllUpQuorumIsRootToLeafPath) {
+  TreeQuorum t(15);
+  for (SiteId i = 0; i < 15; ++i) {
+    auto q = t.quorum_for(i);
+    EXPECT_EQ(q.size(), 4u);  // depth of a 15-node complete tree
+    EXPECT_EQ(q[0], 0);       // includes the root
+  }
+}
+
+TEST(Tree, BestCaseSizeIsLogN) {
+  for (int n : {7, 15, 31, 63, 127}) {
+    TreeQuorum t(n);
+    EXPECT_EQ(t.quorum_for(0).size(),
+              static_cast<size_t>(t.depth()));
+  }
+}
+
+TEST(Tree, DeadRootIsSubstitutedByBothChildren) {
+  TreeQuorum t(7);
+  std::vector<bool> alive(7, true);
+  alive[0] = false;
+  auto q = t.quorum_for_alive(3, alive);
+  ASSERT_TRUE(q.has_value());
+  // Both child paths required: 2 paths of 2 nodes each.
+  EXPECT_EQ(q->size(), 4u);
+  for (SiteId s : *q) EXPECT_TRUE(alive[static_cast<size_t>(s)]);
+}
+
+TEST(Tree, DeadLeafForcesSiblingPath) {
+  TreeQuorum t(7);
+  std::vector<bool> alive(7, true);
+  alive[3] = false;  // leftmost leaf
+  auto q = t.quorum_for_alive(0, alive);
+  ASSERT_TRUE(q.has_value());
+  for (SiteId s : *q) EXPECT_TRUE(alive[static_cast<size_t>(s)]);
+}
+
+TEST(Tree, AllLeavesDeadMeansUnavailable) {
+  TreeQuorum t(7);
+  std::vector<bool> alive(7, true);
+  for (SiteId leaf : {3, 4, 5, 6}) alive[static_cast<size_t>(leaf)] = false;
+  EXPECT_FALSE(t.available(alive));
+  EXPECT_FALSE(t.quorum_for_alive(0, alive).has_value());
+}
+
+TEST(Tree, SteeringSpreadsLoadAcrossLeaves) {
+  TreeQuorum t(31);
+  std::set<Quorum> distinct;
+  for (SiteId i = 0; i < 31; ++i) distinct.insert(t.quorum_for(i));
+  EXPECT_GT(distinct.size(), 8u);  // many distinct root-leaf paths in use
+}
+
+// ------------------------------------------------------------- majority
+
+TEST(Majority, SizeIsFloorHalfPlusOne) {
+  EXPECT_EQ(MajorityQuorum(9).majority_size(), 5);
+  EXPECT_EQ(MajorityQuorum(10).majority_size(), 6);
+  for (SiteId i = 0; i < 9; ++i)
+    EXPECT_EQ(MajorityQuorum(9).quorum_for(i).size(), 5u);
+}
+
+TEST(Majority, AvailableIffMajorityAlive) {
+  MajorityQuorum m(9);
+  std::vector<bool> alive(9, true);
+  for (int dead = 0; dead <= 4; ++dead) {
+    EXPECT_TRUE(m.available(alive)) << dead;
+    alive[static_cast<size_t>(dead)] = false;
+  }
+  EXPECT_FALSE(m.available(alive));  // 5 dead of 9
+}
+
+TEST(Majority, AdaptiveQuorumUsesOnlyLiveSites) {
+  MajorityQuorum m(9);
+  std::vector<bool> alive(9, true);
+  alive[1] = alive[2] = false;
+  for (SiteId i = 0; i < 9; ++i) {
+    auto q = m.quorum_for_alive(i, alive);
+    ASSERT_TRUE(q.has_value());
+    EXPECT_EQ(q->size(), 5u);
+    for (SiteId s : *q) EXPECT_TRUE(alive[static_cast<size_t>(s)]);
+  }
+}
+
+// ------------------------------------------------------------------ hqc
+
+TEST(Hqc, RequiresPowerOfThree) {
+  EXPECT_THROW(HqcQuorum h(10), CheckError);
+  EXPECT_NO_THROW(HqcQuorum h(27));
+}
+
+TEST(Hqc, QuorumSizeIsTwoToTheLevels) {
+  for (int d = 1; d <= 4; ++d) {
+    int n = 1;
+    for (int i = 0; i < d; ++i) n *= 3;
+    HqcQuorum h(n);
+    for (SiteId i = 0; i < n; i += std::max(1, n / 10))
+      EXPECT_EQ(h.quorum_for(i).size(), static_cast<size_t>(1 << d))
+          << "n=" << n;
+  }
+}
+
+TEST(Hqc, SurvivesOneThirdFailuresPerLevel) {
+  HqcQuorum h(9);
+  std::vector<bool> alive(9, true);
+  alive[0] = false;  // one leaf in first group
+  alive[3] = false;  // one leaf in second group
+  EXPECT_TRUE(h.available(alive));
+  auto q = h.quorum_for_alive(0, alive);
+  ASSERT_TRUE(q.has_value());
+  for (SiteId s : *q) EXPECT_TRUE(alive[static_cast<size_t>(s)]);
+}
+
+TEST(Hqc, TwoWholeGroupsDownMeansUnavailable) {
+  HqcQuorum h(9);
+  std::vector<bool> alive(9, true);
+  for (SiteId s : {0, 1, 2, 3, 4, 5}) alive[static_cast<size_t>(s)] = false;
+  EXPECT_FALSE(h.available(alive));
+}
+
+// ------------------------------------------------------- gridset / rst
+
+TEST(GridSet, RequiresDivisibleGroups) {
+  EXPECT_THROW(GridSetQuorum g(10, 4), CheckError);
+  EXPECT_NO_THROW(GridSetQuorum g(12, 4));
+}
+
+TEST(GridSet, QuorumSpansMajorityOfGroups) {
+  GridSetQuorum g(16, 4);  // 4 groups of 4, majority = 3 groups
+  EXPECT_EQ(g.groups(), 4);
+  auto q = g.quorum_for(0);
+  // 3 groups x grid-cross(4)=3 members, minus overlaps within groups.
+  EXPECT_GE(q.size(), 9u);
+  EXPECT_TRUE(is_valid_quorum(q, 16));
+}
+
+TEST(GridSet, MasksSingleSiteFailureWithoutReconfiguration) {
+  GridSetQuorum g(16, 4);
+  std::vector<bool> alive(16, true);
+  alive[5] = false;
+  EXPECT_TRUE(g.available(alive));
+  auto q = g.quorum_for_alive(1, alive);
+  ASSERT_TRUE(q.has_value());
+  for (SiteId s : *q) EXPECT_TRUE(alive[static_cast<size_t>(s)]);
+}
+
+TEST(Rst, RequiresDivisibleGroups) {
+  EXPECT_THROW(RstQuorum r(10, 4), CheckError);
+  EXPECT_NO_THROW(RstQuorum r(12, 4));
+}
+
+TEST(Rst, QuorumIsMajoritiesAcrossGridOfGroups) {
+  RstQuorum r(16, 4);  // 4 groups in a 2x2 grid; cross = 3 groups
+  auto q = r.quorum_for(0);
+  // 3 groups x majority(4)=3 members.
+  EXPECT_EQ(q.size(), 9u);
+  EXPECT_TRUE(is_valid_quorum(q, 16));
+}
+
+TEST(Rst, MasksMinorityFailuresInsideGroups) {
+  RstQuorum r(16, 4);
+  std::vector<bool> alive(16, true);
+  alive[0] = alive[5] = alive[10] = alive[15] = false;  // 1 per group
+  EXPECT_TRUE(r.available(alive));
+  auto q = r.quorum_for_alive(3, alive);
+  ASSERT_TRUE(q.has_value());
+  for (SiteId s : *q) EXPECT_TRUE(alive[static_cast<size_t>(s)]);
+}
+
+// -------------------------------------------------------------- trivial
+
+TEST(Trivial, SingletonIsCentralCoordinator) {
+  SingletonQuorum s(5);
+  for (SiteId i = 0; i < 5; ++i) EXPECT_EQ(s.quorum_for(i), (Quorum{0}));
+  std::vector<bool> alive(5, true);
+  alive[0] = false;
+  EXPECT_FALSE(s.available(alive));
+}
+
+TEST(Trivial, AllRequiresUnanimity) {
+  AllQuorum a(4);
+  EXPECT_EQ(a.quorum_for(2).size(), 4u);
+  std::vector<bool> alive(4, true);
+  EXPECT_TRUE(a.available(alive));
+  alive[3] = false;
+  EXPECT_FALSE(a.available(alive));
+}
+
+// -------------------------------------------------------------- factory
+
+TEST(Factory, BuildsEveryKnownKind) {
+  EXPECT_EQ(make_quorum_system("grid", 25)->name(), "grid(5x5)");
+  EXPECT_EQ(make_quorum_system("fpp", 13)->name(), "fpp(q=3)");
+  EXPECT_EQ(make_quorum_system("tree", 15)->name(), "tree(depth=4)");
+  EXPECT_EQ(make_quorum_system("majority", 10)->name(), "majority");
+  EXPECT_EQ(make_quorum_system("hqc", 27)->name(), "hqc(3^3)");
+  EXPECT_EQ(make_quorum_system("gridset:4", 16)->name(), "gridset(G=4)");
+  EXPECT_EQ(make_quorum_system("rst:4", 16)->name(), "rst(G=4)");
+  EXPECT_EQ(make_quorum_system("singleton", 3)->name(), "singleton");
+  EXPECT_EQ(make_quorum_system("all", 3)->name(), "all");
+}
+
+TEST(Factory, DefaultGroupSizeDividesN) {
+  auto g = make_quorum_system("gridset", 24);
+  EXPECT_NE(g, nullptr);
+}
+
+TEST(Factory, RejectsUnknownKind) {
+  EXPECT_THROW(make_quorum_system("wishful", 9), CheckError);
+}
+
+TEST(Factory, MeanQuorumSizeMatchesK) {
+  auto g = make_quorum_system("grid", 25);
+  EXPECT_DOUBLE_EQ(g->mean_quorum_size(), 9.0);
+  EXPECT_EQ(g->max_quorum_size(), 9);
+}
+
+// --------------------------------------------------------- availability
+
+TEST(Availability, ExactMatchesClosedFormForMajority) {
+  // Majority of 5 with up-prob q: sum_{k>=3} C(5,k) q^k (1-q)^(5-k).
+  MajorityQuorum m(5);
+  const double q = 0.9;
+  const double expect = 10 * std::pow(q, 3) * std::pow(1 - q, 2) +
+                        5 * std::pow(q, 4) * (1 - q) + std::pow(q, 5);
+  EXPECT_NEAR(exact_availability(m, q), expect, 1e-12);
+}
+
+TEST(Availability, ExactBoundaries) {
+  GridQuorum g(9);
+  EXPECT_NEAR(exact_availability(g, 1.0), 1.0, 1e-12);
+  EXPECT_NEAR(exact_availability(g, 0.0), 0.0, 1e-12);
+}
+
+TEST(Availability, MonteCarloAgreesWithExact) {
+  Rng rng(31);
+  for (const char* kind : {"grid", "majority", "tree"}) {
+    auto qs = make_quorum_system(kind, 7);
+    for (double up : {0.5, 0.8, 0.95}) {
+      const double exact = exact_availability(*qs, up);
+      const double mc = mc_availability(*qs, up, 20000, rng);
+      EXPECT_NEAR(mc, exact, 0.015) << kind << " up=" << up;
+    }
+  }
+}
+
+TEST(Availability, TreeBeatsGridUnderModerateFailures) {
+  // §6: the tree construction degrades gracefully; the plain grid needs a
+  // full cross alive.
+  auto tree = make_quorum_system("tree", 15);
+  auto grid = make_quorum_system("grid", 16);
+  const double up = 0.8;
+  EXPECT_GT(exact_availability(*tree, up), exact_availability(*grid, up));
+}
+
+TEST(Availability, MajorityIsMostAvailable) {
+  const double up = 0.75;
+  auto maj = make_quorum_system("majority", 15);
+  for (const char* kind : {"grid", "tree", "singleton"}) {
+    auto qs = make_quorum_system(kind, 15);
+    EXPECT_GE(exact_availability(*maj, up) + 1e-9,
+              exact_availability(*qs, up))
+        << kind;
+  }
+}
+
+TEST(Availability, ExactGuardsAgainstLargeN) {
+  GridQuorum g(36);
+  EXPECT_THROW(exact_availability(g, 0.9), CheckError);
+}
+
+// Exhaustive single-failure sweeps: §6's "tolerate the failure without any
+// recovery scheme" constructions must stay available for EVERY single
+// crash, and the tree must re-form for every single crash too.
+TEST(Exhaustive, EverySingleFailureIsMasked) {
+  for (const char* kind : {"tree", "majority", "gridset:4", "rst:4",
+                           "grid", "hqc"}) {
+    auto qs = make_quorum_system(
+        kind, std::string(kind) == "tree"        ? 15
+              : std::string(kind) == "hqc"       ? 27
+              : std::string(kind) == "majority"  ? 15
+                                                 : 16);
+    const int n = qs->num_sites();
+    for (SiteId dead = 0; dead < n; ++dead) {
+      std::vector<bool> alive(static_cast<size_t>(n), true);
+      alive[static_cast<size_t>(dead)] = false;
+      EXPECT_TRUE(qs->available(alive)) << kind << " dead=" << dead;
+      for (SiteId i = 0; i < n; ++i) {
+        if (i == dead) continue;
+        auto q = qs->quorum_for_alive(i, alive);
+        ASSERT_TRUE(q.has_value()) << kind << " dead=" << dead << " i=" << i;
+      }
+    }
+  }
+}
+
+// Exhaustive double failures on the tree: availability answer must agree
+// with quorum formability from every live site (consistency of the two
+// interfaces under all 105 patterns).
+TEST(Exhaustive, TreeDoubleFailureConsistency) {
+  TreeQuorum t(15);
+  for (SiteId a = 0; a < 15; ++a) {
+    for (SiteId b = a + 1; b < 15; ++b) {
+      std::vector<bool> alive(15, true);
+      alive[static_cast<size_t>(a)] = false;
+      alive[static_cast<size_t>(b)] = false;
+      bool formable = false;
+      for (SiteId i = 0; i < 15 && !formable; ++i)
+        formable = i != a && i != b && t.quorum_for_alive(i, alive).has_value();
+      EXPECT_EQ(t.available(alive), formable) << a << "," << b;
+    }
+  }
+}
+
+// Analytic cross-check: the tree-with-substitution availability obeys
+//   S_1 = q (a leaf), S_h = q(2S - S^2) + (1-q)S^2 with S = S_{h-1},
+// because a live node needs one child path and a dead one needs both.
+// exact_availability must match the recursion to machine precision.
+TEST(Availability, TreeMatchesAnalyticRecursion) {
+  for (int n : {7, 15}) {
+    TreeQuorum t(n);
+    for (double q : {0.6, 0.8, 0.95}) {
+      double s = q;
+      for (int level = 1; level < t.depth(); ++level)
+        s = q * (2 * s - s * s) + (1 - q) * s * s;
+      EXPECT_NEAR(exact_availability(t, q), s, 1e-12)
+          << "n=" << n << " q=" << q;
+    }
+  }
+}
+
+// Singleton and all have closed forms too.
+TEST(Availability, TrivialClosedForms) {
+  SingletonQuorum s(6);
+  AllQuorum a(6);
+  for (double q : {0.5, 0.9}) {
+    EXPECT_NEAR(exact_availability(s, q), q, 1e-12);
+    EXPECT_NEAR(exact_availability(a, q), std::pow(q, 6), 1e-12);
+  }
+}
+
+}  // namespace
+}  // namespace dqme::quorum

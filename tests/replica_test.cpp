@@ -1,0 +1,336 @@
+// Tests for the §7 replica-control extension: regular-register semantics
+// from intersecting quorums + the delay-optimal mutex serializing writers,
+// including crash recovery with adaptive quorums.
+#include <gtest/gtest.h>
+
+#include "core/failure_detector.h"
+#include "quorum/factory.h"
+#include "replica/replicated_store.h"
+
+namespace dqme::replica {
+namespace {
+
+struct StoreRig {
+  explicit StoreRig(int n, const std::string& quorum = "grid",
+                    bool fault_tolerant = false, Time delay = 1000,
+                    uint64_t seed = 5)
+      : net(sim, n,
+            std::make_unique<net::UniformDelay>(delay / 2, delay + delay / 2),
+            seed),
+        quorums(quorum::make_quorum_system(quorum, n)),
+        detector(net, 2000, 500, seed + 1) {
+    core::CaoSinghalSite::Options opt;
+    opt.fault_tolerant = fault_tolerant;
+    for (SiteId i = 0; i < n; ++i) {
+      nodes.push_back(std::make_unique<ReplicaNode>(i, net, *quorums, opt));
+      net.attach(i, nodes.back().get());
+      detector.attach(i, nodes.back().get());
+    }
+  }
+  ReplicaNode& node(SiteId i) { return *nodes[static_cast<size_t>(i)]; }
+
+  sim::Simulator sim;
+  net::Network net;
+  std::unique_ptr<quorum::QuorumSystem> quorums;
+  core::FailureDetector detector;
+  std::vector<std::unique_ptr<ReplicaNode>> nodes;
+};
+
+TEST(Replica, WriteThenReadFromAnySite) {
+  StoreRig rig(9);
+  int64_t committed = -1;
+  rig.node(0).write(42, 1001, [&](int64_t v) { committed = v; });
+  rig.sim.run();
+  EXPECT_EQ(committed, 1);
+  // Every site's quorum intersects the write quorum: all reads see it.
+  int reads = 0;
+  for (SiteId i = 0; i < 9; ++i)
+    rig.node(i).read(42, [&](Versioned v) {
+      EXPECT_EQ(v.value, 1001);
+      EXPECT_EQ(v.version, 1);
+      ++reads;
+    });
+  rig.sim.run();
+  EXPECT_EQ(reads, 9);
+}
+
+TEST(Replica, UnwrittenKeyReadsVersionZero) {
+  StoreRig rig(9);
+  bool done = false;
+  rig.node(3).read(7, [&](Versioned v) {
+    EXPECT_EQ(v.version, 0);
+    done = true;
+  });
+  rig.sim.run();
+  EXPECT_TRUE(done);
+}
+
+TEST(Replica, VersionsGrowMonotonicallyAcrossWriters) {
+  StoreRig rig(9);
+  std::vector<int64_t> versions;
+  for (int round = 0; round < 4; ++round)
+    for (SiteId w : {1, 5, 8})
+      rig.node(w).write(0, 100 * w + round,
+                        [&](int64_t v) { versions.push_back(v); });
+  rig.sim.run();
+  ASSERT_EQ(versions.size(), 12u);
+  std::sort(versions.begin(), versions.end());
+  for (int64_t i = 0; i < 12; ++i)
+    EXPECT_EQ(versions[static_cast<size_t>(i)], i + 1)
+        << "versions must be exactly 1..12: the CS serializes writers";
+}
+
+TEST(Replica, ConcurrentWritersConvergeToSingleHistory) {
+  StoreRig rig(9);
+  // All 9 sites write the same key concurrently.
+  int completed = 0;
+  for (SiteId i = 0; i < 9; ++i)
+    rig.node(i).write(5, 1000 + i, [&](int64_t) { ++completed; });
+  rig.sim.run();
+  EXPECT_EQ(completed, 9);
+  // A quorum read from anywhere returns the version-9 value.
+  Versioned final{};
+  rig.node(2).read(5, [&](Versioned v) { final = v; });
+  rig.sim.run();
+  EXPECT_EQ(final.version, 9);
+  EXPECT_GE(final.value, 1000);
+  EXPECT_LE(final.value, 1008);
+}
+
+TEST(Replica, IndependentKeysDoNotInterfere) {
+  StoreRig rig(9);
+  for (SiteId i = 0; i < 9; ++i)
+    rig.node(i).write(i, 7000 + i, [](int64_t) {});
+  rig.sim.run();
+  int reads = 0;
+  for (SiteId i = 0; i < 9; ++i)
+    rig.node((i + 4) % 9).read(i, [&, i](Versioned v) {
+      EXPECT_EQ(v.value, 7000 + i);
+      EXPECT_EQ(v.version, 1);
+      ++reads;
+    });
+  rig.sim.run();
+  EXPECT_EQ(reads, 9);
+}
+
+TEST(Replica, OpsQueueLocallyAndRunInOrder) {
+  StoreRig rig(9);
+  std::vector<int64_t> observed;
+  rig.node(0).write(1, 10, [](int64_t) {});
+  rig.node(0).read(1, [&](Versioned v) { observed.push_back(v.value); });
+  rig.node(0).write(1, 20, [](int64_t) {});
+  rig.node(0).read(1, [&](Versioned v) { observed.push_back(v.value); });
+  rig.sim.run();
+  EXPECT_EQ(observed, (std::vector<int64_t>{10, 20}));
+}
+
+TEST(Replica, WorksOnFppAndTreeQuorums) {
+  for (const char* kind : {"fpp", "tree"}) {
+    const int n = std::string(kind) == "fpp" ? 13 : 15;
+    StoreRig rig(n, kind);
+    int completed = 0;
+    for (SiteId i = 0; i < n; i += 3)
+      rig.node(i).write(9, i, [&](int64_t) { ++completed; });
+    rig.sim.run();
+    EXPECT_EQ(completed, (n + 2) / 3) << kind;
+    Versioned v{};
+    rig.node(1).read(9, [&](Versioned got) { v = got; });
+    rig.sim.run();
+    EXPECT_EQ(v.version, (n + 2) / 3) << kind;
+  }
+}
+
+// ---- crash tolerance (tree quorums + FT mutex) ----
+
+TEST(Replica, SurvivesReplicaCrashDuringWrites) {
+  StoreRig rig(15, "tree", /*fault_tolerant=*/true);
+  int completed = 0;
+  for (int round = 0; round < 6; ++round)
+    for (SiteId w : {3, 8, 14})
+      rig.node(w).write(1, 100 * round + w, [&](int64_t v) {
+        EXPECT_GT(v, 0);
+        ++completed;
+      });
+  // Crash an internal tree node mid-run.
+  rig.sim.schedule_at(4000, [&] { rig.detector.crash(1); });
+  rig.sim.run();
+  EXPECT_EQ(completed, 18);
+  Versioned v{};
+  rig.node(5).read(1, [&](Versioned got) { v = got; });
+  rig.sim.run();
+  EXPECT_EQ(v.version, 18);
+}
+
+TEST(Replica, RestartsOpWhoseQuorumMemberDied) {
+  StoreRig rig(15, "tree", /*fault_tolerant=*/true);
+  // Long-ish op in flight when the root dies.
+  int64_t version = 0;
+  rig.node(9).write(2, 999, [&](int64_t v) { version = v; });
+  rig.sim.schedule_at(1500, [&] { rig.detector.crash(0); });  // root
+  rig.sim.run();
+  EXPECT_EQ(version, 1);
+  uint64_t restarts = 0;
+  for (auto& n : rig.nodes) restarts += n->stats().op_restarts;
+  // The write (or a concurrent phase) had the root in its quorum.
+  EXPECT_GE(restarts + rig.node(9).stats().stale_replies, 0u);  // smoke
+  Versioned v{};
+  rig.node(4).read(2, [&](Versioned got) { v = got; });
+  rig.sim.run();
+  EXPECT_EQ(v.value, 999);
+}
+
+TEST(Replica, FailsCleanlyWhenNoQuorumSurvives) {
+  StoreRig rig(5, "majority", /*fault_tolerant=*/true);
+  // Kill 3 of 5: no majority left.
+  rig.detector.crash(0);
+  rig.detector.crash(1);
+  rig.detector.crash(2);
+  rig.sim.run();
+  int64_t version = 123;
+  Versioned read_result{1, 1};
+  rig.node(4).write(1, 5, [&](int64_t v) { version = v; });
+  rig.node(4).read(1, [&](Versioned v) { read_result = v; });
+  rig.sim.run();
+  EXPECT_EQ(version, -1);          // write failed, reported
+  EXPECT_EQ(read_result.version, -1);  // read failed, reported
+}
+
+// Reads that do not race writes return the latest committed value even
+// under jittered delays — the regular-register guarantee.
+TEST(Replica, QuiescentReadsAlwaysSeeLatestCommit) {
+  StoreRig rig(9, "grid", false, 1000, 11);
+  for (int round = 1; round <= 5; ++round) {
+    int64_t committed = 0;
+    rig.node(static_cast<SiteId>(round % 9))
+        .write(3, round * 11, [&](int64_t v) { committed = v; });
+    rig.sim.run();  // quiesce: write fully committed
+    ASSERT_EQ(committed, round);
+    for (SiteId r : {0, 4, 8}) {
+      Versioned v{};
+      rig.node(r).read(3, [&](Versioned got) { v = got; });
+      rig.sim.run();
+      EXPECT_EQ(v.version, round);
+      EXPECT_EQ(v.value, round * 11);
+    }
+  }
+}
+
+// Atomic read-modify-write: concurrent increments from every site must all
+// land — the classic lost-update test.
+TEST(Replica, ConcurrentAtomicIncrementsLoseNothing) {
+  StoreRig rig(9);
+  const int rounds = 4;
+  int done = 0;
+  for (int round = 0; round < rounds; ++round)
+    for (SiteId i = 0; i < 9; ++i)
+      rig.node(i).update(0, [](int64_t v) { return v + 1; },
+                         [&](int64_t version) {
+                           EXPECT_GT(version, 0);
+                           ++done;
+                         });
+  rig.sim.run();
+  EXPECT_EQ(done, 9 * rounds);
+  Versioned v{};
+  rig.node(7).read(0, [&](Versioned got) { v = got; });
+  rig.sim.run();
+  EXPECT_EQ(v.value, 9 * rounds);
+  EXPECT_EQ(v.version, 9 * rounds);
+}
+
+TEST(Replica, UpdatesSurviveCrashMidFlight) {
+  StoreRig rig(15, "tree", /*fault_tolerant=*/true);
+  int done = 0;
+  for (int round = 0; round < 3; ++round)
+    for (SiteId i = 1; i < 15; i += 2)
+      rig.node(i).update(4, [](int64_t v) { return v + 10; },
+                         [&](int64_t) { ++done; });
+  rig.sim.schedule_at(3000, [&] { rig.detector.crash(2); });
+  rig.sim.run();
+  EXPECT_EQ(done, 21);
+  Versioned v{};
+  rig.node(10).read(4, [&](Versioned got) { v = got; });
+  rig.sim.run();
+  EXPECT_EQ(v.value, 210);
+}
+
+// Local replicas converge lazily: a site outside the write quorum may
+// store a stale copy, but quorum reads never see it.
+TEST(Replica, LocalCopiesMayLagButQuorumReadsDoNot) {
+  StoreRig rig(9);
+  rig.node(0).write(6, 555, [](int64_t) {});
+  rig.sim.run();
+  int fresh_local = 0;
+  for (SiteId i = 0; i < 9; ++i)
+    if (auto v = rig.node(i).local_get(6); v && v->version == 1)
+      ++fresh_local;
+  // The write quorum holds it; the rest may not.
+  EXPECT_GE(fresh_local, 5);  // grid quorum of 9 has 5 members
+  EXPECT_LE(fresh_local, 9);
+  Versioned v{};
+  rig.node(8).read(6, [&](Versioned got) { v = got; });
+  rig.sim.run();
+  EXPECT_EQ(v.value, 555);  // regardless of node 8's local copy
+}
+
+TEST(Replica, StatsAccountOps) {
+  StoreRig rig(9);
+  rig.node(2).write(1, 7, [](int64_t) {});
+  rig.node(2).read(1, [](Versioned) {});
+  rig.node(2).update(1, [](int64_t x) { return x * 2; }, [](int64_t) {});
+  rig.sim.run();
+  EXPECT_EQ(rig.node(2).stats().writes_completed, 2u);
+  EXPECT_EQ(rig.node(2).stats().reads_completed, 1u);
+  Versioned v{};
+  rig.node(5).read(1, [&](Versioned got) { v = got; });
+  rig.sim.run();
+  EXPECT_EQ(v.value, 14);
+  EXPECT_EQ(v.version, 2);
+}
+
+// Seed sweep: the lost-update property across random interleavings.
+class ReplicaSeedSweep : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(ReplicaSeedSweep, CountersAreExactUnderJitter) {
+  StoreRig rig(9, "grid", false, 1000, GetParam());
+  int done = 0;
+  for (int round = 0; round < 3; ++round)
+    for (SiteId i = 0; i < 9; ++i)
+      rig.node(i).update(0, [](int64_t v) { return v + 1; },
+                         [&](int64_t) { ++done; });
+  rig.sim.run();
+  ASSERT_EQ(done, 27);
+  Versioned v{};
+  rig.node(GetParam() % 9).read(0, [&](Versioned got) { v = got; });
+  rig.sim.run();
+  EXPECT_EQ(v.value, 27);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ReplicaSeedSweep,
+                         ::testing::Range<uint64_t>(900, 912));
+
+// Regular-register semantics: a read racing a write returns either the old
+// or the new committed value — never a torn or fabricated one.
+TEST(Replica, RacingReadsReturnOldOrNewValueOnly) {
+  StoreRig rig(9, "grid", false, 1000, 21);
+  int64_t committed = 0;
+  rig.node(0).write(2, 100, [&](int64_t v) { committed = v; });
+  rig.sim.run();
+  ASSERT_EQ(committed, 1);
+  // Kick off the overwrite and immediately read from several sites while
+  // the write's phases are in flight.
+  rig.node(1).write(2, 200, [](int64_t) {});
+  int checked = 0;
+  for (SiteId reader : {3, 5, 7}) {
+    rig.node(reader).read(2, [&](Versioned v) {
+      EXPECT_TRUE(v.value == 100 || v.value == 200) << "torn read: "
+                                                    << v.value;
+      EXPECT_TRUE(v.version == 1 || v.version == 2);
+      ++checked;
+    });
+  }
+  rig.sim.run();
+  EXPECT_EQ(checked, 3);
+}
+
+}  // namespace
+}  // namespace dqme::replica

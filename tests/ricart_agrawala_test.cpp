@@ -1,0 +1,104 @@
+// Ricart-Agrawala: exact 2(N-1) message count, deferred-reply semantics,
+// priority order.
+#include <gtest/gtest.h>
+
+#include "mutex/ricart_agrawala.h"
+#include "test_util.h"
+
+namespace dqme {
+namespace {
+
+struct RaRig {
+  explicit RaRig(int n, Time delay = 1000)
+      : net(sim, n, std::make_unique<net::ConstantDelay>(delay), 3) {
+    for (SiteId i = 0; i < n; ++i) {
+      sites.push_back(std::make_unique<mutex::RicartAgrawalaSite>(i, net));
+      net.attach(i, sites.back().get());
+      sites.back()->on_enter = [this](SiteId id) { entries.push_back(id); };
+    }
+  }
+  mutex::RicartAgrawalaSite& site(SiteId i) {
+    return *sites[static_cast<size_t>(i)];
+  }
+
+  sim::Simulator sim;
+  net::Network net;
+  std::vector<std::unique_ptr<mutex::RicartAgrawalaSite>> sites;
+  std::vector<SiteId> entries;
+};
+
+TEST(RicartAgrawala, UncontendedCsCostsExactly2NMinus1) {
+  RaRig rig(6);
+  rig.site(0).request_cs();
+  rig.sim.run();
+  ASSERT_EQ(rig.entries.size(), 1u);
+  rig.site(0).release_cs();
+  rig.sim.run();
+  // (N-1) request + (N-1) reply; release costs nothing when nobody waits.
+  EXPECT_EQ(rig.net.stats().wire_messages, 2u * 5u);
+}
+
+TEST(RicartAgrawala, DeferredRepliesArriveAtRelease) {
+  RaRig rig(2);
+  rig.site(0).request_cs();
+  rig.sim.run();
+  rig.site(1).request_cs();  // site 0 is in the CS: reply is deferred
+  rig.sim.run();
+  EXPECT_EQ(rig.entries.size(), 1u);
+  const auto replies_before = rig.net.stats().count(net::MsgType::kReply);
+  rig.site(0).release_cs();
+  rig.sim.run();
+  ASSERT_EQ(rig.entries.size(), 2u);
+  EXPECT_EQ(rig.entries[1], 1);
+  EXPECT_EQ(rig.net.stats().count(net::MsgType::kReply), replies_before + 1);
+  // Still 2(N-1) per CS: no separate release messages ever.
+  EXPECT_EQ(rig.net.stats().count(net::MsgType::kRelease), 0u);
+}
+
+TEST(RicartAgrawala, ConcurrentContendersGrantLowerTimestampFirst) {
+  RaRig rig(3);
+  rig.site(2).request_cs();
+  rig.site(1).request_cs();  // same tick: (1,1) beats (1,2)
+  rig.sim.run();
+  ASSERT_EQ(rig.entries.size(), 1u);
+  EXPECT_EQ(rig.entries[0], 1);
+  rig.site(1).release_cs();
+  rig.sim.run();
+  ASSERT_EQ(rig.entries.size(), 2u);
+  EXPECT_EQ(rig.entries[1], 2);
+}
+
+TEST(RicartAgrawala, NonRequestingSiteGrantsImmediately) {
+  RaRig rig(2);
+  rig.site(0).request_cs();
+  rig.sim.run_until(2000);  // request(T) + reply(T)
+  EXPECT_EQ(rig.entries.size(), 1u);
+}
+
+TEST(RicartAgrawala, TwoCsExecutionsCost4NMinus1Total) {
+  RaRig rig(4);
+  for (int round = 0; round < 2; ++round) {
+    rig.site(3).request_cs();
+    rig.sim.run();
+    rig.site(3).release_cs();
+    rig.sim.run();
+  }
+  EXPECT_EQ(rig.net.stats().wire_messages, 2u * 2u * 3u);
+}
+
+TEST(RicartAgrawala, HeavyLoadStillAverages2NMinus1) {
+  auto cfg = testing::heavy_cfg(mutex::Algo::kRicartAgrawala, 9, 4);
+  auto r = testing::run_checked(cfg);
+  // Deferred replies fold the release into the reply: the count stays
+  // 2(N-1) regardless of load (§1).
+  EXPECT_NEAR(r.summary.wire_msgs_per_cs, 2.0 * 8, 0.5);
+}
+
+TEST(RicartAgrawala, SynchronizationDelayIsT) {
+  auto r = testing::run_checked(
+      testing::heavy_cfg(mutex::Algo::kRicartAgrawala, 5, 22));
+  EXPECT_NEAR(r.sync_delay_in_t, 1.0, 0.15);
+}
+
+}  // namespace
+}  // namespace dqme

@@ -1,0 +1,123 @@
+// Carvalho-Roucairol dynamic authorizations: 0..2(N-1) messages per CS,
+// the pairwise-token invariant, and the §1 survey numbers (avg ~N-1 light,
+// 2(N-1) heavy, delay T).
+#include <gtest/gtest.h>
+
+#include "mutex/roucairol_carvalho.h"
+#include "test_util.h"
+
+namespace dqme {
+namespace {
+
+struct RcRig {
+  explicit RcRig(int n, Time delay = 1000)
+      : net(sim, n, std::make_unique<net::ConstantDelay>(delay), 3) {
+    for (SiteId i = 0; i < n; ++i) {
+      sites.push_back(
+          std::make_unique<mutex::RoucairolCarvalhoSite>(i, net));
+      net.attach(i, sites.back().get());
+      sites.back()->on_enter = [this](SiteId id) { entries.push_back(id); };
+    }
+  }
+  mutex::RoucairolCarvalhoSite& site(SiteId i) {
+    return *sites[static_cast<size_t>(i)];
+  }
+  // One full CS for `who`, returning the wire messages it cost.
+  uint64_t one_cs(SiteId who) {
+    const uint64_t before = net.stats().wire_messages;
+    site(who).request_cs();
+    sim.run();
+    EXPECT_TRUE(site(who).in_cs());
+    site(who).release_cs();
+    sim.run();
+    return net.stats().wire_messages - before;
+  }
+
+  sim::Simulator sim;
+  net::Network net;
+  std::vector<std::unique_ptr<mutex::RoucairolCarvalhoSite>> sites;
+  std::vector<SiteId> entries;
+};
+
+TEST(RoucairolCarvalho, SiteZeroStartsFullyAuthorized) {
+  RcRig rig(6);
+  // Initialization gives the smaller id each pairwise token.
+  EXPECT_EQ(rig.one_cs(0), 0u);  // zero messages!
+}
+
+TEST(RoucairolCarvalho, RepeatRequestsBySameSiteAreFree) {
+  RcRig rig(6);
+  EXPECT_EQ(rig.one_cs(3), 2u * 3u);  // first time: collect from 0,1,2
+  EXPECT_EQ(rig.one_cs(3), 0u);       // retained authorizations
+  EXPECT_EQ(rig.one_cs(3), 0u);
+}
+
+TEST(RoucairolCarvalho, WorstCaseIs2NMinus1) {
+  RcRig rig(6);
+  EXPECT_EQ(rig.one_cs(5), 2u * 5u);  // site 5 starts with nothing
+}
+
+TEST(RoucairolCarvalho, AlternatingRequestersPayPerHandover) {
+  RcRig rig(4);
+  rig.one_cs(0);  // free: initialization gave 0 every token
+  // 1 holds {2,3} from initialization and only needs 0's token back.
+  EXPECT_EQ(rig.one_cs(1), 2u * 1u);
+  // 0 lost exactly one token (to 1); ping-pong costs 2 messages per swap.
+  EXPECT_EQ(rig.one_cs(0), 2u * 1u);
+  EXPECT_EQ(rig.one_cs(1), 2u * 1u);
+  // A third party that used nothing yet: needs 0's and 1's tokens only.
+  EXPECT_EQ(rig.one_cs(2), 2u * 2u);
+}
+
+TEST(RoucairolCarvalho, PairwiseTokenInvariantHoldsAtQuiescence) {
+  RcRig rig(5);
+  for (SiteId who : {4, 2, 0, 3, 2, 1}) rig.one_cs(who);
+  for (SiteId a = 0; a < 5; ++a)
+    for (SiteId b = a + 1; b < 5; ++b)
+      EXPECT_NE(rig.site(a).holds_authorization(b),
+                rig.site(b).holds_authorization(a))
+          << "pair (" << a << "," << b << ")";
+}
+
+TEST(RoucairolCarvalho, ConcurrentConflictResolvedByPriority) {
+  RcRig rig(3);
+  rig.one_cs(2);  // move some tokens to site 2
+  rig.site(1).request_cs();
+  rig.site(2).request_cs();  // same tick: (1,1) beats (1,2)... both seq 2+
+  rig.sim.run();
+  ASSERT_EQ(rig.entries.size(), 2u);  // the first from one_cs(2), plus one
+  const SiteId first = rig.entries.back();
+  rig.site(first).release_cs();
+  rig.sim.run();
+  ASSERT_EQ(rig.entries.size(), 3u);
+  EXPECT_NE(rig.entries[2], first);
+  rig.site(rig.entries[2]).release_cs();
+  rig.sim.run();
+}
+
+TEST(RoucairolCarvalho, MatchesSurveyNumbersUnderLoad) {
+  // Heavy load: ~2(N-1) per CS (every CS hands every token over).
+  auto heavy = testing::run_checked(
+      testing::heavy_cfg(mutex::Algo::kRoucairolCarvalho, 9, 61));
+  EXPECT_NEAR(heavy.summary.wire_msgs_per_cs, 2.0 * 8, 1.5);
+  EXPECT_NEAR(heavy.sync_delay_in_t, 1.0, 0.15);  // delay T
+
+  // Light load with uniform random requesters: strictly cheaper than
+  // Ricart-Agrawala's fixed 2(N-1) — the intro's "N-1 on average" regime.
+  auto light = testing::run_checked(
+      testing::light_cfg(mutex::Algo::kRoucairolCarvalho, 9, 61));
+  EXPECT_LT(light.summary.wire_msgs_per_cs, 2.0 * 8 - 0.5);
+  EXPECT_GT(light.summary.wire_msgs_per_cs, 0.0);
+}
+
+TEST(RoucairolCarvalho, SafeAndLiveAcrossSeeds) {
+  for (uint64_t seed : {71ull, 72ull, 73ull, 74ull}) {
+    auto cfg = testing::heavy_cfg(mutex::Algo::kRoucairolCarvalho, 7, seed);
+    cfg.delay_kind = harness::ExperimentConfig::DelayKind::kUniform;
+    cfg.workload.exponential_cs = true;
+    testing::run_checked(cfg);
+  }
+}
+
+}  // namespace
+}  // namespace dqme

@@ -1,0 +1,193 @@
+// Unit tests for the discrete-event simulator: ordering, determinism,
+// cancellation, run_until semantics.
+#include <gtest/gtest.h>
+
+#include "common/check.h"
+#include "sim/simulator.h"
+
+namespace dqme::sim {
+namespace {
+
+TEST(Simulator, StartsAtTimeZeroAndIdle) {
+  Simulator sim;
+  EXPECT_EQ(sim.now(), 0);
+  EXPECT_TRUE(sim.idle());
+  EXPECT_EQ(sim.run(), 0u);
+}
+
+TEST(Simulator, ExecutesInTimeOrder) {
+  Simulator sim;
+  std::vector<int> order;
+  sim.schedule_at(30, [&] { order.push_back(3); });
+  sim.schedule_at(10, [&] { order.push_back(1); });
+  sim.schedule_at(20, [&] { order.push_back(2); });
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(sim.now(), 30);
+}
+
+TEST(Simulator, TiesFireInSchedulingOrder) {
+  Simulator sim;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i)
+    sim.schedule_at(5, [&order, i] { order.push_back(i); });
+  sim.run();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[static_cast<size_t>(i)], i);
+}
+
+TEST(Simulator, ClockVisibleInsideCallback) {
+  Simulator sim;
+  Time seen = -1;
+  sim.schedule_at(42, [&] { seen = sim.now(); });
+  sim.run();
+  EXPECT_EQ(seen, 42);
+}
+
+TEST(Simulator, ScheduleAfterIsRelative) {
+  Simulator sim;
+  Time fired = -1;
+  sim.schedule_at(100, [&] {
+    sim.schedule_after(25, [&] { fired = sim.now(); });
+  });
+  sim.run();
+  EXPECT_EQ(fired, 125);
+}
+
+TEST(Simulator, RejectsSchedulingInThePast) {
+  Simulator sim;
+  sim.schedule_at(10, [] {});
+  sim.run();
+  EXPECT_THROW(sim.schedule_at(5, [] {}), CheckError);
+  EXPECT_THROW(sim.schedule_after(-1, [] {}), CheckError);
+}
+
+TEST(Simulator, CancelPreventsExecution) {
+  Simulator sim;
+  bool ran = false;
+  auto id = sim.schedule_at(10, [&] { ran = true; });
+  EXPECT_TRUE(sim.cancel(id));
+  EXPECT_FALSE(sim.cancel(id));  // second cancel is a no-op
+  sim.run();
+  EXPECT_FALSE(ran);
+}
+
+TEST(Simulator, CancelledEventsDoNotCountAsPending) {
+  Simulator sim;
+  auto a = sim.schedule_at(10, [] {});
+  sim.schedule_at(20, [] {});
+  EXPECT_EQ(sim.pending(), 2u);
+  sim.cancel(a);
+  EXPECT_EQ(sim.pending(), 1u);
+}
+
+TEST(Simulator, CancelAfterFiringReturnsFalse) {
+  Simulator sim;
+  auto id = sim.schedule_at(1, [] {});
+  sim.run();
+  EXPECT_FALSE(sim.cancel(id));
+}
+
+TEST(Simulator, RunUntilAdvancesClockToBoundary) {
+  Simulator sim;
+  int fired = 0;
+  sim.schedule_at(10, [&] { ++fired; });
+  sim.schedule_at(50, [&] { ++fired; });
+  EXPECT_EQ(sim.run_until(30), 1u);
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(sim.now(), 30);  // clock parked at the boundary
+  EXPECT_EQ(sim.pending(), 1u);
+  sim.run_until(50);
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(Simulator, RunUntilExecutesEventsAtBoundary) {
+  Simulator sim;
+  bool ran = false;
+  sim.schedule_at(30, [&] { ran = true; });
+  sim.run_until(30);
+  EXPECT_TRUE(ran);
+}
+
+TEST(Simulator, StopHaltsRun) {
+  Simulator sim;
+  int fired = 0;
+  sim.schedule_at(1, [&] {
+    ++fired;
+    sim.stop();
+  });
+  sim.schedule_at(2, [&] { ++fired; });
+  sim.run();
+  EXPECT_EQ(fired, 1);
+  EXPECT_TRUE(sim.stopped());
+  sim.clear_stop();
+  sim.run();
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(Simulator, StepExecutesExactlyOneEvent) {
+  Simulator sim;
+  int fired = 0;
+  sim.schedule_at(1, [&] { ++fired; });
+  sim.schedule_at(2, [&] { ++fired; });
+  EXPECT_TRUE(sim.step());
+  EXPECT_EQ(fired, 1);
+  EXPECT_TRUE(sim.step());
+  EXPECT_FALSE(sim.step());
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(Simulator, EventsCanScheduleChains) {
+  Simulator sim;
+  int depth = 0;
+  std::function<void()> chain = [&] {
+    if (++depth < 100) sim.schedule_after(1, chain);
+  };
+  sim.schedule_at(0, chain);
+  sim.run();
+  EXPECT_EQ(depth, 100);
+  EXPECT_EQ(sim.now(), 99);
+  EXPECT_EQ(sim.events_executed(), 100u);
+}
+
+TEST(Simulator, ManyEventsStressOrdering) {
+  Simulator sim;
+  Time last = -1;
+  bool monotonic = true;
+  for (int i = 0; i < 5000; ++i) {
+    Time t = (i * 7919) % 1000;
+    sim.schedule_at(t, [&, t] {
+      if (t < last) monotonic = false;
+      last = t;
+    });
+  }
+  sim.run();
+  EXPECT_TRUE(monotonic);
+}
+
+TEST(Simulator, CancellationStressKeepsAccounting) {
+  Simulator sim;
+  std::vector<Simulator::EventId> ids;
+  int fired = 0;
+  for (int i = 0; i < 2000; ++i)
+    ids.push_back(sim.schedule_at((i * 37) % 500, [&] { ++fired; }));
+  // Cancel every third event.
+  int cancelled = 0;
+  for (size_t i = 0; i < ids.size(); i += 3)
+    cancelled += sim.cancel(ids[i]) ? 1 : 0;
+  EXPECT_EQ(sim.pending(), 2000u - static_cast<size_t>(cancelled));
+  sim.run();
+  EXPECT_EQ(fired, 2000 - cancelled);
+  EXPECT_TRUE(sim.idle());
+}
+
+TEST(Simulator, CancelFromInsideAnEarlierEvent) {
+  Simulator sim;
+  bool second_ran = false;
+  auto second = sim.schedule_at(20, [&] { second_ran = true; });
+  sim.schedule_at(10, [&] { EXPECT_TRUE(sim.cancel(second)); });
+  sim.run();
+  EXPECT_FALSE(second_ran);
+}
+
+}  // namespace
+}  // namespace dqme::sim

@@ -1,0 +1,170 @@
+// Randomized stress sweeps: many seeds x randomized delay models x loads,
+// asserting the empirical Theorems 1-3 on every run, plus invariance
+// properties (piggybacking must not change protocol decisions under
+// constant delays) and a larger-N scalability check.
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+
+namespace dqme {
+namespace {
+
+using harness::ExperimentConfig;
+using harness::ExperimentResult;
+using mutex::Algo;
+
+// Short, aggressive runs: small N (max quorum overlap), tiny CS, jittered
+// delays — the regime where yield/transfer races are densest.
+class StressSeeds : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(StressSeeds, TinyClusterMaxContention) {
+  const uint64_t seed = GetParam();
+  ExperimentConfig cfg;
+  cfg.algo = Algo::kCaoSinghal;
+  cfg.n = static_cast<int>(3 + seed % 5);  // 3..7 sites
+  cfg.quorum = "grid";
+  cfg.mean_delay = 200;
+  cfg.delay_kind = (seed % 2) ? ExperimentConfig::DelayKind::kUniform
+                              : ExperimentConfig::DelayKind::kExponential;
+  cfg.workload.mode = harness::Workload::Config::Mode::kClosed;
+  cfg.workload.cs_duration = static_cast<Time>(1 + seed % 40);
+  cfg.workload.exponential_cs = (seed % 3) == 0;
+  cfg.warmup = 20'000;
+  cfg.measure = 150'000;
+  cfg.seed = seed;
+  testing::run_checked(cfg);
+}
+
+TEST_P(StressSeeds, MajorityQuorumMaxOverlap) {
+  const uint64_t seed = GetParam();
+  // Majority quorums: every pair overlaps in >= 1 site; K-1 yields fly.
+  ExperimentConfig cfg = testing::heavy_cfg(Algo::kCaoSinghal,
+                                            5 + static_cast<int>(seed % 4),
+                                            seed, "majority");
+  cfg.mean_delay = 300;
+  cfg.delay_kind = ExperimentConfig::DelayKind::kUniform;
+  cfg.workload.cs_duration = 10;
+  cfg.warmup = 20'000;
+  cfg.measure = 200'000;
+  testing::run_checked(cfg);
+}
+
+INSTANTIATE_TEST_SUITE_P(ManySeeds, StressSeeds,
+                         ::testing::Range<uint64_t>(500, 560));
+
+// With constant delays, splitting a bundle into singletons delivers the
+// same messages at the same instants in the same order — so the protocol's
+// observable behaviour must be identical. Catches accidental dependence on
+// bundle boundaries.
+TEST(StressInvariance, PiggybackDoesNotChangeOutcomesUnderConstantDelay) {
+  auto run = [](bool piggyback) {
+    ExperimentConfig cfg = testing::heavy_cfg(Algo::kCaoSinghal, 16, 77);
+    cfg.options.piggyback = piggyback;
+    return harness::run_experiment(cfg);
+  };
+  const ExperimentResult a = run(true);
+  const ExperimentResult b = run(false);
+  EXPECT_EQ(a.summary.completed, b.summary.completed);
+  EXPECT_EQ(a.summary.sync_delay_contended, b.summary.sync_delay_contended);
+  EXPECT_EQ(a.summary.ctrl_msgs_per_cs, b.summary.ctrl_msgs_per_cs);
+  EXPECT_GT(b.summary.wire_msgs_per_cs, a.summary.wire_msgs_per_cs);
+}
+
+// A bigger cluster on exact sqrt(N) quorums (projective plane of order 13).
+TEST(StressScale, FppN183HeavyLoad) {
+  ExperimentConfig cfg = testing::heavy_cfg(Algo::kCaoSinghal, 183, 9,
+                                            "fpp");
+  cfg.measure = 300'000;
+  ExperimentResult r = testing::run_checked(cfg);
+  EXPECT_GT(r.summary.completed, 50u);
+  EXPECT_DOUBLE_EQ(r.mean_quorum_size, 14.0);  // q+1, q=13
+  // O(K): ~14 arbiters' worth of traffic, nowhere near O(N)=183.
+  EXPECT_LT(r.summary.wire_msgs_per_cs, 6.0 * 13 + 1);
+}
+
+TEST(StressScale, Grid100MixedLoad) {
+  ExperimentConfig cfg = testing::light_cfg(Algo::kCaoSinghal, 100, 10);
+  cfg.workload.arrival_rate = 1.0 / (300.0 * 1000.0);
+  cfg.measure = 2'000'000;
+  ExperimentResult r = testing::run_checked(cfg);
+  EXPECT_GT(r.summary.completed, 100u);
+}
+
+// Sub-saturation open-loop churn with local queueing: demands arrive while
+// their site is still busy, exercising the back-to-back re-request path.
+TEST(StressPattern, BusySitesWithLocalQueues) {
+  ExperimentConfig cfg = testing::heavy_cfg(Algo::kCaoSinghal, 9, 31);
+  cfg.workload.mode = harness::Workload::Config::Mode::kOpen;
+  // Aggregate 9/20000 = ~50% of the 1/(T+E) capacity: heavy but stable.
+  cfg.workload.arrival_rate = 1.0 / 20'000.0;
+  cfg.measure = 1'000'000;
+  testing::run_checked(cfg);
+}
+
+// Think-time sweep: between saturation and light load.
+class ThinkTimeSweep : public ::testing::TestWithParam<Time> {};
+
+TEST_P(ThinkTimeSweep, SafeAndLiveAcrossLoadSpectrum) {
+  ExperimentConfig cfg = testing::heavy_cfg(Algo::kCaoSinghal, 25, 13);
+  cfg.workload.think_time = GetParam();
+  cfg.measure = 600'000;
+  ExperimentResult r = testing::run_checked(cfg);
+  EXPECT_GT(r.summary.completed, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(ThinkTimes, ThinkTimeSweep,
+                         ::testing::Values(0, 100, 1000, 10'000, 100'000));
+
+// Every baseline must also hold up under jittered delays across seeds —
+// the integration sweep uses constant delays; this one does not.
+struct JitterParam {
+  Algo algo;
+  uint64_t seed;
+};
+
+std::string jitter_name(const ::testing::TestParamInfo<JitterParam>& info) {
+  std::string s(mutex::to_string(info.param.algo));
+  for (char& c : s)
+    if (c == '-') c = '_';
+  return s + "_s" + std::to_string(info.param.seed);
+}
+
+class BaselineJitterSweep : public ::testing::TestWithParam<JitterParam> {};
+
+TEST_P(BaselineJitterSweep, SafeAndLiveUnderJitter) {
+  const JitterParam p = GetParam();
+  ExperimentConfig cfg = testing::heavy_cfg(p.algo, 9, p.seed);
+  cfg.delay_kind = (p.seed % 2) ? ExperimentConfig::DelayKind::kUniform
+                                : ExperimentConfig::DelayKind::kExponential;
+  cfg.workload.exponential_cs = true;
+  cfg.measure = 400'000;
+  testing::run_checked(cfg);
+}
+
+std::vector<JitterParam> jitter_params() {
+  std::vector<JitterParam> out;
+  for (Algo a : mutex::all_algos())
+    for (uint64_t seed : {700ull, 701ull, 702ull, 703ull})
+      out.push_back({a, seed});
+  return out;
+}
+
+INSTANTIATE_TEST_SUITE_P(Baselines, BaselineJitterSweep,
+                         ::testing::ValuesIn(jitter_params()), jitter_name);
+
+// Soak: a long saturated run (20,000 T of simulated time, ~15k CS
+// executions). Catches slow drift — queue growth, counter leaks, fairness
+// erosion — that short windows cannot.
+TEST(StressSoak, LongSaturatedRunStaysHealthy) {
+  ExperimentConfig cfg = testing::heavy_cfg(Algo::kCaoSinghal, 25, 99);
+  cfg.measure = 20'000'000;
+  ExperimentResult r = testing::run_checked(cfg);
+  EXPECT_GT(r.summary.completed, 10'000u);
+  EXPECT_GT(r.summary.fairness_jain, 0.99);
+  EXPECT_LT(r.sync_delay_in_t, 1.35);
+  // Message cost stays flat: no per-CS state accumulates.
+  EXPECT_LT(r.summary.wire_msgs_per_cs, 6.0 * (r.mean_quorum_size - 1) + 1);
+}
+
+}  // namespace
+}  // namespace dqme

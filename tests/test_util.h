@@ -1,0 +1,56 @@
+// Shared helpers for protocol tests: run a full experiment and assert the
+// three theorems (mutual exclusion, deadlock freedom, starvation freedom)
+// plus return the metrics for further assertions.
+#pragma once
+
+#include <gtest/gtest.h>
+
+#include "harness/experiment.h"
+
+namespace dqme::testing {
+
+// Asserts safety + liveness on the result and returns it for metric checks.
+inline harness::ExperimentResult run_checked(
+    const harness::ExperimentConfig& cfg) {
+  harness::ExperimentResult r = harness::run_experiment(cfg);
+  EXPECT_EQ(r.summary.violations, 0u)
+      << "mutual exclusion violated: algo="
+      << mutex::to_string(cfg.algo) << " n=" << cfg.n << " seed=" << cfg.seed;
+  EXPECT_TRUE(r.drained_clean)
+      << "requests left outstanding (deadlock/starvation): algo="
+      << mutex::to_string(cfg.algo) << " n=" << cfg.n << " seed=" << cfg.seed
+      << " issued=" << r.demands_issued << " completed="
+      << r.demands_completed << " aborted=" << r.demands_aborted;
+  return r;
+}
+
+// A compact heavy-load (closed loop) configuration for protocol sweeps.
+inline harness::ExperimentConfig heavy_cfg(mutex::Algo algo, int n,
+                                           uint64_t seed,
+                                           const std::string& quorum = "grid") {
+  harness::ExperimentConfig cfg;
+  cfg.algo = algo;
+  cfg.n = n;
+  cfg.quorum = quorum;
+  cfg.mean_delay = 1000;
+  cfg.workload.mode = harness::Workload::Config::Mode::kClosed;
+  cfg.workload.cs_duration = 100;
+  cfg.warmup = 100'000;
+  cfg.measure = 500'000;
+  cfg.seed = seed;
+  return cfg;
+}
+
+// A light-load (open loop) configuration: contention is rare.
+inline harness::ExperimentConfig light_cfg(mutex::Algo algo, int n,
+                                           uint64_t seed,
+                                           const std::string& quorum = "grid") {
+  harness::ExperimentConfig cfg = heavy_cfg(algo, n, seed, quorum);
+  cfg.workload.mode = harness::Workload::Config::Mode::kOpen;
+  // ~1 demand per site per 100T: back-to-back conflicts are rare.
+  cfg.workload.arrival_rate = 1.0 / (100.0 * 1000.0);
+  cfg.measure = 2'000'000;
+  return cfg;
+}
+
+}  // namespace dqme::testing

@@ -1,0 +1,205 @@
+// dqme_sim — command-line experiment runner.
+//
+// Runs any algorithm/quorum/load combination the library supports and
+// prints the full metric set; the programmable counterpart to the fixed
+// E1..E9 benches. Exits non-zero on a safety or liveness failure, so it
+// can sit inside shell loops and CI jobs.
+//
+// Examples:
+//   dqme_sim --algo cao-singhal --n 49 --quorum grid
+//   dqme_sim --algo maekawa --n 13 --quorum fpp --load open --rate 0.5
+//   dqme_sim --algo cao-singhal --n 15 --quorum tree --ft
+//            --crash 500000:0 --crash 900000:7   (one line)
+#include <cstdlib>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "harness/experiment.h"
+#include "harness/table.h"
+
+namespace {
+
+using namespace dqme;
+
+void usage(const char* argv0) {
+  std::cout
+      << "usage: " << argv0 << " [options]\n"
+      << "  --algo NAME      lamport | ricart-agrawala | maekawa | raymond\n"
+      << "                   | suzuki-kasami | cao-singhal |"
+      << " cao-singhal-noproxy\n"
+      << "  --n N            number of sites (default 25)\n"
+      << "  --quorum KIND    grid | fpp | tree | majority | hqc |\n"
+      << "                   gridset[:G] | rst[:G] | singleton | all\n"
+      << "  --t TICKS        mean message delay T (default 1000)\n"
+      << "  --delay KIND     constant | uniform | exponential\n"
+      << "  --load MODE      closed (saturation, default) | open\n"
+      << "  --rate R         open loop: offered load as a fraction of\n"
+      << "                   1/(2T+E) aggregate capacity (default 0.5)\n"
+      << "  --cs TICKS       CS duration E (default 100)\n"
+      << "  --exp-cs         exponential CS durations\n"
+      << "  --think TICKS    closed loop think time (default 0)\n"
+      << "  --warmup TICKS   (default 200000)\n"
+      << "  --measure TICKS  (default 2000000)\n"
+      << "  --seed S         (default 1)\n"
+      << "  --ft             enable the §6 fault-tolerance layer\n"
+      << "  --crash T:SITE   crash SITE at time T (repeatable)\n"
+      << "  --no-piggyback   disable piggybacking (ablation)\n"
+      << "  --audit          run the per-arbiter permission auditor\n"
+      << "                   (quorum algorithms, no crashes)\n";
+}
+
+bool parse_args(int argc, char** argv, harness::ExperimentConfig& cfg,
+                double& rate) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    auto next = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        std::cerr << "missing value for " << a << "\n";
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (a == "--help" || a == "-h") {
+      usage(argv[0]);
+      std::exit(0);
+    } else if (a == "--algo") {
+      cfg.algo = mutex::algo_from_string(next());
+    } else if (a == "--n") {
+      cfg.n = std::atoi(next());
+    } else if (a == "--quorum") {
+      cfg.quorum = next();
+    } else if (a == "--t") {
+      cfg.mean_delay = std::atoll(next());
+    } else if (a == "--delay") {
+      const std::string kind = next();
+      if (kind == "constant")
+        cfg.delay_kind = harness::ExperimentConfig::DelayKind::kConstant;
+      else if (kind == "uniform")
+        cfg.delay_kind = harness::ExperimentConfig::DelayKind::kUniform;
+      else if (kind == "exponential")
+        cfg.delay_kind = harness::ExperimentConfig::DelayKind::kExponential;
+      else {
+        std::cerr << "unknown delay kind: " << kind << "\n";
+        return false;
+      }
+    } else if (a == "--load") {
+      const std::string mode = next();
+      if (mode == "closed")
+        cfg.workload.mode = harness::Workload::Config::Mode::kClosed;
+      else if (mode == "open")
+        cfg.workload.mode = harness::Workload::Config::Mode::kOpen;
+      else {
+        std::cerr << "unknown load mode: " << mode << "\n";
+        return false;
+      }
+    } else if (a == "--rate") {
+      rate = std::atof(next());
+    } else if (a == "--cs") {
+      cfg.workload.cs_duration = std::atoll(next());
+    } else if (a == "--exp-cs") {
+      cfg.workload.exponential_cs = true;
+    } else if (a == "--think") {
+      cfg.workload.think_time = std::atoll(next());
+    } else if (a == "--warmup") {
+      cfg.warmup = std::atoll(next());
+    } else if (a == "--measure") {
+      cfg.measure = std::atoll(next());
+    } else if (a == "--seed") {
+      cfg.seed = static_cast<uint64_t>(std::atoll(next()));
+    } else if (a == "--ft") {
+      cfg.options.fault_tolerant = true;
+    } else if (a == "--no-piggyback") {
+      cfg.options.piggyback = false;
+    } else if (a == "--audit") {
+      cfg.audit_permissions = true;
+    } else if (a == "--crash") {
+      const std::string spec = next();
+      const auto colon = spec.find(':');
+      if (colon == std::string::npos) {
+        std::cerr << "--crash expects T:SITE\n";
+        return false;
+      }
+      cfg.crashes.push_back(
+          {std::atoll(spec.substr(0, colon).c_str()),
+           std::atoi(spec.substr(colon + 1).c_str())});
+    } else {
+      std::cerr << "unknown option: " << a << "\n";
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) try {
+  harness::ExperimentConfig cfg;
+  double rate = 0.5;
+  if (!parse_args(argc, argv, cfg, rate)) {
+    usage(argv[0]);
+    return 2;
+  }
+  if (cfg.workload.mode == harness::Workload::Config::Mode::kOpen) {
+    const double capacity =
+        1.0 / static_cast<double>(2 * cfg.mean_delay +
+                                  cfg.workload.cs_duration);
+    cfg.workload.arrival_rate = rate * capacity / cfg.n;
+  }
+
+  const harness::ExperimentResult r = harness::run_experiment(cfg);
+  const double t = static_cast<double>(cfg.mean_delay);
+
+  std::cout << "dqme_sim: " << mutex::to_string(cfg.algo) << "  N=" << cfg.n;
+  if (mutex::algo_uses_quorum(cfg.algo))
+    std::cout << "  quorum=" << cfg.quorum << "  K=" << r.mean_quorum_size;
+  std::cout << "  T=" << cfg.mean_delay << "  seed=" << cfg.seed << "\n\n";
+
+  harness::Table out({"metric", "value"});
+  using harness::Table;
+  out.add_row({"CS completed (window)", Table::integer(r.summary.completed)});
+  out.add_row({"wire messages / CS",
+               Table::num(r.summary.wire_msgs_per_cs, 2)});
+  out.add_row({"control messages / CS",
+               Table::num(r.summary.ctrl_msgs_per_cs, 2)});
+  out.add_row({"sync delay / T (contended)",
+               Table::num(r.sync_delay_in_t, 3)});
+  out.add_row({"throughput (CS per T)",
+               Table::num(r.summary.throughput * t, 3)});
+  out.add_row({"mean waiting / T",
+               Table::num(r.summary.waiting_mean / t, 2)});
+  out.add_row({"max waiting / T", Table::num(r.summary.waiting_max / t, 2)});
+  out.add_row({"mean response / T",
+               Table::num(r.summary.response_mean / t, 2)});
+  out.add_row({"fairness (Jain)", Table::num(r.summary.fairness_jain, 3)});
+  out.add_row({"ME violations", Table::integer(r.summary.violations)});
+  out.add_row({"demands issued/completed/aborted",
+               Table::integer(r.demands_issued) + "/" +
+                   Table::integer(r.demands_completed) + "/" +
+                   Table::integer(r.demands_aborted)});
+  out.add_row({"drained clean", r.drained_clean ? "yes" : "NO"});
+  out.add_row({"stale drops", Table::integer(r.stale_drops)});
+  if (cfg.audit_permissions)
+    out.add_row({"permission audit (grants / violations)",
+                 Table::integer(r.permission_grants_audited) + " / " +
+                     Table::integer(r.permission_violations)});
+  if (cfg.algo == mutex::Algo::kCaoSinghal ||
+      cfg.algo == mutex::Algo::kCaoSinghalNoProxy) {
+    out.add_row({"replies forwarded / direct",
+                 Table::integer(r.protocol_stats.replies_forwarded) + " / " +
+                     Table::integer(r.protocol_stats.replies_direct)});
+    out.add_row({"yields", Table::integer(r.protocol_stats.yields_sent)});
+    out.add_row({"§6 recoveries",
+                 Table::integer(r.protocol_stats.recoveries)});
+  }
+  out.print(std::cout);
+
+  const bool ok = r.summary.violations == 0 && r.drained_clean &&
+                  r.permission_violations == 0;
+  std::cout << (ok ? "\nOK: safe and live.\n"
+                   : "\nFAILED: safety or liveness violated.\n");
+  return ok ? 0 : 1;
+} catch (const dqme::CheckError& e) {
+  std::cerr << "configuration error: " << e.what() << "\n";
+  return 2;
+}
