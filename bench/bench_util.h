@@ -1,10 +1,24 @@
-// Shared configuration builders for the reproduction benches (E1..E9).
+// Shared configuration builders and CLI plumbing for the reproduction
+// benches (E1..E9, X1..X2, micro_core).
 // Conventions: T = 1000 ticks, closed loop = the paper's "heavy load",
 // open loop Poisson arrivals = "light load" (§5).
+//
+// Every bench accepts the same flags (parse_bench_flags):
+//   --jobs=N    worker threads for sweep-based suites (0 = all cores)
+//   --seeds=K   replications per row (overrides each suite's default)
+//   --quick     shrink warmup/measure windows ~8x (CI smoke)
+//   --json[=PATH]  write machine-readable results (default BENCH_<suite>.json)
 #pragma once
 
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
 #include <iostream>
 #include <string>
+#include <vector>
 
 #include "harness/experiment.h"
 #include "harness/table.h"
@@ -12,6 +26,82 @@
 namespace dqme::bench {
 
 inline constexpr Time kT = 1000;  // the paper's mean message delay
+
+// --quick divides every simulated-time window by this; parse_bench_flags
+// sets it so the heavy()/open_load() builders honor the flag everywhere.
+inline Time g_time_divisor = 1;
+
+inline Time scale_time(Time t) {
+  Time s = t / g_time_divisor;
+  return s < 1 ? 1 : s;
+}
+
+struct BenchOptions {
+  int jobs = 1;           // sweep worker threads; 0 = hardware concurrency
+  int seeds = 0;          // 0 = each suite's per-row default
+  bool quick = false;
+  bool json = false;
+  std::string json_path;  // resolved to BENCH_<suite>.json when empty
+  std::string suite;
+};
+
+inline void bench_usage(const char* suite) {
+  std::cerr << "usage: " << suite
+            << " [--jobs=N] [--seeds=K] [--quick] [--json[=PATH]]\n";
+}
+
+// Parses the shared bench flags; exits(2) on an unknown flag. Flags it
+// consumes are removed from argv (argc updated), so suites with their own
+// argument handling (micro_core's google-benchmark flags) can parse the
+// remainder.
+inline BenchOptions parse_bench_flags(int& argc, char** argv,
+                                      const std::string& suite) {
+  BenchOptions o;
+  o.suite = suite;
+  int keep = 1;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--jobs=", 0) == 0) {
+      o.jobs = std::atoi(arg.c_str() + 7);
+      if (o.jobs < 0) {
+        bench_usage(suite.c_str());
+        std::exit(2);
+      }
+    } else if (arg.rfind("--seeds=", 0) == 0) {
+      o.seeds = std::atoi(arg.c_str() + 8);
+      if (o.seeds < 1) {
+        bench_usage(suite.c_str());
+        std::exit(2);
+      }
+    } else if (arg == "--quick") {
+      o.quick = true;
+    } else if (arg == "--json") {
+      o.json = true;
+    } else if (arg.rfind("--json=", 0) == 0) {
+      o.json = true;
+      o.json_path = arg.substr(7);
+    } else if (arg == "--help" || arg == "-h") {
+      bench_usage(suite.c_str());
+      std::exit(0);
+    } else {
+      argv[keep++] = argv[i];  // not ours — leave for the suite
+    }
+  }
+  argc = keep;
+  if (o.json && o.json_path.empty()) o.json_path = "BENCH_" + suite + ".json";
+  if (o.quick) g_time_divisor = 8;
+  return o;
+}
+
+// For suites with no argument handling of their own: a leftover argument is
+// a typo'd flag, and silently running with defaults would masquerade as the
+// requested run. micro_core skips this (google-benchmark flags pass through).
+inline void reject_extra_args(int argc, char** argv, const std::string& suite) {
+  if (argc <= 1) return;
+  std::cerr << suite << ": unknown argument '" << argv[1] << "'\n";
+  bench_usage(suite.c_str());
+  std::exit(2);
+}
 
 inline harness::ExperimentConfig heavy(mutex::Algo algo, int n,
                                        const std::string& quorum = "grid",
@@ -23,8 +113,8 @@ inline harness::ExperimentConfig heavy(mutex::Algo algo, int n,
   cfg.mean_delay = kT;
   cfg.workload.mode = harness::Workload::Config::Mode::kClosed;
   cfg.workload.cs_duration = 100;  // E = T/10
-  cfg.warmup = 200'000;
-  cfg.measure = 2'000'000;
+  cfg.warmup = scale_time(200'000);
+  cfg.measure = scale_time(2'000'000);
   cfg.seed = seed;
   return cfg;
 }
@@ -43,7 +133,7 @@ inline harness::ExperimentConfig open_load(mutex::Algo algo, int n,
   const double capacity =
       1.0 / static_cast<double>(2 * kT + cfg.workload.cs_duration);
   cfg.workload.arrival_rate = relative_load * capacity / n;
-  cfg.measure = 4'000'000;
+  cfg.measure = scale_time(4'000'000);
   return cfg;
 }
 
@@ -54,5 +144,87 @@ inline void print_integrity(const harness::ExperimentResult& r) {
             << " drained_clean=" << (r.drained_clean ? "yes" : "NO")
             << " completed=" << r.summary.completed << "\n";
 }
+
+// --- machine-readable results (BENCH_*.json) --------------------------
+
+struct JsonMetric {
+  std::string metric;
+  double mean = 0;
+  double sd = 0;
+};
+
+inline std::string json_escape(const std::string& s) {
+  std::string out;
+  for (char c : s) {
+    if (c == '"' || c == '\\') out.push_back('\\');
+    out.push_back(c);
+  }
+  return out;
+}
+
+inline std::string json_num(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.17g", v);
+  return buf;
+}
+
+// One flat, self-describing file per suite so the perf trajectory can be
+// tracked across commits: suite + per-metric (mean, sd) + engine totals.
+inline void write_bench_json(const BenchOptions& opts, bool ok,
+                             double wall_ms, double events_per_sec,
+                             const std::vector<JsonMetric>& metrics) {
+  if (!opts.json) return;
+  std::ofstream f(opts.json_path);
+  if (!f) {
+    std::cerr << "cannot write " << opts.json_path << "\n";
+    return;
+  }
+  f << "{\n"
+    << "  \"suite\": \"" << json_escape(opts.suite) << "\",\n"
+    << "  \"ok\": " << (ok ? "true" : "false") << ",\n"
+    << "  \"jobs\": " << opts.jobs << ",\n"
+    << "  \"seeds\": " << opts.seeds << ",\n"
+    << "  \"quick\": " << (opts.quick ? "true" : "false") << ",\n"
+    << "  \"wall_ms\": " << json_num(wall_ms) << ",\n"
+    << "  \"events_per_sec\": " << json_num(events_per_sec) << ",\n"
+    << "  \"metrics\": [";
+  for (size_t i = 0; i < metrics.size(); ++i) {
+    f << (i ? "," : "") << "\n    {\"suite\": \"" << json_escape(opts.suite)
+      << "\", \"metric\": \"" << json_escape(metrics[i].metric)
+      << "\", \"mean\": " << json_num(metrics[i].mean)
+      << ", \"sd\": " << json_num(metrics[i].sd) << "}";
+  }
+  f << "\n  ]\n}\n";
+  std::cout << "  [json] wrote " << opts.json_path << "\n";
+}
+
+// Minimal flags + JSON plumbing for suites not yet ported to bench::Runner
+// (follow-up: port them row-by-row like e1/e3/e7). --quick takes effect
+// through the heavy()/open_load() builders; --jobs/--seeds are accepted
+// for CLI uniformity but only sweep-based suites use them; --json records
+// suite, ok, wall_ms (no per-metric rows until the port).
+class SuiteGuard {
+ public:
+  SuiteGuard(int& argc, char** argv, const std::string& suite)
+      : opts_(parse_bench_flags(argc, argv, suite)),
+        start_(std::chrono::steady_clock::now()) {
+    reject_extra_args(argc, argv, suite);
+  }
+
+  const BenchOptions& options() const { return opts_; }
+
+  // Call as the last statement of main: emits JSON, returns the exit code.
+  int finish(bool ok) const {
+    const double wall_ms = std::chrono::duration<double, std::milli>(
+                               std::chrono::steady_clock::now() - start_)
+                               .count();
+    write_bench_json(opts_, ok, wall_ms, 0, {});
+    return ok ? 0 : 1;
+  }
+
+ private:
+  BenchOptions opts_;
+  std::chrono::steady_clock::time_point start_;
+};
 
 }  // namespace dqme::bench

@@ -4,7 +4,8 @@
 
 #include "bench_util.h"
 
-int main() {
+int main(int argc, char** argv) {
+  dqme::bench::SuiteGuard suite_guard(argc, argv, "e2_message_complexity");
   using namespace dqme;
   using bench::heavy;
   using bench::open_load;
@@ -61,5 +62,5 @@ int main() {
   }
   std::cout << "[integrity] all runs safe and drained: " << (ok ? "yes" : "NO")
             << "\n";
-  return ok ? 0 : 1;
+  return suite_guard.finish(ok);
 }

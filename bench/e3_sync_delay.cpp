@@ -1,48 +1,69 @@
 // E3 — §5.2's headline: synchronization delay T for the proposed algorithm
 // vs 2T for Maekawa, as load rises toward saturation, under constant and
 // jittered delay models.
+//
+// Ported to the unified bench::Runner: the whole (load × algorithm × seed)
+// grid is one parallel sweep. This suite is the acceptance benchmark for
+// the parallel engine — `e3_sync_delay --seeds=8 --jobs=8` must produce
+// byte-identical aggregates to --jobs=1, only faster.
 #include <iostream>
 
-#include "bench_util.h"
+#include "runner.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace dqme;
   using bench::heavy;
   using bench::open_load;
   using harness::ExperimentConfig;
+  using harness::ExperimentResult;
   using harness::Table;
 
-  std::cout << "E3 — synchronization delay in units of T (N=25, grid, "
-               "E=T/10)\n\n";
-  bool ok = true;
+  auto opts = bench::parse_bench_flags(argc, argv, "e3_sync_delay");
+  bench::reject_extra_args(argc, argv, "e3_sync_delay");
 
-  Table t({"load", "proposed delay/T", "maekawa delay/T", "ratio",
-           "contended gaps"});
-  for (double load : {0.3, 0.6, 0.9}) {
-    auto p = harness::run_experiment(
-        open_load(mutex::Algo::kCaoSinghal, 25, load));
-    auto m = harness::run_experiment(open_load(mutex::Algo::kMaekawa, 25,
-                                               load));
-    ok = ok && p.summary.violations == 0 && m.summary.violations == 0 &&
-         p.drained_clean && m.drained_clean;
-    t.add_row({Table::num(load, 1), Table::num(p.sync_delay_in_t, 2),
-               Table::num(m.sync_delay_in_t, 2),
-               Table::num(m.sync_delay_in_t / p.sync_delay_in_t, 2),
-               Table::integer(p.summary.contended_gaps)});
+  const bench::MetricDef kDelay{
+      "delay/T", [](const ExperimentResult& r) { return r.sync_delay_in_t; }};
+  const bench::MetricDef kGaps{
+      "contended_gaps", [](const ExperimentResult& r) {
+        return static_cast<double>(r.summary.contended_gaps);
+      }};
+
+  bench::Runner run("e3_sync_delay", opts);
+  const double loads[] = {0.3, 0.6, 0.9};
+  int prop[3], mae[3];
+  for (int i = 0; i < 3; ++i) {
+    prop[i] = run.add("proposed/" + Table::num(loads[i], 1),
+                      open_load(mutex::Algo::kCaoSinghal, 25, loads[i]),
+                      {kDelay, kGaps});
+    mae[i] = run.add("maekawa/" + Table::num(loads[i], 1),
+                     open_load(mutex::Algo::kMaekawa, 25, loads[i]),
+                     {kDelay});
   }
-  // Saturated rows with error bars over 5 seeds (replicate() re-checks
-  // safety and liveness on every run).
-  auto delay_metric = [](const harness::ExperimentResult& r) {
-    return r.sync_delay_in_t;
-  };
   // Constant-delay saturation is seed-invariant (the sd would read 0.00);
   // replicate under uniform jitter where runs genuinely differ.
   ExperimentConfig pj = heavy(mutex::Algo::kCaoSinghal, 25);
   ExperimentConfig mj = heavy(mutex::Algo::kMaekawa, 25);
   pj.delay_kind = mj.delay_kind = ExperimentConfig::DelayKind::kUniform;
-  auto pr = harness::replicate(pj, 5, delay_metric);
-  auto mr = harness::replicate(mj, 5, delay_metric);
-  t.add_row({"saturated, jitter (5 seeds)",
+  const int pjr = run.add("proposed/saturated-jitter", pj, {kDelay}, 5);
+  const int mjr = run.add("maekawa/saturated-jitter", mj, {kDelay}, 5);
+  run.execute();
+
+  std::cout << "E3 — synchronization delay in units of T (N=25, grid, "
+               "E=T/10)\n\n";
+  Table t({"load", "proposed delay/T", "maekawa delay/T", "ratio",
+           "contended gaps"});
+  for (int i = 0; i < 3; ++i) {
+    const double p = run.stat(prop[i], "delay/T").mean;
+    const double m = run.stat(mae[i], "delay/T").mean;
+    t.add_row({Table::num(loads[i], 1), Table::num(p, 2), Table::num(m, 2),
+               Table::num(m / p, 2),
+               Table::integer(static_cast<uint64_t>(
+                   run.stat(prop[i], "contended_gaps").mean))});
+  }
+  const auto pr = run.stat(pjr, "delay/T");
+  const auto mr = run.stat(mjr, "delay/T");
+  t.add_row({"saturated, jitter (" + std::to_string(run.runs(pjr).size()) +
+                 " seeds)",
              Table::num(pr.mean, 2) + " +/- " + Table::num(pr.sd, 2),
              Table::num(mr.mean, 2) + " +/- " + Table::num(mr.sd, 2),
              Table::num(mr.mean / pr.mean, 2), "-"});
@@ -50,20 +71,13 @@ int main() {
 
   std::cout << "\nWith jittered (uniform) delays:\n";
   Table jt({"algorithm", "delay/T (saturated)"});
-  for (mutex::Algo algo :
-       {mutex::Algo::kCaoSinghal, mutex::Algo::kMaekawa}) {
-    ExperimentConfig cfg = heavy(algo, 25);
-    cfg.delay_kind = ExperimentConfig::DelayKind::kUniform;
-    auto r = harness::run_experiment(cfg);
-    ok = ok && r.summary.violations == 0 && r.drained_clean;
-    jt.add_row({std::string(mutex::to_string(algo)),
-                Table::num(r.sync_delay_in_t, 2)});
-  }
+  jt.add_row({std::string(mutex::to_string(mutex::Algo::kCaoSinghal)),
+              Table::num(run.first(pjr).sync_delay_in_t, 2)});
+  jt.add_row({std::string(mutex::to_string(mutex::Algo::kMaekawa)),
+              Table::num(run.first(mjr).sync_delay_in_t, 2)});
   jt.print(std::cout);
 
   std::cout << "\nExpected shape: proposed ~1.0-1.3 T at saturation, "
-               "Maekawa ~2 T; the minimum possible is T (§5.2).\n"
-            << "[integrity] all runs safe and drained: " << (ok ? "yes" : "NO")
-            << "\n";
-  return ok ? 0 : 1;
+               "Maekawa ~2 T; the minimum possible is T (§5.2).\n";
+  return run.finish(std::cout);
 }

@@ -5,7 +5,8 @@
 
 #include "bench_util.h"
 
-int main() {
+int main(int argc, char** argv) {
+  dqme::bench::SuiteGuard suite_guard(argc, argv, "e4_throughput");
   using namespace dqme;
   using bench::heavy;
   using bench::kT;
@@ -39,5 +40,5 @@ int main() {
                "the cycle — matching the ideal-ratio column.\n"
             << "[integrity] all runs safe and drained: " << (ok ? "yes" : "NO")
             << "\n";
-  return ok ? 0 : 1;
+  return suite_guard.finish(ok);
 }

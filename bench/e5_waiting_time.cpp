@@ -5,7 +5,8 @@
 
 #include "bench_util.h"
 
-int main() {
+int main(int argc, char** argv) {
+  dqme::bench::SuiteGuard suite_guard(argc, argv, "e5_waiting_time");
   using namespace dqme;
   using bench::kT;
   using bench::open_load;
@@ -39,5 +40,5 @@ int main() {
                "saturation.\n"
             << "[integrity] all runs safe and drained: " << (ok ? "yes" : "NO")
             << "\n";
-  return ok ? 0 : 1;
+  return suite_guard.finish(ok);
 }

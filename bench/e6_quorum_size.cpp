@@ -11,7 +11,8 @@
 #include "quorum/factory.h"
 #include "quorum/tree.h"
 
-int main() {
+int main(int argc, char** argv) {
+  dqme::bench::SuiteGuard suite_guard(argc, argv, "e6_quorum_size");
   using namespace dqme;
   using harness::Table;
 
@@ -96,5 +97,5 @@ int main() {
     }
     t.print(std::cout);
   }
-  return 0;
+  return suite_guard.finish(true);
 }

@@ -4,15 +4,22 @@
 //  (b) end-to-end: the FT-enabled algorithm keeps executing CSs across
 //      site crashes (tree quorums + the §6 recovery protocol), with
 //      mutual exclusion intact.
+//
+// Part (b) is ported to the unified bench::Runner — scenarios run as one
+// parallel sweep; part (a) is pure combinatorics and stays inline.
 #include <iostream>
 
-#include "bench_util.h"
 #include "quorum/availability.h"
 #include "quorum/factory.h"
+#include "runner.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace dqme;
+  using harness::ExperimentResult;
   using harness::Table;
+
+  auto opts = bench::parse_bench_flags(argc, argv, "e7_fault_tolerance");
+  bench::reject_extra_args(argc, argv, "e7_fault_tolerance");
 
   std::cout << "E7a — availability vs per-site failure probability p\n"
             << "(N=15/16; exact where 2^N is feasible, else Monte-Carlo "
@@ -26,14 +33,15 @@ int main() {
   } systems[] = {{"grid", 16},     {"tree", 15}, {"majority", 15},
                  {"hqc", 27},      {"gridset:4", 16},
                  {"rst:4", 16},    {"singleton", 15}};
+  const int mc_samples = opts.quick ? 20000 : 100000;
   for (double p : {0.02, 0.05, 0.1, 0.2, 0.3, 0.5}) {
     std::vector<std::string> row{Table::num(p, 2)};
     for (const auto& s : systems) {
       auto qs = quorum::make_quorum_system(s.kind, s.n);
       const double up = 1.0 - p;
       const double a = s.n <= 20 ? quorum::exact_availability(*qs, up)
-                                 : quorum::mc_availability(*qs, up, 100000,
-                                                           rng);
+                                 : quorum::mc_availability(*qs, up,
+                                                           mc_samples, rng);
       row.push_back(Table::num(a, 4));
     }
     t.add_row(std::move(row));
@@ -45,39 +53,59 @@ int main() {
 
   std::cout << "E7b — end-to-end crash runs (proposed algorithm, fault-"
                "tolerant mode, tree quorums N=15, closed loop)\n\n";
-  Table e({"scenario", "completed", "recoveries", "aborted", "violations",
-           "drained"});
-  bool ok = true;
   struct Scenario {
     const char* name;
     std::vector<harness::ExperimentConfig::Crash> crashes;
+    int row = 0;
   };
-  const Scenario scenarios[] = {
+  Scenario scenarios[] = {
       {"no crashes", {}},
-      {"leaf crash (t=0.3M)", {{300'000, 9}}},
-      {"internal node crash", {{300'000, 1}}},
-      {"root crash (in every quorum)", {{300'000, 0}}},
-      {"three staggered crashes", {{300'000, 9}, {600'000, 1}, {900'000, 5}}},
+      {"leaf crash (t=0.3M)", {{bench::scale_time(300'000), 9}}},
+      {"internal node crash", {{bench::scale_time(300'000), 1}}},
+      {"root crash (in every quorum)", {{bench::scale_time(300'000), 0}}},
+      {"three staggered crashes",
+       {{bench::scale_time(300'000), 9},
+        {bench::scale_time(600'000), 1},
+        {bench::scale_time(900'000), 5}}},
   };
-  for (const Scenario& s : scenarios) {
+  const std::vector<bench::MetricDef> counters = {
+      {"completed",
+       [](const ExperimentResult& r) {
+         return static_cast<double>(r.summary.completed);
+       }},
+      {"recoveries",
+       [](const ExperimentResult& r) {
+         return static_cast<double>(r.protocol_stats.recoveries);
+       }},
+      {"aborted",
+       [](const ExperimentResult& r) {
+         return static_cast<double>(r.demands_aborted);
+       }},
+  };
+  bench::Runner run("e7_fault_tolerance", opts);
+  for (Scenario& s : scenarios) {
     harness::ExperimentConfig cfg =
         bench::heavy(mutex::Algo::kCaoSinghal, 15, "tree", 11);
     cfg.options.fault_tolerant = true;
-    cfg.measure = 1'500'000;
+    cfg.measure = bench::scale_time(1'500'000);
     cfg.crashes = s.crashes;
-    auto r = harness::run_experiment(cfg);
-    ok = ok && r.summary.violations == 0 && r.drained_clean;
-    e.add_row({s.name, Table::integer(r.summary.completed),
-               Table::integer(r.protocol_stats.recoveries),
-               Table::integer(r.demands_aborted),
+    s.row = run.add(s.name, cfg, counters);
+  }
+  run.execute();
+
+  Table e({"scenario", "completed", "recoveries", "aborted", "violations",
+           "drained"});
+  for (const Scenario& s : scenarios) {
+    const auto& r = run.first(s.row);
+    e.add_row({s.name, Table::num(run.stat(s.row, "completed").mean, 0),
+               Table::num(run.stat(s.row, "recoveries").mean, 0),
+               Table::num(run.stat(s.row, "aborted").mean, 0),
                Table::integer(r.summary.violations),
                r.drained_clean ? "yes" : "NO"});
   }
   e.print(std::cout);
   std::cout << "\nExpected shape: progress (completed > 0) in every "
                "scenario, recoveries > 0 whenever a quorum member died, "
-               "zero violations throughout.\n"
-            << "[integrity] all runs safe and drained: " << (ok ? "yes" : "NO")
-            << "\n";
-  return ok ? 0 : 1;
+               "zero violations throughout.\n";
+  return run.finish(std::cout);
 }

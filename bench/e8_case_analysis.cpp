@@ -5,7 +5,8 @@
 
 #include "bench_util.h"
 
-int main() {
+int main(int argc, char** argv) {
+  dqme::bench::SuiteGuard suite_guard(argc, argv, "e8_case_analysis");
   using namespace dqme;
   using bench::heavy;
   using bench::open_load;
@@ -62,5 +63,5 @@ int main() {
                "the proxy path.\n"
             << "[integrity] all runs safe, drained, under ceiling: "
             << (ok ? "yes" : "NO") << "\n";
-  return ok ? 0 : 1;
+  return suite_guard.finish(ok);
 }

@@ -8,7 +8,8 @@
 
 #include "bench_util.h"
 
-int main() {
+int main(int argc, char** argv) {
+  dqme::bench::SuiteGuard suite_guard(argc, argv, "e9_ablation");
   using namespace dqme;
   using bench::heavy;
   using harness::ExperimentConfig;
@@ -55,5 +56,5 @@ int main() {
                "wire messages.\n"
             << "[integrity] all runs safe and drained: " << (ok ? "yes" : "NO")
             << "\n";
-  return ok ? 0 : 1;
+  return suite_guard.finish(ok);
 }

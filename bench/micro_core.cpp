@@ -1,16 +1,151 @@
-// Micro-benchmarks (google-benchmark) for the substrates: event queue,
-// network send/deliver, quorum construction, and a whole protocol step.
-// These bound the simulator's own cost so experiment runtimes are
-// attributable to protocol behaviour, not harness overhead.
+// Micro-benchmarks for the substrates: event queue, network send/deliver,
+// quorum construction, and a whole protocol step. These bound the
+// simulator's own cost so experiment runtimes are attributable to protocol
+// behaviour, not harness overhead.
+//
+// The headline section compares the slab-allocated event store against the
+// seed implementation (std::priority_queue + std::unordered_map of
+// std::function), kept here verbatim as `BaselineSimulator`, on a
+// protocol-shaped churn load (timer chains + cancelled timeouts with
+// network-sized captures). Results land in BENCH_micro_core.json via
+// --json so the events/sec trajectory is tracked from this commit onward.
+// The google-benchmark suite still runs afterwards (skipped under --quick).
 #include <benchmark/benchmark.h>
+
+#include <chrono>
+#include <functional>
+#include <queue>
+#include <unordered_map>
 
 #include "core/cao_singhal.h"
 #include "harness/experiment.h"
 #include "quorum/factory.h"
+#include "runner.h"
 
 namespace {
 
 using namespace dqme;
+
+// --- the seed event store, frozen for before/after comparison ---------
+
+class BaselineSimulator {
+ public:
+  using Callback = std::function<void()>;
+  using EventId = uint64_t;
+
+  Time now() const { return now_; }
+
+  EventId schedule_at(Time when, Callback fn) {
+    EventId id = next_id_++;
+    heap_.push(Entry{when, id});
+    callbacks_.emplace(id, std::move(fn));
+    return id;
+  }
+  EventId schedule_after(Time delay, Callback fn) {
+    return schedule_at(now_ + delay, std::move(fn));
+  }
+  bool cancel(EventId id) { return callbacks_.erase(id) > 0; }
+
+  bool step() {
+    while (!heap_.empty() && !callbacks_.contains(heap_.top().id))
+      heap_.pop();
+    if (heap_.empty()) return false;
+    Entry e = heap_.top();
+    heap_.pop();
+    auto it = callbacks_.find(e.id);
+    Callback fn = std::move(it->second);
+    callbacks_.erase(it);
+    now_ = e.when;
+    ++executed_;
+    fn();
+    return true;
+  }
+  uint64_t run() {
+    uint64_t n = 0;
+    while (step()) ++n;
+    return n;
+  }
+  uint64_t events_executed() const { return executed_; }
+
+ private:
+  struct Entry {
+    Time when;
+    EventId id;
+    bool operator<(const Entry& other) const {
+      if (when != other.when) return when > other.when;
+      return id > other.id;
+    }
+  };
+  Time now_ = 0;
+  EventId next_id_ = 1;
+  uint64_t executed_ = 0;
+  std::priority_queue<Entry> heap_;
+  std::unordered_map<EventId, Callback> callbacks_;
+};
+
+// Protocol-shaped churn: every fired event re-arms itself (a timer chain,
+// like workload think-time and delivery events) carrying a network-sized
+// capture, and arms a timeout that is then cancelled before firing (like
+// retransmit / failure-detection timers) — the cancel-heavy pattern the
+// tombstone compaction exists for. The chain closure captures 40 bytes,
+// the size class of a real delivery closure: inline in the slab store,
+// one heap allocation per event in the seed's std::function store.
+struct ChurnPayload {  // ~ what a delivery closure carries
+  void* net;
+  uint64_t flight;
+  uint64_t seq;
+  uint64_t salt;
+};
+
+template <typename Sim>
+struct Churner {
+  Sim& sim;
+  uint64_t target;
+  uint64_t fired = 0;
+  typename Sim::EventId timeout{};
+  bool has_timeout = false;
+
+  void arm() {
+    ChurnPayload p{&sim, fired, fired * 7919, ~fired};
+    sim.schedule_after(1 + (fired % 97), [this, p] {
+      benchmark::DoNotOptimize(p);
+      ++fired;
+      if (has_timeout) sim.cancel(timeout);
+      if (fired < target) {
+        timeout = sim.schedule_after(10'000, [] {});
+        has_timeout = true;
+        arm();
+      }
+    });
+  }
+};
+
+template <typename Sim>
+uint64_t churn(Sim& sim, uint64_t target_events) {
+  Churner<Sim> c{sim, target_events};
+  c.arm();
+  sim.run();
+  return c.fired;
+}
+
+template <typename Sim>
+double measure_events_per_sec(uint64_t events, int repeats) {
+  double best = 0;
+  for (int i = 0; i < repeats; ++i) {
+    Sim sim;
+    const auto start = std::chrono::steady_clock::now();
+    const uint64_t fired = churn(sim, events);
+    const double secs = std::chrono::duration<double>(
+                            std::chrono::steady_clock::now() - start)
+                            .count();
+    DQME_CHECK(fired == events);
+    const double eps = static_cast<double>(sim.events_executed()) / secs;
+    if (eps > best) best = eps;
+  }
+  return best;
+}
+
+// --- google-benchmark suite (the per-substrate breakdown) -------------
 
 void BM_SimulatorScheduleRun(benchmark::State& state) {
   const int events = static_cast<int>(state.range(0));
@@ -25,6 +160,24 @@ void BM_SimulatorScheduleRun(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * events);
 }
 BENCHMARK(BM_SimulatorScheduleRun)->Arg(1000)->Arg(100000);
+
+void BM_SimulatorChurn(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::Simulator sim;
+    benchmark::DoNotOptimize(churn(sim, 100000));
+  }
+  state.SetItemsProcessed(state.iterations() * 100000);
+}
+BENCHMARK(BM_SimulatorChurn);
+
+void BM_BaselineSimulatorChurn(benchmark::State& state) {
+  for (auto _ : state) {
+    BaselineSimulator sim;
+    benchmark::DoNotOptimize(churn(sim, 100000));
+  }
+  state.SetItemsProcessed(state.iterations() * 100000);
+}
+BENCHMARK(BM_BaselineSimulatorChurn);
 
 void BM_NetworkSendDeliver(benchmark::State& state) {
   struct Sink final : net::NetSite {
@@ -90,4 +243,55 @@ BENCHMARK(BM_EndToEndSimulatedSecond)->Unit(benchmark::kMillisecond);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  auto opts = dqme::bench::parse_bench_flags(argc, argv, "micro_core");
+
+  const auto wall_start = std::chrono::steady_clock::now();
+  const uint64_t events = opts.quick ? 200'000 : 1'000'000;
+  const int repeats = opts.quick ? 2 : 3;
+  const double slab =
+      measure_events_per_sec<dqme::sim::Simulator>(events, repeats);
+  const double baseline =
+      measure_events_per_sec<BaselineSimulator>(events, repeats);
+  const double speedup = slab / baseline;
+
+  // End-to-end: one saturated simulated second of the paper's algorithm.
+  dqme::harness::ExperimentConfig cfg;
+  cfg.algo = dqme::mutex::Algo::kCaoSinghal;
+  cfg.n = 25;
+  cfg.warmup = 0;
+  cfg.measure = opts.quick ? 250'000 : 1'000'000;
+  const auto r = dqme::harness::run_experiment(cfg);
+  const double e2e_eps =
+      static_cast<double>(r.sim_events) / (r.wall_ms / 1000.0);
+
+  const double wall_ms = std::chrono::duration<double, std::milli>(
+                             std::chrono::steady_clock::now() - wall_start)
+                             .count();
+
+  std::cout << "micro_core — slab event store vs seed implementation ("
+            << events << "-event churn, best of " << repeats << ")\n"
+            << "  slab:     " << dqme::harness::Table::num(slab / 1e6, 2)
+            << "M events/s\n"
+            << "  baseline: " << dqme::harness::Table::num(baseline / 1e6, 2)
+            << "M events/s\n"
+            << "  speedup:  " << dqme::harness::Table::num(speedup, 2)
+            << "x\n"
+            << "  end-to-end experiment: "
+            << dqme::harness::Table::num(e2e_eps / 1e6, 2)
+            << "M events/s\n";
+
+  dqme::bench::write_bench_json(
+      opts, speedup > 1.0, wall_ms, slab,
+      {{"events_per_sec_slab", slab, 0},
+       {"events_per_sec_baseline", baseline, 0},
+       {"slab_speedup", speedup, 0},
+       {"e2e_events_per_sec", e2e_eps, 0}});
+
+  if (opts.quick) return 0;  // CI smoke: skip the full microbench suite
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -1,0 +1,157 @@
+// Unified bench runner: declarative rows (label + config + metric lambdas)
+// executed as ONE parallel sweep over (rows × seeds) through
+// harness::SweepRunner, honoring the shared --jobs/--seeds/--quick/--json
+// flags from bench_util.h. The integrity line (print_integrity's job in the
+// hand-rolled era) and the BENCH_<suite>.json emission are folded into
+// finish().
+//
+// Usage shape:
+//   auto opts = bench::parse_bench_flags(argc, argv, "e3_sync_delay");
+//   bench::Runner run("e3_sync_delay", opts);
+//   int r = run.add("proposed/0.3", open_load(...), {{"delay/T", fn}});
+//   run.execute();                       // the only simulation pass
+//   ... run.stat(r, "delay/T").mean ...  // format any tables you like
+//   return run.finish(std::cout);
+#pragma once
+
+#include <chrono>
+#include <ostream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "bench_util.h"
+#include "harness/sweep.h"
+
+namespace dqme::bench {
+
+struct MetricDef {
+  std::string name;
+  std::function<double(const harness::ExperimentResult&)> fn;
+};
+
+class Runner {
+ public:
+  Runner(std::string suite, BenchOptions opts)
+      : suite_(std::move(suite)), opts_(std::move(opts)) {}
+
+  // Declares one row. `default_seeds` is the replication count when the
+  // user did not pass --seeds. Returns the row index.
+  int add(std::string label, harness::ExperimentConfig cfg,
+          std::vector<MetricDef> metrics, int default_seeds = 1) {
+    Row row;
+    row.label = std::move(label);
+    row.cfg = std::move(cfg);
+    row.metrics = std::move(metrics);
+    row.seeds = opts_.seeds > 0 ? opts_.seeds : default_seeds;
+    rows_.push_back(std::move(row));
+    return static_cast<int>(rows_.size()) - 1;
+  }
+
+  // Runs every declared (row, seed) job on the worker pool. Results are
+  // deterministic in content and order for any --jobs value: each job is a
+  // pure function of (config, seed) and lands in its own slot.
+  void execute() {
+    std::vector<harness::ExperimentConfig> grid;
+    for (const Row& row : rows_) {
+      auto seeds = harness::expand_seeds(row.cfg, row.seeds);
+      grid.insert(grid.end(), seeds.begin(), seeds.end());
+    }
+    harness::SweepOptions sopts;
+    sopts.jobs = opts_.jobs;
+    sopts.check_integrity = false;  // benches report, they don't throw
+    const auto start = std::chrono::steady_clock::now();
+    auto results = harness::SweepRunner(sopts).run(grid);
+    wall_ms_ = std::chrono::duration<double, std::milli>(
+                   std::chrono::steady_clock::now() - start)
+                   .count();
+    size_t at = 0;
+    for (Row& row : rows_) {
+      row.runs.assign(results.begin() + static_cast<ptrdiff_t>(at),
+                      results.begin() + static_cast<ptrdiff_t>(at + row.seeds));
+      at += static_cast<size_t>(row.seeds);
+      for (const auto& r : row.runs) {
+        sim_events_ += r.sim_events;
+        ok_ = ok_ && r.summary.violations == 0 && r.drained_clean;
+      }
+    }
+    executed_ = true;
+  }
+
+  // Aggregated metric (mean/sd over the row's seeds).
+  harness::Replicated stat(int row, const std::string& metric) const {
+    const Row& r = at(row);
+    for (const MetricDef& m : r.metrics)
+      if (m.name == metric) return harness::aggregate(r.runs, m.fn);
+    DQME_CHECK_MSG(false, "no metric '" << metric << "' on row '" << r.label
+                                        << "'");
+    return {};
+  }
+
+  // The row's first (lowest-seed) run, for counters and protocol stats the
+  // declared metrics don't cover.
+  const harness::ExperimentResult& first(int row) const {
+    return at(row).runs.front();
+  }
+  const std::vector<harness::ExperimentResult>& runs(int row) const {
+    return at(row).runs;
+  }
+
+  int jobs() const { return opts_.jobs; }
+  bool ok() const { return ok_; }
+  double wall_ms() const { return wall_ms_; }
+  double events_per_sec() const {
+    return wall_ms_ > 0 ? static_cast<double>(sim_events_) /
+                              (wall_ms_ / 1000.0)
+                        : 0;
+  }
+
+  // Integrity line + JSON emission; returns the process exit code.
+  int finish(std::ostream& os) const {
+    DQME_CHECK(executed_);
+    os << "\n[integrity] all runs safe and drained: " << (ok_ ? "yes" : "NO")
+       << "  (" << total_runs() << " runs, jobs=" << opts_.jobs << ", "
+       << Table::num(wall_ms_, 0) << " ms, "
+       << Table::num(events_per_sec() / 1e6, 2) << "M events/s)\n";
+    std::vector<JsonMetric> jm;
+    for (size_t i = 0; i < rows_.size(); ++i)
+      for (const MetricDef& m : rows_[i].metrics) {
+        auto rep = stat(static_cast<int>(i), m.name);
+        jm.push_back({rows_[i].label + "/" + m.name, rep.mean, rep.sd});
+      }
+    write_bench_json(opts_, ok_, wall_ms_, events_per_sec(), jm);
+    return ok_ ? 0 : 1;
+  }
+
+ private:
+  struct Row {
+    std::string label;
+    harness::ExperimentConfig cfg;
+    std::vector<MetricDef> metrics;
+    int seeds = 1;
+    std::vector<harness::ExperimentResult> runs;
+  };
+
+  const Row& at(int i) const {
+    DQME_CHECK(executed_);
+    DQME_CHECK(0 <= i && i < static_cast<int>(rows_.size()));
+    return rows_[static_cast<size_t>(i)];
+  }
+
+  size_t total_runs() const {
+    size_t n = 0;
+    for (const Row& r : rows_) n += static_cast<size_t>(r.seeds);
+    return n;
+  }
+
+  std::string suite_;
+  BenchOptions opts_;
+  std::vector<Row> rows_;
+  bool executed_ = false;
+  bool ok_ = true;
+  double wall_ms_ = 0;
+  uint64_t sim_events_ = 0;
+  using Table = harness::Table;
+};
+
+}  // namespace dqme::bench

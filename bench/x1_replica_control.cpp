@@ -82,7 +82,8 @@ RunStats run(const std::string& quorum_kind, int n, bool crash_one) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  dqme::bench::SuiteGuard suite_guard(argc, argv, "x1_replica_control");
   using harness::Table;
   std::cout << "X1 — §7 replica control on the delay-optimal mutex "
                "(atomic counter, T~1000, jittered)\n\n";
@@ -114,5 +115,5 @@ int main() {
                "change none of that.\n"
             << "[integrity] all counts exact: " << (ok ? "yes" : "NO")
             << "\n";
-  return ok ? 0 : 1;
+  return suite_guard.finish(ok);
 }

@@ -6,7 +6,8 @@
 
 #include "bench_util.h"
 
-int main() {
+int main(int argc, char** argv) {
+  dqme::bench::SuiteGuard suite_guard(argc, argv, "x2_scaling");
   using namespace dqme;
   using bench::heavy;
   using harness::Table;
@@ -51,5 +52,5 @@ int main() {
                "Maekawa stays at 2T.\n"
             << "[integrity] all runs safe and drained: " << (ok ? "yes" : "NO")
             << "\n";
-  return ok ? 0 : 1;
+  return suite_guard.finish(ok);
 }

@@ -1,15 +1,20 @@
 #include "common/logging.h"
 
+#include <atomic>
 #include <cstdio>
 
 namespace dqme {
 
 namespace {
-LogLevel g_level = LogLevel::kOff;
+// Atomic so parallel sweep workers can read the level while a test driver
+// flips it — the level check is on the simulation hot path of every thread.
+std::atomic<LogLevel> g_level{LogLevel::kOff};
 }  // namespace
 
-LogLevel log_level() { return g_level; }
-void set_log_level(LogLevel level) { g_level = level; }
+LogLevel log_level() { return g_level.load(std::memory_order_relaxed); }
+void set_log_level(LogLevel level) {
+  g_level.store(level, std::memory_order_relaxed);
+}
 
 namespace detail {
 void log_line(LogLevel level, const std::string& line) {

@@ -1,8 +1,10 @@
 #include "harness/experiment.h"
 
+#include <chrono>
 #include <cmath>
 
 #include "harness/permission_auditor.h"
+#include "harness/sweep.h"
 #include "quorum/factory.h"
 
 namespace dqme::harness {
@@ -34,6 +36,7 @@ std::unique_ptr<net::DelayModel> make_delay(const ExperimentConfig& cfg) {
 }  // namespace
 
 ExperimentResult run_experiment(const ExperimentConfig& cfg) {
+  const auto wall_start = std::chrono::steady_clock::now();
   sim::Simulator sim;
   net::Network network(sim, cfg.n, make_delay(cfg), cfg.seed * 7919 + 13);
 
@@ -124,34 +127,25 @@ ExperimentResult run_experiment(const ExperimentConfig& cfg) {
     res.permission_violations = auditor->violations();
     res.permission_grants_audited = auditor->grants_audited();
   }
+  res.sim_events = sim.events_executed();
+  res.wall_ms = std::chrono::duration<double, std::milli>(
+                    std::chrono::steady_clock::now() - wall_start)
+                    .count();
   return res;
+}
+
+std::vector<ExperimentResult> replicate(const ExperimentConfig& cfg,
+                                        int replications, int jobs) {
+  DQME_CHECK(replications >= 1);
+  SweepOptions opts;
+  opts.jobs = jobs;
+  return SweepRunner(opts).run(expand_seeds(cfg, replications));
 }
 
 Replicated replicate(const ExperimentConfig& cfg, int replications,
                      const std::function<double(const ExperimentResult&)>&
                          metric) {
-  DQME_CHECK(replications >= 1);
-  std::vector<double> xs;
-  xs.reserve(static_cast<size_t>(replications));
-  for (int r = 0; r < replications; ++r) {
-    ExperimentConfig c = cfg;
-    c.seed = cfg.seed + static_cast<uint64_t>(r);
-    ExperimentResult res = run_experiment(c);
-    DQME_CHECK_MSG(res.summary.violations == 0,
-                   "mutual exclusion violated at seed " << c.seed);
-    DQME_CHECK_MSG(res.drained_clean,
-                   "requests left outstanding at seed " << c.seed);
-    xs.push_back(metric(res));
-  }
-  Replicated out;
-  for (double v : xs) out.mean += v;
-  out.mean /= static_cast<double>(xs.size());
-  if (xs.size() > 1) {
-    double ss = 0;
-    for (double v : xs) ss += (v - out.mean) * (v - out.mean);
-    out.sd = std::sqrt(ss / static_cast<double>(xs.size() - 1));
-  }
-  return out;
+  return aggregate(replicate(cfg, replications), metric);
 }
 
 }  // namespace dqme::harness

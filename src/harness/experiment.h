@@ -70,6 +70,12 @@ struct ExperimentResult {
   // Permission-auditor results (when ExperimentConfig::audit_permissions).
   uint64_t permission_violations = 0;
   uint64_t permission_grants_audited = 0;
+
+  // Engine accounting (not a paper metric): simulator events executed and
+  // host wall-clock spent by this run — the denominators of the perf
+  // trajectory tracked by bench/micro_core and the BENCH_*.json files.
+  uint64_t sim_events = 0;
+  double wall_ms = 0;
 };
 
 ExperimentResult run_experiment(const ExperimentConfig& cfg);
@@ -81,8 +87,17 @@ struct Replicated {
 };
 
 // Runs `cfg` under `replications` different seeds (cfg.seed, cfg.seed+1,
-// ...) and aggregates `metric` over the runs. Every run is still checked:
-// a safety violation or unclean drain in ANY replication throws.
+// ...) on `jobs` worker threads (see harness/sweep.h) and returns every
+// run's full ExperimentResult, in seed order regardless of `jobs` — feed
+// the vector to aggregate() once per metric instead of re-running. Every
+// run is still checked: a safety violation or unclean drain in ANY
+// replication throws.
+std::vector<ExperimentResult> replicate(const ExperimentConfig& cfg,
+                                        int replications, int jobs = 1);
+
+// Deprecated shim (pre-SweepRunner API): one metric, aggregated. Equivalent
+// to aggregate(replicate(cfg, replications), metric); new code should call
+// those directly so one sweep can feed many metrics.
 Replicated replicate(const ExperimentConfig& cfg, int replications,
                      const std::function<double(const ExperimentResult&)>&
                          metric);

@@ -1,0 +1,99 @@
+#include "harness/sweep.h"
+
+#include <atomic>
+#include <cmath>
+#include <exception>
+#include <thread>
+
+namespace dqme::harness {
+
+namespace {
+
+void check_run(const ExperimentResult& res, const ExperimentConfig& cfg) {
+  DQME_CHECK_MSG(res.summary.violations == 0,
+                 "mutual exclusion violated at seed " << cfg.seed);
+  DQME_CHECK_MSG(res.drained_clean,
+                 "requests left outstanding at seed " << cfg.seed);
+}
+
+}  // namespace
+
+SweepRunner::SweepRunner(SweepOptions opts) : opts_(opts) {
+  DQME_CHECK(opts_.jobs >= 0);
+}
+
+std::vector<ExperimentResult> SweepRunner::run(
+    const std::vector<ExperimentConfig>& configs) const {
+  std::vector<ExperimentResult> results(configs.size());
+  if (configs.empty()) return results;
+
+  std::vector<std::exception_ptr> errors(configs.size());
+  std::atomic<size_t> cursor{0};
+  auto worker = [&] {
+    for (;;) {
+      const size_t i = cursor.fetch_add(1, std::memory_order_relaxed);
+      if (i >= configs.size()) return;
+      try {
+        results[i] = run_experiment(configs[i]);
+        if (opts_.check_integrity) check_run(results[i], configs[i]);
+      } catch (...) {
+        errors[i] = std::current_exception();
+      }
+    }
+  };
+
+  int jobs = opts_.jobs;
+  if (jobs == 0) {
+    jobs = static_cast<int>(std::thread::hardware_concurrency());
+    if (jobs <= 0) jobs = 1;
+  }
+  if (static_cast<size_t>(jobs) > configs.size())
+    jobs = static_cast<int>(configs.size());
+
+  if (jobs <= 1) {
+    worker();
+  } else {
+    std::vector<std::thread> pool;
+    pool.reserve(static_cast<size_t>(jobs));
+    for (int t = 0; t < jobs; ++t) pool.emplace_back(worker);
+    for (auto& th : pool) th.join();
+  }
+
+  // Report the lowest-indexed failure so the error seen does not depend on
+  // worker scheduling.
+  for (auto& err : errors)
+    if (err) std::rethrow_exception(err);
+  return results;
+}
+
+std::vector<ExperimentConfig> expand_seeds(const ExperimentConfig& cfg,
+                                           int seeds) {
+  DQME_CHECK(seeds >= 1);
+  std::vector<ExperimentConfig> grid;
+  grid.reserve(static_cast<size_t>(seeds));
+  for (int r = 0; r < seeds; ++r) {
+    grid.push_back(cfg);
+    grid.back().seed = cfg.seed + static_cast<uint64_t>(r);
+  }
+  return grid;
+}
+
+Replicated aggregate(std::span<const ExperimentResult> results,
+                     const std::function<double(const ExperimentResult&)>&
+                         metric) {
+  DQME_CHECK(!results.empty());
+  Replicated out;
+  for (const ExperimentResult& r : results) out.mean += metric(r);
+  out.mean /= static_cast<double>(results.size());
+  if (results.size() > 1) {
+    double ss = 0;
+    for (const ExperimentResult& r : results) {
+      const double d = metric(r) - out.mean;
+      ss += d * d;
+    }
+    out.sd = std::sqrt(ss / static_cast<double>(results.size() - 1));
+  }
+  return out;
+}
+
+}  // namespace dqme::harness

@@ -1,0 +1,53 @@
+// Parallel experiment engine.
+//
+// A SweepRunner executes a grid of ExperimentConfigs (configs × seeds) on a
+// fixed-size worker pool. Each job owns a fully isolated Simulator/Network/
+// site stack — run_experiment() shares no mutable state between calls — so
+// a run is a pure function of (config, seed) and results are bit-identical
+// regardless of the worker count. Workers claim jobs through an atomic
+// cursor and write results into the job's own slot, so aggregation order
+// never depends on scheduling.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "harness/experiment.h"
+
+namespace dqme::harness {
+
+struct SweepOptions {
+  // Worker threads. 0 = std::thread::hardware_concurrency(); always
+  // clamped to the job count. 1 runs inline on the calling thread.
+  int jobs = 1;
+  // Check Theorems 1-3 on every run: a mutual-exclusion violation or an
+  // unclean drain in ANY job throws (after all workers finish).
+  bool check_integrity = true;
+};
+
+class SweepRunner {
+ public:
+  explicit SweepRunner(SweepOptions opts = {});
+
+  // Runs every config; results[i] corresponds to configs[i]. Throws the
+  // lowest-indexed failure (deterministically) if any job failed.
+  std::vector<ExperimentResult> run(
+      const std::vector<ExperimentConfig>& configs) const;
+
+ private:
+  SweepOptions opts_;
+};
+
+// The seed axis of a grid: `seeds` copies of `cfg` with seeds cfg.seed,
+// cfg.seed+1, ... (the replication convention every bench reports).
+std::vector<ExperimentConfig> expand_seeds(const ExperimentConfig& cfg,
+                                           int seeds);
+
+// Mean and sample standard deviation of `metric` over already-computed
+// results. One parallel sweep feeds any number of metrics without
+// re-running; summation is in index order, so the aggregate is bit-stable.
+Replicated aggregate(std::span<const ExperimentResult> results,
+                     const std::function<double(const ExperimentResult&)>&
+                         metric);
+
+}  // namespace dqme::harness

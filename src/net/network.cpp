@@ -22,36 +22,62 @@ void Network::attach(SiteId id, NetSite* site) {
   sites_[static_cast<size_t>(id)] = site;
 }
 
-void Network::send(SiteId src, SiteId dst, Message m) {
-  std::vector<Message> bundle;
-  bundle.push_back(std::move(m));
-  send_bundle(src, dst, std::move(bundle));
+uint32_t Network::acquire_flight() {
+  if (flight_free_ != kNilFlight) {
+    uint32_t idx = flight_free_;
+    flight_free_ = flights_[idx].next_free;
+    flights_[idx].next_free = kNilFlight;
+    return idx;
+  }
+  flights_.emplace_back();
+  return static_cast<uint32_t>(flights_.size() - 1);
 }
 
-void Network::send_bundle(SiteId src, SiteId dst, std::vector<Message> bundle) {
+void Network::send(SiteId src, SiteId dst, Message m) {
+  const uint32_t idx = acquire_flight();
+  flights_[idx].msgs.push_back(std::move(m));
+  stage(src, dst, idx);
+}
+
+void Network::send_bundle(SiteId src, SiteId dst,
+                          std::vector<Message> bundle) {
+  DQME_CHECK(!bundle.empty());
+  const uint32_t idx = acquire_flight();
+  // Move elements into the pooled vector (keeping its capacity) rather
+  // than adopting the caller's allocation, which would defeat the pool.
+  auto& msgs = flights_[idx].msgs;
+  msgs.insert(msgs.end(), std::make_move_iterator(bundle.begin()),
+              std::make_move_iterator(bundle.end()));
+  stage(src, dst, idx);
+}
+
+void Network::stage(SiteId src, SiteId dst, uint32_t flight) {
   DQME_CHECK(0 <= src && src < size());
   DQME_CHECK(0 <= dst && dst < size());
-  DQME_CHECK(!bundle.empty());
-  for (Message& m : bundle) {
+  auto& msgs = flights_[flight].msgs;
+  for (Message& m : msgs) {
     m.src = src;
     m.dst = dst;
   }
 
-  if (!alive_[static_cast<size_t>(src)]) return;  // crashed sites are silent
+  if (!alive_[static_cast<size_t>(src)]) {  // crashed sites are silent
+    msgs.clear();
+    flights_[flight].next_free = flight_free_;
+    flight_free_ = flight;
+    return;
+  }
 
   if (src == dst) {
     // Local short-circuit: delivered as a fresh event (never inline, so a
     // site's handler is never re-entered), with no wire cost.
-    stats_.local_deliveries += bundle.size();
-    sim_.schedule_after(0, [this, bundle = std::move(bundle)]() {
-      for (const Message& m : bundle) deliver(m);
-    });
+    stats_.local_deliveries += msgs.size();
+    sim_.schedule_after(0, [this, flight] { deliver_flight(flight); });
     return;
   }
 
   stats_.wire_messages += 1;
-  stats_.control_messages += bundle.size();
-  for (const Message& m : bundle)
+  stats_.control_messages += msgs.size();
+  for (const Message& m : msgs)
     stats_.by_type[static_cast<size_t>(m.type)] += 1;
 
   const size_t chan = static_cast<size_t>(src) * static_cast<size_t>(size()) +
@@ -63,9 +89,19 @@ void Network::send_bundle(SiteId src, SiteId dst, std::vector<Message> bundle) {
   if (at < last_delivery_[chan]) at = last_delivery_[chan];
   last_delivery_[chan] = at;
 
-  sim_.schedule_at(at, [this, bundle = std::move(bundle)]() {
-    for (const Message& m : bundle) deliver(m);
-  });
+  sim_.schedule_at(at, [this, flight] { deliver_flight(flight); });
+}
+
+void Network::deliver_flight(uint32_t idx) {
+  // Receivers send messages from inside on_message, which can grow
+  // flights_ and invalidate references — index on every access.
+  for (size_t i = 0; i < flights_[idx].msgs.size(); ++i) {
+    Message m = std::move(flights_[idx].msgs[i]);
+    deliver(m);
+  }
+  flights_[idx].msgs.clear();
+  flights_[idx].next_free = flight_free_;
+  flight_free_ = idx;
 }
 
 void Network::deliver(const Message& m) {

@@ -12,6 +12,12 @@
 // and are not counted: the paper's complexity figures (e.g. 3(K-1)) exclude
 // the requester's own quorum slot.
 //
+// Hot-path allocation: in-flight bundles live in a pooled slab of Flight
+// slots (index-linked free list) whose message vectors keep their capacity
+// across reuse, and the delivery callback captures only (this, slot index),
+// which fits sim::Callback's inline storage — so steady-state send/deliver
+// performs no heap allocation.
+//
 // Fault injection (§6): crash(site) makes a site fail silently — everything
 // addressed to it (or sent by it) from that instant on is dropped.
 #pragma once
@@ -80,7 +86,22 @@ class Network {
   std::function<void(const Message&)> on_deliver;
 
  private:
+  static constexpr uint32_t kNilFlight = 0xffffffffu;
+
+  // One in-flight wire bundle. Pooled: the vector's capacity survives
+  // reuse, so a steady-state send costs no allocation.
+  struct Flight {
+    std::vector<Message> msgs;
+    uint32_t next_free = kNilFlight;
+  };
+
+  uint32_t acquire_flight();
+  void deliver_flight(uint32_t idx);
   void deliver(const Message& m);
+
+  // Stamps src/dst, counts wire stats, and schedules delivery (or drops
+  // the bundle for a crashed sender).
+  void stage(SiteId src, SiteId dst, uint32_t flight);
 
   sim::Simulator& sim_;
   std::unique_ptr<DelayModel> delay_;
@@ -89,6 +110,8 @@ class Network {
   std::vector<bool> alive_;
   std::vector<Time> last_delivery_;  // FIFO floor per (src,dst)
   NetworkStats stats_;
+  std::vector<Flight> flights_;
+  uint32_t flight_free_ = kNilFlight;
 };
 
 }  // namespace dqme::net

@@ -1,0 +1,157 @@
+// Regression tests for the slab-allocated event store: tombstone
+// compaction keeps cancel-heavy workloads at bounded memory, slot reuse
+// invalidates stale EventIds, and callbacks of every size class work.
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cstring>
+
+#include "sim/simulator.h"
+
+namespace dqme::sim {
+namespace {
+
+// The seed implementation kept every cancelled entry in its heap until the
+// simulation drained past it: a timeout-style workload (schedule far out,
+// cancel almost always) grew the heap without bound. The slab store
+// compacts when tombstones dominate, so one million schedule/cancel pairs
+// with a small live set must stay at a small heap and slab.
+TEST(SimulatorSlab, MillionCancelsBoundedMemory) {
+  Simulator sim;
+  constexpr int kEvents = 1'000'000;
+  Simulator::EventId window[4] = {};
+  size_t max_heap = 0, max_slab = 0;
+  for (int i = 0; i < kEvents; ++i) {
+    auto& slot = window[i % 4];
+    if (slot != 0) {
+      EXPECT_TRUE(sim.cancel(slot));
+    }
+    slot = sim.schedule_at(1'000'000 + i, [] {});
+    max_heap = std::max(max_heap, sim.heap_size());
+    max_slab = std::max(max_slab, sim.slab_capacity());
+  }
+  // At most 4 events are ever live; tombstones must not accumulate.
+  EXPECT_LE(sim.pending(), 4u);
+  EXPECT_LE(max_heap, 2 * 64 + 8u);  // 2x the compaction floor + live set
+  EXPECT_LE(max_slab, 8u);           // slots are reclaimed on cancel
+  EXPECT_GT(sim.compactions(), 0u);
+}
+
+TEST(SimulatorSlab, CancellingAllOfABurstEmptiesTheHeap) {
+  Simulator sim;
+  std::vector<Simulator::EventId> ids;
+  ids.reserve(100'000);
+  for (int i = 0; i < 100'000; ++i)
+    ids.push_back(sim.schedule_at(10 + i, [] {}));
+  EXPECT_EQ(sim.heap_size(), 100'000u);
+  for (auto id : ids) EXPECT_TRUE(sim.cancel(id));
+  // Compaction fires once tombstones dominate; nothing live remains.
+  EXPECT_EQ(sim.pending(), 0u);
+  EXPECT_LT(sim.heap_size(), 64u);
+  EXPECT_EQ(sim.run(), 0u);
+}
+
+TEST(SimulatorSlab, SlotReuseInvalidatesStaleIds) {
+  Simulator sim;
+  bool b_ran = false;
+  auto a = sim.schedule_at(10, [] {});
+  EXPECT_TRUE(sim.cancel(a));
+  // b reuses a's slot; a's id must stay dead.
+  auto b = sim.schedule_at(20, [&] { b_ran = true; });
+  EXPECT_FALSE(sim.cancel(a));
+  sim.run();
+  EXPECT_TRUE(b_ran);
+  EXPECT_FALSE(sim.cancel(b));  // already fired
+}
+
+TEST(SimulatorSlab, StaleIdAfterFiringAndReuse) {
+  Simulator sim;
+  auto a = sim.schedule_at(1, [] {});
+  sim.run();
+  auto b = sim.schedule_at(2, [] {});  // reuses a's slot
+  EXPECT_FALSE(sim.cancel(a));
+  EXPECT_TRUE(sim.cancel(b));
+}
+
+TEST(SimulatorSlab, InlineAndHeapCallbacksBothFire) {
+  Simulator sim;
+  // Network-sized capture (40 bytes): must fit Callback's inline storage.
+  struct Small {
+    uint64_t a, b, c;
+    void* d;
+  } small{1, 2, 3, nullptr};
+  static_assert(sizeof(Small) <= Callback::kInlineSize);
+  uint64_t got_small = 0;
+  sim.schedule_at(1, [&got_small, small] { got_small = small.a + small.c; });
+
+  // Oversized capture: falls back to one heap allocation but still works.
+  std::array<char, 128> big;
+  big.fill(7);
+  static_assert(sizeof(big) > Callback::kInlineSize);
+  int got_big = 0;
+  sim.schedule_at(2, [&got_big, big] { got_big = big[127]; });
+
+  sim.run();
+  EXPECT_EQ(got_small, 4u);
+  EXPECT_EQ(got_big, 7);
+}
+
+TEST(SimulatorSlab, CallbackMoveSemantics) {
+  int runs = 0;
+  Callback a = [&runs] { ++runs; };
+  Callback b = std::move(a);
+  EXPECT_FALSE(static_cast<bool>(a));  // NOLINT(bugprone-use-after-move)
+  EXPECT_TRUE(static_cast<bool>(b));
+  b();
+  EXPECT_EQ(runs, 1);
+  b = nullptr;
+  EXPECT_FALSE(static_cast<bool>(b));
+}
+
+TEST(SimulatorSlab, OrderingSurvivesCompaction) {
+  // Interleave cancels with live events and check execution order is still
+  // (time, scheduling order) afterwards.
+  Simulator sim;
+  std::vector<int> order;
+  std::vector<Simulator::EventId> doomed;
+  for (int i = 0; i < 1000; ++i) {
+    const Time t = (i * 37) % 100 + 10;
+    sim.schedule_at(t, [&order, i] { order.push_back(i); });
+    doomed.push_back(sim.schedule_at(t, [] { ADD_FAILURE(); }));
+  }
+  for (auto id : doomed) EXPECT_TRUE(sim.cancel(id));
+  sim.run();
+  ASSERT_EQ(order.size(), 1000u);
+  Time last = -1;
+  int last_i = -1;
+  for (int i : order) {
+    const Time t = (i * 37) % 100 + 10;
+    EXPECT_GE(t, last);
+    if (t == last) {
+      EXPECT_GT(i, last_i);
+    }
+    last = t;
+    last_i = i;
+  }
+}
+
+TEST(SimulatorSlab, ExecutedAndPendingAccountingAcrossChurn) {
+  Simulator sim;
+  uint64_t fired = 0;
+  uint64_t cancelled = 0;
+  for (int round = 0; round < 50; ++round) {
+    std::vector<Simulator::EventId> ids;
+    for (int i = 0; i < 200; ++i)
+      ids.push_back(
+          sim.schedule_after(1 + (i % 17), [&fired] { ++fired; }));
+    for (size_t i = 0; i < ids.size(); i += 2)
+      cancelled += sim.cancel(ids[i]) ? 1 : 0;
+    sim.run();
+    EXPECT_TRUE(sim.idle());
+  }
+  EXPECT_EQ(fired, 50u * 200u - cancelled);
+  EXPECT_EQ(sim.events_executed(), fired);
+}
+
+}  // namespace
+}  // namespace dqme::sim
