@@ -8,6 +8,9 @@
 //   --seeds=K   replications per row (overrides each suite's default)
 //   --quick     shrink warmup/measure windows ~8x (CI smoke)
 //   --json[=PATH]  write machine-readable results (default BENCH_<suite>.json)
+//   --trace-out=FILE  also record one short run of the suite's first/
+//                 representative config and write a Chrome trace-event JSON
+//                 (load in chrome://tracing or ui.perfetto.dev)
 #pragma once
 
 #include <chrono>
@@ -22,6 +25,7 @@
 
 #include "harness/experiment.h"
 #include "harness/table.h"
+#include "obs/chrome_trace.h"
 
 namespace dqme::bench {
 
@@ -42,12 +46,14 @@ struct BenchOptions {
   bool quick = false;
   bool json = false;
   std::string json_path;  // resolved to BENCH_<suite>.json when empty
+  std::string trace_out;  // Chrome trace output path; empty = no trace
   std::string suite;
 };
 
 inline void bench_usage(const char* suite) {
   std::cerr << "usage: " << suite
-            << " [--jobs=N] [--seeds=K] [--quick] [--json[=PATH]]\n";
+            << " [--jobs=N] [--seeds=K] [--quick] [--json[=PATH]]"
+               " [--trace-out=FILE]\n";
 }
 
 // Parses the shared bench flags; exits(2) on an unknown flag. Flags it
@@ -80,6 +86,12 @@ inline BenchOptions parse_bench_flags(int& argc, char** argv,
     } else if (arg.rfind("--json=", 0) == 0) {
       o.json = true;
       o.json_path = arg.substr(7);
+    } else if (arg.rfind("--trace-out=", 0) == 0) {
+      o.trace_out = arg.substr(12);
+      if (o.trace_out.empty()) {
+        bench_usage(suite.c_str());
+        std::exit(2);
+      }
     } else if (arg == "--help" || arg == "-h") {
       bench_usage(suite.c_str());
       std::exit(0);
@@ -137,6 +149,41 @@ inline harness::ExperimentConfig open_load(mutex::Algo algo, int n,
   return cfg;
 }
 
+// --trace-out support: records ONE short single run of `cfg` with the
+// observability capture attached and writes it as Chrome trace-event JSON.
+// Deliberately a separate re-execution — the statistical sweep stays
+// recorder-free, so --trace-out never perturbs the numbers a bench reports.
+// The windows are capped (traces are for reading, not statistics) to keep
+// the JSON loadable in the viewer.
+inline void maybe_write_trace(const BenchOptions& opts,
+                              harness::ExperimentConfig cfg) {
+  if (opts.trace_out.empty()) return;
+  if (cfg.warmup > 20'000) cfg.warmup = 20'000;
+  if (cfg.measure > 100'000) cfg.measure = 100'000;
+  obs::RunCapture cap;
+  cfg.capture = &cap;
+  harness::run_experiment(cfg);
+
+  obs::ChromeTraceData data;
+  data.n_sites = cap.n_sites;
+  data.label = cap.label;
+  data.messages = std::move(cap.messages);
+  data.span_events = std::move(cap.span_events);
+  std::ofstream f(opts.trace_out);
+  if (!f) {
+    std::cerr << "cannot write " << opts.trace_out << "\n";
+    return;
+  }
+  obs::write_chrome_trace(f, data);
+  std::cout << "  [trace] wrote " << opts.trace_out << " ("
+            << data.messages.size() << " messages, "
+            << data.span_events.size() << " span events"
+            << (cap.messages_dropped + cap.span_events_dropped > 0
+                    ? ", truncated"
+                    : "")
+            << ")\n";
+}
+
 // Prints the standard integrity line every bench ends with: the run is
 // only meaningful if Theorems 1-3 held.
 inline void print_integrity(const harness::ExperimentResult& r) {
@@ -170,9 +217,12 @@ inline std::string json_num(double v) {
 
 // One flat, self-describing file per suite so the perf trajectory can be
 // tracked across commits: suite + per-metric (mean, sd) + engine totals.
+// `registry` (optional) embeds the merged obs::Registry of the sweep under
+// a "registry" key — counters/gauges/histograms in deterministic order.
 inline void write_bench_json(const BenchOptions& opts, bool ok,
                              double wall_ms, double events_per_sec,
-                             const std::vector<JsonMetric>& metrics) {
+                             const std::vector<JsonMetric>& metrics,
+                             const obs::Registry* registry = nullptr) {
   if (!opts.json) return;
   std::ofstream f(opts.json_path);
   if (!f) {
@@ -194,7 +244,12 @@ inline void write_bench_json(const BenchOptions& opts, bool ok,
       << "\", \"mean\": " << json_num(metrics[i].mean)
       << ", \"sd\": " << json_num(metrics[i].sd) << "}";
   }
-  f << "\n  ]\n}\n";
+  f << "\n  ]";
+  if (registry != nullptr && !registry->empty()) {
+    f << ",\n  \"registry\": ";
+    registry->write_json(f);
+  }
+  f << "\n}\n";
   std::cout << "  [json] wrote " << opts.json_path << "\n";
 }
 
@@ -212,6 +267,12 @@ class SuiteGuard {
   }
 
   const BenchOptions& options() const { return opts_; }
+
+  // Honors --trace-out for unported suites: call once with the suite's
+  // representative config (no-op unless the flag was given).
+  void trace(const harness::ExperimentConfig& cfg) const {
+    maybe_write_trace(opts_, cfg);
+  }
 
   // Call as the last statement of main: emits JSON, returns the exit code.
   int finish(bool ok) const {

@@ -1,53 +1,79 @@
 // E2 — §5.1/§5.2: messages per CS execution, from light load (3(K-1)) to
 // saturation (5(K-1)..6(K-1)), with the per-type breakdown, across N.
+//
+// Ported to the unified bench::Runner: the whole (N × load) grid is one
+// parallel sweep, and the light-load row doubles as the K probe (the mean
+// quorum size is load-independent), so no extra probe runs are needed.
 #include <iostream>
 
-#include "bench_util.h"
+#include "runner.h"
 
 int main(int argc, char** argv) {
-  dqme::bench::SuiteGuard suite_guard(argc, argv, "e2_message_complexity");
   using namespace dqme;
   using bench::heavy;
   using bench::open_load;
+  using harness::ExperimentResult;
   using harness::Table;
+
+  auto opts = bench::parse_bench_flags(argc, argv, "e2_message_complexity");
+  bench::reject_extra_args(argc, argv, "e2_message_complexity");
+
+  const bench::MetricDef kWire{
+      "wire_msgs_per_cs",
+      [](const ExperimentResult& r) { return r.summary.wire_msgs_per_cs; }};
+  const bench::MetricDef kCtrl{
+      "ctrl_msgs_per_cs",
+      [](const ExperimentResult& r) { return r.summary.ctrl_msgs_per_cs; }};
+  const bench::MetricDef kCompleted{
+      "completed", [](const ExperimentResult& r) {
+        return static_cast<double>(r.summary.completed);
+      }};
+
+  bench::Runner run("e2_message_complexity", opts);
+  const int ns[] = {9, 25, 49};
+  const double loads[] = {0.02, 0.2, 0.5, 0.8};
+  int row[3][4], sat[3];
+  for (int i = 0; i < 3; ++i) {
+    for (int l = 0; l < 4; ++l)
+      row[i][l] = run.add(
+          "N" + std::to_string(ns[i]) + "/" + Table::num(loads[l], 2),
+          open_load(mutex::Algo::kCaoSinghal, ns[i], loads[l]),
+          {kWire, kCtrl, kCompleted});
+    sat[i] = run.add("N" + std::to_string(ns[i]) + "/saturated",
+                     heavy(mutex::Algo::kCaoSinghal, ns[i]),
+                     {kWire, kCtrl, kCompleted});
+  }
+  run.execute();
 
   std::cout << "E2 — messages per CS vs load (proposed algorithm, grid "
                "quorums, T=1000)\n\n";
-
-  bool ok = true;
-  for (int n : {9, 25, 49}) {
-    auto probe = harness::run_experiment(open_load(
-        mutex::Algo::kCaoSinghal, n, 0.02));
-    const double k1 = probe.mean_quorum_size - 1;
-    std::cout << "N=" << n << "  K=" << probe.mean_quorum_size
+  for (int i = 0; i < 3; ++i) {
+    const double k1 = run.first(row[i][0]).mean_quorum_size - 1;
+    std::cout << "N=" << ns[i]
+              << "  K=" << run.first(row[i][0]).mean_quorum_size
               << "  paper bands: light 3(K-1)=" << 3 * k1
               << ", heavy 5(K-1)=" << 5 * k1 << " .. 6(K-1)=" << 6 * k1
               << "\n";
     Table t({"load", "msgs/CS (wire)", "ctrl msgs/CS", "of band 3(K-1)",
              "completed"});
-    for (double load : {0.02, 0.2, 0.5, 0.8}) {
-      auto r = harness::run_experiment(
-          open_load(mutex::Algo::kCaoSinghal, n, load));
-      ok = ok && r.summary.violations == 0 && r.drained_clean;
-      t.add_row({Table::num(load, 2),
-                 Table::num(r.summary.wire_msgs_per_cs, 2),
-                 Table::num(r.summary.ctrl_msgs_per_cs, 2),
-                 Table::num(r.summary.wire_msgs_per_cs / (3 * k1), 2) + "x",
-                 Table::integer(r.summary.completed)});
-    }
-    auto sat = harness::run_experiment(heavy(mutex::Algo::kCaoSinghal, n));
-    ok = ok && sat.summary.violations == 0 && sat.drained_clean;
-    t.add_row({"saturated", Table::num(sat.summary.wire_msgs_per_cs, 2),
-               Table::num(sat.summary.ctrl_msgs_per_cs, 2),
-               Table::num(sat.summary.wire_msgs_per_cs / (3 * k1), 2) + "x",
-               Table::integer(sat.summary.completed)});
+    auto add = [&](const std::string& label, int r) {
+      const double wire = run.stat(r, "wire_msgs_per_cs").mean;
+      t.add_row({label, Table::num(wire, 2),
+                 Table::num(run.stat(r, "ctrl_msgs_per_cs").mean, 2),
+                 Table::num(wire / (3 * k1), 2) + "x",
+                 Table::integer(static_cast<uint64_t>(
+                     run.stat(r, "completed").mean))});
+    };
+    for (int l = 0; l < 4; ++l) add(Table::num(loads[l], 2), row[i][l]);
+    add("saturated", sat[i]);
     t.print(std::cout);
 
     // Per-type breakdown at saturation — the §5.2 accounting.
+    const auto& s = run.first(sat[i]);
     Table bt({"type", "per CS", "paper (heavy)"});
     auto per = [&](net::MsgType ty) {
-      return Table::num(
-          sat.summary.per_type_per_cs[static_cast<size_t>(ty)], 2);
+      return Table::num(s.summary.per_type_per_cs[static_cast<size_t>(ty)],
+                        2);
     };
     bt.add_row({"request", per(net::MsgType::kRequest), "K-1"});
     bt.add_row({"reply", per(net::MsgType::kReply), "K-1"});
@@ -60,7 +86,5 @@ int main(int argc, char** argv) {
     bt.print(std::cout);
     std::cout << "\n";
   }
-  std::cout << "[integrity] all runs safe and drained: " << (ok ? "yes" : "NO")
-            << "\n";
-  return suite_guard.finish(ok);
+  return run.finish(std::cout);
 }

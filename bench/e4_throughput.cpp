@@ -1,44 +1,56 @@
 // E4 — §5.2: "at heavy loads, the rate of CS execution (i.e., throughput)
 // is doubled" relative to Maekawa. Swept over CS durations: the advantage
 // is largest when E << T (delay-dominated) and shrinks as E dominates.
+//
+// Ported to the unified bench::Runner: the (E × algorithm) grid is one
+// parallel sweep, so --jobs parallelizes what used to be ten serial runs.
 #include <iostream>
 
-#include "bench_util.h"
+#include "runner.h"
 
 int main(int argc, char** argv) {
-  dqme::bench::SuiteGuard suite_guard(argc, argv, "e4_throughput");
   using namespace dqme;
   using bench::heavy;
   using bench::kT;
+  using harness::ExperimentResult;
   using harness::Table;
+
+  auto opts = bench::parse_bench_flags(argc, argv, "e4_throughput");
+  bench::reject_extra_args(argc, argv, "e4_throughput");
+
+  const bench::MetricDef kCsPerT{
+      "cs_per_T", [](const ExperimentResult& r) {
+        return r.summary.throughput * static_cast<double>(kT);
+      }};
+
+  bench::Runner run("e4_throughput", opts);
+  const Time es[] = {10, 100, 500, 1000, 3000};
+  int prop[5], mae[5];
+  for (int i = 0; i < 5; ++i) {
+    auto pc = heavy(mutex::Algo::kCaoSinghal, 25);
+    auto mc = heavy(mutex::Algo::kMaekawa, 25);
+    pc.workload.cs_duration = mc.workload.cs_duration = es[i];
+    prop[i] = run.add("proposed/E" + std::to_string(es[i]), pc, {kCsPerT});
+    mae[i] = run.add("maekawa/E" + std::to_string(es[i]), mc, {kCsPerT});
+  }
+  run.execute();
 
   std::cout << "E4 — saturated throughput, proposed vs Maekawa (N=25, "
                "grid)\n\n";
   Table t({"E (CS ticks)", "proposed CS/T", "maekawa CS/T", "speedup",
            "ideal 1/(E+T) vs 1/(E+2T)"});
-  bool ok = true;
-  for (Time e : {10, 100, 500, 1000, 3000}) {
-    auto pc = heavy(mutex::Algo::kCaoSinghal, 25);
-    auto mc = heavy(mutex::Algo::kMaekawa, 25);
-    pc.workload.cs_duration = mc.workload.cs_duration = e;
-    auto p = harness::run_experiment(pc);
-    auto m = harness::run_experiment(mc);
-    ok = ok && p.summary.violations == 0 && m.summary.violations == 0 &&
-         p.drained_clean && m.drained_clean;
-    const double ideal = static_cast<double>(e + 2 * kT) /
-                         static_cast<double>(e + kT);
-    t.add_row({Table::integer(static_cast<uint64_t>(e)),
-               Table::num(p.summary.throughput * kT, 3),
-               Table::num(m.summary.throughput * kT, 3),
-               Table::num(p.summary.throughput / m.summary.throughput, 2) +
-                   "x",
-               Table::num(ideal, 2) + "x"});
+  for (int i = 0; i < 5; ++i) {
+    const double p = run.stat(prop[i], "cs_per_T").mean;
+    const double m = run.stat(mae[i], "cs_per_T").mean;
+    const double ideal = static_cast<double>(es[i] + 2 * kT) /
+                         static_cast<double>(es[i] + kT);
+    t.add_row({Table::integer(static_cast<uint64_t>(es[i])),
+               Table::num(p, 3), Table::num(m, 3),
+               Table::num(p / m, 2) + "x", Table::num(ideal, 2) + "x"});
   }
   t.print(std::cout);
   std::cout << "\nExpected shape: speedup ~2x when E << T (the cycle is one "
                "delay instead of two), decaying toward 1x as E dominates "
-               "the cycle — matching the ideal-ratio column.\n"
-            << "[integrity] all runs safe and drained: " << (ok ? "yes" : "NO")
-            << "\n";
-  return suite_guard.finish(ok);
+               "the cycle — matching the ideal-ratio column.\n";
+  return run.finish(std::cout);
 }

@@ -12,6 +12,8 @@ int main(int argc, char** argv) {
   using bench::open_load;
   using harness::Table;
 
+  suite_guard.trace(open_load(mutex::Algo::kCaoSinghal, 25, 0.5, "grid", 3));
+
   std::cout << "E5 — mean waiting time (request -> CS entry) in units of T "
                "(N=25, grid, E=T/10)\n\n";
   Table t({"load", "proposed wait/T", "maekawa wait/T", "reduction",

@@ -12,6 +12,8 @@ int main(int argc, char** argv) {
   using bench::open_load;
   using harness::Table;
 
+  suite_guard.trace(heavy(mutex::Algo::kCaoSinghal, 25));
+
   std::cout << "E8 — arbiter case frequencies (proposed algorithm, N=25, "
                "grid, K=9)\n\n";
   bool ok = true;

@@ -15,6 +15,8 @@ int main(int argc, char** argv) {
   using harness::ExperimentConfig;
   using harness::Table;
 
+  suite_guard.trace(heavy(mutex::Algo::kCaoSinghal, 25));
+
   std::cout << "E9 — ablations (N=25, grid, saturated, T=1000, E=T/10)\n\n";
   bool ok = true;
 

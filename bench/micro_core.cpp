@@ -145,6 +145,33 @@ double measure_events_per_sec(uint64_t events, int repeats) {
   return best;
 }
 
+// Profiling view of the slab store under the same churn load, harvested
+// from the simulator's unconditional counters (sim::Simulator profiling
+// accessors) — the numbers BENCH_micro_core.json tracks alongside raw
+// events/sec: how deep the heap got, how much of the slab was ever
+// committed, and how hard the tombstone-compaction machinery worked.
+struct SlabProfile {
+  uint64_t scheduled = 0;
+  uint64_t cancelled = 0;
+  uint64_t compactions = 0;
+  size_t peak_heap = 0;
+  size_t slab_capacity = 0;
+  double tombstone_ratio = 0;
+};
+
+SlabProfile profile_slab_churn(uint64_t events) {
+  sim::Simulator sim;
+  churn(sim, events);
+  SlabProfile p;
+  p.scheduled = sim.scheduled_total();
+  p.cancelled = sim.cancelled_total();
+  p.compactions = sim.compactions();
+  p.peak_heap = sim.peak_heap();
+  p.slab_capacity = sim.slab_capacity();
+  p.tombstone_ratio = sim.tombstone_ratio();
+  return p;
+}
+
 // --- google-benchmark suite (the per-substrate breakdown) -------------
 
 void BM_SimulatorScheduleRun(benchmark::State& state) {
@@ -265,6 +292,18 @@ int main(int argc, char** argv) {
   const double e2e_eps =
       static_cast<double>(r.sim_events) / (r.wall_ms / 1000.0);
 
+  // Slab profiling counters under the churn load, plus the network's pool
+  // recycling rate from the e2e run's registry: acquired >> pool size means
+  // flight slots are being reused, not grown.
+  const SlabProfile prof = profile_slab_churn(events);
+  const double flights_acquired =
+      static_cast<double>(*r.registry.find_counter("net.flights.acquired"));
+  const double flight_pool = *r.registry.find_gauge("net.flights.pool");
+  const double flight_recycle_rate =
+      flights_acquired > 0 ? 1.0 - flight_pool / flights_acquired : 0;
+
+  dqme::bench::maybe_write_trace(opts, cfg);
+
   const double wall_ms = std::chrono::duration<double, std::milli>(
                              std::chrono::steady_clock::now() - wall_start)
                              .count();
@@ -279,14 +318,28 @@ int main(int argc, char** argv) {
             << "x\n"
             << "  end-to-end experiment: "
             << dqme::harness::Table::num(e2e_eps / 1e6, 2)
-            << "M events/s\n";
+            << "M events/s\n"
+            << "  slab profile (churn): peak_heap=" << prof.peak_heap
+            << " slab_capacity=" << prof.slab_capacity
+            << " compactions=" << prof.compactions << " tombstone_ratio="
+            << dqme::harness::Table::num(prof.tombstone_ratio, 3)
+            << "\n  flight recycle rate (e2e): "
+            << dqme::harness::Table::num(flight_recycle_rate, 4) << "\n";
 
   dqme::bench::write_bench_json(
       opts, speedup > 1.0, wall_ms, slab,
       {{"events_per_sec_slab", slab, 0},
        {"events_per_sec_baseline", baseline, 0},
        {"slab_speedup", speedup, 0},
-       {"e2e_events_per_sec", e2e_eps, 0}});
+       {"e2e_events_per_sec", e2e_eps, 0},
+       {"slab_scheduled", static_cast<double>(prof.scheduled), 0},
+       {"slab_cancelled", static_cast<double>(prof.cancelled), 0},
+       {"slab_peak_heap", static_cast<double>(prof.peak_heap), 0},
+       {"slab_capacity", static_cast<double>(prof.slab_capacity), 0},
+       {"slab_compactions", static_cast<double>(prof.compactions), 0},
+       {"slab_tombstone_ratio", prof.tombstone_ratio, 0},
+       {"flight_recycle_rate", flight_recycle_rate, 0}},
+      &r.registry);
 
   if (opts.quick) return 0;  // CI smoke: skip the full microbench suite
   benchmark::Initialize(&argc, argv);

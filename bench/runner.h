@@ -76,6 +76,9 @@ class Runner {
       }
     }
     executed_ = true;
+    // --trace-out: one extra short recorded run of the first row's config,
+    // after the sweep so the numbers above are recorder-free.
+    if (!rows_.empty()) maybe_write_trace(opts_, rows_.front().cfg);
   }
 
   // Aggregated metric (mean/sd over the row's seeds).
@@ -119,7 +122,12 @@ class Runner {
         auto rep = stat(static_cast<int>(i), m.name);
         jm.push_back({rows_[i].label + "/" + m.name, rep.mean, rep.sd});
       }
-    write_bench_json(opts_, ok_, wall_ms_, events_per_sec(), jm);
+    // Fold every run's registry into the suite JSON (row order, then seed
+    // order — deterministic for any --jobs).
+    obs::Registry merged;
+    for (const Row& row : rows_)
+      merged.merge(harness::merge_registries(row.runs));
+    write_bench_json(opts_, ok_, wall_ms_, events_per_sec(), jm, &merged);
     return ok_ ? 0 : 1;
   }
 

@@ -12,6 +12,8 @@ int main(int argc, char** argv) {
   using bench::heavy;
   using harness::Table;
 
+  suite_guard.trace(heavy(mutex::Algo::kCaoSinghal, 25));
+
   std::cout << "X2 — scaling with N (saturated closed loop, T=1000, "
                "E=T/10)\n\n";
   bool ok = true;

@@ -1,0 +1,100 @@
+#!/usr/bin/env python3
+"""Validate a Chrome trace-event JSON file emitted by --trace-out.
+
+Checks, beyond "it parses":
+  * top-level shape: traceEvents list + displayTimeUnit;
+  * every duration slice ("B") has its matching "E" on the same lane, in
+    stack order, and no "E" underflows;
+  * async spans ("b"/"e") pair up per id;
+  * every flow start ("s") has exactly one flow finish ("f") with the
+    same id, and flow events sit on declared lanes;
+  * monotonically sane timestamps (ts >= 0, E not before its B).
+
+Exit 0 on success; exit 1 with a message on the first violation.
+Usage: scripts/validate_trace.py TRACE.json [TRACE2.json ...]
+"""
+import json
+import sys
+
+
+def fail(path, msg):
+    print(f"{path}: FAIL: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def validate(path):
+    with open(path) as f:
+        doc = json.load(f)
+
+    events = doc.get("traceEvents")
+    if not isinstance(events, list) or not events:
+        fail(path, "traceEvents missing or empty")
+    if doc.get("displayTimeUnit") not in ("ms", "ns"):
+        fail(path, "displayTimeUnit missing")
+
+    lanes = set()
+    stacks = {}        # tid -> list of (name, ts) open B slices
+    async_open = {}    # id -> open count
+    flow_starts = {}   # id -> count
+    flow_ends = {}     # id -> count
+
+    for i, ev in enumerate(events):
+        ph = ev.get("ph")
+        ts = ev.get("ts", 0)
+        tid = ev.get("tid")
+        if ts < 0:
+            fail(path, f"event {i}: negative ts {ts}")
+        if ph == "M":
+            if ev.get("name") == "thread_name":
+                lanes.add(tid)
+            continue
+        if tid not in lanes:
+            fail(path, f"event {i}: tid {tid} has no thread_name metadata")
+        if ph == "B":
+            stacks.setdefault(tid, []).append((ev.get("name"), ts))
+        elif ph == "E":
+            stack = stacks.get(tid) or fail(
+                path, f"event {i}: 'E' with empty stack on lane {tid}")
+            name, open_ts = stack.pop()
+            if ts < open_ts:
+                fail(path, f"event {i}: '{name}' closes at {ts} "
+                           f"before it opened at {open_ts}")
+        elif ph == "b":
+            async_open[ev["id"]] = async_open.get(ev["id"], 0) + 1
+        elif ph == "e":
+            if async_open.get(ev["id"], 0) <= 0:
+                fail(path, f"event {i}: async 'e' without 'b' (id {ev['id']})")
+            async_open[ev["id"]] -= 1
+        elif ph == "s":
+            flow_starts[ev["id"]] = flow_starts.get(ev["id"], 0) + 1
+        elif ph == "f":
+            flow_ends[ev["id"]] = flow_ends.get(ev["id"], 0) + 1
+        elif ph == "X":
+            if ev.get("dur", 0) < 0:
+                fail(path, f"event {i}: negative dur")
+        else:
+            fail(path, f"event {i}: unknown phase {ph!r}")
+
+    for tid, stack in stacks.items():
+        if stack:
+            fail(path, f"lane {tid}: {len(stack)} unclosed 'B' slice(s)")
+    for sid, n in async_open.items():
+        if n != 0:
+            fail(path, f"async span id {sid}: {n} unclosed 'b'")
+    if flow_starts != flow_ends:
+        only_s = set(flow_starts) - set(flow_ends)
+        only_f = set(flow_ends) - set(flow_starts)
+        fail(path, f"unpaired flows: starts-without-finish {sorted(only_s)[:5]}"
+                   f" finishes-without-start {sorted(only_f)[:5]}")
+
+    n_slices = sum(1 for e in events if e.get("ph") in ("B", "X"))
+    print(f"{path}: OK ({len(events)} events, {len(lanes)} lanes, "
+          f"{n_slices} slices, {sum(flow_starts.values())} flows)")
+
+
+if __name__ == "__main__":
+    if len(sys.argv) < 2:
+        print(__doc__, file=sys.stderr)
+        sys.exit(2)
+    for p in sys.argv[1:]:
+        validate(p)

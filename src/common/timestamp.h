@@ -36,4 +36,20 @@ struct ReqId {
 // The paper's lock value "(max,max)": lower priority than every request.
 inline constexpr ReqId kNoRequest{};
 
+// Span identity of a request (observability layer): site in the high bits,
+// Lamport sequence number in the low 40. A site's own requests carry
+// strictly increasing seqs, so this names each request attempt uniquely
+// within a run (simulations stay far below 2^40 clock ticks).
+inline constexpr SpanId span_of(const ReqId& r) {
+  if (!r.valid()) return kNoSpan;
+  return (static_cast<SpanId>(static_cast<uint32_t>(r.site) + 1) << 40) |
+         (r.seq & ((SpanId{1} << 40) - 1));
+}
+
+// Human-facing span spelling "site:seq" used by tools (--span=3:17).
+inline SiteId span_site(SpanId s) {
+  return static_cast<SiteId>((s >> 40) - 1);
+}
+inline SeqNum span_seq(SpanId s) { return s & ((SpanId{1} << 40) - 1); }
+
 }  // namespace dqme

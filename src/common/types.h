@@ -20,4 +20,11 @@ inline constexpr SeqNum kMaxSeq = std::numeric_limits<SeqNum>::max();
 using Time = int64_t;
 inline constexpr Time kMaxTime = std::numeric_limits<Time>::max();
 
+// Causal span identity: one span per CS request attempt (src/obs). Derived
+// deterministically from the request's (seq, site) identity — see
+// span_of() in common/timestamp.h — so every layer that holds a ReqId can
+// name the span without threading extra state. kNoSpan = "no request".
+using SpanId = uint64_t;
+inline constexpr SpanId kNoSpan = 0;
+
 }  // namespace dqme

@@ -47,6 +47,7 @@ void CaoSinghalSite::do_request() {
 // A.1: reset per-request state and ask every arbiter in req_set.
 void CaoSinghalSite::begin_request() {
   my_req_ = ReqId{tick(), id()};
+  open_span(span_of(my_req_));
   failed_ = false;
   tran_stack_.clear();
   inq_queue_.clear();

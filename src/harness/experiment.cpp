@@ -40,6 +40,17 @@ ExperimentResult run_experiment(const ExperimentConfig& cfg) {
   sim::Simulator sim;
   net::Network network(sim, cfg.n, make_delay(cfg), cfg.seed * 7919 + 13);
 
+  // Observability capture (opt-in): both recorders chain on_deliver, so
+  // they coexist with the auditor and each other.
+  std::unique_ptr<net::TraceRecorder> msg_rec;
+  std::unique_ptr<obs::SpanRecorder> span_rec;
+  if (cfg.capture != nullptr) {
+    msg_rec =
+        std::make_unique<net::TraceRecorder>(network, cfg.capture->capacity);
+    span_rec =
+        std::make_unique<obs::SpanRecorder>(network, cfg.capture->capacity);
+  }
+
   std::unique_ptr<PermissionAuditor> auditor;
   if (cfg.audit_permissions) {
     DQME_CHECK_MSG(cfg.crashes.empty(),
@@ -63,6 +74,9 @@ ExperimentResult run_experiment(const ExperimentConfig& cfg) {
     raw.push_back(sites.back().get());
   }
 
+  if (span_rec) span_rec->attach_all(sites);
+
+  ExperimentResult res;
   Metrics metrics(network);
   Workload::Config wl = cfg.workload;
   wl.seed = cfg.seed * 104729 + 7;
@@ -82,10 +96,13 @@ ExperimentResult run_experiment(const ExperimentConfig& cfg) {
   workload.start();
   sim.run_until(cfg.warmup);
   metrics.reset(sim.now());
+  // Bind after the warmup reset so the registry histograms cover exactly
+  // the measurement window, like every Summary aggregate.
+  metrics.bind_registry(&res.registry, cfg.mean_delay);
   sim.run_until(cfg.warmup + cfg.measure);
 
-  ExperimentResult res;
   res.summary = metrics.summarize(sim.now());
+  metrics.bind_registry(nullptr, 0);  // drain-phase CSs stay out of the window
 
   // Drain: stop new demand, let in-flight requests finish, verify nothing
   // is stuck. A protocol deadlock would leave outstanding demands (and,
@@ -131,6 +148,37 @@ ExperimentResult run_experiment(const ExperimentConfig& cfg) {
   res.wall_ms = std::chrono::duration<double, std::milli>(
                     std::chrono::steady_clock::now() - wall_start)
                     .count();
+
+  // Engine accounting into the registry: whole-run totals (they have no
+  // warmup/measure distinction) plus high-water gauges.
+  {
+    obs::Registry& reg = res.registry;
+    reg.counter("sim.events") = sim.events_executed();
+    reg.counter("sim.scheduled") = sim.scheduled_total();
+    reg.counter("sim.cancelled") = sim.cancelled_total();
+    reg.counter("sim.compactions") = sim.compactions();
+    reg.gauge("sim.peak_heap") = static_cast<double>(sim.peak_heap());
+    reg.gauge("sim.slab_capacity") = static_cast<double>(sim.slab_capacity());
+    reg.gauge("sim.tombstone_ratio") = sim.tombstone_ratio();
+    const auto& ns = network.stats();
+    reg.counter("net.wire_msgs") = ns.wire_messages;
+    reg.counter("net.ctrl_msgs") = ns.control_messages;
+    reg.counter("net.flights.acquired") = ns.flights_acquired;
+    reg.gauge("net.flights.pool") = static_cast<double>(network.flight_pool_size());
+    reg.counter("mutex.stale_drops") = res.stale_drops;
+  }
+
+  if (cfg.capture != nullptr) {
+    cfg.capture->n_sites = cfg.n;
+    cfg.capture->label = std::string(mutex::to_string(cfg.algo)) +
+                         " n=" + std::to_string(cfg.n) +
+                         " T=" + std::to_string(cfg.mean_delay) +
+                         " seed=" + std::to_string(cfg.seed);
+    cfg.capture->messages = msg_rec->events();
+    cfg.capture->messages_dropped = msg_rec->dropped();
+    cfg.capture->span_events = span_rec->events();
+    cfg.capture->span_events_dropped = span_rec->dropped();
+  }
   return res;
 }
 

@@ -12,6 +12,7 @@
 #include "harness/metrics.h"
 #include "harness/workload.h"
 #include "mutex/factory.h"
+#include "obs/capture.h"
 #include "quorum/quorum_system.h"
 
 namespace dqme::harness {
@@ -49,6 +50,12 @@ struct ExperimentConfig {
   // Attach the independent per-arbiter permission auditor (quorum
   // algorithms, crash-free runs only — the auditor is not crash-aware).
   bool audit_permissions = false;
+
+  // Observability capture (src/obs): when set, the run records every
+  // control message and span edge into *capture. Single-run only —
+  // SweepRunner rejects a shared capture across multiple configs. Null
+  // (the default) installs no hooks.
+  obs::RunCapture* capture = nullptr;
 };
 
 struct ExperimentResult {
@@ -76,6 +83,11 @@ struct ExperimentResult {
   // trajectory tracked by bench/micro_core and the BENCH_*.json files.
   uint64_t sim_events = 0;
   double wall_ms = 0;
+
+  // Per-run metrics registry: measurement-window histograms ("waiting",
+  // "sync_gap"), cs.completed, and end-of-run engine counters (sim.*,
+  // net.*). Fold replications together with harness::merge_registries().
+  obs::Registry registry;
 };
 
 ExperimentResult run_experiment(const ExperimentConfig& cfg);

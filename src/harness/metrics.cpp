@@ -22,6 +22,19 @@ void Metrics::reset(Time now) {
   waiting_samples_.clear();
 }
 
+void Metrics::bind_registry(obs::Registry* reg, Time mean_delay) {
+  if (reg == nullptr) {
+    waiting_hist_ = nullptr;
+    gap_hist_ = nullptr;
+    completed_counter_ = nullptr;
+    return;
+  }
+  const double w = std::max<double>(1, static_cast<double>(mean_delay) / 10);
+  waiting_hist_ = &reg->histogram("waiting", 0, w, 100);
+  gap_hist_ = &reg->histogram("sync_gap", 0, w, 100);
+  completed_counter_ = &reg->counter("cs.completed");
+}
+
 void Metrics::on_enter(SiteId site, Time now, Time demanded, Time requested) {
   DQME_CHECK(demanded <= requested && requested <= now);
   if (inside_ > 0) ++violations_;  // Theorem 1 would be broken
@@ -35,6 +48,7 @@ void Metrics::on_enter(SiteId site, Time now, Time demanded, Time requested) {
       if (requested <= last_exit_) {
         contended_gap_sum_ += static_cast<double>(gap);
         ++contended_gap_count_;
+        if (gap_hist_ != nullptr) gap_hist_->record(static_cast<double>(gap));
       }
     }
   }
@@ -56,6 +70,8 @@ void Metrics::on_exit(SiteId site, Time now) {
   ++completed_;
   ++per_site_completed_[static_cast<size_t>(site)];
   const double wait = static_cast<double>(e.entered - e.requested);
+  if (waiting_hist_ != nullptr) waiting_hist_->record(wait);
+  if (completed_counter_ != nullptr) ++*completed_counter_;
   waiting_sum_ += wait;
   waiting_max_ = std::max(waiting_max_, wait);
   if (waiting_samples_.size() < 100'000) waiting_samples_.push_back(wait);

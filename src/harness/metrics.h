@@ -17,6 +17,7 @@
 #include <array>
 
 #include "net/network.h"
+#include "obs/registry.h"
 
 namespace dqme::harness {
 
@@ -59,6 +60,12 @@ class Metrics {
   // Starts a fresh measurement window (discards warmup data).
   void reset(Time now);
 
+  // Streams per-CS observations into `reg` (nullptr detaches): histograms
+  // "waiting" and "sync_gap" bucketed at T/10 over [0, 10T), counter
+  // "cs.completed". References are resolved here, once — the per-event cost
+  // is a pointer test plus one Histogram::record.
+  void bind_registry(obs::Registry* reg, Time mean_delay);
+
   // `demanded` is when the application wanted the CS; `requested` when
   // request_cs() was issued (they differ under open-loop local queueing).
   void on_enter(SiteId site, Time now, Time demanded, Time requested);
@@ -100,6 +107,11 @@ class Metrics {
   double response_sum_ = 0;
   std::vector<uint64_t> per_site_completed_;
   std::vector<double> waiting_samples_;  // capped; percentile estimation
+
+  // Optional registry streams (bind_registry); null when detached.
+  obs::Histogram* waiting_hist_ = nullptr;
+  obs::Histogram* gap_hist_ = nullptr;
+  uint64_t* completed_counter_ = nullptr;
 };
 
 }  // namespace dqme::harness

@@ -27,6 +27,12 @@ std::vector<ExperimentResult> SweepRunner::run(
   std::vector<ExperimentResult> results(configs.size());
   if (configs.empty()) return results;
 
+  if (configs.size() > 1)
+    for (const ExperimentConfig& cfg : configs)
+      DQME_CHECK_MSG(cfg.capture == nullptr,
+                     "RunCapture is single-run: workers would race on a "
+                     "capture shared across a sweep");
+
   std::vector<std::exception_ptr> errors(configs.size());
   std::atomic<size_t> cursor{0};
   auto worker = [&] {
@@ -76,6 +82,13 @@ std::vector<ExperimentConfig> expand_seeds(const ExperimentConfig& cfg,
     grid.back().seed = cfg.seed + static_cast<uint64_t>(r);
   }
   return grid;
+}
+
+obs::Registry merge_registries(std::span<const ExperimentResult> results) {
+  obs::Registry merged;
+  // Index order == config order: the merge is bit-identical for any --jobs.
+  for (const ExperimentResult& r : results) merged.merge(r.registry);
+  return merged;
 }
 
 Replicated aggregate(std::span<const ExperimentResult> results,

@@ -43,6 +43,11 @@ class SweepRunner {
 std::vector<ExperimentConfig> expand_seeds(const ExperimentConfig& cfg,
                                            int seeds);
 
+// Folds every run's metrics registry into one view, in result-index order
+// (counters sum, gauges max, histogram buckets sum) — deterministic for
+// any worker count.
+obs::Registry merge_registries(std::span<const ExperimentResult> results);
+
 // Mean and sample standard deviation of `metric` over already-computed
 // results. One parallel sweep feeds any number of metrics without
 // re-running; summation is in index order, so the aggregate is bit-stable.

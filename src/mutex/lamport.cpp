@@ -11,6 +11,7 @@ LamportSite::LamportSite(SiteId id, net::Network& net)
 
 void LamportSite::do_request() {
   my_req_ = ReqId{tick(), id()};
+  open_span(span_of(my_req_));
   queue_.insert(my_req_);
   std::fill(replied_.begin(), replied_.end(), false);
   replies_needed_ = net().size() - 1;

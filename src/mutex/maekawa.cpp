@@ -15,6 +15,7 @@ MaekawaSite::MaekawaSite(SiteId id, net::Network& net,
 
 void MaekawaSite::do_request() {
   my_req_ = ReqId{tick(), id()};
+  open_span(span_of(my_req_));
   failed_ = false;
   pending_inquires_.clear();
   voted_.clear();

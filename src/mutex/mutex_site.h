@@ -22,6 +22,19 @@
 
 namespace dqme::mutex {
 
+// Observability hook (implemented by obs::SpanRecorder): protocols report
+// the span-boundary instants of each CS request attempt. The null default
+// costs one predicted branch per boundary — requests, not messages — so
+// detached runs keep the slab hot path intact.
+class SpanObserver {
+ public:
+  virtual ~SpanObserver() = default;
+  virtual void on_span_issue(SiteId site, SpanId span, Time at) = 0;
+  virtual void on_span_enter(SiteId site, SpanId span, Time at) = 0;
+  virtual void on_span_exit(SiteId site, SpanId span, Time at) = 0;
+  virtual void on_span_abort(SiteId site, SpanId span, Time at) = 0;
+};
+
 class MutexSite : public net::NetSite {
  public:
   enum class State { kIdle, kRequesting, kInCS };
@@ -48,8 +61,17 @@ class MutexSite : public net::NetSite {
   void release_cs() {
     DQME_CHECK_MSG(in_cs(), "site " << id_ << " is not in the CS");
     state_ = State::kIdle;
+    if (span_observer_) span_observer_->on_span_exit(id_, active_span_, now());
     do_release();
+    active_span_ = kNoSpan;
   }
+
+  // Attach-time observability (src/obs): record the causal span edges of
+  // every request this site issues. Re-attaching replaces the observer.
+  void attach_span_observer(SpanObserver* obs) { span_observer_ = obs; }
+  // Span of the in-flight request attempt; kNoSpan when idle (or for
+  // protocols that do not thread spans yet).
+  SpanId active_span() const { return active_span_; }
 
   // Invoked at the instant the site enters the CS.
   std::function<void(SiteId)> on_enter;
@@ -78,7 +100,16 @@ class MutexSite : public net::NetSite {
                    "site " << id_ << " entering CS while not requesting");
     state_ = State::kInCS;
     ++cs_entries_;
+    if (span_observer_) span_observer_->on_span_enter(id_, active_span_, now());
     if (on_enter) on_enter(id_);
+  }
+
+  // Subclasses call this the moment a request attempt's identity is fixed
+  // (my_req assigned) — typically `open_span(span_of(my_req_))`. A §6
+  // recovery that restarts on a fresh quorum opens a fresh span.
+  void open_span(SpanId span) {
+    active_span_ = span;
+    if (span_observer_) span_observer_->on_span_issue(id_, span, now());
   }
 
   void note_stale_drop() { ++stale_drops_; }
@@ -91,6 +122,8 @@ class MutexSite : public net::NetSite {
   void abort_request() {
     DQME_CHECK(requesting());
     state_ = State::kIdle;
+    if (span_observer_) span_observer_->on_span_abort(id_, active_span_, now());
+    active_span_ = kNoSpan;
     if (on_abort) on_abort(id_);
   }
 
@@ -107,6 +140,8 @@ class MutexSite : public net::NetSite {
   virtual void do_release() = 0;
 
  private:
+  Time now() const { return net_.simulator().now(); }
+
   SiteId id_;
   net::Network& net_;
   State state_ = State::kIdle;
@@ -114,6 +149,8 @@ class MutexSite : public net::NetSite {
   uint64_t stale_drops_ = 0;
   std::array<uint64_t, net::kNumMsgTypes> stale_by_type_{};
   SeqNum clock_ = 0;
+  SpanObserver* span_observer_ = nullptr;
+  SpanId active_span_ = kNoSpan;
 };
 
 }  // namespace dqme::mutex

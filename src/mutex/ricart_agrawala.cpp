@@ -10,6 +10,7 @@ RicartAgrawalaSite::RicartAgrawalaSite(SiteId id, net::Network& net)
 
 void RicartAgrawalaSite::do_request() {
   my_req_ = ReqId{tick(), id()};
+  open_span(span_of(my_req_));
   pending_replies_ = net().size() - 1;
   for (SiteId j = 0; j < net().size(); ++j)
     if (j != id()) net().send(id(), j, net::make_request(my_req_));

@@ -16,6 +16,7 @@ RoucairolCarvalhoSite::RoucairolCarvalhoSite(SiteId id, net::Network& net)
 
 void RoucairolCarvalhoSite::do_request() {
   my_req_ = ReqId{tick(), id()};
+  open_span(span_of(my_req_));
   missing_ = 0;
   for (SiteId j = 0; j < net().size(); ++j) {
     if (j == id() || has_auth_[static_cast<size_t>(j)]) continue;

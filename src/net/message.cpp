@@ -33,6 +33,7 @@ Message make_request(ReqId req) {
   Message m;
   m.type = MsgType::kRequest;
   m.req = req;
+  m.span = span_of(req);
   return m;
 }
 
@@ -41,6 +42,7 @@ Message make_reply(SiteId arbiter, ReqId granted_req) {
   m.type = MsgType::kReply;
   m.arbiter = arbiter;
   m.req = granted_req;
+  m.span = span_of(granted_req);
   return m;
 }
 
@@ -49,6 +51,7 @@ Message make_release(ReqId releaser_req, ReqId forwarded_to) {
   m.type = MsgType::kRelease;
   m.req = releaser_req;
   m.target = forwarded_to;
+  m.span = span_of(releaser_req);
   return m;
 }
 
@@ -57,6 +60,7 @@ Message make_inquire(SiteId arbiter, ReqId inquired_req) {
   m.type = MsgType::kInquire;
   m.arbiter = arbiter;
   m.req = inquired_req;
+  m.span = span_of(inquired_req);
   return m;
 }
 
@@ -65,6 +69,7 @@ Message make_fail(SiteId arbiter, ReqId failed_req) {
   m.type = MsgType::kFail;
   m.arbiter = arbiter;
   m.req = failed_req;
+  m.span = span_of(failed_req);
   return m;
 }
 
@@ -73,6 +78,7 @@ Message make_yield(SiteId arbiter, ReqId yielder_req) {
   m.type = MsgType::kYield;
   m.arbiter = arbiter;
   m.req = yielder_req;
+  m.span = span_of(yielder_req);
   return m;
 }
 
@@ -82,6 +88,8 @@ Message make_transfer(ReqId target_req, SiteId arbiter, ReqId holder_req) {
   m.target = target_req;
   m.arbiter = arbiter;
   m.req = holder_req;
+  // The causal edge a transfer advances is the *target*'s future entry.
+  m.span = span_of(target_req);
   return m;
 }
 

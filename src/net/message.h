@@ -88,6 +88,15 @@ struct Message {
   KvFields kv;
   std::shared_ptr<TokenPayload> token;
 
+  // Observability piggyback (src/obs): the causal span this message
+  // advances — span_of() of the request whose CS entry the message works
+  // toward (for a transfer, the *target*'s request, not the holder's).
+  // Stamped by the make_* constructors; kNoSpan for non-request traffic.
+  SpanId span = kNoSpan;
+  // When the message left its sender; filled by Network::stage so trace
+  // consumers can draw send->deliver arrows without a second hook.
+  Time sent_at = 0;
+
   friend std::ostream& operator<<(std::ostream& os, const Message& m);
 };
 

@@ -23,6 +23,7 @@ void Network::attach(SiteId id, NetSite* site) {
 }
 
 uint32_t Network::acquire_flight() {
+  ++stats_.flights_acquired;
   if (flight_free_ != kNilFlight) {
     uint32_t idx = flight_free_;
     flight_free_ = flights_[idx].next_free;
@@ -58,6 +59,7 @@ void Network::stage(SiteId src, SiteId dst, uint32_t flight) {
   for (Message& m : msgs) {
     m.src = src;
     m.dst = dst;
+    m.sent_at = sim_.now();
   }
 
   if (!alive_[static_cast<size_t>(src)]) {  // crashed sites are silent

@@ -47,6 +47,7 @@ struct NetworkStats {
   std::array<uint64_t, kNumMsgTypes> by_type{};
   uint64_t dropped_at_crashed = 0;  // deliveries suppressed by a crash
   uint64_t local_deliveries = 0;    // src == dst short-circuits (uncounted)
+  uint64_t flights_acquired = 0;    // flight-slot checkouts (pool traffic)
 
   uint64_t count(MsgType t) const {
     return by_type[static_cast<size_t>(t)];
@@ -80,6 +81,11 @@ class Network {
   int alive_count() const;
 
   const NetworkStats& stats() const { return stats_; }
+
+  // Flight pool high-water mark: distinct slots ever allocated. With
+  // stats().flights_acquired this yields the pool recycling rate —
+  // 1 - pool/acquired — tracked by the profiling layer (src/obs).
+  size_t flight_pool_size() const { return flights_.size(); }
 
   // Trace hook: invoked for every control message at delivery time, before
   // the receiving site sees it. Used by tests and the metrics layer.

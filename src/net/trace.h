@@ -28,7 +28,12 @@ class TraceRecorder {
 
   const std::deque<TraceEvent>& events() const { return events_; }
   size_t dropped() const { return dropped_; }
-  void clear() { events_.clear(); }
+  // Starts a fresh measurement window: both the retained events and the
+  // drop count reset, so a reused recorder never reports stale drops.
+  void clear() {
+    events_.clear();
+    dropped_ = 0;
+  }
 
   // Events matching a predicate (e.g. one message type, one site).
   std::deque<TraceEvent> filter(

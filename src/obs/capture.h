@@ -1,0 +1,35 @@
+// Opt-in observability capture for harness::run_experiment.
+//
+// Point ExperimentConfig::capture at one of these and the run attaches a
+// net::TraceRecorder + obs::SpanRecorder for its whole duration, then moves
+// the recorded data out here before returning. Null capture (the default)
+// costs nothing — no hooks are installed and the hot path is untouched.
+//
+// Capture is single-run by design: SweepRunner rejects a shared capture
+// across multiple configs (workers would race on it). Record one config at
+// a time, or give each config its own RunCapture.
+#pragma once
+
+#include <deque>
+#include <string>
+#include <vector>
+
+#include "net/trace.h"
+#include "obs/span.h"
+
+namespace dqme::obs {
+
+struct RunCapture {
+  // In: bound on retained events (per recorder).
+  size_t capacity = 1'000'000;
+
+  // Out, filled by run_experiment().
+  int n_sites = 0;
+  std::string label;
+  std::deque<net::TraceEvent> messages;
+  size_t messages_dropped = 0;
+  std::vector<SpanEvent> span_events;
+  size_t span_events_dropped = 0;
+};
+
+}  // namespace dqme::obs

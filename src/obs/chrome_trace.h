@@ -1,0 +1,41 @@
+// Chrome trace-event (chrome://tracing / Perfetto) JSON exporter.
+//
+// Renders a recorded run as one lane per site (tid = site id, pid = 0):
+//   * CS intervals as matched B/E slice pairs named "CS", tagged with the
+//     request's span,
+//   * per-request acquisition phases as async b/e pairs (id = span) from
+//     issue to entry — the visible "waiting" bar,
+//   * every wire message as a pair of thin X slices (send on the sender's
+//     lane, delivery on the receiver's) joined by an s/f flow arrow. A
+//     proxy-forwarded reply — the paper's 1T handoff mechanism — is
+//     exported with cat "proxy" so it stands out (and is assertable).
+//
+// Ticks are microseconds (common/types.h), which is exactly the trace
+// format's ts unit: timestamps pass through untouched.
+#pragma once
+
+#include <deque>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "net/trace.h"
+#include "obs/span.h"
+
+namespace dqme::obs {
+
+struct ChromeTraceData {
+  int n_sites = 0;
+  std::string label;  // e.g. "cao-singhal N=9 grid T=1000"
+  std::deque<net::TraceEvent> messages;  // from net::TraceRecorder
+  std::vector<SpanEvent> span_events;    // from SpanRecorder
+  // Export only events of this span (kNoSpan = all). Message slices keep
+  // every flow arrow attached to the filtered span.
+  SpanId only_span = kNoSpan;
+};
+
+// Writes the JSON object format: {"traceEvents": [...], ...}. The output
+// is self-contained and loads directly in ui.perfetto.dev.
+void write_chrome_trace(std::ostream& os, const ChromeTraceData& data);
+
+}  // namespace dqme::obs

@@ -1,0 +1,139 @@
+#include "obs/registry.h"
+
+#include <algorithm>
+
+namespace dqme::obs {
+
+double Histogram::percentile(double p) const {
+  DQME_CHECK(0 <= p && p <= 1);
+  if (count_ == 0) return 0;
+  const auto rank = static_cast<uint64_t>(p * static_cast<double>(count_ - 1));
+  uint64_t seen = underflow_;
+  if (rank < seen) return lo_;
+  for (size_t b = 0; b < counts_.size(); ++b) {
+    seen += counts_[b];
+    if (rank < seen)
+      return lo_ + (static_cast<double>(b) + 0.5) * width_;
+  }
+  return lo_ + width_ * static_cast<double>(counts_.size());
+}
+
+void Histogram::merge(const Histogram& other) {
+  if (other.count_ == 0) return;
+  if (count_ == 0 && counts_.empty()) {
+    *this = other;
+    return;
+  }
+  DQME_CHECK_MSG(lo_ == other.lo_ && width_ == other.width_ &&
+                     counts_.size() == other.counts_.size(),
+                 "merging histograms with different bucket specs");
+  for (size_t b = 0; b < counts_.size(); ++b) counts_[b] += other.counts_[b];
+  underflow_ += other.underflow_;
+  overflow_ += other.overflow_;
+  count_ += other.count_;
+  sum_ += other.sum_;
+}
+
+uint64_t& Registry::counter(std::string_view name) {
+  auto it = counters_.find(name);
+  if (it == counters_.end())
+    it = counters_.emplace(std::string(name), 0).first;
+  return it->second;
+}
+
+double& Registry::gauge(std::string_view name) {
+  auto it = gauges_.find(name);
+  if (it == gauges_.end()) it = gauges_.emplace(std::string(name), 0.0).first;
+  return it->second;
+}
+
+Histogram& Registry::histogram(std::string_view name, double lo, double width,
+                               size_t buckets) {
+  auto it = histograms_.find(name);
+  if (it == histograms_.end())
+    it = histograms_.emplace(std::string(name), Histogram(lo, width, buckets))
+             .first;
+  DQME_CHECK_MSG(it->second.lo() == lo && it->second.width() == width &&
+                     it->second.buckets().size() == buckets,
+                 "histogram '" << name << "' re-declared with another spec");
+  return it->second;
+}
+
+const uint64_t* Registry::find_counter(std::string_view name) const {
+  auto it = counters_.find(name);
+  return it == counters_.end() ? nullptr : &it->second;
+}
+
+const double* Registry::find_gauge(std::string_view name) const {
+  auto it = gauges_.find(name);
+  return it == gauges_.end() ? nullptr : &it->second;
+}
+
+const Histogram* Registry::find_histogram(std::string_view name) const {
+  auto it = histograms_.find(name);
+  return it == histograms_.end() ? nullptr : &it->second;
+}
+
+void Registry::merge(const Registry& other) {
+  for (const auto& [name, v] : other.counters_) counter(name) += v;
+  for (const auto& [name, v] : other.gauges_) {
+    double& g = gauge(name);
+    g = std::max(g, v);
+  }
+  for (const auto& [name, h] : other.histograms_) {
+    auto it = histograms_.find(name);
+    if (it == histograms_.end())
+      histograms_.emplace(name, h);
+    else
+      it->second.merge(h);
+  }
+}
+
+namespace {
+
+void write_json_string(std::ostream& os, std::string_view s) {
+  os << '"';
+  for (char c : s) {
+    if (c == '"' || c == '\\') os << '\\';
+    os << c;
+  }
+  os << '"';
+}
+
+}  // namespace
+
+void Registry::write_json(std::ostream& os) const {
+  os << "{\"counters\": {";
+  bool first = true;
+  for (const auto& [name, v] : counters_) {
+    os << (first ? "" : ", ");
+    write_json_string(os, name);
+    os << ": " << v;
+    first = false;
+  }
+  os << "}, \"gauges\": {";
+  first = true;
+  for (const auto& [name, v] : gauges_) {
+    os << (first ? "" : ", ");
+    write_json_string(os, name);
+    os << ": " << v;
+    first = false;
+  }
+  os << "}, \"histograms\": {";
+  first = true;
+  for (const auto& [name, h] : histograms_) {
+    os << (first ? "" : ", ");
+    write_json_string(os, name);
+    os << ": {\"lo\": " << h.lo() << ", \"width\": " << h.width()
+       << ", \"count\": " << h.count() << ", \"sum\": " << h.sum()
+       << ", \"underflow\": " << h.underflow()
+       << ", \"overflow\": " << h.overflow() << ", \"buckets\": [";
+    for (size_t b = 0; b < h.buckets().size(); ++b)
+      os << (b ? ", " : "") << h.buckets()[b];
+    os << "]}";
+    first = false;
+  }
+  os << "}}";
+}
+
+}  // namespace dqme::obs

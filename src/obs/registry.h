@@ -1,0 +1,122 @@
+// Metrics registry: named counters, gauges, and fixed-bucket histograms.
+//
+// One Registry per experiment run (a "per-worker instance" in the parallel
+// sweep engine): run_experiment() fills it and hands it back inside
+// ExperimentResult, and harness::merge_registries() folds any number of
+// per-run registries together deterministically — counters and histogram
+// buckets sum, gauges keep their maximum — in result-index order, so the
+// merged view is bit-identical for any --jobs value.
+//
+// Cost model: lookups by name happen once, at attach/reset time; hot paths
+// hold the returned reference (a plain uint64_t& / Histogram&) and pay one
+// increment per observation. Nothing in this header is touched by a run
+// that does not bind a registry.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/check.h"
+
+namespace dqme::obs {
+
+// Fixed-bucket histogram: `buckets` equal-width bins starting at `lo`,
+// out-of-range samples land in underflow/overflow. The spec is part of the
+// identity: merging histograms with different specs is a CHECK failure.
+class Histogram {
+ public:
+  Histogram() = default;
+  Histogram(double lo, double width, size_t buckets)
+      : lo_(lo), width_(width), counts_(buckets, 0) {
+    DQME_CHECK(width > 0 && buckets > 0);
+  }
+
+  void record(double v) {
+    ++count_;
+    sum_ += v;
+    if (v < lo_) {
+      ++underflow_;
+      return;
+    }
+    const auto b = static_cast<size_t>((v - lo_) / width_);
+    if (b >= counts_.size()) {
+      ++overflow_;
+      return;
+    }
+    ++counts_[b];
+  }
+
+  uint64_t count() const { return count_; }
+  double sum() const { return sum_; }
+  double mean() const {
+    return count_ > 0 ? sum_ / static_cast<double>(count_) : 0;
+  }
+  double lo() const { return lo_; }
+  double width() const { return width_; }
+  uint64_t underflow() const { return underflow_; }
+  uint64_t overflow() const { return overflow_; }
+  const std::vector<uint64_t>& buckets() const { return counts_; }
+
+  // Bucket-midpoint estimate of the p-quantile (p in [0,1]); out-of-range
+  // mass resolves to the histogram edges.
+  double percentile(double p) const;
+
+  void merge(const Histogram& other);
+
+ private:
+  double lo_ = 0;
+  double width_ = 1;
+  std::vector<uint64_t> counts_;
+  uint64_t underflow_ = 0;
+  uint64_t overflow_ = 0;
+  uint64_t count_ = 0;
+  double sum_ = 0;
+};
+
+class Registry {
+ public:
+  // Finds or creates. References stay valid for the Registry's lifetime
+  // (node-based storage) — resolve once, bump forever.
+  uint64_t& counter(std::string_view name);
+  double& gauge(std::string_view name);
+  Histogram& histogram(std::string_view name, double lo, double width,
+                       size_t buckets);
+
+  // Lookup without creation; nullptr when absent.
+  const uint64_t* find_counter(std::string_view name) const;
+  const double* find_gauge(std::string_view name) const;
+  const Histogram* find_histogram(std::string_view name) const;
+
+  bool empty() const {
+    return counters_.empty() && gauges_.empty() && histograms_.empty();
+  }
+
+  // Counters +=, gauges max, histograms bucket-wise (same-spec only).
+  void merge(const Registry& other);
+
+  // One flat JSON object: {"counters": {...}, "gauges": {...},
+  // "histograms": {name: {lo, width, count, sum, underflow, overflow,
+  // buckets: [...]}}}. Keys iterate in sorted order — deterministic output.
+  void write_json(std::ostream& os) const;
+
+  const std::map<std::string, uint64_t, std::less<>>& counters() const {
+    return counters_;
+  }
+  const std::map<std::string, double, std::less<>>& gauges() const {
+    return gauges_;
+  }
+  const std::map<std::string, Histogram, std::less<>>& histograms() const {
+    return histograms_;
+  }
+
+ private:
+  std::map<std::string, uint64_t, std::less<>> counters_;
+  std::map<std::string, double, std::less<>> gauges_;
+  std::map<std::string, Histogram, std::less<>> histograms_;
+};
+
+}  // namespace dqme::obs

@@ -1,0 +1,150 @@
+#include "obs/span.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <map>
+
+namespace dqme::obs {
+
+std::string_view to_string(SpanEdge e) {
+  switch (e) {
+    case SpanEdge::kIssue:      return "issue";
+    case SpanEdge::kEnter:      return "enter";
+    case SpanEdge::kExit:       return "exit";
+    case SpanEdge::kAbort:      return "abort";
+    case SpanEdge::kRequest:    return "request";
+    case SpanEdge::kGrant:      return "grant";
+    case SpanEdge::kProxyGrant: return "proxy_grant";
+    case SpanEdge::kFail:       return "fail";
+    case SpanEdge::kInquire:    return "inquire";
+    case SpanEdge::kYield:      return "yield";
+    case SpanEdge::kTransfer:   return "transfer";
+    case SpanEdge::kRelease:    return "release";
+  }
+  return "unknown";
+}
+
+SpanRecorder::SpanRecorder(net::Network& net, size_t capacity)
+    : capacity_(capacity) {
+  DQME_CHECK(capacity > 0);
+  auto previous = std::move(net.on_deliver);
+  net.on_deliver = [this, &net,
+                    previous = std::move(previous)](const net::Message& m) {
+    on_message(m, net.simulator().now());
+    if (previous) previous(m);
+  };
+}
+
+void SpanRecorder::record(SpanEvent e) {
+  if (events_.size() == capacity_) {
+    ++dropped_;  // bounded memory: newest events are dropped past capacity
+    return;
+  }
+  events_.push_back(e);
+}
+
+void SpanRecorder::on_message(const net::Message& m, Time at) {
+  using net::MsgType;
+  SpanEdge edge;
+  switch (m.type) {
+    case MsgType::kRequest:  edge = SpanEdge::kRequest; break;
+    case MsgType::kReply:
+      edge = m.src == m.arbiter ? SpanEdge::kGrant : SpanEdge::kProxyGrant;
+      break;
+    case MsgType::kFail:     edge = SpanEdge::kFail; break;
+    case MsgType::kInquire:  edge = SpanEdge::kInquire; break;
+    case MsgType::kYield:    edge = SpanEdge::kYield; break;
+    case MsgType::kTransfer: edge = SpanEdge::kTransfer; break;
+    case MsgType::kRelease:  edge = SpanEdge::kRelease; break;
+    default:
+      return;  // token / replica / failure traffic carries no request span
+  }
+  record(SpanEvent{at, m.sent_at, edge, m.span, m.src, m.dst, m.arbiter});
+}
+
+void SpanRecorder::on_span_issue(SiteId site, SpanId span, Time at) {
+  record(SpanEvent{at, at, SpanEdge::kIssue, span, site, site, kNoSite});
+}
+void SpanRecorder::on_span_enter(SiteId site, SpanId span, Time at) {
+  record(SpanEvent{at, at, SpanEdge::kEnter, span, site, site, kNoSite});
+}
+void SpanRecorder::on_span_exit(SiteId site, SpanId span, Time at) {
+  record(SpanEvent{at, at, SpanEdge::kExit, span, site, site, kNoSite});
+}
+void SpanRecorder::on_span_abort(SiteId site, SpanId span, Time at) {
+  record(SpanEvent{at, at, SpanEdge::kAbort, span, site, site, kNoSite});
+}
+
+std::vector<SpanEvent> SpanRecorder::span(SpanId id) const {
+  std::vector<SpanEvent> out;
+  for (const SpanEvent& e : events_)
+    if (e.span == id) out.push_back(e);
+  return out;
+}
+
+std::vector<Handoff> SpanRecorder::contended_handoffs() const {
+  // Events are already in causal (recording) order: walk once, tracking
+  // each span's issue time, the last exit, and proxy grants delivered at
+  // the entering instant.
+  std::map<SpanId, Time> issued;
+  std::map<SpanId, Time> proxy_granted;  // span -> latest proxy-grant time
+  std::vector<Handoff> out;
+  bool have_exit = false;
+  Time last_exit = 0;
+  SiteId last_exiter = kNoSite;
+  for (const SpanEvent& e : events_) {
+    switch (e.edge) {
+      case SpanEdge::kIssue:
+        issued[e.span] = e.at;
+        break;
+      case SpanEdge::kProxyGrant:
+        proxy_granted[e.span] = e.at;
+        break;
+      case SpanEdge::kExit:
+        have_exit = true;
+        last_exit = e.at;
+        last_exiter = e.from;
+        break;
+      case SpanEdge::kEnter: {
+        if (!have_exit) break;
+        auto it = issued.find(e.span);
+        if (it == issued.end() || it->second > last_exit) break;  // uncontended
+        auto pg = proxy_granted.find(e.span);
+        const bool proxied = pg != proxy_granted.end() &&
+                             pg->second > last_exit && pg->second <= e.at;
+        out.push_back(Handoff{last_exit, e.at, last_exiter, e.from, e.span,
+                              proxied});
+        break;
+      }
+      default:
+        break;
+    }
+  }
+  return out;
+}
+
+std::string format_span(SpanId s) {
+  if (s == kNoSpan) return "-";
+  return std::to_string(span_site(s)) + ":" + std::to_string(span_seq(s));
+}
+
+SpanId parse_span(const std::string& text) {
+  const auto colon = text.find(':');
+  if (colon == std::string::npos) {
+    char* end = nullptr;
+    const SpanId raw = std::strtoull(text.c_str(), &end, 10);
+    return end != nullptr && *end == '\0' && end != text.c_str() ? raw
+                                                                 : kNoSpan;
+  }
+  const std::string site_s = text.substr(0, colon);
+  const std::string seq_s = text.substr(colon + 1);
+  if (site_s.empty() || seq_s.empty()) return kNoSpan;
+  char* end = nullptr;
+  const long site = std::strtol(site_s.c_str(), &end, 10);
+  if (*end != '\0' || site < 0) return kNoSpan;
+  const SeqNum seq = std::strtoull(seq_s.c_str(), &end, 10);
+  if (*end != '\0') return kNoSpan;
+  return span_of(ReqId{seq, static_cast<SiteId>(site)});
+}
+
+}  // namespace dqme::obs

@@ -1,0 +1,113 @@
+// Causal request spans (the observability tentpole).
+//
+// Every CS request attempt is a span, named by span_of(its ReqId) and
+// piggybacked on every control message that works toward that request's CS
+// entry (net::Message::span). A SpanRecorder collects the span's causal
+// edges from two attach-time hooks:
+//
+//   * site edges  — issue / enter / exit / abort, reported by MutexSite
+//     through the mutex::SpanObserver interface,
+//   * wire edges  — request / grant / proxy-grant / fail / inquire /
+//     transfer / yield / release, observed at delivery time through
+//     Network::on_deliver (each carries both send and delivery instants).
+//
+// The edge list makes the paper's Table 1 delay claim *causally* checkable:
+// contended_handoffs() pairs every CS exit with the next contended entry,
+// and flags whether the entry was produced by a proxy-forwarded reply (the
+// §3 mechanism, exit→enter = 1·T) or by a release→reply relay through the
+// arbiter (Maekawa, 2·T). Recording is opt-in; nothing here runs when no
+// recorder is attached.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "mutex/mutex_site.h"
+#include "net/network.h"
+
+namespace dqme::obs {
+
+enum class SpanEdge : uint8_t {
+  // Site-side edges (from mutex::SpanObserver). from == to == the site.
+  kIssue,
+  kEnter,
+  kExit,
+  kAbort,
+  // Wire edges, recorded at delivery. from/to = src/dst sites.
+  kRequest,
+  kGrant,       // reply delivered by the arbiter itself
+  kProxyGrant,  // reply delivered on the arbiter's behalf by the CS holder
+  kFail,
+  kInquire,
+  kYield,
+  kTransfer,
+  kRelease,
+};
+
+std::string_view to_string(SpanEdge e);
+
+struct SpanEvent {
+  Time at = 0;       // site edges: the instant; wire edges: delivery time
+  Time sent_at = 0;  // wire edges: when the message left `from`
+  SpanEdge edge = SpanEdge::kIssue;
+  SpanId span = kNoSpan;
+  SiteId from = kNoSite;
+  SiteId to = kNoSite;
+  SiteId arbiter = kNoSite;  // wire edges about a permission: whose
+};
+
+// One observed CS handoff under contention: `to` had already issued its
+// request when `from` exited, and entered enter_at - exit_at later.
+struct Handoff {
+  Time exit_at = 0;
+  Time enter_at = 0;
+  SiteId from = kNoSite;
+  SiteId to = kNoSite;
+  SpanId span = kNoSpan;  // the entering request's span
+  bool proxied = false;   // entry completed by a proxy-forwarded reply
+};
+
+class SpanRecorder final : public mutex::SpanObserver {
+ public:
+  // Hooks Network::on_deliver (chaining any hook already installed).
+  // Site edges additionally require attach() / attach_all() — MutexSite
+  // reports to at most one observer.
+  explicit SpanRecorder(net::Network& net, size_t capacity = 1'000'000);
+
+  void attach(mutex::MutexSite& site) { site.attach_span_observer(this); }
+  template <typename Sites>
+  void attach_all(Sites&& sites) {
+    for (auto& s : sites) attach(*s);
+  }
+
+  const std::vector<SpanEvent>& events() const { return events_; }
+  size_t dropped() const { return dropped_; }
+
+  // All edges of one span, in recording (= causal) order.
+  std::vector<SpanEvent> span(SpanId id) const;
+
+  // Every contended exit→enter pair, time-ordered (see Handoff).
+  std::vector<Handoff> contended_handoffs() const;
+
+  // mutex::SpanObserver
+  void on_span_issue(SiteId site, SpanId span, Time at) override;
+  void on_span_enter(SiteId site, SpanId span, Time at) override;
+  void on_span_exit(SiteId site, SpanId span, Time at) override;
+  void on_span_abort(SiteId site, SpanId span, Time at) override;
+
+ private:
+  void record(SpanEvent e);
+  void on_message(const net::Message& m, Time at);
+
+  size_t capacity_;
+  size_t dropped_ = 0;
+  std::vector<SpanEvent> events_;
+};
+
+// Spans print and parse as "site:seq" (e.g. "3:17"), friendlier than the
+// packed 64-bit value. parse accepts both spellings; returns kNoSpan on
+// malformed input.
+std::string format_span(SpanId s);
+SpanId parse_span(const std::string& text);
+
+}  // namespace dqme::obs

@@ -37,6 +37,7 @@ Simulator::EventId Simulator::schedule_at(Time when, Callback fn) {
   s.seq = next_seq_++;
   s.armed = true;
   heap_push(HeapEntry{when, s.seq, idx});
+  if (heap_.size() > peak_heap_) peak_heap_ = heap_.size();
   ++live_;
   return make_id(s.gen, idx);
 }
@@ -50,6 +51,7 @@ bool Simulator::cancel(EventId id) {
   release_slot(idx);  // the heap entry stays behind as a tombstone
   --live_;
   ++tombstones_;
+  ++cancelled_;
   maybe_compact();
   return true;
 }

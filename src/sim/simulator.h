@@ -183,6 +183,20 @@ class Simulator {
   size_t slab_capacity() const { return slots_.size(); }
   uint64_t compactions() const { return compactions_; }
 
+  // Profiling counters for the observability layer (src/obs): lifetime
+  // totals and high-water marks, maintained unconditionally — each is one
+  // increment or compare on an already-memory-bound path.
+  uint64_t scheduled_total() const { return next_seq_ - 1; }
+  uint64_t cancelled_total() const { return cancelled_; }
+  size_t peak_heap() const { return peak_heap_; }  // deepest heap, w/ tombstones
+  // Fraction of scheduled events that were cancelled instead of fired —
+  // the load the tombstone-compaction machinery exists to absorb.
+  double tombstone_ratio() const {
+    return scheduled_total() > 0 ? static_cast<double>(cancelled_) /
+                                       static_cast<double>(scheduled_total())
+                                 : 0;
+  }
+
  private:
   static constexpr uint32_t kNil = 0xffffffffu;
   // Below this many heap entries, compaction isn't worth the pass.
@@ -239,6 +253,8 @@ class Simulator {
   size_t live_ = 0;        // armed slots == non-tombstone heap entries
   size_t tombstones_ = 0;  // cancelled entries still sitting in the heap
   uint64_t compactions_ = 0;
+  uint64_t cancelled_ = 0;
+  size_t peak_heap_ = 0;
   std::vector<HeapEntry> heap_;
   std::vector<Slot> slots_;
   uint32_t free_head_ = kNil;

@@ -57,6 +57,38 @@ TEST(TraceRecorder, BoundedCapacityDropsOldest) {
   EXPECT_EQ(trace.events().front().msg.req.seq, 3u);  // oldest kept
 }
 
+TEST(TraceRecorder, ClearResetsEventsAndDropCount) {
+  TraceRig rig;
+  TraceRecorder trace(rig.net, /*capacity=*/3);
+  for (SeqNum s = 1; s <= 5; ++s)
+    rig.net.send(0, 1, make_request(ReqId{s, 0}));
+  rig.sim.run();
+  ASSERT_EQ(trace.dropped(), 2u);
+
+  // A cleared recorder starts a fresh window: stale drop counts must not
+  // leak into it (regression: clear() used to reset events_ only).
+  trace.clear();
+  EXPECT_EQ(trace.events().size(), 0u);
+  EXPECT_EQ(trace.dropped(), 0u);
+
+  rig.net.send(0, 1, make_request(ReqId{6, 0}));
+  rig.sim.run();
+  EXPECT_EQ(trace.events().size(), 1u);
+  EXPECT_EQ(trace.dropped(), 0u);
+}
+
+TEST(TraceRecorder, DeliveryCarriesSpanAndSendTime) {
+  TraceRig rig;
+  TraceRecorder trace(rig.net);
+  rig.net.send(0, 1, make_request(ReqId{7, 0}));
+  rig.sim.run();
+  ASSERT_EQ(trace.events().size(), 1u);
+  const Message& m = trace.events()[0].msg;
+  EXPECT_EQ(m.span, span_of(ReqId{7, 0}));
+  EXPECT_EQ(m.sent_at, 0);
+  EXPECT_EQ(trace.events()[0].at, 100);
+}
+
 TEST(TraceRecorder, FilterSelectsMatchingEvents) {
   TraceRig rig;
   TraceRecorder trace(rig.net);

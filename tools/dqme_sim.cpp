@@ -11,12 +11,14 @@
 //   dqme_sim --algo cao-singhal --n 15 --quorum tree --ft
 //            --crash 500000:0 --crash 900000:7   (one line)
 #include <cstdlib>
+#include <fstream>
 #include <iostream>
 #include <string>
 #include <vector>
 
 #include "harness/experiment.h"
 #include "harness/table.h"
+#include "obs/chrome_trace.h"
 
 namespace {
 
@@ -46,11 +48,13 @@ void usage(const char* argv0) {
       << "  --crash T:SITE   crash SITE at time T (repeatable)\n"
       << "  --no-piggyback   disable piggybacking (ablation)\n"
       << "  --audit          run the per-arbiter permission auditor\n"
-      << "                   (quorum algorithms, no crashes)\n";
+      << "                   (quorum algorithms, no crashes)\n"
+      << "  --trace-out FILE record the run and write Chrome trace-event\n"
+      << "                   JSON (chrome://tracing / ui.perfetto.dev)\n";
 }
 
 bool parse_args(int argc, char** argv, harness::ExperimentConfig& cfg,
-                double& rate) {
+                double& rate, std::string& trace_out) {
   for (int i = 1; i < argc; ++i) {
     const std::string a = argv[i];
     auto next = [&]() -> const char* {
@@ -113,6 +117,11 @@ bool parse_args(int argc, char** argv, harness::ExperimentConfig& cfg,
       cfg.options.piggyback = false;
     } else if (a == "--audit") {
       cfg.audit_permissions = true;
+    } else if (a == "--trace-out") {
+      trace_out = next();
+    } else if (a.rfind("--trace-out=", 0) == 0) {
+      trace_out = a.substr(std::string("--trace-out=").size());
+      if (trace_out.empty()) return false;
     } else if (a == "--crash") {
       const std::string spec = next();
       const auto colon = spec.find(':');
@@ -136,10 +145,13 @@ bool parse_args(int argc, char** argv, harness::ExperimentConfig& cfg,
 int main(int argc, char** argv) try {
   harness::ExperimentConfig cfg;
   double rate = 0.5;
-  if (!parse_args(argc, argv, cfg, rate)) {
+  std::string trace_out;
+  if (!parse_args(argc, argv, cfg, rate, trace_out)) {
     usage(argv[0]);
     return 2;
   }
+  obs::RunCapture cap;
+  if (!trace_out.empty()) cfg.capture = &cap;
   if (cfg.workload.mode == harness::Workload::Config::Mode::kOpen) {
     const double capacity =
         1.0 / static_cast<double>(2 * cfg.mean_delay +
@@ -193,6 +205,23 @@ int main(int argc, char** argv) try {
                  Table::integer(r.protocol_stats.recoveries)});
   }
   out.print(std::cout);
+
+  if (!trace_out.empty()) {
+    obs::ChromeTraceData data;
+    data.n_sites = cap.n_sites;
+    data.label = cap.label;
+    data.messages = std::move(cap.messages);
+    data.span_events = std::move(cap.span_events);
+    std::ofstream f(trace_out);
+    if (!f) {
+      std::cerr << "cannot write " << trace_out << "\n";
+      return 2;
+    }
+    obs::write_chrome_trace(f, data);
+    std::cout << "\n[trace] wrote " << trace_out << " ("
+              << data.messages.size() << " messages, "
+              << data.span_events.size() << " span events)\n";
+  }
 
   const bool ok = r.summary.violations == 0 && r.drained_clean &&
                   r.permission_violations == 0;

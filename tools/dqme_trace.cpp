@@ -3,22 +3,77 @@
 // Runs a handful of sites under brief contention and dumps every control
 // message with its delivery time: the fastest way to *see* the paper's
 // §3 mechanism (request -> transfer -> forwarded reply -> parameterized
-// release) in action.
+// release) in action. Every message line now carries the causal span
+// ("site:seq") of the request it works toward; --span narrows the timeline
+// to one request's story, and --json exports the same run as Chrome
+// trace-event JSON for chrome://tracing / ui.perfetto.dev.
 //
-// usage: dqme_trace [N] [num_cs] [seed]   (defaults: 4 sites, 6 CS, seed 1)
+// usage: dqme_trace [N] [num_cs] [seed] [--span=SITE:SEQ] [--json[=PATH]]
+//   (defaults: 4 sites, 6 CS, seed 1; --json with no PATH writes stdout)
 #include <cstdlib>
+#include <fstream>
 #include <iostream>
+#include <string>
+#include <vector>
 
 #include "core/cao_singhal.h"
 #include "harness/workload.h"
 #include "net/trace.h"
+#include "obs/chrome_trace.h"
 #include "quorum/factory.h"
+
+namespace {
+
+void usage() {
+  std::cerr << "usage: dqme_trace [N] [num_cs] [seed] [--span=SITE:SEQ] "
+               "[--json[=PATH]]\n";
+}
+
+}  // namespace
 
 int main(int argc, char** argv) {
   using namespace dqme;
-  const int n = argc > 1 ? std::atoi(argv[1]) : 4;
-  const uint64_t num_cs = argc > 2 ? std::strtoull(argv[2], nullptr, 10) : 6;
-  const uint64_t seed = argc > 3 ? std::strtoull(argv[3], nullptr, 10) : 1;
+
+  std::vector<std::string> positional;
+  bool json = false;
+  std::string json_path;  // empty = stdout
+  SpanId only_span = kNoSpan;
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    if (a == "--help" || a == "-h") {
+      usage();
+      return 0;
+    } else if (a == "--json") {
+      json = true;
+    } else if (a.rfind("--json=", 0) == 0) {
+      json = true;
+      json_path = a.substr(7);
+    } else if (a.rfind("--span=", 0) == 0) {
+      only_span = obs::parse_span(a.substr(7));
+      if (only_span == kNoSpan) {
+        std::cerr << "dqme_trace: bad span '" << a.substr(7)
+                  << "' (expected SITE:SEQ or a packed id)\n";
+        return 2;
+      }
+    } else if (a.rfind("--", 0) == 0) {
+      std::cerr << "dqme_trace: unknown flag '" << a << "'\n";
+      usage();
+      return 2;
+    } else {
+      positional.push_back(a);
+    }
+  }
+  if (positional.size() > 3) {
+    usage();
+    return 2;
+  }
+  const int n = !positional.empty() ? std::atoi(positional[0].c_str()) : 4;
+  const uint64_t num_cs =
+      positional.size() > 1 ? std::strtoull(positional[1].c_str(), nullptr, 10)
+                            : 6;
+  const uint64_t seed =
+      positional.size() > 2 ? std::strtoull(positional[2].c_str(), nullptr, 10)
+                            : 1;
   if (n < 2) {
     std::cerr << "N must be >= 2\n";
     return 2;
@@ -27,6 +82,7 @@ int main(int argc, char** argv) {
   sim::Simulator sim;
   net::Network net(sim, n, std::make_unique<net::ConstantDelay>(1000), seed);
   net::TraceRecorder trace(net);
+  obs::SpanRecorder spans(net);
   auto quorums = quorum::make_quorum_system("grid", n);
 
   std::vector<std::unique_ptr<core::CaoSinghalSite>> sites;
@@ -34,6 +90,7 @@ int main(int argc, char** argv) {
   for (SiteId i = 0; i < n; ++i) {
     sites.push_back(std::make_unique<core::CaoSinghalSite>(i, net, *quorums));
     net.attach(i, sites.back().get());
+    spans.attach(*sites.back());
     raw.push_back(sites.back().get());
   }
 
@@ -53,14 +110,40 @@ int main(int argc, char** argv) {
   harness::Workload wl(sim, raw, wc, nullptr);
   for (auto* s : raw) {
     auto inner = s->on_enter;
-    s->on_enter = [&, inner](SiteId id) {
+    s->on_enter = [&, inner, s](SiteId id) {
       marks.push_back({sim.now(), "site " + std::to_string(id) +
-                                      " ENTERS the critical section"});
+                                      " ENTERS the critical section [span " +
+                                      obs::format_span(s->active_span()) +
+                                      "]"});
       inner(id);
     };
   }
   wl.start();
   sim.run();
+
+  if (json) {
+    obs::ChromeTraceData data;
+    data.n_sites = n;
+    data.label = "dqme_trace cao-singhal N=" + std::to_string(n) +
+                 " seed=" + std::to_string(seed);
+    data.messages = trace.events();
+    data.span_events = spans.events();
+    data.only_span = only_span;
+    if (json_path.empty()) {
+      obs::write_chrome_trace(std::cout, data);
+    } else {
+      std::ofstream f(json_path);
+      if (!f) {
+        std::cerr << "cannot write " << json_path << "\n";
+        return 2;
+      }
+      obs::write_chrome_trace(f, data);
+      std::cout << "[trace] wrote " << json_path << " ("
+                << data.messages.size() << " messages, "
+                << data.span_events.size() << " span events)\n";
+    }
+    return 0;
+  }
 
   std::cout << "Message timeline — cao-singhal, N=" << n
             << ", grid quorums, T=1000 (constant)\n"
@@ -71,22 +154,30 @@ int main(int argc, char** argv) {
       std::cout << s << ' ';
     std::cout << "}\n";
   }
+  if (only_span != kNoSpan)
+    std::cout << "(showing only span " << obs::format_span(only_span)
+              << ")\n";
   std::cout << '\n';
 
+  size_t shown = 0;
   size_t next_mark = 0;
   for (const net::TraceEvent& e : trace.events()) {
     while (next_mark < marks.size() && marks[next_mark].at <= e.at) {
       std::cout << "           >>> " << marks[next_mark].what << '\n';
       ++next_mark;
     }
+    if (only_span != kNoSpan && e.msg.span != only_span) continue;
     std::cout.width(10);
-    std::cout << e.at << "  " << e.msg << '\n';
+    std::cout << e.at << "  " << e.msg << "  [span "
+              << obs::format_span(e.msg.span) << "]\n";
+    ++shown;
   }
   while (next_mark < marks.size()) {
     std::cout << "           >>> " << marks[next_mark].what << '\n';
     ++next_mark;
   }
-  std::cout << "\n" << marks.size() << " CS executions, "
-            << trace.events().size() << " control messages.\n";
+  std::cout << "\n" << marks.size() << " CS executions, " << shown
+            << " control messages shown (" << trace.events().size()
+            << " recorded).\n";
   return 0;
 }
