@@ -7,6 +7,8 @@
 //   --jobs=N    worker threads for sweep-based suites (0 = all cores)
 //   --seeds=K   replications per row (overrides each suite's default)
 //   --quick     shrink warmup/measure windows ~8x (CI smoke)
+//   --check     attach the online invariant checker to every run; any
+//               violation fails the suite (exit 1 + "ok": false in JSON)
 //   --json[=PATH]  write machine-readable results (default BENCH_<suite>.json)
 //   --trace-out=FILE  also record one short run of the suite's first/
 //                 representative config and write a Chrome trace-event JSON
@@ -44,6 +46,7 @@ struct BenchOptions {
   int jobs = 1;           // sweep worker threads; 0 = hardware concurrency
   int seeds = 0;          // 0 = each suite's per-row default
   bool quick = false;
+  bool check = false;     // run every row under the invariant checker
   bool json = false;
   std::string json_path;  // resolved to BENCH_<suite>.json when empty
   std::string trace_out;  // Chrome trace output path; empty = no trace
@@ -52,7 +55,7 @@ struct BenchOptions {
 
 inline void bench_usage(const char* suite) {
   std::cerr << "usage: " << suite
-            << " [--jobs=N] [--seeds=K] [--quick] [--json[=PATH]]"
+            << " [--jobs=N] [--seeds=K] [--quick] [--check] [--json[=PATH]]"
                " [--trace-out=FILE]\n";
 }
 
@@ -81,6 +84,8 @@ inline BenchOptions parse_bench_flags(int& argc, char** argv,
       }
     } else if (arg == "--quick") {
       o.quick = true;
+    } else if (arg == "--check") {
+      o.check = true;
     } else if (arg == "--json") {
       o.json = true;
     } else if (arg.rfind("--json=", 0) == 0) {

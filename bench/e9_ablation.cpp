@@ -4,50 +4,72 @@
 //  (b) piggybacking (§5: "a control message piggybacked with another
 //      message is counted as one message"): disabling it inflates the wire
 //      count while leaving control-message counts unchanged.
+//
+// Ported to the unified bench::Runner: all four variants run as one
+// parallel sweep.
 #include <iostream>
 
-#include "bench_util.h"
+#include "runner.h"
 
 int main(int argc, char** argv) {
-  dqme::bench::SuiteGuard suite_guard(argc, argv, "e9_ablation");
   using namespace dqme;
   using bench::heavy;
   using harness::ExperimentConfig;
+  using harness::ExperimentResult;
   using harness::Table;
 
-  suite_guard.trace(heavy(mutex::Algo::kCaoSinghal, 25));
+  auto opts = bench::parse_bench_flags(argc, argv, "e9_ablation");
+  bench::reject_extra_args(argc, argv, "e9_ablation");
+
+  const bench::MetricDef kDelayT{
+      "delay_t",
+      [](const ExperimentResult& r) { return r.sync_delay_in_t; }};
+  const bench::MetricDef kThroughput{
+      "throughput_per_t", [](const ExperimentResult& r) {
+        return r.summary.throughput * bench::kT;
+      }};
+  const bench::MetricDef kWire{
+      "wire_msgs_per_cs",
+      [](const ExperimentResult& r) { return r.summary.wire_msgs_per_cs; }};
+  const bench::MetricDef kCtrl{
+      "ctrl_msgs_per_cs",
+      [](const ExperimentResult& r) { return r.summary.ctrl_msgs_per_cs; }};
+  const std::vector<bench::MetricDef> kMetrics{kDelayT, kThroughput, kWire,
+                                               kCtrl};
+
+  bench::Runner run("e9_ablation", opts);
+  const int proxy_on = run.add(
+      "proxy_on", heavy(mutex::Algo::kCaoSinghal, 25), kMetrics);
+  const int proxy_off = run.add(
+      "proxy_off", heavy(mutex::Algo::kCaoSinghalNoProxy, 25), kMetrics);
+  ExperimentConfig no_piggy = heavy(mutex::Algo::kCaoSinghal, 25);
+  no_piggy.options.piggyback = false;
+  const int piggy_off = run.add("piggyback_off", no_piggy, kMetrics);
+  run.execute();
 
   std::cout << "E9 — ablations (N=25, grid, saturated, T=1000, E=T/10)\n\n";
-  bool ok = true;
 
   std::cout << "(a) proxy transfer path:\n";
   Table a({"variant", "delay/T", "throughput CS/T", "msgs/CS",
            "replies forwarded"});
-  for (bool proxy : {true, false}) {
-    ExperimentConfig cfg = heavy(
-        proxy ? mutex::Algo::kCaoSinghal : mutex::Algo::kCaoSinghalNoProxy,
-        25);
-    auto r = harness::run_experiment(cfg);
-    ok = ok && r.summary.violations == 0 && r.drained_clean;
-    a.add_row({proxy ? "proposed (proxy on)" : "proxy off (Maekawa-style)",
-               Table::num(r.sync_delay_in_t, 2),
-               Table::num(r.summary.throughput * bench::kT, 3),
-               Table::num(r.summary.wire_msgs_per_cs, 1),
+  for (int row : {proxy_on, proxy_off}) {
+    const auto& r = run.first(row);
+    a.add_row({row == proxy_on ? "proposed (proxy on)"
+                               : "proxy off (Maekawa-style)",
+               Table::num(run.stat(row, "delay_t").mean, 2),
+               Table::num(run.stat(row, "throughput_per_t").mean, 3),
+               Table::num(run.stat(row, "wire_msgs_per_cs").mean, 1),
                Table::integer(r.protocol_stats.replies_forwarded)});
   }
   a.print(std::cout);
 
   std::cout << "\n(b) piggybacking:\n";
   Table b({"variant", "wire msgs/CS", "ctrl msgs/CS", "delay/T"});
-  for (bool piggyback : {true, false}) {
-    ExperimentConfig cfg = heavy(mutex::Algo::kCaoSinghal, 25);
-    cfg.options.piggyback = piggyback;
-    auto r = harness::run_experiment(cfg);
-    ok = ok && r.summary.violations == 0 && r.drained_clean;
-    b.add_row({piggyback ? "piggyback on (paper)" : "piggyback off",
-               Table::num(r.summary.wire_msgs_per_cs, 1),
-               Table::num(r.summary.ctrl_msgs_per_cs, 1),
-               Table::num(r.sync_delay_in_t, 2)});
+  for (int row : {proxy_on, piggy_off}) {
+    b.add_row({row == proxy_on ? "piggyback on (paper)" : "piggyback off",
+               Table::num(run.stat(row, "wire_msgs_per_cs").mean, 1),
+               Table::num(run.stat(row, "ctrl_msgs_per_cs").mean, 1),
+               Table::num(run.stat(row, "delay_t").mean, 2)});
   }
   b.print(std::cout);
 
@@ -55,8 +77,6 @@ int main(int argc, char** argv) {
                "roughly halves throughput at the same message budget — the "
                "entire contribution of the paper in one row pair; (b) "
                "piggyback off keeps control messages equal but pays more "
-               "wire messages.\n"
-            << "[integrity] all runs safe and drained: " << (ok ? "yes" : "NO")
-            << "\n";
-  return suite_guard.finish(ok);
+               "wire messages.\n";
+  return run.finish(std::cout);
 }

@@ -39,6 +39,7 @@ class Runner {
   // user did not pass --seeds. Returns the row index.
   int add(std::string label, harness::ExperimentConfig cfg,
           std::vector<MetricDef> metrics, int default_seeds = 1) {
+    if (opts_.check) cfg.check_invariants = true;
     Row row;
     row.label = std::move(label);
     row.cfg = std::move(cfg);
@@ -48,20 +49,49 @@ class Runner {
     return static_cast<int>(rows_.size()) - 1;
   }
 
+  // Declares a row whose runs are not a plain run_experiment(cfg): `fn` is
+  // called once per seed on the worker pool and returns a result it filled
+  // itself (quorum combinatorics, replica-layer rounds). The integrity fold
+  // applies to whatever fn reports — set drained_clean/violations honestly.
+  int add_custom(std::string label,
+                 std::function<harness::ExperimentResult(uint64_t)> fn,
+                 std::vector<MetricDef> metrics, int default_seeds = 1) {
+    Row row;
+    row.label = std::move(label);
+    row.custom = std::move(fn);
+    row.metrics = std::move(metrics);
+    row.seeds = opts_.seeds > 0 ? opts_.seeds : default_seeds;
+    rows_.push_back(std::move(row));
+    return static_cast<int>(rows_.size()) - 1;
+  }
+
+  // Folds a suite-specific pass/fail condition (a paper-bound check a row's
+  // metrics can't express) into the exit code and the JSON "ok" field.
+  void require(bool condition) { ok_ = ok_ && condition; }
+
   // Runs every declared (row, seed) job on the worker pool. Results are
   // deterministic in content and order for any --jobs value: each job is a
-  // pure function of (config, seed) and lands in its own slot.
+  // pure function of (config/custom fn, seed) and lands in its own slot.
   void execute() {
-    std::vector<harness::ExperimentConfig> grid;
+    std::vector<std::function<harness::ExperimentResult()>> jobs;
     for (const Row& row : rows_) {
-      auto seeds = harness::expand_seeds(row.cfg, row.seeds);
-      grid.insert(grid.end(), seeds.begin(), seeds.end());
+      for (int s = 0; s < row.seeds; ++s) {
+        const uint64_t seed = row.cfg.seed + static_cast<uint64_t>(s);
+        if (row.custom) {
+          jobs.push_back([fn = &row.custom, seed] { return (*fn)(seed); });
+        } else {
+          harness::ExperimentConfig cfg = row.cfg;
+          cfg.seed = seed;
+          jobs.push_back(
+              [cfg = std::move(cfg)] { return harness::run_experiment(cfg); });
+        }
+      }
     }
     harness::SweepOptions sopts;
     sopts.jobs = opts_.jobs;
     sopts.check_integrity = false;  // benches report, they don't throw
     const auto start = std::chrono::steady_clock::now();
-    auto results = harness::SweepRunner(sopts).run(grid);
+    auto results = harness::SweepRunner(sopts).run_jobs(jobs);
     wall_ms_ = std::chrono::duration<double, std::milli>(
                    std::chrono::steady_clock::now() - start)
                    .count();
@@ -72,13 +102,20 @@ class Runner {
       at += static_cast<size_t>(row.seeds);
       for (const auto& r : row.runs) {
         sim_events_ += r.sim_events;
-        ok_ = ok_ && r.summary.violations == 0 && r.drained_clean;
+        ok_ = ok_ && r.summary.violations == 0 && r.drained_clean &&
+              r.invariant_violations == 0;
+        if (first_report_.empty() && !r.invariant_reports.empty())
+          first_report_ = r.invariant_reports.front();
       }
     }
     executed_ = true;
-    // --trace-out: one extra short recorded run of the first row's config,
-    // after the sweep so the numbers above are recorder-free.
-    if (!rows_.empty()) maybe_write_trace(opts_, rows_.front().cfg);
+    // --trace-out: one extra short recorded run of the first plain row's
+    // config, after the sweep so the numbers above are recorder-free.
+    for (const Row& row : rows_)
+      if (!row.custom) {
+        maybe_write_trace(opts_, row.cfg);
+        break;
+      }
   }
 
   // Aggregated metric (mean/sd over the row's seeds).
@@ -113,9 +150,12 @@ class Runner {
   int finish(std::ostream& os) const {
     DQME_CHECK(executed_);
     os << "\n[integrity] all runs safe and drained: " << (ok_ ? "yes" : "NO")
-       << "  (" << total_runs() << " runs, jobs=" << opts_.jobs << ", "
+       << "  (" << total_runs() << " runs, jobs=" << opts_.jobs
+       << (opts_.check ? ", invariants checked" : "") << ", "
        << Table::num(wall_ms_, 0) << " ms, "
        << Table::num(events_per_sec() / 1e6, 2) << "M events/s)\n";
+    if (!first_report_.empty())
+      os << "[integrity] first violation: " << first_report_ << "\n";
     std::vector<JsonMetric> jm;
     for (size_t i = 0; i < rows_.size(); ++i)
       for (const MetricDef& m : rows_[i].metrics) {
@@ -135,6 +175,7 @@ class Runner {
   struct Row {
     std::string label;
     harness::ExperimentConfig cfg;
+    std::function<harness::ExperimentResult(uint64_t)> custom;  // add_custom
     std::vector<MetricDef> metrics;
     int seeds = 1;
     std::vector<harness::ExperimentResult> runs;
@@ -157,6 +198,7 @@ class Runner {
   std::vector<Row> rows_;
   bool executed_ = false;
   bool ok_ = true;
+  std::string first_report_;
   double wall_ms_ = 0;
   uint64_t sim_events_ = 0;
   using Table = harness::Table;

@@ -7,7 +7,10 @@ Checks, beyond "it parses":
     stack order, and no "E" underflows;
   * async spans ("b"/"e") pair up per id;
   * every flow start ("s") has exactly one flow finish ("f") with the
-    same id, and flow events sit on declared lanes;
+    same id, the finish is not before its start, and flow events sit on
+    declared lanes;
+  * proxy tagging is consistent: cat "proxy" if and only if the event is
+    a "reply (proxy)" — the paper's 1T handoff must stay identifiable;
   * monotonically sane timestamps (ts >= 0, E not before its B).
 
 Exit 0 on success; exit 1 with a message on the first violation.
@@ -35,8 +38,9 @@ def validate(path):
     lanes = set()
     stacks = {}        # tid -> list of (name, ts) open B slices
     async_open = {}    # id -> open count
-    flow_starts = {}   # id -> count
-    flow_ends = {}     # id -> count
+    flow_starts = {}   # id -> [count, ts of last start]
+    flow_ends = {}     # id -> [count, ts of last finish]
+    n_proxy = 0
 
     for i, ev in enumerate(events):
         ph = ev.get("ph")
@@ -50,6 +54,12 @@ def validate(path):
             continue
         if tid not in lanes:
             fail(path, f"event {i}: tid {tid} has no thread_name metadata")
+        is_proxy_cat = ev.get("cat") == "proxy"
+        is_proxy_name = ev.get("name") == "reply (proxy)"
+        if is_proxy_cat != is_proxy_name:
+            fail(path, f"event {i}: proxy tag mismatch "
+                       f"(name {ev.get('name')!r}, cat {ev.get('cat')!r})")
+        n_proxy += is_proxy_cat and ph == "s"
         if ph == "B":
             stacks.setdefault(tid, []).append((ev.get("name"), ts))
         elif ph == "E":
@@ -66,9 +76,13 @@ def validate(path):
                 fail(path, f"event {i}: async 'e' without 'b' (id {ev['id']})")
             async_open[ev["id"]] -= 1
         elif ph == "s":
-            flow_starts[ev["id"]] = flow_starts.get(ev["id"], 0) + 1
+            entry = flow_starts.setdefault(ev["id"], [0, ts])
+            entry[0] += 1
+            entry[1] = ts
         elif ph == "f":
-            flow_ends[ev["id"]] = flow_ends.get(ev["id"], 0) + 1
+            entry = flow_ends.setdefault(ev["id"], [0, ts])
+            entry[0] += 1
+            entry[1] = ts
         elif ph == "X":
             if ev.get("dur", 0) < 0:
                 fail(path, f"event {i}: negative dur")
@@ -81,15 +95,24 @@ def validate(path):
     for sid, n in async_open.items():
         if n != 0:
             fail(path, f"async span id {sid}: {n} unclosed 'b'")
-    if flow_starts != flow_ends:
-        only_s = set(flow_starts) - set(flow_ends)
-        only_f = set(flow_ends) - set(flow_starts)
+    only_s = set(flow_starts) - set(flow_ends)
+    only_f = set(flow_ends) - set(flow_starts)
+    if only_s or only_f:
         fail(path, f"unpaired flows: starts-without-finish {sorted(only_s)[:5]}"
                    f" finishes-without-start {sorted(only_f)[:5]}")
+    for fid, (n, s_ts) in flow_starts.items():
+        n_f, f_ts = flow_ends[fid]
+        if n != 1 or n_f != 1:
+            fail(path, f"flow {fid}: {n} start(s), {n_f} finish(es); "
+                       f"want exactly one of each")
+        if f_ts < s_ts:
+            fail(path, f"flow {fid}: delivered at {f_ts} before its "
+                       f"send at {s_ts}")
 
     n_slices = sum(1 for e in events if e.get("ph") in ("B", "X"))
     print(f"{path}: OK ({len(events)} events, {len(lanes)} lanes, "
-          f"{n_slices} slices, {sum(flow_starts.values())} flows)")
+          f"{n_slices} slices, {len(flow_starts)} flows, "
+          f"{n_proxy} proxied)")
 
 
 if __name__ == "__main__":

@@ -90,6 +90,10 @@ void CaoSinghalSite::handle_reply(const Message& m) {
     inq_queue_.erase(q);
     process_inquire(m.arbiter);
   }
+  // If this reply completes the quorum, the entry rode the proxy handoff
+  // (1 hop, Table 1's 1T case) when the holder forwarded it, the arbiter
+  // relay (2 hops) otherwise.
+  set_entry_hops(m.src != m.arbiter ? 1 : 2);
   try_enter();
 }
 

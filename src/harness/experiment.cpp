@@ -5,6 +5,8 @@
 
 #include "harness/permission_auditor.h"
 #include "harness/sweep.h"
+#include "obs/invariants.h"
+#include "obs/model.h"
 #include "quorum/factory.h"
 
 namespace dqme::harness {
@@ -31,6 +33,17 @@ std::unique_ptr<net::DelayModel> make_delay(const ExperimentConfig& cfg) {
   }
   DQME_CHECK(false);
   return nullptr;
+}
+
+// Watchdog bound when the config leaves it to us: the longest legal wait is
+// about N saturated CS cycles (starvation freedom serves everyone once per
+// round), so take a ~8x margin on that plus slack for the drain tail and
+// crash-detection window. Generous by design — the watchdog exists to catch
+// genuine stalls, not to time the tail of a legal queue.
+Time auto_liveness_bound(const ExperimentConfig& cfg) {
+  const Time cycle = 2 * cfg.mean_delay + cfg.workload.cs_duration;
+  return 8 * static_cast<Time>(cfg.n) * cycle + 400 * cfg.mean_delay +
+         10 * (cfg.detection_latency + cfg.detection_jitter);
 }
 
 }  // namespace
@@ -75,6 +88,18 @@ ExperimentResult run_experiment(const ExperimentConfig& cfg) {
   }
 
   if (span_rec) span_rec->attach_all(sites);
+
+  // Invariant checker last, so it chains in front of the recorders and sees
+  // every delivery, and keeps an attached SpanRecorder as its downstream.
+  std::unique_ptr<obs::InvariantChecker> checker;
+  if (cfg.check_invariants) {
+    obs::InvariantOptions iopts;
+    iopts.liveness_bound =
+        cfg.liveness_bound > 0 ? cfg.liveness_bound : auto_liveness_bound(cfg);
+    iopts.quorum_arbitration = mutex::algo_uses_quorum(cfg.algo);
+    checker = std::make_unique<obs::InvariantChecker>(network, iopts);
+    checker->attach_all(sites);
+  }
 
   ExperimentResult res;
   Metrics metrics(network);
@@ -144,6 +169,12 @@ ExperimentResult run_experiment(const ExperimentConfig& cfg) {
     res.permission_violations = auditor->violations();
     res.permission_grants_audited = auditor->grants_audited();
   }
+  if (checker) {
+    checker->finish(sim.now());
+    res.invariant_violations = checker->violations();
+    res.invariant_checks = checker->checks();
+    res.invariant_reports = checker->reports();
+  }
   res.sim_events = sim.events_executed();
   res.wall_ms = std::chrono::duration<double, std::milli>(
                     std::chrono::steady_clock::now() - wall_start)
@@ -166,6 +197,37 @@ ExperimentResult run_experiment(const ExperimentConfig& cfg) {
     reg.counter("net.flights.acquired") = ns.flights_acquired;
     reg.gauge("net.flights.pool") = static_cast<double>(network.flight_pool_size());
     reg.counter("mutex.stale_drops") = res.stale_drops;
+    if (checker) {
+      reg.counter("invariant.checks") = res.invariant_checks;
+      reg.counter("invariant.violations") = res.invariant_violations;
+    }
+
+    // Analytic-model conformance (Table 1), emitted for every run so each
+    // bench --json carries its divergence from the paper's closed forms.
+    const obs::ModelPrediction pred =
+        obs::predict(cfg.algo, cfg.n, res.mean_quorum_size);
+    if (pred.has_delay) {
+      // Refine the delay form by the observed relay mix: a proxied handoff
+      // costs 1T, a degraded arbiter relay 2T (see obs/model.h). Protocols
+      // that don't classify entries fall back to the bare Table 1 value.
+      const double pred_t = obs::mixed_sync_delay(
+          res.summary.contended_proxied, res.summary.contended_direct,
+          pred.sync_delay_t);
+      reg.gauge("model.sync_delay_pred_t") = pred_t;
+      reg.gauge("model_divergence_sync_delay") =
+          res.summary.contended_gaps == 0
+              ? 0
+              : obs::divergence_point(res.sync_delay_in_t, pred_t);
+    }
+    if (pred.has_msgs) {
+      reg.gauge("model.msgs_lo") = pred.msgs_lo;
+      reg.gauge("model.msgs_hi") = pred.msgs_hi;
+      reg.gauge("model_divergence_msgs") =
+          res.summary.completed == 0
+              ? 0
+              : obs::divergence_band(res.summary.wire_msgs_per_cs,
+                                     pred.msgs_lo, pred.msgs_hi);
+    }
   }
 
   if (cfg.capture != nullptr) {

@@ -51,6 +51,16 @@ struct ExperimentConfig {
   // algorithms, crash-free runs only — the auditor is not crash-aware).
   bool audit_permissions = false;
 
+  // Attach the online invariant checker (obs::InvariantChecker): safety,
+  // transfer-obligation conservation, FIFO, and the liveness watchdog run
+  // alongside the protocol; violations land in invariant_* below and fail
+  // SweepRunner integrity checks. Crash-aware, so it composes with
+  // `crashes` where audit_permissions does not.
+  bool check_invariants = false;
+  // Watchdog bound in ticks; 0 picks one from the run's scale (generous
+  // enough that the longest legal saturated wait stays quiet).
+  Time liveness_bound = 0;
+
   // Observability capture (src/obs): when set, the run records every
   // control message and span edge into *capture. Single-run only —
   // SweepRunner rejects a shared capture across multiple configs. Null
@@ -77,6 +87,12 @@ struct ExperimentResult {
   // Permission-auditor results (when ExperimentConfig::audit_permissions).
   uint64_t permission_violations = 0;
   uint64_t permission_grants_audited = 0;
+
+  // Invariant-checker results (when ExperimentConfig::check_invariants).
+  // reports holds up to 16 human-readable violation descriptions.
+  uint64_t invariant_violations = 0;
+  uint64_t invariant_checks = 0;
+  std::vector<std::string> invariant_reports;
 
   // Engine accounting (not a paper metric): simulator events executed and
   // host wall-clock spent by this run — the denominators of the perf

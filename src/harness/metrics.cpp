@@ -17,6 +17,7 @@ void Metrics::reset(Time now) {
   completed_ = 0;
   gap_sum_ = contended_gap_sum_ = 0;
   gap_count_ = contended_gap_count_ = 0;
+  contended_proxied_ = contended_direct_ = 0;
   waiting_sum_ = waiting_max_ = queueing_sum_ = response_sum_ = 0;
   per_site_completed_.assign(static_cast<size_t>(net_.size()), 0);
   waiting_samples_.clear();
@@ -35,7 +36,8 @@ void Metrics::bind_registry(obs::Registry* reg, Time mean_delay) {
   completed_counter_ = &reg->counter("cs.completed");
 }
 
-void Metrics::on_enter(SiteId site, Time now, Time demanded, Time requested) {
+void Metrics::on_enter(SiteId site, Time now, Time demanded, Time requested,
+                       int hops) {
   DQME_CHECK(demanded <= requested && requested <= now);
   if (inside_ > 0) ++violations_;  // Theorem 1 would be broken
   ++inside_;
@@ -48,6 +50,12 @@ void Metrics::on_enter(SiteId site, Time now, Time demanded, Time requested) {
       if (requested <= last_exit_) {
         contended_gap_sum_ += static_cast<double>(gap);
         ++contended_gap_count_;
+        // Classify the same gaps the contended delay averages, so the
+        // mixed-model prediction and the measurement share a population.
+        if (hops == 1)
+          ++contended_proxied_;
+        else if (hops == 2)
+          ++contended_direct_;
         if (gap_hist_ != nullptr) gap_hist_->record(static_cast<double>(gap));
       }
     }
@@ -118,6 +126,8 @@ Summary Metrics::summarize(Time now) const {
     s.sync_delay_contended =
         contended_gap_sum_ / static_cast<double>(contended_gap_count_);
   s.contended_gaps = contended_gap_count_;
+  s.contended_proxied = contended_proxied_;
+  s.contended_direct = contended_direct_;
   if (s.window > 0)
     s.throughput = static_cast<double>(completed_) /
                    static_cast<double>(s.window);

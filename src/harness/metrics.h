@@ -33,6 +33,11 @@ struct Summary {
   double sync_delay_mean = 0;       // all gaps
   double sync_delay_contended = 0;  // gaps with a waiting next entrant
   uint64_t contended_gaps = 0;
+  // Contended entries split by grant path (MutexSite::last_entry_hops):
+  // 1-hop proxy handoffs vs 2-hop arbiter relays. Feeds the analytic-model
+  // gate (obs::mixed_sync_delay); both 0 for protocols that don't classify.
+  uint64_t contended_proxied = 0;
+  uint64_t contended_direct = 0;
 
   double waiting_mean = 0;   // request issued -> CS entered
   double waiting_max = 0;
@@ -68,7 +73,10 @@ class Metrics {
 
   // `demanded` is when the application wanted the CS; `requested` when
   // request_cs() was issued (they differ under open-loop local queueing).
-  void on_enter(SiteId site, Time now, Time demanded, Time requested);
+  // `hops` classifies the grant that completed the entry (1 = proxied,
+  // 2 = arbiter relay, 0 = unclassified — see MutexSite::last_entry_hops).
+  void on_enter(SiteId site, Time now, Time demanded, Time requested,
+                int hops = 0);
   void on_exit(SiteId site, Time now);
   // The site crashed; if it was inside the CS its interval is discarded
   // (a crashed holder never exits, and the next entry is not a violation).
@@ -101,6 +109,8 @@ class Metrics {
   uint64_t gap_count_ = 0;
   double contended_gap_sum_ = 0;
   uint64_t contended_gap_count_ = 0;
+  uint64_t contended_proxied_ = 0;
+  uint64_t contended_direct_ = 0;
   double waiting_sum_ = 0;
   double waiting_max_ = 0;
   double queueing_sum_ = 0;

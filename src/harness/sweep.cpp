@@ -14,6 +14,12 @@ void check_run(const ExperimentResult& res, const ExperimentConfig& cfg) {
                  "mutual exclusion violated at seed " << cfg.seed);
   DQME_CHECK_MSG(res.drained_clean,
                  "requests left outstanding at seed " << cfg.seed);
+  DQME_CHECK_MSG(res.invariant_violations == 0,
+                 "invariant checker flagged seed "
+                     << cfg.seed << ": "
+                     << (res.invariant_reports.empty()
+                             ? "(no report)"
+                             : res.invariant_reports.front()));
 }
 
 }  // namespace
@@ -24,44 +30,56 @@ SweepRunner::SweepRunner(SweepOptions opts) : opts_(opts) {
 
 std::vector<ExperimentResult> SweepRunner::run(
     const std::vector<ExperimentConfig>& configs) const {
-  std::vector<ExperimentResult> results(configs.size());
-  if (configs.empty()) return results;
-
   if (configs.size() > 1)
     for (const ExperimentConfig& cfg : configs)
       DQME_CHECK_MSG(cfg.capture == nullptr,
                      "RunCapture is single-run: workers would race on a "
                      "capture shared across a sweep");
 
-  std::vector<std::exception_ptr> errors(configs.size());
+  std::vector<std::function<ExperimentResult()>> jobs;
+  jobs.reserve(configs.size());
+  for (const ExperimentConfig& cfg : configs)
+    jobs.push_back([this, &cfg] {
+      ExperimentResult res = run_experiment(cfg);
+      if (opts_.check_integrity) check_run(res, cfg);
+      return res;
+    });
+  return run_jobs(jobs);
+}
+
+std::vector<ExperimentResult> SweepRunner::run_jobs(
+    const std::vector<std::function<ExperimentResult()>>& jobs) const {
+  std::vector<ExperimentResult> results(jobs.size());
+  if (jobs.empty()) return results;
+
+  std::vector<std::exception_ptr> errors(jobs.size());
   std::atomic<size_t> cursor{0};
   auto worker = [&] {
     for (;;) {
       const size_t i = cursor.fetch_add(1, std::memory_order_relaxed);
-      if (i >= configs.size()) return;
+      if (i >= jobs.size()) return;
       try {
-        results[i] = run_experiment(configs[i]);
-        if (opts_.check_integrity) check_run(results[i], configs[i]);
+        results[i] = jobs[i]();
       } catch (...) {
         errors[i] = std::current_exception();
       }
     }
   };
 
-  int jobs = opts_.jobs;
-  if (jobs == 0) {
-    jobs = static_cast<int>(std::thread::hardware_concurrency());
-    if (jobs <= 0) jobs = 1;
+  int workers = opts_.jobs;
+  if (workers == 0) {
+    workers = static_cast<int>(std::thread::hardware_concurrency());
+    if (workers <= 0) workers = 1;
   }
-  if (static_cast<size_t>(jobs) > configs.size())
-    jobs = static_cast<int>(configs.size());
+  if (static_cast<size_t>(workers) > jobs.size())
+    workers = static_cast<int>(jobs.size());
 
-  if (jobs <= 1) {
+  if (workers <= 1) {
     worker();
   } else {
     std::vector<std::thread> pool;
-    pool.reserve(static_cast<size_t>(jobs));
-    for (int t = 0; t < jobs; ++t) pool.emplace_back(worker);
+    pool.reserve(static_cast<size_t>(workers));
+    for (int t = 0; t < workers; ++t) pool.emplace_back(worker);
     for (auto& th : pool) th.join();
   }
 

@@ -34,6 +34,13 @@ class SweepRunner {
   std::vector<ExperimentResult> run(
       const std::vector<ExperimentConfig>& configs) const;
 
+  // Same pool and determinism guarantees for arbitrary jobs — benches whose
+  // runs are not a plain run_experiment(cfg) (quorum combinatorics, the
+  // replica layer) produce an ExperimentResult themselves. No integrity
+  // check is applied; each job validates its own result.
+  std::vector<ExperimentResult> run_jobs(
+      const std::vector<std::function<ExperimentResult()>>& jobs) const;
+
  private:
   SweepOptions opts_;
 };

@@ -88,7 +88,8 @@ void Workload::issue(SiteId id, Time demanded) {
 void Workload::entered(SiteId id) {
   SiteState& st = sites_[static_cast<size_t>(id)];
   if (metrics_ != nullptr)
-    metrics_->on_enter(id, sim_.now(), st.demanded, st.requested);
+    metrics_->on_enter(id, sim_.now(), st.demanded, st.requested,
+                       st.site->last_entry_hops());
   const Time hold = sample_cs_duration();
   sim_.schedule_after(hold, [this, id] {
     SiteState& s = sites_[static_cast<size_t>(id)];

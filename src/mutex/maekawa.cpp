@@ -55,6 +55,9 @@ void MaekawaSite::handle_reply(const Message& m) {
     return;
   }
   voted_[m.src] = true;
+  // Maekawa replies always relay through the arbiter: release -> reply,
+  // the 2T synchronization delay the proposed algorithm's proxy removes.
+  set_entry_hops(2);
   try_enter();
 }
 

@@ -67,11 +67,20 @@ class MutexSite : public net::NetSite {
   }
 
   // Attach-time observability (src/obs): record the causal span edges of
-  // every request this site issues. Re-attaching replaces the observer.
+  // every request this site issues. Re-attaching replaces the observer; a
+  // new observer that wants to coexist (obs::InvariantChecker) reads the
+  // current one first and forwards to it.
   void attach_span_observer(SpanObserver* obs) { span_observer_ = obs; }
+  SpanObserver* span_observer() const { return span_observer_; }
   // Span of the in-flight request attempt; kNoSpan when idle (or for
   // protocols that do not thread spans yet).
   SpanId active_span() const { return active_span_; }
+
+  // How many wire hops the grant completing the latest CS entry travelled:
+  // 1 = proxy-forwarded reply (the §3 handoff), 2 = arbiter relay, 0 =
+  // protocol does not classify entries. Feeds the analytic-model gate
+  // (obs::mixed_sync_delay).
+  int last_entry_hops() const { return last_entry_hops_; }
 
   // Invoked at the instant the site enters the CS.
   std::function<void(SiteId)> on_enter;
@@ -112,6 +121,9 @@ class MutexSite : public net::NetSite {
     if (span_observer_) span_observer_->on_span_issue(id_, span, now());
   }
 
+  // Subclasses set this just before the enter_cs() a grant produces.
+  void set_entry_hops(int hops) { last_entry_hops_ = hops; }
+
   void note_stale_drop() { ++stale_drops_; }
   void note_stale_drop(net::MsgType t) {
     ++stale_drops_;
@@ -151,6 +163,7 @@ class MutexSite : public net::NetSite {
   SeqNum clock_ = 0;
   SpanObserver* span_observer_ = nullptr;
   SpanId active_span_ = kNoSpan;
+  int last_entry_hops_ = 0;
 };
 
 }  // namespace dqme::mutex

@@ -116,6 +116,7 @@ void Network::deliver(const Message& m) {
     stats_.dropped_at_crashed += 1;
     return;
   }
+  stats_.delivered_messages += 1;
   if (on_deliver) on_deliver(m);
   NetSite* site = sites_[static_cast<size_t>(m.dst)];
   DQME_CHECK_MSG(site != nullptr, "no receiver attached for site " << m.dst);
@@ -125,6 +126,7 @@ void Network::deliver(const Message& m) {
 void Network::crash(SiteId id) {
   DQME_CHECK(0 <= id && id < size());
   alive_[static_cast<size_t>(id)] = false;
+  if (on_crash) on_crash(id);
 }
 
 int Network::alive_count() const {

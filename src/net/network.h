@@ -47,10 +47,19 @@ struct NetworkStats {
   std::array<uint64_t, kNumMsgTypes> by_type{};
   uint64_t dropped_at_crashed = 0;  // deliveries suppressed by a crash
   uint64_t local_deliveries = 0;    // src == dst short-circuits (uncounted)
+  uint64_t delivered_messages = 0;  // handed to a receiver (local + wire)
   uint64_t flights_acquired = 0;    // flight-slot checkouts (pool traffic)
 
   uint64_t count(MsgType t) const {
     return by_type[static_cast<size_t>(t)];
+  }
+
+  // Messages staged but not yet resolved to a delivery or a crash drop.
+  // Conservation identity (obs::InvariantChecker): every staged message is
+  // eventually delivered or dropped, so this is 0 once a run quiesces.
+  uint64_t in_flight() const {
+    return control_messages + local_deliveries - delivered_messages -
+           dropped_at_crashed;
   }
 };
 
@@ -90,6 +99,11 @@ class Network {
   // Trace hook: invoked for every control message at delivery time, before
   // the receiving site sees it. Used by tests and the metrics layer.
   std::function<void(const Message&)> on_deliver;
+
+  // Crash hook: invoked when crash(id) flips a site to fail-silent, before
+  // the call returns. Chain like on_deliver; the invariant checker uses it
+  // to write off obligations a dead site can no longer discharge.
+  std::function<void(SiteId)> on_crash;
 
  private:
   static constexpr uint32_t kNilFlight = 0xffffffffu;

@@ -1,0 +1,304 @@
+#include "obs/invariants.h"
+
+#include <sstream>
+#include <utility>
+
+#include "obs/span.h"
+
+namespace dqme::obs {
+
+InvariantChecker::InvariantChecker(net::Network& net, InvariantOptions opts)
+    : net_(net), opts_(opts) {
+  auto previous = std::move(net.on_deliver);
+  net.on_deliver = [this, &net, previous = std::move(previous)](
+                       const net::Message& m) {
+    observe(m, net.simulator().now());
+    if (previous) previous(m);
+  };
+  auto prev_crash = std::move(net.on_crash);
+  net.on_crash = [this, prev_crash = std::move(prev_crash)](SiteId site) {
+    on_crash(site);
+    if (prev_crash) prev_crash(site);
+  };
+}
+
+void InvariantChecker::attach(mutex::MutexSite& site) {
+  mutex::SpanObserver* prev = site.span_observer();
+  if (prev != nullptr && prev != this) downstream_ = prev;
+  site.attach_span_observer(this);
+}
+
+void InvariantChecker::flag(const std::string& what) {
+  ++violations_;
+  if (reports_.size() < opts_.max_reports) reports_.push_back(what);
+}
+
+InvariantChecker::Held& InvariantChecker::holder_slot(SiteId arbiter) {
+  return holder_[arbiter];  // Held default-constructs to free (kNoSite)
+}
+
+bool InvariantChecker::is_active(const ReqId& req) const {
+  auto it = active_span_.find(req.site);
+  return it != active_span_.end() && it->second == span_of(req);
+}
+
+void InvariantChecker::discharge(SiteId arbiter, SiteId holder) {
+  auto it = transfers_.find({arbiter, holder});
+  if (it == transfers_.end()) return;
+  ++checks_;  // an obligation resolved the way Lemma 3's argument expects
+  transfers_.erase(it);
+}
+
+void InvariantChecker::progress(SpanId span, Time at) {
+  if (span == kNoSpan) return;
+  auto owner = span_owner_.find(span);
+  if (owner == span_owner_.end()) return;
+  auto watch = open_requests_.find(owner->second);
+  if (watch != open_requests_.end() && watch->second.span == span)
+    watch->second.last_progress = at;
+}
+
+void InvariantChecker::arm_watchdog() {
+  if (watchdog_armed_ || opts_.liveness_bound <= 0 || finished_) return;
+  watchdog_armed_ = true;
+  // Sweep at a quarter of the bound: a stall is flagged at most 1.25x the
+  // bound after its last progress edge, and the sweep count stays O(run /
+  // bound) — negligible next to message traffic.
+  net_.simulator().schedule_after(opts_.liveness_bound / 4,
+                                  [this] { watchdog_sweep(); });
+}
+
+void InvariantChecker::watchdog_sweep() {
+  watchdog_armed_ = false;
+  if (finished_) return;
+  const Time now = net_.simulator().now();
+  for (auto& [site, watch] : open_requests_) {
+    ++checks_;
+    if (watch.flagged || now - watch.last_progress <= opts_.liveness_bound)
+      continue;
+    watch.flagged = true;
+    std::ostringstream os;
+    os << "liveness: request " << format_span(watch.span) << " at site "
+       << site << " has made no progress for " << (now - watch.last_progress)
+       << " ticks (bound " << opts_.liveness_bound << ")";
+    flag(os.str());
+  }
+  // Keep sweeping only while requests are open; re-armed by the next issue
+  // otherwise, so a drained run's event queue empties.
+  if (!open_requests_.empty()) arm_watchdog();
+}
+
+void InvariantChecker::observe(const net::Message& m, Time at) {
+  using net::MsgType;
+
+  // FIFO: delivery on a channel must never present a message sent after
+  // one still undelivered — Network keeps a per-channel delivery floor, and
+  // the protocols' stale-message hardening (DESIGN.md D1) assumes it.
+  ++checks_;
+  Time& floor = fifo_floor_[{m.src, m.dst}];
+  if (m.sent_at < floor) {
+    std::ostringstream os;
+    os << "fifo: channel " << m.src << "->" << m.dst << " delivered "
+       << net::to_string(m.type) << " sent at " << m.sent_at
+       << " after a message sent at " << floor;
+    flag(os.str());
+  } else {
+    floor = m.sent_at;
+  }
+
+  progress(m.span, at);
+  if (!opts_.quorum_arbitration) return;
+
+  switch (m.type) {
+    case MsgType::kReply: {
+      if (m.arbiter == kNoSite) break;
+      ++checks_;
+      const SiteId grantee = m.req.site;
+      Held& holder = holder_slot(m.arbiter);
+      if (m.src != m.arbiter) discharge(m.arbiter, m.src);  // proxy did C.1
+      if (!is_active(m.req)) {
+        // Stale grant: the grantee has moved on (exited, aborted, or §6
+        // re-requested on a new span) and will drop this reply (D1). The
+        // arbitration it belonged to was already settled by the grantee's
+        // release, so it must not update — or be judged against — holder_.
+        break;
+      }
+      if (m.src == m.arbiter) {
+        // Direct grant: the arbiter believes its permission is free.
+        if (holder.site != kNoSite && holder.site != grantee) {
+          std::ostringstream os;
+          os << "permission: arbiter " << m.arbiter << " granted to "
+             << grantee << " at " << at << " while site " << holder.site
+             << " still holds its permission";
+          flag(os.str());
+        }
+        holder = Held{grantee, span_of(m.req)};
+      } else {
+        // Proxy-forwarded grant (§3 Step C): legal only from the current
+        // holder — or, when the release overtook the forwarded reply on a
+        // faster channel, the arbiter already points at the grantee.
+        if (holder.site == m.src) {
+          holder = Held{grantee, span_of(m.req)};
+        } else if (holder.site != grantee) {
+          std::ostringstream os;
+          os << "permission: site " << m.src << " forwarded arbiter "
+             << m.arbiter << "'s reply to " << grantee << " at " << at
+             << " without holding it (holder: " << holder.site << ")";
+          flag(os.str());
+        }
+      }
+      break;
+    }
+    case MsgType::kYield: {
+      // Holder returns the arbiter's permission (delivered at the arbiter).
+      // Matched on the full request, like the arbiter's lock_ == m.req.
+      Held& holder = holder_slot(m.arbiter);
+      if (holder.site == m.req.site && holder.span == span_of(m.req))
+        holder = Held{};
+      discharge(m.arbiter, m.req.site);
+      break;
+    }
+    case MsgType::kRelease: {
+      // release(i, j|max) delivered at arbiter m.dst: frees the permission
+      // or moves it to the request the releaser forwarded it to — unless
+      // that request is no longer live (crashed or abandoned), in which
+      // case the arbiter drops the stale forward and grants on (A.4 tail).
+      Held& holder = holder_slot(m.dst);
+      if (holder.site == m.req.site && holder.span == span_of(m.req))
+        holder = m.target.valid() && is_active(m.target)
+                     ? Held{m.target.site, span_of(m.target)}
+                     : Held{};
+      discharge(m.dst, m.req.site);
+      break;
+    }
+    case MsgType::kTransfer: {
+      // Arbiter asks its lock holder to forward the permission (§3 Step B).
+      // Open an obligation only when the holder will accept it (A.5): the
+      // delivered m.req names the holder's live request and the arbiter's
+      // permission is indeed held there. An early transfer — reply still in
+      // flight, so the holder ignores it — is re-sent or subsumed by the
+      // holder's own parameterized release, which discharges the same key.
+      ++checks_;
+      auto span = active_span_.find(m.dst);
+      const bool accepted = span != active_span_.end() &&
+                            span->second == span_of(m.req) &&
+                            holder_slot(m.arbiter).site == m.dst;
+      if (accepted)
+        transfers_[{m.arbiter, m.dst}] = Obligation{m.target, at};
+      break;
+    }
+    default:
+      break;  // requests/fails/inquires and non-mutex traffic: progress only
+  }
+}
+
+void InvariantChecker::on_crash(SiteId site) {
+  // Fail-silent crash (§6): nothing sent by `site` is delivered from now
+  // on, so write off everything only it could have discharged. The arbiters
+  // re-grant after the failure notice, which must not read as a violation.
+  cs_occupants_.erase(site);
+  active_span_.erase(site);
+  auto watch = open_requests_.find(site);
+  if (watch != open_requests_.end()) {
+    span_owner_.erase(watch->second.span);
+    open_requests_.erase(watch);
+  }
+  for (auto& [arbiter, holder] : holder_)
+    if (holder.site == site) holder = Held{};
+  for (auto it = transfers_.begin(); it != transfers_.end();) {
+    if (it->first.first == site || it->first.second == site) {
+      ++checks_;
+      it = transfers_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+void InvariantChecker::on_span_issue(SiteId site, SpanId span, Time at) {
+  if (span != kNoSpan) {
+    // A fresh issue from a site with an open request is the §6 recovery
+    // path abandoning the old quorum: the old watch moves to the new span.
+    auto prev = open_requests_.find(site);
+    if (prev != open_requests_.end()) span_owner_.erase(prev->second.span);
+    active_span_[site] = span;
+    open_requests_[site] = Watch{span, at, false};
+    span_owner_[span] = site;
+    arm_watchdog();
+  }
+  if (downstream_) downstream_->on_span_issue(site, span, at);
+}
+
+void InvariantChecker::on_span_enter(SiteId site, SpanId span, Time at) {
+  ++checks_;
+  if (!cs_occupants_.empty()) {
+    std::ostringstream os;
+    os << "safety: site " << site << " entered the CS at " << at << " (span "
+       << format_span(span) << ") while occupied by";
+    for (const auto& [other, other_span] : cs_occupants_)
+      os << " site " << other << " (span " << format_span(other_span) << ")";
+    flag(os.str());
+  }
+  cs_occupants_[site] = span;
+  auto watch = open_requests_.find(site);
+  if (watch != open_requests_.end()) {
+    span_owner_.erase(watch->second.span);
+    open_requests_.erase(watch);
+  }
+  if (downstream_) downstream_->on_span_enter(site, span, at);
+}
+
+void InvariantChecker::on_span_exit(SiteId site, SpanId span, Time at) {
+  cs_occupants_.erase(site);
+  active_span_.erase(site);
+  if (downstream_) downstream_->on_span_exit(site, span, at);
+}
+
+void InvariantChecker::on_span_abort(SiteId site, SpanId span, Time at) {
+  active_span_.erase(site);
+  auto watch = open_requests_.find(site);
+  if (watch != open_requests_.end()) {
+    span_owner_.erase(watch->second.span);
+    open_requests_.erase(watch);
+  }
+  if (downstream_) downstream_->on_span_abort(site, span, at);
+}
+
+void InvariantChecker::finish(Time now) {
+  if (finished_) return;
+  finished_ = true;
+
+  ++checks_;
+  const auto& stats = net_.stats();
+  if (stats.in_flight() != 0) {
+    std::ostringstream os;
+    os << "conservation: " << stats.in_flight()
+       << " staged message(s) neither delivered nor dropped at quiescence";
+    flag(os.str());
+  }
+
+  for (const auto& [key, ob] : transfers_) {
+    ++checks_;
+    std::ostringstream os;
+    os << "conservation: transfer from arbiter " << key.first << " to holder "
+       << key.second << " (target " << format_span(span_of(ob.target))
+       << ", sent at " << ob.opened_at
+       << ") never discharged by a proxied reply or release";
+    flag(os.str());
+  }
+
+  if (opts_.liveness_bound > 0) {
+    for (const auto& [site, watch] : open_requests_) {
+      ++checks_;
+      if (watch.flagged || now - watch.last_progress <= opts_.liveness_bound)
+        continue;
+      std::ostringstream os;
+      os << "liveness: request " << format_span(watch.span) << " at site "
+         << site << " still open at the end of the run, no progress for "
+         << (now - watch.last_progress) << " ticks";
+      flag(os.str());
+    }
+  }
+}
+
+}  // namespace dqme::obs

@@ -1,0 +1,62 @@
+#include "obs/model.h"
+
+#include <cmath>
+
+namespace dqme::obs {
+
+ModelPrediction predict(mutex::Algo algo, int n, double k) {
+  ModelPrediction p;
+  const double nn = static_cast<double>(n);
+  switch (algo) {
+    case mutex::Algo::kLamport:
+      p = {true, 3 * (nn - 1), 3 * (nn - 1), true, 1};
+      break;
+    case mutex::Algo::kRicartAgrawala:
+      p = {true, 2 * (nn - 1), 2 * (nn - 1), true, 1};
+      break;
+    case mutex::Algo::kRoucairolCarvalho:
+      // 0..2(N-1) depending on how permissions are cached; delay stays T.
+      p = {true, 0, 2 * (nn - 1), true, 1};
+      break;
+    case mutex::Algo::kMaekawa:
+      p = {true, 3 * (k - 1), 5 * (k - 1), true, 2};
+      break;
+    case mutex::Algo::kSuzukiKasami:
+      // N broadcast + 1 token when the token must move; 0 when held.
+      p = {true, 0, nn, true, 1};
+      break;
+    case mutex::Algo::kRaymond:
+      // O(log N) messages and delay: no constant closed form to gate on.
+      break;
+    case mutex::Algo::kCaoSinghal:
+      p = {true, 3 * (k - 1), 6 * (k - 1), true, 1};
+      break;
+    case mutex::Algo::kCaoSinghalNoProxy:
+      // The ablation reverts to the release->arbiter->reply relay: Maekawa's
+      // delay at the proposed algorithm's message budget.
+      p = {true, 3 * (k - 1), 6 * (k - 1), true, 2};
+      break;
+  }
+  return p;
+}
+
+double mixed_sync_delay(uint64_t proxied, uint64_t direct, double fallback_t) {
+  const uint64_t total = proxied + direct;
+  if (total == 0) return fallback_t;
+  return (static_cast<double>(proxied) + 2.0 * static_cast<double>(direct)) /
+         static_cast<double>(total);
+}
+
+double divergence_point(double measured, double predicted) {
+  if (predicted == 0) return 0;
+  return std::abs(measured - predicted) / predicted;
+}
+
+double divergence_band(double measured, double lo, double hi) {
+  if (measured >= lo && measured <= hi) return 0;
+  const double bound = measured < lo ? lo : hi;
+  const double denom = bound != 0 ? bound : (hi != 0 ? hi : 1);
+  return std::abs(measured - bound) / denom;
+}
+
+}  // namespace dqme::obs

@@ -1,0 +1,55 @@
+// Analytic predictor for the paper's Table 1 closed forms.
+//
+// For each algorithm the paper states a per-CS message-count band and a
+// synchronization delay in units of the mean message delay T. predict()
+// restates those forms for a concrete (N, K); run_experiment() compares
+// them against every run's measured numbers and emits the result as
+// model_divergence_* gauges — the empirical-vs-analytic cross-check the
+// simulation-methodology literature asks reproduction studies to keep
+// always-on.
+//
+// The bare Table 1 delay for the proposed algorithm is 1·T — the proxied
+// handoff. A real run mixes that with the degraded 2·T relay: a handoff
+// rides the proxy only when the arbiter's `transfer` reaches the holder
+// before it exits (docs/OBSERVABILITY.md: with E << T a direction can
+// degrade). mixed_sync_delay() refines the prediction from the observed
+// relay mix (1-hop vs 2-hop contended entries, counted by the harness), so
+// the conformance gate checks the *closed form applied to the observed case
+// split* — tight (<5%) under constant delay — instead of gating on an
+// assumption about the workload's case frequencies.
+#pragma once
+
+#include "mutex/factory.h"
+
+namespace dqme::obs {
+
+struct ModelPrediction {
+  // Messages per CS execution: [msgs_lo, msgs_hi] band (paper's "3(K-1) to
+  // 6(K-1)" style statements). has_msgs false = no closed form (Raymond).
+  bool has_msgs = false;
+  double msgs_lo = 0;
+  double msgs_hi = 0;
+
+  // Synchronization delay in units of T. has_delay false = no constant
+  // closed form (Raymond's O(log N)).
+  bool has_delay = false;
+  double sync_delay_t = 0;
+};
+
+// Table 1 for a concrete configuration. `k` is the mean quorum size (the
+// paper's K); ignored by the O(N) and token baselines.
+ModelPrediction predict(mutex::Algo algo, int n, double k);
+
+// Expected contended handoff delay when `proxied` entries completed on the
+// 1-hop proxy path and `direct` on the 2-hop release->arbiter->reply relay.
+// Falls back to `fallback_t` when no contended entries were classified.
+double mixed_sync_delay(uint64_t proxied, uint64_t direct, double fallback_t);
+
+// |measured - predicted| / predicted; 0 when predicted is 0.
+double divergence_point(double measured, double predicted);
+
+// 0 inside [lo, hi]; otherwise the relative distance to the nearest bound
+// (denominator = that bound, or hi when the bound is 0).
+double divergence_band(double measured, double lo, double hi);
+
+}  // namespace dqme::obs

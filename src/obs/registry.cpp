@@ -126,7 +126,8 @@ void Registry::write_json(std::ostream& os) const {
     write_json_string(os, name);
     os << ": {\"lo\": " << h.lo() << ", \"width\": " << h.width()
        << ", \"count\": " << h.count() << ", \"sum\": " << h.sum()
-       << ", \"underflow\": " << h.underflow()
+       << ", \"p50\": " << h.p50() << ", \"p95\": " << h.p95()
+       << ", \"p99\": " << h.p99() << ", \"underflow\": " << h.underflow()
        << ", \"overflow\": " << h.overflow() << ", \"buckets\": [";
     for (size_t b = 0; b < h.buckets().size(); ++b)
       os << (b ? ", " : "") << h.buckets()[b];

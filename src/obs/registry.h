@@ -64,6 +64,9 @@ class Histogram {
   // Bucket-midpoint estimate of the p-quantile (p in [0,1]); out-of-range
   // mass resolves to the histogram edges.
   double percentile(double p) const;
+  double p50() const { return percentile(0.50); }
+  double p95() const { return percentile(0.95); }
+  double p99() const { return percentile(0.99); }
 
   void merge(const Histogram& other);
 
@@ -99,8 +102,9 @@ class Registry {
   void merge(const Registry& other);
 
   // One flat JSON object: {"counters": {...}, "gauges": {...},
-  // "histograms": {name: {lo, width, count, sum, underflow, overflow,
-  // buckets: [...]}}}. Keys iterate in sorted order — deterministic output.
+  // "histograms": {name: {lo, width, count, sum, p50, p95, p99, underflow,
+  // overflow, buckets: [...]}}}. Keys iterate in sorted order —
+  // deterministic output.
   void write_json(std::ostream& os) const;
 
   const std::map<std::string, uint64_t, std::less<>>& counters() const {

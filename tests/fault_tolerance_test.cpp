@@ -215,6 +215,29 @@ TEST(FaultTolerance, BackToBackCrashesDuringRecovery) {
   EXPECT_GT(r.summary.completed, 0u);
 }
 
+// The invariant checker must stay quiet across crashes: under saturation
+// every site has transfers in flight, so crashing busy arbiters mid-run
+// exercises the checker's ledger write-off paths (crashed holders, stale
+// grants after §6 recovery, recovery releases racing fresh grants). A
+// false positive here would poison every fault-tolerance CI gate.
+TEST(FaultTolerance, CheckerStaysQuietWhenArbiterCrashesMidTransfer) {
+  for (uint64_t seed : {3u, 19u, 42u}) {
+    ExperimentConfig cfg = ft_cfg("tree", 15, seed);
+    cfg.check_invariants = true;
+    // Root and an internal node: arbiters for most of the tree's quorums,
+    // so at crash time each is mid-tenure with accepted transfers queued.
+    cfg.crashes.push_back({cfg.warmup + 150'000, 0});
+    cfg.crashes.push_back({cfg.warmup + 450'000, 1});
+    ExperimentResult r = harness::run_experiment(cfg);
+    EXPECT_EQ(r.summary.violations, 0u) << "seed " << seed;
+    EXPECT_EQ(r.invariant_violations, 0u)
+        << "seed " << seed << ": "
+        << (r.invariant_reports.empty() ? "" : r.invariant_reports.front());
+    EXPECT_GT(r.invariant_checks, 1000u);
+    EXPECT_GT(r.summary.completed, 0u);
+  }
+}
+
 // ---- §6 arbiter scrub cases at message level ----
 // Craft a deterministic state at one arbiter, deliver a failure notice,
 // and check each printed case of the recovery protocol.

@@ -35,6 +35,17 @@ TEST(Histogram, PercentileUsesBucketMidpoints) {
   EXPECT_DOUBLE_EQ(h.percentile(0.95), 95);
 }
 
+TEST(Histogram, QuantileAccessorsMatchPercentile) {
+  Histogram h(0, 10, 10);
+  for (int i = 0; i < 90; ++i) h.record(5);
+  for (int i = 0; i < 10; ++i) h.record(95);
+  EXPECT_DOUBLE_EQ(h.p50(), h.percentile(0.50));
+  EXPECT_DOUBLE_EQ(h.p95(), h.percentile(0.95));
+  EXPECT_DOUBLE_EQ(h.p99(), h.percentile(0.99));
+  EXPECT_DOUBLE_EQ(h.p50(), 5);
+  EXPECT_DOUBLE_EQ(h.p99(), 95);
+}
+
 TEST(Histogram, MergeAddsBucketwise) {
   Histogram a(0, 10, 3), b(0, 10, 3);
   a.record(5);
@@ -129,6 +140,10 @@ TEST(Registry, WriteJsonEmitsSortedDeterministicObject) {
   EXPECT_LT(s.find("\"a.count\""), s.find("\"b.count\""));
   EXPECT_NE(s.find("\"gauges\": {\"depth\": 4.5}"), std::string::npos);
   EXPECT_NE(s.find("\"buckets\": [1, 0]"), std::string::npos);
+  // Quantiles ride along so bench --json consumers need no bucket math.
+  EXPECT_NE(s.find("\"p50\": "), std::string::npos);
+  EXPECT_NE(s.find("\"p95\": "), std::string::npos);
+  EXPECT_NE(s.find("\"p99\": "), std::string::npos);
 }
 
 TEST(Registry, ExperimentRunsFillAndMergeRegistries) {
