@@ -282,15 +282,41 @@ int main(int argc, char** argv) {
       measure_events_per_sec<BaselineSimulator>(events, repeats);
   const double speedup = slab / baseline;
 
-  // End-to-end: one saturated simulated second of the paper's algorithm.
+  // End-to-end: one saturated simulated second per algorithm, fixed N and
+  // seed. cao_singhal is the headline row (e2e_events_per_sec, the number
+  // the perf gate tracks); maekawa and suzuki_kasami pin the competitors so
+  // a hot-path regression that only hits one protocol family still shows.
+  struct E2eRow {
+    const char* name;
+    dqme::mutex::Algo algo;
+    double eps = 0;
+    dqme::harness::ExperimentResult result;
+  };
+  E2eRow e2e_rows[] = {
+      {"cao_singhal", dqme::mutex::Algo::kCaoSinghal, 0, {}},
+      {"maekawa", dqme::mutex::Algo::kMaekawa, 0, {}},
+      {"suzuki_kasami", dqme::mutex::Algo::kSuzukiKasami, 0, {}},
+  };
   dqme::harness::ExperimentConfig cfg;
-  cfg.algo = dqme::mutex::Algo::kCaoSinghal;
   cfg.n = 25;
   cfg.warmup = 0;
   cfg.measure = opts.quick ? 250'000 : 1'000'000;
-  const auto r = dqme::harness::run_experiment(cfg);
-  const double e2e_eps =
-      static_cast<double>(r.sim_events) / (r.wall_ms / 1000.0);
+  const int e2e_repeats = opts.quick ? 1 : 3;
+  for (E2eRow& row : e2e_rows) {
+    cfg.algo = row.algo;
+    for (int i = 0; i < e2e_repeats; ++i) {
+      auto res = dqme::harness::run_experiment(cfg);
+      const double eps =
+          static_cast<double>(res.sim_events) / (res.wall_ms / 1000.0);
+      if (eps > row.eps) {
+        row.eps = eps;
+        row.result = std::move(res);
+      }
+    }
+  }
+  const auto& r = e2e_rows[0].result;  // cao_singhal, the headline
+  const double e2e_eps = e2e_rows[0].eps;
+  cfg.algo = dqme::mutex::Algo::kCaoSinghal;
 
   // Slab profiling counters under the churn load, plus the network's pool
   // recycling rate from the e2e run's registry: acquired >> pool size means
@@ -316,10 +342,12 @@ int main(int argc, char** argv) {
             << "M events/s\n"
             << "  speedup:  " << dqme::harness::Table::num(speedup, 2)
             << "x\n"
-            << "  end-to-end experiment: "
-            << dqme::harness::Table::num(e2e_eps / 1e6, 2)
-            << "M events/s\n"
-            << "  slab profile (churn): peak_heap=" << prof.peak_heap
+            << "  end-to-end experiment (best of " << e2e_repeats << "):\n";
+  for (const E2eRow& row : e2e_rows)
+    std::cout << "    " << row.name << ": "
+              << dqme::harness::Table::num(row.eps / 1e6, 2)
+              << "M events/s\n";
+  std::cout << "  slab profile (churn): peak_heap=" << prof.peak_heap
             << " slab_capacity=" << prof.slab_capacity
             << " compactions=" << prof.compactions << " tombstone_ratio="
             << dqme::harness::Table::num(prof.tombstone_ratio, 3)
@@ -332,6 +360,9 @@ int main(int argc, char** argv) {
        {"events_per_sec_baseline", baseline, 0},
        {"slab_speedup", speedup, 0},
        {"e2e_events_per_sec", e2e_eps, 0},
+       {"e2e_events_per_sec_cao_singhal", e2e_rows[0].eps, 0},
+       {"e2e_events_per_sec_maekawa", e2e_rows[1].eps, 0},
+       {"e2e_events_per_sec_suzuki_kasami", e2e_rows[2].eps, 0},
        {"slab_scheduled", static_cast<double>(prof.scheduled), 0},
        {"slab_cancelled", static_cast<double>(prof.cancelled), 0},
        {"slab_peak_heap", static_cast<double>(prof.peak_heap), 0},

@@ -1,0 +1,99 @@
+#!/usr/bin/env python3
+"""Perf smoke gate: fresh micro_core numbers vs the committed baseline.
+
+Usage:
+    check_perf.py FRESH.json COMMITTED.json [--tolerance 0.35] [--out REPORT.json]
+
+Compares the throughput metrics that PR 4 optimised — `e2e_events_per_sec`
+(protocol + network on the event loop) and `events_per_sec_slab` (the raw
+slab event store) — between a fresh `micro_core --quick --json` run and the
+committed `BENCH_micro_core.json`. A metric fails when the fresh value drops
+more than `--tolerance` (default 35%) below the committed one; faster is
+always fine. The tolerance is deliberately generous: quick mode uses a
+shorter churn/measure window and CI machines are slower and noisier than the
+machine the baseline was recorded on — this gate exists to catch hot-path
+regressions (an accidental per-message allocation is a 2x hit, not a 35%
+one), not to benchmark CI hardware.
+
+Exit status: 0 when every gated metric passes, 1 otherwise. With --out the
+full comparison is written as JSON for the CI artifact.
+"""
+
+import argparse
+import json
+import sys
+
+GATED_METRICS = ["e2e_events_per_sec", "events_per_sec_slab"]
+
+
+def load_metrics(path):
+    with open(path) as f:
+        doc = json.load(f)
+    return {row["metric"]: row["mean"] for row in doc.get("metrics", [])}
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("fresh", help="JSON from the fresh micro_core run")
+    ap.add_argument("committed", help="committed BENCH_micro_core.json")
+    ap.add_argument("--tolerance", type=float, default=0.35,
+                    help="max allowed fractional drop (default 0.35)")
+    ap.add_argument("--out", help="write the comparison report as JSON")
+    args = ap.parse_args()
+
+    fresh = load_metrics(args.fresh)
+    committed = load_metrics(args.committed)
+
+    rows = []
+    ok = True
+    for metric in GATED_METRICS:
+        if metric not in fresh or metric not in committed:
+            rows.append({"metric": metric, "status": "missing"})
+            ok = False
+            continue
+        base = committed[metric]
+        got = fresh[metric]
+        ratio = got / base if base else float("inf")
+        passed = ratio >= 1.0 - args.tolerance
+        ok = ok and passed
+        rows.append({
+            "metric": metric,
+            "committed": base,
+            "fresh": got,
+            "ratio": ratio,
+            "floor": 1.0 - args.tolerance,
+            "status": "pass" if passed else "FAIL",
+        })
+
+    # Per-algorithm rows are informational (no committed quick-mode baseline
+    # to hold them to) but land in the report so trends are visible.
+    info = {m: v for m, v in fresh.items()
+            if m.startswith("e2e_events_per_sec_")}
+
+    width = max(len(m) for m in GATED_METRICS) + 2
+    for row in rows:
+        if row["status"] == "missing":
+            print(f"{row['metric']:<{width}} MISSING from one of the inputs")
+            continue
+        print(f"{row['metric']:<{width}} committed={row['committed']:>14,.0f}"
+              f"  fresh={row['fresh']:>14,.0f}  ratio={row['ratio']:.3f}"
+              f"  (floor {row['floor']:.2f})  {row['status']}")
+    for metric in sorted(info):
+        print(f"{metric:<{width}} fresh={info[metric]:>14,.0f}  (info only)")
+
+    if args.out:
+        with open(args.out, "w") as f:
+            json.dump({"ok": ok, "tolerance": args.tolerance,
+                       "gated": rows, "info": info}, f, indent=2)
+            f.write("\n")
+
+    if not ok:
+        print("perf gate FAILED: hot-path throughput regressed past the "
+              "tolerance; see rows above", file=sys.stderr)
+        return 1
+    print("perf gate passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

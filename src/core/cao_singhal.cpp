@@ -17,12 +17,12 @@ CaoSinghalSite::CaoSinghalSite(SiteId id, net::Network& net,
   DQME_CHECK(quorums.num_sites() == net.size());
 }
 
-void CaoSinghalSite::send_to(SiteId dst, std::vector<Message> msgs) {
-  DQME_CHECK(!msgs.empty());
+void CaoSinghalSite::send_to(SiteId dst, const Message* msgs, size_t n) {
+  DQME_CHECK(n > 0);
   if (opt_.piggyback) {
-    net().send_bundle(id(), dst, std::move(msgs));
+    net().send_bundle(id(), dst, msgs, n);
   } else {
-    for (Message& m : msgs) net().send(id(), dst, std::move(m));
+    for (size_t i = 0; i < n; ++i) net().send(id(), dst, msgs[i]);
   }
 }
 
@@ -51,18 +51,14 @@ void CaoSinghalSite::begin_request() {
   failed_ = false;
   tran_stack_.clear();
   inq_queue_.clear();
-  voted_.clear();
-  for (SiteId j : req_set_) {
-    voted_[j] = false;
-    net().send(id(), j, net::make_request(my_req_));
-  }
+  voted_.assign(req_set_);
+  for (SiteId j : req_set_) net().send(id(), j, net::make_request(my_req_));
 }
 
 // Step B: enter once every arbiter's permission is held.
 void CaoSinghalSite::try_enter() {
   if (!requesting()) return;
-  for (const auto& [arbiter, has] : voted_)
-    if (!has) return;
+  if (!voted_.all()) return;
   // Deferred inquires die here: the release at exit answers them (D2).
   inq_queue_.clear();
   enter_cs();
@@ -74,15 +70,16 @@ void CaoSinghalSite::handle_reply(const Message& m) {
     note_stale_drop(MsgType::kReply);
     return;
   }
-  auto it = voted_.find(m.arbiter);
-  DQME_CHECK_MSG(it != voted_.end(),
+  const int pos = voted_.find(m.arbiter);
+  DQME_CHECK_MSG(pos >= 0,
                  "reply for arbiter " << m.arbiter << " not in req_set of "
                                       << id());
-  if (it->second) {  // duplicate grant would be a protocol error upstream
+  const auto p = static_cast<size_t>(pos);
+  if (voted_.test(p)) {  // duplicate grant would be a protocol error upstream
     note_stale_drop(MsgType::kReply);
     return;
   }
-  it->second = true;
+  voted_.grant(p);
   // "first check if there is any inquire that came from the same sender as
   // that of the reply. If so, process this inquire."
   auto q = std::find(inq_queue_.begin(), inq_queue_.end(), m.arbiter);
@@ -115,13 +112,13 @@ void CaoSinghalSite::handle_inquire(const Message& m) {
 // A.3 body, also re-run when the matching reply or a fail arrives.
 void CaoSinghalSite::process_inquire(SiteId arbiter) {
   DQME_CHECK(requesting());
-  auto it = voted_.find(arbiter);
-  DQME_CHECK_MSG(it != voted_.end(),
+  const int pos = voted_.find(arbiter);
+  DQME_CHECK_MSG(pos >= 0,
                  "inquire from non-arbiter " << arbiter << " at " << id());
-  if (it->second && failed_) {
+  if (voted_.test(static_cast<size_t>(pos)) && failed_) {
     // Give the permission back and cancel any forwarding duty we accepted
     // on this arbiter's behalf.
-    it->second = false;
+    voted_.revoke(static_cast<size_t>(pos));
     ++stats_.yields_sent;
     std::erase_if(tran_stack_, [&](const TranEntry& e) {
       return e.arbiter == arbiter;
@@ -161,9 +158,9 @@ void CaoSinghalSite::handle_transfer(const Message& m) {
     note_stale_drop(MsgType::kTransfer);
     return;
   }
-  auto it = voted_.find(m.arbiter);
-  DQME_CHECK(it != voted_.end());
-  if (!it->second) {
+  const int pos = voted_.find(m.arbiter);
+  DQME_CHECK(pos >= 0);
+  if (!voted_.test(static_cast<size_t>(pos))) {
     // Outdated (we yielded this permission) or early (the forwarded reply
     // has not reached us). Both are discarded per A.5; in the early case
     // the arbiter recovers through the release(i, max) path.
@@ -175,30 +172,59 @@ void CaoSinghalSite::handle_transfer(const Message& m) {
 }
 
 // Step C: exit protocol — forward replies as proxy, then notify arbiters.
+// The grouping the node-based maps used to produce — destinations visited
+// in ascending order, each bundle holding that destination's forwarded
+// replies (arbiter-ascending) followed by its release — is reproduced here
+// with three scratch vectors whose capacity survives across tenures, so a
+// CS exit allocates nothing in steady state.
 void CaoSinghalSite::do_release() {
   const ReqId done = my_req_;
   // C.1: honour the newest transfer per arbiter (stack order), discarding
   // superseded ones from the same sender.
-  std::map<SiteId, ReqId> forwarded;  // arbiter -> request forwarded to
-  for (auto it = tran_stack_.rbegin(); it != tran_stack_.rend(); ++it)
-    forwarded.emplace(it->arbiter, it->target);
+  fwd_scratch_.clear();
+  for (auto it = tran_stack_.rbegin(); it != tran_stack_.rend(); ++it) {
+    bool superseded = false;
+    for (const TranEntry& e : fwd_scratch_)
+      if (e.arbiter == it->arbiter) {
+        superseded = true;
+        break;
+      }
+    if (!superseded) fwd_scratch_.push_back(*it);
+  }
   tran_stack_.clear();
+  std::sort(
+      fwd_scratch_.begin(), fwd_scratch_.end(),
+      [](const TranEntry& a, const TranEntry& b) { return a.arbiter < b.arbiter; });
 
   // Group everything exit-bound by destination so replies forwarded on
   // behalf of several arbiters to the same next entrant ride together.
-  std::map<SiteId, std::vector<Message>> out;
-  for (const auto& [arbiter, target] : forwarded) {
-    out[target.site].push_back(net::make_reply(arbiter, target));
-    ++stats_.replies_forwarded;
+  dst_scratch_.clear();
+  for (const TranEntry& e : fwd_scratch_) dst_scratch_.push_back(e.target.site);
+  dst_scratch_.insert(dst_scratch_.end(), req_set_.begin(), req_set_.end());
+  std::sort(dst_scratch_.begin(), dst_scratch_.end());
+  dst_scratch_.erase(std::unique(dst_scratch_.begin(), dst_scratch_.end()),
+                     dst_scratch_.end());
+
+  for (SiteId dst : dst_scratch_) {
+    out_scratch_.clear();
+    for (const TranEntry& e : fwd_scratch_) {
+      if (e.target.site != dst) continue;
+      out_scratch_.push_back(net::make_reply(e.arbiter, e.target));
+      ++stats_.replies_forwarded;
+    }
+    if (std::find(req_set_.begin(), req_set_.end(), dst) != req_set_.end()) {
+      // C.2: release(i, j) tells the arbiter a reply went to S_j on its
+      // behalf; release(i, max) tells it nothing was forwarded.
+      ReqId fwd;
+      for (const TranEntry& e : fwd_scratch_)
+        if (e.arbiter == dst) {
+          fwd = e.target;
+          break;
+        }
+      out_scratch_.push_back(net::make_release(done, fwd));
+    }
+    send_to(dst, out_scratch_.data(), out_scratch_.size());
   }
-  // C.2: release(i, j) tells the arbiter a reply went to S_j on its behalf;
-  // release(i, max) tells it nothing was forwarded.
-  for (SiteId j : req_set_) {
-    auto f = forwarded.find(j);
-    const ReqId fwd = f == forwarded.end() ? ReqId{} : f->second;
-    out[j].push_back(net::make_release(done, fwd));
-  }
-  for (auto& [dst, msgs] : out) send_to(dst, std::move(msgs));
 
   my_req_ = ReqId{};
   voted_.clear();
@@ -219,7 +245,7 @@ void CaoSinghalSite::handle_request(const Message& m) {
   const ReqId r = m.req;
   // A site issues requests one at a time, so an older queued request from
   // the same site has been abandoned (§6 recovery) — supersede it.
-  std::erase_if(req_queue_, [&](const ReqId& q) { return q.site == r.site; });
+  req_queue_.erase_if([&](const ReqId& q) { return q.site == r.site; });
 
   if (!lock_.valid()) {
     DQME_CHECK_MSG(req_queue_.empty(),
@@ -233,7 +259,7 @@ void CaoSinghalSite::handle_request(const Message& m) {
   }
 
   const bool have_head = !req_queue_.empty();
-  const ReqId head = have_head ? *req_queue_.begin() : ReqId{};
+  const ReqId head = have_head ? req_queue_.front() : ReqId{};
 
   if (r < lock_ && (!have_head || r < head)) {
     // Cases 1 (queue empty), 5 (r < lock < head), 4 (r < head < lock):
@@ -248,14 +274,14 @@ void CaoSinghalSite::handle_request(const Message& m) {
     } else {
       ++case_stats_.c5_beats_lock;
     }
-    std::vector<Message> bundle;
+    Message bundle[2];
+    size_t nb = 0;
     if (!inquired_this_tenure_) {
       inquired_this_tenure_ = true;
-      bundle.push_back(net::make_inquire(id(), lock_));
+      bundle[nb++] = net::make_inquire(id(), lock_);
     }
-    if (opt_.proxy_transfer)
-      bundle.push_back(net::make_transfer(r, id(), lock_));
-    if (!bundle.empty()) send_to(lock_.site, std::move(bundle));
+    if (opt_.proxy_transfer) bundle[nb++] = net::make_transfer(r, id(), lock_);
+    if (nb > 0) send_to(lock_.site, bundle, nb);
   } else if (!have_head || r < head) {
     // Cases 2 (queue empty) and 6 (lock < r < head): r is the best waiter
     // but the holder outranks it. r fails — so it will yield elsewhere if
@@ -283,32 +309,33 @@ void CaoSinghalSite::grant_next_from_queue() {
     lock_ = ReqId{};
     return;
   }
-  const ReqId head = *req_queue_.begin();
-  req_queue_.erase(req_queue_.begin());
+  const ReqId head = req_queue_.front();
+  req_queue_.pop_front();
   lock_ = head;
-  std::vector<Message> bundle;
-  bundle.push_back(net::make_reply(id(), head));
+  Message bundle[2];
+  size_t nb = 0;
+  bundle[nb++] = net::make_reply(id(), head);
   ++stats_.replies_direct;
   if (opt_.proxy_transfer && !req_queue_.empty())
-    bundle.push_back(net::make_transfer(*req_queue_.begin(), id(), head));
-  send_to(head.site, std::move(bundle));
+    bundle[nb++] = net::make_transfer(req_queue_.front(), id(), head);
+  send_to(head.site, bundle, nb);
 }
 
 void CaoSinghalSite::send_proxy_update() {
   if (!lock_.valid() || req_queue_.empty()) return;
-  const ReqId head = *req_queue_.begin();
-  std::vector<Message> bundle;
+  const ReqId head = req_queue_.front();
+  Message bundle[2];
+  size_t nb = 0;
   // D6: a stale forward can install a lock holder that the queue head
   // already outranks, with the in-flight superseding transfer lost. Restore
   // the invariant that such a holder has an inquire outstanding, or the
   // head could wait forever behind a blocked holder.
   if (head < lock_ && !inquired_this_tenure_) {
     inquired_this_tenure_ = true;
-    bundle.push_back(net::make_inquire(id(), lock_));
+    bundle[nb++] = net::make_inquire(id(), lock_);
   }
-  if (opt_.proxy_transfer)
-    bundle.push_back(net::make_transfer(head, id(), lock_));
-  if (!bundle.empty()) send_to(lock_.site, std::move(bundle));
+  if (opt_.proxy_transfer) bundle[nb++] = net::make_transfer(head, id(), lock_);
+  if (nb > 0) send_to(lock_.site, bundle, nb);
 }
 
 // A.4.
@@ -364,8 +391,8 @@ void CaoSinghalSite::handle_failure_notice(const Message& m) {
 
   // Arbiter side. Case 1: drop f's queued request, re-pointing the proxy
   // if it was the favourite. Case 3: if f held our permission, grant on.
-  auto it = std::find_if(req_queue_.begin(), req_queue_.end(),
-                         [&](const ReqId& q) { return q.site == f; });
+  const auto it = std::find_if(req_queue_.begin(), req_queue_.end(),
+                               [&](const ReqId& q) { return q.site == f; });
   if (it != req_queue_.end()) {
     const bool was_head = it == req_queue_.begin();
     req_queue_.erase(it);
@@ -426,7 +453,8 @@ void CaoSinghalSite::debug_dump(std::ostream& os) const {
      << (idle() ? "idle" : requesting() ? "requesting" : "in_cs")
      << " my_req=" << my_req_ << " failed=" << failed_;
   os << " voted={";
-  for (const auto& [a, v] : voted_) os << a << ':' << v << ' ';
+  for (size_t i = 0; i < voted_.size(); ++i)
+    os << voted_.member(i) << ':' << voted_.test(i) << ' ';
   os << "} inq_q={";
   for (SiteId a : inq_queue_) os << a << ' ';
   os << "} tran_stack={";

@@ -25,10 +25,8 @@
 // AlgoOptions::fault_tolerant and a failure-adaptive quorum construction.
 #pragma once
 
-#include <map>
-#include <set>
-
 #include "mutex/factory.h"
+#include "mutex/flat_state.h"
 #include "mutex/mutex_site.h"
 #include "quorum/quorum_system.h"
 
@@ -114,8 +112,9 @@ class CaoSinghalSite final : public mutex::MutexSite {
   void handle_failure_notice(const net::Message& m);
 
   // Sends `msgs` to `dst` as one wire message (or singly when the
-  // piggybacking ablation is on).
-  void send_to(SiteId dst, std::vector<net::Message> msgs);
+  // piggybacking ablation is on). Callers keep small bundles in stack
+  // buffers; nothing on this path touches the heap.
+  void send_to(SiteId dst, const net::Message* msgs, size_t n);
 
   Options opt_;
   const quorum::QuorumSystem& quorums_;
@@ -123,7 +122,7 @@ class CaoSinghalSite final : public mutex::MutexSite {
   // Requester state (per current request).
   ReqId my_req_;
   std::vector<SiteId> req_set_;
-  std::map<SiteId, bool> voted_;  // arbiter -> replied[arbiter]
+  mutex::VoteMap voted_;  // replied[arbiter], dense over req_set_
   bool failed_ = false;
   std::vector<SiteId> inq_queue_;
   struct TranEntry {
@@ -132,9 +131,15 @@ class CaoSinghalSite final : public mutex::MutexSite {
   };
   std::vector<TranEntry> tran_stack_;  // back() is the top of the stack
 
+  // Exit-protocol scratch (do_release): capacity survives across CS
+  // tenures so the exit fan-out allocates nothing in steady state.
+  std::vector<TranEntry> fwd_scratch_;     // newest transfer per arbiter
+  std::vector<SiteId> dst_scratch_;        // exit-bound destinations
+  std::vector<net::Message> out_scratch_;  // one destination's bundle
+
   // Arbiter state.
   ReqId lock_;
-  std::set<ReqId> req_queue_;
+  mutex::ReqQueue req_queue_;
   // Whether an inquire was sent to the current lock holder during this
   // tenure. One suffices: the holder's answer (yield or release) always
   // serves the *best* waiter at that moment.

@@ -18,11 +18,8 @@ void MaekawaSite::do_request() {
   open_span(span_of(my_req_));
   failed_ = false;
   pending_inquires_.clear();
-  voted_.clear();
-  for (SiteId j : req_set_) {
-    voted_[j] = false;
-    net().send(id(), j, net::make_request(my_req_));
-  }
+  voted_.assign(req_set_);
+  for (SiteId j : req_set_) net().send(id(), j, net::make_request(my_req_));
 }
 
 void MaekawaSite::do_release() {
@@ -54,7 +51,9 @@ void MaekawaSite::handle_reply(const Message& m) {
     note_stale_drop();
     return;
   }
-  voted_[m.src] = true;
+  const int pos = voted_.find(m.src);
+  DQME_CHECK_MSG(pos >= 0, "reply from non-arbiter " << m.src);
+  voted_.grant(static_cast<size_t>(pos));
   // Maekawa replies always relay through the arbiter: release -> reply,
   // the 2T synchronization delay the proposed algorithm's proxy removes.
   set_entry_hops(2);
@@ -83,9 +82,9 @@ void MaekawaSite::handle_inquire(const Message& m) {
 
 void MaekawaSite::answer_inquire(SiteId arbiter) {
   DQME_CHECK(requesting());
-  auto it = voted_.find(arbiter);
-  DQME_CHECK_MSG(it != voted_.end(), "inquire from non-arbiter " << arbiter);
-  if (!it->second) {
+  const int pos = voted_.find(arbiter);
+  DQME_CHECK_MSG(pos >= 0, "inquire from non-arbiter " << arbiter);
+  if (!voted_.test(static_cast<size_t>(pos))) {
     // Channels are FIFO and replies come only from the arbiter itself in
     // Maekawa, so an inquire can't precede its reply — but it CAN arrive
     // after we yielded this very lock; nothing to yield then.
@@ -93,7 +92,7 @@ void MaekawaSite::answer_inquire(SiteId arbiter) {
     return;
   }
   if (failed_) {
-    it->second = false;
+    voted_.revoke(static_cast<size_t>(pos));
     net().send(id(), arbiter, net::make_yield(arbiter, my_req_));
   } else {
     // Still hopeful: defer. If we enter the CS the release answers it; if a
@@ -104,8 +103,7 @@ void MaekawaSite::answer_inquire(SiteId arbiter) {
 
 void MaekawaSite::try_enter() {
   if (!requesting()) return;
-  for (const auto& [arbiter, has] : voted_)
-    if (!has) return;
+  if (!voted_.all()) return;
   pending_inquires_.clear();  // answered implicitly by release at exit
   enter_cs();
 }
@@ -124,8 +122,8 @@ void MaekawaSite::grant_next_from_queue() {
     inquire_outstanding_ = false;
     return;
   }
-  ReqId head = *req_queue_.begin();
-  req_queue_.erase(req_queue_.begin());
+  ReqId head = req_queue_.front();
+  req_queue_.pop_front();
   grant(head);
 }
 
@@ -143,7 +141,7 @@ void MaekawaSite::handle_request(const Message& m) {
   // arbiter's inquire forever and deadlock; this is the classic correction
   // to Maekawa's original algorithm).
   const bool have_head = !req_queue_.empty();
-  const ReqId head = have_head ? *req_queue_.begin() : ReqId{};
+  const ReqId head = have_head ? req_queue_.front() : ReqId{};
   if (r < lock_ && (!have_head || r < head)) {
     if (have_head && head < lock_)
       net().send(id(), head.site, net::make_fail(id(), head));

@@ -6,9 +6,7 @@
 // requester — two serial message hops.
 #pragma once
 
-#include <map>
-#include <set>
-
+#include "mutex/flat_state.h"
 #include "mutex/mutex_site.h"
 #include "quorum/quorum_system.h"
 
@@ -44,13 +42,13 @@ class MaekawaSite final : public MutexSite {
   // --- Requester state (current request) ---
   ReqId my_req_;
   std::vector<SiteId> req_set_;
-  std::map<SiteId, bool> voted_;     // arbiter -> has its lock
+  VoteMap voted_;  // has each arbiter's lock, dense over req_set_
   bool failed_ = false;
   std::vector<SiteId> pending_inquires_;  // deferred until fail/entry known
 
   // --- Arbiter state ---
-  ReqId lock_;                 // request currently holding this arbiter
-  std::set<ReqId> req_queue_;  // waiting requests, priority-ordered
+  ReqId lock_;          // request currently holding this arbiter
+  ReqQueue req_queue_;  // waiting requests, priority-ordered
   bool inquire_outstanding_ = false;
 };
 

@@ -10,14 +10,14 @@ using net::MsgType;
 SuzukiKasamiSite::SuzukiKasamiSite(SiteId id, net::Network& net)
     : MutexSite(id, net), rn_(static_cast<size_t>(net.size()), 0) {
   if (id == 0) {
-    token_ = std::make_shared<net::TokenPayload>();
-    token_->ln.assign(static_cast<size_t>(net.size()), 0);
+    token_.ln.assign(static_cast<size_t>(net.size()), 0);
+    has_token_ = true;
   }
 }
 
 void SuzukiKasamiSite::do_request() {
   SeqNum sn = ++rn_[static_cast<size_t>(id())];
-  if (token_) {
+  if (has_token_) {
     enter_cs();
     return;
   }
@@ -30,28 +30,32 @@ void SuzukiKasamiSite::do_request() {
 }
 
 void SuzukiKasamiSite::do_release() {
-  DQME_CHECK(token_ != nullptr);
-  token_->ln[static_cast<size_t>(id())] = rn_[static_cast<size_t>(id())];
+  DQME_CHECK(has_token_);
+  token_.ln[static_cast<size_t>(id())] = rn_[static_cast<size_t>(id())];
   // Append every site with an outstanding (unserved) request.
   for (SiteId j = 0; j < net().size(); ++j) {
     if (j == id()) continue;
-    if (rn_[static_cast<size_t>(j)] == token_->ln[static_cast<size_t>(j)] + 1 &&
-        std::find(token_->queue.begin(), token_->queue.end(), j) ==
-            token_->queue.end())
-      token_->queue.push_back(j);
+    if (rn_[static_cast<size_t>(j)] == token_.ln[static_cast<size_t>(j)] + 1 &&
+        std::find(token_.queue.begin(), token_.queue.end(), j) ==
+            token_.queue.end())
+      token_.queue.push_back(j);
   }
   pass_token_if_due();
 }
 
 void SuzukiKasamiSite::pass_token_if_due() {
-  if (!token_ || in_cs() || token_->queue.empty()) return;
-  SiteId next = token_->queue.front();
-  token_->queue.pop_front();
+  if (!has_token_ || in_cs() || token_.queue.empty()) return;
+  SiteId next = token_.queue.front();
+  token_.queue.pop_front();
+  send_token(next);
+}
+
+void SuzukiKasamiSite::send_token(SiteId to) {
   Message tok;
   tok.type = MsgType::kToken;
-  tok.token = std::move(token_);
-  token_ = nullptr;
-  net().send(id(), next, tok);
+  net().attach_token(tok) = std::move(token_);
+  has_token_ = false;
+  net().send(id(), to, tok);
 }
 
 void SuzukiKasamiSite::on_message(const Message& m) {
@@ -60,20 +64,14 @@ void SuzukiKasamiSite::on_message(const Message& m) {
       auto j = static_cast<size_t>(m.src);
       rn_[j] = std::max(rn_[j], m.seq);
       // An idle token holder serves the request immediately.
-      if (token_ && idle() &&
-          rn_[j] == token_->ln[j] + 1) {
-        Message tok;
-        tok.type = MsgType::kToken;
-        tok.token = std::move(token_);
-        token_ = nullptr;
-        net().send(id(), m.src, tok);
-      }
+      if (has_token_ && idle() && rn_[j] == token_.ln[j] + 1)
+        send_token(m.src);
       break;
     }
     case MsgType::kToken: {
-      DQME_CHECK(m.token != nullptr);
-      DQME_CHECK(token_ == nullptr);
-      token_ = m.token;
+      DQME_CHECK(!has_token_);
+      token_ = net().take_token(m);
+      has_token_ = true;
       DQME_CHECK_MSG(requesting(),
                      "suzuki-kasami: token sent to a non-requesting site");
       enter_cs();

@@ -17,15 +17,20 @@ class SuzukiKasamiSite final : public MutexSite {
 
   void on_message(const net::Message& m) override;
 
-  bool holds_token() const { return token_ != nullptr; }
+  bool holds_token() const { return has_token_; }
 
  private:
   void do_request() override;
   void do_release() override;
   void pass_token_if_due();
+  void send_token(SiteId to);
 
   std::vector<SeqNum> rn_;  // highest request number seen per site
-  std::shared_ptr<net::TokenPayload> token_;  // non-null iff we hold it
+  // Token state, held by value: a transfer moves it into a network side-
+  // payload slot and the receiver moves it back out (take_token), so the
+  // ln/queue allocations travel with the token instead of being refcounted.
+  net::TokenPayload token_;
+  bool has_token_ = false;
 };
 
 }  // namespace dqme::mutex

@@ -18,12 +18,12 @@
 //   kTransfer  | arbiter, target (request to forward to), req (holder's
 //              |   request — validity guard, DESIGN.md D1/D3)
 //   kTokenReq  | req.site (requester), seq (request number) — token algos
-//   kToken     | token payload (Suzuki-Kasami) / no fields (Raymond)
+//   kToken     | payload: token state (Suzuki-Kasami) / none (Raymond)
 //   kFailureNotice | arbiter (= the site that failed) — §6 failure(i)
-//   kRead      | kv.key, seq (op id) — replica layer (§7 extension)
-//   kReadReply | kv (key/value/version), seq (op id)
-//   kWrite     | kv (key/value/version), seq (op id)
-//   kWriteAck  | kv.key, kv.version, seq (op id)
+//   kRead      | payload: kv.key; seq (op id) — replica layer (§7 ext.)
+//   kReadReply | payload: kv (key/value/version); seq (op id)
+//   kWrite     | payload: kv (key/value/version); seq (op id)
+//   kWriteAck  | payload: kv.key, kv.version; seq (op id)
 //
 // Stale-message hardening (DESIGN.md D1): control messages carry the ReqId
 // of the request they pertain to, so receivers drop messages about finished
@@ -31,9 +31,9 @@
 #pragma once
 
 #include <deque>
-#include <memory>
 #include <ostream>
 #include <string_view>
+#include <type_traits>
 #include <vector>
 
 #include "common/timestamp.h"
@@ -77,16 +77,20 @@ struct KvFields {
   int64_t version = 0;
 };
 
+// Handle to a side payload (token state / kv fields) pooled by the Network.
+// Only kToken and the replica-layer messages carry one; every other control
+// message ships the sentinel. The Network owns the slot for the message's
+// whole flight and recycles it once the receiver's handler returns (or the
+// message is dropped by crash semantics) — a retained Message copy (trace
+// buffers) therefore holds a dangling handle, which is fine: nothing
+// dereferences payloads after delivery.
+using PayloadId = uint32_t;
+inline constexpr PayloadId kNoPayload = 0xffffffffu;
+
 struct Message {
-  MsgType type = MsgType::kRequest;
-  SiteId src = kNoSite;  // filled by Network::send
-  SiteId dst = kNoSite;  // filled by Network::send
-  ReqId req;             // request this message pertains to (see table)
-  SiteId arbiter = kNoSite;
+  ReqId req;      // request this message pertains to (see table)
   ReqId target;
   SeqNum seq = 0;
-  KvFields kv;
-  std::shared_ptr<TokenPayload> token;
 
   // Observability piggyback (src/obs): the causal span this message
   // advances — span_of() of the request whose CS entry the message works
@@ -97,8 +101,21 @@ struct Message {
   // consumers can draw send->deliver arrows without a second hook.
   Time sent_at = 0;
 
+  SiteId src = kNoSite;  // filled by Network::send
+  SiteId dst = kNoSite;  // filled by Network::send
+  SiteId arbiter = kNoSite;
+  PayloadId payload = kNoPayload;  // Network::attach_kv / attach_token
+  MsgType type = MsgType::kRequest;
+
   friend std::ostream& operator<<(std::ostream& os, const Message& m);
 };
+
+// The whole point of the side-payload split: a control message is a flat
+// 80-byte struct the flight pool can copy with memcpy — no shared_ptr
+// refcount traffic, no destructor walk, on the hot path. Growing Message
+// is a hot-path regression; think twice and re-measure (bench/micro_core).
+static_assert(std::is_trivially_copyable_v<Message>);
+static_assert(sizeof(Message) <= 80);
 
 // Constructors for the Cao-Singhal / Maekawa message vocabulary. They keep
 // protocol code close to the paper's notation: e.g. `transfer(k, j)` in the

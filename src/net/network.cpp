@@ -34,52 +34,108 @@ uint32_t Network::acquire_flight() {
   return static_cast<uint32_t>(flights_.size() - 1);
 }
 
-void Network::send(SiteId src, SiteId dst, Message m) {
+PayloadId Network::acquire_payload() {
+  ++stats_.payloads_acquired;
+  if (payload_free_ != kNilFlight) {
+    const PayloadId idx = payload_free_;
+    SidePayload& p = payloads_[idx];
+    payload_free_ = p.next_free;
+    p.next_free = kNilFlight;
+    p.kv = KvFields{};
+    p.token.ln.clear();  // capacity survives for the next token hop
+    p.token.queue.clear();
+    return idx;
+  }
+  payloads_.emplace_back();
+  return static_cast<PayloadId>(payloads_.size() - 1);
+}
+
+void Network::release_payload(PayloadId id) {
+  payloads_[id].next_free = payload_free_;
+  payload_free_ = id;
+}
+
+KvFields& Network::attach_kv(Message& m) {
+  if (m.payload == kNoPayload) m.payload = acquire_payload();
+  return payloads_[m.payload].kv;
+}
+
+TokenPayload& Network::attach_token(Message& m) {
+  if (m.payload == kNoPayload) m.payload = acquire_payload();
+  return payloads_[m.payload].token;
+}
+
+KvFields Network::read_kv(const Message& m) const {
+  DQME_CHECK_MSG(m.payload != kNoPayload, "message carries no kv payload");
+  return payloads_[m.payload].kv;
+}
+
+TokenPayload Network::take_token(const Message& m) {
+  DQME_CHECK_MSG(m.payload != kNoPayload, "message carries no token payload");
+  return std::move(payloads_[m.payload].token);
+}
+
+void Network::send(SiteId src, SiteId dst, const Message& m) {
   const uint32_t idx = acquire_flight();
-  flights_[idx].msgs.push_back(std::move(m));
+  Flight& f = flights_[idx];
+  f.inline_msgs[0] = m;
+  f.inline_count = 1;
   stage(src, dst, idx);
 }
 
-void Network::send_bundle(SiteId src, SiteId dst,
-                          std::vector<Message> bundle) {
-  DQME_CHECK(!bundle.empty());
+void Network::send_bundle(SiteId src, SiteId dst, const Message* msgs,
+                          size_t n) {
+  DQME_CHECK(n > 0);
   const uint32_t idx = acquire_flight();
-  // Move elements into the pooled vector (keeping its capacity) rather
-  // than adopting the caller's allocation, which would defeat the pool.
-  auto& msgs = flights_[idx].msgs;
-  msgs.insert(msgs.end(), std::make_move_iterator(bundle.begin()),
-              std::make_move_iterator(bundle.end()));
+  Flight& f = flights_[idx];
+  const size_t inl = n < 2 ? n : 2;
+  for (size_t i = 0; i < inl; ++i) f.inline_msgs[i] = msgs[i];
+  f.inline_count = static_cast<uint32_t>(inl);
+  if (n > 2) f.spill.assign(msgs + 2, msgs + n);
   stage(src, dst, idx);
 }
 
 void Network::stage(SiteId src, SiteId dst, uint32_t flight) {
   DQME_CHECK(0 <= src && src < size());
   DQME_CHECK(0 <= dst && dst < size());
-  auto& msgs = flights_[flight].msgs;
-  for (Message& m : msgs) {
+  Flight& f = flights_[flight];
+  const Time now = sim_.now();
+  const auto stamp = [&](Message& m) {
     m.src = src;
     m.dst = dst;
-    m.sent_at = sim_.now();
-  }
+    m.sent_at = now;
+  };
+  for (uint32_t i = 0; i < f.inline_count; ++i) stamp(f.inline_msgs[i]);
+  for (Message& m : f.spill) stamp(m);
 
   if (!alive_[static_cast<size_t>(src)]) {  // crashed sites are silent
-    msgs.clear();
-    flights_[flight].next_free = flight_free_;
+    // Never-delivered payloads would leak their slots otherwise.
+    for (uint32_t i = 0; i < f.inline_count; ++i)
+      if (f.inline_msgs[i].payload != kNoPayload)
+        release_payload(f.inline_msgs[i].payload);
+    for (const Message& m : f.spill)
+      if (m.payload != kNoPayload) release_payload(m.payload);
+    f.inline_count = 0;
+    f.spill.clear();
+    f.next_free = flight_free_;
     flight_free_ = flight;
     return;
   }
 
+  const size_t count = f.inline_count + f.spill.size();
   if (src == dst) {
     // Local short-circuit: delivered as a fresh event (never inline, so a
     // site's handler is never re-entered), with no wire cost.
-    stats_.local_deliveries += msgs.size();
+    stats_.local_deliveries += count;
     sim_.schedule_after(0, [this, flight] { deliver_flight(flight); });
     return;
   }
 
   stats_.wire_messages += 1;
-  stats_.control_messages += msgs.size();
-  for (const Message& m : msgs)
+  stats_.control_messages += count;
+  for (uint32_t i = 0; i < f.inline_count; ++i)
+    stats_.by_type[static_cast<size_t>(f.inline_msgs[i].type)] += 1;
+  for (const Message& m : f.spill)
     stats_.by_type[static_cast<size_t>(m.type)] += 1;
 
   const size_t chan = static_cast<size_t>(src) * static_cast<size_t>(size()) +
@@ -96,17 +152,49 @@ void Network::stage(SiteId src, SiteId dst, uint32_t flight) {
 
 void Network::deliver_flight(uint32_t idx) {
   // Receivers send messages from inside on_message, which can grow
-  // flights_ and invalidate references — index on every access.
-  for (size_t i = 0; i < flights_[idx].msgs.size(); ++i) {
-    Message m = std::move(flights_[idx].msgs[i]);
-    deliver(m);
+  // flights_ and invalidate references — copy the inline messages out (a
+  // memcpy) before touching any handler. The hook branch resolves once per
+  // flight: a detached run never tests the std::function per message.
+  const bool hooked = static_cast<bool>(on_deliver);
+  const uint32_t n = flights_[idx].inline_count;
+  const std::array<Message, 2> local = flights_[idx].inline_msgs;
+  if (flights_[idx].spill.empty()) {
+    // Fast path: 1-2 messages, the dominant shapes.
+    if (hooked) {
+      for (uint32_t i = 0; i < n; ++i) deliver_one<true>(local[i]);
+    } else {
+      for (uint32_t i = 0; i < n; ++i) deliver_one<false>(local[i]);
+    }
+    Flight& f = flights_[idx];
+    f.inline_count = 0;
+    f.next_free = flight_free_;
+    flight_free_ = idx;
+    return;
   }
-  flights_[idx].msgs.clear();
-  flights_[idx].next_free = flight_free_;
+
+  for (uint32_t i = 0; i < n; ++i) {
+    if (hooked)
+      deliver_one<true>(local[i]);
+    else
+      deliver_one<false>(local[i]);
+  }
+  // The spill vector must survive the handlers — index on every access.
+  for (size_t i = 0; i < flights_[idx].spill.size(); ++i) {
+    const Message m = flights_[idx].spill[i];
+    if (hooked)
+      deliver_one<true>(m);
+    else
+      deliver_one<false>(m);
+  }
+  Flight& f = flights_[idx];
+  f.inline_count = 0;
+  f.spill.clear();
+  f.next_free = flight_free_;
   flight_free_ = idx;
 }
 
-void Network::deliver(const Message& m) {
+template <bool kHooked>
+void Network::deliver_one(const Message& m) {
   if (!alive_[static_cast<size_t>(m.dst)] ||
       !alive_[static_cast<size_t>(m.src)]) {
     // Fail-silent crash semantics: a message from/to a crashed site
@@ -114,13 +202,17 @@ void Network::deliver(const Message& m) {
     // delivered in reality; we drop those too, which is the conservative
     // choice for the §6 recovery protocol — it must not depend on them.)
     stats_.dropped_at_crashed += 1;
+    if (m.payload != kNoPayload) release_payload(m.payload);
     return;
   }
   stats_.delivered_messages += 1;
-  if (on_deliver) on_deliver(m);
+  if constexpr (kHooked) on_deliver(m);
   NetSite* site = sites_[static_cast<size_t>(m.dst)];
   DQME_CHECK_MSG(site != nullptr, "no receiver attached for site " << m.dst);
   site->on_message(m);
+  // The payload's lifetime is the flight: the handler has returned (and
+  // taken what it wanted), so the slot recycles.
+  if (m.payload != kNoPayload) release_payload(m.payload);
 }
 
 void Network::crash(SiteId id) {

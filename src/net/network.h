@@ -13,10 +13,20 @@
 // the requester's own quorum slot.
 //
 // Hot-path allocation: in-flight bundles live in a pooled slab of Flight
-// slots (index-linked free list) whose message vectors keep their capacity
-// across reuse, and the delivery callback captures only (this, slot index),
-// which fits sim::Callback's inline storage — so steady-state send/deliver
-// performs no heap allocation.
+// slots (index-linked free list). A flight stores its first two messages
+// inline — the dominant shapes are a single message and a reply+transfer
+// piggyback — and spills only larger bundles to a pooled vector; the
+// delivery callback captures only (this, slot index), which fits
+// sim::Callback's inline storage — so steady-state send/deliver performs
+// no heap allocation and no per-message indirection.
+//
+// Side payloads: Message is a flat 80-byte struct; the rare big fields
+// (Suzuki-Kasami token state, replica kv) live in a per-network payload
+// slab addressed by Message::payload. Senders bind one with attach_kv /
+// attach_token; receivers read it with read_kv / take_token from inside
+// on_message. The network recycles the slot as soon as the handler returns
+// (or the message is dropped by crash semantics), so payload handles in
+// retained Message copies are dead — by design, nothing reads them later.
 //
 // Fault injection (§6): crash(site) makes a site fail silently — everything
 // addressed to it (or sent by it) from that instant on is dropped.
@@ -49,6 +59,7 @@ struct NetworkStats {
   uint64_t local_deliveries = 0;    // src == dst short-circuits (uncounted)
   uint64_t delivered_messages = 0;  // handed to a receiver (local + wire)
   uint64_t flights_acquired = 0;    // flight-slot checkouts (pool traffic)
+  uint64_t payloads_acquired = 0;   // side-payload checkouts (token/kv)
 
   uint64_t count(MsgType t) const {
     return by_type[static_cast<size_t>(t)];
@@ -77,11 +88,30 @@ class Network {
   void attach(SiteId id, NetSite* site);
 
   // Sends one control message as one wire message.
-  void send(SiteId src, SiteId dst, Message m);
+  void send(SiteId src, SiteId dst, const Message& m);
 
   // Sends several control messages piggybacked as one wire message. They
-  // are delivered back-to-back, in order, at the same instant.
-  void send_bundle(SiteId src, SiteId dst, std::vector<Message> bundle);
+  // are delivered back-to-back, in order, at the same instant. The pointer
+  // form is the hot path: protocol code keeps ≤2-message bundles in a stack
+  // buffer and never touches the heap; the vector form is convenience for
+  // tests and cold paths.
+  void send_bundle(SiteId src, SiteId dst, const Message* msgs, size_t n);
+  void send_bundle(SiteId src, SiteId dst, const std::vector<Message>& bundle) {
+    send_bundle(src, dst, bundle.data(), bundle.size());
+  }
+
+  // --- Side payloads -------------------------------------------------
+  // attach_* acquires a pool slot, binds it to `m`, and returns the field
+  // to fill. The reference is into the pool slab: write it before the next
+  // attach_* call (which may grow the slab). read_kv copies the fields out
+  // (handlers send messages, which can also grow the slab); take_token
+  // moves the token state out of its slot — ownership transfers to the
+  // caller, matching "exactly one site holds the token".
+  KvFields& attach_kv(Message& m);
+  TokenPayload& attach_token(Message& m);
+  KvFields read_kv(const Message& m) const;
+  TokenPayload take_token(const Message& m);
+  size_t payload_pool_size() const { return payloads_.size(); }
 
   // Crashes a site: fail-silent from now on. Messages already in flight
   // toward it are dropped on arrival.
@@ -108,16 +138,34 @@ class Network {
  private:
   static constexpr uint32_t kNilFlight = 0xffffffffu;
 
-  // One in-flight wire bundle. Pooled: the vector's capacity survives
-  // reuse, so a steady-state send costs no allocation.
+  // One in-flight wire bundle. Pooled; the first two messages are stored
+  // inline (trivially-copyable Message makes the copy a memcpy) and only
+  // bundles of 3+ touch the spill vector, whose capacity survives reuse —
+  // so a steady-state send costs no allocation.
   struct Flight {
-    std::vector<Message> msgs;
+    std::array<Message, 2> inline_msgs;
+    std::vector<Message> spill;  // messages beyond the first two
+    uint32_t inline_count = 0;
+    uint32_t next_free = kNilFlight;
+  };
+
+  // One pooled side payload; acquire_payload() hands slots back zeroed
+  // with container capacity retained.
+  struct SidePayload {
+    TokenPayload token;
+    KvFields kv;
     uint32_t next_free = kNilFlight;
   };
 
   uint32_t acquire_flight();
+  PayloadId acquire_payload();
+  void release_payload(PayloadId id);
   void deliver_flight(uint32_t idx);
-  void deliver(const Message& m);
+  // Delivers one message; the hook branch is resolved per *flight* in
+  // deliver_flight, so the detached path never tests the std::function per
+  // message.
+  template <bool kHooked>
+  void deliver_one(const Message& m);
 
   // Stamps src/dst, counts wire stats, and schedules delivery (or drops
   // the bundle for a crashed sender).
@@ -132,6 +180,8 @@ class Network {
   NetworkStats stats_;
   std::vector<Flight> flights_;
   uint32_t flight_free_ = kNilFlight;
+  std::vector<SidePayload> payloads_;
+  uint32_t payload_free_ = kNilFlight;
 };
 
 }  // namespace dqme::net

@@ -1,8 +1,26 @@
 #include "obs/registry.h"
 
 #include <algorithm>
+#include <cmath>
 
 namespace dqme::obs {
+
+// Exact doubling walk rather than std::log2: boundary samples (v == lo*2^b)
+// must land in bucket b on every libm, and B is a few dozen at most.
+size_t Histogram::log_bucket(double v) const {
+  size_t b = 0;
+  double upper = lo_ * 2;
+  while (b < counts_.size() && v >= upper) {
+    upper *= 2;
+    ++b;
+  }
+  return b;
+}
+
+double Histogram::bucket_lower(size_t b) const {
+  if (log_) return std::ldexp(lo_, static_cast<int>(b));
+  return lo_ + static_cast<double>(b) * width_;
+}
 
 double Histogram::percentile(double p) const {
   DQME_CHECK(0 <= p && p <= 1);
@@ -12,10 +30,9 @@ double Histogram::percentile(double p) const {
   if (rank < seen) return lo_;
   for (size_t b = 0; b < counts_.size(); ++b) {
     seen += counts_[b];
-    if (rank < seen)
-      return lo_ + (static_cast<double>(b) + 0.5) * width_;
+    if (rank < seen) return (bucket_lower(b) + bucket_upper(b)) / 2;
   }
-  return lo_ + width_ * static_cast<double>(counts_.size());
+  return bucket_lower(counts_.size());
 }
 
 void Histogram::merge(const Histogram& other) {
@@ -25,6 +42,7 @@ void Histogram::merge(const Histogram& other) {
     return;
   }
   DQME_CHECK_MSG(lo_ == other.lo_ && width_ == other.width_ &&
+                     log_ == other.log_ &&
                      counts_.size() == other.counts_.size(),
                  "merging histograms with different bucket specs");
   for (size_t b = 0; b < counts_.size(); ++b) counts_[b] += other.counts_[b];
@@ -54,6 +72,19 @@ Histogram& Registry::histogram(std::string_view name, double lo, double width,
     it = histograms_.emplace(std::string(name), Histogram(lo, width, buckets))
              .first;
   DQME_CHECK_MSG(it->second.lo() == lo && it->second.width() == width &&
+                     !it->second.is_log() &&
+                     it->second.buckets().size() == buckets,
+                 "histogram '" << name << "' re-declared with another spec");
+  return it->second;
+}
+
+Histogram& Registry::log_histogram(std::string_view name, double lo,
+                                   size_t buckets) {
+  auto it = histograms_.find(name);
+  if (it == histograms_.end())
+    it = histograms_.emplace(std::string(name), Histogram::log2(lo, buckets))
+             .first;
+  DQME_CHECK_MSG(it->second.lo() == lo && it->second.is_log() &&
                      it->second.buckets().size() == buckets,
                  "histogram '" << name << "' re-declared with another spec");
   return it->second;
@@ -124,7 +155,8 @@ void Registry::write_json(std::ostream& os) const {
   for (const auto& [name, h] : histograms_) {
     os << (first ? "" : ", ");
     write_json_string(os, name);
-    os << ": {\"lo\": " << h.lo() << ", \"width\": " << h.width()
+    os << ": {\"kind\": \"" << (h.is_log() ? "log2" : "linear")
+       << "\", \"lo\": " << h.lo() << ", \"width\": " << h.width()
        << ", \"count\": " << h.count() << ", \"sum\": " << h.sum()
        << ", \"p50\": " << h.p50() << ", \"p95\": " << h.p95()
        << ", \"p99\": " << h.p99() << ", \"underflow\": " << h.underflow()

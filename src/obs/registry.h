@@ -24,15 +24,36 @@
 
 namespace dqme::obs {
 
-// Fixed-bucket histogram: `buckets` equal-width bins starting at `lo`,
-// out-of-range samples land in underflow/overflow. The spec is part of the
-// identity: merging histograms with different specs is a CHECK failure.
+// Fixed-bucket histogram in one of two bucketing modes, chosen at
+// construction (the spec — mode included — is part of the identity:
+// merging histograms with different specs is a CHECK failure):
+//
+//   * linear — `buckets` equal-width bins starting at `lo`. Right for
+//     quantities with a known, narrow dynamic range (sync_gap: a handful
+//     of T).
+//   * log2   — bucket b covers [lo*2^b, lo*2^(b+1)). A few dozen buckets
+//     span many decades, so heavy-tailed quantities (waiting time under
+//     saturation: T/10 .. thousands of T) keep meaningful percentiles
+//     instead of collapsing into `overflow`.
+//
+// In both modes samples below `lo` land in underflow and samples past the
+// last bucket in overflow; percentile() resolves that out-of-range mass to
+// the histogram edges.
 class Histogram {
  public:
   Histogram() = default;
   Histogram(double lo, double width, size_t buckets)
       : lo_(lo), width_(width), counts_(buckets, 0) {
     DQME_CHECK(width > 0 && buckets > 0);
+  }
+
+  // Log-bucketed spec; `lo` must be positive (it sets the first bucket's
+  // base and the resolution floor — everything below is underflow).
+  static Histogram log2(double lo, size_t buckets) {
+    DQME_CHECK(lo > 0 && buckets > 0);
+    Histogram h(lo, lo, buckets);
+    h.log_ = true;
+    return h;
   }
 
   void record(double v) {
@@ -42,7 +63,8 @@ class Histogram {
       ++underflow_;
       return;
     }
-    const auto b = static_cast<size_t>((v - lo_) / width_);
+    const size_t b = log_ ? log_bucket(v)
+                          : static_cast<size_t>((v - lo_) / width_);
     if (b >= counts_.size()) {
       ++overflow_;
       return;
@@ -57,6 +79,10 @@ class Histogram {
   }
   double lo() const { return lo_; }
   double width() const { return width_; }
+  bool is_log() const { return log_; }
+  // Bucket b's half-open value range [lower, upper).
+  double bucket_lower(size_t b) const;
+  double bucket_upper(size_t b) const { return bucket_lower(b + 1); }
   uint64_t underflow() const { return underflow_; }
   uint64_t overflow() const { return overflow_; }
   const std::vector<uint64_t>& buckets() const { return counts_; }
@@ -71,8 +97,11 @@ class Histogram {
   void merge(const Histogram& other);
 
  private:
+  size_t log_bucket(double v) const;
+
   double lo_ = 0;
   double width_ = 1;
+  bool log_ = false;
   std::vector<uint64_t> counts_;
   uint64_t underflow_ = 0;
   uint64_t overflow_ = 0;
@@ -88,6 +117,7 @@ class Registry {
   double& gauge(std::string_view name);
   Histogram& histogram(std::string_view name, double lo, double width,
                        size_t buckets);
+  Histogram& log_histogram(std::string_view name, double lo, size_t buckets);
 
   // Lookup without creation; nullptr when absent.
   const uint64_t* find_counter(std::string_view name) const;
@@ -102,8 +132,8 @@ class Registry {
   void merge(const Registry& other);
 
   // One flat JSON object: {"counters": {...}, "gauges": {...},
-  // "histograms": {name: {lo, width, count, sum, p50, p95, p99, underflow,
-  // overflow, buckets: [...]}}}. Keys iterate in sorted order —
+  // "histograms": {name: {kind, lo, width, count, sum, p50, p95, p99,
+  // underflow, overflow, buckets: [...]}}}. Keys iterate in sorted order —
   // deterministic output.
   void write_json(std::ostream& os) const;
 

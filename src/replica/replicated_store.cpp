@@ -104,34 +104,39 @@ void ReplicaNode::begin_read_phase() {
     Message m;
     m.type = MsgType::kRead;
     m.seq = op_id_;
-    m.kv.key = op.key;
+    net_.attach_kv(m).key = op.key;
     net_.send(id_, s, m);
   }
 }
 
 void ReplicaNode::serve_read(const Message& m) {
+  // Copy the request's kv out first: attach_kv below may grow the payload
+  // slab and would invalidate a reference into it.
+  const net::KvFields req = net_.read_kv(m);
   Message reply;
   reply.type = MsgType::kReadReply;
   reply.seq = m.seq;
-  reply.kv.key = m.kv.key;
-  if (auto v = local_get(m.kv.key)) {
-    reply.kv.value = v->value;
-    reply.kv.version = v->version;
+  net::KvFields& kv = net_.attach_kv(reply);
+  kv.key = req.key;
+  if (auto v = local_get(req.key)) {
+    kv.value = v->value;
+    kv.version = v->version;
   }
   net_.send(id_, m.src, reply);
 }
 
 void ReplicaNode::serve_write(const Message& m) {
-  Versioned& slot = store_[m.kv.key];
+  const net::KvFields req = net_.read_kv(m);
+  Versioned& slot = store_[req.key];
   // Last-writer-wins on version; equal versions denote idempotent
   // retransmits of the same CS-serialized write.
-  if (m.kv.version > slot.version)
-    slot = Versioned{m.kv.value, m.kv.version};
+  if (req.version > slot.version) slot = Versioned{req.value, req.version};
   Message ack;
   ack.type = MsgType::kWriteAck;
   ack.seq = m.seq;
-  ack.kv.key = m.kv.key;
-  ack.kv.version = m.kv.version;
+  net::KvFields& kv = net_.attach_kv(ack);
+  kv.key = req.key;
+  kv.version = req.version;
   net_.send(id_, m.src, ack);
 }
 
@@ -140,9 +145,10 @@ void ReplicaNode::on_read_reply(const Message& m) {
     ++stats_.stale_replies;
     return;
   }
-  op_replies_.emplace(m.src, Versioned{m.kv.value, m.kv.version});
-  if (m.kv.version > op_best_.version)
-    op_best_ = Versioned{m.kv.value, m.kv.version};
+  const net::KvFields kv = net_.read_kv(m);
+  op_replies_.emplace(m.src, Versioned{kv.value, kv.version});
+  if (kv.version > op_best_.version)
+    op_best_ = Versioned{kv.value, kv.version};
   if (op_replies_.size() < op_quorum_.size()) return;
 
   Op& op = queue_.front();
@@ -159,9 +165,10 @@ void ReplicaNode::on_read_reply(const Message& m) {
     Message m2;
     m2.type = MsgType::kWrite;
     m2.seq = op_id_;
-    m2.kv.key = op.key;
-    m2.kv.value = op.value;
-    m2.kv.version = op_best_.version + 1;
+    net::KvFields& kv = net_.attach_kv(m2);
+    kv.key = op.key;
+    kv.value = op.value;
+    kv.version = op_best_.version + 1;
     net_.send(id_, s, m2);
   }
 }

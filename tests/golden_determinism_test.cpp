@@ -1,0 +1,97 @@
+// Cross-refactor determinism goldens.
+//
+// sweep_test proves results are byte-identical across --jobs; this suite
+// pins them across *refactors*: a fixed-seed run's full registry JSON
+// (protocol counters, engine counters, histograms) must match the
+// checked-in snapshot byte for byte. Any change to message construction,
+// send ordering, container iteration order, or RNG consumption shows up
+// here before it can silently shift every paper-reproduction number.
+//
+// Regenerate intentionally with:
+//   DQME_REGEN_GOLDEN=1 ./build/tests/golden_determinism_test
+// and eyeball the diff — a golden change is a behavior change.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+#include "harness/experiment.h"
+
+namespace dqme::harness {
+namespace {
+
+ExperimentConfig golden_config(mutex::Algo algo) {
+  ExperimentConfig cfg;
+  cfg.algo = algo;
+  cfg.n = 9;
+  cfg.quorum = "grid";
+  cfg.delay_kind = ExperimentConfig::DelayKind::kUniform;
+  cfg.mean_delay = 1000;
+  cfg.workload.mode = Workload::Config::Mode::kClosed;
+  cfg.workload.cs_duration = 100;
+  cfg.warmup = 20'000;
+  cfg.measure = 200'000;
+  cfg.seed = 7;
+  return cfg;
+}
+
+std::string registry_json(const ExperimentConfig& cfg) {
+  const ExperimentResult r = run_experiment(cfg);
+  EXPECT_EQ(r.summary.violations, 0u);
+  EXPECT_TRUE(r.drained_clean);
+  std::ostringstream os;
+  r.registry.write_json(os);
+  os << "\n";
+  return os.str();
+}
+
+void check_golden(const std::string& name, const std::string& actual) {
+  const std::string path =
+      std::string(DQME_SOURCE_DIR) + "/tests/golden/registry_" + name +
+      ".json";
+  if (std::getenv("DQME_REGEN_GOLDEN") != nullptr) {
+    std::ofstream out(path);
+    ASSERT_TRUE(out) << "cannot write " << path;
+    out << actual;
+    GTEST_SKIP() << "regenerated " << path;
+  }
+  std::ifstream in(path);
+  ASSERT_TRUE(in) << "missing golden file " << path
+                  << " (regenerate with DQME_REGEN_GOLDEN=1)";
+  std::stringstream want;
+  want << in.rdbuf();
+  EXPECT_EQ(actual, want.str())
+      << "fixed-seed registry JSON drifted from " << path
+      << "; a refactor changed protocol behavior (or you intended this — "
+         "then regenerate with DQME_REGEN_GOLDEN=1 and justify the diff)";
+}
+
+TEST(GoldenDeterminism, CaoSinghal) {
+  check_golden("cao_singhal", registry_json(golden_config(
+                                  mutex::Algo::kCaoSinghal)));
+}
+
+TEST(GoldenDeterminism, Maekawa) {
+  check_golden("maekawa",
+               registry_json(golden_config(mutex::Algo::kMaekawa)));
+}
+
+TEST(GoldenDeterminism, SuzukiKasami) {
+  check_golden("suzuki_kasami",
+               registry_json(golden_config(mutex::Algo::kSuzukiKasami)));
+}
+
+// The §6 path: a mid-run crash forces quorum re-formation, exercising the
+// recovery scrubbing in the arbiter queues and the requesters' vote state
+// — exactly the code the flat-container refactor must not perturb.
+TEST(GoldenDeterminism, CaoSinghalFaultTolerant) {
+  ExperimentConfig cfg = golden_config(mutex::Algo::kCaoSinghal);
+  cfg.quorum = "majority";
+  cfg.options.fault_tolerant = true;
+  cfg.crashes.push_back({60'000, 4});
+  check_golden("cao_singhal_ft", registry_json(cfg));
+}
+
+}  // namespace
+}  // namespace dqme::harness

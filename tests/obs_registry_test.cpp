@@ -73,6 +73,73 @@ TEST(Histogram, MergeRejectsMismatchedSpecs) {
   EXPECT_THROW(a.merge(b), CheckError);
 }
 
+TEST(LogHistogram, RecordsIntoDoublingBuckets) {
+  Histogram h = Histogram::log2(10, 4);  // [10,20) [20,40) [40,80) [80,160)
+  h.record(9.99);  // underflow
+  h.record(10);    // exact lower boundary -> bucket 0
+  h.record(19.9);
+  h.record(20);  // exact boundary -> bucket 1, not 0
+  h.record(79.9);
+  h.record(159.9);
+  h.record(160);  // overflow
+  EXPECT_EQ(h.count(), 7u);
+  EXPECT_EQ(h.underflow(), 1u);
+  EXPECT_EQ(h.overflow(), 1u);
+  EXPECT_EQ(h.buckets()[0], 2u);
+  EXPECT_EQ(h.buckets()[1], 1u);
+  EXPECT_EQ(h.buckets()[2], 1u);
+  EXPECT_EQ(h.buckets()[3], 1u);
+  EXPECT_TRUE(h.is_log());
+  EXPECT_DOUBLE_EQ(h.bucket_lower(0), 10);
+  EXPECT_DOUBLE_EQ(h.bucket_upper(0), 20);
+  EXPECT_DOUBLE_EQ(h.bucket_lower(3), 80);
+  EXPECT_DOUBLE_EQ(h.bucket_upper(3), 160);
+}
+
+TEST(LogHistogram, CoversManyDecadesWithFewBuckets) {
+  // The motivating bug: waiting times span T/10 .. thousands of T, and a
+  // 100-bucket linear histogram dumped >99% of samples into overflow.
+  Histogram h = Histogram::log2(100, 36);
+  h.record(150);        // ~one message delay
+  h.record(500'000);    // heavy contention
+  h.record(2'000'000);  // saturation tail
+  EXPECT_EQ(h.overflow(), 0u);
+  EXPECT_EQ(h.underflow(), 0u);
+}
+
+TEST(LogHistogram, PercentileUsesBucketMidpoints) {
+  Histogram h = Histogram::log2(10, 4);
+  for (int i = 0; i < 90; ++i) h.record(15);  // bucket 0: [10,20)
+  for (int i = 0; i < 10; ++i) h.record(90);  // bucket 3: [80,160)
+  EXPECT_DOUBLE_EQ(h.percentile(0.5), 15);    // midpoint of [10,20)
+  EXPECT_DOUBLE_EQ(h.percentile(0.95), 120);  // midpoint of [80,160)
+}
+
+TEST(LogHistogram, PercentileResolvesOutOfRangeMassToEdges) {
+  Histogram h = Histogram::log2(10, 2);  // [10,20) [20,40)
+  for (int i = 0; i < 50; ++i) h.record(1);    // all underflow
+  for (int i = 0; i < 50; ++i) h.record(100);  // all overflow
+  EXPECT_DOUBLE_EQ(h.percentile(0.01), 10);  // underflow -> lo
+  EXPECT_DOUBLE_EQ(h.percentile(0.99), 40);  // overflow -> top edge
+}
+
+TEST(LogHistogram, MergeRejectsLinearCounterpart) {
+  // Same lo/width/bucket-count, different bucketing mode: still a spec
+  // mismatch.
+  Histogram log_h = Histogram::log2(10, 4);
+  Histogram lin_h(10, 10, 4);
+  log_h.record(15);
+  lin_h.record(15);
+  EXPECT_THROW(log_h.merge(lin_h), CheckError);
+  Histogram a = Histogram::log2(10, 4), b = Histogram::log2(10, 4);
+  a.record(15);
+  b.record(35);
+  a.merge(b);
+  EXPECT_EQ(a.count(), 2u);
+  EXPECT_EQ(a.buckets()[0], 1u);
+  EXPECT_EQ(a.buckets()[1], 1u);
+}
+
 TEST(Registry, CounterAndGaugeReferencesAreStable) {
   Registry reg;
   uint64_t& c = reg.counter("cs.completed");
@@ -91,6 +158,30 @@ TEST(Registry, HistogramRedeclarationWithSameSpecIsIdempotent) {
   Histogram& h2 = reg.histogram("waiting", 0, 100, 10);
   EXPECT_EQ(&h1, &h2);
   EXPECT_THROW(reg.histogram("waiting", 0, 50, 10), CheckError);
+}
+
+TEST(Registry, LogHistogramAccessorAndKindMismatch) {
+  Registry reg;
+  Histogram& h1 = reg.log_histogram("waiting", 100, 36);
+  Histogram& h2 = reg.log_histogram("waiting", 100, 36);
+  EXPECT_EQ(&h1, &h2);
+  EXPECT_TRUE(h1.is_log());
+  // Re-declaring the same name with the other bucketing mode is a spec
+  // mismatch in both directions.
+  EXPECT_THROW(reg.histogram("waiting", 100, 100, 36), CheckError);
+  reg.histogram("linear", 0, 10, 4);
+  EXPECT_THROW(reg.log_histogram("linear", 10, 4), CheckError);
+}
+
+TEST(Registry, WriteJsonEmitsHistogramKind) {
+  Registry reg;
+  reg.histogram("lin", 0, 10, 2).record(5);
+  reg.log_histogram("log", 10, 2).record(15);
+  std::ostringstream os;
+  reg.write_json(os);
+  const std::string s = os.str();
+  EXPECT_NE(s.find("\"lin\": {\"kind\": \"linear\""), std::string::npos);
+  EXPECT_NE(s.find("\"log\": {\"kind\": \"log2\""), std::string::npos);
 }
 
 TEST(Registry, MergeSumsCountersMaxesGauges) {
