@@ -81,9 +81,10 @@ struct KvFields {
 // Only kToken and the replica-layer messages carry one; every other control
 // message ships the sentinel. The Network owns the slot for the message's
 // whole flight and recycles it once the receiver's handler returns (or the
-// message is dropped by crash semantics) — a retained Message copy (trace
-// buffers) therefore holds a dangling handle, which is fine: nothing
-// dereferences payloads after delivery.
+// message is dropped by crash semantics) — a Message copy retained past
+// delivery must therefore sever the handle (net::TraceRecorder does, at
+// capture time), because the recycled slot may back an unrelated flight by
+// the time anyone looks.
 using PayloadId = uint32_t;
 inline constexpr PayloadId kNoPayload = 0xffffffffu;
 

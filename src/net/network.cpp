@@ -140,6 +140,19 @@ void Network::stage(SiteId src, SiteId dst, uint32_t flight) {
 
   const size_t chan = static_cast<size_t>(src) * static_cast<size_t>(size()) +
                       static_cast<size_t>(dst);
+  if (controlled_) {
+    // A wire message to a dead receiver evaporates now rather than sitting
+    // in a parked queue no strategy should ever have to drain: the clock
+    // path would drop it at arrival anyway, and dropping here keeps the
+    // enabled-action set (non-empty channels) meaningful.
+    if (!alive_[static_cast<size_t>(dst)]) {
+      drop_flight(flight);
+      return;
+    }
+    parked_[chan].push_back(flight);
+    ++parked_total_;
+    return;
+  }
   Time at = sim_.now() + delay_->sample(rng_, src, dst);
   // FIFO floor: never deliver before anything previously sent on the
   // channel. Equal instants are fine — the simulator breaks ties in
@@ -215,9 +228,94 @@ void Network::deliver_one(const Message& m) {
   if (m.payload != kNoPayload) release_payload(m.payload);
 }
 
+void Network::drop_flight(uint32_t idx) {
+  Flight& f = flights_[idx];
+  stats_.dropped_at_crashed += f.inline_count + f.spill.size();
+  for (uint32_t i = 0; i < f.inline_count; ++i)
+    if (f.inline_msgs[i].payload != kNoPayload)
+      release_payload(f.inline_msgs[i].payload);
+  for (const Message& m : f.spill)
+    if (m.payload != kNoPayload) release_payload(m.payload);
+  f.inline_count = 0;
+  f.spill.clear();
+  f.next_free = flight_free_;
+  flight_free_ = idx;
+}
+
+void Network::set_controlled(bool on) {
+  if (on == controlled_) return;
+  if (on) {
+    parked_.assign(static_cast<size_t>(size()) * static_cast<size_t>(size()),
+                   {});
+  } else {
+    DQME_CHECK_MSG(parked_total_ == 0,
+                   "disabling controlled delivery with flights still parked");
+    parked_.clear();
+    parked_.shrink_to_fit();
+  }
+  controlled_ = on;
+}
+
+void Network::parked_channels(std::vector<Channel>& out) const {
+  out.clear();
+  if (parked_total_ == 0) return;
+  const size_t n = static_cast<size_t>(size());
+  for (size_t chan = 0; chan < parked_.size(); ++chan) {
+    if (parked_[chan].empty()) continue;
+    out.push_back(Channel{static_cast<SiteId>(chan / n),
+                          static_cast<SiteId>(chan % n)});
+  }
+}
+
+size_t Network::parked_count(SiteId src, SiteId dst) const {
+  DQME_CHECK(0 <= src && src < size());
+  DQME_CHECK(0 <= dst && dst < size());
+  const size_t chan = static_cast<size_t>(src) * static_cast<size_t>(size()) +
+                      static_cast<size_t>(dst);
+  return parked_[chan].size();
+}
+
+Time Network::parked_sent_at(SiteId src, SiteId dst, size_t index) const {
+  const size_t chan = static_cast<size_t>(src) * static_cast<size_t>(size()) +
+                      static_cast<size_t>(dst);
+  DQME_CHECK(index < parked_[chan].size());
+  const Flight& f = flights_[parked_[chan][index]];
+  DQME_CHECK(f.inline_count > 0);
+  return f.inline_msgs[0].sent_at;
+}
+
+bool Network::deliver_parked(SiteId src, SiteId dst, size_t index) {
+  DQME_CHECK_MSG(controlled_, "deliver_parked outside controlled mode");
+  DQME_CHECK(0 <= src && src < size());
+  DQME_CHECK(0 <= dst && dst < size());
+  const size_t chan = static_cast<size_t>(src) * static_cast<size_t>(size()) +
+                      static_cast<size_t>(dst);
+  auto& q = parked_[chan];
+  if (index >= q.size()) return false;
+  const uint32_t flight = q[index];
+  q.erase(q.begin() + static_cast<ptrdiff_t>(index));
+  --parked_total_;
+  deliver_flight(flight);
+  return true;
+}
+
 void Network::crash(SiteId id) {
   DQME_CHECK(0 <= id && id < size());
   alive_[static_cast<size_t>(id)] = false;
+  if (controlled_ && parked_total_ > 0) {
+    // Parked flights touching the dead site would be dropped at delivery
+    // anyway (deliver_one checks both endpoints); sweeping them now keeps
+    // the enabled set honest and recycles their payload slots immediately.
+    const size_t n = static_cast<size_t>(size());
+    for (size_t chan = 0; chan < parked_.size(); ++chan) {
+      const SiteId src = static_cast<SiteId>(chan / n);
+      const SiteId dst = static_cast<SiteId>(chan % n);
+      if (src != id && dst != id) continue;
+      for (uint32_t flight : parked_[chan]) drop_flight(flight);
+      parked_total_ -= parked_[chan].size();
+      parked_[chan].clear();
+    }
+  }
   if (on_crash) on_crash(id);
 }
 

@@ -33,6 +33,7 @@
 #pragma once
 
 #include <array>
+#include <deque>
 #include <functional>
 #include <memory>
 #include <vector>
@@ -113,8 +114,42 @@ class Network {
   TokenPayload take_token(const Message& m);
   size_t payload_pool_size() const { return payloads_.size(); }
 
+  // --- Controlled delivery (src/verify's schedule explorer) -----------
+  // When enabled, wire flights between live sites are parked in
+  // per-channel FIFO queues instead of being scheduled through the delay
+  // model, and an external strategy delivers them one at a time with
+  // deliver_next(). Local (src == dst) deliveries keep their
+  // immediate-event semantics — a site still never re-enters its own
+  // handler — and crash() drops every parked flight touching the dead
+  // site exactly as clock-driven delivery would on arrival, so payload
+  // slots recycle and the conservation identity (in_flight() == 0 at
+  // quiescence) keeps holding under explorer-chosen orders. Per-channel
+  // FIFO is the one constraint a strategy cannot escape: only the head
+  // flight of a channel is deliverable (deliver_parked's index seam
+  // exists solely for the explorer's seeded FIFO-inversion mutation).
+  void set_controlled(bool on);
+  bool controlled() const { return controlled_; }
+  struct Channel {
+    SiteId src;
+    SiteId dst;
+  };
+  // Channels with at least one parked flight, ascending (src, dst).
+  void parked_channels(std::vector<Channel>& out) const;
+  size_t parked_flights() const { return parked_total_; }
+  size_t parked_count(SiteId src, SiteId dst) const;
+  // Send instant of the index-th parked flight on a channel.
+  Time parked_sent_at(SiteId src, SiteId dst, size_t index) const;
+  // Delivers a channel's head flight at the current simulator instant.
+  // Returns false when the channel has no parked flight.
+  bool deliver_next(SiteId src, SiteId dst) {
+    return deliver_parked(src, dst, 0);
+  }
+  // Mutation seam for seeded-negative tests: delivers the index-th parked
+  // flight, deliberately violating FIFO when index > 0.
+  bool deliver_parked(SiteId src, SiteId dst, size_t index);
+
   // Crashes a site: fail-silent from now on. Messages already in flight
-  // toward it are dropped on arrival.
+  // toward it are dropped on arrival (immediately when controlled).
   void crash(SiteId id);
   bool alive(SiteId id) const { return alive_[static_cast<size_t>(id)]; }
   int alive_count() const;
@@ -160,6 +195,9 @@ class Network {
   uint32_t acquire_flight();
   PayloadId acquire_payload();
   void release_payload(PayloadId id);
+  // Drops a staged-but-undelivered flight: releases its payload slots,
+  // counts its messages as crash drops, and recycles the slot.
+  void drop_flight(uint32_t idx);
   void deliver_flight(uint32_t idx);
   // Delivers one message; the hook branch is resolved per *flight* in
   // deliver_flight, so the detached path never tests the std::function per
@@ -182,6 +220,10 @@ class Network {
   uint32_t flight_free_ = kNilFlight;
   std::vector<SidePayload> payloads_;
   uint32_t payload_free_ = kNilFlight;
+  // Controlled-delivery state: parked flight queue per (src,dst) channel.
+  bool controlled_ = false;
+  size_t parked_total_ = 0;
+  std::vector<std::deque<uint32_t>> parked_;
 };
 
 }  // namespace dqme::net

@@ -14,6 +14,12 @@ TraceRecorder::TraceRecorder(Network& net, size_t capacity)
       ++dropped_;
     }
     events_.push_back(TraceEvent{sim_.now(), m});
+    // A payload handle is only live while the delivery handler runs — the
+    // network recycles the slot the moment on_message returns, and under
+    // explorer-chosen (out-of-order) delivery the slot's next tenant is
+    // arbitrary. Sever the handle in the retained copy so nothing can
+    // dereference a recycled slot later.
+    events_.back().msg.payload = kNoPayload;
     if (previous) previous(m);
   };
 }

@@ -15,6 +15,9 @@
 
 namespace dqme::net {
 
+// One retained delivery. `msg.payload` is always kNoPayload: the pool slot
+// behind the original handle dies when the delivery handler returns, so the
+// recorder severs it at capture time (see trace.cpp).
 struct TraceEvent {
   Time at = 0;
   Message msg;

@@ -1,0 +1,262 @@
+#include "verify/explorer.h"
+
+#include <algorithm>
+#include <istream>
+#include <ostream>
+#include <sstream>
+
+#include "common/check.h"
+
+namespace dqme::verify {
+
+std::unique_ptr<World> replay_schedule(const WorldConfig& cfg,
+                                       const std::vector<Action>& actions,
+                                       bool capture) {
+  auto world = std::make_unique<World>(cfg, capture);
+  for (const Action& a : actions) {
+    if (world->violations() > 0) break;  // the explorer stopped here too
+    world->apply(a);
+  }
+  if (world->violations() == 0 && world->quiescent()) world->seal();
+  return world;
+}
+
+std::string violation_category(const std::vector<std::string>& reports) {
+  if (reports.empty()) return {};
+  const std::string& first = reports.front();
+  return first.substr(0, first.find(':'));
+}
+
+Explorer::Explorer(ExplorerConfig cfg) : cfg_(std::move(cfg)) {}
+
+void Explorer::rebuild_world(ExploreResult& result) {
+  world_ = std::make_unique<World>(cfg_.world);
+  for (const Action& a : prefix_) world_->apply(a);
+  world_matches_ = true;
+  ++result.replays;
+  result.replay_steps += prefix_.size();
+}
+
+bool Explorer::over_budget(const ExploreResult& result) const {
+  if (cfg_.max_schedules > 0 && result.schedules >= cfg_.max_schedules)
+    return true;
+  return cfg_.max_nodes > 0 && result.nodes >= cfg_.max_nodes;
+}
+
+void Explorer::record_violation(std::vector<Action> schedule,
+                                std::vector<std::string> reports,
+                                ExploreResult& result) {
+  if (cfg_.minimize) {
+    // Greedy shrink: drop any action whose removal still replays to the
+    // same violation category. Inapplicable leftovers no-op on replay, so
+    // every intermediate candidate stays well-defined.
+    const std::string category = violation_category(reports);
+    size_t i = 0;
+    while (i < schedule.size()) {
+      std::vector<Action> candidate = schedule;
+      candidate.erase(candidate.begin() + static_cast<ptrdiff_t>(i));
+      auto world = replay_schedule(cfg_.world, candidate);
+      ++result.replays;
+      result.replay_steps += candidate.size();
+      if (world->violations() > 0 &&
+          violation_category(world->reports()) == category) {
+        schedule = std::move(candidate);
+        reports = world->reports();
+      } else {
+        ++i;
+      }
+    }
+  }
+  result.violations.push_back(
+      Violation{std::move(schedule), std::move(reports)});
+}
+
+ExploreResult Explorer::run() {
+  DQME_CHECK_MSG(!ran_, "Explorer::run() is single-shot");
+  ran_ = true;
+  ExploreResult result = std::move(carried_);
+  carried_ = {};
+
+  if (stack_.empty()) {  // fresh start (vs. a loaded frontier)
+    DQME_CHECK(prefix_.empty());
+    rebuild_world(result);
+    std::vector<Action> actions;
+    world_->enabled(actions);
+    if (world_->quiescent()) {  // degenerate: nothing ever happens
+      world_->seal();
+      ++result.schedules;
+      if (world_->violations() > 0)
+        record_violation({}, world_->reports(), result);
+      result.complete = result.violations.empty();
+      return result;
+    }
+    stack_.push_back(
+        Frame{std::move(actions), std::vector<char>{}, 0});
+    stack_.back().sleep.assign(stack_.back().actions.size(), 0);
+  }
+
+  while (!stack_.empty()) {
+    // Loop-top invariant: stack_[k] is the node reached by prefix_[0..k-1],
+    // so stack_.size() == prefix_.size() + 1. Frontier save/load rely on it.
+    if (over_budget(result)) {
+      result.budget_exhausted = true;
+      carried_ = result;  // counters for save_frontier
+      return result;
+    }
+    Frame& frame = stack_.back();
+    while (frame.next < frame.actions.size() && frame.sleep[frame.next]) {
+      ++frame.next;
+      ++result.sleep_skips;
+    }
+    if (frame.next >= frame.actions.size()) {  // all siblings done
+      stack_.pop_back();
+      if (!prefix_.empty()) {
+        prefix_.pop_back();
+        world_matches_ = false;
+      }
+      continue;
+    }
+    const size_t chosen = frame.next++;
+    const Action action = frame.actions[chosen];
+
+    if (!world_matches_) rebuild_world(result);
+    world_->apply(action);
+    prefix_.push_back(action);
+    ++result.nodes;
+
+    if (world_->violations() > 0) {
+      // Safety already broken: every extension of this prefix violates
+      // too, so the path ends here (and gets minimized by replay).
+      ++result.schedules;
+      record_violation(prefix_, world_->reports(), result);
+      world_matches_ = false;
+      prefix_.pop_back();
+      if (cfg_.stop_on_violation) return result;
+      continue;
+    }
+    if (cfg_.max_depth > 0 &&
+        prefix_.size() >= static_cast<size_t>(cfg_.max_depth)) {
+      ++result.truncated;
+      world_matches_ = false;
+      prefix_.pop_back();
+      continue;
+    }
+
+    std::vector<Action> child_actions;
+    world_->enabled(child_actions);
+    if (world_->quiescent()) {  // complete schedule
+      world_->seal();
+      ++result.schedules;
+      world_matches_ = false;  // a sealed world takes no further actions
+      if (world_->violations() > 0) {
+        record_violation(prefix_, world_->reports(), result);
+        if (cfg_.stop_on_violation) {
+          prefix_.pop_back();
+          return result;
+        }
+      }
+      prefix_.pop_back();
+      continue;
+    }
+
+    std::vector<char> child_sleep(child_actions.size(), 0);
+    if (cfg_.por) {
+      // Sleep sets: a sibling that is already explored (or itself asleep)
+      // and independent of the chosen action would reach a state whose
+      // exploration the sibling's own subtree already covers — put it to
+      // sleep in the child.
+      for (size_t j = 0; j < frame.actions.size(); ++j) {
+        if (j == chosen) continue;
+        const bool asleep = frame.sleep[j] != 0;
+        const bool explored = j < chosen && !asleep;
+        if (!asleep && !explored) continue;
+        if (!independent(frame.actions[j], action)) continue;
+        for (size_t k = 0; k < child_actions.size(); ++k)
+          if (child_actions[k] == frame.actions[j]) child_sleep[k] = 1;
+      }
+    }
+    stack_.push_back(
+        Frame{std::move(child_actions), std::move(child_sleep), 0});
+  }
+
+  result.complete = result.truncated == 0;
+  return result;
+}
+
+void Explorer::save_frontier(std::ostream& os) const {
+  os << "{\"dqme_frontier\":1,";
+  write_config_fields(os, cfg_.world);
+  os << ",\"schedules\":" << carried_.schedules
+     << ",\"truncated\":" << carried_.truncated
+     << ",\"nodes\":" << carried_.nodes
+     << ",\"replays\":" << carried_.replays
+     << ",\"replay_steps\":" << carried_.replay_steps
+     << ",\"sleep_skips\":" << carried_.sleep_skips << "}\n";
+  for (size_t i = 0; i < stack_.size(); ++i) {
+    const Frame& f = stack_[i];
+    std::string sleep(f.sleep.size(), '0');
+    for (size_t j = 0; j < f.sleep.size(); ++j)
+      if (f.sleep[j]) sleep[j] = '1';
+    os << "{\"frame\":" << i << ",\"actions\":\""
+       << encode_actions(f.actions) << "\",\"sleep\":\"" << sleep
+       << "\",\"next\":" << f.next << "}\n";
+  }
+}
+
+bool Explorer::load_frontier(std::istream& is, std::string* error) {
+  const auto fail = [&](const char* what) {
+    if (error) *error = what;
+    return false;
+  };
+  DQME_CHECK_MSG(!ran_, "load_frontier after run()");
+  std::string line;
+  if (!std::getline(is, line)) return fail("empty frontier file");
+  long marker = 0;
+  if (!json_field_num(line, "dqme_frontier", marker) || marker != 1)
+    return fail("not a dqme_frontier file");
+  if (!read_config_fields(line, cfg_.world, error)) return false;
+  long num = 0;
+  const auto counter = [&](const char* key, uint64_t& slot) {
+    if (json_field_num(line, key, num)) slot = static_cast<uint64_t>(num);
+  };
+  carried_ = {};
+  counter("schedules", carried_.schedules);
+  counter("truncated", carried_.truncated);
+  counter("nodes", carried_.nodes);
+  counter("replays", carried_.replays);
+  counter("replay_steps", carried_.replay_steps);
+  counter("sleep_skips", carried_.sleep_skips);
+
+  stack_.clear();
+  prefix_.clear();
+  while (std::getline(is, line)) {
+    if (line.empty()) continue;
+    Frame frame;
+    std::string actions;
+    std::string sleep;
+    if (!json_field_str(line, "actions", actions) ||
+        !decode_actions(actions, frame.actions))
+      return fail("malformed frontier frame actions");
+    if (!json_field_str(line, "sleep", sleep) ||
+        sleep.size() != frame.actions.size())
+      return fail("malformed frontier frame sleep set");
+    frame.sleep.assign(sleep.size(), 0);
+    for (size_t j = 0; j < sleep.size(); ++j)
+      if (sleep[j] == '1') frame.sleep[j] = 1;
+    if (!json_field_num(line, "next", num) || num < 0 ||
+        static_cast<size_t>(num) > frame.actions.size())
+      return fail("malformed frontier frame cursor");
+    frame.next = static_cast<size_t>(num);
+    stack_.push_back(std::move(frame));
+  }
+  if (stack_.empty()) return fail("frontier has no frames");
+  // The prefix is implicit: each non-leaf frame's last-chosen action.
+  for (size_t k = 0; k + 1 < stack_.size(); ++k) {
+    if (stack_[k].next == 0) return fail("frontier frame never descended");
+    prefix_.push_back(stack_[k].actions[stack_[k].next - 1]);
+  }
+  world_matches_ = false;
+  return true;
+}
+
+}  // namespace dqme::verify

@@ -1,0 +1,113 @@
+// Stateless schedule-space explorer (the PR's tentpole).
+//
+// Depth-first search over every (reduced) sequence of Actions a World can
+// take from its initial state: which parked flight to deliver next, when a
+// site leaves the CS, when each failure notice lands, and — within a
+// bounded crash budget — which site to crash at which choice point. Each
+// complete schedule ends sealed: the full PR-3 invariant set plus the
+// driver-level starvation check run against it.
+//
+// State reconstruction is replay-based ("stateless" model checking in the
+// VeriSoft sense): the World is rebuilt from scratch and the prefix
+// re-applied whenever the search backtracks, trading CPU for zero snapshot
+// machinery — the simulator is deterministic, so replay is exact.
+//
+// Reduction: sleep sets over the commutativity relation in schedule.h (two
+// actions touching different sites commute). A child's sleep set carries
+// every already-explored (or sleeping) sibling that is independent of the
+// chosen action, so the permutations of pairwise-commuting actions are
+// explored once instead of factorially often. `por = false` turns this off
+// for the naive-DFS comparison the acceptance gate requires.
+//
+// Violating prefixes stop immediately (every extension violates too), are
+// greedily minimized by replay, and come back as replayable schedules.
+// Budgets (schedule/node caps) suspend the search with the DFS stack
+// serialized — a frontier file — from which a later run resumes exactly.
+#pragma once
+
+#include <iosfwd>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "verify/world.h"
+
+namespace dqme::verify {
+
+struct ExplorerConfig {
+  WorldConfig world;
+  int max_depth = 0;           // 0 = unbounded (finite anyway: see docs)
+  uint64_t max_schedules = 0;  // 0 = unbounded
+  uint64_t max_nodes = 0;      // 0 = unbounded
+  bool por = true;             // sleep-set reduction on
+  bool stop_on_violation = true;
+  bool minimize = true;        // shrink counterexamples by replay
+};
+
+struct Violation {
+  std::vector<Action> schedule;       // minimal replayable counterexample
+  std::vector<std::string> reports;   // what the checker/seal flagged
+};
+
+struct ExploreResult {
+  uint64_t schedules = 0;    // complete (sealed or violating) schedules
+  uint64_t truncated = 0;    // paths cut by max_depth, not sealed
+  uint64_t nodes = 0;        // actions applied while exploring (not replays)
+  uint64_t replays = 0;      // world rebuilds
+  uint64_t replay_steps = 0; // actions re-applied during rebuilds
+  uint64_t sleep_skips = 0;  // branches pruned by the reduction
+  bool budget_exhausted = false;
+  bool complete = false;     // the whole (reduced) space was covered
+  std::vector<Violation> violations;
+};
+
+// Replays a schedule on a fresh World: applies every action (inapplicable
+// ones no-op), then seals if the run quiesced violation-free. The caller
+// inspects violations()/reports() — and, with capture, exports a trace.
+std::unique_ptr<World> replay_schedule(const WorldConfig& cfg,
+                                       const std::vector<Action>& actions,
+                                       bool capture = false);
+
+// Category of a violation = its first report up to the first ':' — stable
+// across replays of the same bug, which is what minimization preserves.
+std::string violation_category(const std::vector<std::string>& reports);
+
+class Explorer {
+ public:
+  explicit Explorer(ExplorerConfig cfg);
+
+  // Runs until the space is covered, a violation stops the search, or a
+  // budget suspends it. Callable once per Explorer.
+  ExploreResult run();
+
+  // Serializes the suspended DFS stack (budget_exhausted results only);
+  // load restores it — including the WorldConfig — so `run()` continues
+  // where the budgeted run stopped.
+  void save_frontier(std::ostream& os) const;
+  bool load_frontier(std::istream& is, std::string* error);
+
+  const ExplorerConfig& config() const { return cfg_; }
+
+ private:
+  struct Frame {
+    std::vector<Action> actions;  // enabled set at this node, fixed order
+    std::vector<char> sleep;      // sleep-set membership per action
+    size_t next = 0;              // next sibling index to consider
+  };
+
+  void rebuild_world(ExploreResult& result);
+  void record_violation(std::vector<Action> schedule,
+                        std::vector<std::string> reports,
+                        ExploreResult& result);
+  bool over_budget(const ExploreResult& result) const;
+
+  ExplorerConfig cfg_;
+  std::vector<Frame> stack_;
+  std::vector<Action> prefix_;
+  std::unique_ptr<World> world_;
+  bool world_matches_ = false;  // world_ state == replay of prefix_
+  ExploreResult carried_;       // counters restored by load_frontier
+  bool ran_ = false;
+};
+
+}  // namespace dqme::verify

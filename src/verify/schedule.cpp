@@ -1,0 +1,229 @@
+#include "verify/schedule.h"
+
+#include <istream>
+#include <ostream>
+#include <sstream>
+
+#include "common/check.h"
+
+namespace dqme::verify {
+
+std::string to_string(const Action& a) {
+  std::ostringstream os;
+  switch (a.kind) {
+    case ActionKind::kDeliver: os << "d " << a.a << ' ' << a.b; break;
+    case ActionKind::kExit:    os << "x " << a.a; break;
+    case ActionKind::kNotice:  os << "n " << a.a << ' ' << a.b; break;
+    case ActionKind::kCrash:   os << "c " << a.a; break;
+  }
+  return os.str();
+}
+
+SiteId touched_site(const Action& a) {
+  switch (a.kind) {
+    case ActionKind::kDeliver: return a.b;  // runs the destination's handler
+    case ActionKind::kExit:    return a.a;
+    case ActionKind::kNotice:  return a.b;  // runs the receiver's handler
+    case ActionKind::kCrash:   return kNoSite;  // dependent with everything
+  }
+  return kNoSite;
+}
+
+bool independent(const Action& x, const Action& y) {
+  const SiteId sx = touched_site(x);
+  const SiteId sy = touched_site(y);
+  return sx != kNoSite && sy != kNoSite && sx != sy;
+}
+
+std::string_view to_string(Mutation m) {
+  switch (m) {
+    case Mutation::kNone:          return "none";
+    case Mutation::kDoubleGrant:   return "double-grant";
+    case Mutation::kLostTransfer:  return "lost-transfer";
+    case Mutation::kFifoInversion: return "fifo-inversion";
+  }
+  return "none";
+}
+
+Mutation mutation_from_string(const std::string& name) {
+  if (name.empty() || name == "none") return Mutation::kNone;
+  if (name == "double-grant") return Mutation::kDoubleGrant;
+  if (name == "lost-transfer") return Mutation::kLostTransfer;
+  if (name == "fifo-inversion") return Mutation::kFifoInversion;
+  DQME_CHECK_MSG(false, "unknown mutation '" << name << "'");
+  return Mutation::kNone;
+}
+
+std::string encode_actions(const std::vector<Action>& actions) {
+  std::string out;
+  for (const Action& a : actions) {
+    if (!out.empty()) out += ';';
+    out += to_string(a);
+  }
+  return out;
+}
+
+bool decode_actions(const std::string& text, std::vector<Action>& out) {
+  out.clear();
+  std::istringstream is(text);
+  std::string item;
+  while (std::getline(is, item, ';')) {
+    if (item.empty()) continue;
+    std::istringstream fields(item);
+    char kind = 0;
+    Action a;
+    if (!(fields >> kind)) return false;
+    switch (kind) {
+      case 'd':
+        a.kind = ActionKind::kDeliver;
+        if (!(fields >> a.a >> a.b)) return false;
+        break;
+      case 'x':
+        a.kind = ActionKind::kExit;
+        if (!(fields >> a.a)) return false;
+        break;
+      case 'n':
+        a.kind = ActionKind::kNotice;
+        if (!(fields >> a.a >> a.b)) return false;
+        break;
+      case 'c':
+        a.kind = ActionKind::kCrash;
+        if (!(fields >> a.a)) return false;
+        break;
+      default:
+        return false;
+    }
+    out.push_back(a);
+  }
+  return true;
+}
+
+namespace {
+
+void write_json_string(std::ostream& os, std::string_view s) {
+  os << '"';
+  for (char c : s) {
+    if (c == '"' || c == '\\') os << '\\';
+    os << c;
+  }
+  os << '"';
+}
+
+}  // namespace
+
+bool json_field_str(const std::string& text, const std::string& key,
+                    std::string& out) {
+  const std::string pat = "\"" + key + "\":";
+  size_t p = text.find(pat);
+  if (p == std::string::npos) return false;
+  p += pat.size();
+  while (p < text.size() && text[p] == ' ') ++p;
+  if (p >= text.size() || text[p] != '"') return false;
+  ++p;
+  out.clear();
+  while (p < text.size() && text[p] != '"') {
+    if (text[p] == '\\' && p + 1 < text.size()) ++p;
+    out += text[p++];
+  }
+  return p < text.size();
+}
+
+bool json_field_num(const std::string& text, const std::string& key,
+                    long& out) {
+  const std::string pat = "\"" + key + "\":";
+  size_t p = text.find(pat);
+  if (p == std::string::npos) return false;
+  p += pat.size();
+  while (p < text.size() && text[p] == ' ') ++p;
+  std::istringstream num(text.substr(p, 24));
+  return static_cast<bool>(num >> out);
+}
+
+void write_config_fields(std::ostream& os, const WorldConfig& cfg) {
+  os << "\"algo\":";
+  write_json_string(os, mutex::to_string(cfg.algo));
+  os << ",\"n\":" << cfg.n;
+  os << ",\"quorum\":";
+  write_json_string(os, cfg.quorum);
+  os << ",\"cs_per_site\":" << cfg.cs_per_site;
+  os << ",\"fault_tolerant\":" << (cfg.fault_tolerant ? "true" : "false");
+  std::string crash_sites;
+  for (SiteId s : cfg.crash_sites) {
+    if (!crash_sites.empty()) crash_sites += ' ';
+    crash_sites += std::to_string(s);
+  }
+  os << ",\"crash_sites\":";
+  write_json_string(os, crash_sites);
+  os << ",\"max_crashes\":" << cfg.max_crashes;
+  os << ",\"mutation\":";
+  write_json_string(os, to_string(cfg.mutation));
+}
+
+bool read_config_fields(const std::string& text, WorldConfig& cfg,
+                        std::string* error) {
+  const auto fail = [&](const char* what) {
+    if (error) *error = what;
+    return false;
+  };
+  std::string s;
+  long num = 0;
+  if (!json_field_str(text, "algo", s)) return fail("missing algo");
+  cfg.algo = mutex::algo_from_string(s);
+  if (!json_field_num(text, "n", num)) return fail("missing n");
+  cfg.n = static_cast<int>(num);
+  if (!json_field_str(text, "quorum", cfg.quorum))
+    return fail("missing quorum");
+  if (!json_field_num(text, "cs_per_site", num))
+    return fail("missing cs_per_site");
+  cfg.cs_per_site = static_cast<int>(num);
+  cfg.fault_tolerant =
+      text.find("\"fault_tolerant\":true") != std::string::npos;
+  cfg.crash_sites.clear();
+  if (json_field_str(text, "crash_sites", s)) {
+    std::istringstream sites(s);
+    SiteId site = kNoSite;
+    while (sites >> site) cfg.crash_sites.push_back(site);
+  }
+  cfg.max_crashes = 0;
+  if (json_field_num(text, "max_crashes", num))
+    cfg.max_crashes = static_cast<int>(num);
+  cfg.mutation = Mutation::kNone;
+  if (json_field_str(text, "mutation", s))
+    cfg.mutation = mutation_from_string(s);
+  return true;
+}
+
+void write_schedule(std::ostream& os, const WorldConfig& cfg,
+                    const std::vector<Action>& actions,
+                    const std::vector<std::string>& reports) {
+  os << "{\"dqme_schedule\":1,";
+  write_config_fields(os, cfg);
+  os << ",\n\"actions\":";
+  write_json_string(os, encode_actions(actions));
+  os << ",\n\"reports\":[";
+  for (size_t i = 0; i < reports.size(); ++i) {
+    if (i > 0) os << ",\n  ";
+    write_json_string(os, reports[i]);
+  }
+  os << "]}\n";
+}
+
+bool read_schedule(std::istream& is, WorldConfig& cfg,
+                   std::vector<Action>& actions, std::string* error) {
+  const auto fail = [&](const char* what) {
+    if (error) *error = what;
+    return false;
+  };
+  std::string text((std::istreambuf_iterator<char>(is)),
+                   std::istreambuf_iterator<char>());
+  long marker = 0;
+  if (!json_field_num(text, "dqme_schedule", marker) || marker != 1)
+    return fail("not a dqme_schedule file");
+  if (!read_config_fields(text, cfg, error)) return false;
+  std::string s;
+  if (!json_field_str(text, "actions", s)) return fail("missing actions");
+  if (!decode_actions(s, actions)) return fail("malformed actions");
+  return true;
+}
+
+}  // namespace dqme::verify

@@ -1,0 +1,394 @@
+// dqme_explore — schedule-space model checker CLI (src/verify).
+//
+// Drives the deterministic simulator through every (sleep-set reduced)
+// message-delivery interleaving of a small configuration and runs the full
+// invariant set on each schedule. Finds the adversarial orderings a single
+// seeded run never produces; when it finds a violation it emits a minimal
+// replayable schedule that `dqme_sim --replay-schedule` reproduces.
+//
+// Examples:
+//   dqme_explore --algo cao-singhal --n 3 --cs-per-site 2
+//   dqme_explore --algo cao-singhal --n 3 --crashes 1 --compare-naive
+//   dqme_explore --algo maekawa --n 3 --budget 50000 --frontier-out f.json
+//   dqme_explore --mutate double-grant --repro-out repro.json
+//   dqme_explore --preset smoke --json smoke.json
+#include <chrono>
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "obs/chrome_trace.h"
+#include "verify/explorer.h"
+
+namespace {
+
+using namespace dqme;
+
+void usage(const char* argv0) {
+  std::cout
+      << "usage: " << argv0 << " [options]\n"
+      << "  --algo NAME        protocol to check (default cao-singhal)\n"
+      << "  --n N              number of sites (default 3)\n"
+      << "  --quorum KIND      quorum construction (default grid)\n"
+      << "  --cs-per-site K    CS entries each site wants (default 2)\n"
+      << "  --depth D          truncate schedules after D actions (0 = off)\n"
+      << "  --budget S         stop after S complete schedules (0 = off)\n"
+      << "  --nodes M          stop after M explored actions (0 = off)\n"
+      << "  --crashes K        allow up to K crash actions per schedule\n"
+      << "  --crash-sites \"A B\"  candidate victims (default: site n-1)\n"
+      << "  --ft               §6 fault-tolerance layer (implied by\n"
+      << "                     --crashes > 0)\n"
+      << "  --mutate NAME      seeded fault: double-grant | lost-transfer |\n"
+      << "                     fifo-inversion (negative testing)\n"
+      << "  --no-por           naive DFS, no sleep-set reduction\n"
+      << "  --compare-naive    run reduced and naive, report both + ratio\n"
+      << "  --keep-going       collect every violation, not just the first\n"
+      << "  --no-minimize      keep counterexamples unshrunk\n"
+      << "  --repro-out FILE   write the first violation as a replayable\n"
+      << "                     schedule (dqme_sim --replay-schedule FILE)\n"
+      << "  --trace-out FILE   Chrome trace of the first counterexample\n"
+      << "  --json FILE        machine-readable report\n"
+      << "  --frontier-out FILE  serialize the DFS stack when a budget\n"
+      << "                     suspends the search\n"
+      << "  --resume FILE      continue from a saved frontier\n"
+      << "  --preset smoke     CI gate: cao-singhal + maekawa at N=3,\n"
+      << "                     bounded budget, expects 0 violations\n";
+}
+
+struct Options {
+  verify::ExplorerConfig explorer;
+  bool crash_sites_set = false;
+  bool ft_set = false;
+  bool compare_naive = false;
+  std::string repro_out;
+  std::string trace_out;
+  std::string json_out;
+  std::string frontier_out;
+  std::string resume;
+  std::string preset;
+};
+
+bool parse_args(int argc, char** argv, Options& opt) {
+  verify::ExplorerConfig& ex = opt.explorer;
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    auto next = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        std::cerr << "missing value for " << a << "\n";
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (a == "--help" || a == "-h") {
+      usage(argv[0]);
+      std::exit(0);
+    } else if (a == "--algo") {
+      ex.world.algo = mutex::algo_from_string(next());
+    } else if (a == "--n") {
+      ex.world.n = std::atoi(next());
+    } else if (a == "--quorum") {
+      ex.world.quorum = next();
+    } else if (a == "--cs-per-site") {
+      ex.world.cs_per_site = std::atoi(next());
+    } else if (a == "--depth") {
+      ex.max_depth = std::atoi(next());
+    } else if (a == "--budget") {
+      ex.max_schedules = static_cast<uint64_t>(std::atoll(next()));
+    } else if (a == "--nodes") {
+      ex.max_nodes = static_cast<uint64_t>(std::atoll(next()));
+    } else if (a == "--crashes") {
+      ex.world.max_crashes = std::atoi(next());
+    } else if (a == "--crash-sites") {
+      opt.crash_sites_set = true;
+      ex.world.crash_sites.clear();
+      std::istringstream sites(next());
+      SiteId s = kNoSite;
+      while (sites >> s) ex.world.crash_sites.push_back(s);
+    } else if (a == "--ft") {
+      opt.ft_set = true;
+    } else if (a == "--mutate") {
+      ex.world.mutation = verify::mutation_from_string(next());
+    } else if (a == "--no-por") {
+      ex.por = false;
+    } else if (a == "--compare-naive") {
+      opt.compare_naive = true;
+    } else if (a == "--keep-going") {
+      ex.stop_on_violation = false;
+    } else if (a == "--no-minimize") {
+      ex.minimize = false;
+    } else if (a == "--repro-out") {
+      opt.repro_out = next();
+    } else if (a == "--trace-out") {
+      opt.trace_out = next();
+    } else if (a == "--json") {
+      opt.json_out = next();
+    } else if (a == "--frontier-out") {
+      opt.frontier_out = next();
+    } else if (a == "--resume") {
+      opt.resume = next();
+    } else if (a == "--preset") {
+      opt.preset = next();
+    } else {
+      std::cerr << "unknown option: " << a << "\n";
+      return false;
+    }
+  }
+  if (ex.world.max_crashes > 0) {
+    // Crash branching exercises the §6 recovery layer, which only the
+    // fault-tolerant Cao-Singhal configuration implements.
+    ex.world.fault_tolerant = true;
+    if (!opt.crash_sites_set)
+      ex.world.crash_sites = {static_cast<SiteId>(ex.world.n - 1)};
+  }
+  if (opt.ft_set) ex.world.fault_tolerant = true;
+  return true;
+}
+
+void write_json_escaped(std::ostream& os, const std::string& s) {
+  os << '"';
+  for (char c : s) {
+    if (c == '"' || c == '\\') os << '\\';
+    os << c;
+  }
+  os << '"';
+}
+
+void print_result(const char* label, const verify::ExplorerConfig& cfg,
+                  const verify::ExploreResult& r, double wall_ms) {
+  std::cout << label << mutex::to_string(cfg.world.algo)
+            << "  N=" << cfg.world.n << "  quorum=" << cfg.world.quorum
+            << "  cs/site=" << cfg.world.cs_per_site
+            << "  crashes<=" << cfg.world.max_crashes
+            << (cfg.por ? "  [sleep-set POR]" : "  [naive DFS]") << "\n";
+  std::cout << "  schedules " << r.schedules << " (truncated " << r.truncated
+            << ")  nodes " << r.nodes << "  replays " << r.replays << " ("
+            << r.replay_steps << " steps)  pruned " << r.sleep_skips
+            << "  " << (r.complete            ? "COMPLETE"
+                        : r.budget_exhausted  ? "BUDGET EXHAUSTED"
+                                              : "STOPPED")
+            << "  " << wall_ms << " ms\n";
+  for (const verify::Violation& v : r.violations) {
+    std::cout << "  VIOLATION (" << v.schedule.size() << " actions): "
+              << verify::encode_actions(v.schedule) << "\n";
+    for (const std::string& rep : v.reports) std::cout << "    " << rep
+                                                       << "\n";
+  }
+}
+
+void write_json_report(std::ostream& os, const verify::ExplorerConfig& cfg,
+                       const verify::ExploreResult& r, double wall_ms,
+                       const verify::ExploreResult* naive,
+                       double naive_wall_ms) {
+  os << "{\"dqme_explore\":1,";
+  verify::write_config_fields(os, cfg.world);
+  os << ",\n\"max_depth\":" << cfg.max_depth << ",\"por\":"
+     << (cfg.por ? "true" : "false") << ",\"schedules\":" << r.schedules
+     << ",\"truncated\":" << r.truncated << ",\"nodes\":" << r.nodes
+     << ",\"replays\":" << r.replays << ",\"replay_steps\":" << r.replay_steps
+     << ",\"sleep_skips\":" << r.sleep_skips << ",\"complete\":"
+     << (r.complete ? "true" : "false") << ",\"budget_exhausted\":"
+     << (r.budget_exhausted ? "true" : "false")
+     << ",\"violations\":" << r.violations.size() << ",\"wall_ms\":"
+     << wall_ms;
+  if (naive != nullptr) {
+    os << ",\n\"naive_schedules\":" << naive->schedules
+       << ",\"naive_nodes\":" << naive->nodes << ",\"naive_complete\":"
+       << (naive->complete ? "true" : "false") << ",\"naive_wall_ms\":"
+       << naive_wall_ms << ",\"por_schedule_ratio\":"
+       << (r.schedules > 0
+               ? static_cast<double>(naive->schedules) /
+                     static_cast<double>(r.schedules)
+               : 0.0)
+       << ",\"por_node_ratio\":"
+       << (r.nodes > 0 ? static_cast<double>(naive->nodes) /
+                             static_cast<double>(r.nodes)
+                       : 0.0);
+  }
+  os << ",\n\"violation_reports\":[";
+  bool first = true;
+  for (const verify::Violation& v : r.violations)
+    for (const std::string& rep : v.reports) {
+      if (!first) os << ",";
+      first = false;
+      write_json_escaped(os, rep);
+    }
+  os << "]}\n";
+}
+
+double run_explorer(verify::Explorer& ex, verify::ExploreResult& out) {
+  const auto start = std::chrono::steady_clock::now();
+  out = ex.run();
+  const auto end = std::chrono::steady_clock::now();
+  return std::chrono::duration<double, std::milli>(end - start).count();
+}
+
+// Writes the counterexample artifacts for the first recorded violation.
+bool write_violation_artifacts(const Options& opt,
+                               const verify::ExploreResult& r) {
+  if (r.violations.empty()) return true;
+  const verify::Violation& v = r.violations.front();
+  if (!opt.repro_out.empty()) {
+    std::ofstream f(opt.repro_out);
+    if (!f) {
+      std::cerr << "cannot write " << opt.repro_out << "\n";
+      return false;
+    }
+    verify::write_schedule(f, opt.explorer.world, v.schedule, v.reports);
+    std::cout << "[repro] wrote " << opt.repro_out << " ("
+              << v.schedule.size() << " actions) — replay with: dqme_sim "
+              << "--replay-schedule " << opt.repro_out << "\n";
+  }
+  if (!opt.trace_out.empty()) {
+    auto world =
+        verify::replay_schedule(opt.explorer.world, v.schedule, true);
+    obs::ChromeTraceData data;
+    data.n_sites = opt.explorer.world.n;
+    data.label = "dqme_explore counterexample (" +
+                 std::string(mutex::to_string(opt.explorer.world.algo)) + ")";
+    data.messages = world->trace_recorder()->events();
+    data.span_events = world->span_recorder()->events();
+    std::ofstream f(opt.trace_out);
+    if (!f) {
+      std::cerr << "cannot write " << opt.trace_out << "\n";
+      return false;
+    }
+    obs::write_chrome_trace(f, data);
+    std::cout << "[trace] wrote " << opt.trace_out << " ("
+              << data.messages.size() << " messages)\n";
+  }
+  return true;
+}
+
+// CI gate: two protocols, bounded budget, zero tolerance for violations.
+// Passes when each run either covered its whole (reduced) space or explored
+// its full schedule budget — and nothing was flagged.
+int run_smoke(const Options& opt) {
+  struct SmokeRun {
+    const char* algo;
+    uint64_t budget;
+  };
+  const SmokeRun runs[] = {{"cao-singhal", 12000}, {"maekawa", 12000}};
+  uint64_t total_schedules = 0;
+  uint64_t total_violations = 0;
+  bool all_covered = true;
+  std::ostringstream json;
+  json << "{\"dqme_explore_smoke\":1,\"runs\":[\n";
+  for (size_t i = 0; i < std::size(runs); ++i) {
+    verify::ExplorerConfig cfg;
+    cfg.world.algo = mutex::algo_from_string(runs[i].algo);
+    cfg.world.n = 3;
+    cfg.world.quorum = "grid";
+    cfg.world.cs_per_site = 2;
+    cfg.max_schedules = runs[i].budget;
+    verify::Explorer ex(cfg);
+    verify::ExploreResult r;
+    const double wall_ms = run_explorer(ex, r);
+    print_result("[smoke] ", cfg, r, wall_ms);
+    total_schedules += r.schedules;
+    total_violations += r.violations.size();
+    if (!r.complete && !r.budget_exhausted) all_covered = false;
+    if (i > 0) json << ",\n";
+    write_json_report(json, cfg, r, wall_ms, nullptr, 0);
+    if (r.budget_exhausted && !opt.frontier_out.empty()) {
+      const std::string path =
+          opt.frontier_out + "." + std::string(runs[i].algo);
+      std::ofstream f(path);
+      if (f) ex.save_frontier(f);
+    }
+  }
+  json << "],\"total_schedules\":" << total_schedules
+       << ",\"total_violations\":" << total_violations << "}\n";
+  if (!opt.json_out.empty()) {
+    std::ofstream f(opt.json_out);
+    if (!f) {
+      std::cerr << "cannot write " << opt.json_out << "\n";
+      return 2;
+    }
+    f << json.str();
+  }
+  const bool pass =
+      total_violations == 0 && all_covered && total_schedules >= 10000;
+  std::cout << "[smoke] total schedules " << total_schedules
+            << ", violations " << total_violations << " -> "
+            << (pass ? "PASS" : "FAIL") << "\n";
+  return pass ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) try {
+  Options opt;
+  if (!parse_args(argc, argv, opt)) {
+    usage(argv[0]);
+    return 2;
+  }
+  if (!opt.preset.empty()) {
+    if (opt.preset != "smoke") {
+      std::cerr << "unknown preset: " << opt.preset << "\n";
+      return 2;
+    }
+    return run_smoke(opt);
+  }
+
+  verify::Explorer explorer(opt.explorer);
+  if (!opt.resume.empty()) {
+    std::ifstream f(opt.resume);
+    std::string err;
+    if (!f || !explorer.load_frontier(f, &err)) {
+      std::cerr << "cannot resume from " << opt.resume << ": " << err
+                << "\n";
+      return 2;
+    }
+    // The frontier carries the WorldConfig it was saved under.
+    opt.explorer.world = explorer.config().world;
+  }
+  verify::ExploreResult result;
+  const double wall_ms = run_explorer(explorer, result);
+  print_result("dqme_explore: ", opt.explorer, result, wall_ms);
+
+  const verify::ExploreResult* naive = nullptr;
+  verify::ExploreResult naive_result;
+  double naive_wall_ms = 0;
+  if (opt.compare_naive) {
+    verify::ExplorerConfig naive_cfg = opt.explorer;
+    naive_cfg.por = false;
+    verify::Explorer naive_ex(naive_cfg);
+    naive_wall_ms = run_explorer(naive_ex, naive_result);
+    print_result("naive:        ", naive_cfg, naive_result, naive_wall_ms);
+    naive = &naive_result;
+    if (result.schedules > 0)
+      std::cout << "POR reduction: " << naive_result.schedules << " / "
+                << result.schedules << " = "
+                << static_cast<double>(naive_result.schedules) /
+                       static_cast<double>(result.schedules)
+                << "x schedules\n";
+  }
+
+  if (!write_violation_artifacts(opt, result)) return 2;
+  if (result.budget_exhausted && !opt.frontier_out.empty()) {
+    std::ofstream f(opt.frontier_out);
+    if (!f) {
+      std::cerr << "cannot write " << opt.frontier_out << "\n";
+      return 2;
+    }
+    explorer.save_frontier(f);
+    std::cout << "[frontier] wrote " << opt.frontier_out
+              << " — continue with --resume " << opt.frontier_out << "\n";
+  }
+  if (!opt.json_out.empty()) {
+    std::ofstream f(opt.json_out);
+    if (!f) {
+      std::cerr << "cannot write " << opt.json_out << "\n";
+      return 2;
+    }
+    write_json_report(f, opt.explorer, result, wall_ms, naive,
+                      naive_wall_ms);
+  }
+  return result.violations.empty() ? 0 : 1;
+} catch (const dqme::CheckError& e) {
+  std::cerr << "error: " << e.what() << "\n";
+  return 2;
+}

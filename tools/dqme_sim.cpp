@@ -19,6 +19,7 @@
 #include "harness/experiment.h"
 #include "harness/table.h"
 #include "obs/chrome_trace.h"
+#include "verify/explorer.h"
 
 namespace {
 
@@ -50,11 +51,16 @@ void usage(const char* argv0) {
       << "  --audit          run the per-arbiter permission auditor\n"
       << "                   (quorum algorithms, no crashes)\n"
       << "  --trace-out FILE record the run and write Chrome trace-event\n"
-      << "                   JSON (chrome://tracing / ui.perfetto.dev)\n";
+      << "                   JSON (chrome://tracing / ui.perfetto.dev)\n"
+      << "  --replay-schedule FILE  replay a dqme_explore schedule (its\n"
+      << "                   config rides in the file; other options except\n"
+      << "                   --trace-out are ignored); exits 1 when the\n"
+      << "                   replay reproduces a violation\n";
 }
 
 bool parse_args(int argc, char** argv, harness::ExperimentConfig& cfg,
-                double& rate, std::string& trace_out) {
+                double& rate, std::string& trace_out,
+                std::string& replay_schedule) {
   for (int i = 1; i < argc; ++i) {
     const std::string a = argv[i];
     auto next = [&]() -> const char* {
@@ -117,6 +123,11 @@ bool parse_args(int argc, char** argv, harness::ExperimentConfig& cfg,
       cfg.options.piggyback = false;
     } else if (a == "--audit") {
       cfg.audit_permissions = true;
+    } else if (a == "--replay-schedule") {
+      replay_schedule = next();
+    } else if (a.rfind("--replay-schedule=", 0) == 0) {
+      replay_schedule = a.substr(std::string("--replay-schedule=").size());
+      if (replay_schedule.empty()) return false;
     } else if (a == "--trace-out") {
       trace_out = next();
     } else if (a.rfind("--trace-out=", 0) == 0) {
@@ -140,16 +151,71 @@ bool parse_args(int argc, char** argv, harness::ExperimentConfig& cfg,
   return true;
 }
 
+// Replays a schedule emitted by dqme_explore --repro-out: rebuilds the
+// World the schedule's embedded config describes, re-applies every action,
+// and reports what the invariant checker flags. Deterministic, so the
+// explorer's counterexample reproduces exactly.
+int replay_schedule_main(const std::string& path,
+                         const std::string& trace_out) {
+  std::ifstream in(path);
+  if (!in) {
+    std::cerr << "cannot read " << path << "\n";
+    return 2;
+  }
+  verify::WorldConfig cfg;
+  std::vector<verify::Action> actions;
+  std::string err;
+  if (!verify::read_schedule(in, cfg, actions, &err)) {
+    std::cerr << path << ": " << err << "\n";
+    return 2;
+  }
+  const bool capture = !trace_out.empty();
+  auto world = verify::replay_schedule(cfg, actions, capture);
+
+  std::cout << "dqme_sim --replay-schedule: " << mutex::to_string(cfg.algo)
+            << "  N=" << cfg.n << "  quorum=" << cfg.quorum
+            << "  cs/site=" << cfg.cs_per_site;
+  if (cfg.mutation != verify::Mutation::kNone)
+    std::cout << "  mutation=" << verify::to_string(cfg.mutation);
+  std::cout << "\n  " << actions.size() << " actions, sealed="
+            << (world->sealed() ? "yes" : "no") << ", violations="
+            << world->violations() << "\n";
+  for (const std::string& r : world->reports()) std::cout << "  " << r
+                                                          << "\n";
+  if (capture) {
+    obs::ChromeTraceData data;
+    data.n_sites = cfg.n;
+    data.label = "replay of " + path;
+    data.messages = world->trace_recorder()->events();
+    data.span_events = world->span_recorder()->events();
+    std::ofstream f(trace_out);
+    if (!f) {
+      std::cerr << "cannot write " << trace_out << "\n";
+      return 2;
+    }
+    obs::write_chrome_trace(f, data);
+    std::cout << "[trace] wrote " << trace_out << " ("
+              << data.messages.size() << " messages)\n";
+  }
+  std::cout << (world->violations() == 0
+                    ? "OK: schedule replays clean.\n"
+                    : "REPRODUCED: schedule violates the invariants.\n");
+  return world->violations() == 0 ? 0 : 1;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) try {
   harness::ExperimentConfig cfg;
   double rate = 0.5;
   std::string trace_out;
-  if (!parse_args(argc, argv, cfg, rate, trace_out)) {
+  std::string replay_schedule;
+  if (!parse_args(argc, argv, cfg, rate, trace_out, replay_schedule)) {
     usage(argv[0]);
     return 2;
   }
+  if (!replay_schedule.empty())
+    return replay_schedule_main(replay_schedule, trace_out);
   obs::RunCapture cap;
   if (!trace_out.empty()) cfg.capture = &cap;
   if (cfg.workload.mode == harness::Workload::Config::Mode::kOpen) {
