@@ -209,7 +209,7 @@ BENCHMARK(BM_BaselineSimulatorChurn);
 void BM_NetworkSendDeliver(benchmark::State& state) {
   struct Sink final : net::NetSite {
     uint64_t n = 0;
-    void on_message(const net::Message&) override { ++n; }
+    void on_message(const net::Message&, LockId) override { ++n; }
   };
   for (auto _ : state) {
     sim::Simulator sim;
@@ -301,7 +301,9 @@ int main(int argc, char** argv) {
   cfg.n = 25;
   cfg.warmup = 0;
   cfg.measure = opts.quick ? 250'000 : 1'000'000;
-  const int e2e_repeats = opts.quick ? 1 : 3;
+  // Best-of-2 even in quick mode: these rows are gated by check_perf.py and
+  // a single cold quick run is noisy enough to brush the gate floor.
+  const int e2e_repeats = opts.quick ? 2 : 3;
   for (E2eRow& row : e2e_rows) {
     cfg.algo = row.algo;
     for (int i = 0; i < e2e_repeats; ++i) {
@@ -317,6 +319,28 @@ int main(int argc, char** argv) {
   const auto& r = e2e_rows[0].result;  // cao_singhal, the headline
   const double e2e_eps = e2e_rows[0].eps;
   cfg.algo = dqme::mutex::Algo::kCaoSinghal;
+
+  // Lock-table hot path: the x3 service shape (256 locks, open-loop uniform
+  // arrivals, piggybacking on) as its own events/s row, so regressions in
+  // the per-lock state and flight-coalescing code paths show up even when
+  // the single-lock headline is unaffected. check_perf.py gates it like the
+  // headline row.
+  dqme::harness::ExperimentConfig lock_cfg = cfg;
+  lock_cfg.options.num_locks = 256;
+  lock_cfg.workload.mode = dqme::harness::Workload::Config::Mode::kOpen;
+  lock_cfg.workload.cs_duration = 100;
+  lock_cfg.workload.arrival_rate = 0.6 * 40.0 / (2100.0 * 25);
+  lock_cfg.lock_piggyback_window = 1000;
+  double locks256_eps = 0;
+  // Two repeats even in quick mode: this row's shorter window makes a
+  // single cold run noisy enough to brush the perf-gate floor.
+  const int lock_repeats = e2e_repeats < 2 ? 2 : e2e_repeats;
+  for (int i = 0; i < lock_repeats; ++i) {
+    auto res = dqme::harness::run_experiment(lock_cfg);
+    const double eps =
+        static_cast<double>(res.sim_events) / (res.wall_ms / 1000.0);
+    if (eps > locks256_eps) locks256_eps = eps;
+  }
 
   // Slab profiling counters under the churn load, plus the network's pool
   // recycling rate from the e2e run's registry: acquired >> pool size means
@@ -347,6 +371,9 @@ int main(int argc, char** argv) {
     std::cout << "    " << row.name << ": "
               << dqme::harness::Table::num(row.eps / 1e6, 2)
               << "M events/s\n";
+  std::cout << "    cao_singhal/256 locks: "
+            << dqme::harness::Table::num(locks256_eps / 1e6, 2)
+            << "M events/s\n";
   std::cout << "  slab profile (churn): peak_heap=" << prof.peak_heap
             << " slab_capacity=" << prof.slab_capacity
             << " compactions=" << prof.compactions << " tombstone_ratio="
@@ -363,6 +390,7 @@ int main(int argc, char** argv) {
        {"e2e_events_per_sec_cao_singhal", e2e_rows[0].eps, 0},
        {"e2e_events_per_sec_maekawa", e2e_rows[1].eps, 0},
        {"e2e_events_per_sec_suzuki_kasami", e2e_rows[2].eps, 0},
+       {"e2e_events_per_sec_locks256", locks256_eps, 0},
        {"slab_scheduled", static_cast<double>(prof.scheduled), 0},
        {"slab_cancelled", static_cast<double>(prof.cancelled), 0},
        {"slab_peak_heap", static_cast<double>(prof.peak_heap), 0},

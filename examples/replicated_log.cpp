@@ -34,21 +34,21 @@ class ReplicaNode final : public net::NetSite {
               const quorum::QuorumSystem& quorums, int appends_to_do)
       : id_(id), net_(net), mutex_(id, net, quorums),
         appends_left_(appends_to_do) {
-    mutex_.on_enter = [this](SiteId) { in_cs(); };
+    mutex_.on_enter = [this](SiteId, LockId) { in_cs(); };
   }
 
   void start() {
-    if (appends_left_ > 0) mutex_.request_cs();
+    if (appends_left_ > 0) mutex_.request_cs(kLock0);
   }
 
   // Application messages and protocol messages share the wire; entries are
   // broadcast with the (otherwise protocol-only) kToken type tagged by seq.
-  void on_message(const net::Message& m) override {
+  void on_message(const net::Message& m, LockId lock) override {
     if (m.type == net::MsgType::kToken) {
       log_.push_back(LogEntry{m.src, static_cast<int>(m.seq)});
       return;
     }
-    mutex_.on_message(m);
+    mutex_.on_message(m, lock);
   }
 
   const std::vector<LogEntry>& log() const { return log_; }
@@ -67,8 +67,8 @@ class ReplicaNode final : public net::NetSite {
     // Hold the CS long enough for the broadcast to outrace any later
     // writer's broadcast on FIFO channels: one max delay.
     net_.simulator().schedule_after(1100, [this] {
-      mutex_.release_cs();
-      if (--appends_left_ > 0) mutex_.request_cs();
+      mutex_.release_cs(kLock0);
+      if (--appends_left_ > 0) mutex_.request_cs(kLock0);
     });
   }
 

@@ -20,6 +20,15 @@ inline constexpr SeqNum kMaxSeq = std::numeric_limits<SeqNum>::max();
 using Time = int64_t;
 inline constexpr Time kMaxTime = std::numeric_limits<Time>::max();
 
+// Identifies one lock object in the sharded lock service. A MutexSite
+// arbitrates num_locks independent critical sections; LockIds are DENSE —
+// 0..num_locks-1, usable as direct indices into per-lock state tables
+// (mutex::MutexSite's lock table). kLock0 is the default lock every
+// single-lock API shim forwards to; kNoLock marks "no lock" sentinels.
+using LockId = int32_t;
+inline constexpr LockId kLock0 = 0;
+inline constexpr LockId kNoLock = -1;
+
 // Causal span identity: one span per CS request attempt (src/obs). Derived
 // deterministically from the request's (seq, site) identity — see
 // span_of() in common/timestamp.h — so every layer that holds a ReqId can

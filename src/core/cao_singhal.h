@@ -11,7 +11,7 @@
 // Message vocabulary and data structures follow §3.1 exactly:
 //   lock        — the request currently holding this arbiter's permission
 //   req_queue   — waiting requests, priority-ordered (Lamport timestamps)
-//   replied[]   — per-arbiter "I hold its permission" flags (voted_ here)
+//   replied[]   — per-arbiter "I hold its permission" flags (voted here)
 //   failed      — set by a fail received or a yield sent
 //   inq_queue   — inquires that arrived before the matching reply (replies
 //                 may come through a proxy channel, so FIFO alone cannot
@@ -19,6 +19,11 @@
 //   tran_stack  — transfer obligations; only the latest per arbiter is
 //                 honoured at exit ("deletes the following entries ... from
 //                 the same sender")
+//
+// Sharded lock service: every one of those structures lives in a per-lock
+// table (dense LockId index), so one site arbitrates num_locks independent
+// critical sections over a shared network endpoint; only liveness of the
+// peer set (§6 alive_) and the stats are site-level.
 //
 // Reconstruction deviations from the (OCR-garbled) pseudocode are D1-D7 in
 // DESIGN.md. The §6 fault-tolerance layer is enabled with
@@ -36,6 +41,11 @@ struct CaoSinghalOptions {
   bool proxy_transfer = true;   // false: E9 ablation — behaves Maekawa-like
   bool piggyback = true;        // false: E9 ablation — bundles sent singly
   bool fault_tolerant = false;  // §6 recovery layer
+  LockId num_locks = 1;         // lock-table size (dense LockIds 0..M-1)
+  // Per-lock quorum construction (must outlive the site); locks it returns
+  // nullptr for — and all locks when unset — use the constructor's
+  // `quorums` argument.
+  std::function<const quorum::QuorumSystem*(LockId)> quorum_for_lock;
 };
 
 class CaoSinghalSite final : public mutex::MutexSite {
@@ -71,81 +81,96 @@ class CaoSinghalSite final : public mutex::MutexSite {
                  const quorum::QuorumSystem& quorums,
                  Options options = Options());
 
-  void on_message(const net::Message& m) override;
+  void on_message(const net::Message& m, LockId lock) override;
 
-  const std::vector<SiteId>& req_set() const { return req_set_; }
+  const std::vector<SiteId>& req_set(LockId lock = kLock0) const {
+    return lk_[static_cast<size_t>(lock)].req_set;
+  }
   const CaseStats& case_stats() const { return case_stats_; }
   const ProtocolStats& protocol_stats() const { return stats_; }
   bool stalled() const { return stalled_; }
-  bool failed_flag() const { return failed_; }
+  bool failed_flag(LockId lock = kLock0) const {
+    return lk_[static_cast<size_t>(lock)].failed;
+  }
 
   // One-line state dump for debugging and tests.
-  void debug_dump(std::ostream& os) const;
+  void debug_dump(std::ostream& os, LockId lock = kLock0) const;
 
  private:
-  void do_request() override;
-  void do_release() override;
-  void begin_request();
-
-  // --- Requester-side handlers (A.3, A.5, A.6, A.7) ---
-  void handle_reply(const net::Message& m);
-  void handle_inquire(const net::Message& m);
-  void handle_fail(const net::Message& m);
-  void handle_transfer(const net::Message& m);
-  void process_inquire(SiteId arbiter);  // the body of A.3
-  void drain_inquire_queue();            // A.6/A.7 re-processing
-  void try_enter();                      // step B
-
-  // --- Arbiter-side handlers (A.2, A.4, C at the arbiter) ---
-  void handle_request(const net::Message& m);
-  void handle_yield(const net::Message& m);
-  void handle_release(const net::Message& m);
-  // Grants the queue head (reply piggybacked with a transfer for the next
-  // head, per A.4 / §6 case 3); clears the lock if the queue is empty.
-  void grant_next_from_queue();
-  // Re-points the proxy at the new queue head after the head changed, and
-  // (D6) restores the "head outranks lock => inquire outstanding" liveness
-  // invariant if a stale forward broke it.
-  void send_proxy_update();
-
-  // --- §6 fault tolerance ---
-  void handle_failure_notice(const net::Message& m);
-
-  // Sends `msgs` to `dst` as one wire message (or singly when the
-  // piggybacking ablation is on). Callers keep small bundles in stack
-  // buffers; nothing on this path touches the heap.
-  void send_to(SiteId dst, const net::Message* msgs, size_t n);
-
-  Options opt_;
-  const quorum::QuorumSystem& quorums_;
-
-  // Requester state (per current request).
-  ReqId my_req_;
-  std::vector<SiteId> req_set_;
-  mutex::VoteMap voted_;  // replied[arbiter], dense over req_set_
-  bool failed_ = false;
-  std::vector<SiteId> inq_queue_;
   struct TranEntry {
     ReqId target;
     SiteId arbiter;
   };
-  std::vector<TranEntry> tran_stack_;  // back() is the top of the stack
+
+  // Per-lock protocol state (§3.1's variables), indexed by dense LockId.
+  struct Lk {
+    // Requester state (per current request).
+    ReqId my_req;
+    std::vector<SiteId> req_set;
+    mutex::VoteMap voted;  // replied[arbiter], dense over req_set
+    bool failed = false;
+    std::vector<SiteId> inq_queue;
+    std::vector<TranEntry> tran_stack;  // back() is the top of the stack
+
+    // Arbiter state.
+    ReqId lock;
+    mutex::ReqQueue req_queue;
+    // Whether an inquire was sent to the current lock holder during this
+    // tenure. One suffices: the holder's answer (yield or release) always
+    // serves the *best* waiter at that moment.
+    bool inquired_this_tenure = false;
+  };
+
+  void do_request(LockId lock) override;
+  void do_release(LockId lock) override;
+  void begin_request(LockId lock);
+
+  // --- Requester-side handlers (A.3, A.5, A.6, A.7) ---
+  void handle_reply(const net::Message& m, LockId lock);
+  void handle_inquire(const net::Message& m, LockId lock);
+  void handle_fail(const net::Message& m, LockId lock);
+  void handle_transfer(const net::Message& m, LockId lock);
+  void process_inquire(LockId lock, SiteId arbiter);  // the body of A.3
+  void drain_inquire_queue(LockId lock);   // A.6/A.7 re-processing
+  void try_enter(LockId lock);             // step B
+
+  // --- Arbiter-side handlers (A.2, A.4, C at the arbiter) ---
+  void handle_request(const net::Message& m, LockId lock);
+  void handle_yield(const net::Message& m, LockId lock);
+  void handle_release(const net::Message& m, LockId lock);
+  // Grants the queue head (reply piggybacked with a transfer for the next
+  // head, per A.4 / §6 case 3); clears the lock if the queue is empty.
+  void grant_next_from_queue(LockId lock);
+  // Re-points the proxy at the new queue head after the head changed, and
+  // (D6) restores the "head outranks lock => inquire outstanding" liveness
+  // invariant if a stale forward broke it.
+  void send_proxy_update(LockId lock);
+
+  // --- §6 fault tolerance ---
+  void handle_failure_notice(const net::Message& m);
+  void recover_lock(LockId lock, SiteId failed_site);
+
+  // Quorum system arbitrating `lock`.
+  const quorum::QuorumSystem& qs(LockId lock) const;
+
+  // Sends `msgs` to `dst` as one wire message (or singly when the
+  // piggybacking ablation is on). Callers keep small bundles in stack
+  // buffers; nothing on this path touches the heap.
+  void send_to(SiteId dst, const net::Message* msgs, size_t n, LockId lock);
+
+  Options opt_;
+  const quorum::QuorumSystem& quorums_;
+
+  std::vector<Lk> lk_;
 
   // Exit-protocol scratch (do_release): capacity survives across CS
-  // tenures so the exit fan-out allocates nothing in steady state.
+  // tenures (and is shared by every lock — exits are serial within one
+  // simulator event) so the exit fan-out allocates nothing in steady state.
   std::vector<TranEntry> fwd_scratch_;     // newest transfer per arbiter
   std::vector<SiteId> dst_scratch_;        // exit-bound destinations
   std::vector<net::Message> out_scratch_;  // one destination's bundle
 
-  // Arbiter state.
-  ReqId lock_;
-  mutex::ReqQueue req_queue_;
-  // Whether an inquire was sent to the current lock holder during this
-  // tenure. One suffices: the holder's answer (yield or release) always
-  // serves the *best* waiter at that moment.
-  bool inquired_this_tenure_ = false;
-
-  // Fault tolerance.
+  // Fault tolerance (site-level: a crash affects every lock).
   std::vector<bool> alive_;
   bool stalled_ = false;
 

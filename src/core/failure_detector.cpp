@@ -22,7 +22,8 @@ void FailureDetector::crash(SiteId victim) {
         latency_ + (jitter_ > 0 ? rng_.uniform_int(0, jitter_) : 0);
     net_.simulator().schedule_after(when, [receiver, victim, this, s] {
       // The receiver itself may have crashed in the meantime.
-      if (net_.alive(s)) receiver->on_message(net::make_failure_notice(victim));
+      if (net_.alive(s))
+        receiver->on_message(net::make_failure_notice(victim), kLock0);
     });
   }
 }

@@ -52,6 +52,8 @@ ExperimentResult run_experiment(const ExperimentConfig& cfg) {
   const auto wall_start = std::chrono::steady_clock::now();
   sim::Simulator sim;
   net::Network network(sim, cfg.n, make_delay(cfg), cfg.seed * 7919 + 13);
+  if (cfg.lock_piggyback_window >= 0)
+    network.set_lock_piggyback(cfg.lock_piggyback_window);
 
   // Observability capture (opt-in): both recorders chain on_deliver, so
   // they coexist with the auditor and each other.
@@ -102,9 +104,11 @@ ExperimentResult run_experiment(const ExperimentConfig& cfg) {
   }
 
   ExperimentResult res;
-  Metrics metrics(network);
+  Metrics metrics(network, cfg.options.num_locks);
   Workload::Config wl = cfg.workload;
   wl.seed = cfg.seed * 104729 + 7;
+  // The lock table is sized once, in AlgoOptions; the workload follows it.
+  wl.num_locks = cfg.options.num_locks;
   Workload workload(sim, raw, wl, &metrics);
 
   core::FailureDetector detector(network, cfg.detection_latency,
@@ -197,6 +201,16 @@ ExperimentResult run_experiment(const ExperimentConfig& cfg) {
     reg.counter("net.flights.acquired") = ns.flights_acquired;
     reg.gauge("net.flights.pool") = static_cast<double>(network.flight_pool_size());
     reg.counter("mutex.stale_drops") = res.stale_drops;
+    // Lock-table metrics only when the run uses the feature: single-lock,
+    // no-piggyback registries stay byte-identical to committed goldens.
+    if (cfg.options.num_locks > 1 || cfg.lock_piggyback_window >= 0) {
+      reg.counter("net.piggybacked_msgs") = ns.piggybacked_messages;
+      reg.gauge("net.msgs_per_flight") =
+          ns.wire_messages > 0
+              ? static_cast<double>(ns.control_messages) /
+                    static_cast<double>(ns.wire_messages)
+              : 1.0;
+    }
     if (checker) {
       reg.counter("invariant.checks") = res.invariant_checks;
       reg.counter("invariant.violations") = res.invariant_violations;

@@ -37,6 +37,12 @@ struct ExperimentConfig {
 
   mutex::AlgoOptions options;
 
+  // Lock piggybacking window in ticks (net::Network::set_lock_piggyback):
+  // staged messages for different locks to the same destination within the
+  // window share one wire flight. Negative (default) leaves piggybacking
+  // off, which keeps single-lock runs byte-identical to their goldens.
+  Time lock_piggyback_window = -1;
+
   // Fault injection (§6 / E7): sites crashed at given instants. Detection
   // notices reach every live site detection_latency (+ jitter) later.
   struct Crash {

@@ -10,10 +10,10 @@ void Metrics::reset(Time now) {
   base_ = net_.stats();
   window_start_ = now;
   // CS intervals already underway belong to the previous window.
-  for (auto& [site, entry] : open_) entry.counted = false;
+  for (auto& [key, entry] : open_) entry.counted = false;
   // Occupancy and violation state deliberately survive the reset (safety is
   // checked over the whole run); the aggregates start over.
-  have_exit_ = false;
+  for (PerLock& L : per_lock_) L.have_exit = false;
   completed_ = 0;
   gap_sum_ = contended_gap_sum_ = 0;
   gap_count_ = contended_gap_count_ = 0;
@@ -42,18 +42,19 @@ void Metrics::bind_registry(obs::Registry* reg, Time mean_delay) {
   completed_counter_ = &reg->counter("cs.completed");
 }
 
-void Metrics::on_enter(SiteId site, Time now, Time demanded, Time requested,
-                       int hops) {
+void Metrics::on_enter(SiteId site, LockId lock, Time now, Time demanded,
+                       Time requested, int hops) {
   DQME_CHECK(demanded <= requested && requested <= now);
-  if (inside_ > 0) ++violations_;  // Theorem 1 would be broken
-  ++inside_;
+  PerLock& L = per_lock_[static_cast<size_t>(lock)];
+  if (L.inside > 0) ++violations_;  // Theorem 1 would be broken
+  ++L.inside;
 
-  if (have_exit_ && inside_ == 1 && now >= window_start_) {
-    const Time gap = now - last_exit_;
+  if (L.have_exit && L.inside == 1 && now >= window_start_) {
+    const Time gap = now - L.last_exit;
     if (gap >= 0) {
       gap_sum_ += static_cast<double>(gap);
       ++gap_count_;
-      if (requested <= last_exit_) {
+      if (requested <= L.last_exit) {
         contended_gap_sum_ += static_cast<double>(gap);
         ++contended_gap_count_;
         // Classify the same gaps the contended delay averages, so the
@@ -66,19 +67,22 @@ void Metrics::on_enter(SiteId site, Time now, Time demanded, Time requested,
       }
     }
   }
-  open_.push_back({site, OpenEntry{demanded, requested, now,
-                                   now >= window_start_}});
+  open_.push_back({OpenKey{site, lock},
+                   OpenEntry{demanded, requested, now,
+                             now >= window_start_}});
 }
 
-void Metrics::on_exit(SiteId site, Time now) {
-  auto it = std::find_if(open_.begin(), open_.end(),
-                         [&](const auto& e) { return e.first == site; });
+void Metrics::on_exit(SiteId site, LockId lock, Time now) {
+  auto it = std::find_if(open_.begin(), open_.end(), [&](const auto& e) {
+    return e.first.site == site && e.first.lock == lock;
+  });
   DQME_CHECK_MSG(it != open_.end(), "exit without enter at site " << site);
   const OpenEntry e = it->second;
   open_.erase(it);
-  --inside_;
-  have_exit_ = true;
-  last_exit_ = now;
+  PerLock& L = per_lock_[static_cast<size_t>(lock)];
+  --L.inside;
+  L.have_exit = true;
+  L.last_exit = now;
 
   if (!e.counted) return;  // entered during warmup
   ++completed_;
@@ -94,13 +98,18 @@ void Metrics::on_exit(SiteId site, Time now) {
 }
 
 void Metrics::on_crash(SiteId site) {
-  auto it = std::find_if(open_.begin(), open_.end(),
-                         [&](const auto& e) { return e.first == site; });
-  if (it == open_.end()) return;
-  open_.erase(it);
-  --inside_;
-  // The CS ended abnormally; do not measure a synchronization gap off it.
-  have_exit_ = false;
+  // Discard every CS interval the site had open (one per lock at most).
+  for (auto it = open_.begin(); it != open_.end();) {
+    if (it->first.site != site) {
+      ++it;
+      continue;
+    }
+    PerLock& L = per_lock_[static_cast<size_t>(it->first.lock)];
+    --L.inside;
+    // The CS ended abnormally; do not measure a synchronization gap off it.
+    L.have_exit = false;
+    it = open_.erase(it);
+  }
 }
 
 Summary Metrics::summarize(Time now) const {

@@ -12,6 +12,12 @@
 // "Contended" synchronization delay counts only gaps where the entering
 // site had already requested before the previous exit — at light load raw
 // gaps are inter-arrival time, which §5.1 calls meaningless.
+//
+// Sharded lock table: locks are independent critical sections, so CS
+// occupancy, violations, and exit→enter gaps are judged per lock; the
+// reported aggregates (completions, waiting times, gaps) then fold every
+// lock together. With num_locks == 1 the accounting reduces exactly to the
+// historical single-lock behaviour.
 #pragma once
 
 #include <array>
@@ -60,7 +66,12 @@ struct Summary {
 
 class Metrics {
  public:
-  explicit Metrics(net::Network& net) : net_(net) { reset(0); }
+  explicit Metrics(net::Network& net, LockId num_locks = 1)
+      : net_(net),
+        per_lock_(static_cast<size_t>(num_locks)) {
+    DQME_CHECK(num_locks >= 1);
+    reset(0);
+  }
 
   // Starts a fresh measurement window (discards warmup data).
   void reset(Time now);
@@ -75,34 +86,47 @@ class Metrics {
   // request_cs() was issued (they differ under open-loop local queueing).
   // `hops` classifies the grant that completed the entry (1 = proxied,
   // 2 = arbiter relay, 0 = unclassified — see MutexSite::last_entry_hops).
-  void on_enter(SiteId site, Time now, Time demanded, Time requested,
-                int hops = 0);
-  void on_exit(SiteId site, Time now);
-  // The site crashed; if it was inside the CS its interval is discarded
-  // (a crashed holder never exits, and the next entry is not a violation).
+  void on_enter(SiteId site, LockId lock, Time now, Time demanded,
+                Time requested, int hops = 0);
+  void on_exit(SiteId site, LockId lock, Time now);
+  // The site crashed; any CS intervals it had open (on any lock) are
+  // discarded (a crashed holder never exits, and the next entry is not a
+  // violation).
   void on_crash(SiteId site);
 
   Summary summarize(Time now) const;
 
   uint64_t violations() const { return violations_; }
-  int currently_inside() const { return inside_; }
+  // Sites currently inside a CS, summed over all locks.
+  int currently_inside() const {
+    int n = 0;
+    for (const PerLock& L : per_lock_) n += L.inside;
+    return n;
+  }
 
  private:
   struct OpenEntry {
     Time demanded, requested, entered;
     bool counted;  // entered inside the window
   };
+  struct OpenKey {
+    SiteId site;
+    LockId lock;
+  };
+  // Occupancy and handoff-gap state, independent per lock.
+  struct PerLock {
+    int inside = 0;
+    bool have_exit = false;
+    Time last_exit = 0;
+  };
 
   net::Network& net_;
   net::NetworkStats base_;
   Time window_start_ = 0;
 
-  int inside_ = 0;
   uint64_t violations_ = 0;
-  std::vector<std::pair<SiteId, OpenEntry>> open_;  // sites now in CS
-
-  bool have_exit_ = false;
-  Time last_exit_ = 0;
+  std::vector<PerLock> per_lock_;
+  std::vector<std::pair<OpenKey, OpenEntry>> open_;  // (site,lock) now in CS
 
   uint64_t completed_ = 0;
   double gap_sum_ = 0;

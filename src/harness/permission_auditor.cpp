@@ -9,33 +9,37 @@ using net::MsgType;
 
 PermissionAuditor::PermissionAuditor(net::Network& net) {
   auto previous = std::move(net.on_deliver);
-  net.on_deliver = [this, previous = std::move(previous)](const Message& m) {
-    observe(m);
-    if (previous) previous(m);
+  net.on_deliver = [this, previous = std::move(previous)](const Message& m,
+                                                          LockId lock) {
+    observe(m, lock);
+    if (previous) previous(m, lock);
   };
 }
 
-void PermissionAuditor::flag(const Message& m, const std::string& why) {
+void PermissionAuditor::flag(const Message& m, LockId lock,
+                             const std::string& why) {
   ++violations_;
   if (reports_.size() < 16) {
     std::ostringstream os;
     os << why << " at delivery of " << m;
+    if (lock != kLock0) os << " [lock " << lock << "]";
     reports_.push_back(os.str());
   }
 }
 
-void PermissionAuditor::observe(const Message& m) {
+void PermissionAuditor::observe(const Message& m, LockId lock) {
   switch (m.type) {
     case MsgType::kReply: {
       // Grant of arbiter m.arbiter's permission to the requester m.req.
-      ArbiterView& a = arbiters_[m.arbiter];
+      ArbiterView& a = arbiters_[{lock, m.arbiter}];
       ++grants_audited_;
       const SiteId grantee = m.req.site;
       if (m.src == m.arbiter) {
         // Direct grant: the permission must be free.
         if (a.holder != kNoSite && a.holder != grantee)
-          flag(m, "direct grant while permission held by site " +
-                      std::to_string(a.holder));
+          flag(m, lock,
+               "direct grant while permission held by site " +
+                   std::to_string(a.holder));
         a.holder = grantee;
       } else {
         // Forwarded grant: only the current holder may forward — unless
@@ -46,15 +50,16 @@ void PermissionAuditor::observe(const Message& m) {
         } else if (a.holder == grantee) {
           // release overtook the forwarded reply; already accounted.
         } else {
-          flag(m, "forwarded grant from non-holder (holder is site " +
-                      std::to_string(a.holder) + ")");
+          flag(m, lock,
+               "forwarded grant from non-holder (holder is site " +
+                   std::to_string(a.holder) + ")");
         }
       }
       break;
     }
     case MsgType::kYield: {
       // The yielder returns m.arbiter's permission.
-      ArbiterView& a = arbiters_[m.arbiter];
+      ArbiterView& a = arbiters_[{lock, m.arbiter}];
       if (a.holder == m.req.site) a.holder = kNoSite;
       // else: stale yield, which the protocol drops — ignore.
       break;
@@ -62,7 +67,7 @@ void PermissionAuditor::observe(const Message& m) {
     case MsgType::kRelease: {
       // Releaser m.req.site tells arbiter m.dst what became of its
       // permission: moved to m.target's site, or returned (max).
-      ArbiterView& a = arbiters_[m.dst];
+      ArbiterView& a = arbiters_[{lock, m.dst}];
       if (a.holder == m.req.site)
         a.holder = m.target.valid() ? m.target.site : kNoSite;
       // else: stale release (already superseded) — the protocol ignores

@@ -19,6 +19,7 @@
 
 #include <map>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "net/network.h"
@@ -38,15 +39,17 @@ class PermissionAuditor {
   uint64_t grants_audited() const { return grants_audited_; }
 
  private:
-  void observe(const net::Message& m);
-  void flag(const net::Message& m, const std::string& why);
+  void observe(const net::Message& m, LockId lock);
+  void flag(const net::Message& m, LockId lock, const std::string& why);
 
   struct ArbiterView {
     // Site currently holding this arbiter's permission, kNoSite if free.
     SiteId holder = kNoSite;
   };
 
-  std::map<SiteId, ArbiterView> arbiters_;
+  // An arbiter holds one independent permission per lock it arbitrates, so
+  // the audited unit is the (lock, arbiter) pair.
+  std::map<std::pair<LockId, SiteId>, ArbiterView> arbiters_;
   uint64_t violations_ = 0;
   uint64_t grants_audited_ = 0;
   std::vector<std::string> reports_;

@@ -1,18 +1,38 @@
 #include "harness/workload.h"
 
+#include <algorithm>
+#include <cmath>
+
 namespace dqme::harness {
 
 Workload::Workload(sim::Simulator& sim, std::vector<mutex::MutexSite*> sites,
                    Config config, Metrics* metrics)
     : sim_(sim), cfg_(config), rng_(config.seed), metrics_(metrics) {
   DQME_CHECK(!sites.empty());
+  DQME_CHECK(cfg_.num_locks >= 1);
   sites_.resize(sites.size());
   for (size_t i = 0; i < sites.size(); ++i) {
     SiteState& st = sites_[i];
     st.site = sites[i];
     DQME_CHECK(st.site->id() == static_cast<SiteId>(i));
-    st.site->on_enter = [this](SiteId id) { entered(id); };
-    st.site->on_abort = [this](SiteId id) { aborted(id); };
+    DQME_CHECK_MSG(st.site->num_locks() == cfg_.num_locks,
+                   "workload num_locks " << cfg_.num_locks
+                                         << " != site lock table "
+                                         << st.site->num_locks());
+    st.slots.resize(static_cast<size_t>(cfg_.num_locks));
+    st.site->on_enter = [this](SiteId id, LockId lock) { entered(id, lock); };
+    st.site->on_abort = [this](SiteId id, LockId lock) { aborted(id, lock); };
+  }
+  if (cfg_.num_locks > 1) {
+    // Zipf CDF over LockIds: weight(k) = 1/(k+1)^s, precomputed once so a
+    // draw is one uniform real plus a binary search.
+    lock_cdf_.resize(static_cast<size_t>(cfg_.num_locks));
+    double acc = 0;
+    for (LockId k = 0; k < cfg_.num_locks; ++k) {
+      acc += std::pow(static_cast<double>(k + 1), -cfg_.zipf_skew);
+      lock_cdf_[static_cast<size_t>(k)] = acc;
+    }
+    for (double& c : lock_cdf_) c /= acc;
   }
 }
 
@@ -22,15 +42,29 @@ Time Workload::sample_cs_duration() {
                              : cfg_.cs_duration;
 }
 
+LockId Workload::pick_lock() {
+  if (cfg_.num_locks == 1) return kLock0;
+  const double u = rng_.uniform_real(0.0, 1.0);
+  const auto it = std::upper_bound(lock_cdf_.begin(), lock_cdf_.end(), u);
+  const auto idx = std::min<size_t>(
+      static_cast<size_t>(it - lock_cdf_.begin()),
+      lock_cdf_.size() - 1);
+  return static_cast<LockId>(idx);
+}
+
 void Workload::start() {
   for (size_t i = 0; i < sites_.size(); ++i) {
     const SiteId id = static_cast<SiteId>(i);
     if (cfg_.mode == Config::Mode::kClosed) {
-      const Time stagger = rng_.uniform_int(0, 100);
-      sim_.schedule_after(stagger, [this, id] {
-        if (!draining_ && !sites_[static_cast<size_t>(id)].halted)
-          issue(id, sim_.now());
-      });
+      // Site-major, lock-minor stagger draws: with num_locks == 1 the draw
+      // sequence (one per site) is exactly the single-lock workload's.
+      for (LockId lock = 0; lock < cfg_.num_locks; ++lock) {
+        const Time stagger = rng_.uniform_int(0, 100);
+        sim_.schedule_after(stagger, [this, id, lock] {
+          if (!draining_ && !sites_[static_cast<size_t>(id)].halted)
+            issue(id, lock, sim_.now());
+        });
+      }
     } else {
       arrival(id);
     }
@@ -43,15 +77,18 @@ void Workload::halt_site(SiteId id) {
   SiteState& st = sites_[static_cast<size_t>(id)];
   if (st.halted) return;
   st.halted = true;
-  if (metrics_ != nullptr && st.site->in_cs()) metrics_->on_crash(id);
-  // The in-flight demand and the backlog will never complete; write them
+  st.crashed = true;
+  if (metrics_ != nullptr) metrics_->on_crash(id);
+  // The in-flight demands and the backlogs will never complete; write them
   // off so liveness accounting stays exact.
-  if (st.busy) {
-    ++demands_aborted_;
-    st.busy = false;
+  for (Slot& sl : st.slots) {
+    if (sl.busy) {
+      ++demands_aborted_;
+      sl.busy = false;
+    }
+    demands_aborted_ += sl.backlog.size();
+    sl.backlog.clear();
   }
-  demands_aborted_ += st.backlog.size();
-  st.backlog.clear();
 }
 
 void Workload::arrival(SiteId id) {
@@ -67,83 +104,99 @@ void Workload::arrival(SiteId id) {
   sim_.schedule_after(gap, [this, id] {
     SiteState& s = sites_[static_cast<size_t>(id)];
     if (s.halted || draining_) return;
-    if (s.busy)
-      s.backlog.push_back(sim_.now());
+    // The lock draw happens only with a real lock table (num_locks > 1),
+    // so single-lock runs consume the exact historical rng_ sequence.
+    const LockId lock = pick_lock();
+    Slot& sl = slot(id, lock);
+    if (sl.busy)
+      sl.backlog.push_back(sim_.now());
     else
-      issue(id, sim_.now());
+      issue(id, lock, sim_.now());
     arrival(id);
   });
 }
 
-void Workload::issue(SiteId id, Time demanded) {
-  SiteState& st = sites_[static_cast<size_t>(id)];
-  DQME_CHECK(!st.busy);
-  st.busy = true;
-  st.demanded = demanded;
-  st.requested = sim_.now();
+void Workload::issue(SiteId id, LockId lock, Time demanded) {
+  Slot& sl = slot(id, lock);
+  DQME_CHECK(!sl.busy);
+  sl.busy = true;
+  sl.demanded = demanded;
+  sl.requested = sim_.now();
   ++demands_issued_;
-  st.site->request_cs();
+  sites_[static_cast<size_t>(id)].site->request_cs(lock);
 }
 
-void Workload::entered(SiteId id) {
+void Workload::entered(SiteId id, LockId lock) {
   SiteState& st = sites_[static_cast<size_t>(id)];
+  Slot& sl = slot(id, lock);
   if (metrics_ != nullptr)
-    metrics_->on_enter(id, sim_.now(), st.demanded, st.requested,
-                       st.site->last_entry_hops());
+    metrics_->on_enter(id, lock, sim_.now(), sl.demanded, sl.requested,
+                       st.site->last_entry_hops(lock));
   const Time hold = sample_cs_duration();
-  sim_.schedule_after(hold, [this, id] {
+  sim_.schedule_after(hold, [this, id, lock] {
     SiteState& s = sites_[static_cast<size_t>(id)];
-    if (s.halted) return;  // crashed while in CS: the release never happens
-    if (metrics_ != nullptr) metrics_->on_exit(id, sim_.now());
-    s.site->release_cs();
-    exited(id);
+    if (s.crashed) return;  // crashed while in CS: the release never happens
+    if (metrics_ != nullptr) metrics_->on_exit(id, lock, sim_.now());
+    s.site->release_cs(lock);
+    exited(id, lock);
   });
 }
 
-void Workload::exited(SiteId id) {
-  SiteState& st = sites_[static_cast<size_t>(id)];
-  st.busy = false;
+void Workload::exited(SiteId id, LockId lock) {
+  Slot& sl = slot(id, lock);
+  sl.busy = false;
   ++demands_completed_;
-  ++st.completed;
-  next_demand(id);
+  ++sl.completed;
+  next_demand(id, lock);
 }
 
-void Workload::aborted(SiteId id) {
+void Workload::aborted(SiteId id, LockId lock) {
   SiteState& st = sites_[static_cast<size_t>(id)];
-  DQME_CHECK(st.busy);
-  st.busy = false;
+  Slot& sl = slot(id, lock);
+  DQME_CHECK(sl.busy);
+  sl.busy = false;
   ++demands_aborted_;
-  // A stalled site (no quorum available) gets no further demand.
+  // A stalled site (no quorum available) gets no further demand, on any
+  // lock — §6 liveness is a property of the site's peer set. Locks whose
+  // requests are still viable finish (exited() tolerates halted); locks
+  // that stalled too deliver their own abort. Backlogged demands will
+  // never be issued: write them off now.
   st.halted = true;
-  demands_aborted_ += st.backlog.size();
-  st.backlog.clear();
+  for (Slot& other : st.slots) {
+    demands_aborted_ += other.backlog.size();
+    other.backlog.clear();
+  }
 }
 
-void Workload::next_demand(SiteId id) {
+void Workload::next_demand(SiteId id, LockId lock) {
   SiteState& st = sites_[static_cast<size_t>(id)];
   if (st.halted) return;
   if (cfg_.mode == Config::Mode::kClosed) {
     if (draining_) return;
-    if (cfg_.max_cs_per_site > 0 && st.completed >= cfg_.max_cs_per_site)
+    if (cfg_.max_cs_per_site > 0 &&
+        slot(id, lock).completed >= cfg_.max_cs_per_site)
       return;
     if (cfg_.think_time > 0) {
-      sim_.schedule_after(cfg_.think_time, [this, id] {
+      sim_.schedule_after(cfg_.think_time, [this, id, lock] {
         SiteState& s = sites_[static_cast<size_t>(id)];
-        if (!draining_ && !s.halted && !s.busy) issue(id, sim_.now());
+        if (!draining_ && !s.halted && !slot(id, lock).busy)
+          issue(id, lock, sim_.now());
       });
     } else {
       // Re-request from a fresh event, not from inside release_cs().
-      sim_.schedule_after(0, [this, id] {
+      sim_.schedule_after(0, [this, id, lock] {
         SiteState& s = sites_[static_cast<size_t>(id)];
-        if (!draining_ && !s.halted && !s.busy) issue(id, sim_.now());
+        if (!draining_ && !s.halted && !slot(id, lock).busy)
+          issue(id, lock, sim_.now());
       });
     }
-  } else if (!st.backlog.empty()) {
-    const Time demanded = st.backlog.front();
-    st.backlog.pop_front();
-    sim_.schedule_after(0, [this, id, demanded] {
+  } else if (!slot(id, lock).backlog.empty()) {
+    Slot& sl = slot(id, lock);
+    const Time demanded = sl.backlog.front();
+    sl.backlog.pop_front();
+    sim_.schedule_after(0, [this, id, lock, demanded] {
       SiteState& s = sites_[static_cast<size_t>(id)];
-      if (!s.halted && !s.busy) issue(id, demanded);
+      if (!s.halted && !slot(id, lock).busy) issue(id, lock, demanded);
     });
   }
 }

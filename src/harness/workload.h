@@ -8,6 +8,14 @@
 //     with the given rate; demands queue locally because "a site executes
 //     its CS requests sequentially one by one" (§2).
 //
+// Sharded lock table: with num_locks > 1 every demand targets one lock.
+// Closed loop drives every (site, lock) pair as its own saturation loop;
+// open loop keeps one Poisson arrival process per site and samples the
+// target lock per demand from a Zipf distribution over LockIds (skew 0 =
+// uniform, lock 0 always the most popular). Demands queue per (site, lock)
+// — a site executes each lock's requests sequentially, but distinct locks
+// proceed concurrently.
+//
 // The workload is also the bookkeeper: it stamps demand/request/enter/exit
 // times into Metrics and knows how many demands are still in flight, which
 // is what the deadlock/starvation checks (Theorems 2/3) assert on.
@@ -34,9 +42,14 @@ class Workload {
     // E.g. {8,1,1,...} makes site 0 a hotspot with 8x the demand.
     std::vector<double> site_weights;
     uint64_t seed = 7;
-    // Closed loop: cap on CS executions per site (0 = unlimited). Used by
-    // tests that want bounded runs.
+    // Closed loop: cap on CS executions per (site, lock) slot (0 =
+    // unlimited). Used by tests that want bounded runs.
     uint64_t max_cs_per_site = 0;
+    // Lock-table size; must match the sites' MutexSite::num_locks().
+    LockId num_locks = 1;
+    // Open loop, num_locks > 1: lock-popularity skew. Demand for lock k is
+    // proportional to 1/(k+1)^zipf_skew; 0 = uniform.
+    double zipf_skew = 0.0;
   };
 
   Workload(sim::Simulator& sim, std::vector<mutex::MutexSite*> sites,
@@ -62,22 +75,32 @@ class Workload {
   }
 
  private:
-  struct SiteState {
-    mutex::MutexSite* site = nullptr;
-    bool halted = false;
+  // One (site, lock) demand slot: at most one request open at a time.
+  struct Slot {
     bool busy = false;           // a demand is requesting or in CS
     Time demanded = 0;           // current demand's arrival time
     Time requested = 0;
     std::deque<Time> backlog;    // open loop: queued demand arrival times
     uint64_t completed = 0;
   };
+  struct SiteState {
+    mutex::MutexSite* site = nullptr;
+    bool halted = false;   // no further demand (crash or stall)
+    bool crashed = false;  // halt_site: a held CS is never released
+    std::vector<Slot> slots;  // indexed by LockId
+  };
+
+  Slot& slot(SiteId id, LockId lock) {
+    return sites_[static_cast<size_t>(id)].slots[static_cast<size_t>(lock)];
+  }
 
   void arrival(SiteId id);           // open loop Poisson process
-  void issue(SiteId id, Time demanded);
-  void entered(SiteId id);
-  void exited(SiteId id);
-  void aborted(SiteId id);
-  void next_demand(SiteId id);       // after a completion
+  LockId pick_lock();                // Zipf draw (num_locks > 1 only)
+  void issue(SiteId id, LockId lock, Time demanded);
+  void entered(SiteId id, LockId lock);
+  void exited(SiteId id, LockId lock);
+  void aborted(SiteId id, LockId lock);
+  void next_demand(SiteId id, LockId lock);  // after a completion
   Time sample_cs_duration();
 
   sim::Simulator& sim_;
@@ -85,6 +108,7 @@ class Workload {
   Rng rng_;
   Metrics* metrics_;
   std::vector<SiteState> sites_;
+  std::vector<double> lock_cdf_;  // Zipf CDF over LockIds (num_locks > 1)
   bool draining_ = false;
   uint64_t demands_issued_ = 0;
   uint64_t demands_completed_ = 0;

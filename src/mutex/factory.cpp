@@ -49,25 +49,32 @@ std::unique_ptr<MutexSite> make_site(Algo algo, SiteId id, net::Network& net,
   if (algo_uses_quorum(algo))
     DQME_CHECK_MSG(quorums != nullptr,
                    to_string(algo) << " needs a quorum system");
+  DQME_CHECK_MSG(options.num_locks >= 1,
+                 "num_locks must be >= 1 (dense LockIds 0..M-1), got "
+                     << options.num_locks);
+  const LockId locks = options.num_locks;
   switch (algo) {
     case Algo::kLamport:
-      return std::make_unique<LamportSite>(id, net);
+      return std::make_unique<LamportSite>(id, net, locks);
     case Algo::kRicartAgrawala:
-      return std::make_unique<RicartAgrawalaSite>(id, net);
+      return std::make_unique<RicartAgrawalaSite>(id, net, locks);
     case Algo::kRoucairolCarvalho:
-      return std::make_unique<RoucairolCarvalhoSite>(id, net);
+      return std::make_unique<RoucairolCarvalhoSite>(id, net, locks);
     case Algo::kMaekawa:
-      return std::make_unique<MaekawaSite>(id, net, *quorums);
+      return std::make_unique<MaekawaSite>(id, net, *quorums, locks,
+                                           options.quorum_for_lock);
     case Algo::kRaymond:
-      return std::make_unique<RaymondSite>(id, net);
+      return std::make_unique<RaymondSite>(id, net, locks);
     case Algo::kSuzukiKasami:
-      return std::make_unique<SuzukiKasamiSite>(id, net);
+      return std::make_unique<SuzukiKasamiSite>(id, net, locks);
     case Algo::kCaoSinghal:
     case Algo::kCaoSinghalNoProxy: {
       core::CaoSinghalSite::Options o;
       o.proxy_transfer = algo == Algo::kCaoSinghal;
       o.piggyback = options.piggyback;
       o.fault_tolerant = options.fault_tolerant;
+      o.num_locks = locks;
+      o.quorum_for_lock = options.quorum_for_lock;
       return std::make_unique<core::CaoSinghalSite>(id, net, *quorums, o);
     }
   }

@@ -2,6 +2,7 @@
 // benches, and examples.
 #pragma once
 
+#include <functional>
 #include <memory>
 #include <string>
 #include <vector>
@@ -22,11 +23,21 @@ enum class Algo {
   kCaoSinghalNoProxy,  // E9 ablation: transfer/proxy path disabled -> 2T
 };
 
-// Per-site protocol options (E9 ablations).
+// Per-site protocol options (E9 ablations and the sharded lock table).
 struct AlgoOptions {
   bool piggyback = true;       // piggyback inquire+transfer / reply+transfer
   bool fault_tolerant = false; // enable the §6 recovery layer (Cao-Singhal)
   Time failure_probe_interval = 0;  // reserved
+  // Lock-table size. Dense-id contract: every site arbitrates exactly
+  // num_locks independent lock objects addressed by LockId 0..num_locks-1
+  // (no gaps — LockIds index per-lock state tables directly). make_site
+  // rejects num_locks < 1.
+  LockId num_locks = 1;
+  // Per-lock quorum construction for the quorum algorithms: returns the
+  // quorum system arbitrating a given lock (must outlive the sites), or
+  // nullptr to fall back to make_site's `quorums` argument. Unset = all
+  // locks share `quorums`. Ignored by the non-quorum baselines.
+  std::function<const quorum::QuorumSystem*(LockId)> quorum_for_lock;
 };
 
 std::string_view to_string(Algo a);

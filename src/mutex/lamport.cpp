@@ -5,54 +5,59 @@ namespace dqme::mutex {
 using net::Message;
 using net::MsgType;
 
-LamportSite::LamportSite(SiteId id, net::Network& net)
-    : MutexSite(id, net),
-      replied_(static_cast<size_t>(net.size()), false) {}
-
-void LamportSite::do_request() {
-  my_req_ = ReqId{tick(), id()};
-  open_span(span_of(my_req_));
-  queue_.insert(my_req_);
-  std::fill(replied_.begin(), replied_.end(), false);
-  replies_needed_ = net().size() - 1;
-  for (SiteId j = 0; j < net().size(); ++j)
-    if (j != id()) net().send(id(), j, net::make_request(my_req_));
-  try_enter();  // N == 1 degenerates to local mutual exclusion
+LamportSite::LamportSite(SiteId id, net::Network& net, LockId num_locks)
+    : MutexSite(id, net, num_locks), lk_(static_cast<size_t>(num_locks)) {
+  for (Lk& L : lk_) L.replied.assign(static_cast<size_t>(net.size()), false);
 }
 
-void LamportSite::do_release() {
-  queue_.erase(my_req_);
+void LamportSite::do_request(LockId lock) {
+  Lk& L = lk_[static_cast<size_t>(lock)];
+  L.my_req = ReqId{tick(lock), id()};
+  open_span(lock, span_of(L.my_req));
+  L.queue.insert(L.my_req);
+  std::fill(L.replied.begin(), L.replied.end(), false);
+  L.replies_needed = net().size() - 1;
   for (SiteId j = 0; j < net().size(); ++j)
-    if (j != id()) net().send(id(), j, net::make_release(my_req_, ReqId{}));
-  my_req_ = ReqId{};
+    if (j != id()) net().send(id(), j, net::make_request(L.my_req), lock);
+  try_enter(lock);  // N == 1 degenerates to local mutual exclusion
 }
 
-void LamportSite::on_message(const Message& m) {
-  observe(m.req.seq);
+void LamportSite::do_release(LockId lock) {
+  Lk& L = lk_[static_cast<size_t>(lock)];
+  L.queue.erase(L.my_req);
+  for (SiteId j = 0; j < net().size(); ++j)
+    if (j != id())
+      net().send(id(), j, net::make_release(L.my_req, ReqId{}), lock);
+  L.my_req = ReqId{};
+}
+
+void LamportSite::on_message(const Message& m, LockId lock) {
+  Lk& L = lk_[static_cast<size_t>(lock)];
+  observe(lock, m.req.seq);
   switch (m.type) {
     case MsgType::kRequest: {
-      queue_.insert(m.req);
+      L.queue.insert(m.req);
       Message reply = net::make_reply(id(), m.req);
-      reply.seq = tick();  // carries a clock value above the request's
-      net().send(id(), m.src, reply);
+      reply.seq = tick(lock);  // carries a clock value above the request's
+      net().send(id(), m.src, reply, lock);
       break;
     }
     case MsgType::kReply: {
-      if (!requesting() || m.req != my_req_) {
+      if (!requesting(lock) || m.req != L.my_req) {
         note_stale_drop();
         break;
       }
-      observe(m.seq);
-      if (!replied_[static_cast<size_t>(m.src)]) {
-        replied_[static_cast<size_t>(m.src)] = true;
-        --replies_needed_;
+      observe(lock, m.seq);
+      if (!L.replied[static_cast<size_t>(m.src)]) {
+        L.replied[static_cast<size_t>(m.src)] = true;
+        --L.replies_needed;
       }
-      try_enter();
+      try_enter(lock);
       break;
     }
     case MsgType::kRelease: {
-      queue_.erase(m.req);
-      try_enter();
+      L.queue.erase(m.req);
+      try_enter(lock);
       break;
     }
     default:
@@ -60,9 +65,10 @@ void LamportSite::on_message(const Message& m) {
   }
 }
 
-void LamportSite::try_enter() {
-  if (!requesting() || replies_needed_ > 0) return;
-  if (!queue_.empty() && *queue_.begin() == my_req_) enter_cs();
+void LamportSite::try_enter(LockId lock) {
+  Lk& L = lk_[static_cast<size_t>(lock)];
+  if (!requesting(lock) || L.replies_needed > 0) return;
+  if (!L.queue.empty() && *L.queue.begin() == L.my_req) enter_cs(lock);
 }
 
 }  // namespace dqme::mutex

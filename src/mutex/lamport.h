@@ -3,7 +3,9 @@
 // Every site keeps a replica of the global request queue. To enter, a site
 // broadcasts request, waits for a reply from everyone (proof their clock
 // passed its timestamp), and enters when its request heads its local queue.
-// Exactly 3(N-1) messages per CS; synchronization delay T.
+// Exactly 3(N-1) messages per CS; synchronization delay T. Each lock in
+// the table runs an independent copy of the protocol (its own queue,
+// replies, and Lamport clock).
 #pragma once
 
 #include <set>
@@ -14,19 +16,24 @@ namespace dqme::mutex {
 
 class LamportSite final : public MutexSite {
  public:
-  LamportSite(SiteId id, net::Network& net);
+  LamportSite(SiteId id, net::Network& net, LockId num_locks = 1);
 
-  void on_message(const net::Message& m) override;
+  void on_message(const net::Message& m, LockId lock) override;
 
  private:
-  void do_request() override;
-  void do_release() override;
-  void try_enter();
+  // Per-lock protocol state, indexed by dense LockId.
+  struct Lk {
+    ReqId my_req;
+    std::set<ReqId> queue;       // replicated request queue (priority order)
+    std::vector<bool> replied;   // reply received from each other site
+    int replies_needed = 0;
+  };
 
-  ReqId my_req_;
-  std::set<ReqId> queue_;        // replicated request queue (priority order)
-  std::vector<bool> replied_;    // reply received from each other site
-  int replies_needed_ = 0;
+  void do_request(LockId lock) override;
+  void do_release(LockId lock) override;
+  void try_enter(LockId lock);
+
+  std::vector<Lk> lk_;
 };
 
 }  // namespace dqme::mutex

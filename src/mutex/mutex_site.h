@@ -1,12 +1,17 @@
 // Base class for all mutual exclusion protocol sites.
 //
-// A MutexSite is one protocol endpoint: it owns the requester-side state of
-// its own CS requests and (for permission-based protocols) the arbiter-side
-// state for requests it votes on. The harness drives the public API:
+// A MutexSite is one protocol endpoint of the sharded lock service: it
+// arbitrates `num_locks` independent lock objects (dense LockIds
+// 0..num_locks-1) over one shared network endpoint, owning per lock the
+// requester-side state of its own CS requests and (for permission-based
+// protocols) the arbiter-side state for requests it votes on. All
+// driver-visible state lives in a lock table indexed by LockId; the
+// common single-lock configuration is just num_locks == 1 driving kLock0.
+// The harness drives the public API:
 //
-//     site.request_cs();            // precondition: idle
-//     ... on_enter(id) fires ...    // site is now in the CS
-//     site.release_cs();            // precondition: in CS
+//     site.request_cs(lock);             // precondition: idle(lock)
+//     ... on_enter(id, lock) fires ...   // site is now in lock's CS
+//     site.release_cs(lock);             // precondition: in_cs(lock)
 //
 // request_cs/release_cs/on_message must only be called from simulator
 // events; protocols are single-threaded within the simulation.
@@ -14,6 +19,7 @@
 
 #include <array>
 #include <functional>
+#include <vector>
 
 #include "common/check.h"
 #include "common/timestamp.h"
@@ -23,48 +29,78 @@
 namespace dqme::mutex {
 
 // Observability hook (implemented by obs::SpanRecorder): protocols report
-// the span-boundary instants of each CS request attempt. The null default
-// costs one predicted branch per boundary — requests, not messages — so
-// detached runs keep the slab hot path intact.
+// the span-boundary instants of each CS request attempt, keyed by the lock
+// it targets (span ids are derived from (site, seq) and can collide across
+// locks — (lock, site, span) is the unique key). The null default costs
+// one predicted branch per boundary — requests, not messages — so detached
+// runs keep the slab hot path intact.
 class SpanObserver {
  public:
   virtual ~SpanObserver() = default;
-  virtual void on_span_issue(SiteId site, SpanId span, Time at) = 0;
-  virtual void on_span_enter(SiteId site, SpanId span, Time at) = 0;
-  virtual void on_span_exit(SiteId site, SpanId span, Time at) = 0;
-  virtual void on_span_abort(SiteId site, SpanId span, Time at) = 0;
+  virtual void on_span_issue(SiteId site, LockId lock, SpanId span,
+                             Time at) = 0;
+  virtual void on_span_enter(SiteId site, LockId lock, SpanId span,
+                             Time at) = 0;
+  virtual void on_span_exit(SiteId site, LockId lock, SpanId span,
+                            Time at) = 0;
+  virtual void on_span_abort(SiteId site, LockId lock, SpanId span,
+                             Time at) = 0;
 };
 
 class MutexSite : public net::NetSite {
  public:
   enum class State { kIdle, kRequesting, kInCS };
 
-  MutexSite(SiteId id, net::Network& net) : id_(id), net_(net) {
+  // `num_locks` sizes the lock table; LockIds are dense 0..num_locks-1 and
+  // every keyed call validates its LockId against that range.
+  MutexSite(SiteId id, net::Network& net, LockId num_locks = 1)
+      : id_(id), net_(net) {
     DQME_CHECK(0 <= id && id < net.size());
+    DQME_CHECK_MSG(num_locks >= 1,
+                   "num_locks must be >= 1 (dense LockIds 0..M-1)");
+    locks_.resize(static_cast<size_t>(num_locks));
   }
 
   SiteId id() const { return id_; }
-  State state() const { return state_; }
-  bool idle() const { return state_ == State::kIdle; }
-  bool requesting() const { return state_ == State::kRequesting; }
-  bool in_cs() const { return state_ == State::kInCS; }
+  LockId num_locks() const { return static_cast<LockId>(locks_.size()); }
 
-  // Begins acquiring the CS. May fire on_enter synchronously (e.g. a token
-  // holder with no contention).
-  void request_cs() {
-    DQME_CHECK_MSG(idle(), "site " << id_ << " already has a request");
-    state_ = State::kRequesting;
-    do_request();
+  State state(LockId lock) const { return lk(lock).state; }
+  bool idle(LockId lock) const { return lk(lock).state == State::kIdle; }
+  bool requesting(LockId lock) const {
+    return lk(lock).state == State::kRequesting;
+  }
+  bool in_cs(LockId lock) const { return lk(lock).state == State::kInCS; }
+  // Lock-0 conveniences for the dominant single-lock configuration.
+  State state() const { return state(kLock0); }
+  bool idle() const { return idle(kLock0); }
+  bool requesting() const { return requesting(kLock0); }
+  bool in_cs() const { return in_cs(kLock0); }
+
+  // Begins acquiring `lock`'s CS. May fire on_enter synchronously (e.g. a
+  // token holder with no contention).
+  void request_cs(LockId lock) {
+    DQME_CHECK_MSG(idle(lock), "site " << id_ << " already has a request");
+    lk(lock).state = State::kRequesting;
+    do_request(lock);
   }
 
-  // Leaves the CS and hands permissions onward per the protocol.
-  void release_cs() {
-    DQME_CHECK_MSG(in_cs(), "site " << id_ << " is not in the CS");
-    state_ = State::kIdle;
-    if (span_observer_) span_observer_->on_span_exit(id_, active_span_, now());
-    do_release();
-    active_span_ = kNoSpan;
+  // Leaves `lock`'s CS and hands permissions onward per the protocol.
+  void release_cs(LockId lock) {
+    DQME_CHECK_MSG(in_cs(lock), "site " << id_ << " is not in the CS");
+    LockState& L = lk(lock);
+    L.state = State::kIdle;
+    if (span_observer_)
+      span_observer_->on_span_exit(id_, lock, L.active_span, now());
+    do_release(lock);
+    L.active_span = kNoSpan;
   }
+
+  // Single-lock shims from the pre-lock-table API. They drive kLock0 only;
+  // new code passes the LockId explicitly.
+  [[deprecated("use request_cs(LockId); the zero-arg shim drives lock 0")]]
+  void request_cs() { request_cs(kLock0); }
+  [[deprecated("use release_cs(LockId); the zero-arg shim drives lock 0")]]
+  void release_cs() { release_cs(kLock0); }
 
   // Attach-time observability (src/obs): record the causal span edges of
   // every request this site issues. Re-attaching replaces the observer; a
@@ -72,25 +108,33 @@ class MutexSite : public net::NetSite {
   // current one first and forwards to it.
   void attach_span_observer(SpanObserver* obs) { span_observer_ = obs; }
   SpanObserver* span_observer() const { return span_observer_; }
-  // Span of the in-flight request attempt; kNoSpan when idle (or for
-  // protocols that do not thread spans yet).
-  SpanId active_span() const { return active_span_; }
+  // Span of the in-flight request attempt on `lock`; kNoSpan when idle (or
+  // for protocols that do not thread spans yet).
+  SpanId active_span(LockId lock) const { return lk(lock).active_span; }
+  SpanId active_span() const { return active_span(kLock0); }
 
-  // How many wire hops the grant completing the latest CS entry travelled:
-  // 1 = proxy-forwarded reply (the §3 handoff), 2 = arbiter relay, 0 =
-  // protocol does not classify entries. Feeds the analytic-model gate
-  // (obs::mixed_sync_delay).
-  int last_entry_hops() const { return last_entry_hops_; }
+  // How many wire hops the grant completing `lock`'s latest CS entry
+  // travelled: 1 = proxy-forwarded reply (the §3 handoff), 2 = arbiter
+  // relay, 0 = protocol does not classify entries. Feeds the analytic-
+  // model gate (obs::mixed_sync_delay).
+  int last_entry_hops(LockId lock) const { return lk(lock).last_entry_hops; }
+  int last_entry_hops() const { return last_entry_hops(kLock0); }
 
-  // Invoked at the instant the site enters the CS.
-  std::function<void(SiteId)> on_enter;
+  // Invoked at the instant the site enters a lock's CS.
+  std::function<void(SiteId, LockId)> on_enter;
 
-  // Invoked if the site abandons its current request because no quorum can
-  // be formed (§6: the site "becomes inaccessible"). Only the fault-
-  // tolerant configuration ever fires this.
-  std::function<void(SiteId)> on_abort;
+  // Invoked if the site abandons its current request on a lock because no
+  // quorum can be formed (§6: the site "becomes inaccessible"). Only the
+  // fault-tolerant configuration ever fires this.
+  std::function<void(SiteId, LockId)> on_abort;
 
-  uint64_t cs_entries() const { return cs_entries_; }
+  uint64_t cs_entries(LockId lock) const { return lk(lock).cs_entries; }
+  // Total CS entries across every lock of the table.
+  uint64_t cs_entries() const {
+    uint64_t total = 0;
+    for (const LockState& L : locks_) total += L.cs_entries;
+    return total;
+  }
   // Messages dropped as stale/outdated (DESIGN.md D1). Diagnosable, not an
   // error: the protocol prescribes ignoring them — e.g. a transfer or
   // inquire that crosses the holder's release on the wire.
@@ -103,26 +147,30 @@ class MutexSite : public net::NetSite {
   net::Network& net() { return net_; }
   sim::Simulator& sim() { return net_.simulator(); }
 
-  // Subclasses call this when all permissions are assembled.
-  void enter_cs() {
-    DQME_CHECK_MSG(requesting(),
+  // Subclasses call this when all of `lock`'s permissions are assembled.
+  void enter_cs(LockId lock) {
+    DQME_CHECK_MSG(requesting(lock),
                    "site " << id_ << " entering CS while not requesting");
-    state_ = State::kInCS;
-    ++cs_entries_;
-    if (span_observer_) span_observer_->on_span_enter(id_, active_span_, now());
-    if (on_enter) on_enter(id_);
+    LockState& L = lk(lock);
+    L.state = State::kInCS;
+    ++L.cs_entries;
+    if (span_observer_)
+      span_observer_->on_span_enter(id_, lock, L.active_span, now());
+    if (on_enter) on_enter(id_, lock);
   }
 
   // Subclasses call this the moment a request attempt's identity is fixed
-  // (my_req assigned) — typically `open_span(span_of(my_req_))`. A §6
+  // (my_req assigned) — typically `open_span(lock, span_of(my_req))`. A §6
   // recovery that restarts on a fresh quorum opens a fresh span.
-  void open_span(SpanId span) {
-    active_span_ = span;
-    if (span_observer_) span_observer_->on_span_issue(id_, span, now());
+  void open_span(LockId lock, SpanId span) {
+    lk(lock).active_span = span;
+    if (span_observer_) span_observer_->on_span_issue(id_, lock, span, now());
   }
 
   // Subclasses set this just before the enter_cs() a grant produces.
-  void set_entry_hops(int hops) { last_entry_hops_ = hops; }
+  void set_entry_hops(LockId lock, int hops) {
+    lk(lock).last_entry_hops = hops;
+  }
 
   void note_stale_drop() { ++stale_drops_; }
   void note_stale_drop(net::MsgType t) {
@@ -130,40 +178,62 @@ class MutexSite : public net::NetSite {
     ++stale_by_type_[static_cast<size_t>(t)];
   }
 
-  // Abandons the in-flight request (fault-tolerance layer only).
-  void abort_request() {
-    DQME_CHECK(requesting());
-    state_ = State::kIdle;
-    if (span_observer_) span_observer_->on_span_abort(id_, active_span_, now());
-    active_span_ = kNoSpan;
-    if (on_abort) on_abort(id_);
+  // Abandons `lock`'s in-flight request (fault-tolerance layer only).
+  void abort_request(LockId lock) {
+    DQME_CHECK(requesting(lock));
+    LockState& L = lk(lock);
+    L.state = State::kIdle;
+    if (span_observer_)
+      span_observer_->on_span_abort(id_, lock, L.active_span, now());
+    L.active_span = kNoSpan;
+    if (on_abort) on_abort(id_, lock);
   }
 
-  // Lamport clock shared by timestamped protocols.
-  SeqNum tick() { return ++clock_; }
-  void observe(SeqNum seen) {
+  // Per-lock Lamport clock shared by timestamped protocols. Clocks are
+  // independent across locks so an M-lock run makes exactly the per-lock
+  // timestamp decisions M single-lock runs would (lock_table_test).
+  SeqNum tick(LockId lock) { return ++lk(lock).clock; }
+  void observe(LockId lock, SeqNum seen) {
     // kMaxSeq is the "(max,max)" sentinel carried by messages that do not
     // pertain to a real request (e.g. deferred replies) — never a clock.
-    if (seen != kMaxSeq && seen > clock_) clock_ = seen;
+    if (seen != kMaxSeq && seen > lk(lock).clock) lk(lock).clock = seen;
   }
-  SeqNum clock() const { return clock_; }
+  SeqNum clock(LockId lock) const { return lk(lock).clock; }
 
-  virtual void do_request() = 0;
-  virtual void do_release() = 0;
+  virtual void do_request(LockId lock) = 0;
+  virtual void do_release(LockId lock) = 0;
 
  private:
+  // Driver-visible per-lock state; protocol subclasses keep their own
+  // parallel lock tables (VoteMap/ReqQueue et al.) indexed the same way.
+  struct LockState {
+    State state = State::kIdle;
+    uint64_t cs_entries = 0;
+    SeqNum clock = 0;
+    SpanId active_span = kNoSpan;
+    int last_entry_hops = 0;
+  };
+
   Time now() const { return net_.simulator().now(); }
+  LockState& lk(LockId lock) {
+    DQME_CHECK_MSG(0 <= lock && lock < num_locks(),
+                   "LockId " << lock << " outside dense range 0.."
+                             << (num_locks() - 1));
+    return locks_[static_cast<size_t>(lock)];
+  }
+  const LockState& lk(LockId lock) const {
+    DQME_CHECK_MSG(0 <= lock && lock < num_locks(),
+                   "LockId " << lock << " outside dense range 0.."
+                             << (num_locks() - 1));
+    return locks_[static_cast<size_t>(lock)];
+  }
 
   SiteId id_;
   net::Network& net_;
-  State state_ = State::kIdle;
-  uint64_t cs_entries_ = 0;
+  std::vector<LockState> locks_;
   uint64_t stale_drops_ = 0;
   std::array<uint64_t, net::kNumMsgTypes> stale_by_type_{};
-  SeqNum clock_ = 0;
   SpanObserver* span_observer_ = nullptr;
-  SpanId active_span_ = kNoSpan;
-  int last_entry_hops_ = 0;
 };
 
 }  // namespace dqme::mutex

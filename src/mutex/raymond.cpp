@@ -7,62 +7,67 @@ namespace dqme::mutex {
 using net::Message;
 using net::MsgType;
 
-RaymondSite::RaymondSite(SiteId id, net::Network& net)
-    : MutexSite(id, net),
+RaymondSite::RaymondSite(SiteId id, net::Network& net, LockId num_locks)
+    : MutexSite(id, net, num_locks),
       parent_(id == 0 ? kNoSite : (id - 1) / 2),
-      holder_(id == 0 ? id : parent_) {}
-
-void RaymondSite::do_request() {
-  request_q_.push_back(id());
-  assign_privilege();
-  make_request();
+      lk_(static_cast<size_t>(num_locks)) {
+  for (Lk& L : lk_) L.holder = id == 0 ? id : parent_;
 }
 
-void RaymondSite::do_release() {
-  assign_privilege();
-  make_request();
+void RaymondSite::do_request(LockId lock) {
+  lk_[static_cast<size_t>(lock)].request_q.push_back(id());
+  assign_privilege(lock);
+  make_request(lock);
+}
+
+void RaymondSite::do_release(LockId lock) {
+  assign_privilege(lock);
+  make_request(lock);
 }
 
 // Passes the privilege to the head of the queue if we hold an idle token.
-void RaymondSite::assign_privilege() {
-  if (holder_ != id() || in_cs() || request_q_.empty()) return;
-  SiteId next = request_q_.front();
-  request_q_.pop_front();
-  asked_ = false;
+void RaymondSite::assign_privilege(LockId lock) {
+  Lk& L = lk_[static_cast<size_t>(lock)];
+  if (L.holder != id() || in_cs(lock) || L.request_q.empty()) return;
+  SiteId next = L.request_q.front();
+  L.request_q.pop_front();
+  L.asked = false;
   if (next == id()) {
-    enter_cs();
+    enter_cs(lock);
     return;
   }
-  holder_ = next;
+  L.holder = next;
   Message token;
   token.type = MsgType::kToken;
-  net().send(id(), next, token);
+  net().send(id(), next, token, lock);
 }
 
 // Asks the current holder direction for the token if we still need it.
-void RaymondSite::make_request() {
-  if (holder_ == id() || request_q_.empty() || asked_) return;
-  asked_ = true;
+void RaymondSite::make_request(LockId lock) {
+  Lk& L = lk_[static_cast<size_t>(lock)];
+  if (L.holder == id() || L.request_q.empty() || L.asked) return;
+  L.asked = true;
   Message req;
   req.type = MsgType::kTokenReq;
-  net().send(id(), holder_, req);
+  net().send(id(), L.holder, req, lock);
 }
 
-void RaymondSite::on_message(const Message& m) {
+void RaymondSite::on_message(const Message& m, LockId lock) {
+  Lk& L = lk_[static_cast<size_t>(lock)];
   switch (m.type) {
     case MsgType::kTokenReq: {
       // A neighbour wants the token through us; remember it once.
-      if (std::find(request_q_.begin(), request_q_.end(), m.src) ==
-          request_q_.end())
-        request_q_.push_back(m.src);
-      assign_privilege();
-      make_request();
+      if (std::find(L.request_q.begin(), L.request_q.end(), m.src) ==
+          L.request_q.end())
+        L.request_q.push_back(m.src);
+      assign_privilege(lock);
+      make_request(lock);
       break;
     }
     case MsgType::kToken: {
-      holder_ = id();
-      assign_privilege();
-      make_request();
+      L.holder = id();
+      assign_privilege(lock);
+      make_request(lock);
       break;
     }
     default:

@@ -5,47 +5,53 @@ namespace dqme::mutex {
 using net::Message;
 using net::MsgType;
 
-RicartAgrawalaSite::RicartAgrawalaSite(SiteId id, net::Network& net)
-    : MutexSite(id, net) {}
+RicartAgrawalaSite::RicartAgrawalaSite(SiteId id, net::Network& net,
+                                       LockId num_locks)
+    : MutexSite(id, net, num_locks), lk_(static_cast<size_t>(num_locks)) {}
 
-void RicartAgrawalaSite::do_request() {
-  my_req_ = ReqId{tick(), id()};
-  open_span(span_of(my_req_));
-  pending_replies_ = net().size() - 1;
+void RicartAgrawalaSite::do_request(LockId lock) {
+  Lk& L = lk_[static_cast<size_t>(lock)];
+  L.my_req = ReqId{tick(lock), id()};
+  open_span(lock, span_of(L.my_req));
+  L.pending_replies = net().size() - 1;
   for (SiteId j = 0; j < net().size(); ++j)
-    if (j != id()) net().send(id(), j, net::make_request(my_req_));
-  if (pending_replies_ == 0) enter_cs();  // N == 1
+    if (j != id()) net().send(id(), j, net::make_request(L.my_req), lock);
+  if (L.pending_replies == 0) enter_cs(lock);  // N == 1
 }
 
-void RicartAgrawalaSite::do_release() {
-  my_req_ = ReqId{};
-  for (SiteId j : deferred_) net().send(id(), j, net::make_reply(id(), ReqId{}));
-  deferred_.clear();
+void RicartAgrawalaSite::do_release(LockId lock) {
+  Lk& L = lk_[static_cast<size_t>(lock)];
+  L.my_req = ReqId{};
+  for (SiteId j : L.deferred)
+    net().send(id(), j, net::make_reply(id(), ReqId{}), lock);
+  L.deferred.clear();
 }
 
-void RicartAgrawalaSite::on_message(const Message& m) {
-  observe(m.req.seq);
+void RicartAgrawalaSite::on_message(const Message& m, LockId lock) {
+  Lk& L = lk_[static_cast<size_t>(lock)];
+  observe(lock, m.req.seq);
   switch (m.type) {
     case MsgType::kRequest: {
       // Grant unless we are in the CS, or we are requesting with higher
       // priority than the incoming request.
       const bool we_win =
-          in_cs() || (requesting() && my_req_ < m.req);
+          in_cs(lock) || (requesting(lock) && L.my_req < m.req);
       if (we_win)
-        deferred_.push_back(m.src);
+        L.deferred.push_back(m.src);
       else
-        net().send(id(), m.src, net::make_reply(id(), m.req));
+        net().send(id(), m.src, net::make_reply(id(), m.req), lock);
       break;
     }
     case MsgType::kReply: {
-      if (!requesting()) {
+      if (!requesting(lock)) {
         note_stale_drop();
         break;
       }
-      // A reply can be a direct answer (req == my_req_) or a deferred one
+      // A reply can be a direct answer (req == my_req) or a deferred one
       // sent at the replier's exit (req invalid). Both are grants: a site
-      // only ever has one outstanding request, so no staleness is possible.
-      if (--pending_replies_ == 0) enter_cs();
+      // only ever has one outstanding request per lock, so no staleness is
+      // possible.
+      if (--L.pending_replies == 0) enter_cs(lock);
       break;
     }
     default:

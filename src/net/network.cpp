@@ -34,6 +34,16 @@ uint32_t Network::acquire_flight() {
   return static_cast<uint32_t>(flights_.size() - 1);
 }
 
+void Network::release_flight(uint32_t idx) {
+  Flight& f = flights_[idx];
+  f.inline_count = 0;
+  f.spill.clear();
+  f.spill_locks.clear();
+  ++f.gen;  // invalidates any OpenFlight record pointing at this slot
+  f.next_free = flight_free_;
+  flight_free_ = idx;
+}
+
 PayloadId Network::acquire_payload() {
   ++stats_.payloads_acquired;
   if (payload_free_ != kNilFlight) {
@@ -75,24 +85,43 @@ TokenPayload Network::take_token(const Message& m) {
   return std::move(payloads_[m.payload].token);
 }
 
-void Network::send(SiteId src, SiteId dst, const Message& m) {
+void Network::send(SiteId src, SiteId dst, const Message& m, LockId lock) {
   const uint32_t idx = acquire_flight();
   Flight& f = flights_[idx];
   f.inline_msgs[0] = m;
+  f.inline_locks[0] = lock;
   f.inline_count = 1;
   stage(src, dst, idx);
 }
 
 void Network::send_bundle(SiteId src, SiteId dst, const Message* msgs,
-                          size_t n) {
+                          size_t n, LockId lock) {
   DQME_CHECK(n > 0);
   const uint32_t idx = acquire_flight();
   Flight& f = flights_[idx];
   const size_t inl = n < 2 ? n : 2;
-  for (size_t i = 0; i < inl; ++i) f.inline_msgs[i] = msgs[i];
+  for (size_t i = 0; i < inl; ++i) {
+    f.inline_msgs[i] = msgs[i];
+    f.inline_locks[i] = lock;
+  }
   f.inline_count = static_cast<uint32_t>(inl);
-  if (n > 2) f.spill.assign(msgs + 2, msgs + n);
+  if (n > 2) {
+    f.spill.assign(msgs + 2, msgs + n);
+    f.spill_locks.assign(n - 2, lock);
+  }
   stage(src, dst, idx);
+}
+
+void Network::set_lock_piggyback(Time window) {
+  pb_window_ = window;
+  if (window >= 0) {
+    if (open_.empty())
+      open_.assign(static_cast<size_t>(size()) * static_cast<size_t>(size()),
+                   OpenFlight{});
+  } else {
+    open_.clear();
+    open_.shrink_to_fit();
+  }
 }
 
 void Network::stage(SiteId src, SiteId dst, uint32_t flight) {
@@ -115,10 +144,7 @@ void Network::stage(SiteId src, SiteId dst, uint32_t flight) {
         release_payload(f.inline_msgs[i].payload);
     for (const Message& m : f.spill)
       if (m.payload != kNoPayload) release_payload(m.payload);
-    f.inline_count = 0;
-    f.spill.clear();
-    f.next_free = flight_free_;
-    flight_free_ = flight;
+    release_flight(flight);
     return;
   }
 
@@ -131,7 +157,6 @@ void Network::stage(SiteId src, SiteId dst, uint32_t flight) {
     return;
   }
 
-  stats_.wire_messages += 1;
   stats_.control_messages += count;
   for (uint32_t i = 0; i < f.inline_count; ++i)
     stats_.by_type[static_cast<size_t>(f.inline_msgs[i].type)] += 1;
@@ -144,7 +169,9 @@ void Network::stage(SiteId src, SiteId dst, uint32_t flight) {
     // A wire message to a dead receiver evaporates now rather than sitting
     // in a parked queue no strategy should ever have to drain: the clock
     // path would drop it at arrival anyway, and dropping here keeps the
-    // enabled-action set (non-empty channels) meaningful.
+    // enabled-action set (non-empty channels) meaningful. One flight is
+    // one schedule action, so lock piggybacking is off in this mode.
+    stats_.wire_messages += 1;
     if (!alive_[static_cast<size_t>(dst)]) {
       drop_flight(flight);
       return;
@@ -153,12 +180,47 @@ void Network::stage(SiteId src, SiteId dst, uint32_t flight) {
     ++parked_total_;
     return;
   }
+
+  if (pb_window_ >= 0) {
+    // Lock piggybacking: ride the channel's open flight when it is still
+    // undelivered (strictly — at now == deliver the delivery event may
+    // already have fired this instant) and young enough. Appending keeps
+    // the open flight's delivery instant, so FIFO and the delivery floor
+    // are untouched; the appended messages cost no new wire message.
+    OpenFlight& rec = open_[chan];
+    if (rec.flight != kNilFlight && flights_[rec.flight].gen == rec.gen &&
+        now < rec.deliver && now - rec.created <= pb_window_) {
+      Flight& open = flights_[rec.flight];
+      for (uint32_t i = 0; i < f.inline_count; ++i) {
+        if (open.inline_count < 2) {
+          open.inline_msgs[open.inline_count] = f.inline_msgs[i];
+          open.inline_locks[open.inline_count] = f.inline_locks[i];
+          ++open.inline_count;
+        } else {
+          open.spill.push_back(f.inline_msgs[i]);
+          open.spill_locks.push_back(f.inline_locks[i]);
+        }
+      }
+      for (size_t i = 0; i < f.spill.size(); ++i) {
+        open.spill.push_back(f.spill[i]);
+        open.spill_locks.push_back(f.spill_locks[i]);
+      }
+      stats_.piggybacked_messages += count;
+      release_flight(flight);
+      return;
+    }
+  }
+
+  stats_.wire_messages += 1;
   Time at = sim_.now() + delay_->sample(rng_, src, dst);
   // FIFO floor: never deliver before anything previously sent on the
   // channel. Equal instants are fine — the simulator breaks ties in
   // scheduling order, which equals sending order.
   if (at < last_delivery_[chan]) at = last_delivery_[chan];
   last_delivery_[chan] = at;
+
+  if (pb_window_ >= 0)
+    open_[chan] = OpenFlight{flight, f.gen, now, at};
 
   sim_.schedule_at(at, [this, flight] { deliver_flight(flight); });
 }
@@ -171,43 +233,40 @@ void Network::deliver_flight(uint32_t idx) {
   const bool hooked = static_cast<bool>(on_deliver);
   const uint32_t n = flights_[idx].inline_count;
   const std::array<Message, 2> local = flights_[idx].inline_msgs;
+  const std::array<LockId, 2> local_locks = flights_[idx].inline_locks;
   if (flights_[idx].spill.empty()) {
     // Fast path: 1-2 messages, the dominant shapes.
     if (hooked) {
-      for (uint32_t i = 0; i < n; ++i) deliver_one<true>(local[i]);
+      for (uint32_t i = 0; i < n; ++i) deliver_one<true>(local[i],
+                                                         local_locks[i]);
     } else {
-      for (uint32_t i = 0; i < n; ++i) deliver_one<false>(local[i]);
+      for (uint32_t i = 0; i < n; ++i) deliver_one<false>(local[i],
+                                                          local_locks[i]);
     }
-    Flight& f = flights_[idx];
-    f.inline_count = 0;
-    f.next_free = flight_free_;
-    flight_free_ = idx;
+    release_flight(idx);
     return;
   }
 
   for (uint32_t i = 0; i < n; ++i) {
     if (hooked)
-      deliver_one<true>(local[i]);
+      deliver_one<true>(local[i], local_locks[i]);
     else
-      deliver_one<false>(local[i]);
+      deliver_one<false>(local[i], local_locks[i]);
   }
   // The spill vector must survive the handlers — index on every access.
   for (size_t i = 0; i < flights_[idx].spill.size(); ++i) {
     const Message m = flights_[idx].spill[i];
+    const LockId lock = flights_[idx].spill_locks[i];
     if (hooked)
-      deliver_one<true>(m);
+      deliver_one<true>(m, lock);
     else
-      deliver_one<false>(m);
+      deliver_one<false>(m, lock);
   }
-  Flight& f = flights_[idx];
-  f.inline_count = 0;
-  f.spill.clear();
-  f.next_free = flight_free_;
-  flight_free_ = idx;
+  release_flight(idx);
 }
 
 template <bool kHooked>
-void Network::deliver_one(const Message& m) {
+void Network::deliver_one(const Message& m, LockId lock) {
   if (!alive_[static_cast<size_t>(m.dst)] ||
       !alive_[static_cast<size_t>(m.src)]) {
     // Fail-silent crash semantics: a message from/to a crashed site
@@ -219,10 +278,10 @@ void Network::deliver_one(const Message& m) {
     return;
   }
   stats_.delivered_messages += 1;
-  if constexpr (kHooked) on_deliver(m);
+  if constexpr (kHooked) on_deliver(m, lock);
   NetSite* site = sites_[static_cast<size_t>(m.dst)];
   DQME_CHECK_MSG(site != nullptr, "no receiver attached for site " << m.dst);
-  site->on_message(m);
+  site->on_message(m, lock);
   // The payload's lifetime is the flight: the handler has returned (and
   // taken what it wanted), so the slot recycles.
   if (m.payload != kNoPayload) release_payload(m.payload);
@@ -236,10 +295,7 @@ void Network::drop_flight(uint32_t idx) {
       release_payload(f.inline_msgs[i].payload);
   for (const Message& m : f.spill)
     if (m.payload != kNoPayload) release_payload(m.payload);
-  f.inline_count = 0;
-  f.spill.clear();
-  f.next_free = flight_free_;
-  flight_free_ = idx;
+  release_flight(idx);
 }
 
 void Network::set_controlled(bool on) {

@@ -20,6 +20,23 @@
 // sim::Callback's inline storage — so steady-state send/deliver performs
 // no heap allocation and no per-message indirection.
 //
+// Multi-lock addressing: the 80-byte Message struct has no room for a
+// LockId field (and single-lock runs must not pay for one), so the lock a
+// message belongs to rides in the *flight*, not the message: each flight
+// carries a lock tag per message (inline array + spill vector, parallel to
+// the message storage), stamped by send()/send_bundle() and handed to the
+// receiver as a separate on_message parameter. A protocol bundle is always
+// single-lock; only window piggybacking (below) mixes locks in one flight.
+//
+// Lock piggybacking: with set_lock_piggyback(window >= 0), a send whose
+// channel already has an undelivered flight staged within the last `window`
+// ticks is appended to that open flight instead of occupying a new wire
+// message — the sharded-lock-service batching that makes per-lock request
+// fan-outs to a shared quorum cheap. Appending never changes the open
+// flight's delivery instant, so with window = 0 (same-instant coalescing
+// only) delivery times and per-message order are exactly what separate
+// flights would have produced — the property lock_table_test leans on.
+//
 // Side payloads: Message is a flat 80-byte struct; the rare big fields
 // (Suzuki-Kasami token state, replica kv) live in a per-network payload
 // slab addressed by Message::payload. Senders bind one with attach_kv /
@@ -45,11 +62,12 @@
 
 namespace dqme::net {
 
-// Anything that can receive messages from the network.
+// Anything that can receive messages from the network. `lock` is the lock
+// object the message arbitrates (kLock0 for all single-lock traffic).
 class NetSite {
  public:
   virtual ~NetSite() = default;
-  virtual void on_message(const Message& m) = 0;
+  virtual void on_message(const Message& m, LockId lock) = 0;
 };
 
 struct NetworkStats {
@@ -61,6 +79,7 @@ struct NetworkStats {
   uint64_t delivered_messages = 0;  // handed to a receiver (local + wire)
   uint64_t flights_acquired = 0;    // flight-slot checkouts (pool traffic)
   uint64_t payloads_acquired = 0;   // side-payload checkouts (token/kv)
+  uint64_t piggybacked_messages = 0;  // appended to an open flight (no wire)
 
   uint64_t count(MsgType t) const {
     return by_type[static_cast<size_t>(t)];
@@ -88,18 +107,35 @@ class Network {
   // to `id`; re-attaching replaces the receiver (used by wrappers).
   void attach(SiteId id, NetSite* site);
 
-  // Sends one control message as one wire message.
-  void send(SiteId src, SiteId dst, const Message& m);
+  // Sends one control message as one wire message, tagged with the lock it
+  // arbitrates.
+  void send(SiteId src, SiteId dst, const Message& m, LockId lock = kLock0);
 
   // Sends several control messages piggybacked as one wire message. They
-  // are delivered back-to-back, in order, at the same instant. The pointer
+  // are delivered back-to-back, in order, at the same instant, and all
+  // share one lock tag (protocol bundles are single-lock). The pointer
   // form is the hot path: protocol code keeps ≤2-message bundles in a stack
   // buffer and never touches the heap; the vector form is convenience for
   // tests and cold paths.
-  void send_bundle(SiteId src, SiteId dst, const Message* msgs, size_t n);
-  void send_bundle(SiteId src, SiteId dst, const std::vector<Message>& bundle) {
-    send_bundle(src, dst, bundle.data(), bundle.size());
+  void send_bundle(SiteId src, SiteId dst, const Message* msgs, size_t n,
+                   LockId lock = kLock0);
+  void send_bundle(SiteId src, SiteId dst, const std::vector<Message>& bundle,
+                   LockId lock = kLock0) {
+    send_bundle(src, dst, bundle.data(), bundle.size(), lock);
   }
+
+  // --- Lock piggybacking (sharded lock service) ------------------------
+  // window < 0 (default): disabled. window >= 0: a send may append to the
+  // channel's most recent still-undelivered flight when that flight was
+  // staged at most `window` ticks ago. The appended messages keep the open
+  // flight's delivery instant (which respects the FIFO floor by
+  // construction), count as control messages but not as a new wire
+  // message, and are tallied in stats().piggybacked_messages. window = 0
+  // coalesces only sends from the same simulation instant — exactly
+  // timing- and order-preserving vs. separate flights. Not available in
+  // controlled (explorer) mode, where one flight = one schedule action.
+  void set_lock_piggyback(Time window);
+  Time lock_piggyback() const { return pb_window_; }
 
   // --- Side payloads -------------------------------------------------
   // attach_* acquires a pool slot, binds it to `m`, and returns the field
@@ -163,7 +199,7 @@ class Network {
 
   // Trace hook: invoked for every control message at delivery time, before
   // the receiving site sees it. Used by tests and the metrics layer.
-  std::function<void(const Message&)> on_deliver;
+  std::function<void(const Message&, LockId)> on_deliver;
 
   // Crash hook: invoked when crash(id) flips a site to fail-silent, before
   // the call returns. Chain like on_deliver; the invariant checker uses it
@@ -176,12 +212,27 @@ class Network {
   // One in-flight wire bundle. Pooled; the first two messages are stored
   // inline (trivially-copyable Message makes the copy a memcpy) and only
   // bundles of 3+ touch the spill vector, whose capacity survives reuse —
-  // so a steady-state send costs no allocation.
+  // so a steady-state send costs no allocation. Lock tags are parallel to
+  // the message storage; `gen` bumps on every recycle so a stale
+  // OpenFlight record (lock piggybacking) can never append into a slot
+  // that has been reused.
   struct Flight {
     std::array<Message, 2> inline_msgs;
+    std::array<LockId, 2> inline_locks{kLock0, kLock0};
     std::vector<Message> spill;  // messages beyond the first two
+    std::vector<LockId> spill_locks;
     uint32_t inline_count = 0;
     uint32_t next_free = kNilFlight;
+    uint64_t gen = 0;
+  };
+
+  // The channel's most recent scheduled-but-undelivered flight, eligible
+  // for lock-piggyback appends. Valid only while the slot's gen matches.
+  struct OpenFlight {
+    uint32_t flight = kNilFlight;
+    uint64_t gen = 0;
+    Time created = 0;
+    Time deliver = 0;
   };
 
   // One pooled side payload; acquire_payload() hands slots back zeroed
@@ -193,6 +244,9 @@ class Network {
   };
 
   uint32_t acquire_flight();
+  // Clears a flight's storage (capacity retained), bumps its gen, and
+  // pushes it on the free list. Every recycle path funnels through here.
+  void release_flight(uint32_t idx);
   PayloadId acquire_payload();
   void release_payload(PayloadId id);
   // Drops a staged-but-undelivered flight: releases its payload slots,
@@ -203,10 +257,11 @@ class Network {
   // deliver_flight, so the detached path never tests the std::function per
   // message.
   template <bool kHooked>
-  void deliver_one(const Message& m);
+  void deliver_one(const Message& m, LockId lock);
 
   // Stamps src/dst, counts wire stats, and schedules delivery (or drops
-  // the bundle for a crashed sender).
+  // the bundle for a crashed sender, or appends it to the channel's open
+  // flight under lock piggybacking).
   void stage(SiteId src, SiteId dst, uint32_t flight);
 
   sim::Simulator& sim_;
@@ -220,6 +275,9 @@ class Network {
   uint32_t flight_free_ = kNilFlight;
   std::vector<SidePayload> payloads_;
   uint32_t payload_free_ = kNilFlight;
+  // Lock-piggyback state: open-flight record per (src,dst) channel.
+  Time pb_window_ = -1;  // < 0: disabled
+  std::vector<OpenFlight> open_;
   // Controlled-delivery state: parked flight queue per (src,dst) channel.
   bool controlled_ = false;
   size_t parked_total_ = 0;

@@ -21,6 +21,7 @@ namespace dqme::net {
 struct TraceEvent {
   Time at = 0;
   Message msg;
+  LockId lock = kLock0;  // lock-table tag the flight carried for `msg`
 };
 
 class TraceRecorder {

@@ -11,9 +11,9 @@ InvariantChecker::InvariantChecker(net::Network& net, InvariantOptions opts)
     : net_(net), opts_(opts) {
   auto previous = std::move(net.on_deliver);
   net.on_deliver = [this, &net, previous = std::move(previous)](
-                       const net::Message& m) {
-    observe(m, net.simulator().now());
-    if (previous) previous(m);
+                       const net::Message& m, LockId lock) {
+    observe(m, lock, net.simulator().now());
+    if (previous) previous(m, lock);
   };
   auto prev_crash = std::move(net.on_crash);
   net.on_crash = [this, prev_crash = std::move(prev_crash)](SiteId site) {
@@ -33,28 +33,33 @@ void InvariantChecker::flag(const std::string& what) {
   if (reports_.size() < opts_.max_reports) reports_.push_back(what);
 }
 
-InvariantChecker::Held& InvariantChecker::holder_slot(SiteId arbiter) {
-  return holder_[arbiter];  // Held default-constructs to free (kNoSite)
+InvariantChecker::Ledger& InvariantChecker::ledger(LockId lock) {
+  return ledgers_[lock];
 }
 
-bool InvariantChecker::is_active(const ReqId& req) const {
-  auto it = active_span_.find(req.site);
-  return it != active_span_.end() && it->second == span_of(req);
+std::string InvariantChecker::lock_tag(LockId lock) {
+  if (lock == kLock0) return {};
+  return " [lock " + std::to_string(lock) + "]";
 }
 
-void InvariantChecker::discharge(SiteId arbiter, SiteId holder) {
-  auto it = transfers_.find({arbiter, holder});
-  if (it == transfers_.end()) return;
+bool InvariantChecker::is_active(const Ledger& led, const ReqId& req) {
+  auto it = led.active_span.find(req.site);
+  return it != led.active_span.end() && it->second == span_of(req);
+}
+
+void InvariantChecker::discharge(Ledger& led, SiteId arbiter, SiteId holder) {
+  auto it = led.transfers.find({arbiter, holder});
+  if (it == led.transfers.end()) return;
   ++checks_;  // an obligation resolved the way Lemma 3's argument expects
-  transfers_.erase(it);
+  led.transfers.erase(it);
 }
 
-void InvariantChecker::progress(SpanId span, Time at) {
+void InvariantChecker::progress(Ledger& led, SpanId span, Time at) {
   if (span == kNoSpan) return;
-  auto owner = span_owner_.find(span);
-  if (owner == span_owner_.end()) return;
-  auto watch = open_requests_.find(owner->second);
-  if (watch != open_requests_.end() && watch->second.span == span)
+  auto owner = led.span_owner.find(span);
+  if (owner == led.span_owner.end()) return;
+  auto watch = led.open_requests.find(owner->second);
+  if (watch != led.open_requests.end() && watch->second.span == span)
     watch->second.last_progress = at;
 }
 
@@ -72,28 +77,34 @@ void InvariantChecker::watchdog_sweep() {
   watchdog_armed_ = false;
   if (finished_) return;
   const Time now = net_.simulator().now();
-  for (auto& [site, watch] : open_requests_) {
-    ++checks_;
-    if (watch.flagged || now - watch.last_progress <= opts_.liveness_bound)
-      continue;
-    watch.flagged = true;
-    std::ostringstream os;
-    os << "liveness: request " << format_span(watch.span) << " at site "
-       << site << " has made no progress for " << (now - watch.last_progress)
-       << " ticks (bound " << opts_.liveness_bound << ")";
-    flag(os.str());
+  bool any_open = false;
+  for (auto& [lock, led] : ledgers_) {
+    for (auto& [site, watch] : led.open_requests) {
+      any_open = true;
+      ++checks_;
+      if (watch.flagged || now - watch.last_progress <= opts_.liveness_bound)
+        continue;
+      watch.flagged = true;
+      std::ostringstream os;
+      os << "liveness: request " << format_span(watch.span) << " at site "
+         << site << " has made no progress for "
+         << (now - watch.last_progress) << " ticks (bound "
+         << opts_.liveness_bound << ")" << lock_tag(lock);
+      flag(os.str());
+    }
   }
   // Keep sweeping only while requests are open; re-armed by the next issue
   // otherwise, so a drained run's event queue empties.
-  if (!open_requests_.empty()) arm_watchdog();
+  if (any_open) arm_watchdog();
 }
 
-void InvariantChecker::observe(const net::Message& m, Time at) {
+void InvariantChecker::observe(const net::Message& m, LockId lock, Time at) {
   using net::MsgType;
 
   // FIFO: delivery on a channel must never present a message sent after
   // one still undelivered — Network keeps a per-channel delivery floor, and
-  // the protocols' stale-message hardening (DESIGN.md D1) assumes it.
+  // the protocols' stale-message hardening (DESIGN.md D1) assumes it. The
+  // floor is lock-agnostic: every lock's traffic shares the channel.
   ++checks_;
   Time& floor = fifo_floor_[{m.src, m.dst}];
   if (m.sent_at < floor) {
@@ -106,7 +117,8 @@ void InvariantChecker::observe(const net::Message& m, Time at) {
     floor = m.sent_at;
   }
 
-  progress(m.span, at);
+  Ledger& led = ledger(lock);
+  progress(led, m.span, at);
   if (!opts_.quorum_arbitration) return;
 
   switch (m.type) {
@@ -114,13 +126,13 @@ void InvariantChecker::observe(const net::Message& m, Time at) {
       if (m.arbiter == kNoSite) break;
       ++checks_;
       const SiteId grantee = m.req.site;
-      Held& holder = holder_slot(m.arbiter);
-      if (m.src != m.arbiter) discharge(m.arbiter, m.src);  // proxy did C.1
-      if (!is_active(m.req)) {
+      Held& holder = led.holder[m.arbiter];
+      if (m.src != m.arbiter) discharge(led, m.arbiter, m.src);  // proxy C.1
+      if (!is_active(led, m.req)) {
         // Stale grant: the grantee has moved on (exited, aborted, or §6
         // re-requested on a new span) and will drop this reply (D1). The
         // arbitration it belonged to was already settled by the grantee's
-        // release, so it must not update — or be judged against — holder_.
+        // release, so it must not update — or be judged against — holder.
         break;
       }
       if (m.src == m.arbiter) {
@@ -129,7 +141,7 @@ void InvariantChecker::observe(const net::Message& m, Time at) {
           std::ostringstream os;
           os << "permission: arbiter " << m.arbiter << " granted to "
              << grantee << " at " << at << " while site " << holder.site
-             << " still holds its permission";
+             << " still holds its permission" << lock_tag(lock);
           flag(os.str());
         }
         holder = Held{grantee, span_of(m.req)};
@@ -143,7 +155,8 @@ void InvariantChecker::observe(const net::Message& m, Time at) {
           std::ostringstream os;
           os << "permission: site " << m.src << " forwarded arbiter "
              << m.arbiter << "'s reply to " << grantee << " at " << at
-             << " without holding it (holder: " << holder.site << ")";
+             << " without holding it (holder: " << holder.site << ")"
+             << lock_tag(lock);
           flag(os.str());
         }
       }
@@ -152,10 +165,10 @@ void InvariantChecker::observe(const net::Message& m, Time at) {
     case MsgType::kYield: {
       // Holder returns the arbiter's permission (delivered at the arbiter).
       // Matched on the full request, like the arbiter's lock_ == m.req.
-      Held& holder = holder_slot(m.arbiter);
+      Held& holder = led.holder[m.arbiter];
       if (holder.site == m.req.site && holder.span == span_of(m.req))
         holder = Held{};
-      discharge(m.arbiter, m.req.site);
+      discharge(led, m.arbiter, m.req.site);
       break;
     }
     case MsgType::kRelease: {
@@ -163,12 +176,12 @@ void InvariantChecker::observe(const net::Message& m, Time at) {
       // or moves it to the request the releaser forwarded it to — unless
       // that request is no longer live (crashed or abandoned), in which
       // case the arbiter drops the stale forward and grants on (A.4 tail).
-      Held& holder = holder_slot(m.dst);
+      Held& holder = led.holder[m.dst];
       if (holder.site == m.req.site && holder.span == span_of(m.req))
-        holder = m.target.valid() && is_active(m.target)
+        holder = m.target.valid() && is_active(led, m.target)
                      ? Held{m.target.site, span_of(m.target)}
                      : Held{};
-      discharge(m.dst, m.req.site);
+      discharge(led, m.dst, m.req.site);
       break;
     }
     case MsgType::kTransfer: {
@@ -179,12 +192,12 @@ void InvariantChecker::observe(const net::Message& m, Time at) {
       // flight, so the holder ignores it — is re-sent or subsumed by the
       // holder's own parameterized release, which discharges the same key.
       ++checks_;
-      auto span = active_span_.find(m.dst);
-      const bool accepted = span != active_span_.end() &&
+      auto span = led.active_span.find(m.dst);
+      const bool accepted = span != led.active_span.end() &&
                             span->second == span_of(m.req) &&
-                            holder_slot(m.arbiter).site == m.dst;
+                            led.holder[m.arbiter].site == m.dst;
       if (accepted)
-        transfers_[{m.arbiter, m.dst}] = Obligation{m.target, at};
+        led.transfers[{m.arbiter, m.dst}] = Obligation{m.target, at};
       break;
     }
     default:
@@ -194,74 +207,88 @@ void InvariantChecker::observe(const net::Message& m, Time at) {
 
 void InvariantChecker::on_crash(SiteId site) {
   // Fail-silent crash (§6): nothing sent by `site` is delivered from now
-  // on, so write off everything only it could have discharged. The arbiters
+  // on, so write off everything only it could have discharged — on every
+  // lock; a crash takes the site's whole endpoint down. The arbiters
   // re-grant after the failure notice, which must not read as a violation.
-  cs_occupants_.erase(site);
-  active_span_.erase(site);
-  auto watch = open_requests_.find(site);
-  if (watch != open_requests_.end()) {
-    span_owner_.erase(watch->second.span);
-    open_requests_.erase(watch);
-  }
-  for (auto& [arbiter, holder] : holder_)
-    if (holder.site == site) holder = Held{};
-  for (auto it = transfers_.begin(); it != transfers_.end();) {
-    if (it->first.first == site || it->first.second == site) {
-      ++checks_;
-      it = transfers_.erase(it);
-    } else {
-      ++it;
+  for (auto& [lock, led] : ledgers_) {
+    (void)lock;
+    led.cs_occupants.erase(site);
+    led.active_span.erase(site);
+    auto watch = led.open_requests.find(site);
+    if (watch != led.open_requests.end()) {
+      led.span_owner.erase(watch->second.span);
+      led.open_requests.erase(watch);
+    }
+    for (auto& [arbiter, holder] : led.holder)
+      if (holder.site == site) holder = Held{};
+    for (auto it = led.transfers.begin(); it != led.transfers.end();) {
+      if (it->first.first == site || it->first.second == site) {
+        ++checks_;
+        it = led.transfers.erase(it);
+      } else {
+        ++it;
+      }
     }
   }
 }
 
-void InvariantChecker::on_span_issue(SiteId site, SpanId span, Time at) {
+void InvariantChecker::on_span_issue(SiteId site, LockId lock, SpanId span,
+                                     Time at) {
   if (span != kNoSpan) {
+    Ledger& led = ledger(lock);
     // A fresh issue from a site with an open request is the §6 recovery
     // path abandoning the old quorum: the old watch moves to the new span.
-    auto prev = open_requests_.find(site);
-    if (prev != open_requests_.end()) span_owner_.erase(prev->second.span);
-    active_span_[site] = span;
-    open_requests_[site] = Watch{span, at, false};
-    span_owner_[span] = site;
+    auto prev = led.open_requests.find(site);
+    if (prev != led.open_requests.end())
+      led.span_owner.erase(prev->second.span);
+    led.active_span[site] = span;
+    led.open_requests[site] = Watch{span, at, false};
+    led.span_owner[span] = site;
     arm_watchdog();
   }
-  if (downstream_) downstream_->on_span_issue(site, span, at);
+  if (downstream_) downstream_->on_span_issue(site, lock, span, at);
 }
 
-void InvariantChecker::on_span_enter(SiteId site, SpanId span, Time at) {
+void InvariantChecker::on_span_enter(SiteId site, LockId lock, SpanId span,
+                                     Time at) {
+  Ledger& led = ledger(lock);
   ++checks_;
-  if (!cs_occupants_.empty()) {
+  if (!led.cs_occupants.empty()) {
     std::ostringstream os;
     os << "safety: site " << site << " entered the CS at " << at << " (span "
        << format_span(span) << ") while occupied by";
-    for (const auto& [other, other_span] : cs_occupants_)
+    for (const auto& [other, other_span] : led.cs_occupants)
       os << " site " << other << " (span " << format_span(other_span) << ")";
+    os << lock_tag(lock);
     flag(os.str());
   }
-  cs_occupants_[site] = span;
-  auto watch = open_requests_.find(site);
-  if (watch != open_requests_.end()) {
-    span_owner_.erase(watch->second.span);
-    open_requests_.erase(watch);
+  led.cs_occupants[site] = span;
+  auto watch = led.open_requests.find(site);
+  if (watch != led.open_requests.end()) {
+    led.span_owner.erase(watch->second.span);
+    led.open_requests.erase(watch);
   }
-  if (downstream_) downstream_->on_span_enter(site, span, at);
+  if (downstream_) downstream_->on_span_enter(site, lock, span, at);
 }
 
-void InvariantChecker::on_span_exit(SiteId site, SpanId span, Time at) {
-  cs_occupants_.erase(site);
-  active_span_.erase(site);
-  if (downstream_) downstream_->on_span_exit(site, span, at);
+void InvariantChecker::on_span_exit(SiteId site, LockId lock, SpanId span,
+                                    Time at) {
+  Ledger& led = ledger(lock);
+  led.cs_occupants.erase(site);
+  led.active_span.erase(site);
+  if (downstream_) downstream_->on_span_exit(site, lock, span, at);
 }
 
-void InvariantChecker::on_span_abort(SiteId site, SpanId span, Time at) {
-  active_span_.erase(site);
-  auto watch = open_requests_.find(site);
-  if (watch != open_requests_.end()) {
-    span_owner_.erase(watch->second.span);
-    open_requests_.erase(watch);
+void InvariantChecker::on_span_abort(SiteId site, LockId lock, SpanId span,
+                                     Time at) {
+  Ledger& led = ledger(lock);
+  led.active_span.erase(site);
+  auto watch = led.open_requests.find(site);
+  if (watch != led.open_requests.end()) {
+    led.span_owner.erase(watch->second.span);
+    led.open_requests.erase(watch);
   }
-  if (downstream_) downstream_->on_span_abort(site, span, at);
+  if (downstream_) downstream_->on_span_abort(site, lock, span, at);
 }
 
 void InvariantChecker::finish(Time now) {
@@ -277,26 +304,30 @@ void InvariantChecker::finish(Time now) {
     flag(os.str());
   }
 
-  for (const auto& [key, ob] : transfers_) {
-    ++checks_;
-    std::ostringstream os;
-    os << "conservation: transfer from arbiter " << key.first << " to holder "
-       << key.second << " (target " << format_span(span_of(ob.target))
-       << ", sent at " << ob.opened_at
-       << ") never discharged by a proxied reply or release";
-    flag(os.str());
-  }
-
-  if (opts_.liveness_bound > 0) {
-    for (const auto& [site, watch] : open_requests_) {
+  for (const auto& [lock, led] : ledgers_) {
+    for (const auto& [key, ob] : led.transfers) {
       ++checks_;
-      if (watch.flagged || now - watch.last_progress <= opts_.liveness_bound)
-        continue;
       std::ostringstream os;
-      os << "liveness: request " << format_span(watch.span) << " at site "
-         << site << " still open at the end of the run, no progress for "
-         << (now - watch.last_progress) << " ticks";
+      os << "conservation: transfer from arbiter " << key.first
+         << " to holder " << key.second << " (target "
+         << format_span(span_of(ob.target)) << ", sent at " << ob.opened_at
+         << ") never discharged by a proxied reply or release"
+         << lock_tag(lock);
       flag(os.str());
+    }
+
+    if (opts_.liveness_bound > 0) {
+      for (const auto& [site, watch] : led.open_requests) {
+        ++checks_;
+        if (watch.flagged ||
+            now - watch.last_progress <= opts_.liveness_bound)
+          continue;
+        std::ostringstream os;
+        os << "liveness: request " << format_span(watch.span) << " at site "
+           << site << " still open at the end of the run, no progress for "
+           << (now - watch.last_progress) << " ticks" << lock_tag(lock);
+        flag(os.str());
+      }
     }
   }
 }

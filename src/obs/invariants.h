@@ -77,16 +77,18 @@ class InvariantChecker final : public mutex::SpanObserver {
   // Wire-edge entry point, invoked by the delivery hook. Public so negative
   // tests and `dqme_check --selftest` can script deliveries (including
   // illegal ones no live Network would produce) without a protocol stack.
-  void observe(const net::Message& m, Time at);
+  // The two-argument form scripts single-lock traffic (lock 0).
+  void observe(const net::Message& m, LockId lock, Time at);
+  void observe(const net::Message& m, Time at) { observe(m, kLock0, at); }
 
   // Crash entry point (chained onto Network::on_crash).
   void on_crash(SiteId site);
 
   // mutex::SpanObserver
-  void on_span_issue(SiteId site, SpanId span, Time at) override;
-  void on_span_enter(SiteId site, SpanId span, Time at) override;
-  void on_span_exit(SiteId site, SpanId span, Time at) override;
-  void on_span_abort(SiteId site, SpanId span, Time at) override;
+  void on_span_issue(SiteId site, LockId lock, SpanId span, Time at) override;
+  void on_span_enter(SiteId site, LockId lock, SpanId span, Time at) override;
+  void on_span_exit(SiteId site, LockId lock, SpanId span, Time at) override;
+  void on_span_abort(SiteId site, LockId lock, SpanId span, Time at) override;
 
  private:
   struct Obligation {
@@ -107,14 +109,39 @@ class InvariantChecker final : public mutex::SpanObserver {
     bool flagged = false;
   };
 
+  // Per-lock permission ledger. Locks are independent critical sections:
+  // occupancy, arbiter permissions, transfer obligations, and open-request
+  // watches are all judged within one lock. Only the FIFO floor stays
+  // channel-global — delivery order is a property of the wire, which every
+  // lock's traffic (and any piggybacked flight) shares.
+  struct Ledger {
+    // (a) CS occupancy, from span edges: site -> span it entered with.
+    std::map<SiteId, SpanId> cs_occupants;
+    // (a') per-arbiter permission holder, from the wire (kNoSite = free).
+    std::map<SiteId, Held> holder;
+    // (b) transfer ledger: (arbiter, holder) -> pending obligation. Keyed
+    // so a newer transfer from the same arbiter supersedes the older one,
+    // the way the holder's tran_stack honours only the latest (§3.1).
+    std::map<std::pair<SiteId, SiteId>, Obligation> transfers;
+    // (c) open request per site, plus the site's in-flight request span
+    // (mirrors MutexSite per-lock active_span; needed to validate
+    // transfers).
+    std::map<SiteId, Watch> open_requests;
+    std::map<SpanId, SiteId> span_owner;
+    std::map<SiteId, SpanId> active_span;
+  };
+
   void flag(const std::string& what);
-  Held& holder_slot(SiteId arbiter);
+  Ledger& ledger(LockId lock);
+  // Violation-text suffix naming the lock; empty for lock 0 so single-lock
+  // reports keep their historical wording.
+  static std::string lock_tag(LockId lock);
   // True when `req` is the site's currently open request (its active span):
   // the condition under which a receiver honours rather than stale-drops a
   // message about it (DESIGN.md D1).
-  bool is_active(const ReqId& req) const;
-  void discharge(SiteId arbiter, SiteId holder);
-  void progress(SpanId span, Time at);
+  static bool is_active(const Ledger& led, const ReqId& req);
+  void discharge(Ledger& led, SiteId arbiter, SiteId holder);
+  void progress(Ledger& led, SpanId span, Time at);
   void arm_watchdog();
   void watchdog_sweep();
 
@@ -122,25 +149,11 @@ class InvariantChecker final : public mutex::SpanObserver {
   InvariantOptions opts_;
   mutex::SpanObserver* downstream_ = nullptr;
 
-  // (a) CS occupancy, from span edges: site -> span it entered with.
-  std::map<SiteId, SpanId> cs_occupants_;
+  std::map<LockId, Ledger> ledgers_;
 
-  // (a') per-arbiter permission holder, from the wire (kNoSite = free).
-  std::map<SiteId, Held> holder_;
-
-  // (b) transfer ledger: (arbiter, holder) -> pending obligation. Keyed so
-  // a newer transfer from the same arbiter supersedes the older one, the
-  // way the holder's tran_stack honours only the latest (§3.1).
-  std::map<std::pair<SiteId, SiteId>, Obligation> transfers_;
-
-  // (b) FIFO floor observed per (src, dst) channel.
+  // (b) FIFO floor observed per (src, dst) channel (lock-agnostic).
   std::map<std::pair<SiteId, SiteId>, Time> fifo_floor_;
 
-  // (c) open request per site, plus the site's in-flight request span
-  // (mirrors MutexSite::active_span; needed to validate transfers).
-  std::map<SiteId, Watch> open_requests_;
-  std::map<SpanId, SiteId> span_owner_;
-  std::map<SiteId, SpanId> active_span_;
   bool watchdog_armed_ = false;
   bool finished_ = false;
 

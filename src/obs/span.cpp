@@ -28,10 +28,10 @@ SpanRecorder::SpanRecorder(net::Network& net, size_t capacity)
     : capacity_(capacity) {
   DQME_CHECK(capacity > 0);
   auto previous = std::move(net.on_deliver);
-  net.on_deliver = [this, &net,
-                    previous = std::move(previous)](const net::Message& m) {
-    on_message(m, net.simulator().now());
-    if (previous) previous(m);
+  net.on_deliver = [this, &net, previous = std::move(previous)](
+                       const net::Message& m, LockId lock) {
+    on_message(m, lock, net.simulator().now());
+    if (previous) previous(m, lock);
   };
 }
 
@@ -43,7 +43,7 @@ void SpanRecorder::record(SpanEvent e) {
   events_.push_back(e);
 }
 
-void SpanRecorder::on_message(const net::Message& m, Time at) {
+void SpanRecorder::on_message(const net::Message& m, LockId lock, Time at) {
   using net::MsgType;
   SpanEdge edge;
   switch (m.type) {
@@ -59,20 +59,25 @@ void SpanRecorder::on_message(const net::Message& m, Time at) {
     default:
       return;  // token / replica / failure traffic carries no request span
   }
-  record(SpanEvent{at, m.sent_at, edge, m.span, m.src, m.dst, m.arbiter});
+  record(
+      SpanEvent{at, m.sent_at, edge, m.span, m.src, m.dst, m.arbiter, lock});
 }
 
-void SpanRecorder::on_span_issue(SiteId site, SpanId span, Time at) {
-  record(SpanEvent{at, at, SpanEdge::kIssue, span, site, site, kNoSite});
+void SpanRecorder::on_span_issue(SiteId site, LockId lock, SpanId span,
+                                 Time at) {
+  record(SpanEvent{at, at, SpanEdge::kIssue, span, site, site, kNoSite, lock});
 }
-void SpanRecorder::on_span_enter(SiteId site, SpanId span, Time at) {
-  record(SpanEvent{at, at, SpanEdge::kEnter, span, site, site, kNoSite});
+void SpanRecorder::on_span_enter(SiteId site, LockId lock, SpanId span,
+                                 Time at) {
+  record(SpanEvent{at, at, SpanEdge::kEnter, span, site, site, kNoSite, lock});
 }
-void SpanRecorder::on_span_exit(SiteId site, SpanId span, Time at) {
-  record(SpanEvent{at, at, SpanEdge::kExit, span, site, site, kNoSite});
+void SpanRecorder::on_span_exit(SiteId site, LockId lock, SpanId span,
+                                Time at) {
+  record(SpanEvent{at, at, SpanEdge::kExit, span, site, site, kNoSite, lock});
 }
-void SpanRecorder::on_span_abort(SiteId site, SpanId span, Time at) {
-  record(SpanEvent{at, at, SpanEdge::kAbort, span, site, site, kNoSite});
+void SpanRecorder::on_span_abort(SiteId site, LockId lock, SpanId span,
+                                 Time at) {
+  record(SpanEvent{at, at, SpanEdge::kAbort, span, site, site, kNoSite, lock});
 }
 
 std::vector<SpanEvent> SpanRecorder::span(SpanId id) const {
@@ -83,37 +88,48 @@ std::vector<SpanEvent> SpanRecorder::span(SpanId id) const {
 }
 
 std::vector<Handoff> SpanRecorder::contended_handoffs() const {
-  // Events are already in causal (recording) order: walk once, tracking
-  // each span's issue time, the last exit, and proxy grants delivered at
-  // the entering instant.
-  std::map<SpanId, Time> issued;
-  std::map<SpanId, Time> proxy_granted;  // span -> latest proxy-grant time
+  // Events are already in causal (recording) order: walk once per lock,
+  // tracking each request's issue time, the lock's last exit, and proxy
+  // grants delivered at the entering instant. Locks are independent
+  // critical sections, so all of this state is keyed by lock — an exit on
+  // lock A never makes an entry on lock B look contended.
+  struct Key {  // (lock, span) — span ids alone collide across locks
+    LockId lock;
+    SpanId span;
+    bool operator<(const Key& o) const {
+      return lock != o.lock ? lock < o.lock : span < o.span;
+    }
+  };
+  struct LastExit {
+    Time at = 0;
+    SiteId site = kNoSite;
+  };
+  std::map<Key, Time> issued;
+  std::map<Key, Time> proxy_granted;  // (lock, span) -> latest proxy grant
+  std::map<LockId, LastExit> last_exit;
   std::vector<Handoff> out;
-  bool have_exit = false;
-  Time last_exit = 0;
-  SiteId last_exiter = kNoSite;
   for (const SpanEvent& e : events_) {
     switch (e.edge) {
       case SpanEdge::kIssue:
-        issued[e.span] = e.at;
+        issued[Key{e.lock, e.span}] = e.at;
         break;
       case SpanEdge::kProxyGrant:
-        proxy_granted[e.span] = e.at;
+        proxy_granted[Key{e.lock, e.span}] = e.at;
         break;
       case SpanEdge::kExit:
-        have_exit = true;
-        last_exit = e.at;
-        last_exiter = e.from;
+        last_exit[e.lock] = LastExit{e.at, e.from};
         break;
       case SpanEdge::kEnter: {
-        if (!have_exit) break;
-        auto it = issued.find(e.span);
-        if (it == issued.end() || it->second > last_exit) break;  // uncontended
-        auto pg = proxy_granted.find(e.span);
+        auto ex = last_exit.find(e.lock);
+        if (ex == last_exit.end()) break;  // first tenure on this lock
+        auto it = issued.find(Key{e.lock, e.span});
+        if (it == issued.end() || it->second > ex->second.at)
+          break;  // uncontended
+        auto pg = proxy_granted.find(Key{e.lock, e.span});
         const bool proxied = pg != proxy_granted.end() &&
-                             pg->second > last_exit && pg->second <= e.at;
-        out.push_back(Handoff{last_exit, e.at, last_exiter, e.from, e.span,
-                              proxied});
+                             pg->second > ex->second.at && pg->second <= e.at;
+        out.push_back(Handoff{ex->second.at, e.at, ex->second.site, e.from,
+                              e.span, proxied, e.lock});
         break;
       }
       default:

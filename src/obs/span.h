@@ -54,6 +54,9 @@ struct SpanEvent {
   SiteId from = kNoSite;
   SiteId to = kNoSite;
   SiteId arbiter = kNoSite;  // wire edges about a permission: whose
+  // Span ids are derived from (site, seq) and can collide across locks;
+  // (lock, span) is the unique request key in a multi-lock run.
+  LockId lock = kLock0;
 };
 
 // One observed CS handoff under contention: `to` had already issued its
@@ -65,6 +68,7 @@ struct Handoff {
   SiteId to = kNoSite;
   SpanId span = kNoSpan;  // the entering request's span
   bool proxied = false;   // entry completed by a proxy-forwarded reply
+  LockId lock = kLock0;   // handoffs pair exits/entries of the same lock
 };
 
 class SpanRecorder final : public mutex::SpanObserver {
@@ -83,21 +87,25 @@ class SpanRecorder final : public mutex::SpanObserver {
   const std::vector<SpanEvent>& events() const { return events_; }
   size_t dropped() const { return dropped_; }
 
-  // All edges of one span, in recording (= causal) order.
+  // All edges of one span, in recording (= causal) order. Matches on the
+  // span id alone (single-lock tooling); multi-lock consumers filter on
+  // the event's (lock, span) pair.
   std::vector<SpanEvent> span(SpanId id) const;
 
-  // Every contended exit→enter pair, time-ordered (see Handoff).
+  // Every contended exit→enter pair, time-ordered (see Handoff). Exits
+  // and entries pair up within a lock: concurrent CS tenures on distinct
+  // locks are legal and must not read as contention.
   std::vector<Handoff> contended_handoffs() const;
 
   // mutex::SpanObserver
-  void on_span_issue(SiteId site, SpanId span, Time at) override;
-  void on_span_enter(SiteId site, SpanId span, Time at) override;
-  void on_span_exit(SiteId site, SpanId span, Time at) override;
-  void on_span_abort(SiteId site, SpanId span, Time at) override;
+  void on_span_issue(SiteId site, LockId lock, SpanId span, Time at) override;
+  void on_span_enter(SiteId site, LockId lock, SpanId span, Time at) override;
+  void on_span_exit(SiteId site, LockId lock, SpanId span, Time at) override;
+  void on_span_abort(SiteId site, LockId lock, SpanId span, Time at) override;
 
  private:
   void record(SpanEvent e);
-  void on_message(const net::Message& m, Time at);
+  void on_message(const net::Message& m, LockId lock, Time at);
 
   size_t capacity_;
   size_t dropped_ = 0;

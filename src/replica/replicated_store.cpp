@@ -16,11 +16,11 @@ ReplicaNode::ReplicaNode(SiteId id, net::Network& net,
       mutex_(id, net, quorums, mutex_options),
       fault_tolerant_(mutex_options.fault_tolerant),
       alive_(static_cast<size_t>(net.size()), true) {
-  mutex_.on_enter = [this](SiteId) {
+  mutex_.on_enter = [this](SiteId, LockId) {
     DQME_CHECK(phase_ == Phase::kAcquiring);
     begin_read_phase();
   };
-  mutex_.on_abort = [this](SiteId) {
+  mutex_.on_abort = [this](SiteId, LockId) {
     // No quorum can be formed: fail the op (version -1) and stop.
     DQME_CHECK(!queue_.empty());
     Op op = std::move(queue_.front());
@@ -72,7 +72,7 @@ void ReplicaNode::start_next_op() {
   if (queue_.front().is_write) {
     // Writers serialize through the paper's mutual exclusion algorithm.
     phase_ = Phase::kAcquiring;
-    mutex_.request_cs();
+    mutex_.request_cs(kLock0);
   } else {
     begin_read_phase();
   }
@@ -85,7 +85,7 @@ void ReplicaNode::begin_read_phase() {
                                  quorums_.quorum_for(id_));
   if (!q) {
     // Mirror the §6 "inaccessible" outcome for data quorums.
-    if (mutex_.in_cs()) mutex_.release_cs();
+    if (mutex_.in_cs()) mutex_.release_cs(kLock0);
     Op failed = std::move(queue_.front());
     queue_.pop_front();
     phase_ = Phase::kIdle;
@@ -189,7 +189,7 @@ void ReplicaNode::finish_op() {
   phase_ = Phase::kIdle;
   if (op.is_write) {
     DQME_CHECK(mutex_.in_cs());
-    mutex_.release_cs();
+    mutex_.release_cs(kLock0);
     ++stats_.writes_completed;
     const int64_t committed = op_best_.version + 1;
     if (op.write_done) op.write_done(committed);
@@ -219,7 +219,7 @@ void ReplicaNode::handle_crash(SiteId victim) {
   }
 }
 
-void ReplicaNode::on_message(const Message& m) {
+void ReplicaNode::on_message(const Message& m, LockId lock) {
   switch (m.type) {
     case MsgType::kRead:      serve_read(m);     return;
     case MsgType::kWrite:     serve_write(m);    return;
@@ -227,10 +227,10 @@ void ReplicaNode::on_message(const Message& m) {
     case MsgType::kWriteAck:  on_write_ack(m);   return;
     case MsgType::kFailureNotice:
       handle_crash(m.arbiter);
-      mutex_.on_message(m);  // the mutex layer scrubs its own state
+      mutex_.on_message(m, lock);  // the mutex layer scrubs its own state
       return;
     default:
-      mutex_.on_message(m);
+      mutex_.on_message(m, lock);
       return;
   }
 }

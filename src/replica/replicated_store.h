@@ -74,7 +74,7 @@ class ReplicaNode final : public net::NetSite {
   const StoreStats& stats() const { return stats_; }
   bool stalled() const { return mutex_.stalled(); }
 
-  void on_message(const net::Message& m) override;
+  void on_message(const net::Message& m, LockId lock) override;
 
  private:
   enum class Phase { kIdle, kAcquiring, kReading, kWriting };

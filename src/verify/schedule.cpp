@@ -157,6 +157,9 @@ void write_config_fields(std::ostream& os, const WorldConfig& cfg) {
   os << ",\"max_crashes\":" << cfg.max_crashes;
   os << ",\"mutation\":";
   write_json_string(os, to_string(cfg.mutation));
+  // Written only when non-default, so pre-lock-table schedule files (and
+  // their byte-for-byte goldens) round-trip unchanged.
+  if (cfg.num_locks != 1) os << ",\"num_locks\":" << cfg.num_locks;
 }
 
 bool read_config_fields(const std::string& text, WorldConfig& cfg,
@@ -190,6 +193,9 @@ bool read_config_fields(const std::string& text, WorldConfig& cfg,
   cfg.mutation = Mutation::kNone;
   if (json_field_str(text, "mutation", s))
     cfg.mutation = mutation_from_string(s);
+  cfg.num_locks = 1;
+  if (json_field_num(text, "num_locks", num))
+    cfg.num_locks = static_cast<LockId>(num);
   return true;
 }
 

@@ -77,6 +77,11 @@ struct WorldConfig {
   std::vector<SiteId> crash_sites;  // candidate victims for kCrash branching
   int max_crashes = 0;              // crash actions allowed per schedule
   Mutation mutation = Mutation::kNone;
+  // Lock-table size for the sites (mutex::AlgoOptions::num_locks). The
+  // explorer only drives lock 0 — extra locks sit idle, which is exactly
+  // what the lock-table isolation test asserts: schedules over lock 0 are
+  // unchanged by the table's existence.
+  LockId num_locks = 1;
 };
 
 // "d 0 2;x 1" <-> actions. decode returns false on malformed input.

@@ -8,10 +8,10 @@
 
 namespace dqme::verify {
 
-void World::SiteTap::on_message(const net::Message& m) {
+void World::SiteTap::on_message(const net::Message& m, LockId lock) {
   net::Message local = m;
   if (!world_.filter(local)) return;
-  site_.on_message(local);
+  site_.on_message(local, lock);
 }
 
 bool World::filter(net::Message& m) {
@@ -77,6 +77,7 @@ World::World(const WorldConfig& cfg, bool capture)
 
   mutex::AlgoOptions opts;
   opts.fault_tolerant = cfg.fault_tolerant;
+  opts.num_locks = cfg.num_locks;
   if (mutex::algo_uses_quorum(cfg.algo))
     quorums_ = quorum::make_quorum_system(cfg.quorum, cfg.n);
   for (SiteId i = 0; i < cfg.n; ++i) {
@@ -103,8 +104,10 @@ World::World(const WorldConfig& cfg, bool capture)
   aborted_.assign(static_cast<size_t>(cfg.n), 0);
   for (SiteId i = 0; i < cfg.n; ++i) {
     mutex::MutexSite& site = *sites_[static_cast<size_t>(i)];
-    site.on_enter = [this](SiteId s) { --remaining_[static_cast<size_t>(s)]; };
-    site.on_abort = [this](SiteId s) {
+    site.on_enter = [this](SiteId s, LockId) {
+      --remaining_[static_cast<size_t>(s)];
+    };
+    site.on_abort = [this](SiteId s, LockId) {
       // §6: no quorum can be formed around the crash; the site gives up.
       remaining_[static_cast<size_t>(s)] = 0;
       aborted_[static_cast<size_t>(s)] = 1;
@@ -114,15 +117,16 @@ World::World(const WorldConfig& cfg, bool capture)
   // varies delivery order, not issue times — the adversarial power the
   // paper's safety claims must survive is in the network, and a late
   // issue is indistinguishable from its request messages being delayed.)
+  // The explorer's demand is lock 0 only (see WorldConfig::num_locks).
   for (SiteId i = 0; i < cfg.n; ++i) sites_[static_cast<size_t>(i)]
-      ->request_cs();
+      ->request_cs(kLock0);
   sim_.run_until(step_);  // drain local self-deliveries of the issue burst
 }
 
 void World::issue_if_hungry(SiteId site) {
   const auto s = static_cast<size_t>(site);
   if (remaining_[s] > 0 && net_.alive(site) && sites_[s]->idle())
-    sites_[s]->request_cs();
+    sites_[s]->request_cs(kLock0);
 }
 
 bool World::apply(const Action& action) {
@@ -151,7 +155,7 @@ bool World::apply(const Action& action) {
     case ActionKind::kExit: {
       const auto s = static_cast<size_t>(action.a);
       if (action.a >= 0 && action.a < cfg_.n && sites_[s]->in_cs()) {
-        sites_[s]->release_cs();
+        sites_[s]->release_cs(kLock0);
         issue_if_hungry(action.a);
         applied = true;
       }
@@ -165,7 +169,7 @@ bool World::apply(const Action& action) {
         // Mirrors core::FailureDetector: notices are injected straight
         // into the receiver, not sent on the wire.
         taps_[static_cast<size_t>(action.b)]->on_message(
-            net::make_failure_notice(action.a));
+            net::make_failure_notice(action.a), kLock0);
         applied = true;
       }
       break;

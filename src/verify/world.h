@@ -86,7 +86,7 @@ class World {
    public:
     SiteTap(World& world, mutex::MutexSite& site)
         : world_(world), site_(site) {}
-    void on_message(const net::Message& m) override;
+    void on_message(const net::Message& m, LockId lock) override;
 
    private:
     World& world_;

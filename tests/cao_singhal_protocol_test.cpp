@@ -24,14 +24,14 @@ struct Rig {
       sites.push_back(
           std::make_unique<CaoSinghalSite>(i, net, *quorums, options));
       net.attach(i, sites.back().get());
-      sites.back()->on_enter = [this, i](SiteId) {
+      sites.back()->on_enter = [this, i](SiteId, LockId) {
         entries.push_back({i, sim.now()});
       };
     }
   }
   CaoSinghalSite& site(SiteId i) { return *sites[static_cast<size_t>(i)]; }
   void release(SiteId i) {
-    site(i).release_cs();
+    site(i).release_cs(kLock0);
     exits.push_back({i, sim.now()});
   }
 
@@ -51,7 +51,7 @@ struct Rig {
 // requester enters after one round trip.
 TEST(CaoSinghalProtocol, UncontendedEntryTakesOneRoundTrip) {
   Rig rig(9);
-  rig.site(4).request_cs();
+  rig.site(4).request_cs(kLock0);
   rig.sim.run();
   ASSERT_EQ(rig.entries.size(), 1u);
   EXPECT_EQ(rig.entries[0].site, 4);
@@ -62,10 +62,10 @@ TEST(CaoSinghalProtocol, UncontendedEntryTakesOneRoundTrip) {
 // reply reaches the next entrant after exactly ONE message delay — not two.
 TEST(CaoSinghalProtocol, HandoffIsExactlyOneMessageDelay) {
   Rig rig(9);
-  rig.site(0).request_cs();
+  rig.site(0).request_cs(kLock0);
   rig.sim.run();
   ASSERT_EQ(rig.entries.size(), 1u);
-  rig.site(1).request_cs();  // overlaps 0's quorum
+  rig.site(1).request_cs(kLock0);  // overlaps 0's quorum
   rig.sim.run();             // 1 is now fully parked, waiting only on 0
   EXPECT_EQ(rig.entries.size(), 1u);
   rig.release(0);
@@ -80,9 +80,9 @@ TEST(CaoSinghalProtocol, HandoffIsExactlyOneMessageDelay) {
 // lock must move to the forwarded site without it sending its own reply.
 TEST(CaoSinghalProtocol, ReleaseWithForwardSkipsArbiterReply) {
   Rig rig(9);
-  rig.site(0).request_cs();
+  rig.site(0).request_cs(kLock0);
   rig.sim.run();
-  rig.site(1).request_cs();
+  rig.site(1).request_cs(kLock0);
   rig.sim.run();
   const auto direct_before = rig.net.stats().count(MsgType::kReply);
   rig.release(0);
@@ -99,14 +99,14 @@ TEST(CaoSinghalProtocol, ReleaseWithForwardSkipsArbiterReply) {
 // honoured ("deletes the following entries ... from the same sender").
 TEST(CaoSinghalProtocol, OnlyLatestTransferPerArbiterIsHonoured) {
   Rig rig(9);
-  rig.site(0).request_cs();
+  rig.site(0).request_cs(kLock0);
   rig.sim.run();
   ASSERT_EQ(rig.entries.size(), 1u);
   // Two waiters behind site 0 at its own arbiter; 2 first (same clock
   // tick => priority by id; 1 beats 2 on arrival).
-  rig.site(2).request_cs();
+  rig.site(2).request_cs(kLock0);
   rig.sim.run_until(rig.sim.now() + 2500);
-  rig.site(1).request_cs();
+  rig.site(1).request_cs(kLock0);
   rig.sim.run();
   // Site 0's tran_stack now holds superseded entries for shared arbiters.
   const auto accepted = rig.site(0).protocol_stats().transfers_accepted;
@@ -135,9 +135,9 @@ TEST(CaoSinghalProtocol, FailedHolderYieldsToHigherPriority) {
   Rig rig(9);
   // Site 8 starts first (lower priority id, same seq as 0 later): let 8
   // collect some grants, then 0 (higher priority) contends.
-  rig.site(8).request_cs();
+  rig.site(8).request_cs(kLock0);
   rig.sim.run_until(1100);
-  rig.site(0).request_cs();
+  rig.site(0).request_cs(kLock0);
   rig.sim.run();
   // Both must eventually get in, in *some* order (yield or release path).
   ASSERT_EQ(rig.entries.size(), 1u);
@@ -156,7 +156,7 @@ TEST(CaoSinghalProtocol, FailedHolderYieldsToHigherPriority) {
 // yield (that would let someone else in concurrently).
 TEST(CaoSinghalProtocol, NoYieldFromInsideTheCS) {
   Rig rig(9);
-  rig.site(0).request_cs();
+  rig.site(0).request_cs(kLock0);
   rig.sim.run();
   ASSERT_TRUE(rig.site(0).in_cs());
   // Craft an inquire from one of 0's arbiters about its current request.
@@ -165,7 +165,7 @@ TEST(CaoSinghalProtocol, NoYieldFromInsideTheCS) {
   inq.src = arbiter;
   inq.dst = 0;
   const auto yields_before = rig.site(0).protocol_stats().yields_sent;
-  rig.site(0).on_message(inq);
+  rig.site(0).on_message(inq, kLock0);
   EXPECT_TRUE(rig.site(0).in_cs());
   EXPECT_EQ(rig.site(0).protocol_stats().yields_sent, yields_before);
   EXPECT_GT(rig.site(0).stale_drops(), 0u);
@@ -174,7 +174,7 @@ TEST(CaoSinghalProtocol, NoYieldFromInsideTheCS) {
 // D1: control messages about finished or foreign requests are dropped.
 TEST(CaoSinghalProtocol, StaleMessagesAreDropped) {
   Rig rig(9);
-  rig.site(0).request_cs();
+  rig.site(0).request_cs(kLock0);
   rig.sim.run();
   rig.release(0);
   rig.sim.run();
@@ -184,17 +184,17 @@ TEST(CaoSinghalProtocol, StaleMessagesAreDropped) {
   Message stale_reply = net::make_reply(arbiter, ReqId{1, 0});
   stale_reply.src = arbiter;
   stale_reply.dst = 0;
-  rig.site(0).on_message(stale_reply);
+  rig.site(0).on_message(stale_reply, kLock0);
 
   Message stale_fail = net::make_fail(arbiter, ReqId{1, 0});
   stale_fail.src = arbiter;
   stale_fail.dst = 0;
-  rig.site(0).on_message(stale_fail);
+  rig.site(0).on_message(stale_fail, kLock0);
 
   Message stale_transfer = net::make_transfer(ReqId{5, 3}, arbiter, ReqId{1, 0});
   stale_transfer.src = arbiter;
   stale_transfer.dst = 0;
-  rig.site(0).on_message(stale_transfer);
+  rig.site(0).on_message(stale_transfer, kLock0);
 
   rig.sim.run();
   EXPECT_EQ(rig.entries.size(), entries_before);
@@ -208,7 +208,7 @@ TEST(CaoSinghalProtocol, StaleMessagesAreDropped) {
 // discarded; the arbiter recovers via the release(i, max) path.
 TEST(CaoSinghalProtocol, TransferWithoutPermissionIsIgnored) {
   Rig rig(9);
-  rig.site(0).request_cs();
+  rig.site(0).request_cs(kLock0);
   rig.sim.run();
   // Site 0 holds its grants; craft a transfer naming an arbiter whose
   // reply it *does* hold but with a mismatched holder request id.
@@ -217,7 +217,7 @@ TEST(CaoSinghalProtocol, TransferWithoutPermissionIsIgnored) {
   bogus.src = arbiter;
   bogus.dst = 0;
   const auto before = rig.site(0).protocol_stats().transfers_accepted;
-  rig.site(0).on_message(bogus);
+  rig.site(0).on_message(bogus, kLock0);
   EXPECT_EQ(rig.site(0).protocol_stats().transfers_accepted, before);
 }
 
@@ -226,7 +226,7 @@ TEST(CaoSinghalProtocol, TransferWithoutPermissionIsIgnored) {
 // reply lands — here with failed=1, so it must yield then.
 TEST(CaoSinghalProtocol, EarlyInquireIsDeferredUntilReply) {
   Rig rig(9);
-  rig.site(0).request_cs();
+  rig.site(0).request_cs(kLock0);
   rig.sim.run_until(500);  // requests still in flight, no replies yet
   ASSERT_TRUE(rig.site(0).requesting());
   const SiteId arbiter = rig.site(0).req_set()[1];
@@ -235,7 +235,7 @@ TEST(CaoSinghalProtocol, EarlyInquireIsDeferredUntilReply) {
   Message inq = net::make_inquire(arbiter, ReqId{1, 0});
   inq.src = arbiter;
   inq.dst = 0;
-  rig.site(0).on_message(inq);
+  rig.site(0).on_message(inq, kLock0);
   EXPECT_EQ(rig.site(0).protocol_stats().inquires_deferred, 1u);
   EXPECT_EQ(rig.site(0).protocol_stats().yields_sent, 0u);
 
@@ -244,7 +244,7 @@ TEST(CaoSinghalProtocol, EarlyInquireIsDeferredUntilReply) {
   Message fail = net::make_fail(rig.site(0).req_set()[2], ReqId{1, 0});
   fail.src = rig.site(0).req_set()[2];
   fail.dst = 0;
-  rig.site(0).on_message(fail);
+  rig.site(0).on_message(fail, kLock0);
   EXPECT_TRUE(rig.site(0).failed_flag());
   rig.sim.run();
   EXPECT_EQ(rig.site(0).protocol_stats().yields_sent, 1u);
@@ -256,9 +256,9 @@ TEST(CaoSinghalProtocol, NoProxyHandoffTakesTwoMessageDelays) {
   CaoSinghalSite::Options opt;
   opt.proxy_transfer = false;
   Rig rig(9, "grid", 1000, opt);
-  rig.site(0).request_cs();
+  rig.site(0).request_cs(kLock0);
   rig.sim.run();
-  rig.site(1).request_cs();
+  rig.site(1).request_cs(kLock0);
   rig.sim.run();
   ASSERT_EQ(rig.entries.size(), 1u);
   rig.release(0);
@@ -274,10 +274,10 @@ TEST(CaoSinghalProtocol, PiggybackingReducesWireMessages) {
     CaoSinghalSite::Options opt;
     opt.piggyback = piggyback;
     Rig rig(9, "grid", 1000, opt);
-    rig.site(0).request_cs();
+    rig.site(0).request_cs(kLock0);
     rig.sim.run();
-    rig.site(1).request_cs();
-    rig.site(2).request_cs();
+    rig.site(1).request_cs(kLock0);
+    rig.site(2).request_cs(kLock0);
     rig.sim.run();
     rig.release(0);
     rig.sim.run();
@@ -299,13 +299,13 @@ TEST(CaoSinghalProtocol, IdenticalRigsProduceIdenticalTraces) {
   auto trace = [] {
     Rig rig(9);
     std::vector<std::string> events;
-    rig.net.on_deliver = [&](const Message& m) {
+    rig.net.on_deliver = [&](const Message& m, LockId) {
       std::ostringstream os;
       os << rig.sim.now() << ' ' << m;
       events.push_back(os.str());
     };
-    rig.site(3).request_cs();
-    rig.site(5).request_cs();
+    rig.site(3).request_cs(kLock0);
+    rig.site(5).request_cs(kLock0);
     rig.sim.run();
     rig.release(rig.entries[0].site);
     rig.sim.run();
@@ -317,9 +317,9 @@ TEST(CaoSinghalProtocol, IdenticalRigsProduceIdenticalTraces) {
 // Misuse guards.
 TEST(CaoSinghalProtocol, RejectsProtocolMisuse) {
   Rig rig(9);
-  EXPECT_THROW(rig.site(0).release_cs(), CheckError);
-  rig.site(0).request_cs();
-  EXPECT_THROW(rig.site(0).request_cs(), CheckError);
+  EXPECT_THROW(rig.site(0).release_cs(kLock0), CheckError);
+  rig.site(0).request_cs(kLock0);
+  EXPECT_THROW(rig.site(0).request_cs(kLock0), CheckError);
 }
 
 // Three-way saturation on one shared arbiter cell: everyone gets exactly
@@ -327,7 +327,7 @@ TEST(CaoSinghalProtocol, RejectsProtocolMisuse) {
 TEST(CaoSinghalProtocol, RoundRobinFairnessUnderSymmetricContention) {
   Rig rig(4);  // 2x2 grid: heavy quorum overlap
   std::vector<int> turns(4, 0);
-  for (SiteId i = 0; i < 4; ++i) rig.site(i).request_cs();
+  for (SiteId i = 0; i < 4; ++i) rig.site(i).request_cs(kLock0);
   rig.sim.run();
   for (int round = 0; round < 40; ++round) {
     ASSERT_FALSE(rig.entries.empty());
@@ -335,7 +335,7 @@ TEST(CaoSinghalProtocol, RoundRobinFairnessUnderSymmetricContention) {
     ++turns[static_cast<size_t>(who)];
     rig.release(who);
     // Re-request immediately: closed loop by hand.
-    rig.site(who).request_cs();
+    rig.site(who).request_cs(kLock0);
     rig.sim.run();
   }
   for (int t : turns) EXPECT_GE(t, 5) << "a site is being starved";
@@ -348,9 +348,9 @@ TEST(CaoSinghalProtocol, RoundRobinFairnessUnderSymmetricContention) {
 // and degrades to Maekawa's 2T — never worse — when they do not.
 TEST(CaoSinghalProtocol, LateTransferFallsBackToTwoT) {
   Rig rig(9);
-  rig.site(0).request_cs();            // t=0; enters at t=2000
+  rig.site(0).request_cs(kLock0);            // t=0; enters at t=2000
   rig.sim.run_until(1500);
-  rig.site(1).request_cs();            // t=1500; reaches arbiters t=2500
+  rig.site(1).request_cs(kLock0);            // t=1500; reaches arbiters t=2500
   rig.sim.run_until(2500);
   ASSERT_TRUE(rig.site(0).in_cs());
   // Arbiters send transfer at 2500 -> arrives at site 0 at 3500. Exit at
@@ -388,15 +388,15 @@ TEST(CaoSinghalProtocol, GoldenTraceThreeSites) {
     sites.push_back(std::make_unique<CaoSinghalSite>(i, net, *quorums));
     net.attach(i, sites.back().get());
   }
-  sites[2]->request_cs();
+  sites[2]->request_cs(kLock0);
   sim.run_until(500);
-  sites[0]->request_cs();
+  sites[0]->request_cs(kLock0);
   sim.run();
   ASSERT_TRUE(sites[0]->in_cs());  // higher priority wins via yield
-  sites[0]->release_cs();
+  sites[0]->release_cs(kLock0);
   sim.run();
   ASSERT_TRUE(sites[2]->in_cs());  // forwarded handoff
-  sites[2]->release_cs();
+  sites[2]->release_cs(kLock0);
   sim.run();
 
   const std::vector<std::string> expected = {
@@ -443,9 +443,9 @@ TEST(CaoSinghalProtocol, YieldRegrantPiggybacksTransfer) {
     sites.push_back(std::make_unique<CaoSinghalSite>(i, net, *quorums));
     net.attach(i, sites.back().get());
   }
-  sites[2]->request_cs();
+  sites[2]->request_cs(kLock0);
   sim.run_until(500);
-  sites[0]->request_cs();
+  sites[0]->request_cs(kLock0);
   sim.run();
   // The re-grant from arbiter 2 to site 0 after site 2's yield: reply and
   // transfer delivered at the same instant (one wire bundle).

@@ -244,10 +244,10 @@ TEST(CaoSinghal, LightLoadCostLawAcrossConstructions) {
       net.attach(i, sites.back().get());
     }
     const SiteId requester = static_cast<SiteId>(c.n / 2);
-    sites[static_cast<size_t>(requester)]->request_cs();
+    sites[static_cast<size_t>(requester)]->request_cs(kLock0);
     sim.run();
     ASSERT_TRUE(sites[static_cast<size_t>(requester)]->in_cs()) << c.kind;
-    sites[static_cast<size_t>(requester)]->release_cs();
+    sites[static_cast<size_t>(requester)]->release_cs(kLock0);
     sim.run();
     const auto q = quorums->quorum_for(requester);
     const size_t remote =

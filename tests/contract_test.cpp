@@ -13,7 +13,7 @@ namespace dqme {
 namespace {
 
 struct NullSite final : net::NetSite {
-  void on_message(const net::Message&) override {}
+  void on_message(const net::Message&, LockId) override {}
 };
 
 TEST(Contracts, NetworkRejectsOutOfRangeEndpoints) {
@@ -78,6 +78,36 @@ TEST(Contracts, QuorumAlgosRequireAQuorumSystem) {
       CheckError);
   EXPECT_THROW(mutex::make_site(mutex::Algo::kMaekawa, 0, net, nullptr),
                CheckError);
+}
+
+TEST(Contracts, FactoryRejectsNonPositiveLockCounts) {
+  sim::Simulator sim;
+  net::Network net(sim, 9, std::make_unique<net::ConstantDelay>(10), 1);
+  auto qs = quorum::make_quorum_system("grid", 9);
+  mutex::AlgoOptions opts;
+  opts.num_locks = 0;
+  EXPECT_THROW(
+      mutex::make_site(mutex::Algo::kCaoSinghal, 0, net, qs.get(), opts),
+      CheckError);
+  opts.num_locks = -3;
+  EXPECT_THROW(
+      mutex::make_site(mutex::Algo::kLamport, 0, net, nullptr, opts),
+      CheckError);
+}
+
+TEST(Contracts, KeyedApiRejectsOutOfRangeLockIds) {
+  sim::Simulator sim;
+  net::Network net(sim, 9, std::make_unique<net::ConstantDelay>(10), 1);
+  auto qs = quorum::make_quorum_system("grid", 9);
+  mutex::AlgoOptions opts;
+  opts.num_locks = 4;
+  auto site = mutex::make_site(mutex::Algo::kCaoSinghal, 0, net, qs.get(),
+                               opts);
+  net.attach(0, site.get());
+  EXPECT_THROW(site->request_cs(LockId{4}), CheckError);
+  EXPECT_THROW(site->request_cs(kNoLock), CheckError);
+  EXPECT_THROW(site->release_cs(LockId{7}), CheckError);
+  site->request_cs(LockId{3});  // in range: fine
 }
 
 TEST(Contracts, UnknownAlgorithmNameIsRejected) {

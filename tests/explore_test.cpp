@@ -69,6 +69,23 @@ TEST(Explorer, DeterministicAcrossRuns) {
   EXPECT_EQ(a.sleep_skips, b.sleep_skips);
 }
 
+// The explorer's demand is lock 0 only, so sizing the lock table larger
+// must not change the schedule space: same reduced schedules, same nodes,
+// still clean. (Guards the lock-table refactor against perturbing the
+// single-lock protocol decisions the model checker certifies.)
+TEST(Explorer, MultiLockTableLeavesLock0ScheduleSpaceUnchanged) {
+  const ExploreResult base = explore(small_config());
+  ASSERT_TRUE(base.complete);
+  WorldConfig cfg = small_config();
+  cfg.num_locks = 4;
+  const ExploreResult multi = explore(cfg);
+  EXPECT_TRUE(multi.complete);
+  EXPECT_TRUE(multi.violations.empty());
+  EXPECT_EQ(multi.schedules, base.schedules);
+  EXPECT_EQ(multi.nodes, base.nodes);
+  EXPECT_EQ(multi.sleep_skips, base.sleep_skips);
+}
+
 TEST(Explorer, CrashBranchingIsCleanAndComplete) {
   WorldConfig cfg = small_config();
   cfg.fault_tolerant = true;
@@ -183,7 +200,7 @@ TEST(Explorer, ReplayToleratesInapplicableActions) {
 // later flight, not the "next" one like in clock-driven runs.
 struct KvReader final : net::NetSite {
   explicit KvReader(net::Network& net) : net_(net) {}
-  void on_message(const net::Message& m) override {
+  void on_message(const net::Message& m, LockId) override {
     if (m.payload != net::kNoPayload) last = net_.read_kv(m);
   }
   net::Network& net_;

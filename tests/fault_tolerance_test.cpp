@@ -27,7 +27,7 @@ ExperimentConfig ft_cfg(const std::string& quorum, int n, uint64_t seed) {
 // ------------------------------------------------------ failure detector
 
 struct NoticeSink final : public net::NetSite {
-  void on_message(const net::Message& m) override {
+  void on_message(const net::Message& m, LockId) override {
     ASSERT_EQ(m.type, net::MsgType::kFailureNotice);
     notices.push_back(m.arbiter);
   }
@@ -252,7 +252,9 @@ struct ScrubRig {
       sites.push_back(
           std::make_unique<core::CaoSinghalSite>(i, net, *quorums, opt));
       net.attach(i, sites.back().get());
-      sites.back()->on_enter = [this](SiteId id) { entries.push_back(id); };
+      sites.back()->on_enter = [this](SiteId id, LockId) {
+        entries.push_back(id);
+      };
     }
   }
   core::CaoSinghalSite& site(SiteId i) {
@@ -260,7 +262,7 @@ struct ScrubRig {
   }
   void notice(SiteId to, SiteId failed) {
     net.crash(failed);
-    site(to).on_message(net::make_failure_notice(failed));
+    site(to).on_message(net::make_failure_notice(failed), kLock0);
   }
 
   sim::Simulator sim;
@@ -275,16 +277,16 @@ struct ScrubRig {
 TEST(FaultToleranceProtocol, ArbiterUnlocksWhenHolderDies) {
   ScrubRig rig;
   // Site 0 enters CS (holds arbiter 1 among others); site 1 queues behind.
-  rig.site(0).request_cs();
+  rig.site(0).request_cs(kLock0);
   rig.sim.run();
   ASSERT_EQ(rig.entries.size(), 1u);
-  rig.site(1).request_cs();
+  rig.site(1).request_cs(kLock0);
   rig.sim.run();
   ASSERT_EQ(rig.entries.size(), 1u);  // blocked behind site 0
   // Site 0 "dies" inside the CS: every live site learns.
   rig.net.crash(0);
   for (SiteId s = 1; s < 9; ++s)
-    rig.site(s).on_message(net::make_failure_notice(0));
+    rig.site(s).on_message(net::make_failure_notice(0), kLock0);
   rig.sim.run();
   // The arbiters scrubbed the dead holder and granted site 1.
   ASSERT_EQ(rig.entries.size(), 2u);
@@ -295,20 +297,20 @@ TEST(FaultToleranceProtocol, ArbiterUnlocksWhenHolderDies) {
 // so the permission never routes to it.
 TEST(FaultToleranceProtocol, QueuedRequestOfDeadSiteIsScrubbed) {
   ScrubRig rig;
-  rig.site(0).request_cs();
+  rig.site(0).request_cs(kLock0);
   rig.sim.run();
-  rig.site(1).request_cs();  // queues behind 0 at the shared arbiters
+  rig.site(1).request_cs(kLock0);  // queues behind 0 at the shared arbiters
   rig.sim.run();
   // Site 1 dies while queued; notices reach everyone.
   rig.net.crash(1);
   for (SiteId s = 0; s < 9; ++s)
-    if (s != 1) rig.site(s).on_message(net::make_failure_notice(1));
+    if (s != 1) rig.site(s).on_message(net::make_failure_notice(1), kLock0);
   rig.sim.run();
   // Site 0 can exit and the system stays consistent; a later requester is
   // served directly, not the dead site.
-  rig.site(0).release_cs();
+  rig.site(0).release_cs(kLock0);
   rig.sim.run();
-  rig.site(2).request_cs();
+  rig.site(2).request_cs(kLock0);
   rig.sim.run();
   ASSERT_EQ(rig.entries.size(), 2u);
   EXPECT_EQ(rig.entries[1], 2);
@@ -318,10 +320,10 @@ TEST(FaultToleranceProtocol, QueuedRequestOfDeadSiteIsScrubbed) {
 // re-forms its quorum and still gets in.
 TEST(FaultToleranceProtocol, WaitingRequesterReformsQuorum) {
   ScrubRig rig;
-  rig.site(0).request_cs();
+  rig.site(0).request_cs(kLock0);
   rig.sim.run();
   ASSERT_TRUE(rig.site(0).in_cs());
-  rig.site(4).request_cs();  // waits (shared arbiters with 0)
+  rig.site(4).request_cs(kLock0);  // waits (shared arbiters with 0)
   rig.sim.run();
   // One of 4's quorum members dies while 4 waits.
   const SiteId victim = rig.site(4).req_set()[0] != 4
@@ -330,10 +332,10 @@ TEST(FaultToleranceProtocol, WaitingRequesterReformsQuorum) {
   ASSERT_NE(victim, 0);  // keep the CS holder alive for this scenario
   rig.net.crash(victim);
   for (SiteId s = 0; s < 9; ++s)
-    if (s != victim) rig.site(s).on_message(net::make_failure_notice(victim));
+    if (s != victim) rig.site(s).on_message(net::make_failure_notice(victim), kLock0);
   rig.sim.run();
   EXPECT_GT(rig.site(4).protocol_stats().recoveries, 0u);
-  rig.site(0).release_cs();
+  rig.site(0).release_cs(kLock0);
   rig.sim.run();
   ASSERT_EQ(rig.entries.size(), 2u);
   EXPECT_EQ(rig.entries[1], 4);
@@ -349,17 +351,17 @@ TEST(FaultToleranceProtocol, StalledSiteRejectsNewRequests) {
   core::CaoSinghalSite site(2, net, *quorums, opt);
   net.attach(2, &site);
   bool aborted = false;
-  site.on_abort = [&](SiteId) { aborted = true; };
+  site.on_abort = [&](SiteId, LockId) { aborted = true; };
   // Kill a majority before the site ever requests.
   net.crash(0);
   net.crash(1);
-  site.on_message(net::make_failure_notice(0));
-  site.on_message(net::make_failure_notice(1));
-  site.request_cs();
+  site.on_message(net::make_failure_notice(0), kLock0);
+  site.on_message(net::make_failure_notice(1), kLock0);
+  site.request_cs(kLock0);
   sim.run();
   EXPECT_TRUE(aborted);
   EXPECT_TRUE(site.stalled());
-  EXPECT_THROW(site.request_cs(), CheckError);
+  EXPECT_THROW(site.request_cs(kLock0), CheckError);
 }
 
 }  // namespace

@@ -13,7 +13,7 @@ namespace dqme::harness {
 namespace {
 
 struct NullSite final : public net::NetSite {
-  void on_message(const net::Message&) override {}
+  void on_message(const net::Message&, LockId) override {}
 };
 
 struct MetricsRig {
@@ -33,11 +33,11 @@ TEST(Metrics, CountsCompletionsAndWaitingTimes) {
   MetricsRig rig;
   rig.metrics.reset(0);
   // Site 0: demanded 0, requested 10, entered 100, exited 150.
-  rig.metrics.on_enter(0, 100, 0, 10);
-  rig.metrics.on_exit(0, 150);
+  rig.metrics.on_enter(0, kLock0,100, 0, 10);
+  rig.metrics.on_exit(0, kLock0,150);
   // Site 1: demanded 50, requested 50, entered 200, exited 230.
-  rig.metrics.on_enter(1, 200, 50, 50);
-  rig.metrics.on_exit(1, 230);
+  rig.metrics.on_enter(1, kLock0,200, 50, 50);
+  rig.metrics.on_exit(1, kLock0,230);
   Summary s = rig.metrics.summarize(1000);
   EXPECT_EQ(s.completed, 2u);
   EXPECT_EQ(s.violations, 0u);
@@ -51,12 +51,12 @@ TEST(Metrics, CountsCompletionsAndWaitingTimes) {
 TEST(Metrics, SynchronizationGapMeasuredBetweenConsecutiveCs) {
   MetricsRig rig;
   rig.metrics.reset(0);
-  rig.metrics.on_enter(0, 100, 0, 0);
-  rig.metrics.on_exit(0, 150);
-  rig.metrics.on_enter(1, 180, 120, 120);  // requested < previous exit
-  rig.metrics.on_exit(1, 200);
-  rig.metrics.on_enter(0, 500, 400, 400);  // requested after exit: idle gap
-  rig.metrics.on_exit(0, 510);
+  rig.metrics.on_enter(0, kLock0,100, 0, 0);
+  rig.metrics.on_exit(0, kLock0,150);
+  rig.metrics.on_enter(1, kLock0,180, 120, 120);  // requested < previous exit
+  rig.metrics.on_exit(1, kLock0,200);
+  rig.metrics.on_enter(0, kLock0,500, 400, 400);  // requested after exit: idle gap
+  rig.metrics.on_exit(0, kLock0,510);
   Summary s = rig.metrics.summarize(1000);
   EXPECT_DOUBLE_EQ(s.sync_delay_mean, (30 + 300) / 2.0);
   EXPECT_EQ(s.contended_gaps, 1u);
@@ -66,26 +66,63 @@ TEST(Metrics, SynchronizationGapMeasuredBetweenConsecutiveCs) {
 TEST(Metrics, OverlappingCsCountsViolations) {
   MetricsRig rig;
   rig.metrics.reset(0);
-  rig.metrics.on_enter(0, 100, 0, 0);
-  rig.metrics.on_enter(1, 110, 0, 0);  // overlap!
+  rig.metrics.on_enter(0, kLock0,100, 0, 0);
+  rig.metrics.on_enter(1, kLock0,110, 0, 0);  // overlap!
   Summary s = rig.metrics.summarize(200);
   EXPECT_EQ(s.violations, 1u);
   EXPECT_EQ(rig.metrics.currently_inside(), 2);
 }
 
+TEST(Metrics, DifferentLocksMayOverlapWithoutViolation) {
+  MetricsRig rig;
+  Metrics m(rig.net, /*num_locks=*/3);
+  m.reset(0);
+  // Three sites inside three different locks at once: legal.
+  m.on_enter(0, LockId{0}, 100, 0, 0);
+  m.on_enter(1, LockId{1}, 110, 0, 0);
+  m.on_enter(0, LockId{2}, 115, 0, 0);
+  EXPECT_EQ(m.currently_inside(), 3);
+  m.on_exit(0, LockId{0}, 150);
+  m.on_exit(1, LockId{1}, 160);
+  m.on_exit(0, LockId{2}, 170);
+  // ...but a second entrant into an occupied lock is still flagged.
+  m.on_enter(0, LockId{1}, 200, 0, 0);
+  m.on_enter(1, LockId{1}, 210, 0, 0);
+  Summary s = m.summarize(300);
+  EXPECT_EQ(s.violations, 1u);
+  EXPECT_EQ(s.completed, 3u);
+}
+
+TEST(Metrics, SynchronizationGapsAreMeasuredWithinOneLock) {
+  MetricsRig rig;
+  Metrics m(rig.net, /*num_locks=*/2);
+  m.reset(0);
+  m.on_enter(0, LockId{0}, 100, 0, 0);
+  m.on_exit(0, LockId{0}, 150);
+  // Lock 1's first entry must not pair with lock 0's exit...
+  m.on_enter(1, LockId{1}, 180, 120, 120);
+  m.on_exit(1, LockId{1}, 200);
+  // ...while lock 0's next contended entry pairs with its own exit.
+  m.on_enter(1, LockId{0}, 250, 140, 140);
+  m.on_exit(1, LockId{0}, 260);
+  Summary s = m.summarize(1000);
+  EXPECT_EQ(s.contended_gaps, 1u);
+  EXPECT_DOUBLE_EQ(s.sync_delay_contended, 100.0);  // 250 - 150
+}
+
 TEST(Metrics, ViolationsSurviveWindowReset) {
   MetricsRig rig;
-  rig.metrics.on_enter(0, 10, 0, 0);
-  rig.metrics.on_enter(1, 20, 0, 0);
+  rig.metrics.on_enter(0, kLock0,10, 0, 0);
+  rig.metrics.on_enter(1, kLock0,20, 0, 0);
   rig.metrics.reset(100);
   EXPECT_EQ(rig.metrics.summarize(200).violations, 1u);
 }
 
 TEST(Metrics, WarmupEntriesAreExcludedFromWindow) {
   MetricsRig rig;
-  rig.metrics.on_enter(0, 50, 0, 0);  // before reset
+  rig.metrics.on_enter(0, kLock0,50, 0, 0);  // before reset
   rig.metrics.reset(100);
-  rig.metrics.on_exit(0, 150);  // exits inside window but entered before
+  rig.metrics.on_exit(0, kLock0,150);  // exits inside window but entered before
   Summary s = rig.metrics.summarize(200);
   EXPECT_EQ(s.completed, 0u);
 }
@@ -93,11 +130,11 @@ TEST(Metrics, WarmupEntriesAreExcludedFromWindow) {
 TEST(Metrics, CrashDiscardsOpenInterval) {
   MetricsRig rig;
   rig.metrics.reset(0);
-  rig.metrics.on_enter(0, 100, 0, 0);
+  rig.metrics.on_enter(0, kLock0,100, 0, 0);
   rig.metrics.on_crash(0);
   // Next entry is not a violation and no gap is measured off the crash.
-  rig.metrics.on_enter(1, 200, 0, 0);
-  rig.metrics.on_exit(1, 210);
+  rig.metrics.on_enter(1, kLock0,200, 0, 0);
+  rig.metrics.on_exit(1, kLock0,210);
   Summary s = rig.metrics.summarize(300);
   EXPECT_EQ(s.violations, 0u);
   EXPECT_EQ(s.completed, 1u);
@@ -105,7 +142,7 @@ TEST(Metrics, CrashDiscardsOpenInterval) {
 
 TEST(Metrics, ExitWithoutEnterIsAnError) {
   MetricsRig rig;
-  EXPECT_THROW(rig.metrics.on_exit(0, 10), CheckError);
+  EXPECT_THROW(rig.metrics.on_exit(0, kLock0,10), CheckError);
 }
 
 TEST(Metrics, PerTypeMessageAveragesComeFromWindowDeltas) {
@@ -116,8 +153,8 @@ TEST(Metrics, PerTypeMessageAveragesComeFromWindowDeltas) {
   rig.net.send(0, 1, net::make_request(ReqId{2, 0}));
   rig.net.send(1, 0, net::make_reply(1, ReqId{2, 0}));
   rig.sim.run();
-  rig.metrics.on_enter(0, rig.sim.now(), 0, 0);
-  rig.metrics.on_exit(0, rig.sim.now());
+  rig.metrics.on_enter(0, kLock0,rig.sim.now(), 0, 0);
+  rig.metrics.on_exit(0, kLock0,rig.sim.now());
   Summary s = rig.metrics.summarize(rig.sim.now());
   EXPECT_DOUBLE_EQ(s.wire_msgs_per_cs, 2.0);
   EXPECT_DOUBLE_EQ(
@@ -236,14 +273,14 @@ TEST(Metrics, JainFairnessIndex) {
   for (int k = 0; k < 4; ++k) {
     const SiteId who = static_cast<SiteId>(k % 2);  // 0,1,0,1
     const Time t = 10 + 20 * k;
-    rig.metrics.on_enter(who, t, 0, 0);
-    rig.metrics.on_exit(who, t + 5);
+    rig.metrics.on_enter(who, kLock0, t, 0, 0);
+    rig.metrics.on_exit(who, kLock0, t + 5);
   }
   EXPECT_DOUBLE_EQ(rig.metrics.summarize(100).fairness_jain, 1.0);
   // Completely one-sided.
   rig.metrics.reset(100);
-  rig.metrics.on_enter(0, 110, 100, 100);
-  rig.metrics.on_exit(0, 120);
+  rig.metrics.on_enter(0, kLock0,110, 100, 100);
+  rig.metrics.on_exit(0, kLock0,120);
   EXPECT_DOUBLE_EQ(rig.metrics.summarize(200).fairness_jain, 0.5);
 }
 
@@ -284,8 +321,9 @@ TEST(Metrics, WaitingPercentiles) {
   Time now = 0;
   for (int w = 1; w <= 100; ++w) {
     now += 1000;
-    rig.metrics.on_enter(static_cast<SiteId>(w % 2), now, now - w, now - w);
-    rig.metrics.on_exit(static_cast<SiteId>(w % 2), now + 1);
+    rig.metrics.on_enter(static_cast<SiteId>(w % 2), kLock0, now, now - w,
+                         now - w);
+    rig.metrics.on_exit(static_cast<SiteId>(w % 2), kLock0, now + 1);
   }
   Summary s = rig.metrics.summarize(now + 10);
   EXPECT_NEAR(s.waiting_p50, 50.0, 1.5);

@@ -108,18 +108,48 @@ const ReqId kR2{20, 2};
 
 TEST(InvariantChecker, FlagsDoubleEntry) {
   Script s;
-  s.checker.on_span_issue(1, span_of(kR1), 0);
-  s.checker.on_span_issue(2, span_of(kR2), 0);
-  s.checker.on_span_enter(1, span_of(kR1), 10);
-  s.checker.on_span_enter(2, span_of(kR2), 11);
+  s.checker.on_span_issue(1, kLock0,span_of(kR1), 0);
+  s.checker.on_span_issue(2, kLock0,span_of(kR2), 0);
+  s.checker.on_span_enter(1, kLock0,span_of(kR1), 10);
+  s.checker.on_span_enter(2, kLock0,span_of(kR2), 11);
   EXPECT_EQ(s.checker.violations(), 1u);
   EXPECT_NE(s.checker.reports().front().find("safety"), std::string::npos);
 }
 
+// Different locks are independent critical sections: simultaneous entry on
+// lock 0 and lock 3 is legal, and a genuine double entry on lock 3 is
+// reported with the lock named in the violation text.
+TEST(InvariantChecker, LocksAreIndependentCriticalSections) {
+  Script s;
+  s.checker.on_span_issue(1, kLock0, span_of(kR1), 0);
+  s.checker.on_span_issue(2, LockId{3}, span_of(kR2), 0);
+  s.checker.on_span_enter(1, kLock0, span_of(kR1), 10);
+  s.checker.on_span_enter(2, LockId{3}, span_of(kR2), 11);
+  EXPECT_EQ(s.checker.violations(), 0u);
+  // Now a real collision inside lock 3.
+  s.checker.on_span_issue(1, LockId{3}, span_of(kR1), 12);
+  s.checker.on_span_enter(1, LockId{3}, span_of(kR1), 13);
+  EXPECT_EQ(s.checker.violations(), 1u);
+  EXPECT_NE(s.checker.reports().front().find("safety"), std::string::npos);
+  EXPECT_NE(s.checker.reports().front().find("[lock 3]"), std::string::npos);
+}
+
+TEST(InvariantChecker, PermissionLedgerIsKeyedPerLock) {
+  Script s;
+  s.checker.on_span_issue(1, kLock0, span_of(kR1), 0);
+  s.checker.on_span_issue(2, LockId{5}, span_of(kR2), 0);
+  // Arbiter 0 grants site 1 on lock 0 and site 2 on lock 5 concurrently:
+  // two locks, two independent permissions, no violation.
+  s.checker.observe(s.wire(net::make_reply(0, kR1), 0, 1, 5), kLock0, 10);
+  s.checker.observe(s.wire(net::make_reply(0, kR2), 0, 2, 6), LockId{5}, 11);
+  EXPECT_EQ(s.checker.violations(), 0u)
+      << s.checker.reports().front();
+}
+
 TEST(InvariantChecker, FlagsDoubleGrant) {
   Script s;
-  s.checker.on_span_issue(1, span_of(kR1), 0);
-  s.checker.on_span_issue(2, span_of(kR2), 0);
+  s.checker.on_span_issue(1, kLock0,span_of(kR1), 0);
+  s.checker.on_span_issue(2, kLock0,span_of(kR2), 0);
   s.checker.observe(s.wire(net::make_reply(0, kR1), 0, 1, 5), 10);
   EXPECT_EQ(s.checker.violations(), 0u);
   s.checker.observe(s.wire(net::make_reply(0, kR2), 0, 2, 6), 11);
@@ -130,7 +160,7 @@ TEST(InvariantChecker, FlagsDoubleGrant) {
 
 TEST(InvariantChecker, FlagsForwardWithoutHolding) {
   Script s;
-  s.checker.on_span_issue(2, span_of(kR2), 0);
+  s.checker.on_span_issue(2, kLock0,span_of(kR2), 0);
   // Site 3 proxies arbiter 0's reply without ever holding its permission.
   s.checker.observe(s.wire(net::make_reply(0, kR2), 3, 2, 5), 10);
   EXPECT_EQ(s.checker.violations(), 1u);
@@ -140,12 +170,12 @@ TEST(InvariantChecker, FlagsForwardWithoutHolding) {
 
 TEST(InvariantChecker, FlagsLostTransferAtFinish) {
   Script s;
-  s.checker.on_span_issue(1, span_of(kR1), 0);
-  s.checker.on_span_issue(2, span_of(kR2), 0);
+  s.checker.on_span_issue(1, kLock0,span_of(kR1), 0);
+  s.checker.on_span_issue(2, kLock0,span_of(kR2), 0);
   s.checker.observe(s.wire(net::make_reply(0, kR1), 0, 1, 5), 10);
-  s.checker.on_span_enter(1, span_of(kR1), 12);
+  s.checker.on_span_enter(1, kLock0,span_of(kR1), 12);
   s.checker.observe(s.wire(net::make_transfer(kR2, 0, kR1), 0, 1, 14), 18);
-  s.checker.on_span_exit(1, span_of(kR1), 25);  // never forwards or releases
+  s.checker.on_span_exit(1, kLock0,span_of(kR1), 25);  // never forwards or releases
   EXPECT_EQ(s.checker.violations(), 0u);
   s.checker.finish(60);
   EXPECT_EQ(s.checker.violations(), 1u);
@@ -155,16 +185,16 @@ TEST(InvariantChecker, FlagsLostTransferAtFinish) {
 
 TEST(InvariantChecker, TransferDischargedByProxyReplyIsClean) {
   Script s;
-  s.checker.on_span_issue(1, span_of(kR1), 0);
+  s.checker.on_span_issue(1, kLock0,span_of(kR1), 0);
   s.checker.observe(s.wire(net::make_reply(0, kR1), 0, 1, 5), 10);
-  s.checker.on_span_enter(1, span_of(kR1), 12);
-  s.checker.on_span_issue(2, span_of(kR2), 15);
+  s.checker.on_span_enter(1, kLock0,span_of(kR1), 12);
+  s.checker.on_span_issue(2, kLock0,span_of(kR2), 15);
   s.checker.observe(s.wire(net::make_transfer(kR2, 0, kR1), 0, 1, 16), 20);
-  s.checker.on_span_exit(1, span_of(kR1), 25);
+  s.checker.on_span_exit(1, kLock0,span_of(kR1), 25);
   s.checker.observe(s.wire(net::make_release(kR1, kR2), 1, 0, 25), 28);
   s.checker.observe(s.wire(net::make_reply(0, kR2), 1, 2, 25), 30);
-  s.checker.on_span_enter(2, span_of(kR2), 31);
-  s.checker.on_span_exit(2, span_of(kR2), 40);
+  s.checker.on_span_enter(2, kLock0,span_of(kR2), 31);
+  s.checker.on_span_exit(2, kLock0,span_of(kR2), 40);
   s.checker.observe(s.wire(net::make_release(kR2, ReqId{}), 2, 0, 40), 45);
   s.checker.finish(50);
   EXPECT_EQ(s.checker.violations(), 0u)
@@ -184,7 +214,7 @@ TEST(InvariantChecker, FlagsStalledRequestAtFinish) {
   obs::InvariantOptions opts;
   opts.liveness_bound = 1000;
   Script s(opts);
-  s.checker.on_span_issue(1, span_of(kR1), 0);
+  s.checker.on_span_issue(1, kLock0,span_of(kR1), 0);
   s.checker.finish(5000);
   EXPECT_EQ(s.checker.violations(), 1u);
   EXPECT_NE(s.checker.reports().front().find("liveness"), std::string::npos);
@@ -194,7 +224,7 @@ TEST(InvariantChecker, CrashedOwnersStallIsWrittenOff) {
   obs::InvariantOptions opts;
   opts.liveness_bound = 1000;
   Script s(opts);
-  s.checker.on_span_issue(1, span_of(kR1), 0);
+  s.checker.on_span_issue(1, kLock0,span_of(kR1), 0);
   s.checker.on_crash(1);
   s.checker.finish(5000);
   EXPECT_EQ(s.checker.violations(), 0u);
@@ -206,10 +236,10 @@ TEST(InvariantChecker, CrashedOwnersStallIsWrittenOff) {
 TEST(InvariantChecker, StaleGrantAfterRecoveryIsNotAViolation) {
   Script s;
   const ReqId r1b{30, 1};  // site 1's reissued request
-  s.checker.on_span_issue(1, span_of(kR1), 0);
-  s.checker.on_span_issue(2, span_of(kR2), 0);
+  s.checker.on_span_issue(1, kLock0,span_of(kR1), 0);
+  s.checker.on_span_issue(2, kLock0,span_of(kR2), 0);
   // Site 1 recovers before the arbiter's grant (still in flight) arrives.
-  s.checker.on_span_issue(1, span_of(r1b), 8);
+  s.checker.on_span_issue(1, kLock0,span_of(r1b), 8);
   // Its recovery release reaches arbiter 0, which grants site 2 instead.
   s.checker.observe(s.wire(net::make_release(kR1, ReqId{}), 1, 0, 8), 12);
   // The stale grant for the abandoned attempt lands now: site 1 drops it.

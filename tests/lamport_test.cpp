@@ -14,7 +14,9 @@ struct LamportRig {
     for (SiteId i = 0; i < n; ++i) {
       sites.push_back(std::make_unique<mutex::LamportSite>(i, net));
       net.attach(i, sites.back().get());
-      sites.back()->on_enter = [this](SiteId id) { entries.push_back(id); };
+      sites.back()->on_enter = [this](SiteId id, LockId) {
+        entries.push_back(id);
+      };
     }
   }
   mutex::LamportSite& site(SiteId i) { return *sites[static_cast<size_t>(i)]; }
@@ -27,7 +29,7 @@ struct LamportRig {
 
 TEST(Lamport, SingleSiteEntersImmediately) {
   LamportRig rig(1);
-  rig.site(0).request_cs();
+  rig.site(0).request_cs(kLock0);
   rig.sim.run();
   EXPECT_EQ(rig.entries, (std::vector<SiteId>{0}));
   EXPECT_EQ(rig.net.stats().wire_messages, 0u);
@@ -35,10 +37,10 @@ TEST(Lamport, SingleSiteEntersImmediately) {
 
 TEST(Lamport, UncontendedCsCostsExactly3NMinus1) {
   LamportRig rig(5);
-  rig.site(2).request_cs();
+  rig.site(2).request_cs(kLock0);
   rig.sim.run();
   ASSERT_EQ(rig.entries.size(), 1u);
-  rig.site(2).release_cs();
+  rig.site(2).release_cs(kLock0);
   rig.sim.run();
   // (N-1) request + (N-1) reply + (N-1) release.
   EXPECT_EQ(rig.net.stats().wire_messages, 3u * 4u);
@@ -49,7 +51,7 @@ TEST(Lamport, UncontendedCsCostsExactly3NMinus1) {
 
 TEST(Lamport, EntryRequiresAllReplies) {
   LamportRig rig(3);
-  rig.site(0).request_cs();
+  rig.site(0).request_cs(kLock0);
   EXPECT_TRUE(rig.entries.empty());
   rig.sim.run_until(1999);
   EXPECT_TRUE(rig.entries.empty());  // replies land at t=2000
@@ -60,17 +62,17 @@ TEST(Lamport, EntryRequiresAllReplies) {
 TEST(Lamport, ConcurrentRequestsServedInTimestampOrder) {
   LamportRig rig(4);
   // Same tick, so equal sequence numbers: site id breaks the tie.
-  rig.site(3).request_cs();
-  rig.site(1).request_cs();
-  rig.site(2).request_cs();
+  rig.site(3).request_cs(kLock0);
+  rig.site(1).request_cs(kLock0);
+  rig.site(2).request_cs(kLock0);
   rig.sim.run();
   ASSERT_EQ(rig.entries.size(), 1u);
   EXPECT_EQ(rig.entries[0], 1);  // (1,1) < (1,2) < (1,3)
-  rig.site(1).release_cs();
+  rig.site(1).release_cs(kLock0);
   rig.sim.run();
   ASSERT_EQ(rig.entries.size(), 2u);
   EXPECT_EQ(rig.entries[1], 2);
-  rig.site(2).release_cs();
+  rig.site(2).release_cs(kLock0);
   rig.sim.run();
   ASSERT_EQ(rig.entries.size(), 3u);
   EXPECT_EQ(rig.entries[2], 3);
@@ -78,12 +80,12 @@ TEST(Lamport, ConcurrentRequestsServedInTimestampOrder) {
 
 TEST(Lamport, LaterRequestHasLowerPriority) {
   LamportRig rig(2);
-  rig.site(0).request_cs();
+  rig.site(0).request_cs(kLock0);
   rig.sim.run();  // site 0 in CS
-  rig.site(1).request_cs();
+  rig.site(1).request_cs(kLock0);
   rig.sim.run();
   EXPECT_EQ(rig.entries.size(), 1u);  // site 1 must wait
-  rig.site(0).release_cs();
+  rig.site(0).release_cs(kLock0);
   rig.sim.run();
   ASSERT_EQ(rig.entries.size(), 2u);
   EXPECT_EQ(rig.entries[1], 1);
@@ -92,9 +94,9 @@ TEST(Lamport, LaterRequestHasLowerPriority) {
 TEST(Lamport, SiteCanReenterAfterRelease) {
   LamportRig rig(3);
   for (int round = 0; round < 3; ++round) {
-    rig.site(0).request_cs();
+    rig.site(0).request_cs(kLock0);
     rig.sim.run();
-    rig.site(0).release_cs();
+    rig.site(0).release_cs(kLock0);
     rig.sim.run();
   }
   EXPECT_EQ(rig.entries.size(), 3u);
@@ -103,9 +105,9 @@ TEST(Lamport, SiteCanReenterAfterRelease) {
 
 TEST(Lamport, RejectsProtocolMisuse) {
   LamportRig rig(2);
-  EXPECT_THROW(rig.site(0).release_cs(), CheckError);  // not in CS
-  rig.site(0).request_cs();
-  EXPECT_THROW(rig.site(0).request_cs(), CheckError);  // double request
+  EXPECT_THROW(rig.site(0).release_cs(kLock0), CheckError);  // not in CS
+  rig.site(0).request_cs(kLock0);
+  EXPECT_THROW(rig.site(0).request_cs(kLock0), CheckError);  // double request
 }
 
 // The synchronization delay between consecutive CS users is one message

@@ -17,7 +17,9 @@ struct MaekawaRig {
     for (SiteId i = 0; i < n; ++i) {
       sites.push_back(std::make_unique<mutex::MaekawaSite>(i, net, *quorums));
       net.attach(i, sites.back().get());
-      sites.back()->on_enter = [this](SiteId id) { entries.push_back(id); };
+      sites.back()->on_enter = [this](SiteId id, LockId) {
+        entries.push_back(id);
+      };
     }
   }
   mutex::MaekawaSite& site(SiteId i) { return *sites[static_cast<size_t>(i)]; }
@@ -31,10 +33,10 @@ struct MaekawaRig {
 
 TEST(Maekawa, UncontendedCsCostsExactly3KMinus1) {
   MaekawaRig rig(9);  // K = 5, self handled locally
-  rig.site(4).request_cs();
+  rig.site(4).request_cs(kLock0);
   rig.sim.run();
   ASSERT_EQ(rig.entries.size(), 1u);
-  rig.site(4).release_cs();
+  rig.site(4).release_cs(kLock0);
   rig.sim.run();
   const size_t k_minus_1 = rig.quorums->quorum_for(4).size() - 1;
   EXPECT_EQ(rig.net.stats().wire_messages, 3u * k_minus_1);
@@ -42,12 +44,12 @@ TEST(Maekawa, UncontendedCsCostsExactly3KMinus1) {
 
 TEST(Maekawa, ArbiterLocksForExactlyOneRequestAtATime) {
   MaekawaRig rig(9);
-  rig.site(0).request_cs();  // quorum {0,1,2,3,6}
+  rig.site(0).request_cs(kLock0);  // quorum {0,1,2,3,6}
   rig.sim.run();
-  rig.site(1).request_cs();  // overlaps at sites 0,1
+  rig.site(1).request_cs(kLock0);  // overlaps at sites 0,1
   rig.sim.run();
   EXPECT_EQ(rig.entries.size(), 1u);  // site 1 blocked on shared arbiters
-  rig.site(0).release_cs();
+  rig.site(0).release_cs(kLock0);
   rig.sim.run();
   ASSERT_EQ(rig.entries.size(), 2u);
   EXPECT_EQ(rig.entries[1], 1);
@@ -78,25 +80,25 @@ TEST(Maekawa, HigherPriorityRequestPreemptsViaInquireYield) {
   // construction: 8 requests first in real time but at the same Lamport
   // tick as 0, so 0's request has priority; 0's request reaches the shared
   // arbiters after they already granted 8.
-  rig.site(8).request_cs();
+  rig.site(8).request_cs(kLock0);
   rig.sim.run_until(1100);  // 8's grants are being collected
-  rig.site(0).request_cs();
+  rig.site(0).request_cs(kLock0);
   rig.sim.run();
   // 0 has seq 1 like 8 but smaller site id => higher priority. Whether the
   // yield path or the release path resolves it, both must eventually run.
   ASSERT_GE(rig.entries.size(), 1u);
   if (rig.entries[0] == 8) {
-    rig.site(8).release_cs();
+    rig.site(8).release_cs(kLock0);
     rig.sim.run();
     ASSERT_EQ(rig.entries.size(), 2u);
     EXPECT_EQ(rig.entries[1], 0);
-    rig.site(0).release_cs();
+    rig.site(0).release_cs(kLock0);
   } else {
-    rig.site(0).release_cs();
+    rig.site(0).release_cs(kLock0);
     rig.sim.run();
     ASSERT_EQ(rig.entries.size(), 2u);
     EXPECT_EQ(rig.entries[1], 8);
-    rig.site(8).release_cs();
+    rig.site(8).release_cs(kLock0);
   }
   rig.sim.run();
   EXPECT_EQ(rig.entries.size(), 2u);
@@ -129,14 +131,14 @@ TEST(Maekawa, WorksOnTreeQuorums) {
 // proposed algorithm removes.
 TEST(Maekawa, HandoffIsExactlyTwoMessageDelays) {
   MaekawaRig rig(9);
-  rig.site(0).request_cs();
+  rig.site(0).request_cs(kLock0);
   rig.sim.run();
   ASSERT_EQ(rig.entries.size(), 1u);
-  rig.site(1).request_cs();
+  rig.site(1).request_cs(kLock0);
   rig.sim.run();
   ASSERT_EQ(rig.entries.size(), 1u);  // parked behind site 0
   const Time exit_at = rig.sim.now();
-  rig.site(0).release_cs();
+  rig.site(0).release_cs(kLock0);
   rig.sim.run();
   ASSERT_EQ(rig.entries.size(), 2u);
   EXPECT_EQ(rig.entries[1], 1);
@@ -147,15 +149,15 @@ TEST(Maekawa, HandoffIsExactlyTwoMessageDelays) {
 // implementation enforces with request ids).
 TEST(Maekawa, StaleInquireAfterReleaseIsIgnored) {
   MaekawaRig rig(9);
-  rig.site(0).request_cs();
+  rig.site(0).request_cs(kLock0);
   rig.sim.run();
-  rig.site(0).release_cs();
+  rig.site(0).release_cs(kLock0);
   rig.sim.run();
   const SiteId arbiter = rig.site(0).req_set()[1];
   net::Message stale = net::make_inquire(arbiter, ReqId{1, 0});
   stale.src = arbiter;
   stale.dst = 0;
-  rig.site(0).on_message(stale);
+  rig.site(0).on_message(stale, kLock0);
   rig.sim.run();
   EXPECT_TRUE(rig.site(0).idle());
   EXPECT_GT(rig.site(0).stale_drops(), 0u);

@@ -10,8 +10,12 @@ namespace {
 // Collects everything delivered to one site.
 class Sink final : public NetSite {
  public:
-  void on_message(const Message& m) override { received.push_back(m); }
+  void on_message(const Message& m, LockId lock) override {
+    received.push_back(m);
+    locks.push_back(lock);
+  }
   std::vector<Message> received;
+  std::vector<LockId> locks;
 };
 
 struct Rig {
@@ -138,7 +142,7 @@ TEST(Network, AliveCountTracksCrashes) {
 TEST(Network, OnDeliverHookSeesEveryControlMessage) {
   Rig rig(2);
   int hooked = 0;
-  rig.net.on_deliver = [&](const Message&) { ++hooked; };
+  rig.net.on_deliver = [&](const Message&, LockId) { ++hooked; };
   std::vector<Message> bundle;
   bundle.push_back(make_reply(0, ReqId{1, 1}));
   bundle.push_back(make_transfer(ReqId{2, 0}, 0, ReqId{1, 1}));
@@ -146,6 +150,92 @@ TEST(Network, OnDeliverHookSeesEveryControlMessage) {
   rig.net.send(1, 0, make_request(ReqId{3, 1}));
   rig.sim.run();
   EXPECT_EQ(hooked, 3);
+}
+
+TEST(Network, SendTagsDeliveryWithLockId) {
+  Rig rig(2);
+  rig.net.send(0, 1, make_request(ReqId{1, 0}), LockId{7});
+  rig.net.send(0, 1, make_request(ReqId{2, 0}));  // defaults to lock 0
+  rig.sim.run();
+  ASSERT_EQ(rig.sinks[1].locks.size(), 2u);
+  EXPECT_EQ(rig.sinks[1].locks[0], 7);
+  EXPECT_EQ(rig.sinks[1].locks[1], kLock0);
+}
+
+TEST(Network, LockPiggybackCoalescesSameChannelWithinWindow) {
+  Rig rig(2, 100);
+  rig.net.set_lock_piggyback(50);
+  rig.net.send(0, 1, make_request(ReqId{1, 0}), LockId{0});
+  rig.sim.run_until(10);  // still inside the window, flight not yet landed
+  rig.net.send(0, 1, make_request(ReqId{2, 0}), LockId{3});
+  rig.sim.run();
+  EXPECT_EQ(rig.net.stats().wire_messages, 1u);
+  EXPECT_EQ(rig.net.stats().control_messages, 2u);
+  EXPECT_EQ(rig.net.stats().piggybacked_messages, 1u);
+  ASSERT_EQ(rig.sinks[1].received.size(), 2u);
+  // Both ride the first flight: delivered together at its instant, each
+  // keeping its own lock tag.
+  EXPECT_EQ(rig.sim.now(), 100);
+  EXPECT_EQ(rig.sinks[1].locks[0], 0);
+  EXPECT_EQ(rig.sinks[1].locks[1], 3);
+  EXPECT_EQ(rig.sinks[1].received[1].req.seq, 2u);
+}
+
+TEST(Network, LockPiggybackWindowExpires) {
+  Rig rig(2, 100);
+  rig.net.set_lock_piggyback(20);
+  rig.net.send(0, 1, make_request(ReqId{1, 0}));
+  rig.sim.run_until(30);  // past the window, flight still in the air
+  rig.net.send(0, 1, make_request(ReqId{2, 0}), LockId{1});
+  rig.sim.run();
+  EXPECT_EQ(rig.net.stats().wire_messages, 2u);
+  EXPECT_EQ(rig.net.stats().piggybacked_messages, 0u);
+  ASSERT_EQ(rig.sinks[1].received.size(), 2u);
+}
+
+TEST(Network, LockPiggybackOffByDefault) {
+  Rig rig(2, 100);
+  EXPECT_LT(rig.net.lock_piggyback(), 0);
+  rig.net.send(0, 1, make_request(ReqId{1, 0}));
+  rig.net.send(0, 1, make_request(ReqId{2, 0}), LockId{1});
+  rig.sim.run();
+  EXPECT_EQ(rig.net.stats().wire_messages, 2u);
+  EXPECT_EQ(rig.net.stats().piggybacked_messages, 0u);
+}
+
+TEST(Network, LockPiggybackZeroWindowCoalescesSameInstantOnly) {
+  // W=0: only messages staged at the exact same tick share a flight — the
+  // timing-preserving mode the lock-table equivalence test relies on.
+  Rig rig(2, 100);
+  rig.net.set_lock_piggyback(0);
+  rig.net.send(0, 1, make_request(ReqId{1, 0}), LockId{0});
+  rig.net.send(0, 1, make_request(ReqId{2, 0}), LockId{1});
+  rig.sim.run_until(1);
+  rig.net.send(0, 1, make_request(ReqId{3, 0}), LockId{2});
+  rig.sim.run();
+  EXPECT_EQ(rig.net.stats().wire_messages, 2u);
+  EXPECT_EQ(rig.net.stats().piggybacked_messages, 1u);
+  ASSERT_EQ(rig.sinks[1].received.size(), 3u);
+  EXPECT_EQ(rig.sinks[1].locks[0], 0);
+  EXPECT_EQ(rig.sinks[1].locks[1], 1);
+  EXPECT_EQ(rig.sinks[1].locks[2], 2);
+}
+
+TEST(Network, LockPiggybackPreservesFifoAcrossFlights) {
+  // A message appended to an older open flight must not overtake anything,
+  // and later separate flights must not overtake the appended message.
+  Rig rig(2, 100);
+  rig.net.set_lock_piggyback(80);
+  rig.net.send(0, 1, make_request(ReqId{1, 0}));
+  rig.sim.run_until(40);
+  rig.net.send(0, 1, make_request(ReqId{2, 0}), LockId{1});  // appended
+  rig.sim.run_until(90);
+  rig.net.send(0, 1, make_request(ReqId{3, 0}), LockId{2});  // own flight
+  rig.sim.run();
+  ASSERT_EQ(rig.sinks[1].received.size(), 3u);
+  for (size_t i = 0; i < 3; ++i)
+    EXPECT_EQ(rig.sinks[1].received[i].req.seq, i + 1);
+  EXPECT_EQ(rig.net.stats().wire_messages, 2u);
 }
 
 TEST(DelayModels, ConstantAlwaysReturnsT) {

@@ -9,7 +9,7 @@ namespace dqme::net {
 namespace {
 
 struct Sink final : NetSite {
-  void on_message(const Message&) override {}
+  void on_message(const Message&, LockId) override {}
 };
 
 struct TraceRig {
@@ -38,7 +38,7 @@ TEST(TraceRecorder, CapturesEveryControlMessageWithTimestamp) {
 TEST(TraceRecorder, ChainsAnExistingHook) {
   TraceRig rig;
   int prior_hook_calls = 0;
-  rig.net.on_deliver = [&](const Message&) { ++prior_hook_calls; };
+  rig.net.on_deliver = [&](const Message&, LockId) { ++prior_hook_calls; };
   TraceRecorder trace(rig.net);
   rig.net.send(0, 1, make_request(ReqId{1, 0}));
   rig.sim.run();
@@ -110,6 +110,23 @@ TEST(TraceRecorder, PrintProducesOneLinePerEvent) {
   std::ostringstream os;
   trace.print(os);
   EXPECT_NE(os.str().find("request[0->1"), std::string::npos);
+}
+
+TEST(TraceRecorder, RecordsLockTagAndPrintsItForNonZeroLocks) {
+  TraceRig rig;
+  TraceRecorder trace(rig.net);
+  rig.net.send(0, 1, make_request(ReqId{1, 0}));              // lock 0
+  rig.net.send(0, 1, make_request(ReqId{2, 0}), LockId{7});   // lock 7
+  rig.sim.run();
+  ASSERT_EQ(trace.events().size(), 2u);
+  EXPECT_EQ(trace.events()[0].lock, kLock0);
+  EXPECT_EQ(trace.events()[1].lock, LockId{7});
+  std::ostringstream os;
+  trace.print(os);
+  // Lock 0 lines keep the historical single-lock format; only the lock-7
+  // line grows a tag.
+  EXPECT_EQ(os.str().find("[lock 0]"), std::string::npos);
+  EXPECT_NE(os.str().find("[lock 7]"), std::string::npos);
 }
 
 }  // namespace

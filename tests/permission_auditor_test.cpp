@@ -95,7 +95,7 @@ TEST(PermissionAuditor, DetectsDoubleDirectGrant) {
   net::Network net(sim, 3, std::make_unique<net::ConstantDelay>(10), 1);
   PermissionAuditor auditor(net);
   struct Sink final : net::NetSite {
-    void on_message(const net::Message&) override {}
+    void on_message(const net::Message&, LockId) override {}
   } sink;
   for (SiteId i = 0; i < 3; ++i) net.attach(i, &sink);
   net.send(0, 1, net::make_reply(0, ReqId{1, 1}));  // arbiter 0 grants to 1
@@ -107,12 +107,35 @@ TEST(PermissionAuditor, DetectsDoubleDirectGrant) {
             std::string::npos);
 }
 
+// An arbiter serves every lock independently: concurrent grants of the SAME
+// arbiter's permission under different LockIds are legal, and a true double
+// grant within a non-zero lock is reported with the lock named.
+TEST(PermissionAuditor, ArbiterStateIsKeyedPerLock) {
+  sim::Simulator sim;
+  net::Network net(sim, 3, std::make_unique<net::ConstantDelay>(10), 1);
+  PermissionAuditor auditor(net);
+  struct Sink final : net::NetSite {
+    void on_message(const net::Message&, LockId) override {}
+  } sink;
+  for (SiteId i = 0; i < 3; ++i) net.attach(i, &sink);
+  net.send(0, 1, net::make_reply(0, ReqId{1, 1}));             // lock 0
+  net.send(0, 2, net::make_reply(0, ReqId{1, 2}), LockId{4});  // lock 4
+  sim.run();
+  EXPECT_EQ(auditor.violations(), 0u)
+      << (auditor.reports().empty() ? "" : auditor.reports()[0]);
+  net.send(0, 1, net::make_reply(0, ReqId{2, 1}), LockId{4});  // double!
+  sim.run();
+  EXPECT_EQ(auditor.violations(), 1u);
+  ASSERT_FALSE(auditor.reports().empty());
+  EXPECT_NE(auditor.reports()[0].find("[lock 4]"), std::string::npos);
+}
+
 TEST(PermissionAuditor, DetectsForwardFromNonHolder) {
   sim::Simulator sim;
   net::Network net(sim, 4, std::make_unique<net::ConstantDelay>(10), 1);
   PermissionAuditor auditor(net);
   struct Sink final : net::NetSite {
-    void on_message(const net::Message&) override {}
+    void on_message(const net::Message&, LockId) override {}
   } sink;
   for (SiteId i = 0; i < 4; ++i) net.attach(i, &sink);
   net.send(0, 1, net::make_reply(0, ReqId{1, 1}));  // arbiter 0 -> site 1
@@ -133,7 +156,7 @@ TEST(PermissionAuditor, AcceptsLegalHandoffEitherMessageOrder) {
     net::Network net(sim, 4, std::make_unique<net::ConstantDelay>(10), 1);
     PermissionAuditor auditor(net);
     struct Sink final : net::NetSite {
-      void on_message(const net::Message&) override {}
+      void on_message(const net::Message&, LockId) override {}
     } sink;
     for (SiteId i = 0; i < 4; ++i) net.attach(i, &sink);
     net.send(0, 1, net::make_reply(0, ReqId{1, 1}));  // grant to site 1

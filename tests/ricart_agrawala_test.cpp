@@ -14,7 +14,9 @@ struct RaRig {
     for (SiteId i = 0; i < n; ++i) {
       sites.push_back(std::make_unique<mutex::RicartAgrawalaSite>(i, net));
       net.attach(i, sites.back().get());
-      sites.back()->on_enter = [this](SiteId id) { entries.push_back(id); };
+      sites.back()->on_enter = [this](SiteId id, LockId) {
+        entries.push_back(id);
+      };
     }
   }
   mutex::RicartAgrawalaSite& site(SiteId i) {
@@ -29,10 +31,10 @@ struct RaRig {
 
 TEST(RicartAgrawala, UncontendedCsCostsExactly2NMinus1) {
   RaRig rig(6);
-  rig.site(0).request_cs();
+  rig.site(0).request_cs(kLock0);
   rig.sim.run();
   ASSERT_EQ(rig.entries.size(), 1u);
-  rig.site(0).release_cs();
+  rig.site(0).release_cs(kLock0);
   rig.sim.run();
   // (N-1) request + (N-1) reply; release costs nothing when nobody waits.
   EXPECT_EQ(rig.net.stats().wire_messages, 2u * 5u);
@@ -40,13 +42,13 @@ TEST(RicartAgrawala, UncontendedCsCostsExactly2NMinus1) {
 
 TEST(RicartAgrawala, DeferredRepliesArriveAtRelease) {
   RaRig rig(2);
-  rig.site(0).request_cs();
+  rig.site(0).request_cs(kLock0);
   rig.sim.run();
-  rig.site(1).request_cs();  // site 0 is in the CS: reply is deferred
+  rig.site(1).request_cs(kLock0);  // site 0 is in the CS: reply is deferred
   rig.sim.run();
   EXPECT_EQ(rig.entries.size(), 1u);
   const auto replies_before = rig.net.stats().count(net::MsgType::kReply);
-  rig.site(0).release_cs();
+  rig.site(0).release_cs(kLock0);
   rig.sim.run();
   ASSERT_EQ(rig.entries.size(), 2u);
   EXPECT_EQ(rig.entries[1], 1);
@@ -57,12 +59,12 @@ TEST(RicartAgrawala, DeferredRepliesArriveAtRelease) {
 
 TEST(RicartAgrawala, ConcurrentContendersGrantLowerTimestampFirst) {
   RaRig rig(3);
-  rig.site(2).request_cs();
-  rig.site(1).request_cs();  // same tick: (1,1) beats (1,2)
+  rig.site(2).request_cs(kLock0);
+  rig.site(1).request_cs(kLock0);  // same tick: (1,1) beats (1,2)
   rig.sim.run();
   ASSERT_EQ(rig.entries.size(), 1u);
   EXPECT_EQ(rig.entries[0], 1);
-  rig.site(1).release_cs();
+  rig.site(1).release_cs(kLock0);
   rig.sim.run();
   ASSERT_EQ(rig.entries.size(), 2u);
   EXPECT_EQ(rig.entries[1], 2);
@@ -70,7 +72,7 @@ TEST(RicartAgrawala, ConcurrentContendersGrantLowerTimestampFirst) {
 
 TEST(RicartAgrawala, NonRequestingSiteGrantsImmediately) {
   RaRig rig(2);
-  rig.site(0).request_cs();
+  rig.site(0).request_cs(kLock0);
   rig.sim.run_until(2000);  // request(T) + reply(T)
   EXPECT_EQ(rig.entries.size(), 1u);
 }
@@ -78,9 +80,9 @@ TEST(RicartAgrawala, NonRequestingSiteGrantsImmediately) {
 TEST(RicartAgrawala, TwoCsExecutionsCost4NMinus1Total) {
   RaRig rig(4);
   for (int round = 0; round < 2; ++round) {
-    rig.site(3).request_cs();
+    rig.site(3).request_cs(kLock0);
     rig.sim.run();
-    rig.site(3).release_cs();
+    rig.site(3).release_cs(kLock0);
     rig.sim.run();
   }
   EXPECT_EQ(rig.net.stats().wire_messages, 2u * 2u * 3u);

@@ -16,7 +16,9 @@ struct RcRig {
       sites.push_back(
           std::make_unique<mutex::RoucairolCarvalhoSite>(i, net));
       net.attach(i, sites.back().get());
-      sites.back()->on_enter = [this](SiteId id) { entries.push_back(id); };
+      sites.back()->on_enter = [this](SiteId id, LockId) {
+        entries.push_back(id);
+      };
     }
   }
   mutex::RoucairolCarvalhoSite& site(SiteId i) {
@@ -25,10 +27,10 @@ struct RcRig {
   // One full CS for `who`, returning the wire messages it cost.
   uint64_t one_cs(SiteId who) {
     const uint64_t before = net.stats().wire_messages;
-    site(who).request_cs();
+    site(who).request_cs(kLock0);
     sim.run();
     EXPECT_TRUE(site(who).in_cs());
-    site(who).release_cs();
+    site(who).release_cs(kLock0);
     sim.run();
     return net.stats().wire_messages - before;
   }
@@ -82,16 +84,16 @@ TEST(RoucairolCarvalho, PairwiseTokenInvariantHoldsAtQuiescence) {
 TEST(RoucairolCarvalho, ConcurrentConflictResolvedByPriority) {
   RcRig rig(3);
   rig.one_cs(2);  // move some tokens to site 2
-  rig.site(1).request_cs();
-  rig.site(2).request_cs();  // same tick: (1,1) beats (1,2)... both seq 2+
+  rig.site(1).request_cs(kLock0);
+  rig.site(2).request_cs(kLock0);  // same tick: (1,1) beats (1,2)... both seq 2+
   rig.sim.run();
   ASSERT_EQ(rig.entries.size(), 2u);  // the first from one_cs(2), plus one
   const SiteId first = rig.entries.back();
-  rig.site(first).release_cs();
+  rig.site(first).release_cs(kLock0);
   rig.sim.run();
   ASSERT_EQ(rig.entries.size(), 3u);
   EXPECT_NE(rig.entries[2], first);
-  rig.site(rig.entries[2]).release_cs();
+  rig.site(rig.entries[2]).release_cs(kLock0);
   rig.sim.run();
 }
 

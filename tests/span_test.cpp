@@ -48,13 +48,13 @@ struct Rig {
   void drive(SiteId id, int rounds) {
     auto* s = sites[static_cast<size_t>(id)].get();
     auto remaining = std::make_shared<int>(rounds);
-    s->on_enter = [this, s, remaining](SiteId) {
+    s->on_enter = [this, s, remaining](SiteId, LockId) {
       sim.schedule_after(kE, [this, s, remaining] {
-        s->release_cs();
-        if (--*remaining > 0) s->request_cs();
+        s->release_cs(kLock0);
+        if (--*remaining > 0) s->request_cs(kLock0);
       });
     };
-    s->request_cs();
+    s->request_cs(kLock0);
   }
 
   sim::Simulator sim;

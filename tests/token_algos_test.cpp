@@ -17,7 +17,9 @@ struct TokenRig {
     for (SiteId i = 0; i < n; ++i) {
       sites.push_back(std::make_unique<SiteT>(i, net));
       net.attach(i, sites.back().get());
-      sites.back()->on_enter = [this](SiteId id) { entries.push_back(id); };
+      sites.back()->on_enter = [this](SiteId id, LockId) {
+        entries.push_back(id);
+      };
     }
   }
   SiteT& site(SiteId i) { return *sites[static_cast<size_t>(i)]; }
@@ -32,7 +34,7 @@ struct TokenRig {
 
 TEST(SuzukiKasami, HolderEntersWithZeroMessages) {
   TokenRig<mutex::SuzukiKasamiSite> rig(5);
-  rig.site(0).request_cs();  // site 0 starts with the token
+  rig.site(0).request_cs(kLock0);  // site 0 starts with the token
   rig.sim.run();
   EXPECT_EQ(rig.entries, (std::vector<SiteId>{0}));
   EXPECT_EQ(rig.net.stats().wire_messages, 0u);
@@ -40,10 +42,10 @@ TEST(SuzukiKasami, HolderEntersWithZeroMessages) {
 
 TEST(SuzukiKasami, NonHolderCostsExactlyNMessages) {
   TokenRig<mutex::SuzukiKasamiSite> rig(5);
-  rig.site(3).request_cs();
+  rig.site(3).request_cs(kLock0);
   rig.sim.run();
   ASSERT_EQ(rig.entries.size(), 1u);
-  rig.site(3).release_cs();
+  rig.site(3).release_cs(kLock0);
   rig.sim.run();
   // (N-1) broadcast + 1 token transfer.
   EXPECT_EQ(rig.net.stats().wire_messages, 5u);
@@ -52,7 +54,7 @@ TEST(SuzukiKasami, NonHolderCostsExactlyNMessages) {
 TEST(SuzukiKasami, TokenMovesWithTheHolder) {
   TokenRig<mutex::SuzukiKasamiSite> rig(3);
   EXPECT_TRUE(rig.site(0).holds_token());
-  rig.site(2).request_cs();
+  rig.site(2).request_cs(kLock0);
   rig.sim.run();
   EXPECT_FALSE(rig.site(0).holds_token());
   EXPECT_TRUE(rig.site(2).holds_token());
@@ -60,13 +62,13 @@ TEST(SuzukiKasami, TokenMovesWithTheHolder) {
 
 TEST(SuzukiKasami, QueueServesAllWaiters) {
   TokenRig<mutex::SuzukiKasamiSite> rig(4);
-  rig.site(1).request_cs();
-  rig.site(2).request_cs();
-  rig.site(3).request_cs();
+  rig.site(1).request_cs(kLock0);
+  rig.site(2).request_cs(kLock0);
+  rig.site(3).request_cs(kLock0);
   rig.sim.run();
   ASSERT_EQ(rig.entries.size(), 1u);
   for (int done = 1; done <= 3; ++done) {
-    rig.site(rig.entries.back()).release_cs();
+    rig.site(rig.entries.back()).release_cs(kLock0);
     rig.sim.run();
   }
   // Everyone eventually entered exactly once.
@@ -77,9 +79,9 @@ TEST(SuzukiKasami, QueueServesAllWaiters) {
 
 TEST(SuzukiKasami, StaleRequestNumbersAreIgnored) {
   TokenRig<mutex::SuzukiKasamiSite> rig(3);
-  rig.site(1).request_cs();
+  rig.site(1).request_cs(kLock0);
   rig.sim.run();
-  rig.site(1).release_cs();
+  rig.site(1).release_cs(kLock0);
   rig.sim.run();
   const auto tokens_before = rig.net.stats().count(net::MsgType::kToken);
   // Replay site 1's old broadcast at site... the token holder is site 1
@@ -89,7 +91,7 @@ TEST(SuzukiKasami, StaleRequestNumbersAreIgnored) {
   stale.src = 2;
   stale.dst = 1;
   stale.seq = 0;  // long since served
-  rig.site(1).on_message(stale);
+  rig.site(1).on_message(stale, kLock0);
   rig.sim.run();
   EXPECT_EQ(rig.net.stats().count(net::MsgType::kToken), tokens_before);
 }
@@ -104,7 +106,7 @@ TEST(SuzukiKasami, SynchronizationDelayIsT) {
 
 TEST(Raymond, RootEntersWithZeroMessages) {
   TokenRig<mutex::RaymondSite> rig(7);
-  rig.site(0).request_cs();
+  rig.site(0).request_cs(kLock0);
   rig.sim.run();
   EXPECT_EQ(rig.entries, (std::vector<SiteId>{0}));
   EXPECT_EQ(rig.net.stats().wire_messages, 0u);
@@ -113,7 +115,7 @@ TEST(Raymond, RootEntersWithZeroMessages) {
 TEST(Raymond, RequestClimbsTreeAndTokenDescends) {
   TokenRig<mutex::RaymondSite> rig(7, 1000);
   // Site 6 is two hops from the root: parent(6)=2, parent(2)=0.
-  rig.site(6).request_cs();
+  rig.site(6).request_cs(kLock0);
   rig.sim.run();
   ASSERT_EQ(rig.entries.size(), 1u);
   EXPECT_EQ(rig.entries[0], 6);
@@ -126,12 +128,12 @@ TEST(Raymond, RequestClimbsTreeAndTokenDescends) {
 
 TEST(Raymond, TokenStaysPutForRepeatLocalUse) {
   TokenRig<mutex::RaymondSite> rig(7);
-  rig.site(5).request_cs();
+  rig.site(5).request_cs(kLock0);
   rig.sim.run();
-  rig.site(5).release_cs();
+  rig.site(5).release_cs(kLock0);
   rig.sim.run();
   const auto msgs = rig.net.stats().wire_messages;
-  rig.site(5).request_cs();  // token already here
+  rig.site(5).request_cs(kLock0);  // token already here
   rig.sim.run();
   EXPECT_EQ(rig.net.stats().wire_messages, msgs);
   EXPECT_EQ(rig.entries.size(), 2u);
@@ -139,12 +141,12 @@ TEST(Raymond, TokenStaysPutForRepeatLocalUse) {
 
 TEST(Raymond, SiblingHandoffGoesThroughCommonAncestor) {
   TokenRig<mutex::RaymondSite> rig(3);
-  rig.site(1).request_cs();
+  rig.site(1).request_cs(kLock0);
   rig.sim.run();
-  rig.site(2).request_cs();
+  rig.site(2).request_cs(kLock0);
   rig.sim.run();
   EXPECT_EQ(rig.entries.size(), 1u);
-  rig.site(1).release_cs();
+  rig.site(1).release_cs(kLock0);
   rig.sim.run();
   ASSERT_EQ(rig.entries.size(), 2u);
   EXPECT_EQ(rig.entries[1], 2);
@@ -152,10 +154,10 @@ TEST(Raymond, SiblingHandoffGoesThroughCommonAncestor) {
 
 TEST(Raymond, ManyWaitersAllServed) {
   TokenRig<mutex::RaymondSite> rig(15);
-  for (SiteId i = 1; i < 15; ++i) rig.site(i).request_cs();
+  for (SiteId i = 1; i < 15; ++i) rig.site(i).request_cs(kLock0);
   rig.sim.run();
   while (!rig.entries.empty() && rig.entries.size() < 14) {
-    rig.site(rig.entries.back()).release_cs();
+    rig.site(rig.entries.back()).release_cs(kLock0);
     rig.sim.run();
   }
   std::vector<SiteId> sorted = rig.entries;
@@ -184,23 +186,23 @@ TEST(Raymond, AverageMessagesPerCsIsLogarithmic) {
 // crash the token holder and the rest of the system is wedged forever.
 TEST(TokenLoss, CrashedHolderWedgesSuzukiKasami) {
   TokenRig<mutex::SuzukiKasamiSite> rig(4);
-  rig.site(2).request_cs();
+  rig.site(2).request_cs(kLock0);
   rig.sim.run();
   ASSERT_TRUE(rig.site(2).holds_token());
   rig.net.crash(2);  // dies inside the CS, token and all
-  rig.site(0).request_cs();
-  rig.site(1).request_cs();
+  rig.site(0).request_cs(kLock0);
+  rig.site(1).request_cs(kLock0);
   rig.sim.run_until(rig.sim.now() + 1'000'000);
   EXPECT_EQ(rig.entries.size(), 1u);  // nobody else ever gets in
 }
 
 TEST(TokenLoss, CrashedHolderWedgesRaymond) {
   TokenRig<mutex::RaymondSite> rig(7);
-  rig.site(5).request_cs();
+  rig.site(5).request_cs(kLock0);
   rig.sim.run();
   ASSERT_TRUE(rig.site(5).holds_token());
   rig.net.crash(5);
-  rig.site(3).request_cs();
+  rig.site(3).request_cs(kLock0);
   rig.sim.run_until(rig.sim.now() + 1'000'000);
   EXPECT_EQ(rig.entries.size(), 1u);
 }

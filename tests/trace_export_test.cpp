@@ -151,13 +151,13 @@ std::string render_tiny_trace() {
   for (SiteId id : {SiteId{0}, SiteId{2}}) {
     auto* s = sites[static_cast<size_t>(id)].get();
     auto remaining = std::make_shared<int>(3);
-    s->on_enter = [&sim, s, remaining](SiteId) {
+    s->on_enter = [&sim, s, remaining](SiteId, LockId) {
       sim.schedule_after(100, [s, remaining] {
-        s->release_cs();
-        if (--*remaining > 0) s->request_cs();
+        s->release_cs(kLock0);
+        if (--*remaining > 0) s->request_cs(kLock0);
       });
     };
-    s->request_cs();
+    s->request_cs(kLock0);
   }
   sim.run();
 
@@ -255,10 +255,10 @@ TEST(ChromeTrace, SpanFilterKeepsOnlyThatSpansEvents) {
     net.attach(i, sites.back().get());
     spans.attach(*sites.back());
   }
-  sites[0]->on_enter = [&](SiteId) {
-    sim.schedule_after(100, [&] { sites[0]->release_cs(); });
+  sites[0]->on_enter = [&](SiteId, LockId) {
+    sim.schedule_after(100, [&] { sites[0]->release_cs(kLock0); });
   };
-  sites[0]->request_cs();
+  sites[0]->request_cs(kLock0);
   sim.run();
   ASSERT_FALSE(spans.events().empty());
   const SpanId target = spans.events().front().span;

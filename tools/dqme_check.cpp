@@ -158,16 +158,16 @@ int run_selftest(const std::string& report_out) {
   cases.push_back(run_self_case(
       "clean-proxy-handoff", false, 0,
       [&](obs::InvariantChecker& ck) {
-        ck.on_span_issue(1, span_of(r1), 0);
+        ck.on_span_issue(1, kLock0, span_of(r1), 0);
         ck.observe(wire(net::make_reply(0, r1), 0, 1, 5), 10);
-        ck.on_span_enter(1, span_of(r1), 12);
-        ck.on_span_issue(2, span_of(r2), 15);
+        ck.on_span_enter(1, kLock0, span_of(r1), 12);
+        ck.on_span_issue(2, kLock0, span_of(r2), 15);
         ck.observe(wire(net::make_transfer(r2, 0, r1), 0, 1, 16), 20);
-        ck.on_span_exit(1, span_of(r1), 25);
+        ck.on_span_exit(1, kLock0, span_of(r1), 25);
         ck.observe(wire(net::make_release(r1, r2), 1, 0, 25), 28);
         ck.observe(wire(net::make_reply(0, r2), 1, 2, 25), 30);
-        ck.on_span_enter(2, span_of(r2), 31);
-        ck.on_span_exit(2, span_of(r2), 40);
+        ck.on_span_enter(2, kLock0, span_of(r2), 31);
+        ck.on_span_exit(2, kLock0, span_of(r2), 40);
         ck.observe(wire(net::make_release(r2, ReqId{}), 2, 0, 40), 45);
       },
       50));
@@ -176,12 +176,12 @@ int run_selftest(const std::string& report_out) {
   cases.push_back(run_self_case(
       "double-cs-entry", true, 0,
       [&](obs::InvariantChecker& ck) {
-        ck.on_span_issue(1, span_of(r1), 0);
-        ck.on_span_issue(2, span_of(r2), 0);
-        ck.on_span_enter(1, span_of(r1), 10);
-        ck.on_span_enter(2, span_of(r2), 11);  // overlap
-        ck.on_span_exit(1, span_of(r1), 20);
-        ck.on_span_exit(2, span_of(r2), 21);
+        ck.on_span_issue(1, kLock0, span_of(r1), 0);
+        ck.on_span_issue(2, kLock0, span_of(r2), 0);
+        ck.on_span_enter(1, kLock0, span_of(r1), 10);
+        ck.on_span_enter(2, kLock0, span_of(r2), 11);  // overlap
+        ck.on_span_exit(1, kLock0, span_of(r1), 20);
+        ck.on_span_exit(2, kLock0, span_of(r2), 21);
       },
       30));
 
@@ -189,8 +189,8 @@ int run_selftest(const std::string& report_out) {
   cases.push_back(run_self_case(
       "double-grant", true, 0,
       [&](obs::InvariantChecker& ck) {
-        ck.on_span_issue(1, span_of(r1), 0);
-        ck.on_span_issue(2, span_of(r2), 0);
+        ck.on_span_issue(1, kLock0, span_of(r1), 0);
+        ck.on_span_issue(2, kLock0, span_of(r2), 0);
         ck.observe(wire(net::make_reply(0, r1), 0, 1, 5), 10);
         ck.observe(wire(net::make_reply(0, r2), 0, 2, 6), 11);  // still held
       },
@@ -201,12 +201,12 @@ int run_selftest(const std::string& report_out) {
   cases.push_back(run_self_case(
       "lost-transfer", true, 0,
       [&](obs::InvariantChecker& ck) {
-        ck.on_span_issue(1, span_of(r1), 0);
-        ck.on_span_issue(2, span_of(r2), 0);
+        ck.on_span_issue(1, kLock0, span_of(r1), 0);
+        ck.on_span_issue(2, kLock0, span_of(r2), 0);
         ck.observe(wire(net::make_reply(0, r1), 0, 1, 5), 10);
-        ck.on_span_enter(1, span_of(r1), 12);
+        ck.on_span_enter(1, kLock0, span_of(r1), 12);
         ck.observe(wire(net::make_transfer(r2, 0, r1), 0, 1, 14), 18);
-        ck.on_span_exit(1, span_of(r1), 25);  // exits without forwarding
+        ck.on_span_exit(1, kLock0, span_of(r1), 25);  // exits without forwarding
       },
       60));
 
@@ -223,7 +223,7 @@ int run_selftest(const std::string& report_out) {
   cases.push_back(run_self_case(
       "stalled-request", true, 1000,
       [&](obs::InvariantChecker& ck) {
-        ck.on_span_issue(1, span_of(r1), 0);
+        ck.on_span_issue(1, kLock0, span_of(r1), 0);
       },
       5000));
 
@@ -232,7 +232,7 @@ int run_selftest(const std::string& report_out) {
   cases.push_back(run_self_case(
       "crashed-owner-quiet", false, 1000,
       [&](obs::InvariantChecker& ck) {
-        ck.on_span_issue(1, span_of(r1), 0);
+        ck.on_span_issue(1, kLock0, span_of(r1), 0);
         ck.on_crash(1);
       },
       5000));

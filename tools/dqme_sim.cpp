@@ -45,6 +45,13 @@ void usage(const char* argv0) {
       << "  --warmup TICKS   (default 200000)\n"
       << "  --measure TICKS  (default 2000000)\n"
       << "  --seed S         (default 1)\n"
+      << "  --locks M        lock-table size (default 1; dense LockIds\n"
+      << "                   0..M-1, independent critical sections)\n"
+      << "  --zipf S         open loop, --locks > 1: lock-popularity skew\n"
+      << "                   (0 = uniform, default)\n"
+      << "  --lock-piggyback W  staged messages for different locks to the\n"
+      << "                   same site within W ticks share one wire flight\n"
+      << "                   (default off)\n"
       << "  --ft             enable the §6 fault-tolerance layer\n"
       << "  --crash T:SITE   crash SITE at time T (repeatable)\n"
       << "  --no-piggyback   disable piggybacking (ablation)\n"
@@ -117,6 +124,12 @@ bool parse_args(int argc, char** argv, harness::ExperimentConfig& cfg,
       cfg.measure = std::atoll(next());
     } else if (a == "--seed") {
       cfg.seed = static_cast<uint64_t>(std::atoll(next()));
+    } else if (a == "--locks") {
+      cfg.options.num_locks = std::atoi(next());
+    } else if (a == "--zipf") {
+      cfg.workload.zipf_skew = std::atof(next());
+    } else if (a == "--lock-piggyback") {
+      cfg.lock_piggyback_window = std::atoll(next());
     } else if (a == "--ft") {
       cfg.options.fault_tolerant = true;
     } else if (a == "--no-piggyback") {
@@ -231,7 +244,11 @@ int main(int argc, char** argv) try {
   std::cout << "dqme_sim: " << mutex::to_string(cfg.algo) << "  N=" << cfg.n;
   if (mutex::algo_uses_quorum(cfg.algo))
     std::cout << "  quorum=" << cfg.quorum << "  K=" << r.mean_quorum_size;
-  std::cout << "  T=" << cfg.mean_delay << "  seed=" << cfg.seed << "\n\n";
+  std::cout << "  T=" << cfg.mean_delay << "  seed=" << cfg.seed;
+  if (cfg.options.num_locks > 1)
+    std::cout << "  locks=" << cfg.options.num_locks
+              << "  zipf=" << cfg.workload.zipf_skew;
+  std::cout << "\n\n";
 
   harness::Table out({"metric", "value"});
   using harness::Table;

@@ -110,12 +110,12 @@ int main(int argc, char** argv) {
   harness::Workload wl(sim, raw, wc, nullptr);
   for (auto* s : raw) {
     auto inner = s->on_enter;
-    s->on_enter = [&, inner, s](SiteId id) {
+    s->on_enter = [&, inner, s](SiteId id, LockId lock) {
       marks.push_back({sim.now(), "site " + std::to_string(id) +
                                       " ENTERS the critical section [span " +
                                       obs::format_span(s->active_span()) +
                                       "]"});
-      inner(id);
+      inner(id, lock);
     };
   }
   wl.start();
