@@ -28,6 +28,7 @@
 #include "harness/experiment.h"
 #include "harness/table.h"
 #include "obs/chrome_trace.h"
+#include "obs/lock_stats.h"
 
 namespace dqme::bench {
 
@@ -224,10 +225,16 @@ inline std::string json_num(double v) {
 // tracked across commits: suite + per-metric (mean, sd) + engine totals.
 // `registry` (optional) embeds the merged obs::Registry of the sweep under
 // a "registry" key — counters/gauges/histograms in deterministic order.
+// `timeline` (optional) embeds the merged obs::Timeline under a "timeline"
+// key — per-window series + markers, same determinism contract.
+// `lock_stats` (optional) embeds the merged obs::LockStats hot-set tracker
+// under a "lock_stats" key.
 inline void write_bench_json(const BenchOptions& opts, bool ok,
                              double wall_ms, double events_per_sec,
                              const std::vector<JsonMetric>& metrics,
-                             const obs::Registry* registry = nullptr) {
+                             const obs::Registry* registry = nullptr,
+                             const obs::Timeline* timeline = nullptr,
+                             const obs::LockStats* lock_stats = nullptr) {
   if (!opts.json) return;
   std::ofstream f(opts.json_path);
   if (!f) {
@@ -253,6 +260,14 @@ inline void write_bench_json(const BenchOptions& opts, bool ok,
   if (registry != nullptr && !registry->empty()) {
     f << ",\n  \"registry\": ";
     registry->write_json(f);
+  }
+  if (timeline != nullptr && timeline->enabled() && !timeline->empty()) {
+    f << ",\n  \"timeline\": ";
+    timeline->write_json(f);
+  }
+  if (lock_stats != nullptr && lock_stats->enabled()) {
+    f << ",\n  \"lock_stats\": ";
+    lock_stats->write_json(f);
   }
   f << "\n}\n";
   std::cout << "  [json] wrote " << opts.json_path << "\n";

@@ -7,7 +7,9 @@
 //
 // Part (b) is ported to the unified bench::Runner — scenarios run as one
 // parallel sweep; part (a) is pure combinatorics and stays inline.
+#include <algorithm>
 #include <iostream>
+#include <string>
 
 #include "quorum/availability.h"
 #include "quorum/factory.h"
@@ -91,6 +93,23 @@ int main(int argc, char** argv) {
     cfg.crashes = s.crashes;
     s.row = run.add(s.name, cfg, counters);
   }
+
+  // E7c — the §6 recovery trajectory, time-resolved: one root-crash run
+  // with the windowed timeline enabled, so throughput and waiting-time
+  // percentiles are visible per window ACROSS the crash instead of
+  // averaged away. This row feeds the "timeline" key of the suite JSON
+  // (markers included), which CI's validate_timeline.py asserts on.
+  int trajectory;
+  {
+    harness::ExperimentConfig cfg =
+        bench::heavy(mutex::Algo::kCaoSinghal, 15, "tree", 11);
+    cfg.options.fault_tolerant = true;
+    cfg.measure = bench::scale_time(1'500'000);
+    cfg.crashes = {{bench::scale_time(300'000), 0}};
+    cfg.timeline_window = bench::scale_time(50'000);
+    trajectory = run.add("recovery trajectory (root crash)", cfg, counters);
+  }
+
   run.execute();
 
   Table e({"scenario", "completed", "recoveries", "aborted", "violations",
@@ -107,5 +126,40 @@ int main(int argc, char** argv) {
   std::cout << "\nExpected shape: progress (completed > 0) in every "
                "scenario, recoveries > 0 whenever a quorum member died, "
                "zero violations throughout.\n";
+
+  // E7c render: per-window throughput as ASCII bars, crash/recovery markers
+  // flagged on their windows. The dip-and-climb across the crash IS the §6
+  // claim, now visible.
+  {
+    const obs::Timeline& tl = run.first(trajectory).timeline;
+    std::cout << "\nE7c — recovery trajectory (root crash, window="
+              << tl.window() << " ticks)\n\n";
+    const auto* completed = tl.find_counter("cs.completed");
+    const std::vector<uint64_t> empty;
+    const std::vector<uint64_t>* series =
+        completed != nullptr ? &completed->windows() : &empty;
+    uint64_t peak = 1;
+    for (uint64_t v : *series) peak = std::max(peak, v);
+    for (size_t w = 0; w < series->size(); ++w) {
+      const Time w_start = tl.origin() + static_cast<Time>(w) * tl.window();
+      const Time w_end = w_start + tl.window();
+      std::string tags;
+      for (const auto& m : tl.markers())
+        if (w_start <= m.at && m.at < w_end) tags += "  <-- " + m.label;
+      const auto bar = static_cast<size_t>(
+          (*series)[w] * 50 / peak);
+      std::cout << "  w" << (w < 10 ? " " : "") << w << " |"
+                << std::string(bar, '#') << std::string(50 - bar, ' ') << "| "
+                << (*series)[w] << tags << "\n";
+    }
+    bool has_crash = false, has_recovery = false;
+    for (const auto& m : tl.markers()) {
+      has_crash = has_crash || m.label.rfind("crash", 0) == 0;
+      has_recovery = has_recovery || m.label.rfind("recovery", 0) == 0;
+    }
+    std::cout << "\n  markers: crash=" << (has_crash ? "yes" : "NO")
+              << " recovery=" << (has_recovery ? "yes" : "NO") << "\n";
+    run.require(has_crash && has_recovery);
+  }
   return run.finish(std::cout);
 }

@@ -163,11 +163,21 @@ class Runner {
         jm.push_back({rows_[i].label + "/" + m.name, rep.mean, rep.sd});
       }
     // Fold every run's registry into the suite JSON (row order, then seed
-    // order — deterministic for any --jobs).
+    // order — deterministic for any --jobs). Timelines fold the same way;
+    // suites that enable one do so on a single row (or same-spec rows), so
+    // the merged series stays interpretable.
     obs::Registry merged;
-    for (const Row& row : rows_)
+    obs::Timeline merged_tl;
+    obs::LockStats merged_ls;
+    for (const Row& row : rows_) {
       merged.merge(harness::merge_registries(row.runs));
-    write_bench_json(opts_, ok_, wall_ms_, events_per_sec(), jm, &merged);
+      for (const auto& r : row.runs) {
+        merged_tl.merge(r.timeline);
+        merged_ls.merge(r.lock_stats);
+      }
+    }
+    write_bench_json(opts_, ok_, wall_ms_, events_per_sec(), jm, &merged,
+                     &merged_tl, &merged_ls);
     return ok_ ? 0 : 1;
   }
 

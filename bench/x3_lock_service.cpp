@@ -54,6 +54,11 @@ int main(int argc, char** argv) {
                                 return r.summary.waiting_p99 /
                                        static_cast<double>(kT);
                               }};
+  const bench::MetricDef kP999{"waiting_p999_t",
+                               [](const ExperimentResult& r) {
+                                 return r.summary.waiting_p999 /
+                                        static_cast<double>(kT);
+                               }};
   const bench::MetricDef kWire{
       "wire_msgs_per_cs",
       [](const ExperimentResult& r) { return r.summary.wire_msgs_per_cs; }};
@@ -93,6 +98,10 @@ int main(int argc, char** argv) {
     cfg.warmup = bench::scale_time(200'000);
     cfg.measure = bench::scale_time(2'000'000);
     cfg.lock_piggyback_window = piggy_window;
+    // Hot-set tracking: exact per-lock at <= 64 locks, SpaceSaving top-64
+    // heavy-hitter sketch at 4096 — the "is this a convoy or uniform load"
+    // question the aggregate metrics can't answer.
+    cfg.lock_stats_k = 64;
     return cfg;
   };
 
@@ -106,7 +115,7 @@ int main(int argc, char** argv) {
                                 "/zipf" + (si == 0 ? "0" : "0.9");
       cell[li][si] = run.add(
           label, service(25, kLockCounts[li], kSkews[si], "grid", kT),
-          {kThroughputT, kP50, kP95, kP99, kWire, kMpf});
+          {kThroughputT, kP50, kP95, kP99, kP999, kWire, kMpf});
     }
   const int no_piggy =
       run.add("locks4096/zipf0/no-piggyback",
@@ -123,7 +132,7 @@ int main(int argc, char** argv) {
                "T=1000, E=T/10,\n     open-loop arrivals pinned at 60% of "
                "the hottest lock's capacity, piggyback window T)\n\n";
   Table t({"locks", "zipf", "thru/T", "wait p50/T", "p95/T", "p99/T",
-           "wire msgs/cs", "msgs/flight"});
+           "p999/T", "wire msgs/cs", "msgs/flight"});
   for (int li = 0; li < 4; ++li)
     for (int si = 0; si < 2; ++si) {
       const int r = cell[li][si];
@@ -133,10 +142,39 @@ int main(int argc, char** argv) {
                  Table::num(run.stat(r, "waiting_p50_t").mean, 2),
                  Table::num(run.stat(r, "waiting_p95_t").mean, 2),
                  Table::num(run.stat(r, "waiting_p99_t").mean, 2),
+                 Table::num(run.stat(r, "waiting_p999_t").mean, 2),
                  Table::num(run.stat(r, "wire_msgs_per_cs").mean, 1),
                  Table::num(run.stat(r, "msgs_per_flight").mean, 2)});
     }
   t.print(std::cout);
+
+  // Hot-set tables: the per-lock dimension the aggregate grid averages
+  // away. Uniform 4096 locks should show a flat top (counts within noise of
+  // each other, heavy evictions); zipf 0.9 should put lock 0 far ahead.
+  for (int si = 0; si < 2; ++si) {
+    obs::LockStats merged;
+    for (const auto& r : run.runs(cell[3][si])) merged.merge(r.lock_stats);
+    std::cout << "\nHot locks (4096 locks, zipf " << (si == 0 ? "0" : "0.9")
+              << "; " << (merged.exact() ? "exact" : "SpaceSaving top-K")
+              << ", tracked " << merged.tracked() << "/" << merged.capacity()
+              << ", evictions " << merged.evictions() << "):\n";
+    Table h({"lock", "count<=", "count>=", "mean wait/T"});
+    for (const auto& ent : merged.top(5)) {
+      h.add_row({Table::integer(static_cast<uint64_t>(ent.lock)),
+                 Table::integer(ent.count),
+                 Table::integer(ent.count - ent.overcount),
+                 Table::num(ent.count > 0
+                                ? ent.wait_sum /
+                                      static_cast<double>(ent.count) / kT
+                                : 0,
+                            2)});
+    }
+    h.print(std::cout);
+    // The skewed cell must identify the pinned hot lock even through the
+    // top-K sketch — that's the tracker's whole job at 4096 locks.
+    if (si == 1 && merged.tracked() > 0)
+      run.require(merged.top(1).front().lock == 0);
+  }
 
   const double mpf_on = run.stat(cell[3][0], "msgs_per_flight").mean;
   const double mpf_off = run.stat(no_piggy, "msgs_per_flight").mean;

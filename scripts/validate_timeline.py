@@ -1,0 +1,126 @@
+#!/usr/bin/env python3
+"""Validate the windowed timeline JSON emitted by obs::Timeline::write_json.
+
+Accepts either a raw timeline file or a bench --json file (the timeline
+object sits under the top-level "timeline" key). Checks, beyond "it
+parses":
+  * header shape: integer origin, positive window, window count;
+  * every counter/gauge array and every sketch sub-array ("count", "p50",
+    "p95", "p99", "p999") is padded to exactly `windows` entries;
+  * counters and sketch counts are non-negative integers, percentile
+    arrays are non-decreasing within each window (p50 <= p95 <= p99 <=
+    p999);
+  * sketch specs carry a positive lo and bucket count;
+  * markers are (at, label) pairs sorted by (at, label) — the merge
+    contract's serialized order;
+  * --require-marker PREFIX: at least one marker label starts with PREFIX
+    (CI's "the crash run actually recorded a recovery" gate; repeatable).
+
+Exit 0 on success; exit 1 with a message on the first violation.
+Usage: scripts/validate_timeline.py [--require-marker PREFIX ...] FILE ...
+"""
+import json
+import sys
+
+
+def fail(path, msg):
+    print(f"{path}: FAIL: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def check_array(path, label, arr, windows, integral=False):
+    if not isinstance(arr, list):
+        fail(path, f"{label}: not an array")
+    if len(arr) != windows:
+        fail(path, f"{label}: {len(arr)} entries, want {windows}")
+    for i, v in enumerate(arr):
+        if isinstance(v, bool) or not isinstance(v, (int, float)):
+            fail(path, f"{label}[{i}]: non-numeric {v!r}")
+        if integral and (not isinstance(v, int) or v < 0):
+            fail(path, f"{label}[{i}]: want a non-negative integer, got {v!r}")
+
+
+def validate(path, require_markers):
+    with open(path) as f:
+        doc = json.load(f)
+    if "timeline" in doc:  # bench --json wrapper
+        doc = doc["timeline"]
+    if "origin" not in doc:
+        fail(path, "no timeline object (missing 'origin' — was the bench "
+                   "run with a timeline_window?)")
+
+    if not isinstance(doc.get("origin"), int):
+        fail(path, "origin must be an integer tick")
+    window = doc.get("window")
+    if not isinstance(window, int) or window <= 0:
+        fail(path, f"window must be a positive tick count, got {window!r}")
+    windows = doc.get("windows")
+    if not isinstance(windows, int) or windows < 0:
+        fail(path, f"windows must be a non-negative count, got {windows!r}")
+
+    n_series = 0
+    for name, arr in sorted(doc.get("counters", {}).items()):
+        check_array(path, f"counters.{name}", arr, windows, integral=True)
+        n_series += 1
+    for name, arr in sorted(doc.get("gauges", {}).items()):
+        check_array(path, f"gauges.{name}", arr, windows)
+        n_series += 1
+
+    pcts = ("p50", "p95", "p99", "p999")
+    for name, sk in sorted(doc.get("sketches", {}).items()):
+        if not isinstance(sk.get("lo"), (int, float)) or sk["lo"] <= 0:
+            fail(path, f"sketches.{name}: bad lo {sk.get('lo')!r}")
+        if not isinstance(sk.get("buckets"), int) or sk["buckets"] <= 0:
+            fail(path, f"sketches.{name}: bad buckets {sk.get('buckets')!r}")
+        check_array(path, f"sketches.{name}.count", sk.get("count"),
+                    windows, integral=True)
+        for p in pcts:
+            check_array(path, f"sketches.{name}.{p}", sk.get(p), windows)
+        for w in range(windows):
+            vals = [sk[p][w] for p in pcts]
+            if vals != sorted(vals):
+                fail(path, f"sketches.{name}: window {w} percentiles "
+                           f"not monotone: {vals}")
+        n_series += 1
+
+    markers = doc.get("markers", [])
+    if not isinstance(markers, list):
+        fail(path, "markers: not an array")
+    keys = []
+    for i, m in enumerate(markers):
+        if not isinstance(m.get("at"), int) or not isinstance(
+                m.get("label"), str):
+            fail(path, f"markers[{i}]: want {{at: int, label: str}}, "
+                       f"got {m!r}")
+        keys.append((m["at"], m["label"]))
+    if keys != sorted(keys):
+        fail(path, "markers not sorted by (at, label)")
+    if len(set(keys)) != len(keys):
+        fail(path, "duplicate markers survived the merge union")
+
+    for prefix in require_markers:
+        if not any(label.startswith(prefix) for _, label in keys):
+            fail(path, f"no marker with prefix {prefix!r} "
+                       f"(markers: {[l for _, l in keys][:8]})")
+
+    print(f"{path}: OK ({n_series} series x {windows} windows, "
+          f"{len(markers)} markers)")
+
+
+if __name__ == "__main__":
+    require, paths = [], []
+    args = sys.argv[1:]
+    while args:
+        a = args.pop(0)
+        if a == "--require-marker":
+            if not args:
+                print(__doc__, file=sys.stderr)
+                sys.exit(2)
+            require.append(args.pop(0))
+        else:
+            paths.append(a)
+    if not paths:
+        print(__doc__, file=sys.stderr)
+        sys.exit(2)
+    for p in paths:
+        validate(p, require)

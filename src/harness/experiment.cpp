@@ -1,10 +1,12 @@
 #include "harness/experiment.h"
 
+#include <algorithm>
 #include <chrono>
 #include <cmath>
 
 #include "harness/permission_auditor.h"
 #include "harness/sweep.h"
+#include "obs/flight_recorder.h"
 #include "obs/invariants.h"
 #include "obs/model.h"
 #include "quorum/factory.h"
@@ -45,6 +47,79 @@ Time auto_liveness_bound(const ExperimentConfig& cfg) {
   return 8 * static_cast<Time>(cfg.n) * cycle + 400 * cfg.mean_delay +
          10 * (cfg.detection_latency + cfg.detection_jitter);
 }
+
+// Window-boundary sampler for the timeline's network-side series. Runs as a
+// self-rescheduling sim event once per window — the message hot path itself
+// is never hooked, so an enabled timeline costs O(windows) events, not
+// O(messages). Each sample attributes the just-ended window's deltas to it
+// (recording at boundary-1 keeps the half-open window arithmetic exact) and
+// emits a "recovery xK" marker when any Cao-Singhal site completed §6 quorum
+// reconstructions since the previous boundary.
+struct TimelineSampler {
+  net::Network& net;
+  const std::vector<mutex::MutexSite*>& sites;
+  obs::Timeline& tl;
+  obs::Timeline::Counter& wire;
+  obs::Timeline::Counter& ctrl;
+  obs::Timeline::Counter& piggy;
+  obs::Timeline::Gauge& mpf;
+  Time end = 0;
+
+  uint64_t prev_wire = 0, prev_ctrl = 0, prev_piggy = 0;
+  uint64_t prev_recoveries = 0;
+
+  TimelineSampler(net::Network& n, const std::vector<mutex::MutexSite*>& s,
+                  obs::Timeline& t, Time end_at)
+      : net(n),
+        sites(s),
+        tl(t),
+        wire(t.counter("net.wire_msgs")),
+        ctrl(t.counter("net.ctrl_msgs")),
+        piggy(t.counter("net.piggybacked_msgs")),
+        mpf(t.gauge("net.msgs_per_flight")),
+        end(end_at) {}
+
+  uint64_t recoveries_total() const {
+    uint64_t r = 0;
+    for (const auto* s : sites)
+      if (const auto* cs = dynamic_cast<const core::CaoSinghalSite*>(s))
+        r += cs->protocol_stats().recoveries;
+    return r;
+  }
+
+  void sample(Time now) {
+    const Time in_window = now > 0 ? now - 1 : 0;
+    const auto& ns = net.stats();
+    wire.record(in_window, ns.wire_messages - prev_wire);
+    ctrl.record(in_window, ns.control_messages - prev_ctrl);
+    piggy.record(in_window, ns.piggybacked_messages - prev_piggy);
+    const uint64_t d_wire = ns.wire_messages - prev_wire;
+    const uint64_t d_ctrl = ns.control_messages - prev_ctrl;
+    mpf.record(in_window, d_wire > 0 ? static_cast<double>(d_ctrl) /
+                                           static_cast<double>(d_wire)
+                                     : 1.0);
+    prev_wire = ns.wire_messages;
+    prev_ctrl = ns.control_messages;
+    prev_piggy = ns.piggybacked_messages;
+
+    const uint64_t rec = recoveries_total();
+    if (rec > prev_recoveries) {
+      tl.mark("recovery x" + std::to_string(rec - prev_recoveries),
+              in_window);
+      prev_recoveries = rec;
+    }
+
+    if (now < end) {
+      const Time next = std::min(now + tl.window(), end);
+      net.simulator().schedule_at(next, [this, next] { sample(next); });
+    }
+  }
+
+  void start() {
+    const Time first = std::min(tl.window(), end);
+    net.simulator().schedule_at(first, [this, first] { sample(first); });
+  }
+};
 
 }  // namespace
 
@@ -104,6 +179,27 @@ ExperimentResult run_experiment(const ExperimentConfig& cfg) {
   }
 
   ExperimentResult res;
+  if (cfg.timeline_window > 0)
+    res.timeline = obs::Timeline(0, cfg.timeline_window);
+  if (cfg.lock_stats_k > 0)
+    res.lock_stats = obs::LockStats(static_cast<size_t>(cfg.lock_stats_k));
+
+  // Black box: fed through the checker so wire traffic, span edges, crashes
+  // and the violation itself land in one ring, and the first violation
+  // triggers the dump.
+  std::unique_ptr<obs::FlightRecorder> flightrec;
+  if (!cfg.flight_recorder_dump.empty()) {
+    DQME_CHECK_MSG(checker != nullptr,
+                   "flight_recorder_dump requires check_invariants");
+    flightrec =
+        std::make_unique<obs::FlightRecorder>(cfg.flight_recorder_capacity);
+    flightrec->set_dump_path(cfg.flight_recorder_dump);
+    flightrec->set_label(std::string(mutex::to_string(cfg.algo)) +
+                         " n=" + std::to_string(cfg.n) +
+                         " seed=" + std::to_string(cfg.seed));
+    checker->set_flight_recorder(flightrec.get());
+  }
+
   Metrics metrics(network, cfg.options.num_locks);
   Workload::Config wl = cfg.workload;
   wl.seed = cfg.seed * 104729 + 7;
@@ -122,16 +218,33 @@ ExperimentResult run_experiment(const ExperimentConfig& cfg) {
     });
   }
 
+  // Timeline sampler + crash markers: the network-side series sample at
+  // window boundaries (covering warmup too — the §6 trajectory needs the
+  // pre-crash baseline); the CS-side series bind with the registry below.
+  std::unique_ptr<TimelineSampler> sampler;
+  if (res.timeline.enabled()) {
+    for (const auto& crash : cfg.crashes)
+      res.timeline.mark("crash site=" + std::to_string(crash.victim),
+                        crash.at);
+    sampler = std::make_unique<TimelineSampler>(network, raw, res.timeline,
+                                                cfg.warmup + cfg.measure);
+    sampler->start();
+  }
+
   workload.start();
   sim.run_until(cfg.warmup);
   metrics.reset(sim.now());
   // Bind after the warmup reset so the registry histograms cover exactly
   // the measurement window, like every Summary aggregate.
   metrics.bind_registry(&res.registry, cfg.mean_delay);
+  metrics.bind_timeline(&res.timeline, cfg.mean_delay);
+  if (res.lock_stats.enabled()) metrics.bind_lock_stats(&res.lock_stats);
   sim.run_until(cfg.warmup + cfg.measure);
 
   res.summary = metrics.summarize(sim.now());
   metrics.bind_registry(nullptr, 0);  // drain-phase CSs stay out of the window
+  metrics.bind_timeline(nullptr, 0);
+  metrics.bind_lock_stats(nullptr);
 
   // Drain: stop new demand, let in-flight requests finish, verify nothing
   // is stuck. A protocol deadlock would leave outstanding demands (and,

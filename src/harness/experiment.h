@@ -72,6 +72,27 @@ struct ExperimentConfig {
   // SweepRunner rejects a shared capture across multiple configs. Null
   // (the default) installs no hooks.
   obs::RunCapture* capture = nullptr;
+
+  // Time-resolved telemetry (obs::Timeline): window width in ticks; <= 0
+  // (the default) disables it — no hooks, no sampler events, zero hot-path
+  // cost. When enabled the result carries per-window series (throughput,
+  // waiting-time quantiles, wire/control traffic, piggyback pack ratio)
+  // plus crash/recovery markers, with windows anchored at tick 0 so crash
+  // instants line up across runs.
+  Time timeline_window = 0;
+
+  // Per-lock hot-set tracking (obs::LockStats): capacity of the SpaceSaving
+  // tracker (exact per-lock table while distinct locks <= k). 0 (default)
+  // disables it.
+  int lock_stats_k = 0;
+
+  // Black-box flight recorder (obs::FlightRecorder): when non-empty, the
+  // run keeps a ring of the last flight_recorder_capacity protocol events
+  // and auto-dumps them to this path (Chrome-trace JSON) on the first
+  // invariant violation. Requires check_invariants — the recorder is fed
+  // through the checker so scripted and wire traffic look the same.
+  std::string flight_recorder_dump;
+  size_t flight_recorder_capacity = 4096;
 };
 
 struct ExperimentResult {
@@ -110,6 +131,14 @@ struct ExperimentResult {
   // "sync_gap"), cs.completed, and end-of-run engine counters (sim.*,
   // net.*). Fold replications together with harness::merge_registries().
   obs::Registry registry;
+
+  // Windowed series (cfg.timeline_window > 0; disabled and empty
+  // otherwise). Fold replications with Timeline::merge in result-index
+  // order — same determinism contract as the registry.
+  obs::Timeline timeline;
+
+  // Per-lock hot-set tracker (cfg.lock_stats_k > 0; disabled otherwise).
+  obs::LockStats lock_stats;
 };
 
 ExperimentResult run_experiment(const ExperimentConfig& cfg);

@@ -42,6 +42,17 @@ void Metrics::bind_registry(obs::Registry* reg, Time mean_delay) {
   completed_counter_ = &reg->counter("cs.completed");
 }
 
+void Metrics::bind_timeline(obs::Timeline* tl, Time mean_delay) {
+  if (tl == nullptr || !tl->enabled()) {
+    tl_completed_ = nullptr;
+    tl_waiting_ = nullptr;
+    return;
+  }
+  const double w = std::max<double>(1, static_cast<double>(mean_delay) / 10);
+  tl_completed_ = &tl->counter("cs.completed");
+  tl_waiting_ = &tl->sketch("waiting", w, 36);
+}
+
 void Metrics::on_enter(SiteId site, LockId lock, Time now, Time demanded,
                        Time requested, int hops) {
   DQME_CHECK(demanded <= requested && requested <= now);
@@ -90,6 +101,9 @@ void Metrics::on_exit(SiteId site, LockId lock, Time now) {
   const double wait = static_cast<double>(e.entered - e.requested);
   if (waiting_hist_ != nullptr) waiting_hist_->record(wait);
   if (completed_counter_ != nullptr) ++*completed_counter_;
+  if (tl_completed_ != nullptr) tl_completed_->record(now);
+  if (tl_waiting_ != nullptr) tl_waiting_->record(now, wait);
+  if (lock_stats_ != nullptr) lock_stats_->record(lock, wait);
   waiting_sum_ += wait;
   waiting_max_ = std::max(waiting_max_, wait);
   if (waiting_samples_.size() < 100'000) waiting_samples_.push_back(wait);
@@ -157,6 +171,7 @@ Summary Metrics::summarize(Time now) const {
     s.waiting_p50 = pct(0.50);
     s.waiting_p95 = pct(0.95);
     s.waiting_p99 = pct(0.99);
+    s.waiting_p999 = pct(0.999);
   }
   if (completed_ > 0) {
     double sum = 0, sum_sq = 0;

@@ -23,7 +23,9 @@
 #include <array>
 
 #include "net/network.h"
+#include "obs/lock_stats.h"
 #include "obs/registry.h"
+#include "obs/timeline.h"
 
 namespace dqme::harness {
 
@@ -50,6 +52,7 @@ struct Summary {
   double waiting_p50 = 0;    // percentiles over up to 100k samples
   double waiting_p95 = 0;
   double waiting_p99 = 0;
+  double waiting_p999 = 0;
   double queueing_mean = 0;  // demand arrival -> CS entered (open loop)
   double response_mean = 0;  // demand arrival -> CS exited
 
@@ -81,6 +84,14 @@ class Metrics {
   // "cs.completed". References are resolved here, once — the per-event cost
   // is a pointer test plus one Histogram::record.
   void bind_registry(obs::Registry* reg, Time mean_delay);
+
+  // Streams the same per-CS observations as windowed series into `tl`
+  // (nullptr detaches): counter "cs.completed" and sketch "waiting" (log2,
+  // same spec as the registry histogram). Handles resolve here, once.
+  void bind_timeline(obs::Timeline* tl, Time mean_delay);
+
+  // Streams per-lock completions/waiting into `ls` (nullptr detaches).
+  void bind_lock_stats(obs::LockStats* ls) { lock_stats_ = ls; }
 
   // `demanded` is when the application wanted the CS; `requested` when
   // request_cs() was issued (they differ under open-loop local queueing).
@@ -146,6 +157,11 @@ class Metrics {
   obs::Histogram* waiting_hist_ = nullptr;
   obs::Histogram* gap_hist_ = nullptr;
   uint64_t* completed_counter_ = nullptr;
+  // Optional timeline streams (bind_timeline); null when detached.
+  obs::Timeline::Counter* tl_completed_ = nullptr;
+  obs::Timeline::Sketch* tl_waiting_ = nullptr;
+  // Optional per-lock hot-set tracker (bind_lock_stats); null when detached.
+  obs::LockStats* lock_stats_ = nullptr;
 };
 
 }  // namespace dqme::harness

@@ -69,8 +69,9 @@ void write_chrome_trace(std::ostream& os, const ChromeTraceData& data) {
             "{\"sort_index\": " + std::to_string(s) + "}");
   }
 
-  const auto keep = [&](SpanId span) {
-    return data.only_span == kNoSpan || span == data.only_span;
+  const auto keep = [&](SpanId span, LockId lock) {
+    return (data.only_span == kNoSpan || span == data.only_span) &&
+           (data.only_lock == kNoLock || lock == data.only_lock);
   };
 
   // CS intervals as matched B/E pairs, and request lifetimes as async b/e
@@ -79,7 +80,7 @@ void write_chrome_trace(std::ostream& os, const ChromeTraceData& data) {
   std::map<SiteId, SpanEvent> open_cs;        // site  -> its kEnter
   std::map<SpanId, SpanEvent> open_acquire;   // span  -> its kIssue
   for (const SpanEvent& e : data.span_events) {
-    if (!keep(e.span)) continue;
+    if (!keep(e.span, e.lock)) continue;
     switch (e.edge) {
       case SpanEdge::kIssue:
         open_acquire[e.span] = e;
@@ -128,7 +129,7 @@ void write_chrome_trace(std::ostream& os, const ChromeTraceData& data) {
   uint64_t flow_id = 0;
   for (const net::TraceEvent& t : data.messages) {
     const net::Message& m = t.msg;
-    if (!keep(m.span)) continue;
+    if (!keep(m.span, t.lock)) continue;
     const bool proxy =
         m.type == net::MsgType::kReply && m.arbiter != kNoSite &&
         m.src != m.arbiter;

@@ -32,6 +32,9 @@ struct ChromeTraceData {
   // Export only events of this span (kNoSpan = all). Message slices keep
   // every flow arrow attached to the filtered span.
   SpanId only_span = kNoSpan;
+  // Export only events of this lock (kNoLock = all): slices a multi-lock
+  // run — 4096 lanes of interleaved traffic — down to one lock's story.
+  LockId only_lock = kNoLock;
 };
 
 // Writes the JSON object format: {"traceEvents": [...], ...}. The output

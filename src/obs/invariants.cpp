@@ -3,6 +3,7 @@
 #include <sstream>
 #include <utility>
 
+#include "obs/flight_recorder.h"
 #include "obs/span.h"
 
 namespace dqme::obs {
@@ -31,6 +32,8 @@ void InvariantChecker::attach(mutex::MutexSite& site) {
 void InvariantChecker::flag(const std::string& what) {
   ++violations_;
   if (reports_.size() < opts_.max_reports) reports_.push_back(what);
+  if (flightrec_)
+    flightrec_->record_violation(what, net_.simulator().now());
 }
 
 InvariantChecker::Ledger& InvariantChecker::ledger(LockId lock) {
@@ -100,6 +103,10 @@ void InvariantChecker::watchdog_sweep() {
 
 void InvariantChecker::observe(const net::Message& m, LockId lock, Time at) {
   using net::MsgType;
+
+  // Black box first: if this very delivery trips a check below, the dump's
+  // tail reads "...delivery, violation" in causal order.
+  if (flightrec_) flightrec_->record_message(m, lock, at);
 
   // FIFO: delivery on a channel must never present a message sent after
   // one still undelivered — Network keeps a per-channel delivery floor, and
@@ -206,6 +213,7 @@ void InvariantChecker::observe(const net::Message& m, LockId lock, Time at) {
 }
 
 void InvariantChecker::on_crash(SiteId site) {
+  if (flightrec_) flightrec_->record_crash(site, net_.simulator().now());
   // Fail-silent crash (§6): nothing sent by `site` is delivered from now
   // on, so write off everything only it could have discharged — on every
   // lock; a crash takes the site's whole endpoint down. The arbiters
@@ -234,6 +242,9 @@ void InvariantChecker::on_crash(SiteId site) {
 
 void InvariantChecker::on_span_issue(SiteId site, LockId lock, SpanId span,
                                      Time at) {
+  if (flightrec_)
+    flightrec_->record_span(FlightRecorder::Kind::kSpanIssue, site, lock,
+                            span, at);
   if (span != kNoSpan) {
     Ledger& led = ledger(lock);
     // A fresh issue from a site with an open request is the §6 recovery
@@ -251,6 +262,9 @@ void InvariantChecker::on_span_issue(SiteId site, LockId lock, SpanId span,
 
 void InvariantChecker::on_span_enter(SiteId site, LockId lock, SpanId span,
                                      Time at) {
+  if (flightrec_)
+    flightrec_->record_span(FlightRecorder::Kind::kSpanEnter, site, lock,
+                            span, at);
   Ledger& led = ledger(lock);
   ++checks_;
   if (!led.cs_occupants.empty()) {
@@ -273,6 +287,9 @@ void InvariantChecker::on_span_enter(SiteId site, LockId lock, SpanId span,
 
 void InvariantChecker::on_span_exit(SiteId site, LockId lock, SpanId span,
                                     Time at) {
+  if (flightrec_)
+    flightrec_->record_span(FlightRecorder::Kind::kSpanExit, site, lock,
+                            span, at);
   Ledger& led = ledger(lock);
   led.cs_occupants.erase(site);
   led.active_span.erase(site);
@@ -281,6 +298,9 @@ void InvariantChecker::on_span_exit(SiteId site, LockId lock, SpanId span,
 
 void InvariantChecker::on_span_abort(SiteId site, LockId lock, SpanId span,
                                      Time at) {
+  if (flightrec_)
+    flightrec_->record_span(FlightRecorder::Kind::kSpanAbort, site, lock,
+                            span, at);
   Ledger& led = ledger(lock);
   led.active_span.erase(site);
   auto watch = led.open_requests.find(site);

@@ -38,6 +38,8 @@
 
 namespace dqme::obs {
 
+class FlightRecorder;
+
 struct InvariantOptions {
   // Flag any open request span with no progress edge for this many ticks.
   // 0 disables the watchdog. Must exceed the longest *legal* wait (about
@@ -69,6 +71,14 @@ class InvariantChecker final : public mutex::SpanObserver {
   // Seals the run: message conservation, undischarged transfer obligations,
   // and stale open spans become violations. Call once, after the drain.
   void finish(Time now);
+
+  // Black-box wiring: the checker forwards every wire edge, span edge, and
+  // crash it sees to `fr`, and feeds it each violation (triggering the
+  // recorder's first-violation auto-dump). Feeding through the checker —
+  // not through Network hooks — is what makes scripted selftest traffic
+  // (observe() called directly) show up in the black box too. nullptr
+  // detaches.
+  void set_flight_recorder(FlightRecorder* fr) { flightrec_ = fr; }
 
   uint64_t checks() const { return checks_; }
   uint64_t violations() const { return violations_; }
@@ -148,6 +158,7 @@ class InvariantChecker final : public mutex::SpanObserver {
   net::Network& net_;
   InvariantOptions opts_;
   mutex::SpanObserver* downstream_ = nullptr;
+  FlightRecorder* flightrec_ = nullptr;
 
   std::map<LockId, Ledger> ledgers_;
 

@@ -1,0 +1,90 @@
+#include "obs/lock_stats.h"
+
+#include <algorithm>
+
+namespace dqme::obs {
+
+void LockStats::record(LockId lock, double wait) {
+  if (!enabled()) return;
+  ++total_;
+  auto it = entries_.find(lock);
+  if (it != entries_.end()) {
+    ++it->second.count;
+    it->second.wait_sum += wait;
+    return;
+  }
+  if (entries_.size() < capacity_) {
+    entries_.emplace(lock, Entry{lock, 1, 0, wait});
+    return;
+  }
+  // SpaceSaving eviction: replace the minimum-count entry (ties toward the
+  // smallest LockId — the map's first match) and inherit its count as the
+  // newcomer's overcount bound.
+  auto victim = entries_.begin();
+  for (auto jt = entries_.begin(); jt != entries_.end(); ++jt)
+    if (jt->second.count < victim->second.count) victim = jt;
+  const uint64_t floor = victim->second.count;
+  entries_.erase(victim);
+  entries_.emplace(lock, Entry{lock, floor + 1, floor, wait});
+  ++evictions_;
+}
+
+std::vector<LockStats::Entry> LockStats::top(size_t k) const {
+  std::vector<Entry> out;
+  out.reserve(entries_.size());
+  for (const auto& [lock, e] : entries_) out.push_back(e);
+  std::sort(out.begin(), out.end(), [](const Entry& a, const Entry& b) {
+    return a.count != b.count ? a.count > b.count : a.lock < b.lock;
+  });
+  if (k > 0 && out.size() > k) out.resize(k);
+  return out;
+}
+
+void LockStats::merge(const LockStats& other) {
+  if (!other.enabled()) return;
+  if (!enabled()) {
+    *this = other;
+    return;
+  }
+  capacity_ = std::max(capacity_, other.capacity_);
+  evictions_ += other.evictions_;
+  total_ += other.total_;
+  for (const auto& [lock, e] : other.entries_) {
+    Entry& mine = entries_[lock];
+    mine.lock = lock;
+    mine.count += e.count;
+    mine.overcount += e.overcount;
+    mine.wait_sum += e.wait_sum;
+  }
+  // Evict back down to capacity: drop the smallest counts, ties toward the
+  // LARGEST LockId (the smaller id survives, mirroring record()'s
+  // preference), counting each drop as an eviction since information about
+  // those locks is lost.
+  while (entries_.size() > capacity_) {
+    auto victim = entries_.begin();
+    for (auto jt = entries_.begin(); jt != entries_.end(); ++jt) {
+      if (jt->second.count < victim->second.count ||
+          (jt->second.count == victim->second.count &&
+           jt->first > victim->first))
+        victim = jt;
+    }
+    entries_.erase(victim);
+    ++evictions_;
+  }
+}
+
+void LockStats::write_json(std::ostream& os) const {
+  os << "{\"capacity\": " << capacity_ << ", \"tracked\": " << entries_.size()
+     << ", \"total\": " << total_ << ", \"evictions\": " << evictions_
+     << ", \"top\": [";
+  const std::vector<Entry> sorted = top(0);
+  for (size_t i = 0; i < sorted.size(); ++i) {
+    const Entry& e = sorted[i];
+    os << (i ? ", " : "") << "{\"lock\": " << e.lock
+       << ", \"count\": " << e.count << ", \"overcount\": " << e.overcount
+       << ", \"wait_sum\": " << e.wait_sum << "}";
+  }
+  os << "]}";
+}
+
+}  // namespace dqme::obs

@@ -1,0 +1,81 @@
+// Per-lock dimensional stats with a space-bounded hot-K tracker.
+//
+// At small lock counts (M <= capacity) this is an exact per-lock table: CS
+// completions and summed waiting time keyed by LockId. At x3's 4096-lock
+// Zipf workloads it degrades gracefully into a SpaceSaving heavy-hitter
+// sketch (Metwally et al.): the tracker keeps `capacity` entries, and a
+// record() for an untracked lock evicts the minimum-count entry, inheriting
+// its count as the new entry's `overcount` upper bound. The classic
+// SpaceSaving guarantees hold: every lock with true count greater than the
+// minimum tracked count is present, and for each entry
+//   true_count ∈ [count - overcount, count].
+// While evictions() == 0 the table is exact and overcount is 0 everywhere.
+//
+// Determinism: eviction picks the minimum count with ties broken toward the
+// smallest LockId; merge() is a union-sum followed by the same deterministic
+// eviction, so sweep results fold in result-index order to byte-identical
+// JSON for any --jobs value (same contract as Registry / Timeline).
+//
+// Cost model: record() is one hash-map probe plus two adds while exact; the
+// O(capacity) eviction scan only runs when distinct locks exceed capacity.
+// A run with lock_stats_k == 0 never constructs one — zero hot-path cost.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <ostream>
+#include <vector>
+
+#include "common/types.h"
+
+namespace dqme::obs {
+
+class LockStats {
+ public:
+  struct Entry {
+    LockId lock = kNoLock;
+    uint64_t count = 0;      // upper bound on true CS completions
+    uint64_t overcount = 0;  // count - overcount lower-bounds the truth
+    double wait_sum = 0;     // summed waiting time attributed to this entry
+  };
+
+  // Default-constructed trackers are disabled (capacity 0): record() is a
+  // no-op, enabled() is false, merge() treats them as empty.
+  LockStats() = default;
+  explicit LockStats(size_t capacity) : capacity_(capacity) {}
+
+  bool enabled() const { return capacity_ > 0; }
+  size_t capacity() const { return capacity_; }
+  // Exact while nothing has been evicted: every tracked count is the truth.
+  uint64_t evictions() const { return evictions_; }
+  bool exact() const { return evictions_ == 0; }
+  size_t tracked() const { return entries_.size(); }
+  uint64_t total() const { return total_; }
+
+  void record(LockId lock, double wait);
+
+  // The k hottest entries, count-descending, ties toward the smaller
+  // LockId. k == 0 (or k > tracked) returns everything tracked.
+  std::vector<Entry> top(size_t k) const;
+
+  // Deterministic fold: union-sums counts/overcounts/wait_sums, then evicts
+  // back down to capacity (largest capacity of the two operands wins).
+  // Merging into a disabled tracker adopts; merging a disabled one is a
+  // no-op.
+  void merge(const LockStats& other);
+
+  // {"capacity": C, "tracked": T, "total": N, "evictions": E,
+  //  "top": [{"lock": L, "count": C, "overcount": O, "wait_sum": W}, ...]}
+  // — top is the full tracked set, sorted as top() sorts. Deterministic.
+  void write_json(std::ostream& os) const;
+
+ private:
+  size_t capacity_ = 0;
+  uint64_t evictions_ = 0;
+  uint64_t total_ = 0;
+  // Keyed storage: ordered map keeps iteration deterministic and makes the
+  // tie-break-by-smallest-LockId eviction a natural first-match scan.
+  std::map<LockId, Entry> entries_;
+};
+
+}  // namespace dqme::obs

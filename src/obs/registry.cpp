@@ -159,7 +159,8 @@ void Registry::write_json(std::ostream& os) const {
        << "\", \"lo\": " << h.lo() << ", \"width\": " << h.width()
        << ", \"count\": " << h.count() << ", \"sum\": " << h.sum()
        << ", \"p50\": " << h.p50() << ", \"p95\": " << h.p95()
-       << ", \"p99\": " << h.p99() << ", \"underflow\": " << h.underflow()
+       << ", \"p99\": " << h.p99() << ", \"p999\": " << h.p999()
+       << ", \"underflow\": " << h.underflow()
        << ", \"overflow\": " << h.overflow() << ", \"buckets\": [";
     for (size_t b = 0; b < h.buckets().size(); ++b)
       os << (b ? ", " : "") << h.buckets()[b];

@@ -93,6 +93,7 @@ class Histogram {
   double p50() const { return percentile(0.50); }
   double p95() const { return percentile(0.95); }
   double p99() const { return percentile(0.99); }
+  double p999() const { return percentile(0.999); }
 
   void merge(const Histogram& other);
 
@@ -133,8 +134,8 @@ class Registry {
 
   // One flat JSON object: {"counters": {...}, "gauges": {...},
   // "histograms": {name: {kind, lo, width, count, sum, p50, p95, p99,
-  // underflow, overflow, buckets: [...]}}}. Keys iterate in sorted order —
-  // deterministic output.
+  // p999, underflow, overflow, buckets: [...]}}}. Keys iterate in sorted
+  // order — deterministic output.
   void write_json(std::ostream& os) const;
 
   const std::map<std::string, uint64_t, std::less<>>& counters() const {

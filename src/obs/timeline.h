@@ -1,0 +1,187 @@
+// Time-resolved telemetry: fixed-window series keyed off sim ticks.
+//
+// A Timeline is the time-resolved sibling of Registry: where the registry
+// reports one aggregate per run, the timeline buckets the same observations
+// into fixed-width windows of simulated time, so transients — the §6
+// recovery trajectory after an arbiter crash, a hot-lock convoy forming
+// under Zipf load — are visible instead of averaged away.
+//
+// Three series kinds, mirroring the registry's merge contract so a sweep's
+// timelines fold together deterministically in result-index order
+// (byte-identical JSON for any --jobs value):
+//
+//   * counter series — per-window uint64 sums; merge adds window-wise,
+//   * gauge series   — one double per window (last write wins within a
+//     run); merge keeps the window-wise maximum,
+//   * sketch series  — one fixed-spec obs::Histogram per window (the
+//     registry's log2 bucketing), so waiting-time percentiles exist *per
+//     window*; merge is bucket-wise per window, same-spec only.
+//
+// Markers annotate instants (crashes, recoveries): merge is set-union,
+// serialized sorted by (at, label).
+//
+// Cost model, same as Registry: series handles resolve once at bind time
+// (a map lookup), after which record() is an index computation plus one
+// add. A run that does not bind a timeline executes no timeline code at
+// all — ExperimentConfig::timeline_window <= 0 leaves every hook null.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/check.h"
+#include "common/types.h"
+#include "obs/registry.h"
+
+namespace dqme::obs {
+
+class Timeline {
+ public:
+  // Counter series: per-window sums. Windows materialize densely on first
+  // touch, so the vector index IS the window index.
+  class Counter {
+   public:
+    void record(Time at, uint64_t delta = 1) {
+      const size_t w = owner_->window_index(at);
+      if (w >= sums_.size()) sums_.resize(w + 1, 0);
+      sums_[w] += delta;
+    }
+    const std::vector<uint64_t>& windows() const { return sums_; }
+
+   private:
+    friend class Timeline;
+    Timeline* owner_ = nullptr;
+    std::vector<uint64_t> sums_;
+  };
+
+  // Gauge series: one double per window; within a run the last write to a
+  // window wins (samplers write each window once), across runs merge keeps
+  // the maximum — the Registry gauge contract, windowed.
+  class Gauge {
+   public:
+    void record(Time at, double v) {
+      const size_t w = owner_->window_index(at);
+      if (w >= vals_.size()) vals_.resize(w + 1, 0.0);
+      vals_[w] = v;
+    }
+    const std::vector<double>& windows() const { return vals_; }
+
+   private:
+    friend class Timeline;
+    Timeline* owner_ = nullptr;
+    std::vector<double> vals_;
+  };
+
+  // Sketch series: a fixed-spec log2 Histogram per window, so heavy-tailed
+  // quantities (waiting time across a crash) keep per-window percentiles.
+  class Sketch {
+   public:
+    void record(Time at, double v) {
+      const size_t w = owner_->window_index(at);
+      if (w >= hists_.size()) hists_.resize(w + 1, Histogram::log2(lo_, buckets_));
+      hists_[w].record(v);
+    }
+    const std::vector<Histogram>& windows() const { return hists_; }
+    double lo() const { return lo_; }
+    size_t buckets() const { return buckets_; }
+
+   private:
+    friend class Timeline;
+    Timeline* owner_ = nullptr;
+    double lo_ = 1;
+    size_t buckets_ = 36;
+    std::vector<Histogram> hists_;
+  };
+
+  struct Marker {
+    Time at = 0;
+    std::string label;
+    bool operator<(const Marker& o) const {
+      return at != o.at ? at < o.at : label < o.label;
+    }
+    bool operator==(const Marker& o) const {
+      return at == o.at && label == o.label;
+    }
+  };
+
+  // Default-constructed timelines are disabled: every accessor below is a
+  // CHECK failure, enabled() is false, merge() treats them as empty.
+  Timeline() = default;
+  Timeline(Time origin, Time window) : origin_(origin), window_(window) {
+    DQME_CHECK_MSG(window > 0, "timeline window must be positive");
+  }
+
+  bool enabled() const { return window_ > 0; }
+  Time origin() const { return origin_; }
+  Time window() const { return window_; }
+
+  // Find-or-create, Registry-style: resolve once, record forever. The
+  // returned reference stays valid for the Timeline's lifetime (node-based
+  // map storage) — but NOT across merge() into another timeline.
+  Counter& counter(std::string_view name);
+  Gauge& gauge(std::string_view name);
+  // Sketch spec (log2 histogram: lo, bucket count) is part of the series
+  // identity; re-declaring with another spec is a CHECK failure.
+  Sketch& sketch(std::string_view name, double lo, size_t buckets);
+
+  // Lookup without creation; nullptr when absent (Registry's find_* idiom).
+  const Counter* find_counter(std::string_view name) const;
+  const Gauge* find_gauge(std::string_view name) const;
+  const Sketch* find_sketch(std::string_view name) const;
+
+  void mark(std::string_view label, Time at);
+
+  bool empty() const {
+    return counters_.empty() && gauges_.empty() && sketches_.empty() &&
+           markers_.empty();
+  }
+  // Largest window index touched by any series, plus one (0 when empty).
+  size_t num_windows() const;
+  const std::vector<Marker>& markers() const { return markers_; }
+
+  // Deterministic fold: same (origin, window) spec required; counters add
+  // window-wise, gauges keep the window-wise max, sketches merge bucket-
+  // wise, markers union. Merging an enabled timeline into a disabled one
+  // adopts the spec; merging a disabled one is a no-op.
+  void merge(const Timeline& other);
+
+  // One JSON object, one line per series (so line-oriented consumers —
+  // dqme_trace --timeline — need no JSON library):
+  //   {"origin": O, "window": W, "windows": K,
+  //    "counters": {name: [..K sums..], ...},
+  //    "gauges": {name: [..K values..], ...},
+  //    "sketches": {name: {"lo": .., "buckets": .., "count": [..],
+  //                        "p50": [..], "p95": [..], "p99": [..],
+  //                        "p999": [..]}, ...},
+  //    "markers": [{"at": T, "label": "..."}, ...]}
+  // Every array is padded to the common `windows` length; keys iterate in
+  // sorted order — deterministic output.
+  void write_json(std::ostream& os) const;
+
+ private:
+  friend class Counter;
+  friend class Gauge;
+  friend class Sketch;
+
+  // Windows are half-open [origin + k*W, origin + (k+1)*W); observations
+  // before the origin clamp into window 0 (crash markers scheduled before
+  // the measurement origin stay visible instead of trapping).
+  size_t window_index(Time at) const {
+    DQME_CHECK(enabled());
+    if (at <= origin_) return 0;
+    return static_cast<size_t>((at - origin_) / window_);
+  }
+
+  Time origin_ = 0;
+  Time window_ = 0;  // <= 0: disabled
+  std::map<std::string, Counter, std::less<>> counters_;
+  std::map<std::string, Gauge, std::less<>> gauges_;
+  std::map<std::string, Sketch, std::less<>> sketches_;
+  std::vector<Marker> markers_;
+};
+
+}  // namespace dqme::obs

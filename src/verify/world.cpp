@@ -93,12 +93,19 @@ World::World(const WorldConfig& cfg, bool capture)
     trace_rec_ = std::make_unique<net::TraceRecorder>(net_);
     span_rec_ = std::make_unique<obs::SpanRecorder>(net_);
     span_rec_->attach_all(sites_);
+    flightrec_ = std::make_unique<obs::FlightRecorder>(4096);
   }
   obs::InvariantOptions iopts;
   iopts.liveness_bound = 0;  // quiescence-time liveness is seal()'s job
   iopts.quorum_arbitration = mutex::algo_uses_quorum(cfg.algo);
   checker_ = std::make_unique<obs::InvariantChecker>(net_, iopts);
   checker_->attach_all(sites_);
+  if (flightrec_) {
+    flightrec_->set_label("dqme_explore replay " +
+                          std::string(mutex::to_string(cfg.algo)) + " n=" +
+                          std::to_string(cfg.n));
+    checker_->set_flight_recorder(flightrec_.get());
+  }
 
   remaining_.assign(static_cast<size_t>(cfg.n), cfg.cs_per_site);
   aborted_.assign(static_cast<size_t>(cfg.n), 0);

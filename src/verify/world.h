@@ -27,6 +27,7 @@
 
 #include "mutex/factory.h"
 #include "net/trace.h"
+#include "obs/flight_recorder.h"
 #include "obs/invariants.h"
 #include "obs/span.h"
 #include "quorum/quorum_system.h"
@@ -76,6 +77,10 @@ class World {
   // Capture output (null unless constructed with capture = true).
   const net::TraceRecorder* trace_recorder() const { return trace_rec_.get(); }
   const obs::SpanRecorder* span_recorder() const { return span_rec_.get(); }
+  // Checker-fed black box (capture mode only): after a counterexample
+  // replay its ring holds the tail of deliveries/edges ending in the
+  // violation — dump_to() exports it as a Chrome trace.
+  obs::FlightRecorder* flight_recorder() const { return flightrec_.get(); }
 
  private:
   // Sits between the Network and the real protocol site; the seeded
@@ -105,6 +110,7 @@ class World {
   std::vector<std::unique_ptr<SiteTap>> taps_;
   std::unique_ptr<net::TraceRecorder> trace_rec_;
   std::unique_ptr<obs::SpanRecorder> span_rec_;
+  std::unique_ptr<obs::FlightRecorder> flightrec_;
   std::unique_ptr<obs::InvariantChecker> checker_;
 
   std::vector<int> remaining_;  // CS entries each site still wants

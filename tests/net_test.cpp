@@ -181,6 +181,24 @@ TEST(Network, LockPiggybackCoalescesSameChannelWithinWindow) {
   EXPECT_EQ(rig.sinks[1].received[1].req.seq, 2u);
 }
 
+TEST(Network, LockPiggybackStampsTrueStagingInstant) {
+  // Span accounting audit: a message that joins an older open flight must
+  // carry the tick it was STAGED at, not the flight's origin — otherwise
+  // every latency derived from sent_at (span waiting, FIFO monotonicity)
+  // silently credits piggybacked messages with time they never spent.
+  Rig rig(2, 100);
+  rig.net.set_lock_piggyback(50);
+  rig.net.send(0, 1, make_request(ReqId{1, 0}), LockId{0});
+  rig.sim.run_until(10);
+  rig.net.send(0, 1, make_request(ReqId{2, 0}), LockId{3});  // joins flight
+  rig.sim.run();
+  ASSERT_EQ(rig.sinks[1].received.size(), 2u);
+  EXPECT_EQ(rig.sinks[1].received[0].sent_at, 0);
+  EXPECT_EQ(rig.sinks[1].received[1].sent_at, 10);
+  // Both still land at the shared flight's instant.
+  EXPECT_EQ(rig.sim.now(), 100);
+}
+
 TEST(Network, LockPiggybackWindowExpires) {
   Rig rig(2, 100);
   rig.net.set_lock_piggyback(20);

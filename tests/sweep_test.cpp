@@ -9,6 +9,8 @@
 
 #include "harness/sweep.h"
 #include "mutex/factory.h"
+#include "obs/lock_stats.h"
+#include "obs/timeline.h"
 
 namespace dqme::harness {
 namespace {
@@ -86,6 +88,49 @@ TEST(Sweep, ByteIdenticalAcrossJobCountsAllAlgorithms) {
   const auto b = SweepRunner(parallel).run(grid);
   ASSERT_EQ(a.size(), grid.size());
   EXPECT_EQ(fingerprint(a), fingerprint(b));
+}
+
+// The time-resolved telemetry honors the same contract as the scalar
+// summary: per-run timelines/lock-stats AND their merged folds (result-
+// index order, the Runner's fold) are byte-identical for any worker count.
+TEST(Sweep, TimelineAndLockStatsByteIdenticalAcrossJobCounts) {
+  std::vector<ExperimentConfig> grid;
+  for (uint64_t seed = 1; seed <= 6; ++seed) {
+    ExperimentConfig cfg = small_config(mutex::Algo::kCaoSinghal, seed);
+    cfg.timeline_window = 10'000;
+    cfg.options.num_locks = 4;
+    cfg.lock_stats_k = 2;  // < num_locks: forces the SpaceSaving path too
+    grid.push_back(cfg);
+  }
+  SweepOptions serial;
+  serial.jobs = 1;
+  SweepOptions parallel;
+  parallel.jobs = 8;
+  const auto a = SweepRunner(serial).run(grid);
+  const auto b = SweepRunner(parallel).run(grid);
+  ASSERT_EQ(a.size(), grid.size());
+  const auto telemetry_fp = [](const std::vector<ExperimentResult>& rs) {
+    std::ostringstream os;
+    obs::Timeline folded_tl;
+    obs::LockStats folded_ls;
+    for (const auto& r : rs) {
+      r.timeline.write_json(os);
+      os << '\n';
+      r.lock_stats.write_json(os);
+      os << '\n';
+      folded_tl.merge(r.timeline);
+      folded_ls.merge(r.lock_stats);
+    }
+    folded_tl.write_json(os);
+    folded_ls.write_json(os);
+    return os.str();
+  };
+  EXPECT_EQ(telemetry_fp(a), telemetry_fp(b));
+  // And the series actually carry data — a trivially-empty timeline would
+  // make the equality above vacuous.
+  EXPECT_TRUE(a.front().timeline.enabled());
+  EXPECT_GT(a.front().timeline.num_windows(), 1u);
+  EXPECT_GT(a.front().lock_stats.total(), 0u);
 }
 
 TEST(Sweep, ReplicateParallelMatchesSerial) {

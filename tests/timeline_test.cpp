@@ -1,0 +1,240 @@
+// Tests for the windowed telemetry layer (obs/timeline.h) and the
+// per-lock hot-set tracker (obs/lock_stats.h): window indexing, the
+// Registry-style deterministic merge contract, JSON shape, and the
+// SpaceSaving exact->sketch transition with its count bounds.
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+
+#include "obs/lock_stats.h"
+#include "obs/timeline.h"
+
+namespace dqme::obs {
+namespace {
+
+std::string json_of(const Timeline& tl) {
+  std::ostringstream os;
+  tl.write_json(os);
+  return os.str();
+}
+
+std::string json_of(const LockStats& ls) {
+  std::ostringstream os;
+  ls.write_json(os);
+  return os.str();
+}
+
+TEST(Timeline, DisabledByDefault) {
+  Timeline tl;
+  EXPECT_FALSE(tl.enabled());
+  EXPECT_TRUE(tl.empty());
+  EXPECT_THROW(tl.counter("x"), CheckError);
+  EXPECT_THROW(tl.gauge("x"), CheckError);
+  EXPECT_THROW(tl.sketch("x", 1, 8), CheckError);
+  EXPECT_THROW(tl.mark("x", 0), CheckError);
+  EXPECT_THROW(Timeline(0, 0), CheckError);
+  EXPECT_THROW(Timeline(0, -5), CheckError);
+}
+
+TEST(Timeline, CounterWindowIndexing) {
+  Timeline tl(1000, 100);
+  Timeline::Counter& c = tl.counter("cs.completed");
+  c.record(1000);       // at == origin: window 0 (half-open lower edge)
+  c.record(1099);       // window 0
+  c.record(1100);       // window 1
+  c.record(1350, 5);    // window 3, weighted
+  c.record(500);        // pre-origin clamps to window 0
+  ASSERT_EQ(c.windows().size(), 4u);
+  EXPECT_EQ(c.windows()[0], 3u);
+  EXPECT_EQ(c.windows()[1], 1u);
+  EXPECT_EQ(c.windows()[2], 0u);
+  EXPECT_EQ(c.windows()[3], 5u);
+  EXPECT_EQ(tl.num_windows(), 4u);
+  // find-or-create returns the same series; find_* sees it without creating.
+  EXPECT_EQ(&tl.counter("cs.completed"), &c);
+  EXPECT_EQ(tl.find_counter("cs.completed"), &c);
+  EXPECT_EQ(tl.find_counter("absent"), nullptr);
+}
+
+TEST(Timeline, GaugeLastWriteWinsWithinRun) {
+  Timeline tl(0, 10);
+  Timeline::Gauge& g = tl.gauge("mpf");
+  g.record(5, 1.5);
+  g.record(9, 2.5);  // same window: overwrites
+  g.record(25, 0.5);
+  ASSERT_EQ(g.windows().size(), 3u);
+  EXPECT_DOUBLE_EQ(g.windows()[0], 2.5);
+  EXPECT_DOUBLE_EQ(g.windows()[1], 0.0);  // untouched window stays 0
+  EXPECT_DOUBLE_EQ(g.windows()[2], 0.5);
+}
+
+TEST(Timeline, SketchPerWindowPercentilesAndSpecCheck) {
+  Timeline tl(0, 100);
+  Timeline::Sketch& s = tl.sketch("waiting", 1, 16);
+  for (int i = 0; i < 100; ++i) s.record(50, 10.0);
+  s.record(150, 1000.0);
+  ASSERT_EQ(s.windows().size(), 2u);
+  EXPECT_EQ(s.windows()[0].count(), 100u);
+  EXPECT_EQ(s.windows()[1].count(), 1u);
+  EXPECT_LT(s.windows()[0].p99(), s.windows()[1].p50());
+  // Same spec resolves to the same series; another spec is a config error.
+  EXPECT_EQ(&tl.sketch("waiting", 1, 16), &s);
+  EXPECT_THROW(tl.sketch("waiting", 2, 16), CheckError);
+  EXPECT_THROW(tl.sketch("waiting", 1, 8), CheckError);
+}
+
+TEST(Timeline, MergeFoldsSeriesAndAdoptsIntoDisabled) {
+  Timeline a(0, 100);
+  a.counter("c").record(50, 2);
+  a.gauge("g").record(50, 1.0);
+  a.sketch("s", 1, 8).record(150, 4.0);
+  a.mark("crash site=0", 120);
+
+  Timeline b(0, 100);
+  b.counter("c").record(250, 3);
+  b.gauge("g").record(70, 7.0);
+  b.sketch("s", 1, 8).record(160, 9.0);
+  b.mark("crash site=0", 120);  // duplicate marker: unioned once
+  b.mark("recovery", 260);
+
+  Timeline m;  // disabled: first merge adopts the spec
+  m.merge(a);
+  m.merge(b);
+  EXPECT_TRUE(m.enabled());
+  ASSERT_EQ(m.find_counter("c")->windows().size(), 3u);
+  EXPECT_EQ(m.find_counter("c")->windows()[0], 2u);
+  EXPECT_EQ(m.find_counter("c")->windows()[2], 3u);
+  EXPECT_DOUBLE_EQ(m.find_gauge("g")->windows()[0], 7.0);  // window-max
+  EXPECT_EQ(m.find_sketch("s")->windows()[1].count(), 2u);
+  ASSERT_EQ(m.markers().size(), 2u);
+  EXPECT_EQ(m.markers()[0].label, "crash site=0");
+  EXPECT_EQ(m.markers()[1].label, "recovery");
+
+  // Merge is order-independent in content: the serialized JSON of b⊕a
+  // equals a⊕b (the determinism the --jobs sweep fold relies on).
+  Timeline m2;
+  m2.merge(b);
+  m2.merge(a);
+  EXPECT_EQ(json_of(m), json_of(m2));
+
+  // Mismatched specs refuse to fold.
+  Timeline other(0, 50);
+  other.counter("c").record(10);
+  EXPECT_THROW(m.merge(other), CheckError);
+  // Merging a disabled timeline is a no-op.
+  const std::string before = json_of(m);
+  m.merge(Timeline());
+  EXPECT_EQ(json_of(m), before);
+}
+
+TEST(Timeline, WriteJsonShapePadsEverySeries) {
+  Timeline tl(0, 100);
+  tl.counter("c").record(10);
+  tl.sketch("s", 1, 8).record(250, 2.0);  // 3 windows; counter has 1
+  tl.gauge("g").record(50, 1.25);
+  tl.mark("note", 40);
+  const std::string js = json_of(tl);
+  EXPECT_NE(js.find("\"origin\": 0, \"window\": 100, \"windows\": 3"),
+            std::string::npos);
+  // The counter array is padded to the common window count.
+  EXPECT_NE(js.find("\"c\": [1, 0, 0]"), std::string::npos);
+  EXPECT_NE(js.find("\"g\": [1.25, 0, 0]"), std::string::npos);
+  EXPECT_NE(js.find("\"p999\""), std::string::npos);
+  EXPECT_NE(js.find("{\"at\": 40, \"label\": \"note\"}"), std::string::npos);
+}
+
+// ------------------------------------------------------------- LockStats
+
+TEST(LockStats, ExactWhileUnderCapacity) {
+  LockStats ls(4);
+  EXPECT_TRUE(ls.enabled());
+  ls.record(2, 10.0);
+  ls.record(0, 5.0);
+  ls.record(2, 20.0);
+  EXPECT_TRUE(ls.exact());
+  EXPECT_EQ(ls.total(), 3u);
+  EXPECT_EQ(ls.tracked(), 2u);
+  const auto top = ls.top(0);
+  ASSERT_EQ(top.size(), 2u);
+  EXPECT_EQ(top[0].lock, 2);
+  EXPECT_EQ(top[0].count, 2u);
+  EXPECT_EQ(top[0].overcount, 0u);
+  EXPECT_DOUBLE_EQ(top[0].wait_sum, 30.0);
+  EXPECT_EQ(top[1].lock, 0);
+}
+
+TEST(LockStats, DisabledRecordsNothing) {
+  LockStats ls;  // capacity 0
+  EXPECT_FALSE(ls.enabled());
+  ls.record(1, 1.0);
+  EXPECT_EQ(ls.total(), 0u);
+  EXPECT_EQ(ls.tracked(), 0u);
+}
+
+TEST(LockStats, SpaceSavingEvictionKeepsHeavyHitterBounds) {
+  LockStats ls(2);
+  // Lock 7 is genuinely hot; locks 1..4 are one-off noise that churns the
+  // second slot.
+  for (int i = 0; i < 10; ++i) ls.record(7, 1.0);
+  ls.record(1, 1.0);
+  ls.record(2, 1.0);
+  ls.record(3, 1.0);
+  ls.record(4, 1.0);
+  EXPECT_FALSE(ls.exact());
+  EXPECT_GT(ls.evictions(), 0u);
+  EXPECT_EQ(ls.total(), 14u);
+  const auto top = ls.top(1);
+  ASSERT_EQ(top.size(), 1u);
+  // The heavy hitter survives with an exact count (never evicted).
+  EXPECT_EQ(top[0].lock, 7);
+  EXPECT_EQ(top[0].count, 10u);
+  EXPECT_EQ(top[0].overcount, 0u);
+  // Every tracked entry keeps count - overcount <= true count <= count.
+  for (const auto& e : ls.top(0)) EXPECT_LE(e.overcount, e.count);
+}
+
+TEST(LockStats, MergeAdoptsSumsAndReEvicts) {
+  LockStats a(4);
+  a.record(0, 1.0);
+  a.record(0, 1.0);
+  a.record(1, 1.0);
+  LockStats b(4);
+  b.record(0, 2.0);
+  b.record(2, 1.0);
+  b.record(3, 1.0);
+  b.record(4, 1.0);
+
+  LockStats m;  // disabled: adopts
+  m.merge(a);
+  m.merge(b);
+  EXPECT_EQ(m.total(), 7u);
+  EXPECT_EQ(m.capacity(), 4u);
+  // Union has 5 locks > capacity 4: the merge must re-evict and say so.
+  EXPECT_EQ(m.tracked(), 4u);
+  EXPECT_GT(m.evictions(), 0u);
+  const auto top = m.top(1);
+  ASSERT_EQ(top.size(), 1u);
+  EXPECT_EQ(top[0].lock, 0);
+  EXPECT_EQ(top[0].count, 3u);
+  EXPECT_DOUBLE_EQ(top[0].wait_sum, 4.0);
+
+  // Deterministic content for either fold order.
+  LockStats m2;
+  m2.merge(b);
+  m2.merge(a);
+  EXPECT_EQ(json_of(m), json_of(m2));
+}
+
+TEST(LockStats, WriteJsonShape) {
+  LockStats ls(8);
+  ls.record(3, 12.0);
+  const std::string js = json_of(ls);
+  EXPECT_NE(js.find("\"capacity\": 8"), std::string::npos);
+  EXPECT_NE(js.find("\"total\": 1"), std::string::npos);
+  EXPECT_NE(js.find("\"lock\": 3"), std::string::npos);
+  EXPECT_NE(js.find("\"wait_sum\": 12"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace dqme::obs

@@ -34,6 +34,7 @@
 
 #include "harness/experiment.h"
 #include "harness/table.h"
+#include "obs/flight_recorder.h"
 #include "obs/invariants.h"
 #include "obs/model.h"
 #include "obs/span.h"
@@ -57,7 +58,12 @@ void usage(const char* argv0) {
       << "  --liveness-bound TICKS   override the auto watchdog bound\n"
       << "  --tolerance X    max model divergence (default 0.05; single\n"
       << "                   run gates on it only when given explicitly)\n"
-      << "  --report-out FILE  write a JSON verdict\n";
+      << "  --report-out FILE  write a JSON verdict\n"
+      << "  --flightrec-out PATH\n"
+      << "                   black-box flight recorder: single run / smoke\n"
+      << "                   rows dump PATH(-row) on the first violation;\n"
+      << "                   selftest uses PATH as the per-case dump prefix\n"
+      << "                   (default flightrec_selftest_)\n";
 }
 
 // ------------------------------------------------------------ JSON report
@@ -122,21 +128,53 @@ struct SelfCase {
   bool expect_violation = true;
   uint64_t violations = 0;
   std::string first_report;
+  // Flight-recorder verdict: the dump file exists and its TAIL — the last
+  // recorded event — is the seeded violation. Only meaningful (and only
+  // gated) when expect_violation; clean cases must not dump at all.
+  bool dump_ok = false;
+  bool dumped = false;
+  std::string dump_path;
 };
+
+// The dump's last trace event (one event per line; the otherData footer
+// has no "ph" key, so the last "ph" line IS the newest ring entry).
+std::string last_event_line(const std::string& path) {
+  std::ifstream f(path);
+  std::string line, last;
+  while (std::getline(f, line))
+    if (line.find("\"ph\":") != std::string::npos) last = line;
+  return last;
+}
 
 SelfCase run_self_case(const std::string& name, bool expect_violation,
                        Time liveness_bound,
                        const std::function<void(obs::InvariantChecker&)>& fn,
-                       Time finish_at) {
+                       Time finish_at, const std::string& dump_prefix) {
   sim::Simulator sim;
   net::Network net(sim, 4, std::make_unique<net::UniformDelay>(500, 1500), 1);
   obs::InvariantOptions opts;
   opts.liveness_bound = liveness_bound;
   obs::InvariantChecker checker(net, opts);
+  // Black box per case: every scripted delivery and span edge lands in the
+  // ring, so the dump written at first-violation time ends with the
+  // violating event preceded by the traffic that caused it.
+  obs::FlightRecorder flightrec(64);
+  flightrec.set_label("dqme_check --selftest " + name);
+  flightrec.set_dump_path(dump_prefix + name + ".json");
+  checker.set_flight_recorder(&flightrec);
   fn(checker);
   checker.finish(finish_at);
-  SelfCase c{name, expect_violation, checker.violations(), {}};
+  SelfCase c;
+  c.name = name;
+  c.expect_violation = expect_violation;
+  c.violations = checker.violations();
   if (!checker.reports().empty()) c.first_report = checker.reports().front();
+  c.dumped = flightrec.dumped();
+  c.dump_path = dump_prefix + name + ".json";
+  if (c.dumped) {
+    const std::string tail = last_event_line(c.dump_path);
+    c.dump_ok = tail.find("\"violation\"") != std::string::npos;
+  }
   return c;
 }
 
@@ -148,9 +186,12 @@ net::Message wire(net::Message m, SiteId src, SiteId dst, Time sent_at) {
   return m;
 }
 
-int run_selftest(const std::string& report_out) {
+int run_selftest(const std::string& report_out,
+                 const std::string& flightrec_out) {
   const ReqId r1{10, 1};  // site 1's request
   const ReqId r2{20, 2};  // site 2's request
+  const std::string prefix =
+      flightrec_out.empty() ? "flightrec_selftest_" : flightrec_out;
   std::vector<SelfCase> cases;
 
   // A legal direct-grant -> transfer -> proxied-handoff -> release cycle
@@ -170,7 +211,7 @@ int run_selftest(const std::string& report_out) {
         ck.on_span_exit(2, kLock0, span_of(r2), 40);
         ck.observe(wire(net::make_release(r2, ReqId{}), 2, 0, 40), 45);
       },
-      50));
+      50, prefix));
 
   // Safety: two sites inside the CS at once (Theorem 1 broken).
   cases.push_back(run_self_case(
@@ -183,7 +224,7 @@ int run_selftest(const std::string& report_out) {
         ck.on_span_exit(1, kLock0, span_of(r1), 20);
         ck.on_span_exit(2, kLock0, span_of(r2), 21);
       },
-      30));
+      30, prefix));
 
   // Safety: an arbiter double-grants its permission.
   cases.push_back(run_self_case(
@@ -194,7 +235,7 @@ int run_selftest(const std::string& report_out) {
         ck.observe(wire(net::make_reply(0, r1), 0, 1, 5), 10);
         ck.observe(wire(net::make_reply(0, r2), 0, 2, 6), 11);  // still held
       },
-      30));
+      30, prefix));
 
   // Conservation: an accepted transfer the holder never discharges — the
   // lost-permission leak Lemma 3's liveness argument forbids.
@@ -208,7 +249,7 @@ int run_selftest(const std::string& report_out) {
         ck.observe(wire(net::make_transfer(r2, 0, r1), 0, 1, 14), 18);
         ck.on_span_exit(1, kLock0, span_of(r1), 25);  // exits without forwarding
       },
-      60));
+      60, prefix));
 
   // Conservation: FIFO inversion on one channel.
   cases.push_back(run_self_case(
@@ -217,7 +258,7 @@ int run_selftest(const std::string& report_out) {
         ck.observe(wire(net::make_request(r1), 1, 0, 100), 110);
         ck.observe(wire(net::make_request(r1), 1, 0, 50), 115);  // older
       },
-      120));
+      120, prefix));
 
   // Liveness: a request open past the watchdog bound with no progress.
   cases.push_back(run_self_case(
@@ -225,7 +266,7 @@ int run_selftest(const std::string& report_out) {
       [&](obs::InvariantChecker& ck) {
         ck.on_span_issue(1, kLock0, span_of(r1), 0);
       },
-      5000));
+      5000, prefix));
 
   // Liveness, crash-aware: the same stall is written off when the owner
   // crashed — §6 requires recovery to stay quiet, not be reported.
@@ -235,30 +276,40 @@ int run_selftest(const std::string& report_out) {
         ck.on_span_issue(1, kLock0, span_of(r1), 0);
         ck.on_crash(1);
       },
-      5000));
+      5000, prefix));
 
   Report rep;
   rep.mode = "selftest";
-  harness::Table t({"case", "expect", "violations", "verdict"});
+  harness::Table t({"case", "expect", "violations", "flightrec", "verdict"});
   for (const SelfCase& c : cases) {
-    const bool pass = (c.violations > 0) == c.expect_violation;
+    const bool detect = (c.violations > 0) == c.expect_violation;
+    // Seeded negatives must also leave a usable black box behind: a dump
+    // exists and its newest ring entry is the violation. Clean cases must
+    // not dump (no violation ever fired).
+    const bool box = c.expect_violation ? c.dump_ok : !c.dumped;
+    const bool pass = detect && box;
     rep.ok = rep.ok && pass;
     ++rep.checks;
     if (!pass) ++rep.violations;
     std::ostringstream note;
     note << c.name << ": " << (pass ? "pass" : "FAIL");
+    if (!detect) note << " (detection)";
+    if (!box) note << " (flight recorder)";
     if (!c.first_report.empty()) note << " [" << c.first_report << "]";
     rep.notes.push_back(note.str());
     t.add_row({c.name, c.expect_violation ? "violation" : "clean",
                harness::Table::integer(c.violations),
+               c.expect_violation
+                   ? (c.dump_ok ? c.dump_path : "BAD DUMP")
+                   : (c.dumped ? "UNEXPECTED DUMP" : "-"),
                pass ? "pass" : "FAIL"});
   }
   std::cout << "dqme_check --selftest: seeded-negative detection\n\n";
   t.print(std::cout);
-  std::cout << (rep.ok ? "\nOK: every seeded violation detected, clean "
-                         "cases quiet.\n"
-                       : "\nFAILED: the checker missed a seeded violation "
-                         "or flagged a clean case.\n");
+  std::cout << (rep.ok ? "\nOK: every seeded violation detected (and black-"
+                         "boxed), clean cases quiet.\n"
+                       : "\nFAILED: the checker missed a seeded violation, "
+                         "flagged a clean case, or wrote a bad dump.\n");
   return emit(rep, report_out);
 }
 
@@ -436,8 +487,10 @@ void describe_run(const harness::ExperimentConfig& cfg,
 }
 
 int run_single(harness::ExperimentConfig cfg, double rate, double tolerance,
-               bool gate_divergence, const std::string& report_out) {
+               bool gate_divergence, const std::string& report_out,
+               const std::string& flightrec_out) {
   cfg.check_invariants = true;
+  cfg.flight_recorder_dump = flightrec_out;
   if (cfg.workload.mode == harness::Workload::Config::Mode::kOpen) {
     const double capacity = 1.0 / static_cast<double>(
                                       2 * cfg.mean_delay +
@@ -472,7 +525,8 @@ int run_single(harness::ExperimentConfig cfg, double rate, double tolerance,
   return emit(rep, report_out);
 }
 
-int run_smoke(double tolerance, uint64_t seed, const std::string& report_out) {
+int run_smoke(double tolerance, uint64_t seed, const std::string& report_out,
+              const std::string& flightrec_out) {
   // Closed loop under constant delay: the regime where Table 1's closed
   // forms are exact, so divergence is protocol error, not workload noise.
   struct Row {
@@ -502,6 +556,21 @@ int run_smoke(double tolerance, uint64_t seed, const std::string& report_out) {
     cfg.delay_kind = harness::ExperimentConfig::DelayKind::kConstant;
     cfg.seed = seed;
     cfg.check_invariants = true;
+    const std::string label = std::string(mutex::to_string(row.algo)) +
+                              "/N" + std::to_string(row.n);
+    if (!flightrec_out.empty()) {
+      // Per-row dump: insert the row label before the extension so a
+      // failing matrix leaves one black box per configuration.
+      std::string stem = flightrec_out, ext;
+      const auto dot = stem.rfind('.');
+      if (dot != std::string::npos && dot > stem.rfind('/') + 1) {
+        ext = stem.substr(dot);
+        stem.resize(dot);
+      }
+      std::string tag = label;
+      std::replace(tag.begin(), tag.end(), '/', '-');
+      cfg.flight_recorder_dump = stem + "-" + tag + ext;
+    }
     const harness::ExperimentResult r = harness::run_experiment(cfg);
     const double div_delay = gauge_or(r, "model_divergence_sync_delay", 0);
     const double div_msgs = gauge_or(r, "model_divergence_msgs", 0);
@@ -511,8 +580,6 @@ int run_smoke(double tolerance, uint64_t seed, const std::string& report_out) {
     rep.ok = rep.ok && ok;
     rep.checks += r.invariant_checks;
     rep.violations += r.invariant_violations;
-    const std::string label = std::string(mutex::to_string(row.algo)) +
-                              "/N" + std::to_string(row.n);
     rep.stats.push_back({label + ".div_delay", div_delay});
     rep.stats.push_back({label + ".div_msgs", div_msgs});
     for (const std::string& note : r.invariant_reports)
@@ -546,11 +613,26 @@ int main(int argc, char** argv) try {
   double tolerance = 0.05;
   bool gate_divergence = false;
   bool selftest = false;
-  std::string trace_path, preset, report_out;
+  std::string trace_path, preset, report_out, flightrec_out;
 
   for (int i = 1; i < argc; ++i) {
-    const std::string a = argv[i];
+    // Accept both "--flag value" and "--flag=value" (CI uses the latter).
+    std::string a = argv[i];
+    std::string inline_val;
+    bool has_inline = false;
+    if (a.rfind("--", 0) == 0) {
+      const auto eq = a.find('=');
+      if (eq != std::string::npos) {
+        inline_val = a.substr(eq + 1);
+        a.resize(eq);
+        has_inline = true;
+      }
+    }
     auto next = [&]() -> const char* {
+      if (has_inline) {
+        has_inline = false;
+        return inline_val.c_str();
+      }
       if (i + 1 >= argc) {
         std::cerr << "missing value for " << a << "\n";
         std::exit(2);
@@ -568,6 +650,8 @@ int main(int argc, char** argv) try {
       preset = next();
     } else if (a == "--report-out") {
       report_out = next();
+    } else if (a == "--flightrec-out") {
+      flightrec_out = next();
     } else if (a == "--tolerance") {
       tolerance = std::atof(next());
       gate_divergence = true;
@@ -615,18 +699,23 @@ int main(int argc, char** argv) try {
       usage(argv[0]);
       return 2;
     }
+    if (has_inline) {
+      std::cerr << a << " does not take a value\n";
+      return 2;
+    }
   }
 
-  if (selftest) return run_selftest(report_out);
+  if (selftest) return run_selftest(report_out, flightrec_out);
   if (!trace_path.empty()) return run_trace_check(trace_path, report_out);
   if (!preset.empty()) {
     if (preset != "smoke") {
       std::cerr << "unknown preset: " << preset << "\n";
       return 2;
     }
-    return run_smoke(tolerance, cfg.seed, report_out);
+    return run_smoke(tolerance, cfg.seed, report_out, flightrec_out);
   }
-  return run_single(cfg, rate, tolerance, gate_divergence, report_out);
+  return run_single(cfg, rate, tolerance, gate_divergence, report_out,
+                    flightrec_out);
 } catch (const dqme::CheckError& e) {
   std::cerr << "configuration error: " << e.what() << "\n";
   return 2;

@@ -50,6 +50,9 @@ void usage(const char* argv0) {
       << "  --repro-out FILE   write the first violation as a replayable\n"
       << "                     schedule (dqme_sim --replay-schedule FILE)\n"
       << "  --trace-out FILE   Chrome trace of the first counterexample\n"
+      << "  --flightrec-out FILE  flight-recorder dump of the replayed\n"
+      << "                     counterexample (ring tail ends in the\n"
+      << "                     violation)\n"
       << "  --json FILE        machine-readable report\n"
       << "  --frontier-out FILE  serialize the DFS stack when a budget\n"
       << "                     suspends the search\n"
@@ -65,6 +68,7 @@ struct Options {
   bool compare_naive = false;
   std::string repro_out;
   std::string trace_out;
+  std::string flightrec_out;
   std::string json_out;
   std::string frontier_out;
   std::string resume;
@@ -123,6 +127,8 @@ bool parse_args(int argc, char** argv, Options& opt) {
       opt.repro_out = next();
     } else if (a == "--trace-out") {
       opt.trace_out = next();
+    } else if (a == "--flightrec-out") {
+      opt.flightrec_out = next();
     } else if (a == "--json") {
       opt.json_out = next();
     } else if (a == "--frontier-out") {
@@ -241,23 +247,37 @@ bool write_violation_artifacts(const Options& opt,
               << v.schedule.size() << " actions) — replay with: dqme_sim "
               << "--replay-schedule " << opt.repro_out << "\n";
   }
-  if (!opt.trace_out.empty()) {
+  if (!opt.trace_out.empty() || !opt.flightrec_out.empty()) {
     auto world =
         verify::replay_schedule(opt.explorer.world, v.schedule, true);
-    obs::ChromeTraceData data;
-    data.n_sites = opt.explorer.world.n;
-    data.label = "dqme_explore counterexample (" +
-                 std::string(mutex::to_string(opt.explorer.world.algo)) + ")";
-    data.messages = world->trace_recorder()->events();
-    data.span_events = world->span_recorder()->events();
-    std::ofstream f(opt.trace_out);
-    if (!f) {
-      std::cerr << "cannot write " << opt.trace_out << "\n";
-      return false;
+    if (!opt.trace_out.empty()) {
+      obs::ChromeTraceData data;
+      data.n_sites = opt.explorer.world.n;
+      data.label =
+          "dqme_explore counterexample (" +
+          std::string(mutex::to_string(opt.explorer.world.algo)) + ")";
+      data.messages = world->trace_recorder()->events();
+      data.span_events = world->span_recorder()->events();
+      std::ofstream f(opt.trace_out);
+      if (!f) {
+        std::cerr << "cannot write " << opt.trace_out << "\n";
+        return false;
+      }
+      obs::write_chrome_trace(f, data);
+      std::cout << "[trace] wrote " << opt.trace_out << " ("
+                << data.messages.size() << " messages)\n";
     }
-    obs::write_chrome_trace(f, data);
-    std::cout << "[trace] wrote " << opt.trace_out << " ("
-              << data.messages.size() << " messages)\n";
+    if (!opt.flightrec_out.empty()) {
+      // The replayed World wires its checker into the capture-mode flight
+      // recorder, so the ring now ends with the replayed violation.
+      obs::FlightRecorder* fr = world->flight_recorder();
+      if (fr == nullptr || !fr->dump_to(opt.flightrec_out)) {
+        std::cerr << "cannot write " << opt.flightrec_out << "\n";
+        return false;
+      }
+      std::cout << "[flightrec] wrote " << opt.flightrec_out << " ("
+                << fr->size() << " ring events)\n";
+    }
   }
   return true;
 }

@@ -8,11 +8,25 @@
 // to one request's story, and --json exports the same run as Chrome
 // trace-event JSON for chrome://tracing / ui.perfetto.dev.
 //
-// usage: dqme_trace [N] [num_cs] [seed] [--span=SITE:SEQ] [--json[=PATH]]
+// Multi-lock service runs: --locks=M shards the scenario over M independent
+// locks (the x3 lock-service shape, shrunk to readable size); every line
+// then carries its LockId, and --lock=ID slices the timeline — text or
+// Chrome JSON — down to one lock's story.
+//
+// --timeline=FILE is a render mode, no simulation: it reads the windowed
+// timeline JSON a bench emits under its "timeline" key (or a raw
+// obs::Timeline::write_json file) and prints each series as an ASCII
+// sparkline with markers. The timeline writer pins one series per line for
+// exactly this consumer — no JSON library here.
+//
+// usage: dqme_trace [N] [num_cs] [seed] [--span=SITE:SEQ] [--lock=ID]
+//                   [--locks=M] [--json[=PATH]] [--timeline=FILE]
 //   (defaults: 4 sites, 6 CS, seed 1; --json with no PATH writes stdout)
+#include <algorithm>
 #include <cstdlib>
 #include <fstream>
 #include <iostream>
+#include <sstream>
 #include <string>
 #include <vector>
 
@@ -26,7 +40,184 @@ namespace {
 
 void usage() {
   std::cerr << "usage: dqme_trace [N] [num_cs] [seed] [--span=SITE:SEQ] "
-               "[--json[=PATH]]\n";
+               "[--lock=ID] [--locks=M] [--json[=PATH]] "
+               "[--timeline=FILE]\n";
+}
+
+// ---- --timeline render mode -------------------------------------------
+// Line-oriented scan of obs::Timeline::write_json output: the writer emits
+// one series per line, so a find/strtod pass recovers every array without
+// a JSON parser. Works on a raw timeline file or a bench --json file (the
+// timeline object sits under the "timeline" key; the registry object is a
+// single unrelated line and never matches the "origin" anchor first).
+
+// First double after `"key": ` on the line, or fallback when absent.
+double field_num(const std::string& line, const std::string& key,
+                 double fallback) {
+  const std::string anchor = "\"" + key + "\":";
+  const auto at = line.find(anchor);
+  if (at == std::string::npos) return fallback;
+  return std::strtod(line.c_str() + at + anchor.size(), nullptr);
+}
+
+// First quoted string on the line (series/marker names never contain
+// escapes — Timeline::write_json escapes only `"` and `\`, and every name
+// this repo emits is plain).
+std::string first_quoted(const std::string& line) {
+  const auto b = line.find('"');
+  if (b == std::string::npos) return {};
+  const auto e = line.find('"', b + 1);
+  if (e == std::string::npos) return {};
+  return line.substr(b + 1, e - b - 1);
+}
+
+// Numbers of the first [...] on the line.
+std::vector<double> parse_array(const std::string& line) {
+  std::vector<double> v;
+  auto pos = line.find('[');
+  if (pos == std::string::npos) return v;
+  const char* p = line.c_str() + pos + 1;
+  while (*p != '\0' && *p != ']') {
+    char* end = nullptr;
+    const double x = std::strtod(p, &end);
+    if (end == p) break;
+    v.push_back(x);
+    p = end;
+    while (*p == ',' || *p == ' ') ++p;
+  }
+  return v;
+}
+
+std::string sparkline(const std::vector<double>& v) {
+  static const char kLevels[] = " .:-=+*#%@";
+  double mx = 0;
+  for (double x : v) mx = std::max(mx, x);
+  std::string s;
+  for (double x : v) {
+    const int i =
+        mx > 0 ? static_cast<int>(x / mx * 9.0 + 0.5) : 0;  // 0..9
+    s += kLevels[std::clamp(i, 0, 9)];
+  }
+  return s;
+}
+
+void render_series(const std::string& label, const std::vector<double>& v,
+                   size_t width) {
+  double mx = 0;
+  for (double x : v) mx = std::max(mx, x);
+  std::cout << "  " << label << std::string(width - label.size(), ' ')
+            << " |" << sparkline(v) << "|  max " << mx << "\n";
+}
+
+int render_timeline(const std::string& path) {
+  using dqme::Time;
+  std::ifstream f(path);
+  if (!f) {
+    std::cerr << "dqme_trace: cannot read " << path << "\n";
+    return 2;
+  }
+  std::vector<std::string> lines;
+  for (std::string line; std::getline(f, line);) lines.push_back(line);
+
+  // Anchor on the timeline header line (raw file or bench "timeline" key).
+  size_t start = lines.size();
+  for (size_t i = 0; i < lines.size(); ++i)
+    if (lines[i].find("\"origin\":") != std::string::npos) {
+      start = i;
+      break;
+    }
+  if (start == lines.size()) {
+    std::cerr << "dqme_trace: no timeline in " << path
+              << " (missing \"origin\" key — was the bench run with a "
+                 "timeline_window?)\n";
+    return 1;
+  }
+  const auto origin = static_cast<Time>(field_num(lines[start], "origin", 0));
+  const auto window = static_cast<Time>(field_num(lines[start], "window", 0));
+  const auto windows = static_cast<size_t>(
+      field_num(lines[start], "windows", 0));
+  std::cout << "timeline: origin=" << origin << " window=" << window
+            << " windows=" << windows << "  (" << path << ")\n";
+
+  // Collect (section-qualified label, values) pairs, then markers.
+  struct Series {
+    std::string label;
+    std::vector<double> vals;
+  };
+  std::vector<Series> series;
+  struct Marker {
+    Time at;
+    std::string label;
+  };
+  std::vector<Marker> markers;
+  enum class Sec { kNone, kCounters, kGauges, kSketches } sec = Sec::kNone;
+  std::string sketch;  // current sketch name inside the sketches section
+  for (size_t i = start; i < lines.size(); ++i) {
+    const std::string& line = lines[i];
+    if (line.find("\"counters\": {") != std::string::npos) {
+      sec = Sec::kCounters;
+      continue;
+    }
+    if (line.find("\"gauges\": {") != std::string::npos) {
+      sec = Sec::kGauges;
+      continue;
+    }
+    if (line.find("\"sketches\": {") != std::string::npos) {
+      sec = Sec::kSketches;
+      continue;
+    }
+    if (line.find("\"markers\": [") != std::string::npos) {
+      // Single line of {"at": T, "label": "..."} objects.
+      for (auto pos = line.find('{'); pos != std::string::npos;
+           pos = line.find('{', pos + 1)) {
+        const auto end = line.find('}', pos);
+        if (end == std::string::npos) break;
+        const std::string obj = line.substr(pos, end - pos + 1);
+        const auto lab = obj.find("\"label\":");
+        if (lab == std::string::npos) continue;
+        markers.push_back(
+            {static_cast<Time>(field_num(obj, "at", 0)),
+             first_quoted(obj.substr(lab + 8))});
+        pos = end;
+      }
+      break;  // markers close the timeline object
+    }
+    const auto first_char = line.find_first_not_of(' ');
+    if (first_char == std::string::npos || line[first_char] != '"') continue;
+    const std::string name = first_quoted(line);
+    if (name.empty()) continue;
+    switch (sec) {
+      case Sec::kCounters:
+      case Sec::kGauges:
+        series.push_back({name, parse_array(line)});
+        break;
+      case Sec::kSketches:
+        if (line.find(": {") != std::string::npos) {
+          sketch = name;  // header line: "waiting": {"lo": .., ..
+        } else if (name != "lo" && name != "buckets") {
+          series.push_back({sketch + "." + name, parse_array(line)});
+        }
+        break;
+      case Sec::kNone:
+        break;
+    }
+  }
+
+  size_t width = 0;
+  for (const Series& s : series) width = std::max(width, s.label.size());
+  std::cout << "\n";
+  for (const Series& s : series) render_series(s.label, s.vals, width);
+  if (!markers.empty()) {
+    std::cout << "\nmarkers:\n";
+    for (const Marker& m : markers) {
+      const size_t w =
+          window > 0 && m.at > origin
+              ? static_cast<size_t>((m.at - origin) / window)
+              : 0;
+      std::cout << "  w" << w << "  @" << m.at << "  " << m.label << "\n";
+    }
+  }
+  return 0;
 }
 
 }  // namespace
@@ -38,6 +229,9 @@ int main(int argc, char** argv) {
   bool json = false;
   std::string json_path;  // empty = stdout
   SpanId only_span = kNoSpan;
+  LockId only_lock = kNoLock;
+  LockId num_locks = 1;
+  std::string timeline_path;
   for (int i = 1; i < argc; ++i) {
     const std::string a = argv[i];
     if (a == "--help" || a == "-h") {
@@ -55,6 +249,20 @@ int main(int argc, char** argv) {
                   << "' (expected SITE:SEQ or a packed id)\n";
         return 2;
       }
+    } else if (a.rfind("--lock=", 0) == 0) {
+      only_lock = static_cast<LockId>(std::atoll(a.substr(7).c_str()));
+      if (only_lock < 0) {
+        std::cerr << "dqme_trace: bad lock id '" << a.substr(7) << "'\n";
+        return 2;
+      }
+    } else if (a.rfind("--locks=", 0) == 0) {
+      num_locks = static_cast<LockId>(std::atoll(a.substr(8).c_str()));
+      if (num_locks < 1) {
+        std::cerr << "dqme_trace: --locks needs a positive count\n";
+        return 2;
+      }
+    } else if (a.rfind("--timeline=", 0) == 0) {
+      timeline_path = a.substr(11);
     } else if (a.rfind("--", 0) == 0) {
       std::cerr << "dqme_trace: unknown flag '" << a << "'\n";
       usage();
@@ -63,8 +271,15 @@ int main(int argc, char** argv) {
       positional.push_back(a);
     }
   }
+  if (!timeline_path.empty()) return render_timeline(timeline_path);
   if (positional.size() > 3) {
     usage();
+    return 2;
+  }
+  if (only_lock != kNoLock && only_lock >= num_locks) {
+    std::cerr << "dqme_trace: --lock=" << only_lock << " out of range "
+              << "(run has " << num_locks << " lock"
+              << (num_locks == 1 ? "" : "s") << "; raise --locks)\n";
     return 2;
   }
   const int n = !positional.empty() ? std::atoi(positional[0].c_str()) : 4;
@@ -87,8 +302,11 @@ int main(int argc, char** argv) {
 
   std::vector<std::unique_ptr<core::CaoSinghalSite>> sites;
   std::vector<mutex::MutexSite*> raw;
+  core::CaoSinghalSite::Options site_opts;
+  site_opts.num_locks = num_locks;
   for (SiteId i = 0; i < n; ++i) {
-    sites.push_back(std::make_unique<core::CaoSinghalSite>(i, net, *quorums));
+    sites.push_back(
+        std::make_unique<core::CaoSinghalSite>(i, net, *quorums, site_opts));
     net.attach(i, sites.back().get());
     spans.attach(*sites.back());
     raw.push_back(sites.back().get());
@@ -97,6 +315,7 @@ int main(int argc, char** argv) {
   // Annotate CS entries/exits inline with the message flow.
   struct Annotation {
     Time at;
+    LockId lock;
     std::string what;
   };
   std::vector<Annotation> marks;
@@ -107,14 +326,16 @@ int main(int argc, char** argv) {
   wc.max_cs_per_site = (num_cs + static_cast<uint64_t>(n) - 1) /
                        static_cast<uint64_t>(n);
   wc.seed = seed;
+  wc.num_locks = num_locks;
   harness::Workload wl(sim, raw, wc, nullptr);
   for (auto* s : raw) {
     auto inner = s->on_enter;
     s->on_enter = [&, inner, s](SiteId id, LockId lock) {
-      marks.push_back({sim.now(), "site " + std::to_string(id) +
-                                      " ENTERS the critical section [span " +
-                                      obs::format_span(s->active_span()) +
-                                      "]"});
+      std::string what =
+          "site " + std::to_string(id) + " ENTERS the critical section";
+      if (num_locks > 1) what += " [lock " + std::to_string(lock) + "]";
+      what += " [span " + obs::format_span(s->active_span(lock)) + "]";
+      marks.push_back({sim.now(), lock, std::move(what)});
       inner(id, lock);
     };
   }
@@ -129,6 +350,7 @@ int main(int argc, char** argv) {
     data.messages = trace.events();
     data.span_events = spans.events();
     data.only_span = only_span;
+    data.only_lock = only_lock;
     if (json_path.empty()) {
       obs::write_chrome_trace(std::cout, data);
     } else {
@@ -154,26 +376,38 @@ int main(int argc, char** argv) {
       std::cout << s << ' ';
     std::cout << "}\n";
   }
+  if (num_locks > 1)
+    std::cout << "(" << num_locks << " independent locks, LockId tagged "
+              << "per line)\n";
   if (only_span != kNoSpan)
     std::cout << "(showing only span " << obs::format_span(only_span)
               << ")\n";
+  if (only_lock != kNoLock)
+    std::cout << "(showing only lock " << only_lock << ")\n";
   std::cout << '\n';
 
   size_t shown = 0;
   size_t next_mark = 0;
+  const auto keep_mark = [&](const Annotation& m) {
+    return only_lock == kNoLock || m.lock == only_lock;
+  };
   for (const net::TraceEvent& e : trace.events()) {
     while (next_mark < marks.size() && marks[next_mark].at <= e.at) {
-      std::cout << "           >>> " << marks[next_mark].what << '\n';
+      if (keep_mark(marks[next_mark]))
+        std::cout << "           >>> " << marks[next_mark].what << '\n';
       ++next_mark;
     }
     if (only_span != kNoSpan && e.msg.span != only_span) continue;
+    if (only_lock != kNoLock && e.lock != only_lock) continue;
     std::cout.width(10);
-    std::cout << e.at << "  " << e.msg << "  [span "
-              << obs::format_span(e.msg.span) << "]\n";
+    std::cout << e.at << "  " << e.msg;
+    if (num_locks > 1) std::cout << "  [lock " << e.lock << "]";
+    std::cout << "  [span " << obs::format_span(e.msg.span) << "]\n";
     ++shown;
   }
   while (next_mark < marks.size()) {
-    std::cout << "           >>> " << marks[next_mark].what << '\n';
+    if (keep_mark(marks[next_mark]))
+      std::cout << "           >>> " << marks[next_mark].what << '\n';
     ++next_mark;
   }
   std::cout << "\n" << marks.size() << " CS executions, " << shown
