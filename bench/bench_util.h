@@ -28,6 +28,7 @@
 #include "harness/experiment.h"
 #include "harness/table.h"
 #include "obs/chrome_trace.h"
+#include "obs/critpath.h"
 #include "obs/lock_stats.h"
 
 namespace dqme::bench {
@@ -229,12 +230,16 @@ inline std::string json_num(double v) {
 // key — per-window series + markers, same determinism contract.
 // `lock_stats` (optional) embeds the merged obs::LockStats hot-set tracker
 // under a "lock_stats" key.
+// `critpath` (optional) embeds the merged obs::CritStats delay budget
+// under a "critpath" key — integer counters merged in result-index order,
+// so the bytes are identical for any --jobs value.
 inline void write_bench_json(const BenchOptions& opts, bool ok,
                              double wall_ms, double events_per_sec,
                              const std::vector<JsonMetric>& metrics,
                              const obs::Registry* registry = nullptr,
                              const obs::Timeline* timeline = nullptr,
-                             const obs::LockStats* lock_stats = nullptr) {
+                             const obs::LockStats* lock_stats = nullptr,
+                             const obs::CritStats* critpath = nullptr) {
   if (!opts.json) return;
   std::ofstream f(opts.json_path);
   if (!f) {
@@ -268,6 +273,10 @@ inline void write_bench_json(const BenchOptions& opts, bool ok,
   if (lock_stats != nullptr && lock_stats->enabled()) {
     f << ",\n  \"lock_stats\": ";
     lock_stats->write_json(f);
+  }
+  if (critpath != nullptr && critpath->enabled()) {
+    f << ",\n  \"critpath\": ";
+    critpath->write_json(f);
   }
   f << "\n}\n";
   std::cout << "  [json] wrote " << opts.json_path << "\n";

@@ -169,15 +169,17 @@ class Runner {
     obs::Registry merged;
     obs::Timeline merged_tl;
     obs::LockStats merged_ls;
+    obs::CritStats merged_cp;
     for (const Row& row : rows_) {
       merged.merge(harness::merge_registries(row.runs));
       for (const auto& r : row.runs) {
         merged_tl.merge(r.timeline);
         merged_ls.merge(r.lock_stats);
+        merged_cp.merge(r.critpath);
       }
     }
     write_bench_json(opts_, ok_, wall_ms_, events_per_sec(), jm, &merged,
-                     &merged_tl, &merged_ls);
+                     &merged_tl, &merged_ls, &merged_cp);
     return ok_ ? 0 : 1;
   }
 

@@ -1,0 +1,172 @@
+#!/usr/bin/env python3
+"""Validate critical-path delay-budget JSON (obs::CritStats::write_json).
+
+Accepts any of:
+  * a bare CritStats object (`dqme_critpath --json=FILE`),
+  * a bench --json file carrying a top-level "critpath" key,
+  * the `dqme_critpath --table1 --json=FILE` suite
+    ({"suite": "dqme_critpath_table1", "algos": {...}}).
+
+Checks, beyond "it parses":
+  * conservation — the five bucket tick totals plus residual_ticks equal
+    waiting_ticks EXACTLY (the engine's tiling contract, to the tick),
+    and residual_ticks is zero: every tick of every request's wait is
+    attributed to a named bucket;
+  * shape — all five buckets (wire/queue/holder/proxy/other) present,
+    counts non-negative, a bucket with ticks has edges and vice versa
+    (holder/queue segments may be synthesized fillers, so edges there
+    only need to be <= path count bounds, not tick-derived);
+  * tails — the tail_hops histogram sums to the contended path count,
+    tail_ticks <= waiting_ticks, and mean_tail_in_t is consistent with
+    tail_ticks / (contended * mean_delay) when contended > 0;
+  * per-lock rows — lock paths/contended/ticks sum to the global totals
+    (the "-1" overflow row included).
+
+--require-table1 additionally requires a table1 suite file with "ok"
+true and, per algorithm, every contended tail in the expected bin:
+tail_hops[expected_tail_hops] == contended (all other bins zero) and
+tail_ticks == contended * expected_tail_t * mean_delay — the paper's
+1*T (Cao-Singhal proxy handoff) vs 2*T (Maekawa relay) gate.
+
+Exit 0 on success; exit 1 with a message on the first violation.
+Usage: scripts/validate_critpath.py [--require-table1] FILE [FILE ...]
+"""
+import json
+import sys
+
+BUCKETS = ("wire", "queue", "holder", "proxy", "other")
+
+
+def fail(path, msg):
+    print(f"{path}: FAIL: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def check_stats(path, cs, label=""):
+    where = f"critpath{label}"
+    if not isinstance(cs, dict) or not cs:
+        fail(path, f"{where}: empty or not an object (attribution disabled?)")
+    for key in ("mean_delay", "paths", "contended", "waiting_ticks",
+                "residual_ticks", "tail_ticks", "buckets", "tail_hops",
+                "locks"):
+        if key not in cs:
+            fail(path, f"{where}: missing key {key!r}")
+    if cs["contended"] > cs["paths"]:
+        fail(path, f"{where}: contended {cs['contended']} > paths "
+                   f"{cs['paths']}")
+
+    buckets = cs["buckets"]
+    if set(buckets) != set(BUCKETS):
+        fail(path, f"{where}: bucket set {sorted(buckets)} != "
+                   f"{sorted(BUCKETS)}")
+    ticks_sum = 0
+    for b in BUCKETS:
+        ticks, edges = buckets[b].get("ticks"), buckets[b].get("edges")
+        if not isinstance(ticks, int) or ticks < 0 or \
+           not isinstance(edges, int) or edges < 0:
+            fail(path, f"{where}: bucket {b}: bad ticks/edges "
+                       f"({ticks!r}/{edges!r})")
+        if (ticks > 0) != (edges > 0):
+            fail(path, f"{where}: bucket {b}: {ticks} ticks but "
+                       f"{edges} edges")
+        ticks_sum += ticks
+
+    # The conservation gate: attribution tiles the waits exactly.
+    if ticks_sum + cs["residual_ticks"] != cs["waiting_ticks"]:
+        fail(path, f"{where}: bucket ticks {ticks_sum} + residual "
+                   f"{cs['residual_ticks']} != waiting_ticks "
+                   f"{cs['waiting_ticks']}")
+    if cs["residual_ticks"] != 0:
+        fail(path, f"{where}: residual_ticks {cs['residual_ticks']} != 0 "
+                   f"(unattributed wait)")
+
+    hops = cs["tail_hops"]
+    if not isinstance(hops, list) or len(hops) < 2 or \
+       any(not isinstance(h, int) or h < 0 for h in hops):
+        fail(path, f"{where}: malformed tail_hops {hops!r}")
+    if sum(hops) != cs["contended"]:
+        fail(path, f"{where}: tail_hops sums to {sum(hops)}, contended is "
+                   f"{cs['contended']}")
+    if cs["tail_ticks"] > cs["waiting_ticks"]:
+        fail(path, f"{where}: tail_ticks {cs['tail_ticks']} > waiting_ticks "
+                   f"{cs['waiting_ticks']}")
+    if cs["contended"] > 0 and cs["mean_delay"] > 0:
+        want = cs["tail_ticks"] / (cs["contended"] * cs["mean_delay"])
+        # The writer prints 6 significant digits; compare to that grain.
+        if abs(cs.get("mean_tail_in_t", -1) - want) > max(1e-9, want * 1e-5):
+            fail(path, f"{where}: mean_tail_in_t "
+                       f"{cs.get('mean_tail_in_t')} != {want}")
+
+    lock_paths = sum(row["paths"] for row in cs["locks"])
+    lock_cont = sum(row["contended"] for row in cs["locks"])
+    if cs["locks"] and (lock_paths != cs["paths"] or
+                        lock_cont != cs["contended"]):
+        fail(path, f"{where}: lock rows sum to {lock_paths} paths / "
+                   f"{lock_cont} contended, global is {cs['paths']} / "
+                   f"{cs['contended']}")
+    for b in BUCKETS:
+        per_lock = sum(row["ticks"][b] for row in cs["locks"])
+        if cs["locks"] and per_lock != buckets[b]["ticks"]:
+            fail(path, f"{where}: lock rows sum {per_lock} {b} ticks, "
+                       f"global bucket has {buckets[b]['ticks']}")
+    return cs
+
+
+def check_table1(path, doc):
+    if doc.get("suite") != "dqme_critpath_table1":
+        fail(path, "--require-table1 needs a dqme_critpath --table1 file")
+    if doc.get("ok") is not True:
+        fail(path, f"table1 suite reports ok={doc.get('ok')!r}")
+    mean_delay = doc.get("mean_delay", 0)
+    algos = doc.get("algos", {})
+    if not algos:
+        fail(path, "table1 suite has no algos")
+    for name, entry in algos.items():
+        want_hops = entry.get("expected_tail_hops")
+        want_t = entry.get("expected_tail_t")
+        cs = check_stats(path, entry.get("critpath"), f"[{name}]")
+        if cs["contended"] == 0:
+            fail(path, f"{name}: no contended paths to gate")
+        for i, n in enumerate(cs["tail_hops"]):
+            want = cs["contended"] if i == want_hops else 0
+            if n != want:
+                fail(path, f"{name}: tail_hops[{i}] = {n}, want {want} "
+                           f"(every tail must be {want_hops} hops)")
+        want_ticks = cs["contended"] * want_t * mean_delay
+        if cs["tail_ticks"] != want_ticks:
+            fail(path, f"{name}: tail_ticks {cs['tail_ticks']} != "
+                       f"{want_ticks} ({want_t}*T per contended path)")
+    return [f"{n}={e['expected_tail_hops']}hop" for n, e in algos.items()]
+
+
+def validate(path, require_table1=False):
+    with open(path) as f:
+        doc = json.load(f)
+
+    notes = []
+    if doc.get("suite") == "dqme_critpath_table1":
+        notes = check_table1(path, doc)
+        stats = [doc["algos"][a]["critpath"] for a in doc["algos"]]
+    elif require_table1:
+        fail(path, "--require-table1 needs a dqme_critpath --table1 file")
+    elif "critpath" in doc:                      # bench --json wrapper
+        stats = [check_stats(path, doc["critpath"])]
+    else:                                        # bare CritStats object
+        stats = [check_stats(path, doc)]
+
+    paths = sum(s["paths"] for s in stats)
+    waiting = sum(s["waiting_ticks"] for s in stats)
+    extra = f", table1 gate [{' '.join(notes)}]" if notes else ""
+    print(f"{path}: OK ({paths} paths, {waiting} waiting ticks, "
+          f"residual 0{extra})")
+
+
+if __name__ == "__main__":
+    args = sys.argv[1:]
+    require_table1 = "--require-table1" in args
+    files = [a for a in args if a != "--require-table1"]
+    if not files:
+        print(__doc__, file=sys.stderr)
+        sys.exit(2)
+    for p in files:
+        validate(p, require_table1)

@@ -11,10 +11,19 @@ Checks, beyond "it parses":
     declared lanes;
   * proxy tagging is consistent: cat "proxy" if and only if the event is
     a "reply (proxy)" — the paper's 1T handoff must stay identifiable;
+  * crit tagging is consistent: every flow arrow with args.crit == 1 has
+    both its "s" and "f" endpoints tagged, and the tagged arrows form one
+    single time-ordered chain — sorted by send time, each arrow's delivery
+    is no later than the next arrow's send (the extracted critical path is
+    a serial causal chain, never two concurrent hops);
   * monotonically sane timestamps (ts >= 0, E not before its B).
 
+--crit additionally *requires* at least one crit-tagged arrow (for traces
+exported by `dqme_trace --crit`, where an untagged file means the
+highlight silently vanished).
+
 Exit 0 on success; exit 1 with a message on the first violation.
-Usage: scripts/validate_trace.py TRACE.json [TRACE2.json ...]
+Usage: scripts/validate_trace.py [--crit] TRACE.json [TRACE2.json ...]
 """
 import json
 import sys
@@ -25,7 +34,7 @@ def fail(path, msg):
     sys.exit(1)
 
 
-def validate(path):
+def validate(path, require_crit=False):
     with open(path) as f:
         doc = json.load(f)
 
@@ -40,6 +49,8 @@ def validate(path):
     async_open = {}    # id -> open count
     flow_starts = {}   # id -> [count, ts of last start]
     flow_ends = {}     # id -> [count, ts of last finish]
+    crit_s = {}        # crit-tagged flow id -> send ts
+    crit_f = {}        # crit-tagged flow id -> delivery ts
     n_proxy = 0
 
     for i, ev in enumerate(events):
@@ -79,10 +90,14 @@ def validate(path):
             entry = flow_starts.setdefault(ev["id"], [0, ts])
             entry[0] += 1
             entry[1] = ts
+            if ev.get("args", {}).get("crit") == 1:
+                crit_s[ev["id"]] = ts
         elif ph == "f":
             entry = flow_ends.setdefault(ev["id"], [0, ts])
             entry[0] += 1
             entry[1] = ts
+            if ev.get("args", {}).get("crit") == 1:
+                crit_f[ev["id"]] = ts
         elif ph == "X":
             if ev.get("dur", 0) < 0:
                 fail(path, f"event {i}: negative dur")
@@ -109,15 +124,33 @@ def validate(path):
             fail(path, f"flow {fid}: delivered at {f_ts} before its "
                        f"send at {s_ts}")
 
+    # Crit-tagged arrows: both endpoints tagged, and together one serial
+    # time-ordered chain (arrow i delivered no later than arrow i+1 sent).
+    if set(crit_s) != set(crit_f):
+        fail(path, f"crit tags split across s/f: s-only "
+                   f"{sorted(set(crit_s) - set(crit_f))[:5]} f-only "
+                   f"{sorted(set(crit_f) - set(crit_s))[:5]}")
+    if require_crit and not crit_s:
+        fail(path, "no crit-tagged flow arrows (--crit expected a "
+                   "highlighted critical path)")
+    chain = sorted(((crit_s[fid], crit_f[fid]) for fid in crit_s))
+    for (s0, f0), (s1, f1) in zip(chain, chain[1:]):
+        if f0 > s1:
+            fail(path, f"crit arrows overlap: hop delivered at {f0} after "
+                       f"the next hop's send at {s1} — not a single chain")
+
     n_slices = sum(1 for e in events if e.get("ph") in ("B", "X"))
     print(f"{path}: OK ({len(events)} events, {len(lanes)} lanes, "
           f"{n_slices} slices, {len(flow_starts)} flows, "
-          f"{n_proxy} proxied)")
+          f"{n_proxy} proxied, {len(crit_s)} crit hops)")
 
 
 if __name__ == "__main__":
-    if len(sys.argv) < 2:
+    args = sys.argv[1:]
+    require_crit = "--crit" in args
+    paths = [a for a in args if a != "--crit"]
+    if not paths:
         print(__doc__, file=sys.stderr)
         sys.exit(2)
-    for p in sys.argv[1:]:
-        validate(p)
+    for p in paths:
+        validate(p, require_crit)

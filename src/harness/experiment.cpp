@@ -134,11 +134,16 @@ ExperimentResult run_experiment(const ExperimentConfig& cfg) {
   // they coexist with the auditor and each other.
   std::unique_ptr<net::TraceRecorder> msg_rec;
   std::unique_ptr<obs::SpanRecorder> span_rec;
-  if (cfg.capture != nullptr) {
+  if (cfg.capture != nullptr)
     msg_rec =
         std::make_unique<net::TraceRecorder>(network, cfg.capture->capacity);
-    span_rec =
-        std::make_unique<obs::SpanRecorder>(network, cfg.capture->capacity);
+  // One span recorder serves both consumers (full capture and critical-path
+  // attribution) — sized for whichever needs more.
+  if (cfg.capture != nullptr || cfg.critpath) {
+    size_t cap = cfg.critpath ? cfg.critpath_capacity : 0;
+    if (cfg.capture != nullptr && cfg.capture->capacity > cap)
+      cap = cfg.capture->capacity;
+    span_rec = std::make_unique<obs::SpanRecorder>(network, cap);
   }
 
   std::unique_ptr<PermissionAuditor> auditor;
@@ -297,6 +302,18 @@ ExperimentResult run_experiment(const ExperimentConfig& cfg) {
                     std::chrono::steady_clock::now() - wall_start)
                     .count();
 
+  // Critical-path attribution: extracted after the drain (so every chain
+  // the window started is complete), filtered to entries inside the
+  // measurement window — the same population as the waiting histogram.
+  if (cfg.critpath) {
+    res.critpath = obs::CritStats(cfg.mean_delay);
+    const Time win_lo = cfg.warmup;
+    const Time win_hi = cfg.warmup + cfg.measure;
+    for (const obs::CritPath& p :
+         obs::extract_critical_paths(span_rec->events()))
+      if (p.entered >= win_lo && p.entered < win_hi) res.critpath.record(p);
+  }
+
   // Engine accounting into the registry: whole-run totals (they have no
   // warmup/measure distinction) plus high-water gauges.
   {
@@ -328,6 +345,19 @@ ExperimentResult run_experiment(const ExperimentConfig& cfg) {
       reg.counter("invariant.checks") = res.invariant_checks;
       reg.counter("invariant.violations") = res.invariant_violations;
     }
+    // Delay-budget keys only when the run asked for attribution: plain
+    // runs keep their registries byte-identical to committed goldens.
+    if (cfg.critpath) {
+      reg.counter("critpath.paths") = res.critpath.paths();
+      reg.counter("critpath.contended") = res.critpath.contended();
+      reg.counter("critpath.residual_ticks") = res.critpath.residual_ticks();
+      for (size_t b = 0; b < obs::kNumCritBuckets; ++b)
+        reg.counter(std::string("critpath.ticks.") +
+                    std::string(obs::to_string(
+                        static_cast<obs::CritBucket>(b)))) =
+            res.critpath.ticks(static_cast<obs::CritBucket>(b));
+      reg.gauge("critpath.tail_delay_t") = res.critpath.mean_tail_in_t();
+    }
 
     // Analytic-model conformance (Table 1), emitted for every run so each
     // bench --json carries its divergence from the paper's closed forms.
@@ -345,6 +375,15 @@ ExperimentResult run_experiment(const ExperimentConfig& cfg) {
           res.summary.contended_gaps == 0
               ? 0
               : obs::divergence_point(res.sync_delay_in_t, pred_t);
+      // Attribution-vs-model reconciliation: the mean critical-path tail
+      // (ticks after the last holder exit, in T) against the same refined
+      // Table 1 form the aggregate gauge uses.
+      if (cfg.critpath)
+        reg.gauge("critpath.divergence_tail_vs_model") =
+            res.critpath.contended() == 0
+                ? 0
+                : obs::divergence_point(res.critpath.mean_tail_in_t(),
+                                        pred_t);
     }
     if (pred.has_msgs) {
       reg.gauge("model.msgs_lo") = pred.msgs_lo;

@@ -13,6 +13,7 @@
 #include "harness/workload.h"
 #include "mutex/factory.h"
 #include "obs/capture.h"
+#include "obs/critpath.h"
 #include "quorum/quorum_system.h"
 
 namespace dqme::harness {
@@ -86,6 +87,14 @@ struct ExperimentConfig {
   // disables it.
   int lock_stats_k = 0;
 
+  // Causal critical-path attribution (src/obs/critpath): attaches a
+  // SpanRecorder, reconstructs each measurement-window request's critical
+  // path after the run, and aggregates the delay budget into
+  // result.critpath (plus critpath.* registry keys). Off (default) = no
+  // hooks installed, zero hot-path cost.
+  bool critpath = false;
+  size_t critpath_capacity = 1'000'000;
+
   // Black-box flight recorder (obs::FlightRecorder): when non-empty, the
   // run keeps a ring of the last flight_recorder_capacity protocol events
   // and auto-dumps them to this path (Chrome-trace JSON) on the first
@@ -139,6 +148,10 @@ struct ExperimentResult {
 
   // Per-lock hot-set tracker (cfg.lock_stats_k > 0; disabled otherwise).
   obs::LockStats lock_stats;
+
+  // Critical-path delay budget (cfg.critpath; disabled otherwise). Fold
+  // replications with CritStats::merge in result-index order.
+  obs::CritStats critpath;
 };
 
 ExperimentResult run_experiment(const ExperimentConfig& cfg);

@@ -95,13 +95,6 @@ class MutexSite : public net::NetSite {
     L.active_span = kNoSpan;
   }
 
-  // Single-lock shims from the pre-lock-table API. They drive kLock0 only;
-  // new code passes the LockId explicitly.
-  [[deprecated("use request_cs(LockId); the zero-arg shim drives lock 0")]]
-  void request_cs() { request_cs(kLock0); }
-  [[deprecated("use release_cs(LockId); the zero-arg shim drives lock 0")]]
-  void release_cs() { release_cs(kLock0); }
-
   // Attach-time observability (src/obs): record the causal span edges of
   // every request this site issues. Re-attaching replaces the observer; a
   // new observer that wants to coexist (obs::InvariantChecker) reads the

@@ -15,7 +15,9 @@ RaymondSite::RaymondSite(SiteId id, net::Network& net, LockId num_locks)
 }
 
 void RaymondSite::do_request(LockId lock) {
-  lk_[static_cast<size_t>(lock)].request_q.push_back(id());
+  Lk& L = lk_[static_cast<size_t>(lock)];
+  open_span(lock, span_of(ReqId{++L.seq, id()}));
+  L.request_q.push_back(id());
   assign_privilege(lock);
   make_request(lock);
 }

@@ -31,6 +31,7 @@ class RaymondSite final : public MutexSite {
   struct Lk {
     SiteId holder = kNoSite;  // neighbour in the token's direction, or self
     bool asked = false;       // sent a request toward holder already
+    SeqNum seq = 0;           // local request counter (span ids only)
     std::deque<SiteId> request_q;  // neighbours (or self) waiting for token
   };
 

@@ -22,6 +22,7 @@ SuzukiKasamiSite::SuzukiKasamiSite(SiteId id, net::Network& net,
 void SuzukiKasamiSite::do_request(LockId lock) {
   Lk& L = lk_[static_cast<size_t>(lock)];
   SeqNum sn = ++L.rn[static_cast<size_t>(id())];
+  open_span(lock, span_of(ReqId{sn, id()}));
   if (L.has_token) {
     enter_cs(lock);
     return;

@@ -39,6 +39,7 @@ void Network::release_flight(uint32_t idx) {
   f.inline_count = 0;
   f.spill.clear();
   f.spill_locks.clear();
+  f.spill_causes.clear();
   ++f.gen;  // invalidates any OpenFlight record pointing at this slot
   f.next_free = flight_free_;
   flight_free_ = idx;
@@ -90,6 +91,7 @@ void Network::send(SiteId src, SiteId dst, const Message& m, LockId lock) {
   Flight& f = flights_[idx];
   f.inline_msgs[0] = m;
   f.inline_locks[0] = lock;
+  f.inline_causes[0] = send_cause_;
   f.inline_count = 1;
   stage(src, dst, idx);
 }
@@ -103,11 +105,13 @@ void Network::send_bundle(SiteId src, SiteId dst, const Message* msgs,
   for (size_t i = 0; i < inl; ++i) {
     f.inline_msgs[i] = msgs[i];
     f.inline_locks[i] = lock;
+    f.inline_causes[i] = send_cause_;
   }
   f.inline_count = static_cast<uint32_t>(inl);
   if (n > 2) {
     f.spill.assign(msgs + 2, msgs + n);
     f.spill_locks.assign(n - 2, lock);
+    f.spill_causes.assign(n - 2, send_cause_);
   }
   stage(src, dst, idx);
 }
@@ -195,15 +199,18 @@ void Network::stage(SiteId src, SiteId dst, uint32_t flight) {
         if (open.inline_count < 2) {
           open.inline_msgs[open.inline_count] = f.inline_msgs[i];
           open.inline_locks[open.inline_count] = f.inline_locks[i];
+          open.inline_causes[open.inline_count] = f.inline_causes[i];
           ++open.inline_count;
         } else {
           open.spill.push_back(f.inline_msgs[i]);
           open.spill_locks.push_back(f.inline_locks[i]);
+          open.spill_causes.push_back(f.inline_causes[i]);
         }
       }
       for (size_t i = 0; i < f.spill.size(); ++i) {
         open.spill.push_back(f.spill[i]);
         open.spill_locks.push_back(f.spill_locks[i]);
+        open.spill_causes.push_back(f.spill_causes[i]);
       }
       stats_.piggybacked_messages += count;
       release_flight(flight);
@@ -234,14 +241,15 @@ void Network::deliver_flight(uint32_t idx) {
   const uint32_t n = flights_[idx].inline_count;
   const std::array<Message, 2> local = flights_[idx].inline_msgs;
   const std::array<LockId, 2> local_locks = flights_[idx].inline_locks;
+  const std::array<CauseId, 2> local_causes = flights_[idx].inline_causes;
   if (flights_[idx].spill.empty()) {
     // Fast path: 1-2 messages, the dominant shapes.
     if (hooked) {
-      for (uint32_t i = 0; i < n; ++i) deliver_one<true>(local[i],
-                                                         local_locks[i]);
+      for (uint32_t i = 0; i < n; ++i)
+        deliver_one<true>(local[i], local_locks[i], local_causes[i]);
     } else {
-      for (uint32_t i = 0; i < n; ++i) deliver_one<false>(local[i],
-                                                          local_locks[i]);
+      for (uint32_t i = 0; i < n; ++i)
+        deliver_one<false>(local[i], local_locks[i], local_causes[i]);
     }
     release_flight(idx);
     return;
@@ -249,24 +257,25 @@ void Network::deliver_flight(uint32_t idx) {
 
   for (uint32_t i = 0; i < n; ++i) {
     if (hooked)
-      deliver_one<true>(local[i], local_locks[i]);
+      deliver_one<true>(local[i], local_locks[i], local_causes[i]);
     else
-      deliver_one<false>(local[i], local_locks[i]);
+      deliver_one<false>(local[i], local_locks[i], local_causes[i]);
   }
   // The spill vector must survive the handlers — index on every access.
   for (size_t i = 0; i < flights_[idx].spill.size(); ++i) {
     const Message m = flights_[idx].spill[i];
     const LockId lock = flights_[idx].spill_locks[i];
+    const CauseId cause = flights_[idx].spill_causes[i];
     if (hooked)
-      deliver_one<true>(m, lock);
+      deliver_one<true>(m, lock, cause);
     else
-      deliver_one<false>(m, lock);
+      deliver_one<false>(m, lock, cause);
   }
   release_flight(idx);
 }
 
 template <bool kHooked>
-void Network::deliver_one(const Message& m, LockId lock) {
+void Network::deliver_one(const Message& m, LockId lock, CauseId cause) {
   if (!alive_[static_cast<size_t>(m.dst)] ||
       !alive_[static_cast<size_t>(m.src)]) {
     // Fail-silent crash semantics: a message from/to a crashed site
@@ -278,10 +287,17 @@ void Network::deliver_one(const Message& m, LockId lock) {
     return;
   }
   stats_.delivered_messages += 1;
+  // Causal context for the handler: an attached recorder reads
+  // delivering_cause() inside on_deliver, and anything the handler sends is
+  // stamped with send_cause_ — which the recorder overwrites per recorded
+  // edge, so only observed runs ever see a non-kNoCause value here.
+  delivering_cause_ = cause;
   if constexpr (kHooked) on_deliver(m, lock);
   NetSite* site = sites_[static_cast<size_t>(m.dst)];
   DQME_CHECK_MSG(site != nullptr, "no receiver attached for site " << m.dst);
   site->on_message(m, lock);
+  delivering_cause_ = kNoCause;
+  send_cause_ = kNoCause;
   // The payload's lifetime is the flight: the handler has returned (and
   // taken what it wanted), so the slot recycles.
   if (m.payload != kNoPayload) release_payload(m.payload);

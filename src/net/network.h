@@ -62,6 +62,18 @@
 
 namespace dqme::net {
 
+// Causal-predecessor handle threaded through the network (src/obs/critpath).
+// A CauseId names the observability event that *enabled* a send — the index
+// an attached obs::SpanRecorder assigned to the delivery / CS-exit / issue
+// edge it recorded just before the send happened. The network itself never
+// interprets the value: it copies the current cause into every staged
+// message (parallel to the lock tags) and surfaces the stamped cause again
+// at delivery time, so a recorder can link each wire edge to the edge that
+// produced it without growing the 80-byte Message. kNoCause (the resting
+// value with no recorder attached) means "root event / cause unknown".
+using CauseId = int32_t;
+inline constexpr CauseId kNoCause = -1;
+
 // Anything that can receive messages from the network. `lock` is the lock
 // object the message arbitrates (kLock0 for all single-lock traffic).
 class NetSite {
@@ -190,6 +202,21 @@ class Network {
   bool alive(SiteId id) const { return alive_[static_cast<size_t>(id)]; }
   int alive_count() const;
 
+  // --- Causal threading (src/obs/critpath) ----------------------------
+  // The current cause is whatever protocol-relevant event last happened on
+  // this logical thread of control: an attached SpanRecorder sets it after
+  // recording each edge, and every send() staged while it is set carries it
+  // (per message, in the flight's parallel cause array). At delivery the
+  // stamped cause of the message being handed over is readable through
+  // delivering_cause() for the duration of the receiver's handler, and the
+  // current cause resets to kNoCause once the handler returns so traffic
+  // from unobserved contexts (failure notices, replica ops) stays a root
+  // rather than inheriting a stale predecessor. Detached runs only ever
+  // copy kNoCause around — no branches, no behavioural change.
+  void set_send_cause(CauseId c) { send_cause_ = c; }
+  CauseId send_cause() const { return send_cause_; }
+  CauseId delivering_cause() const { return delivering_cause_; }
+
   const NetworkStats& stats() const { return stats_; }
 
   // Flight pool high-water mark: distinct slots ever allocated. With
@@ -219,8 +246,12 @@ class Network {
   struct Flight {
     std::array<Message, 2> inline_msgs;
     std::array<LockId, 2> inline_locks{kLock0, kLock0};
+    // Send-time cause per message (see set_send_cause), parallel to the
+    // message storage like the lock tags.
+    std::array<CauseId, 2> inline_causes{kNoCause, kNoCause};
     std::vector<Message> spill;  // messages beyond the first two
     std::vector<LockId> spill_locks;
+    std::vector<CauseId> spill_causes;
     uint32_t inline_count = 0;
     uint32_t next_free = kNilFlight;
     uint64_t gen = 0;
@@ -257,7 +288,7 @@ class Network {
   // deliver_flight, so the detached path never tests the std::function per
   // message.
   template <bool kHooked>
-  void deliver_one(const Message& m, LockId lock);
+  void deliver_one(const Message& m, LockId lock, CauseId cause);
 
   // Stamps src/dst, counts wire stats, and schedules delivery (or drops
   // the bundle for a crashed sender, or appends it to the channel's open
@@ -278,6 +309,9 @@ class Network {
   // Lock-piggyback state: open-flight record per (src,dst) channel.
   Time pb_window_ = -1;  // < 0: disabled
   std::vector<OpenFlight> open_;
+  // Causal threading (set_send_cause / delivering_cause).
+  CauseId send_cause_ = kNoCause;
+  CauseId delivering_cause_ = kNoCause;
   // Controlled-delivery state: parked flight queue per (src,dst) channel.
   bool controlled_ = false;
   size_t parked_total_ = 0;

@@ -2,6 +2,7 @@
 
 #include <map>
 #include <string_view>
+#include <tuple>
 
 namespace dqme::obs {
 
@@ -123,9 +124,21 @@ void write_chrome_trace(std::ostream& os, const ChromeTraceData& data) {
     }
   }
 
+  // Critical-path hops, keyed by the wire coordinates a TraceEvent can
+  // reproduce. Counted (not a set): identical duplicate messages tag one
+  // arrow each, so the tagged arrows stay exactly one chain.
+  std::map<std::tuple<Time, Time, SiteId, SiteId, LockId>, int> crit;
+  for (int32_t idx : data.crit_events) {
+    if (idx < 0 || static_cast<size_t>(idx) >= data.span_events.size())
+      continue;
+    const SpanEvent& e = data.span_events[static_cast<size_t>(idx)];
+    ++crit[{e.sent_at, e.at, e.from, e.to, e.lock}];
+  }
+
   // Messages: a thin slice on each endpoint's lane plus an s/f flow arrow
   // joining them. Proxy-forwarded replies — the paper's 1T handoff — get
-  // cat "proxy" and an explicit name.
+  // cat "proxy" and an explicit name; hops of the highlighted critical
+  // path carry "crit": 1 in args (slices and both arrow endpoints).
   uint64_t flow_id = 0;
   for (const net::TraceEvent& t : data.messages) {
     const net::Message& m = t.msg;
@@ -136,13 +149,24 @@ void write_chrome_trace(std::ostream& os, const ChromeTraceData& data) {
     const std::string name =
         proxy ? "reply (proxy)" : std::string(net::to_string(m.type));
     const std::string_view cat = proxy ? "proxy" : "msg";
-    const std::string args = span_args(m.span);
+    bool on_path = false;
+    if (!crit.empty()) {
+      auto it = crit.find({m.sent_at, t.at, m.src, m.dst, t.lock});
+      if (it != crit.end() && it->second > 0) {
+        --it->second;
+        on_path = true;
+      }
+    }
+    std::string args = span_args(m.span);
+    if (on_path) args.insert(args.size() - 1, ", \"crit\": 1");
     const std::string id = "\"id\": " + std::to_string(++flow_id);
     // Zero-duration sends collapse in the viewer; give slices 1 tick.
     w.event(name, cat, 'X', m.sent_at, m.src, "\"dur\": 1", args);
     w.event(name, cat, 'X', t.at, m.dst, "\"dur\": 1", args);
-    w.event(name, cat, 's', m.sent_at, m.src, id);
-    w.event(name, cat, 'f', t.at, m.dst, id + ", \"bp\": \"e\"");
+    w.event(name, cat, 's', m.sent_at, m.src, id,
+            on_path ? "{\"crit\": 1}" : "");
+    w.event(name, cat, 'f', t.at, m.dst, id + ", \"bp\": \"e\"",
+            on_path ? "{\"crit\": 1}" : "");
   }
 
   w.end(data.label);

@@ -35,6 +35,14 @@ struct ChromeTraceData {
   // Export only events of this lock (kNoLock = all): slices a multi-lock
   // run — 4096 lanes of interleaved traffic — down to one lock's story.
   LockId only_lock = kNoLock;
+  // Critical-path highlight: indices into span_events of the wire/proxy
+  // hops of ONE extracted CritPath (CritSegment::event of its kWire/kProxy
+  // segments). The matching message slices and flow arrows are exported
+  // with an extra args entry "crit": 1, so the path that determined the
+  // entry instant pops out of the flow-arrow thicket in the viewer — and
+  // scripts/validate_trace.py can assert the tagged arrows form a single
+  // time-ordered chain.
+  std::vector<int32_t> crit_events;
 };
 
 // Writes the JSON object format: {"traceEvents": [...], ...}. The output

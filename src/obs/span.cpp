@@ -20,12 +20,14 @@ std::string_view to_string(SpanEdge e) {
     case SpanEdge::kYield:      return "yield";
     case SpanEdge::kTransfer:   return "transfer";
     case SpanEdge::kRelease:    return "release";
+    case SpanEdge::kTokenReq:   return "token_req";
+    case SpanEdge::kToken:      return "token";
   }
   return "unknown";
 }
 
 SpanRecorder::SpanRecorder(net::Network& net, size_t capacity)
-    : capacity_(capacity) {
+    : net_(net), capacity_(capacity) {
   DQME_CHECK(capacity > 0);
   auto previous = std::move(net.on_deliver);
   net.on_deliver = [this, &net, previous = std::move(previous)](
@@ -41,6 +43,10 @@ void SpanRecorder::record(SpanEvent e) {
     return;
   }
   events_.push_back(e);
+  // Anything sent from the current handler (or site call) is caused by the
+  // edge just recorded: the network stamps this index onto outgoing
+  // messages until the next record() or end of delivery overwrites it.
+  net_.set_send_cause(static_cast<net::CauseId>(events_.size() - 1));
 }
 
 void SpanRecorder::on_message(const net::Message& m, LockId lock, Time at) {
@@ -56,28 +62,43 @@ void SpanRecorder::on_message(const net::Message& m, LockId lock, Time at) {
     case MsgType::kYield:    edge = SpanEdge::kYield; break;
     case MsgType::kTransfer: edge = SpanEdge::kTransfer; break;
     case MsgType::kRelease:  edge = SpanEdge::kRelease; break;
+    case MsgType::kTokenReq: edge = SpanEdge::kTokenReq; break;
+    case MsgType::kToken:    edge = SpanEdge::kToken; break;
     default:
-      return;  // token / replica / failure traffic carries no request span
+      return;  // replica / failure traffic carries no request span
   }
-  record(
-      SpanEvent{at, m.sent_at, edge, m.span, m.src, m.dst, m.arbiter, lock});
+  // A wire edge's cause is whatever the *sender* was handling when the
+  // message left: the network carried that index alongside the message.
+  record(SpanEvent{at, m.sent_at, edge, m.span, m.src, m.dst, m.arbiter,
+                   lock, net_.delivering_cause()});
 }
 
 void SpanRecorder::on_span_issue(SiteId site, LockId lock, SpanId span,
                                  Time at) {
-  record(SpanEvent{at, at, SpanEdge::kIssue, span, site, site, kNoSite, lock});
+  // Roots: a request is born of the workload, not of protocol traffic.
+  record(SpanEvent{at, at, SpanEdge::kIssue, span, site, site, kNoSite, lock,
+                   net::kNoCause});
 }
 void SpanRecorder::on_span_enter(SiteId site, LockId lock, SpanId span,
                                  Time at) {
-  record(SpanEvent{at, at, SpanEdge::kEnter, span, site, site, kNoSite, lock});
+  // Entry fires inside the handler of the delivery that completed the
+  // quorum (or granted the token): send_cause() still holds the index of
+  // the wire edge record() just logged for it. A direct (local, no-wire)
+  // entry fires straight from request_cs and links back to its own issue.
+  record(SpanEvent{at, at, SpanEdge::kEnter, span, site, site, kNoSite, lock,
+                   net_.send_cause()});
 }
 void SpanRecorder::on_span_exit(SiteId site, LockId lock, SpanId span,
                                 Time at) {
-  record(SpanEvent{at, at, SpanEdge::kExit, span, site, site, kNoSite, lock});
+  // Roots: exit timing is the application's CS duration, not protocol
+  // delay. (Messages sent by the release path chain FROM this edge.)
+  record(SpanEvent{at, at, SpanEdge::kExit, span, site, site, kNoSite, lock,
+                   net::kNoCause});
 }
 void SpanRecorder::on_span_abort(SiteId site, LockId lock, SpanId span,
                                  Time at) {
-  record(SpanEvent{at, at, SpanEdge::kAbort, span, site, site, kNoSite, lock});
+  record(SpanEvent{at, at, SpanEdge::kAbort, span, site, site, kNoSite, lock,
+                   net_.send_cause()});
 }
 
 std::vector<SpanEvent> SpanRecorder::span(SpanId id) const {

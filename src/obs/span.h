@@ -42,6 +42,11 @@ enum class SpanEdge : uint8_t {
   kYield,
   kTransfer,
   kRelease,
+  // Token traffic (Raymond / Suzuki–Kasami). Tokens serve whole queues,
+  // not one span, so these usually carry span == kNoSpan — the critical-
+  // path extractor follows their `cause` links instead of span matching.
+  kTokenReq,
+  kToken,
 };
 
 std::string_view to_string(SpanEdge e);
@@ -57,6 +62,12 @@ struct SpanEvent {
   // Span ids are derived from (site, seq) and can collide across locks;
   // (lock, span) is the unique request key in a multi-lock run.
   LockId lock = kLock0;
+  // Causal predecessor: index of the earlier SpanEvent in the same
+  // recorder's stream that *enabled* this one (the edge whose handler sent
+  // this message, or — for site edges — the delivery that triggered the
+  // state change). net::kNoCause marks a root (issue, exit, or an edge
+  // whose predecessor fell outside the recorder's view).
+  net::CauseId cause = net::kNoCause;
 };
 
 // One observed CS handoff under contention: `to` had already issued its
@@ -107,6 +118,7 @@ class SpanRecorder final : public mutex::SpanObserver {
   void record(SpanEvent e);
   void on_message(const net::Message& m, LockId lock, Time at);
 
+  net::Network& net_;  // cause plumbing: set_send_cause / delivering_cause
   size_t capacity_;
   size_t dropped_ = 0;
   std::vector<SpanEvent> events_;

@@ -5,7 +5,7 @@
 // comparing full CS entry orders (site, instant) per lock between one
 // M-lock simulation and M single-lock simulations, with and without
 // same-instant piggyback coalescing (window 0), plus the per-lock quorum
-// selector and the deprecated zero-arg shims.
+// selector.
 #include <gtest/gtest.h>
 
 #include <algorithm>
@@ -203,29 +203,6 @@ TEST(LockTableEquivalence, PerLockQuorumSelectorMatchesSingleLockRuns) {
     EXPECT_EQ(multi.entries[1], on_fpp.entries[0]);
   }
 }
-
-// The deprecated zero-arg shims must still drive lock 0 (callers that have
-// not migrated keep their single-lock semantics). Deprecation warnings are
-// hard errors tree-wide, so this is the one place they are suppressed.
-#pragma GCC diagnostic push
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
-TEST(LockTable, DeprecatedZeroArgShimsDriveLock0) {
-  sim::Simulator sim;
-  net::Network net(sim, 2, std::make_unique<net::ConstantDelay>(10), 1);
-  std::vector<std::unique_ptr<mutex::MutexSite>> sites;
-  for (SiteId i = 0; i < 2; ++i) {
-    sites.push_back(mutex::make_site(mutex::Algo::kRicartAgrawala, i, net,
-                                     nullptr, mutex::AlgoOptions{}));
-    net.attach(i, sites.back().get());
-  }
-  sites[0]->request_cs();
-  sim.run();
-  EXPECT_TRUE(sites[0]->in_cs(kLock0));
-  sites[0]->release_cs();
-  EXPECT_TRUE(sites[0]->idle(kLock0));
-  EXPECT_EQ(sites[0]->cs_entries(kLock0), 1u);
-}
-#pragma GCC diagnostic pop
 
 }  // namespace
 }  // namespace dqme

@@ -19,8 +19,14 @@
 // sparkline with markers. The timeline writer pins one series per line for
 // exactly this consumer — no JSON library here.
 //
+// --crit highlights one request's causal critical path (the slowest, or
+// --span's): its delay budget renders as ASCII, and the Chrome export tags
+// the path's wire hops — slices and flow arrows — with "crit": 1, which
+// scripts/validate_trace.py --crit checks forms a single time-ordered
+// chain.
+//
 // usage: dqme_trace [N] [num_cs] [seed] [--span=SITE:SEQ] [--lock=ID]
-//                   [--locks=M] [--json[=PATH]] [--timeline=FILE]
+//                   [--locks=M] [--crit] [--json[=PATH]] [--timeline=FILE]
 //   (defaults: 4 sites, 6 CS, seed 1; --json with no PATH writes stdout)
 #include <algorithm>
 #include <cstdlib>
@@ -34,13 +40,14 @@
 #include "harness/workload.h"
 #include "net/trace.h"
 #include "obs/chrome_trace.h"
+#include "obs/critpath.h"
 #include "quorum/factory.h"
 
 namespace {
 
 void usage() {
   std::cerr << "usage: dqme_trace [N] [num_cs] [seed] [--span=SITE:SEQ] "
-               "[--lock=ID] [--locks=M] [--json[=PATH]] "
+               "[--lock=ID] [--locks=M] [--crit] [--json[=PATH]] "
                "[--timeline=FILE]\n";
 }
 
@@ -231,6 +238,7 @@ int main(int argc, char** argv) {
   SpanId only_span = kNoSpan;
   LockId only_lock = kNoLock;
   LockId num_locks = 1;
+  bool crit = false;
   std::string timeline_path;
   for (int i = 1; i < argc; ++i) {
     const std::string a = argv[i];
@@ -261,6 +269,8 @@ int main(int argc, char** argv) {
         std::cerr << "dqme_trace: --locks needs a positive count\n";
         return 2;
       }
+    } else if (a == "--crit") {
+      crit = true;
     } else if (a.rfind("--timeline=", 0) == 0) {
       timeline_path = a.substr(11);
     } else if (a.rfind("--", 0) == 0) {
@@ -342,6 +352,35 @@ int main(int argc, char** argv) {
   wl.start();
   sim.run();
 
+  // --crit: pick the request to highlight — --span's path when given, the
+  // slowest otherwise — render its delay budget, and collect the wire-hop
+  // event indices the Chrome export tags with "crit": 1.
+  std::vector<int32_t> crit_events;
+  if (crit) {
+    const auto paths = obs::extract_critical_paths(spans.events());
+    const obs::CritPath* pick = nullptr;
+    for (const obs::CritPath& p : paths) {
+      if (only_span != kNoSpan && p.span != only_span) continue;
+      if (only_lock != kNoLock && p.lock != only_lock) continue;
+      if (!pick || p.waiting() > pick->waiting()) pick = &p;
+    }
+    if (!pick) {
+      std::cerr << "dqme_trace: --crit found no completed request"
+                << (only_span != kNoSpan ? " matching --span" : "") << "\n";
+      return 1;
+    }
+    // Keep stdout clean when the Chrome JSON itself goes there.
+    std::ostream& ro = json && json_path.empty() ? std::cerr : std::cout;
+    ro << "critical path ("
+       << (only_span != kNoSpan ? "requested span" : "slowest request")
+       << "):\n";
+    obs::render_crit_path(ro, *pick, 1000);
+    for (const obs::CritSegment& s : pick->segments)
+      if (s.event >= 0 && (s.bucket == obs::CritBucket::kWire ||
+                           s.bucket == obs::CritBucket::kProxy))
+        crit_events.push_back(s.event);
+  }
+
   if (json) {
     obs::ChromeTraceData data;
     data.n_sites = n;
@@ -351,6 +390,7 @@ int main(int argc, char** argv) {
     data.span_events = spans.events();
     data.only_span = only_span;
     data.only_lock = only_lock;
+    data.crit_events = crit_events;
     if (json_path.empty()) {
       obs::write_chrome_trace(std::cout, data);
     } else {
