@@ -15,11 +15,14 @@
 //                 (load in chrome://tracing or ui.perfetto.dev)
 #pragma once
 
+#include <unistd.h>
+
 #include <chrono>
 #include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <ctime>
 #include <fstream>
 #include <iostream>
 #include <string>
@@ -47,6 +50,7 @@ inline Time scale_time(Time t) {
 struct BenchOptions {
   int jobs = 1;           // sweep worker threads; 0 = hardware concurrency
   int seeds = 0;          // 0 = each suite's per-row default
+  int threads = 0;        // rt suites only: restrict grid to this site count
   bool quick = false;
   bool check = false;     // run every row under the invariant checker
   bool json = false;
@@ -58,21 +62,38 @@ struct BenchOptions {
 inline void bench_usage(const char* suite) {
   std::cerr << "usage: " << suite
             << " [--jobs=N] [--seeds=K] [--quick] [--check] [--json[=PATH]]"
-               " [--trace-out=FILE]\n";
+               " [--trace-out=FILE] [--threads=K (rt suites only)]\n";
 }
 
 // Parses the shared bench flags; exits(2) on an unknown flag. Flags it
 // consumes are removed from argv (argc updated), so suites with their own
 // argument handling (micro_core's google-benchmark flags) can parse the
-// remainder.
+// remainder. `accepts_threads` is opted into by real-threads suites
+// (rt_core); simulator suites reject --threads loudly — the discrete-event
+// engine is single-logical-threaded per run, so the flag would silently
+// mean nothing there.
 inline BenchOptions parse_bench_flags(int& argc, char** argv,
-                                      const std::string& suite) {
+                                      const std::string& suite,
+                                      bool accepts_threads = false) {
   BenchOptions o;
   o.suite = suite;
   int keep = 1;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
-    if (arg.rfind("--jobs=", 0) == 0) {
+    if (arg.rfind("--threads=", 0) == 0) {
+      if (!accepts_threads) {
+        std::cerr << suite
+                  << ": --threads is only meaningful for real-threads (rt) "
+                     "suites; this suite runs on the discrete-event "
+                     "simulator (use --jobs=N for sweep parallelism)\n";
+        std::exit(2);
+      }
+      o.threads = std::atoi(arg.c_str() + 10);
+      if (o.threads < 2) {
+        std::cerr << suite << ": --threads wants an integer >= 2\n";
+        std::exit(2);
+      }
+    } else if (arg.rfind("--jobs=", 0) == 0) {
       o.jobs = std::atoi(arg.c_str() + 7);
       if (o.jobs < 0) {
         bench_usage(suite.c_str());
@@ -222,6 +243,27 @@ inline std::string json_num(double v) {
   return buf;
 }
 
+// Provenance block: which machine, when, and at which commit the numbers
+// were produced. scripts/check_perf.py prints it for both sides of a
+// comparison, so a committed baseline that predates the code it gates is
+// visible instead of silently trusted. The commit comes from DQME_COMMIT
+// (set by CI / the regeneration recipe); "unknown" means a local ad-hoc run.
+inline void write_provenance(std::ostream& f) {
+  char host[256] = "unknown";
+  if (gethostname(host, sizeof host - 1) != 0)
+    std::strcpy(host, "unknown");  // NOLINT(runtime/printf)
+  host[sizeof host - 1] = '\0';
+  char date[32] = "unknown";
+  const std::time_t t = std::time(nullptr);
+  std::tm tmv{};
+  if (gmtime_r(&t, &tmv) != nullptr)
+    std::strftime(date, sizeof date, "%Y-%m-%dT%H:%M:%SZ", &tmv);
+  const char* commit = std::getenv("DQME_COMMIT");
+  f << "\"provenance\": {\"host\": \"" << json_escape(host)
+    << "\", \"date\": \"" << date << "\", \"commit\": \""
+    << json_escape(commit != nullptr ? commit : "unknown") << "\"}";
+}
+
 // One flat, self-describing file per suite so the perf trajectory can be
 // tracked across commits: suite + per-metric (mean, sd) + engine totals.
 // `registry` (optional) embeds the merged obs::Registry of the sweep under
@@ -254,6 +296,9 @@ inline void write_bench_json(const BenchOptions& opts, bool ok,
     << "  \"quick\": " << (opts.quick ? "true" : "false") << ",\n"
     << "  \"wall_ms\": " << json_num(wall_ms) << ",\n"
     << "  \"events_per_sec\": " << json_num(events_per_sec) << ",\n"
+    << "  ";
+  write_provenance(f);
+  f << ",\n"
     << "  \"metrics\": [";
   for (size_t i = 0; i < metrics.size(); ++i) {
     f << (i ? "," : "") << "\n    {\"suite\": \"" << json_escape(opts.suite)

@@ -17,6 +17,7 @@
 #include <queue>
 #include <unordered_map>
 
+#include "net/network.h"
 #include "core/cao_singhal.h"
 #include "harness/experiment.h"
 #include "quorum/factory.h"

@@ -10,6 +10,7 @@
 // the exact-count check folded into the runner's exit code.
 #include <iostream>
 
+#include "net/network.h"
 #include "core/failure_detector.h"
 #include "quorum/factory.h"
 #include "replica/replicated_store.h"

@@ -7,6 +7,7 @@
 // §6 recovery layer keeps everything moving after the crash.
 #include <iostream>
 
+#include "net/network.h"
 #include "core/failure_detector.h"
 #include "harness/table.h"
 #include "quorum/factory.h"

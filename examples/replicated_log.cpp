@@ -13,6 +13,7 @@
 #include <iostream>
 #include <map>
 
+#include "net/network.h"
 #include "core/cao_singhal.h"
 #include "harness/table.h"
 #include "quorum/factory.h"

@@ -1,21 +1,39 @@
 #!/usr/bin/env python3
-"""Perf smoke gate: fresh micro_core numbers vs the committed baseline.
+"""Perf smoke gate: fresh bench numbers vs the committed baselines.
 
 Usage:
-    check_perf.py FRESH.json COMMITTED.json [--tolerance 0.35] [--out REPORT.json]
+    check_perf.py FRESH.json COMMITTED.json [--tolerance 0.55]
+                  [--rt-fresh FRESH_RT.json --rt-committed BENCH_rt_core.json]
+                  [--rt-tolerance 0.6] [--require-rt-scaling 2.0]
+                  [--out REPORT.json]
 
-Compares the throughput metrics that PR 4 optimised — `e2e_events_per_sec`
-(protocol + network on the event loop) and `events_per_sec_slab` (the raw
-slab event store) — plus the sharded-lock-table row
-`e2e_events_per_sec_locks256` (the x3 service shape: 256 locks, open-loop
-arrivals, piggybacking on) between a fresh `micro_core --quick --json` run
-and the committed `BENCH_micro_core.json`. A metric fails when the fresh value drops
-more than `--tolerance` (default 35%) below the committed one; faster is
-always fine. The tolerance is deliberately generous: quick mode uses a
-shorter churn/measure window and CI machines are slower and noisier than the
-machine the baseline was recorded on — this gate exists to catch hot-path
-regressions (an accidental per-message allocation is a 2x hit, not a 35%
-one), not to benchmark CI hardware.
+Simulator half (positional args): compares the throughput metrics that PR 4
+optimised — `e2e_events_per_sec` (protocol + network on the event loop) and
+`events_per_sec_slab` (the raw slab event store) — plus the sharded
+lock-table row `e2e_events_per_sec_locks256` (the x3 service shape) between
+a fresh `micro_core --quick --json` run and the committed
+`BENCH_micro_core.json`. A metric fails when the fresh value drops more
+than `--tolerance` (default 55%) below the committed one; faster is always
+fine. The tolerance is deliberately generous, for two stacked reasons:
+the committed baseline is a FULL run (the repo's published numbers) while
+CI runs quick mode, whose 8x-shorter measure windows alone cost the e2e
+rows ~35% of measured throughput; and CI machines are slower and noisier
+than the machine the baseline was recorded on. This gate exists to catch
+hot-path regressions (an accidental per-message allocation is a 2x hit,
+not a 50% one), not to benchmark CI hardware.
+
+Real-threads half (--rt-fresh/--rt-committed): compares the gated rt_core
+rows (cao_singhal locks=256 handoffs/sec at 2 and 8 threads) under the
+wider `--rt-tolerance` (default 60%) — wall-clock numbers from real
+threads on shared CI hosts swing much harder than simulated-tick rates.
+`--require-rt-scaling` additionally gates the FRESH value of
+`rt_scaling_cao_singhal_8t_over_2t_locks256` as an absolute floor: the
+8-thread row must beat the 2-thread row by at least that factor, the
+DESIGN.md §9 scaling claim.
+
+Both input files carry a `provenance` block (host, date, commit) written
+by the bench harness; it is printed for each side of every comparison so a
+stale committed baseline is visible instead of silently trusted.
 
 Exit status: 0 when every gated metric passes, 1 otherwise. With --out the
 full comparison is written as JSON for the CI artifact.
@@ -28,28 +46,32 @@ import sys
 GATED_METRICS = ["e2e_events_per_sec", "events_per_sec_slab",
                  "e2e_events_per_sec_locks256"]
 
+RT_GATED_METRICS = ["rt_handoffs_per_sec_cao_singhal_2t_locks256",
+                    "rt_handoffs_per_sec_cao_singhal_8t_locks256"]
 
-def load_metrics(path):
+RT_SCALING_METRIC = "rt_scaling_cao_singhal_8t_over_2t_locks256"
+
+
+def load_doc(path):
     with open(path) as f:
-        doc = json.load(f)
+        return json.load(f)
+
+
+def metrics_of(doc):
     return {row["metric"]: row["mean"] for row in doc.get("metrics", [])}
 
 
-def main():
-    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
-    ap.add_argument("fresh", help="JSON from the fresh micro_core run")
-    ap.add_argument("committed", help="committed BENCH_micro_core.json")
-    ap.add_argument("--tolerance", type=float, default=0.35,
-                    help="max allowed fractional drop (default 0.35)")
-    ap.add_argument("--out", help="write the comparison report as JSON")
-    args = ap.parse_args()
+def print_provenance(label, path, doc):
+    prov = doc.get("provenance", {})
+    host = prov.get("host", "unknown")
+    date = prov.get("date", "unknown")
+    commit = prov.get("commit", "unknown")
+    print(f"  [{label}] {path}: host={host} date={date} commit={commit}")
 
-    fresh = load_metrics(args.fresh)
-    committed = load_metrics(args.committed)
 
-    rows = []
+def compare(metrics, fresh, committed, tolerance, rows):
     ok = True
-    for metric in GATED_METRICS:
+    for metric in metrics:
         if metric not in fresh or metric not in committed:
             rows.append({"metric": metric, "status": "missing"})
             ok = False
@@ -57,23 +79,23 @@ def main():
         base = committed[metric]
         got = fresh[metric]
         ratio = got / base if base else float("inf")
-        passed = ratio >= 1.0 - args.tolerance
+        passed = ratio >= 1.0 - tolerance
         ok = ok and passed
         rows.append({
             "metric": metric,
             "committed": base,
             "fresh": got,
             "ratio": ratio,
-            "floor": 1.0 - args.tolerance,
+            "floor": 1.0 - tolerance,
             "status": "pass" if passed else "FAIL",
         })
+    return ok
 
-    # Per-algorithm rows are informational (no committed quick-mode baseline
-    # to hold them to) but land in the report so trends are visible.
-    info = {m: v for m, v in fresh.items()
-            if m.startswith("e2e_events_per_sec_") and m not in GATED_METRICS}
 
-    width = max(len(m) for m in GATED_METRICS) + 2
+def print_rows(rows):
+    if not rows:
+        return
+    width = max(len(r["metric"]) for r in rows) + 2
     for row in rows:
         if row["status"] == "missing":
             print(f"{row['metric']:<{width}} MISSING from one of the inputs")
@@ -81,13 +103,94 @@ def main():
         print(f"{row['metric']:<{width}} committed={row['committed']:>14,.0f}"
               f"  fresh={row['fresh']:>14,.0f}  ratio={row['ratio']:.3f}"
               f"  (floor {row['floor']:.2f})  {row['status']}")
-    for metric in sorted(info):
-        print(f"{metric:<{width}} fresh={info[metric]:>14,.0f}  (info only)")
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("fresh", help="JSON from the fresh micro_core run")
+    ap.add_argument("committed", help="committed BENCH_micro_core.json")
+    ap.add_argument("--tolerance", type=float, default=0.55,
+                    help="max allowed fractional drop, sim rows — covers "
+                         "the structural quick-vs-full gap plus hardware "
+                         "delta (default 0.55)")
+    ap.add_argument("--rt-fresh",
+                    help="JSON from a fresh rt_core run (enables the rt "
+                         "half; requires --rt-committed)")
+    ap.add_argument("--rt-committed",
+                    help="committed BENCH_rt_core.json")
+    ap.add_argument("--rt-tolerance", type=float, default=0.6,
+                    help="max allowed fractional drop, rt rows — wall-clock "
+                         "noise needs more headroom (default 0.6)")
+    ap.add_argument("--require-rt-scaling", type=float, default=None,
+                    metavar="FACTOR",
+                    help="absolute floor for the fresh "
+                         f"{RT_SCALING_METRIC} value")
+    ap.add_argument("--out", help="write the comparison report as JSON")
+    args = ap.parse_args()
+    if bool(args.rt_fresh) != bool(args.rt_committed):
+        ap.error("--rt-fresh and --rt-committed must be given together")
+
+    fresh_doc = load_doc(args.fresh)
+    committed_doc = load_doc(args.committed)
+    fresh = metrics_of(fresh_doc)
+    committed = metrics_of(committed_doc)
+
+    print("simulator rows:")
+    print_provenance("fresh", args.fresh, fresh_doc)
+    print_provenance("committed", args.committed, committed_doc)
+    rows = []
+    ok = compare(GATED_METRICS, fresh, committed, args.tolerance, rows)
+    print_rows(rows)
+
+    # Per-algorithm rows are informational (no committed quick-mode baseline
+    # to hold them to) but land in the report so trends are visible.
+    info = {m: v for m, v in fresh.items()
+            if m.startswith("e2e_events_per_sec_") and m not in GATED_METRICS}
+    if info:
+        width = max(len(m) for m in info) + 2
+        for metric in sorted(info):
+            print(f"{metric:<{width}} fresh={info[metric]:>14,.0f}"
+                  "  (info only)")
+
+    rt_rows = []
+    rt_scaling_row = None
+    if args.rt_fresh:
+        rt_fresh_doc = load_doc(args.rt_fresh)
+        rt_committed_doc = load_doc(args.rt_committed)
+        rt_fresh = metrics_of(rt_fresh_doc)
+        rt_committed = metrics_of(rt_committed_doc)
+        print("real-threads rows:")
+        print_provenance("fresh", args.rt_fresh, rt_fresh_doc)
+        print_provenance("committed", args.rt_committed, rt_committed_doc)
+        ok = compare(RT_GATED_METRICS, rt_fresh, rt_committed,
+                     args.rt_tolerance, rt_rows) and ok
+        print_rows(rt_rows)
+        if args.require_rt_scaling is not None:
+            got = rt_fresh.get(RT_SCALING_METRIC)
+            passed = got is not None and got >= args.require_rt_scaling
+            ok = ok and passed
+            rt_scaling_row = {
+                "metric": RT_SCALING_METRIC,
+                "fresh": got,
+                "floor": args.require_rt_scaling,
+                "committed": rt_committed.get(RT_SCALING_METRIC),
+                "status": "pass" if passed else "FAIL",
+            }
+            shown = "MISSING" if got is None else f"{got:.2f}x"
+            print(f"{RT_SCALING_METRIC}  fresh={shown}"
+                  f"  (absolute floor {args.require_rt_scaling:.2f}x)"
+                  f"  {rt_scaling_row['status']}")
 
     if args.out:
+        report = {"ok": ok, "tolerance": args.tolerance, "gated": rows,
+                  "info": info}
+        if args.rt_fresh:
+            report["rt_tolerance"] = args.rt_tolerance
+            report["rt_gated"] = rt_rows
+            if rt_scaling_row is not None:
+                report["rt_scaling"] = rt_scaling_row
         with open(args.out, "w") as f:
-            json.dump({"ok": ok, "tolerance": args.tolerance,
-                       "gated": rows, "info": info}, f, indent=2)
+            json.dump(report, f, indent=2)
             f.write("\n")
 
     if not ok:

@@ -8,7 +8,7 @@ namespace dqme::core {
 using net::Message;
 using net::MsgType;
 
-CaoSinghalSite::CaoSinghalSite(SiteId id, net::Network& net,
+CaoSinghalSite::CaoSinghalSite(SiteId id, net::Executor& net,
                                const quorum::QuorumSystem& quorums,
                                Options options)
     : MutexSite(id, net, options.num_locks),

@@ -77,7 +77,7 @@ class CaoSinghalSite final : public mutex::MutexSite {
     uint64_t recoveries = 0;         // §6 quorum reconstructions
   };
 
-  CaoSinghalSite(SiteId id, net::Network& net,
+  CaoSinghalSite(SiteId id, net::Executor& net,
                  const quorum::QuorumSystem& quorums,
                  Options options = Options());
 

@@ -43,7 +43,7 @@ bool algo_uses_quorum(Algo a) {
          a == Algo::kCaoSinghalNoProxy;
 }
 
-std::unique_ptr<MutexSite> make_site(Algo algo, SiteId id, net::Network& net,
+std::unique_ptr<MutexSite> make_site(Algo algo, SiteId id, net::Executor& net,
                                      const quorum::QuorumSystem* quorums,
                                      const AlgoOptions& options) {
   if (algo_uses_quorum(algo))

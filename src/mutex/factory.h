@@ -47,7 +47,7 @@ bool algo_uses_quorum(Algo a);
 
 // Creates one protocol endpoint. `quorums` may be null for the non-quorum
 // baselines and must outlive the site otherwise.
-std::unique_ptr<MutexSite> make_site(Algo algo, SiteId id, net::Network& net,
+std::unique_ptr<MutexSite> make_site(Algo algo, SiteId id, net::Executor& net,
                                      const quorum::QuorumSystem* quorums,
                                      const AlgoOptions& options = {});
 

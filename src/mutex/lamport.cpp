@@ -5,7 +5,7 @@ namespace dqme::mutex {
 using net::Message;
 using net::MsgType;
 
-LamportSite::LamportSite(SiteId id, net::Network& net, LockId num_locks)
+LamportSite::LamportSite(SiteId id, net::Executor& net, LockId num_locks)
     : MutexSite(id, net, num_locks), lk_(static_cast<size_t>(num_locks)) {
   for (Lk& L : lk_) L.replied.assign(static_cast<size_t>(net.size()), false);
 }

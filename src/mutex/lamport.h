@@ -16,7 +16,7 @@ namespace dqme::mutex {
 
 class LamportSite final : public MutexSite {
  public:
-  LamportSite(SiteId id, net::Network& net, LockId num_locks = 1);
+  LamportSite(SiteId id, net::Executor& net, LockId num_locks = 1);
 
   void on_message(const net::Message& m, LockId lock) override;
 

@@ -9,7 +9,7 @@ using net::Message;
 using net::MsgType;
 
 MaekawaSite::MaekawaSite(
-    SiteId id, net::Network& net, const quorum::QuorumSystem& quorums,
+    SiteId id, net::Executor& net, const quorum::QuorumSystem& quorums,
     LockId num_locks,
     std::function<const quorum::QuorumSystem*(LockId)> quorum_for_lock)
     : MutexSite(id, net, num_locks), lk_(static_cast<size_t>(num_locks)) {

@@ -19,7 +19,7 @@ class MaekawaSite final : public MutexSite {
   // `quorum_for_lock`, when set, names the quorum system arbitrating each
   // lock (must outlive the site); locks it returns nullptr for — and all
   // locks when it is unset — use `quorums`.
-  MaekawaSite(SiteId id, net::Network& net,
+  MaekawaSite(SiteId id, net::Executor& net,
               const quorum::QuorumSystem& quorums, LockId num_locks = 1,
               std::function<const quorum::QuorumSystem*(LockId)>
                   quorum_for_lock = {});

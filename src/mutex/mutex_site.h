@@ -13,8 +13,9 @@
 //     ... on_enter(id, lock) fires ...   // site is now in lock's CS
 //     site.release_cs(lock);             // precondition: in_cs(lock)
 //
-// request_cs/release_cs/on_message must only be called from simulator
-// events; protocols are single-threaded within the simulation.
+// request_cs/release_cs/on_message must only be called from the site's
+// thread of control (simulator events under net::Network; the site's own
+// pump thread under rt::Runtime) — protocols are single-threaded per site.
 #pragma once
 
 #include <array>
@@ -24,7 +25,7 @@
 #include "common/check.h"
 #include "common/timestamp.h"
 #include "common/types.h"
-#include "net/network.h"
+#include "net/executor.h"
 
 namespace dqme::mutex {
 
@@ -53,7 +54,7 @@ class MutexSite : public net::NetSite {
 
   // `num_locks` sizes the lock table; LockIds are dense 0..num_locks-1 and
   // every keyed call validates its LockId against that range.
-  MutexSite(SiteId id, net::Network& net, LockId num_locks = 1)
+  MutexSite(SiteId id, net::Executor& net, LockId num_locks = 1)
       : id_(id), net_(net) {
     DQME_CHECK(0 <= id && id < net.size());
     DQME_CHECK_MSG(num_locks >= 1,
@@ -137,8 +138,7 @@ class MutexSite : public net::NetSite {
   }
 
  protected:
-  net::Network& net() { return net_; }
-  sim::Simulator& sim() { return net_.simulator(); }
+  net::Executor& net() { return net_; }
 
   // Subclasses call this when all of `lock`'s permissions are assembled.
   void enter_cs(LockId lock) {
@@ -207,7 +207,7 @@ class MutexSite : public net::NetSite {
     int last_entry_hops = 0;
   };
 
-  Time now() const { return net_.simulator().now(); }
+  Time now() const { return net_.now(); }
   LockState& lk(LockId lock) {
     DQME_CHECK_MSG(0 <= lock && lock < num_locks(),
                    "LockId " << lock << " outside dense range 0.."
@@ -222,7 +222,7 @@ class MutexSite : public net::NetSite {
   }
 
   SiteId id_;
-  net::Network& net_;
+  net::Executor& net_;
   std::vector<LockState> locks_;
   uint64_t stale_drops_ = 0;
   std::array<uint64_t, net::kNumMsgTypes> stale_by_type_{};

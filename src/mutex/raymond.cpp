@@ -7,7 +7,7 @@ namespace dqme::mutex {
 using net::Message;
 using net::MsgType;
 
-RaymondSite::RaymondSite(SiteId id, net::Network& net, LockId num_locks)
+RaymondSite::RaymondSite(SiteId id, net::Executor& net, LockId num_locks)
     : MutexSite(id, net, num_locks),
       parent_(id == 0 ? kNoSite : (id - 1) / 2),
       lk_(static_cast<size_t>(num_locks)) {

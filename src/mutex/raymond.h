@@ -18,7 +18,7 @@ class RaymondSite final : public MutexSite {
  public:
   // The tree is a complete binary tree over site ids (parent(i) = (i-1)/2);
   // site 0 starts with every lock's token.
-  RaymondSite(SiteId id, net::Network& net, LockId num_locks = 1);
+  RaymondSite(SiteId id, net::Executor& net, LockId num_locks = 1);
 
   void on_message(const net::Message& m, LockId lock) override;
 

@@ -5,7 +5,7 @@ namespace dqme::mutex {
 using net::Message;
 using net::MsgType;
 
-RicartAgrawalaSite::RicartAgrawalaSite(SiteId id, net::Network& net,
+RicartAgrawalaSite::RicartAgrawalaSite(SiteId id, net::Executor& net,
                                        LockId num_locks)
     : MutexSite(id, net, num_locks), lk_(static_cast<size_t>(num_locks)) {}
 

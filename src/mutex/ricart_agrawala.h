@@ -10,7 +10,7 @@ namespace dqme::mutex {
 
 class RicartAgrawalaSite final : public MutexSite {
  public:
-  RicartAgrawalaSite(SiteId id, net::Network& net, LockId num_locks = 1);
+  RicartAgrawalaSite(SiteId id, net::Executor& net, LockId num_locks = 1);
 
   void on_message(const net::Message& m, LockId lock) override;
 

@@ -17,7 +17,7 @@ namespace dqme::mutex {
 
 class RoucairolCarvalhoSite final : public MutexSite {
  public:
-  RoucairolCarvalhoSite(SiteId id, net::Network& net, LockId num_locks = 1);
+  RoucairolCarvalhoSite(SiteId id, net::Executor& net, LockId num_locks = 1);
 
   void on_message(const net::Message& m, LockId lock) override;
 

@@ -7,7 +7,7 @@ namespace dqme::mutex {
 using net::Message;
 using net::MsgType;
 
-SuzukiKasamiSite::SuzukiKasamiSite(SiteId id, net::Network& net,
+SuzukiKasamiSite::SuzukiKasamiSite(SiteId id, net::Executor& net,
                                    LockId num_locks)
     : MutexSite(id, net, num_locks), lk_(static_cast<size_t>(num_locks)) {
   for (Lk& L : lk_) {

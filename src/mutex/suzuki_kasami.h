@@ -15,7 +15,7 @@ namespace dqme::mutex {
 class SuzukiKasamiSite final : public MutexSite {
  public:
   // Site 0 starts with every lock's token.
-  SuzukiKasamiSite(SiteId id, net::Network& net, LockId num_locks = 1);
+  SuzukiKasamiSite(SiteId id, net::Executor& net, LockId num_locks = 1);
 
   void on_message(const net::Message& m, LockId lock) override;
 

@@ -1,0 +1,95 @@
+// The execution-backend seam (DESIGN.md §9).
+//
+// Every protocol state machine in src/mutex and src/core talks to the
+// outside world exclusively through this interface: deliver (attach a
+// receiver), send (route control messages), side payloads, the clock, and
+// schedule-timeout. Two backends implement it:
+//
+//   * net::Network   — the deterministic discrete-event backend. Messages
+//     flow through the simulator's event heap with sampled virtual delays;
+//     a whole run is a pure function of its seed. This is the oracle.
+//   * rt::Runtime    — the wall-clock backend (src/rt). Each site is a real
+//     thread, each directed channel a bounded lock-free SPSC ring, and
+//     "delay" is whatever the scheduler and cache hierarchy actually do.
+//
+// Because the interface is the ONLY coupling, the exact same MutexSite
+// subclasses run under both backends with byte-identical protocol
+// decisions given identical delivery orders — the property
+// tests/rt_equivalence_test.cpp checks against the simulator oracle.
+//
+// Contract notes:
+//   * Per-(src,dst) channel FIFO is the one ordering guarantee protocols
+//     may assume (verified by PR 5's controlled-delivery exploration).
+//   * on_message / send are single-threaded PER SITE: a backend only ever
+//     invokes a site from one logical thread of control, and a site only
+//     calls send(src=me, ...) from inside its own handlers. The simulator
+//     satisfies this globally (one thread); the rt backend per site.
+//   * now() is observational (span timestamps, traces): protocol decisions
+//     must not depend on it. The simulator returns virtual ticks, the rt
+//     backend wall-clock microseconds since runtime start.
+//   * schedule_timeout fires `fn` on `site`'s thread of control after
+//     `delay` ticks; it may only be called from that site's own context.
+//     Timeouts are best-effort wall-clock in the rt backend and exact
+//     virtual time under the simulator; there is deliberately no cancel in
+//     the seam (protocols do not use one).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "common/types.h"
+#include "net/message.h"
+#include "sim/simulator.h"
+
+namespace dqme::net {
+
+// Anything that can receive messages from an execution backend. `lock` is
+// the lock object the message arbitrates (kLock0 for single-lock traffic).
+class NetSite {
+ public:
+  virtual ~NetSite() = default;
+  virtual void on_message(const Message& m, LockId lock) = 0;
+};
+
+class Executor {
+ public:
+  virtual ~Executor() = default;
+
+  virtual int size() const = 0;
+  virtual Time now() const = 0;
+
+  // Registers the receiver for site `id`. Must happen before any delivery
+  // to `id`; re-attaching replaces the receiver (used by wrappers).
+  virtual void attach(SiteId id, NetSite* site) = 0;
+
+  // Sends one control message, tagged with the lock it arbitrates.
+  virtual void send(SiteId src, SiteId dst, const Message& m,
+                    LockId lock = kLock0) = 0;
+
+  // Sends several control messages piggybacked (one wire message under the
+  // simulator; back-to-back ring slots under rt). They are delivered
+  // back-to-back, in order, sharing one lock tag. The pointer form is the
+  // hot path: protocol code keeps ≤2-message bundles in a stack buffer.
+  virtual void send_bundle(SiteId src, SiteId dst, const Message* msgs,
+                           size_t n, LockId lock = kLock0) = 0;
+  void send_bundle(SiteId src, SiteId dst, const std::vector<Message>& bundle,
+                   LockId lock = kLock0) {
+    send_bundle(src, dst, bundle.data(), bundle.size(), lock);
+  }
+
+  // Side payloads (token state / kv fields): pooled by the backend; the
+  // slot's lifetime is the message's flight. See net/network.h for the
+  // full ownership contract — both backends honour it.
+  virtual KvFields& attach_kv(Message& m) = 0;
+  virtual TokenPayload& attach_token(Message& m) = 0;
+  virtual KvFields read_kv(const Message& m) const = 0;
+  virtual TokenPayload take_token(const Message& m) = 0;
+
+  // Runs `fn` on `site`'s thread of control `delay` ticks from now.
+  // Returns an opaque id (the simulator's EventId; a per-site sequence
+  // number under rt). Call only from `site`'s own context.
+  virtual uint64_t schedule_timeout(SiteId site, Time delay,
+                                    sim::Callback fn) = 0;
+};
+
+}  // namespace dqme::net

@@ -57,6 +57,7 @@
 
 #include "common/rng.h"
 #include "net/delay_model.h"
+#include "net/executor.h"
 #include "net/message.h"
 #include "sim/simulator.h"
 
@@ -73,14 +74,6 @@ namespace dqme::net {
 // value with no recorder attached) means "root event / cause unknown".
 using CauseId = int32_t;
 inline constexpr CauseId kNoCause = -1;
-
-// Anything that can receive messages from the network. `lock` is the lock
-// object the message arbitrates (kLock0 for all single-lock traffic).
-class NetSite {
- public:
-  virtual ~NetSite() = default;
-  virtual void on_message(const Message& m, LockId lock) = 0;
-};
 
 struct NetworkStats {
   uint64_t wire_messages = 0;     // bundles put on the wire (paper's count)
@@ -106,34 +99,40 @@ struct NetworkStats {
   }
 };
 
-class Network {
+class Network final : public Executor {
  public:
   Network(sim::Simulator& sim, int n, std::unique_ptr<DelayModel> delay,
           uint64_t seed);
 
-  int size() const { return static_cast<int>(sites_.size()); }
+  int size() const override { return static_cast<int>(sites_.size()); }
+  Time now() const override { return sim_.now(); }
   sim::Simulator& simulator() { return sim_; }
   Time mean_delay() const { return delay_->mean(); }
 
   // Registers the receiver for site `id`. Must happen before any delivery
   // to `id`; re-attaching replaces the receiver (used by wrappers).
-  void attach(SiteId id, NetSite* site);
+  void attach(SiteId id, NetSite* site) override;
 
   // Sends one control message as one wire message, tagged with the lock it
   // arbitrates.
-  void send(SiteId src, SiteId dst, const Message& m, LockId lock = kLock0);
+  void send(SiteId src, SiteId dst, const Message& m,
+            LockId lock = kLock0) override;
 
   // Sends several control messages piggybacked as one wire message. They
   // are delivered back-to-back, in order, at the same instant, and all
   // share one lock tag (protocol bundles are single-lock). The pointer
   // form is the hot path: protocol code keeps ≤2-message bundles in a stack
-  // buffer and never touches the heap; the vector form is convenience for
-  // tests and cold paths.
+  // buffer and never touches the heap; the vector form (inherited from
+  // Executor) is convenience for tests and cold paths.
+  using Executor::send_bundle;
   void send_bundle(SiteId src, SiteId dst, const Message* msgs, size_t n,
-                   LockId lock = kLock0);
-  void send_bundle(SiteId src, SiteId dst, const std::vector<Message>& bundle,
-                   LockId lock = kLock0) {
-    send_bundle(src, dst, bundle.data(), bundle.size(), lock);
+                   LockId lock = kLock0) override;
+
+  // Executor timeout seam: exact virtual time via the simulator's event
+  // heap; the site argument is irrelevant under one global event loop.
+  uint64_t schedule_timeout(SiteId /*site*/, Time delay,
+                            sim::Callback fn) override {
+    return sim_.schedule_after(delay, std::move(fn));
   }
 
   // --- Lock piggybacking (sharded lock service) ------------------------
@@ -156,10 +155,10 @@ class Network {
   // (handlers send messages, which can also grow the slab); take_token
   // moves the token state out of its slot — ownership transfers to the
   // caller, matching "exactly one site holds the token".
-  KvFields& attach_kv(Message& m);
-  TokenPayload& attach_token(Message& m);
-  KvFields read_kv(const Message& m) const;
-  TokenPayload take_token(const Message& m);
+  KvFields& attach_kv(Message& m) override;
+  TokenPayload& attach_token(Message& m) override;
+  KvFields read_kv(const Message& m) const override;
+  TokenPayload take_token(const Message& m) override;
   size_t payload_pool_size() const { return payloads_.size(); }
 
   // --- Controlled delivery (src/verify's schedule explorer) -----------

@@ -26,6 +26,7 @@
 #include <map>
 #include <optional>
 
+#include "net/network.h"
 #include "core/cao_singhal.h"
 #include "quorum/quorum_system.h"
 

@@ -1,0 +1,90 @@
+// Simulator-as-oracle equivalence harness (DESIGN.md §9).
+//
+// Byte-identical protocol decisions across backends can only be checked
+// under the same delivery order — the interleaving IS the input. So the
+// oracle run (discrete-event simulator, seeded delays) records a StepTrace:
+// the exact global sequence of scheduler actions it executed — request
+// issues, CS exits, per-channel deliveries, crashes, failure-detector
+// notices. The rt replay then drives real threads through that trace with
+// a single atomic turn counter: step i runs on the owning site's actual
+// pump thread, messages flow through the real SPSC rings, and per-channel
+// FIFO guarantees the popped message is the one the simulator delivered.
+// Both runs capture per-site DecisionLogs; equal logs == the concurrent
+// transport carried the exact same protocol execution.
+//
+// What this does and does not prove: it shows the rt transport preserves
+// protocol behaviour under any interleaving the simulator can produce
+// (including crash/§6 recovery schedules); it does not explore
+// interleavings only real hardware produces — those are covered separately
+// by the free-run mode under the merged invariant-checker feed.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+#include "mutex/factory.h"
+#include "rt/decision_log.h"
+
+namespace dqme::rt {
+
+struct EquivConfig {
+  mutex::Algo algo = mutex::Algo::kCaoSinghal;
+  int n = 9;
+  std::string quorum = "grid";  // quorum algorithms only
+  LockId num_locks = 1;
+  int requests_per_site = 10;  // CS acquisitions each site performs
+  uint64_t seed = 1;
+  // Simulated delay: uniform in [mean/2, 3*mean/2] — jitter reorders
+  // cross-channel arrivals so the trace exercises real interleavings.
+  Time mean_delay = 1000;
+  Time hold_ticks = 100;  // CS hold time (mean; jittered per entry)
+  Time gap_ticks = 200;   // think time between a site's requests (mean)
+
+  // Crash/§6 recovery script (fault-tolerant Cao-Singhal): crash `victim`
+  // at `crash_at`, then deliver failure notices to every live site after
+  // detection_latency (+ per-site jitter), exactly mirroring
+  // core::FailureDetector.
+  bool fault_tolerant = false;
+  SiteId crash_victim = kNoSite;
+  Time crash_at = 0;
+  Time detection_latency = 500;
+  Time detection_jitter = 400;
+};
+
+// One scheduler action of the oracle run, in global execution order.
+struct Step {
+  enum Kind : uint8_t {
+    kIssue = 0,    // site calls request_cs(lock)
+    kExit = 1,     // site calls release_cs(lock)
+    kDeliver = 2,  // site pops channel (aux -> site) and dispatches
+    kCrash = 3,    // site fails silently
+    kNotice = 4,   // site receives failure(aux) from the detector
+  };
+  uint8_t kind = kIssue;
+  SiteId site = kNoSite;  // whose thread of control acts
+  SiteId aux = kNoSite;   // kDeliver: channel source; kNotice: the victim
+  LockId lock = kLock0;
+};
+
+using SiteLogs = std::vector<std::vector<DecisionLog::Record>>;
+
+struct OracleResult {
+  std::vector<Step> steps;
+  SiteLogs logs;
+  uint64_t cs_entries = 0;
+  // Every live site completed its script and the run drained.
+  bool ok = false;
+  std::string error;
+};
+
+// Runs the configuration on the discrete-event simulator, recording the
+// step trace and per-site decision logs.
+OracleResult run_sim_oracle(const EquivConfig& cfg);
+
+// Replays the oracle's step trace on the real-threads backend (one thread
+// per site, lock-free rings) and returns the rt decision logs.
+SiteLogs run_rt_replay(const EquivConfig& cfg, const std::vector<Step>& steps);
+
+}  // namespace dqme::rt

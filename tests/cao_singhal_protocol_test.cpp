@@ -4,6 +4,7 @@
 // adversarial cases, with hand-crafted messages.
 #include <gtest/gtest.h>
 
+#include "net/network.h"
 #include "core/cao_singhal.h"
 #include "net/trace.h"
 #include "quorum/factory.h"

@@ -3,6 +3,7 @@
 // particular quorum construction"), and randomized safety/liveness sweeps.
 #include <gtest/gtest.h>
 
+#include "net/network.h"
 #include "quorum/factory.h"
 #include "test_util.h"
 

@@ -3,6 +3,7 @@
 // on a public boundary gets exercised here.
 #include <gtest/gtest.h>
 
+#include "net/network.h"
 #include "core/cao_singhal.h"
 #include "core/failure_detector.h"
 #include "harness/experiment.h"

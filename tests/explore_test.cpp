@@ -6,6 +6,7 @@
 
 #include <sstream>
 
+#include "net/network.h"
 #include "net/trace.h"
 #include "verify/explorer.h"
 

@@ -3,6 +3,7 @@
 // mutual-exclusion invariant checked throughout.
 #include <gtest/gtest.h>
 
+#include "net/network.h"
 #include "core/cao_singhal.h"
 #include "core/failure_detector.h"
 #include "quorum/factory.h"

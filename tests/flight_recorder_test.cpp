@@ -9,6 +9,7 @@
 #include <sstream>
 #include <string>
 
+#include "net/network.h"
 #include "net/message.h"
 #include "obs/flight_recorder.h"
 #include "obs/invariants.h"

@@ -4,6 +4,7 @@
 
 #include <sstream>
 
+#include "net/network.h"
 #include "harness/experiment.h"
 #include "harness/metrics.h"
 #include "quorum/factory.h"

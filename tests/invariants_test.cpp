@@ -3,6 +3,7 @@
 // detected, and the Table 1 analytic model agrees with measurement.
 #include <gtest/gtest.h>
 
+#include "net/network.h"
 #include "harness/sweep.h"
 #include "obs/invariants.h"
 #include "obs/model.h"

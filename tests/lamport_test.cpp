@@ -2,6 +2,7 @@
 // priority semantics.
 #include <gtest/gtest.h>
 
+#include "net/network.h"
 #include "mutex/lamport.h"
 #include "test_util.h"
 

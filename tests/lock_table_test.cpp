@@ -14,6 +14,7 @@
 #include <utility>
 #include <vector>
 
+#include "net/network.h"
 #include "common/rng.h"
 #include "mutex/factory.h"
 #include "quorum/factory.h"

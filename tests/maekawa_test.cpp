@@ -3,6 +3,7 @@
 // deadlock resolution.
 #include <gtest/gtest.h>
 
+#include "net/network.h"
 #include "mutex/maekawa.h"
 #include "quorum/factory.h"
 #include "test_util.h"

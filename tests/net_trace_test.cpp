@@ -3,6 +3,7 @@
 
 #include <sstream>
 
+#include "net/network.h"
 #include "net/trace.h"
 
 namespace dqme::net {

@@ -3,6 +3,7 @@
 // detects violations when fed a corrupted trace.
 #include <gtest/gtest.h>
 
+#include "net/network.h"
 #include "core/cao_singhal.h"
 #include "harness/metrics.h"
 #include "harness/permission_auditor.h"

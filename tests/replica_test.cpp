@@ -3,6 +3,7 @@
 // including crash recovery with adaptive quorums.
 #include <gtest/gtest.h>
 
+#include "net/network.h"
 #include "core/failure_detector.h"
 #include "quorum/factory.h"
 #include "replica/replicated_store.h"

@@ -2,6 +2,7 @@
 // priority order.
 #include <gtest/gtest.h>
 
+#include "net/network.h"
 #include "mutex/ricart_agrawala.h"
 #include "test_util.h"
 

@@ -3,6 +3,7 @@
 // 2(N-1) heavy, delay T).
 #include <gtest/gtest.h>
 
+#include "net/network.h"
 #include "mutex/roucairol_carvalho.h"
 #include "test_util.h"
 

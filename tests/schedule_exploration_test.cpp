@@ -9,6 +9,7 @@
 // reply, transfer after exit, yields crossing re-grants.
 #include <gtest/gtest.h>
 
+#include "net/network.h"
 #include "core/cao_singhal.h"
 #include "harness/metrics.h"
 #include "harness/workload.h"

@@ -3,6 +3,7 @@
 // class the paper contrasts itself with (§1, Table 1).
 #include <gtest/gtest.h>
 
+#include "net/network.h"
 #include "mutex/raymond.h"
 #include "mutex/suzuki_kasami.h"
 #include "test_util.h"

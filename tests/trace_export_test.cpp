@@ -14,6 +14,7 @@
 #include <string>
 #include <vector>
 
+#include "net/network.h"
 #include "mutex/factory.h"
 #include "net/trace.h"
 #include "obs/chrome_trace.h"

@@ -32,6 +32,7 @@
 #include <string>
 #include <vector>
 
+#include "net/network.h"
 #include "harness/experiment.h"
 #include "harness/table.h"
 #include "obs/flight_recorder.h"

@@ -19,6 +19,7 @@
 #include "harness/experiment.h"
 #include "harness/table.h"
 #include "obs/chrome_trace.h"
+#include "rt/driver.h"
 #include "verify/explorer.h"
 
 namespace {
@@ -28,6 +29,9 @@ using namespace dqme;
 void usage(const char* argv0) {
   std::cout
       << "usage: " << argv0 << " [options]\n"
+      << "  --backend B      sim (discrete-event, default) | rt (real\n"
+      << "                   threads: one pump thread per site on lock-free\n"
+      << "                   SPSC rings; wall-clock numbers)\n"
       << "  --algo NAME      lamport | ricart-agrawala | maekawa | raymond\n"
       << "                   | suzuki-kasami | cao-singhal |"
       << " cao-singhal-noproxy\n"
@@ -62,7 +66,125 @@ void usage(const char* argv0) {
       << "  --replay-schedule FILE  replay a dqme_explore schedule (its\n"
       << "                   config rides in the file; other options except\n"
       << "                   --trace-out are ignored); exits 1 when the\n"
-      << "                   replay reproduces a violation\n";
+      << "                   replay reproduces a violation\n"
+      << "rt backend only (--backend rt):\n"
+      << "  --entries N      aggregate CS entries to perform (default 5000)\n"
+      << "  --max-seconds S  soft wall-clock stop (default 30)\n"
+      << "  --outstanding K  per-site pipeline depth, --locks > 1 only\n"
+      << "                   (default 8)\n"
+      << "  --wire-delay-us D  emulated wire latency in microseconds — the\n"
+      << "                   paper's T on real threads (default 100; 0 =\n"
+      << "                   raw ring speed)\n"
+      << "  --no-check       skip the safety probe and the merged\n"
+      << "                   invariant-checker replay\n"
+      << "(simulator-shape flags — --t, --delay, --load, --warmup, ... —\n"
+      << " are rejected under --backend rt rather than silently ignored)\n";
+}
+
+// --backend rt: the real-threads free-run driver (rt::run_free) behind the
+// same CLI. Only the flags that make sense for a wall-clock run are
+// accepted; simulator-shape flags get a pointed error instead of being
+// silently ignored, so a copy-pasted sim command line cannot masquerade as
+// an rt measurement.
+int rt_backend_main(int argc, char** argv) {
+  rt::FreeRunConfig cfg;
+  cfg.n = 25;
+  cfg.target_entries = 5000;
+  cfg.wire_delay_us = 100;
+  cfg.check = true;
+  cfg.quorum = "grid";
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    auto next = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        std::cerr << "missing value for " << a << "\n";
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (a == "--help" || a == "-h") {
+      usage(argv[0]);
+      return 0;
+    } else if (a == "--backend") {
+      next();  // already dispatched on it
+    } else if (a.rfind("--backend=", 0) == 0) {
+      // already dispatched on it
+    } else if (a == "--algo") {
+      cfg.algo = mutex::algo_from_string(next());
+    } else if (a == "--n") {
+      cfg.n = std::atoi(next());
+    } else if (a == "--quorum") {
+      cfg.quorum = next();
+    } else if (a == "--locks") {
+      cfg.num_locks = std::atoi(next());
+    } else if (a == "--ft") {
+      cfg.fault_tolerant = true;
+    } else if (a == "--seed") {
+      cfg.seed = static_cast<uint64_t>(std::atoll(next()));
+    } else if (a == "--entries") {
+      cfg.target_entries = static_cast<uint64_t>(std::atoll(next()));
+    } else if (a == "--max-seconds") {
+      cfg.max_seconds = std::atof(next());
+    } else if (a == "--outstanding") {
+      cfg.outstanding = std::atoi(next());
+    } else if (a == "--wire-delay-us") {
+      cfg.wire_delay_us = static_cast<uint64_t>(std::atoll(next()));
+    } else if (a == "--no-check") {
+      cfg.check = false;
+    } else if (a == "--t" || a == "--delay" || a == "--load" ||
+               a == "--rate" || a == "--cs" || a == "--exp-cs" ||
+               a == "--think" || a == "--warmup" || a == "--measure" ||
+               a == "--zipf" || a == "--lock-piggyback" || a == "--ft-crash" ||
+               a == "--crash" || a == "--no-piggyback" || a == "--audit" ||
+               a == "--trace-out" || a == "--replay-schedule") {
+      std::cerr << a
+                << " is simulator-only: the rt backend runs wall-clock with "
+                   "real threads (see --wire-delay-us / --entries / "
+                   "--max-seconds), so simulated-time shaping does not "
+                   "apply\n";
+      return 2;
+    } else {
+      std::cerr << "unknown option: " << a << "\n";
+      usage(argv[0]);
+      return 2;
+    }
+  }
+
+  std::cout << "dqme_sim [rt backend]: " << mutex::to_string(cfg.algo)
+            << "  N=" << cfg.n << " (pump threads)";
+  if (mutex::algo_uses_quorum(cfg.algo))
+    std::cout << "  quorum=" << cfg.quorum;
+  std::cout << "  locks=" << cfg.num_locks
+            << "  wire_delay=" << cfg.wire_delay_us << "us"
+            << "  seed=" << cfg.seed << "\n\n";
+
+  const rt::FreeRunResult r = rt::run_free(cfg);
+
+  harness::Table out({"metric", "value"});
+  using harness::Table;
+  out.add_row({"CS entries", Table::integer(r.cs_entries)});
+  out.add_row({"wall seconds", Table::num(r.wall_seconds, 3)});
+  out.add_row({"handoffs / sec", Table::num(r.handoffs_per_sec, 1)});
+  out.add_row({"wire messages / sec", Table::num(r.wire_msgs_per_sec, 1)});
+  out.add_row({"wire messages", Table::integer(r.stats.wire_messages)});
+  out.add_row({"delivered messages",
+               Table::integer(r.stats.delivered_messages)});
+  out.add_row({"ring overflows (spilled)",
+               Table::integer(r.stats.spilled_messages)});
+  if (cfg.check) {
+    out.add_row({"safety probe violations",
+                 Table::integer(r.probe_violations)});
+    out.add_row({"invariant violations (merged replay)",
+                 Table::integer(r.violations)});
+  }
+  out.print(std::cout);
+  for (const std::string& rep : r.reports) std::cout << "  " << rep << "\n";
+
+  std::cout << (r.ok ? "\nOK: safe and live.\n"
+                     : "\nFAILED: " +
+                           (r.error.empty() ? "violations detected" : r.error) +
+                           "\n");
+  return r.ok ? 0 : 1;
 }
 
 bool parse_args(int argc, char** argv, harness::ExperimentConfig& cfg,
@@ -80,6 +202,10 @@ bool parse_args(int argc, char** argv, harness::ExperimentConfig& cfg,
     if (a == "--help" || a == "-h") {
       usage(argv[0]);
       std::exit(0);
+    } else if (a == "--backend") {
+      next();  // main() already dispatched on it; value validated there
+    } else if (a.rfind("--backend=", 0) == 0) {
+      // main() already dispatched on it
     } else if (a == "--algo") {
       cfg.algo = mutex::algo_from_string(next());
     } else if (a == "--n") {
@@ -219,6 +345,22 @@ int replay_schedule_main(const std::string& path,
 }  // namespace
 
 int main(int argc, char** argv) try {
+  // Backend dispatch happens before the full parse: the two backends have
+  // different flag vocabularies.
+  std::string backend = "sim";
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    if (a == "--backend" && i + 1 < argc)
+      backend = argv[i + 1];
+    else if (a.rfind("--backend=", 0) == 0)
+      backend = a.substr(std::string("--backend=").size());
+  }
+  if (backend == "rt") return rt_backend_main(argc, argv);
+  if (backend != "sim") {
+    std::cerr << "unknown backend: " << backend << " (sim | rt)\n";
+    return 2;
+  }
+
   harness::ExperimentConfig cfg;
   double rate = 0.5;
   std::string trace_out;

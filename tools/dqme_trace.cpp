@@ -36,6 +36,7 @@
 #include <string>
 #include <vector>
 
+#include "net/network.h"
 #include "core/cao_singhal.h"
 #include "harness/workload.h"
 #include "net/trace.h"
