@@ -1,4 +1,4 @@
-// Stateless schedule-space explorer (the PR's tentpole).
+// Stateless schedule-space explorer (the model checker's DFS core).
 //
 // Depth-first search over every (reduced) sequence of Actions a World can
 // take from its initial state: which parked flight to deliver next, when a
@@ -12,19 +12,34 @@
 // re-applied whenever the search backtracks, trading CPU for zero snapshot
 // machinery — the simulator is deterministic, so replay is exact.
 //
-// Reduction: sleep sets over the commutativity relation in schedule.h (two
-// actions touching different sites commute). A child's sleep set carries
-// every already-explored (or sleeping) sibling that is independent of the
-// chosen action, so the permutations of pairwise-commuting actions are
-// explored once instead of factorially often. `por = false` turns this off
-// for the naive-DFS comparison the acceptance gate requires.
+// Reduction: per-node source sets maintained with sleep-set bookkeeping
+// over the dependence relation selected by ExplorerConfig::dpor
+// (schedule.h). A child's sleep set carries every already-explored (or
+// sleeping) sibling that is independent of the chosen action, so the
+// permutations of pairwise-commuting actions are explored once instead of
+// factorially often. Dpor::kSource refines the relation (a crash conflicts
+// only with its victim's locality) and adds the sealed-sibling guard: a
+// sibling whose application immediately ended the schedule is never put to
+// sleep, because the state it reached had no extensions to cover the
+// reordered schedules with (the crash enabled-set is gated on liveness of
+// the run — docs/VERIFICATION.md states the full argument). `por = false`
+// turns reduction off for the naive-DFS comparison.
 //
 // Violating prefixes stop immediately (every extension violates too), are
 // greedily minimized by replay, and come back as replayable schedules.
 // Budgets (schedule/node caps) suspend the search with the DFS stack
 // serialized — a frontier file — from which a later run resumes exactly.
+//
+// Parallel use (parallel.h): an Explorer can be seeded with a Task — a
+// subtree root described by its action prefix, its DFS index path from the
+// true root, and one open Frame — and then explores exactly that subtree.
+// SharedControl carries the cross-worker budget/stop/donation channels; a
+// running Explorer donates the shallowest open frame of its stack as a new
+// Task when a sibling worker asks.
 #pragma once
 
+#include <atomic>
+#include <functional>
 #include <iosfwd>
 #include <memory>
 #include <string>
@@ -34,19 +49,67 @@
 
 namespace dqme::verify {
 
+// One node of the DFS: the enabled set in a fixed deterministic order plus
+// the reduction's per-sibling bookkeeping.
+struct Frame {
+  std::vector<Action> actions;  // enabled set at this node, fixed order
+  std::vector<char> sleep;      // sleep-set membership per action
+  std::vector<char> sealed;     // explored sibling produced no child node
+  size_t next = 0;              // next sibling index to consider
+};
+
+// A unit of parallel work: the subtree rooted at the node reached by
+// `prefix`, whose siblings-to-explore are `frame`, at DFS position `path`
+// (the sibling index chosen at each ancestor, root first). Paths order
+// tasks and violations exactly as a single-threaded DFS would encounter
+// them: lexicographic comparison of index paths == depth-first preorder.
+struct Task {
+  std::vector<Action> prefix;
+  std::vector<uint32_t> path;
+  Frame frame;
+};
+
+// Cross-worker state for parallel exploration. All counters are advisory
+// (budget enforcement may overshoot by in-flight nodes); determinism of
+// the merged structural counters comes from the tree partition, not from
+// when workers observe these.
+struct SharedControl {
+  std::atomic<uint64_t> schedules{0};
+  std::atomic<uint64_t> nodes{0};
+  std::atomic<bool> stop{false};
+  // Idle workers asking for work; a running Explorer that still has an
+  // open frame donates it through ExplorerConfig::spill_sink.
+  std::atomic<int> spill_requests{0};
+  // Bumped whenever the best (lexicographically smallest) violation path
+  // improves; workers re-evaluate their abort predicate when it changes.
+  std::atomic<uint64_t> abort_epoch{0};
+};
+
 struct ExplorerConfig {
   WorldConfig world;
   int max_depth = 0;           // 0 = unbounded (finite anyway: see docs)
   uint64_t max_schedules = 0;  // 0 = unbounded
   uint64_t max_nodes = 0;      // 0 = unbounded
-  bool por = true;             // sleep-set reduction on
+  bool por = true;             // source-set/sleep-set reduction on
+  Dpor dpor = Dpor::kSleep;    // which dependence relation drives it
   bool stop_on_violation = true;
   bool minimize = true;        // shrink counterexamples by replay
+
+  // Parallel-driver hooks; all unset for standalone use.
+  SharedControl* shared = nullptr;
+  // Hand every node at this absolute prefix length to spill_sink as a Task
+  // instead of exploring it (the ParallelExplorer split phase). 0 = off.
+  size_t spill_depth = 0;
+  std::function<void(Task&&)> spill_sink;
+  // Re-checked when shared->abort_epoch changes: true = discard this
+  // subtree, a violation that precedes it in DFS order was found.
+  std::function<bool()> should_abort;
 };
 
 struct Violation {
   std::vector<Action> schedule;       // minimal replayable counterexample
   std::vector<std::string> reports;   // what the checker/seal flagged
+  std::vector<uint32_t> path;         // DFS index path (see Task::path)
 };
 
 struct ExploreResult {
@@ -58,8 +121,14 @@ struct ExploreResult {
   uint64_t sleep_skips = 0;  // branches pruned by the reduction
   bool budget_exhausted = false;
   bool complete = false;     // the whole (reduced) space was covered
+  bool aborted = false;      // discarded by the parallel abort rule
   std::vector<Violation> violations;
 };
+
+// Folds the tree-structural and execution counters of `from` into `into`
+// (sums; flags OR where that is the right merge). Violations are not
+// merged here — the parallel driver orders those by path itself.
+void merge_counters(ExploreResult& into, const ExploreResult& from);
 
 // Replays a schedule on a fresh World: applies every action (inapplicable
 // ones no-op), then seals if the run quiesced violation-free. The caller
@@ -72,42 +141,58 @@ std::unique_ptr<World> replay_schedule(const WorldConfig& cfg,
 // across replays of the same bug, which is what minimization preserves.
 std::string violation_category(const std::vector<std::string>& reports);
 
+// Greedy shrink by replay: drop any action whose removal still replays to
+// the same violation category. Replay costs are added to `counters`.
+void minimize_violation(const WorldConfig& cfg, Violation& v,
+                        ExploreResult& counters);
+
 class Explorer {
  public:
   explicit Explorer(ExplorerConfig cfg);
+
+  // Start from a parallel Task instead of the World's initial state. Must
+  // be called before run(); the search then covers exactly the subtree the
+  // task describes and returns when it is exhausted.
+  void seed(Task task);
 
   // Runs until the space is covered, a violation stops the search, or a
   // budget suspends it. Callable once per Explorer.
   ExploreResult run();
 
+  // Remaining work after a budget/stop suspension, as a partition into
+  // tasks: one per open frame of the suspended stack (the leaf continues
+  // the in-flight descent; each ancestor keeps its unexplored siblings).
+  std::vector<Task> suspended_tasks() const;
+
   // Serializes the suspended DFS stack (budget_exhausted results only);
   // load restores it — including the WorldConfig — so `run()` continues
-  // where the budgeted run stopped.
+  // where the budgeted run stopped. (Single-stack v1 format; the parallel
+  // driver's multi-task frontier lives in parallel.h.)
   void save_frontier(std::ostream& os) const;
   bool load_frontier(std::istream& is, std::string* error);
 
   const ExplorerConfig& config() const { return cfg_; }
 
  private:
-  struct Frame {
-    std::vector<Action> actions;  // enabled set at this node, fixed order
-    std::vector<char> sleep;      // sleep-set membership per action
-    size_t next = 0;              // next sibling index to consider
-  };
-
   void rebuild_world(ExploreResult& result);
   void record_violation(std::vector<Action> schedule,
                         std::vector<std::string> reports,
-                        ExploreResult& result);
+                        std::vector<uint32_t> path, ExploreResult& result);
   bool over_budget(const ExploreResult& result) const;
+  std::vector<uint32_t> current_path() const;
+  bool try_donate();
 
   ExplorerConfig cfg_;
   std::vector<Frame> stack_;
   std::vector<Action> prefix_;
+  std::vector<uint32_t> base_path_;  // DFS path of the seeded task root
+  size_t seed_depth_ = 0;            // prefix length of the seeded task
   std::unique_ptr<World> world_;
   bool world_matches_ = false;  // world_ state == replay of prefix_
   ExploreResult carried_;       // counters restored by load_frontier
+  uint64_t seen_epoch_ = 0;     // last observed shared->abort_epoch
   bool ran_ = false;
+  bool seeded_ = false;
 };
 
 }  // namespace dqme::verify

@@ -35,12 +35,52 @@ bool independent(const Action& x, const Action& y) {
   return sx != kNoSite && sy != kNoSite && sx != sy;
 }
 
+namespace {
+
+// Does `a` read or write site v's locality — v's protocol state, a channel
+// into or out of v, or a failure notice naming v? This is the conflict
+// footprint a crash of v has: crash(v) flips v's liveness, sweeps the
+// parked flights of every (v,*) and (*,v) channel, retires v's pending
+// notices, and spawns new notices about v.
+bool touches_victim(const Action& a, SiteId v) {
+  switch (a.kind) {
+    case ActionKind::kDeliver: return a.a == v || a.b == v;
+    case ActionKind::kExit:    return a.a == v;
+    case ActionKind::kNotice:  return a.a == v || a.b == v;
+    case ActionKind::kCrash:   return true;  // crashes share the budget
+  }
+  return true;
+}
+
+}  // namespace
+
+bool independent(const Action& x, const Action& y, Dpor mode) {
+  if (mode == Dpor::kSleep) return independent(x, y);
+  // kSource: crashes conflict exactly with their victim's locality; every
+  // other pair keeps the same-handler-site relation.
+  if (x.kind == ActionKind::kCrash) return !touches_victim(y, x.a);
+  if (y.kind == ActionKind::kCrash) return !touches_victim(x, y.a);
+  return independent(x, y);
+}
+
+std::string_view to_string(Dpor d) {
+  return d == Dpor::kSource ? "source" : "sleep";
+}
+
+Dpor dpor_from_string(const std::string& name) {
+  if (name == "sleep") return Dpor::kSleep;
+  if (name == "source") return Dpor::kSource;
+  DQME_CHECK_MSG(false, "unknown dpor mode '" << name << "' (sleep|source)");
+  return Dpor::kSleep;
+}
+
 std::string_view to_string(Mutation m) {
   switch (m) {
     case Mutation::kNone:          return "none";
     case Mutation::kDoubleGrant:   return "double-grant";
     case Mutation::kLostTransfer:  return "lost-transfer";
     case Mutation::kFifoInversion: return "fifo-inversion";
+    case Mutation::kDeadlockOrdering: return "deadlock-ordering";
   }
   return "none";
 }
@@ -50,6 +90,7 @@ Mutation mutation_from_string(const std::string& name) {
   if (name == "double-grant") return Mutation::kDoubleGrant;
   if (name == "lost-transfer") return Mutation::kLostTransfer;
   if (name == "fifo-inversion") return Mutation::kFifoInversion;
+  if (name == "deadlock-ordering") return Mutation::kDeadlockOrdering;
   DQME_CHECK_MSG(false, "unknown mutation '" << name << "'");
   return Mutation::kNone;
 }

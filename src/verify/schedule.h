@@ -42,16 +42,41 @@ struct Action {
 
 std::string to_string(const Action& a);
 
-// The dependence relation the sleep-set reduction is built on. Every action
-// except kCrash affects exactly one site's protocol state: a delivery runs
-// the destination's handler, an exit/notice runs its own site's. Two
-// actions on different sites commute — neither can see the other's effect
-// before a later (dependent) action links them — so schedules differing
-// only in their order reach the same state. kCrash reshapes the enabled
-// set globally (drops parked flights on every channel of the victim) and
-// is dependent with everything. docs/VERIFICATION.md states the argument.
+// Which partial-order reduction the explorer runs.
+//
+// kSleep is the original conservative relation: every action except kCrash
+// touches exactly one site, and kCrash is dependent with *everything* —
+// sound, but every crash choice point multiplies the whole remaining space.
+//
+// kSource refines the relation to the actual dependencies ("source sets",
+// docs/VERIFICATION.md §source-set-DPOR): a crash of site v conflicts only
+// with actions on v's locality — deliveries on a channel into or out of v
+// (crash sweeps those parked flights), v's own CS exit, failure notices
+// about v or addressed to v, and other crashes (they share the per-schedule
+// crash budget). Everything else commutes with the crash, so the crash
+// point slides freely across unrelated deliveries instead of forking the
+// space at every depth. Deliveries/exits/notices keep the same-site
+// relation: two actions running the same site's handler never commute.
+enum class Dpor : uint8_t {
+  kSleep,   // touched-site relation, crash dependent with all
+  kSource,  // refined per-kind relation (crash only on its locality)
+};
+
+std::string_view to_string(Dpor d);
+Dpor dpor_from_string(const std::string& name);
+
+// The dependence relation the reduction is built on. Every action except
+// kCrash affects exactly one site's protocol state: a delivery runs the
+// destination's handler, an exit/notice runs its own site's. Two actions
+// on different sites commute — neither can see the other's effect before a
+// later (dependent) action links them — so schedules differing only in
+// their order reach the same state. kCrash reshapes the enabled set of the
+// victim's channels; under kSleep it is treated as dependent with
+// everything, under kSource only with actions touching the victim.
+// docs/VERIFICATION.md states the argument.
 SiteId touched_site(const Action& a);
-bool independent(const Action& x, const Action& y);
+bool independent(const Action& x, const Action& y);  // kSleep relation
+bool independent(const Action& x, const Action& y, Dpor mode);
 
 // Seeded faults for the negative tests: each one breaks a different
 // invariant, and the explorer must find a schedule exposing it.
@@ -60,6 +85,13 @@ enum class Mutation : uint8_t {
   kDoubleGrant,    // an arbiter wire-grants a second site without unlocking
   kLostTransfer,   // first transfer vanishes, then its holder's release too
   kFifoInversion,  // one delivery jumps its channel's queue
+  // Naimi–Thiaré-style deadlock seeding: every inquire vanishes, so the
+  // §4 deadlock-avoidance dance never runs. The explorer must then find
+  // the crossed-grant request ordering (each arbiter locked by a different
+  // requester, no site completing its quorum) that the inquire/yield
+  // machinery exists to break — a circular wait, reported as stalled
+  // requests at quiescence.
+  kDeadlockOrdering,
 };
 
 std::string_view to_string(Mutation m);

@@ -63,6 +63,14 @@ bool World::filter(net::Message& m) {
         return false;
       }
       return true;
+    case Mutation::kDeadlockOrdering:
+      // Every inquire vanishes: the §4 deadlock-avoidance handshake
+      // (inquire -> yield -> re-grant by priority) is severed, so the
+      // crossed-grant orderings it exists to break — each arbiter locked
+      // by a different requester, nobody completing a quorum — become a
+      // reachable circular wait. The explorer's job is to find that
+      // request-ordering shape; seal() then reports the stalled requests.
+      return m.type != net::MsgType::kInquire;
   }
   return true;
 }

@@ -148,6 +148,89 @@ INSTANTIATE_TEST_SUITE_P(
       return name;
     });
 
+// On a crash-free space the source relation coincides with the sleep
+// relation (only kCrash's dependencies were refined), so the two modes
+// must walk the identical reduced tree.
+TEST(Explorer, SourceDporEqualsSleepOnCrashFreeSpace) {
+  ExplorerConfig sleep_cfg;
+  sleep_cfg.world = small_config();
+  sleep_cfg.dpor = Dpor::kSleep;
+  const ExploreResult sleep_r = Explorer(sleep_cfg).run();
+  ExplorerConfig source_cfg;
+  source_cfg.world = small_config();
+  source_cfg.dpor = Dpor::kSource;
+  const ExploreResult source_r = Explorer(source_cfg).run();
+  ASSERT_TRUE(sleep_r.complete);
+  ASSERT_TRUE(source_r.complete);
+  EXPECT_EQ(source_r.schedules, sleep_r.schedules);
+  EXPECT_EQ(source_r.nodes, sleep_r.nodes);
+  EXPECT_EQ(source_r.sleep_skips, sleep_r.sleep_skips);
+}
+
+// With a crash in the action alphabet, refining crash dependence to the
+// victim's locality must prune strictly — the crash point slides across
+// unrelated deliveries instead of forking the space at every depth —
+// while still covering the reduced space completely and cleanly.
+// (Measured: 38,009 vs 76,020 schedules on the N=3 one-crash grid.)
+TEST(Explorer, SourceDporStrictlyReducesCrashSpace) {
+  WorldConfig world = small_config();
+  world.fault_tolerant = true;
+  world.crash_sites = {2};
+  world.max_crashes = 1;
+  ExplorerConfig sleep_cfg;
+  sleep_cfg.world = world;
+  sleep_cfg.dpor = Dpor::kSleep;
+  const ExploreResult sleep_r = Explorer(sleep_cfg).run();
+  ExplorerConfig source_cfg;
+  source_cfg.world = world;
+  source_cfg.dpor = Dpor::kSource;
+  const ExploreResult source_r = Explorer(source_cfg).run();
+  ASSERT_TRUE(sleep_r.complete);
+  ASSERT_TRUE(source_r.complete);
+  EXPECT_TRUE(sleep_r.violations.empty());
+  EXPECT_TRUE(source_r.violations.empty());
+  EXPECT_LT(source_r.schedules, sleep_r.schedules);
+  EXPECT_LT(source_r.nodes, sleep_r.nodes);
+}
+
+// Naimi–Thiaré-style deadlock seeding: with every inquire dropped, the §4
+// deadlock-avoidance handshake never runs and the crossed-grant circular
+// wait (each arbiter locked by a different requester, no quorum ever
+// completing) becomes reachable. Source-set DPOR must find that request
+// ordering within budget, every live site must be reported stalled at
+// quiescence, and the counterexample must survive the schedule-file
+// round trip (the same artifact dqme_sim --replay-schedule consumes).
+TEST(Explorer, DeadlockOrderingFoundUnderSourceDporAndReplays) {
+  WorldConfig cfg = small_config();
+  cfg.mutation = Mutation::kDeadlockOrdering;
+  ExplorerConfig ec;
+  ec.world = cfg;
+  ec.dpor = Dpor::kSource;
+  ec.max_schedules = 200'000;
+  const ExploreResult r = Explorer(ec).run();
+  ASSERT_FALSE(r.violations.empty()) << "deadlock ordering never found";
+  const Violation& v = r.violations.front();
+  ASSERT_FALSE(v.schedule.empty());
+  int stalled = 0;
+  for (const std::string& rep : v.reports)
+    if (rep.find("stalled request at quiescence") != std::string::npos)
+      ++stalled;
+  EXPECT_EQ(stalled, cfg.n) << "not a full circular wait";
+
+  std::ostringstream file;
+  write_schedule(file, cfg, v.schedule, v.reports);
+  std::istringstream in(file.str());
+  WorldConfig cfg2;
+  std::vector<Action> actions;
+  std::string error;
+  ASSERT_TRUE(read_schedule(in, cfg2, actions, &error)) << error;
+  EXPECT_EQ(cfg2.mutation, Mutation::kDeadlockOrdering);
+  const auto world = replay_schedule(cfg2, actions);
+  ASSERT_GT(world->violations(), 0u);
+  EXPECT_EQ(violation_category(world->reports()),
+            violation_category(v.reports));
+}
+
 TEST(Explorer, FrontierResumeCoversTheExactSameSpace) {
   const ExploreResult oneshot = explore(small_config());
   ASSERT_TRUE(oneshot.complete);

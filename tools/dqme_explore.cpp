@@ -1,17 +1,26 @@
 // dqme_explore — schedule-space model checker CLI (src/verify).
 //
-// Drives the deterministic simulator through every (sleep-set reduced)
+// Drives the deterministic simulator through every (DPOR-reduced)
 // message-delivery interleaving of a small configuration and runs the full
 // invariant set on each schedule. Finds the adversarial orderings a single
 // seeded run never produces; when it finds a violation it emits a minimal
 // replayable schedule that `dqme_sim --replay-schedule` reproduces.
 //
+// Two reductions (--dpor): `sleep` is the conservative touched-site
+// relation, `source` (the default) refines crash dependence to the
+// victim's locality — strictly fewer schedules on crash grids, same
+// invariant coverage. `--workers K` explores in parallel with work
+// stealing; merged counts and the first counterexample are byte-identical
+// to the single-threaded run.
+//
 // Examples:
 //   dqme_explore --algo cao-singhal --n 3 --cs-per-site 2
-//   dqme_explore --algo cao-singhal --n 3 --crashes 1 --compare-naive
+//   dqme_explore --n 3 --crashes 1 --compare          # sleep-vs-source
+//   dqme_explore --n 4 --crashes 1 --workers 8        # parallel
 //   dqme_explore --algo maekawa --n 3 --budget 50000 --frontier-out f.json
 //   dqme_explore --mutate double-grant --repro-out repro.json
 //   dqme_explore --preset smoke --json smoke.json
+//   dqme_explore --preset n4 --workers 8 --json n4.json
 #include <chrono>
 #include <cstdlib>
 #include <fstream>
@@ -22,6 +31,7 @@
 
 #include "obs/chrome_trace.h"
 #include "verify/explorer.h"
+#include "verify/parallel.h"
 
 namespace {
 
@@ -42,8 +52,14 @@ void usage(const char* argv0) {
       << "  --ft               §6 fault-tolerance layer (implied by\n"
       << "                     --crashes > 0)\n"
       << "  --mutate NAME      seeded fault: double-grant | lost-transfer |\n"
-      << "                     fifo-inversion (negative testing)\n"
-      << "  --no-por           naive DFS, no sleep-set reduction\n"
+      << "                     fifo-inversion | deadlock-ordering\n"
+      << "  --dpor MODE        dependence relation: source (default) |\n"
+      << "                     sleep (conservative, crash vs everything)\n"
+      << "  --workers K        parallel exploration with K worker threads\n"
+      << "                     (default 1; counts stay byte-identical)\n"
+      << "  --split-depth D    task-split depth for --workers (default 2)\n"
+      << "  --no-por           naive DFS, no reduction at all\n"
+      << "  --compare          run sleep and source DPOR, report the ratio\n"
       << "  --compare-naive    run reduced and naive, report both + ratio\n"
       << "  --keep-going       collect every violation, not just the first\n"
       << "  --no-minimize      keep counterexamples unshrunk\n"
@@ -54,18 +70,24 @@ void usage(const char* argv0) {
       << "                     counterexample (ring tail ends in the\n"
       << "                     violation)\n"
       << "  --json FILE        machine-readable report\n"
-      << "  --frontier-out FILE  serialize the DFS stack when a budget\n"
-      << "                     suspends the search\n"
-      << "  --resume FILE      continue from a saved frontier\n"
+      << "  --frontier-out FILE  serialize the remaining work when a budget\n"
+      << "                     suspends the search (resumable at any\n"
+      << "                     --workers count)\n"
+      << "  --resume FILE      continue from a saved frontier (v1 or v2)\n"
       << "  --preset smoke     CI gate: cao-singhal + maekawa at N=3,\n"
-      << "                     bounded budget, expects 0 violations\n";
+      << "                     bounded budget, expects 0 violations\n"
+      << "  --preset n4        CI gate: exhaustive cao-singhal N=4 with one\n"
+      << "                     crash, expects COMPLETE and 0 violations\n";
 }
 
 struct Options {
   verify::ExplorerConfig explorer;
+  int workers = 1;
+  size_t split_depth = 0;  // 0 = ParallelExplorer default
   bool crash_sites_set = false;
   bool ft_set = false;
   bool compare_naive = false;
+  bool compare_dpor = false;
   std::string repro_out;
   std::string trace_out;
   std::string flightrec_out;
@@ -77,9 +99,20 @@ struct Options {
 
 bool parse_args(int argc, char** argv, Options& opt) {
   verify::ExplorerConfig& ex = opt.explorer;
+  ex.dpor = verify::Dpor::kSource;  // CLI default; the library stays kSleep
   for (int i = 1; i < argc; ++i) {
-    const std::string a = argv[i];
+    std::string a = argv[i];
+    // Accept both "--flag value" and "--flag=value" (CI uses the latter).
+    const char* inline_value = nullptr;
+    if (a.rfind("--", 0) == 0) {
+      const size_t eq = a.find('=');
+      if (eq != std::string::npos) {
+        inline_value = argv[i] + eq + 1;
+        a.resize(eq);
+      }
+    }
     auto next = [&]() -> const char* {
+      if (inline_value != nullptr) return inline_value;
       if (i + 1 >= argc) {
         std::cerr << "missing value for " << a << "\n";
         std::exit(2);
@@ -115,8 +148,17 @@ bool parse_args(int argc, char** argv, Options& opt) {
       opt.ft_set = true;
     } else if (a == "--mutate") {
       ex.world.mutation = verify::mutation_from_string(next());
+    } else if (a == "--dpor") {
+      ex.dpor = verify::dpor_from_string(next());
+    } else if (a == "--workers") {
+      opt.workers = std::atoi(next());
+      if (opt.workers < 1) opt.workers = 1;
+    } else if (a == "--split-depth") {
+      opt.split_depth = static_cast<size_t>(std::atoll(next()));
     } else if (a == "--no-por") {
       ex.por = false;
+    } else if (a == "--compare") {
+      opt.compare_dpor = true;
     } else if (a == "--compare-naive") {
       opt.compare_naive = true;
     } else if (a == "--keep-going") {
@@ -162,20 +204,111 @@ void write_json_escaped(std::ostream& os, const std::string& s) {
   os << '"';
 }
 
+// One exploration — sequential or parallel — behind a single seam, so the
+// report/frontier plumbing does not care which engine ran.
+struct RunOutcome {
+  verify::ExploreResult result;
+  double wall_ms = 0;
+  int workers = 1;
+  uint64_t tasks_run = 0;
+  uint64_t tasks_donated = 0;
+  bool parallel = false;
+  // Engine kept alive for save_frontier after a budget suspension.
+  std::unique_ptr<verify::Explorer> seq;
+  std::unique_ptr<verify::ParallelExplorer> par;
+
+  void save_frontier(std::ostream& os) const {
+    if (parallel)
+      par->save_frontier(os);
+    else
+      seq->save_frontier(os);
+  }
+  const verify::WorldConfig& world() const {
+    return parallel ? par->config().base.world : seq->config().world;
+  }
+};
+
+int frontier_version(const std::string& path) {
+  std::ifstream f(path);
+  std::string line;
+  long marker = 0;
+  if (f && std::getline(f, line) &&
+      verify::json_field_num(line, "dqme_frontier", marker))
+    return static_cast<int>(marker);
+  return 0;
+}
+
+// Runs one exploration. `resume` may be empty; returns false on a resume
+// file that does not load.
+bool run_once(const verify::ExplorerConfig& cfg, int workers,
+              size_t split_depth, const std::string& resume,
+              RunOutcome& out) {
+  // The v2 multi-task frontier needs the parallel driver even at
+  // --workers 1; plain v1 keeps the sequential engine byte-compatible.
+  out.parallel =
+      workers > 1 || (!resume.empty() && frontier_version(resume) == 2);
+  out.workers = workers;
+  const auto start = std::chrono::steady_clock::now();
+  if (out.parallel) {
+    verify::ParallelConfig pc;
+    pc.base = cfg;
+    pc.workers = workers;
+    pc.split_depth = split_depth;
+    out.par = std::make_unique<verify::ParallelExplorer>(pc);
+    if (!resume.empty()) {
+      std::ifstream f(resume);
+      std::string err;
+      if (!f || !out.par->load_frontier(f, &err)) {
+        std::cerr << "cannot resume from " << resume << ": " << err << "\n";
+        return false;
+      }
+    }
+    verify::ParallelResult pr = out.par->run();
+    out.result = std::move(pr.merged);
+    out.tasks_run = pr.tasks_run;
+    out.tasks_donated = pr.tasks_donated;
+  } else {
+    out.seq = std::make_unique<verify::Explorer>(cfg);
+    if (!resume.empty()) {
+      std::ifstream f(resume);
+      std::string err;
+      if (!f || !out.seq->load_frontier(f, &err)) {
+        std::cerr << "cannot resume from " << resume << ": " << err << "\n";
+        return false;
+      }
+    }
+    out.result = out.seq->run();
+  }
+  const auto end = std::chrono::steady_clock::now();
+  out.wall_ms =
+      std::chrono::duration<double, std::milli>(end - start).count();
+  return true;
+}
+
+const char* reduction_label(const verify::ExplorerConfig& cfg) {
+  if (!cfg.por) return "[naive DFS]";
+  return cfg.dpor == verify::Dpor::kSource ? "[source-set DPOR]"
+                                           : "[sleep-set POR]";
+}
+
 void print_result(const char* label, const verify::ExplorerConfig& cfg,
-                  const verify::ExploreResult& r, double wall_ms) {
+                  const RunOutcome& out) {
+  const verify::ExploreResult& r = out.result;
   std::cout << label << mutex::to_string(cfg.world.algo)
             << "  N=" << cfg.world.n << "  quorum=" << cfg.world.quorum
             << "  cs/site=" << cfg.world.cs_per_site
-            << "  crashes<=" << cfg.world.max_crashes
-            << (cfg.por ? "  [sleep-set POR]" : "  [naive DFS]") << "\n";
+            << "  crashes<=" << cfg.world.max_crashes << "  "
+            << reduction_label(cfg) << "\n";
+  if (out.parallel)
+    std::cout << "  workers " << out.workers << "  tasks " << out.tasks_run
+              << " (" << out.tasks_donated << " donated)\n";
   std::cout << "  schedules " << r.schedules << " (truncated " << r.truncated
             << ")  nodes " << r.nodes << "  replays " << r.replays << " ("
             << r.replay_steps << " steps)  pruned " << r.sleep_skips
             << "  " << (r.complete            ? "COMPLETE"
                         : r.budget_exhausted  ? "BUDGET EXHAUSTED"
                                               : "STOPPED")
-            << "  " << wall_ms << " ms\n";
+            << "  " << out.wall_ms << " ms\n";
   for (const verify::Violation& v : r.violations) {
     std::cout << "  VIOLATION (" << v.schedule.size() << " actions): "
               << verify::encode_actions(v.schedule) << "\n";
@@ -185,20 +318,28 @@ void print_result(const char* label, const verify::ExplorerConfig& cfg,
 }
 
 void write_json_report(std::ostream& os, const verify::ExplorerConfig& cfg,
-                       const verify::ExploreResult& r, double wall_ms,
+                       const RunOutcome& out,
                        const verify::ExploreResult* naive,
-                       double naive_wall_ms) {
+                       double naive_wall_ms,
+                       const verify::ExploreResult* other_dpor,
+                       double other_wall_ms) {
+  const verify::ExploreResult& r = out.result;
   os << "{\"dqme_explore\":1,";
   verify::write_config_fields(os, cfg.world);
   os << ",\n\"max_depth\":" << cfg.max_depth << ",\"por\":"
-     << (cfg.por ? "true" : "false") << ",\"schedules\":" << r.schedules
+     << (cfg.por ? "true" : "false") << ",\"dpor\":\""
+     << verify::to_string(cfg.dpor) << "\",\"workers\":" << out.workers
+     << ",\"schedules\":" << r.schedules
      << ",\"truncated\":" << r.truncated << ",\"nodes\":" << r.nodes
      << ",\"replays\":" << r.replays << ",\"replay_steps\":" << r.replay_steps
      << ",\"sleep_skips\":" << r.sleep_skips << ",\"complete\":"
      << (r.complete ? "true" : "false") << ",\"budget_exhausted\":"
      << (r.budget_exhausted ? "true" : "false")
      << ",\"violations\":" << r.violations.size() << ",\"wall_ms\":"
-     << wall_ms;
+     << out.wall_ms;
+  if (out.parallel)
+    os << ",\n\"tasks\":" << out.tasks_run
+       << ",\"tasks_donated\":" << out.tasks_donated;
   if (naive != nullptr) {
     os << ",\n\"naive_schedules\":" << naive->schedules
        << ",\"naive_nodes\":" << naive->nodes << ",\"naive_complete\":"
@@ -213,6 +354,34 @@ void write_json_report(std::ostream& os, const verify::ExplorerConfig& cfg,
                              static_cast<double>(r.nodes)
                        : 0.0);
   }
+  if (other_dpor != nullptr) {
+    // The configured mode is the headline run; the other relation ran for
+    // the ratio. Keyed by mode name so the fields read the same whichever
+    // direction the comparison went.
+    const bool main_is_source = cfg.dpor == verify::Dpor::kSource;
+    const uint64_t sleep_schedules =
+        main_is_source ? other_dpor->schedules : r.schedules;
+    const uint64_t source_schedules =
+        main_is_source ? r.schedules : other_dpor->schedules;
+    const uint64_t sleep_nodes =
+        main_is_source ? other_dpor->nodes : r.nodes;
+    const uint64_t source_nodes =
+        main_is_source ? r.nodes : other_dpor->nodes;
+    os << ",\n\"sleep_schedules\":" << sleep_schedules
+       << ",\"source_schedules\":" << source_schedules
+       << ",\"sleep_nodes\":" << sleep_nodes
+       << ",\"source_nodes\":" << source_nodes
+       << ",\"other_dpor_wall_ms\":" << other_wall_ms
+       << ",\"dpor_schedule_ratio\":"
+       << (source_schedules > 0
+               ? static_cast<double>(sleep_schedules) /
+                     static_cast<double>(source_schedules)
+               : 0.0)
+       << ",\"dpor_node_ratio\":"
+       << (source_nodes > 0 ? static_cast<double>(sleep_nodes) /
+                                  static_cast<double>(source_nodes)
+                            : 0.0);
+  }
   os << ",\n\"violation_reports\":[";
   bool first = true;
   for (const verify::Violation& v : r.violations)
@@ -222,13 +391,6 @@ void write_json_report(std::ostream& os, const verify::ExplorerConfig& cfg,
       write_json_escaped(os, rep);
     }
   os << "]}\n";
-}
-
-double run_explorer(verify::Explorer& ex, verify::ExploreResult& out) {
-  const auto start = std::chrono::steady_clock::now();
-  out = ex.run();
-  const auto end = std::chrono::steady_clock::now();
-  return std::chrono::duration<double, std::milli>(end - start).count();
 }
 
 // Writes the counterexample artifacts for the first recorded violation.
@@ -284,7 +446,8 @@ bool write_violation_artifacts(const Options& opt,
 
 // CI gate: two protocols, bounded budget, zero tolerance for violations.
 // Passes when each run either covered its whole (reduced) space or explored
-// its full schedule budget — and nothing was flagged.
+// its full schedule budget — and nothing was flagged. Honors --workers (the
+// TSan job runs this preset at 8 to exercise the parallel driver).
 int run_smoke(const Options& opt) {
   struct SmokeRun {
     const char* algo;
@@ -295,28 +458,30 @@ int run_smoke(const Options& opt) {
   uint64_t total_violations = 0;
   bool all_covered = true;
   std::ostringstream json;
-  json << "{\"dqme_explore_smoke\":1,\"runs\":[\n";
+  json << "{\"dqme_explore_smoke\":1,\"workers\":" << opt.workers
+       << ",\"runs\":[\n";
   for (size_t i = 0; i < std::size(runs); ++i) {
     verify::ExplorerConfig cfg;
     cfg.world.algo = mutex::algo_from_string(runs[i].algo);
     cfg.world.n = 3;
     cfg.world.quorum = "grid";
     cfg.world.cs_per_site = 2;
+    cfg.dpor = opt.explorer.dpor;
     cfg.max_schedules = runs[i].budget;
-    verify::Explorer ex(cfg);
-    verify::ExploreResult r;
-    const double wall_ms = run_explorer(ex, r);
-    print_result("[smoke] ", cfg, r, wall_ms);
-    total_schedules += r.schedules;
-    total_violations += r.violations.size();
-    if (!r.complete && !r.budget_exhausted) all_covered = false;
+    RunOutcome out;
+    if (!run_once(cfg, opt.workers, opt.split_depth, "", out)) return 2;
+    print_result("[smoke] ", cfg, out);
+    total_schedules += out.result.schedules;
+    total_violations += out.result.violations.size();
+    if (!out.result.complete && !out.result.budget_exhausted)
+      all_covered = false;
     if (i > 0) json << ",\n";
-    write_json_report(json, cfg, r, wall_ms, nullptr, 0);
-    if (r.budget_exhausted && !opt.frontier_out.empty()) {
+    write_json_report(json, cfg, out, nullptr, 0, nullptr, 0);
+    if (out.result.budget_exhausted && !opt.frontier_out.empty()) {
       const std::string path =
           opt.frontier_out + "." + std::string(runs[i].algo);
       std::ofstream f(path);
-      if (f) ex.save_frontier(f);
+      if (f) out.save_frontier(f);
     }
   }
   json << "],\"total_schedules\":" << total_schedules
@@ -337,6 +502,48 @@ int run_smoke(const Options& opt) {
   return pass ? 0 : 1;
 }
 
+// CI gate: the headline exhaustive run — cao-singhal N=4 with one crash
+// allowed, source-set DPOR, no budget. Pass = COMPLETE with 0 violations.
+int run_n4(const Options& opt) {
+  verify::ExplorerConfig cfg;
+  cfg.world.algo = mutex::Algo::kCaoSinghal;
+  cfg.world.n = 4;
+  cfg.world.quorum = "grid";
+  cfg.world.cs_per_site = 1;
+  cfg.world.fault_tolerant = true;
+  cfg.world.max_crashes = 1;
+  cfg.world.crash_sites = {3};
+  cfg.dpor = opt.explorer.dpor;
+  // Honor an explicit --budget (a bounded probe still writes a resumable
+  // frontier below); the gate itself only passes on COMPLETE.
+  cfg.max_schedules = opt.explorer.max_schedules;
+  RunOutcome out;
+  if (!run_once(cfg, opt.workers, opt.split_depth, opt.resume, out))
+    return 2;
+  print_result("[n4] ", cfg, out);
+  if (out.result.budget_exhausted && !opt.frontier_out.empty()) {
+    std::ofstream f(opt.frontier_out);
+    if (f) {
+      out.save_frontier(f);
+      std::cout << "[n4] wrote " << opt.frontier_out
+                << " — continue with --resume " << opt.frontier_out << "\n";
+    }
+  }
+  if (!opt.json_out.empty()) {
+    std::ofstream f(opt.json_out);
+    if (!f) {
+      std::cerr << "cannot write " << opt.json_out << "\n";
+      return 2;
+    }
+    write_json_report(f, cfg, out, nullptr, 0, nullptr, 0);
+  }
+  const bool pass = out.result.complete && out.result.violations.empty();
+  std::cout << "[n4] " << out.result.schedules << " schedules, "
+            << out.result.violations.size() << " violations -> "
+            << (pass ? "PASS" : "FAIL") << "\n";
+  return pass ? 0 : 1;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) try {
@@ -346,28 +553,20 @@ int main(int argc, char** argv) try {
     return 2;
   }
   if (!opt.preset.empty()) {
-    if (opt.preset != "smoke") {
-      std::cerr << "unknown preset: " << opt.preset << "\n";
-      return 2;
-    }
-    return run_smoke(opt);
+    if (opt.preset == "smoke") return run_smoke(opt);
+    if (opt.preset == "n4") return run_n4(opt);
+    std::cerr << "unknown preset: " << opt.preset << "\n";
+    return 2;
   }
 
-  verify::Explorer explorer(opt.explorer);
-  if (!opt.resume.empty()) {
-    std::ifstream f(opt.resume);
-    std::string err;
-    if (!f || !explorer.load_frontier(f, &err)) {
-      std::cerr << "cannot resume from " << opt.resume << ": " << err
-                << "\n";
-      return 2;
-    }
-    // The frontier carries the WorldConfig it was saved under.
-    opt.explorer.world = explorer.config().world;
-  }
-  verify::ExploreResult result;
-  const double wall_ms = run_explorer(explorer, result);
-  print_result("dqme_explore: ", opt.explorer, result, wall_ms);
+  RunOutcome out;
+  if (!run_once(opt.explorer, opt.workers, opt.split_depth, opt.resume,
+                out))
+    return 2;
+  // The frontier carries the WorldConfig (and DPOR mode) it was saved
+  // under; later artifact writers need the loaded values.
+  if (!opt.resume.empty()) opt.explorer.world = out.world();
+  print_result("dqme_explore: ", opt.explorer, out);
 
   const verify::ExploreResult* naive = nullptr;
   verify::ExploreResult naive_result;
@@ -375,26 +574,58 @@ int main(int argc, char** argv) try {
   if (opt.compare_naive) {
     verify::ExplorerConfig naive_cfg = opt.explorer;
     naive_cfg.por = false;
-    verify::Explorer naive_ex(naive_cfg);
-    naive_wall_ms = run_explorer(naive_ex, naive_result);
-    print_result("naive:        ", naive_cfg, naive_result, naive_wall_ms);
+    RunOutcome naive_out;
+    if (!run_once(naive_cfg, opt.workers, opt.split_depth, "", naive_out))
+      return 2;
+    print_result("naive:        ", naive_cfg, naive_out);
+    naive_result = std::move(naive_out.result);
+    naive_wall_ms = naive_out.wall_ms;
     naive = &naive_result;
-    if (result.schedules > 0)
+    if (out.result.schedules > 0)
       std::cout << "POR reduction: " << naive_result.schedules << " / "
-                << result.schedules << " = "
+                << out.result.schedules << " = "
                 << static_cast<double>(naive_result.schedules) /
-                       static_cast<double>(result.schedules)
+                       static_cast<double>(out.result.schedules)
                 << "x schedules\n";
   }
 
-  if (!write_violation_artifacts(opt, result)) return 2;
-  if (result.budget_exhausted && !opt.frontier_out.empty()) {
+  const verify::ExploreResult* other = nullptr;
+  verify::ExploreResult other_result;
+  double other_wall_ms = 0;
+  if (opt.compare_dpor && opt.explorer.por) {
+    verify::ExplorerConfig other_cfg = opt.explorer;
+    other_cfg.dpor = other_cfg.dpor == verify::Dpor::kSource
+                         ? verify::Dpor::kSleep
+                         : verify::Dpor::kSource;
+    RunOutcome other_out;
+    if (!run_once(other_cfg, opt.workers, opt.split_depth, "", other_out))
+      return 2;
+    print_result("compare:      ", other_cfg, other_out);
+    other_result = std::move(other_out.result);
+    other_wall_ms = other_out.wall_ms;
+    other = &other_result;
+    const uint64_t sleep_s =
+        opt.explorer.dpor == verify::Dpor::kSource ? other_result.schedules
+                                                   : out.result.schedules;
+    const uint64_t source_s =
+        opt.explorer.dpor == verify::Dpor::kSource ? out.result.schedules
+                                                   : other_result.schedules;
+    if (source_s > 0)
+      std::cout << "DPOR reduction: sleep " << sleep_s << " / source "
+                << source_s << " = "
+                << static_cast<double>(sleep_s) /
+                       static_cast<double>(source_s)
+                << "x schedules\n";
+  }
+
+  if (!write_violation_artifacts(opt, out.result)) return 2;
+  if (out.result.budget_exhausted && !opt.frontier_out.empty()) {
     std::ofstream f(opt.frontier_out);
     if (!f) {
       std::cerr << "cannot write " << opt.frontier_out << "\n";
       return 2;
     }
-    explorer.save_frontier(f);
+    out.save_frontier(f);
     std::cout << "[frontier] wrote " << opt.frontier_out
               << " — continue with --resume " << opt.frontier_out << "\n";
   }
@@ -404,10 +635,10 @@ int main(int argc, char** argv) try {
       std::cerr << "cannot write " << opt.json_out << "\n";
       return 2;
     }
-    write_json_report(f, opt.explorer, result, wall_ms, naive,
-                      naive_wall_ms);
+    write_json_report(f, opt.explorer, out, naive, naive_wall_ms, other,
+                      other_wall_ms);
   }
-  return result.violations.empty() ? 0 : 1;
+  return out.result.violations.empty() ? 0 : 1;
 } catch (const dqme::CheckError& e) {
   std::cerr << "error: " << e.what() << "\n";
   return 2;
